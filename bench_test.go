@@ -1,0 +1,229 @@
+// Top-level benchmark harness: one benchmark per table and figure of the
+// paper's evaluation (each invocation regenerates the artifact via the
+// experiments registry and reports its wall time), plus microbenchmarks of
+// the substrates the reproduction is built on — the numerical kernels, the
+// partitioning optimizer, the cluster simulator, and the real 1F1B-RR
+// training runtime.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+package pipedream
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+
+	"pipedream/internal/cluster"
+	"pipedream/internal/data"
+	"pipedream/internal/experiments"
+	"pipedream/internal/modelzoo"
+	"pipedream/internal/nn"
+	"pipedream/internal/partition"
+	"pipedream/internal/pipeline"
+	"pipedream/internal/schedule"
+	"pipedream/internal/tensor"
+	"pipedream/internal/topology"
+)
+
+// benchExperiment regenerates one paper artifact per iteration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tables, err := experiments.Run(id, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, t := range tables {
+			t.Fprint(io.Discard)
+		}
+	}
+}
+
+// ---- One benchmark per paper table/figure (see DESIGN.md §4). ----
+
+func BenchmarkFig1DPCommOverhead(b *testing.B)     { benchExperiment(b, "fig1") }
+func BenchmarkFig2ModelParallel(b *testing.B)      { benchExperiment(b, "fig2") }
+func BenchmarkFig3GPipe(b *testing.B)              { benchExperiment(b, "fig3") }
+func BenchmarkFig4PipeDream1F1B(b *testing.B)      { benchExperiment(b, "fig4") }
+func BenchmarkFig5CommOverlap(b *testing.B)        { benchExperiment(b, "fig5") }
+func BenchmarkFig8RoundRobin(b *testing.B)         { benchExperiment(b, "fig8") }
+func BenchmarkStaticSchedule(b *testing.B)         { benchExperiment(b, "static") }
+func BenchmarkTable1Speedups(b *testing.B)         { benchExperiment(b, "tbl1") }
+func BenchmarkTable3CloudSlowdown(b *testing.B)    { benchExperiment(b, "tbl3") }
+func BenchmarkFig10AccuracyVsTime(b *testing.B)    { benchExperiment(b, "fig10") }
+func BenchmarkFig11AccuracyVsEpoch(b *testing.B)   { benchExperiment(b, "fig11") }
+func BenchmarkFig12MixedPrecision(b *testing.B)    { benchExperiment(b, "fig12") }
+func BenchmarkFig13LARS(b *testing.B)              { benchExperiment(b, "fig13") }
+func BenchmarkFig14aModelParallel(b *testing.B)    { benchExperiment(b, "fig14a") }
+func BenchmarkFig14bHybrid(b *testing.B)           { benchExperiment(b, "fig14b") }
+func BenchmarkSec54GPipe(b *testing.B)             { benchExperiment(b, "sec54") }
+func BenchmarkFig15PredictedVsReal(b *testing.B)   { benchExperiment(b, "fig15") }
+func BenchmarkFig16Memory(b *testing.B)            { benchExperiment(b, "fig16") }
+func BenchmarkFig17CommBytes(b *testing.B)         { benchExperiment(b, "fig17") }
+func BenchmarkFig18PipelineDepth(b *testing.B)     { benchExperiment(b, "fig18") }
+func BenchmarkOptimizerRuntime(b *testing.B)       { benchExperiment(b, "opt") }
+func BenchmarkASPConvergence(b *testing.B)         { benchExperiment(b, "asp") }
+func BenchmarkAblationStashing(b *testing.B)       { benchExperiment(b, "abl-stash") }
+func BenchmarkAblationVerticalSync(b *testing.B)   { benchExperiment(b, "abl-vsync") }
+func BenchmarkAblationReplication(b *testing.B)    { benchExperiment(b, "abl-repl") }
+func BenchmarkAblationHierarchy(b *testing.B)      { benchExperiment(b, "abl-topo") }
+func BenchmarkAblationGPipeStats(b *testing.B)     { benchExperiment(b, "abl-gpipe-stats") }
+func BenchmarkAblationStraggler(b *testing.B)      { benchExperiment(b, "abl-straggler") }
+func BenchmarkExtTransformer(b *testing.B)         { benchExperiment(b, "ext-transformer") }
+func BenchmarkClaimsChecklist(b *testing.B)        { benchExperiment(b, "claims") }
+func BenchmarkFig15RuntimeValidation(b *testing.B) { benchExperiment(b, "fig15rt") }
+func BenchmarkAblationRecompute(b *testing.B)      { benchExperiment(b, "abl-recompute") }
+func BenchmarkAblationMemory(b *testing.B)         { benchExperiment(b, "abl-memory") }
+
+// ---- Substrate microbenchmarks. ----
+
+func BenchmarkTensorMatMul128(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.Randn(rng, 1, 128, 128)
+	y := tensor.Randn(rng, 1, 128, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMul(x, y)
+	}
+}
+
+func BenchmarkTensorIm2Col(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	in := tensor.Randn(rng, 1, 8, 3, 32, 32)
+	g := tensor.ConvGeom{InC: 3, InH: 32, InW: 32, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.Im2Col(in, g)
+	}
+}
+
+func BenchmarkDenseForwardBackward(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	layer := nn.NewDense(rng, "fc", 256, 256)
+	x := tensor.Randn(rng, 1, 32, 256)
+	grad := tensor.Randn(rng, 1, 32, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		y, ctx := layer.Forward(x, true)
+		_ = y
+		nn.ZeroGrads(layer.Grads())
+		layer.Backward(ctx, grad)
+	}
+}
+
+func BenchmarkLSTMForwardBackward(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	layer := nn.NewLSTM(rng, "lstm", 64, 64)
+	x := tensor.Randn(rng, 1, 8, 16, 64)
+	grad := tensor.Randn(rng, 1, 8, 16, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, ctx := layer.Forward(x, true)
+		nn.ZeroGrads(layer.Grads())
+		layer.Backward(ctx, grad)
+	}
+}
+
+func BenchmarkPartitionOptimizerVGG16(b *testing.B) {
+	topo := topology.ClusterB(4)
+	prof := modelzoo.VGG16(topo.Device, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := partition.Optimize(prof, topo); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClusterSimulator(b *testing.B) {
+	topo := topology.ClusterA(4)
+	prof := modelzoo.GNMT16(topo.Device, 64)
+	plan, err := partition.Optimize(prof, topo)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cluster.Simulate(cluster.Config{
+			Profile: prof, Topo: topo, Plan: plan,
+			Policy: schedule.PipeDream1F1B, Minibatches: 128,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPipelineRuntimeEpoch(b *testing.B) {
+	factory := func() *nn.Sequential {
+		rng := rand.New(rand.NewSource(3))
+		return nn.NewSequential(
+			nn.NewDense(rng, "fc1", 8, 32),
+			nn.NewTanh("t1"),
+			nn.NewDense(rng, "fc2", 32, 32),
+			nn.NewTanh("t2"),
+			nn.NewDense(rng, "fc3", 32, 4),
+		)
+	}
+	train := data.NewBlobs(5, 4, 8, 16, 32)
+	plan := mustStraightPlan(b, 5, 3)
+	p, err := pipeline.New(pipeline.Options{
+		ModelFactory: factory,
+		Plan:         plan,
+		Loss:         nn.SoftmaxCrossEntropy,
+		NewOptimizer: func() nn.Optimizer { return nn.NewSGD(0.1, 0, 0) },
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Train(train, train.NumBatches()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func mustStraightPlan(b *testing.B, layers, stages int) *partition.Plan {
+	b.Helper()
+	prof := &ModelProfile{Model: "bench", MinibatchSize: 1, InputBytes: 4}
+	for i := 0; i < layers; i++ {
+		prof.Layers = append(prof.Layers, LayerProfile{
+			Name: "l", FwdTime: 1, BwdTime: 2, ActivationBytes: 4, WeightBytes: 4,
+		})
+	}
+	per := layers / stages
+	var specs []partition.StageSpec
+	first := 0
+	for s := 0; s < stages; s++ {
+		last := first + per - 1
+		if s == stages-1 {
+			last = layers - 1
+		}
+		specs = append(specs, partition.StageSpec{FirstLayer: first, LastLayer: last, Replicas: 1})
+		first = last + 1
+	}
+	plan, err := partition.Evaluate(prof, topology.Flat(stages, 1e9, topology.V100), specs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return plan
+}
+
+func BenchmarkAllReduceModel(b *testing.B) {
+	topo := topology.ClusterB(8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		topo.AllReduceTime(528<<20, 64)
+	}
+}

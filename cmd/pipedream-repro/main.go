@@ -1,0 +1,47 @@
+// Command pipedream-repro regenerates the tables and figures of the
+// PipeDream paper's evaluation from this repository's implementation.
+//
+// Usage:
+//
+//	pipedream-repro -list               # list experiment IDs
+//	pipedream-repro -exp tbl1           # one experiment
+//	pipedream-repro -exp all            # everything (default)
+//	pipedream-repro -exp all -quick     # smaller sweeps, faster
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pipedream/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment ID to run, or \"all\"")
+	quick := flag.Bool("quick", false, "smaller sweeps for a fast smoke run")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Printf("%-8s %s\n", id, experiments.Describe(id))
+		}
+		return
+	}
+	if *exp == "all" {
+		if err := experiments.RunAll(*quick, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "pipedream-repro:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	tables, err := experiments.Run(*exp, *quick)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pipedream-repro:", err)
+		os.Exit(1)
+	}
+	for _, t := range tables {
+		t.Fprint(os.Stdout)
+	}
+}

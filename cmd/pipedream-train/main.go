@@ -1,0 +1,200 @@
+// Command pipedream-train trains a real model in-process with PipeDream's
+// 1F1B-RR runtime: workers are goroutines, stages exchange activations and
+// gradients through the transport, and weight stashing keeps gradients
+// valid. It demonstrates the runtime end to end on synthetic tasks.
+//
+// Usage:
+//
+//	pipedream-train -task spiral -stages 3 -epochs 10
+//	pipedream-train -task sequence -mode vertical-sync
+//	pipedream-train -task images -replicas 2 -tcp
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"pipedream/internal/data"
+	"pipedream/internal/nn"
+	"pipedream/internal/partition"
+	"pipedream/internal/pipeline"
+	"pipedream/internal/profile"
+	"pipedream/internal/tensor"
+	"pipedream/internal/topology"
+	"pipedream/internal/transport"
+)
+
+func main() {
+	task := flag.String("task", "spiral", "training task: spiral, images, or sequence")
+	stages := flag.Int("stages", 3, "pipeline stages")
+	replicas := flag.Int("replicas", 1, "replicas of the first stage (1F1B-RR)")
+	modeName := flag.String("mode", "weight-stashing", "staleness mode: weight-stashing, vertical-sync, or no-stashing")
+	epochs := flag.Int("epochs", 8, "training epochs")
+	depth := flag.Int("depth", 0, "pipeline depth override (0 = NOAM)")
+	useTCP := flag.Bool("tcp", false, "run the pipeline over TCP sockets instead of channels")
+	checkpoint := flag.String("checkpoint", "", "directory for per-stage checkpoints after each epoch")
+	seed := flag.Int64("seed", 42, "random seed")
+	flag.Parse()
+
+	var mode pipeline.StalenessMode
+	switch *modeName {
+	case "weight-stashing":
+		mode = pipeline.WeightStashing
+	case "vertical-sync":
+		mode = pipeline.VerticalSync
+	case "no-stashing":
+		mode = pipeline.NoStashing
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *modeName))
+	}
+
+	factory, train, eval, opt := buildTask(*task, *seed)
+	model := factory()
+	if *stages < 1 || *stages > len(model.Layers) {
+		fatal(fmt.Errorf("stages must be in [1, %d]", len(model.Layers)))
+	}
+
+	plan, err := buildPlan(model, *stages, *replicas)
+	if err != nil {
+		fatal(err)
+	}
+	workers := *stages - 1 + *replicas
+	fmt.Printf("task %s: %d layers across %d stage(s) on %d worker(s), config %s, NOAM %d, mode %s\n",
+		*task, len(model.Layers), *stages, workers, plan.ConfigString(), plan.NOAM, mode)
+
+	opts := pipeline.Options{
+		ModelFactory: factory,
+		Plan:         plan,
+		Loss:         nn.SoftmaxCrossEntropy,
+		NewOptimizer: opt,
+		Mode:         mode,
+		Depth:        *depth,
+	}
+	if *useTCP {
+		tr, err := transport.NewTCP(workers, 4*plan.NOAM+8)
+		if err != nil {
+			fatal(err)
+		}
+		defer tr.Close()
+		opts.Transport = tr
+		fmt.Println("transport: TCP loopback sockets (gob-encoded tensors)")
+	}
+	p, err := pipeline.New(opts)
+	if err != nil {
+		fatal(err)
+	}
+	defer p.Close()
+
+	for e := 1; e <= *epochs; e++ {
+		rep, err := p.Train(train, train.NumBatches())
+		if err != nil {
+			fatal(err)
+		}
+		acc := evaluate(p, eval)
+		fmt.Printf("epoch %2d: mean loss %.4f, eval accuracy %.1f%%, wall %v\n",
+			e, rep.MeanLoss(), acc*100, rep.WallTime.Round(1e6))
+		if *checkpoint != "" {
+			if err := p.Checkpoint(*checkpoint); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	if *checkpoint != "" {
+		fmt.Printf("per-stage checkpoints written to %s\n", *checkpoint)
+	}
+}
+
+func buildTask(task string, seed int64) (func() *nn.Sequential, data.Dataset, data.Dataset, func() nn.Optimizer) {
+	switch task {
+	case "spiral":
+		factory := func() *nn.Sequential {
+			rng := rand.New(rand.NewSource(seed))
+			return nn.NewSequential(
+				nn.NewDense(rng, "fc1", 2, 32),
+				nn.NewTanh("t1"),
+				nn.NewDense(rng, "fc2", 32, 32),
+				nn.NewTanh("t2"),
+				nn.NewDense(rng, "fc3", 32, 3),
+			)
+		}
+		return factory, data.NewSpiral(seed+1, 3, 16, 50), data.NewSpiral(seed+2, 3, 32, 8),
+			func() nn.Optimizer { return nn.NewSGD(0.1, 0.9, 0) }
+	case "images":
+		factory := func() *nn.Sequential {
+			rng := rand.New(rand.NewSource(seed))
+			g1 := tensor.ConvGeom{InC: 1, InH: 12, InW: 12, KH: 3, KW: 3, Stride: 1, Pad: 1}
+			g2 := tensor.ConvGeom{InC: 8, InH: 12, InW: 12, KH: 3, KW: 3, Stride: 1, Pad: 1}
+			return nn.NewSequential(
+				nn.NewConv2D(rng, "conv1", g1, 8),
+				nn.NewReLU("r1"),
+				nn.NewConv2D(rng, "conv2", g2, 8),
+				nn.NewReLU("r2"),
+				nn.NewFlatten("flat"),
+				nn.NewDense(rng, "fc", 8*12*12, 4),
+			)
+		}
+		return factory, data.NewImages(seed+1, 4, 1, 12, 16, 30), data.NewImages(seed+2, 4, 1, 12, 32, 6),
+			func() nn.Optimizer { return nn.NewSGD(0.05, 0.9, 0) }
+	case "sequence":
+		factory := func() *nn.Sequential {
+			rng := rand.New(rand.NewSource(seed))
+			return nn.NewSequential(
+				nn.NewEmbedding(rng, "emb", 10, 16),
+				nn.NewLSTM(rng, "lstm1", 16, 32),
+				nn.NewLSTM(rng, "lstm2", 32, 32),
+				nn.NewFlattenTime("ft"),
+				nn.NewDense(rng, "dec", 32, 10),
+			)
+		}
+		return factory, data.NewSequenceCopy(seed+1, 10, 8, 16, 40), data.NewSequenceCopy(seed+2, 10, 8, 32, 6),
+			func() nn.Optimizer { return nn.NewAdam(0.01) }
+	}
+	fatal(fmt.Errorf("unknown task %q (want spiral, images, or sequence)", task))
+	return nil, nil, nil, nil
+}
+
+func buildPlan(model *nn.Sequential, stages, replicas int) (*partition.Plan, error) {
+	n := len(model.Layers)
+	prof := &profile.ModelProfile{Model: "cli", MinibatchSize: 1, InputBytes: 4}
+	for i := 0; i < n; i++ {
+		prof.Layers = append(prof.Layers, profile.LayerProfile{
+			Name: model.Layers[i].Name(), FwdTime: 1, BwdTime: 2, ActivationBytes: 4, WeightBytes: 4,
+		})
+	}
+	per := n / stages
+	var specs []partition.StageSpec
+	first := 0
+	for s := 0; s < stages; s++ {
+		last := first + per - 1
+		if s == stages-1 {
+			last = n - 1
+		}
+		rep := 1
+		if s == 0 {
+			rep = replicas
+		}
+		specs = append(specs, partition.StageSpec{FirstLayer: first, LastLayer: last, Replicas: rep})
+		first = last + 1
+	}
+	workers := stages - 1 + replicas
+	return partition.Evaluate(prof, topology.Flat(workers, 1e9, topology.V100), specs)
+}
+
+func evaluate(p *pipeline.Pipeline, eval data.Dataset) float64 {
+	model := p.CollectModel()
+	correct, total := 0, 0
+	for i := 0; i < eval.NumBatches(); i++ {
+		b := eval.Batch(i)
+		y, _ := model.Forward(b.X, false)
+		correct += int(nn.Accuracy(y, b.Labels)*float64(len(b.Labels)) + 0.5)
+		total += len(b.Labels)
+	}
+	return float64(correct) / float64(total)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pipedream-train:", err)
+	os.Exit(1)
+}

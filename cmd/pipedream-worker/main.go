@@ -1,0 +1,166 @@
+// Command pipedream-worker is one stage worker of a DISTRIBUTED PipeDream
+// deployment: launch one process per pipeline stage, all with the same
+// -peers list, each with its own -id, and they train together over real
+// TCP — the process-per-worker deployment model of the paper's runtime.
+//
+// A 3-stage pipeline on one machine:
+//
+//	pipedream-worker -id 0 -peers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002 &
+//	pipedream-worker -id 1 -peers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002 &
+//	pipedream-worker -id 2 -peers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002
+//
+// The output-stage worker prints per-epoch losses. Every process must use
+// identical -task, -seed, -stages, -minibatches, and -epochs so models and
+// data agree.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"pipedream/internal/data"
+	"pipedream/internal/nn"
+	"pipedream/internal/partition"
+	"pipedream/internal/pipeline"
+	"pipedream/internal/profile"
+	"pipedream/internal/topology"
+	"pipedream/internal/transport"
+)
+
+func main() {
+	id := flag.Int("id", 0, "this worker's id (= its pipeline stage for straight pipelines)")
+	peers := flag.String("peers", "", "comma-separated listen addresses of all workers, ordered by id")
+	task := flag.String("task", "spiral", "training task: spiral or sequence")
+	stages := flag.Int("stages", 0, "pipeline stages (default: number of peers)")
+	replicas := flag.Int("replicas", 1, "replicas of the first stage (1F1B-RR; ids 0..replicas-1)")
+	epochs := flag.Int("epochs", 3, "training epochs")
+	minibatches := flag.Int("minibatches", 0, "minibatches per epoch (default: dataset size)")
+	seed := flag.Int64("seed", 42, "shared random seed (must match across workers)")
+	checkpoint := flag.String("checkpoint", "", "directory for this stage's checkpoint after training")
+	flag.Parse()
+
+	addrs := strings.Split(*peers, ",")
+	if len(addrs) < 2 || *peers == "" {
+		fatal(fmt.Errorf("need at least two -peers addresses, got %q", *peers))
+	}
+	nStages := *stages
+	if nStages == 0 {
+		nStages = len(addrs) - *replicas + 1
+	}
+	if nStages-1+*replicas != len(addrs) {
+		fatal(fmt.Errorf("%d stages with a %d-way first stage need %d peers, got %d",
+			nStages, *replicas, nStages-1+*replicas, len(addrs)))
+	}
+
+	factory, train := buildTask(*task, *seed)
+	model := factory()
+	plan, err := buildPlan(model, nStages, *replicas)
+	if err != nil {
+		fatal(err)
+	}
+	mbs := *minibatches
+	if mbs == 0 {
+		mbs = train.NumBatches()
+	}
+
+	tr, err := transport.NewTCPPeer(*id, addrs, 4*plan.NOAM+8)
+	if err != nil {
+		fatal(err)
+	}
+	defer tr.Close()
+
+	w, err := pipeline.NewSoloWorker(pipeline.Options{
+		ModelFactory: factory,
+		Plan:         plan,
+		Loss:         nn.SoftmaxCrossEntropy,
+		NewOptimizer: func() nn.Optimizer { return nn.NewSGD(0.1, 0.9, 0) },
+		Transport:    tr,
+	}, *id)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "worker %d: stage %d of %d, listening on %s\n", *id, w.Stage(), nStages, tr.Addr())
+
+	for e := 1; e <= *epochs; e++ {
+		rep, err := w.Run(train, mbs)
+		if err != nil {
+			fatal(err)
+		}
+		if w.IsOutputStage() {
+			fmt.Printf("epoch %d loss %.6f\n", e, rep.MeanLoss())
+		}
+	}
+	if *checkpoint != "" {
+		if err := w.Checkpoint(*checkpoint); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "worker %d: checkpoint written to %s\n", *id, *checkpoint)
+	}
+}
+
+func buildTask(task string, seed int64) (func() *nn.Sequential, data.Dataset) {
+	switch task {
+	case "spiral":
+		return func() *nn.Sequential {
+			rng := rand.New(rand.NewSource(seed))
+			return nn.NewSequential(
+				nn.NewDense(rng, "fc1", 2, 24),
+				nn.NewTanh("t1"),
+				nn.NewDense(rng, "fc2", 24, 24),
+				nn.NewTanh("t2"),
+				nn.NewDense(rng, "fc3", 24, 3),
+			)
+		}, data.NewSpiral(seed+1, 3, 16, 40)
+	case "sequence":
+		return func() *nn.Sequential {
+			rng := rand.New(rand.NewSource(seed))
+			return nn.NewSequential(
+				nn.NewEmbedding(rng, "emb", 10, 12),
+				nn.NewLSTM(rng, "lstm1", 12, 24),
+				nn.NewLSTM(rng, "lstm2", 24, 24),
+				nn.NewFlattenTime("ft"),
+				nn.NewDense(rng, "dec", 24, 10),
+			)
+		}, data.NewSequenceCopy(seed+1, 10, 6, 16, 30)
+	}
+	fatal(fmt.Errorf("unknown task %q (want spiral or sequence)", task))
+	return nil, nil
+}
+
+func buildPlan(model *nn.Sequential, stages, replicas int) (*partition.Plan, error) {
+	n := len(model.Layers)
+	if stages > n {
+		return nil, fmt.Errorf("%d stages for %d layers", stages, n)
+	}
+	prof := &profile.ModelProfile{Model: "worker", MinibatchSize: 1, InputBytes: 4}
+	for i := 0; i < n; i++ {
+		prof.Layers = append(prof.Layers, profile.LayerProfile{
+			Name: model.Layers[i].Name(), FwdTime: 1, BwdTime: 2, ActivationBytes: 4, WeightBytes: 4,
+		})
+	}
+	per := n / stages
+	var specs []partition.StageSpec
+	first := 0
+	for s := 0; s < stages; s++ {
+		last := first + per - 1
+		if s == stages-1 {
+			last = n - 1
+		}
+		rep := 1
+		if s == 0 {
+			rep = replicas
+		}
+		specs = append(specs, partition.StageSpec{FirstLayer: first, LastLayer: last, Replicas: rep})
+		first = last + 1
+	}
+	workers := stages - 1 + replicas
+	return partition.Evaluate(prof, topology.Flat(workers, 1e9, topology.V100), specs)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pipedream-worker:", err)
+	os.Exit(1)
+}

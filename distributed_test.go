@@ -1,0 +1,112 @@
+package pipedream
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// freeAddrs reserves n distinct loopback ports and returns their
+// addresses. The listeners are closed before use, so a tiny reuse race
+// exists, but nothing else runs on this host during tests.
+func freeAddrs(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	lns := make([]net.Listener, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	return addrs
+}
+
+// TestDistributedMultiProcessTraining launches one OS process per pipeline
+// stage (the paper's deployment model) and verifies they train together
+// over TCP: the output stage's loss decreases across epochs, every process
+// exits cleanly, and each stage writes its own checkpoint file.
+func TestDistributedMultiProcessTraining(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes")
+	}
+	bin := filepath.Join(t.TempDir(), "pipedream-worker")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/pipedream-worker")
+	build.Dir = "."
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build worker: %v\n%s", err, out)
+	}
+
+	const stages = 3
+	addrs := freeAddrs(t, stages)
+	peers := strings.Join(addrs, ",")
+	ckptDir := t.TempDir()
+
+	var wg sync.WaitGroup
+	outputs := make([]string, stages)
+	errs := make([]error, stages)
+	for id := 0; id < stages; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			cmd := exec.Command(bin,
+				"-id", strconv.Itoa(id),
+				"-peers", peers,
+				"-epochs", "3",
+				"-checkpoint", ckptDir,
+			)
+			out, err := cmd.CombinedOutput()
+			outputs[id], errs[id] = string(out), err
+		}(id)
+	}
+	wg.Wait()
+	for id := 0; id < stages; id++ {
+		if errs[id] != nil {
+			t.Fatalf("worker %d failed: %v\n%s", id, errs[id], outputs[id])
+		}
+	}
+
+	// The output stage (last worker) printed per-epoch losses.
+	losses := parseEpochLosses(t, outputs[stages-1])
+	if len(losses) != 3 {
+		t.Fatalf("got %d epoch losses, want 3; output:\n%s", len(losses), outputs[stages-1])
+	}
+	if losses[2] >= losses[0] {
+		t.Fatalf("distributed training did not learn: losses %v", losses)
+	}
+
+	// Coordination-free checkpointing: one file per stage.
+	for s := 0; s < stages; s++ {
+		path := filepath.Join(ckptDir, fmt.Sprintf("stage%02d_replica00.ckpt", s))
+		if _, err := os.Stat(path); err != nil {
+			t.Fatalf("stage %d checkpoint missing: %v", s, err)
+		}
+	}
+}
+
+func parseEpochLosses(t *testing.T, out string) []float64 {
+	t.Helper()
+	var losses []float64
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 4 && fields[0] == "epoch" && fields[2] == "loss" {
+			v, err := strconv.ParseFloat(fields[3], 64)
+			if err != nil {
+				t.Fatalf("bad loss line %q: %v", line, err)
+			}
+			losses = append(losses, v)
+		}
+	}
+	return losses
+}

@@ -1,0 +1,46 @@
+// Partitioning walk-through: how PipeDream's optimizer (§3.1) decides
+// between data parallelism and pipelines for different models, and how
+// topology changes the answer. Reproduces the reasoning behind Table 1's
+// configuration column using the analytic model zoo.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pipedream"
+	"pipedream/internal/cluster"
+)
+
+func main() {
+	for _, modelName := range []string{"VGG-16", "ResNet-50", "GNMT-16", "AWD-LM"} {
+		fmt.Printf("=== %s ===\n", modelName)
+		for _, topo := range []*pipedream.Topology{
+			pipedream.ClusterA(1), // one 4-GPU PCIe server
+			pipedream.ClusterA(4), // 16 GPUs over 10 Gbps Ethernet
+			pipedream.ClusterB(2), // 16 GPUs, NVLink servers, 25 Gbps
+		} {
+			prof, err := pipedream.Model(modelName, topo.Device, 64)
+			if err != nil {
+				log.Fatal(err)
+			}
+			plan, err := pipedream.Plan(prof, topo)
+			if err != nil {
+				log.Fatal(err)
+			}
+			dp := cluster.DataParallelBSP(prof, topo, topo.TotalWorkers())
+			fmt.Printf("  %-22s → %-14s predicted %.3g samples/s (DP: %.3g, overhead %.0f%%)\n",
+				topo.Name, plan.ConfigString(), plan.PredictedThroughput,
+				dp.Throughput, dp.CommStallFrac*100)
+			for i, st := range plan.Stages {
+				fmt.Printf("      stage %d: layers %2d-%2d ×%d (%.1f MB weights)\n",
+					i, st.FirstLayer, st.LastLayer, st.Replicas,
+					float64(prof.WeightRange(st.FirstLayer, st.LastLayer))/(1<<20))
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Println("takeaway: weight-heavy models (VGG, AWD-LM, GNMT) get pipelines that keep")
+	fmt.Println("their big dense layers off the replicated path; ResNet-50's compact conv")
+	fmt.Println("weights make data parallelism the right answer — exactly the paper's Table 1.")
+}

@@ -1,0 +1,72 @@
+// Quickstart: the complete PipeDream workflow in ~60 lines — profile a
+// real model, let the optimizer partition it, and train it with the
+// 1F1B-RR pipeline runtime where every worker is a goroutine.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"pipedream"
+	"pipedream/internal/data"
+	"pipedream/internal/nn"
+)
+
+func main() {
+	// A deterministic model factory: each pipeline worker builds its own
+	// identical copy and slices out its stage.
+	factory := func() *pipedream.Sequential {
+		rng := rand.New(rand.NewSource(1))
+		return nn.NewSequential(
+			nn.NewDense(rng, "fc1", 4, 32),
+			nn.NewTanh("tanh1"),
+			nn.NewDense(rng, "fc2", 32, 32),
+			nn.NewTanh("tanh2"),
+			nn.NewDense(rng, "fc3", 32, 3),
+		)
+	}
+	train, eval := data.NewBlobsPair(2, 3, 4, 16, 60, 8)
+
+	// 1. Profile: per-layer compute time, activation size, weight size.
+	prof := pipedream.ProfileModel(factory(), "quickstart-mlp", train, 8)
+	fmt.Printf("profiled %d layers, %.1f KB of weights\n",
+		prof.NumLayers(), float64(prof.TotalWeightBytes())/1024)
+
+	// 2. Plan: partition onto a 4-GPU server (paper Cluster-A).
+	plan, err := pipedream.Plan(prof, pipedream.ClusterA(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("plan: %s\n", plan)
+
+	// 3. Train with 1F1B-RR and weight stashing.
+	p, err := pipedream.NewPipeline(pipedream.PipelineOptions{
+		ModelFactory: factory,
+		Plan:         plan,
+		Loss:         pipedream.SoftmaxCrossEntropy,
+		NewOptimizer: func() pipedream.Optimizer { return pipedream.NewSGD(0.1, 0.9, 0) },
+		Mode:         pipedream.WeightStashing,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer p.Close()
+
+	for epoch := 1; epoch <= 5; epoch++ {
+		rep, err := p.Train(train, train.NumBatches())
+		if err != nil {
+			log.Fatal(err)
+		}
+		model := p.CollectModel()
+		correct, total := 0, 0
+		for i := 0; i < eval.NumBatches(); i++ {
+			b := eval.Batch(i)
+			y, _ := model.Forward(b.X, false)
+			correct += int(pipedream.Accuracy(y, b.Labels) * float64(len(b.Labels)))
+			total += len(b.Labels)
+		}
+		fmt.Printf("epoch %d: loss %.4f, accuracy %.1f%%\n",
+			epoch, rep.MeanLoss(), 100*float64(correct)/float64(total))
+	}
+}

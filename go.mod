@@ -1,0 +1,3 @@
+module pipedream
+
+go 1.24

@@ -1,0 +1,587 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pipedream/internal/partition"
+	"pipedream/internal/profile"
+	"pipedream/internal/schedule"
+	"pipedream/internal/topology"
+)
+
+// uniformProfile builds n layers with the given fwd/bwd split, activation
+// bytes, and weight bytes each.
+func uniformProfile(n int, fwd, bwd float64, act, weight int64) *profile.ModelProfile {
+	p := &profile.ModelProfile{Model: "uniform", MinibatchSize: 1, InputBytes: act}
+	for i := 0; i < n; i++ {
+		p.Layers = append(p.Layers, profile.LayerProfile{
+			Name: "l", FwdTime: fwd, BwdTime: bwd, ActivationBytes: act, WeightBytes: weight,
+		})
+	}
+	return p
+}
+
+// fastTopo has effectively infinite bandwidth so compute dominates.
+func fastTopo(n int) *topology.Topology {
+	return topology.Flat(n, 1e18, topology.V100)
+}
+
+func straightPlan(t *testing.T, prof *profile.ModelProfile, topo *topology.Topology, stages int) *partition.Plan {
+	t.Helper()
+	n := prof.NumLayers()
+	per := n / stages
+	var specs []partition.StageSpec
+	first := 0
+	for s := 0; s < stages; s++ {
+		last := first + per - 1
+		if s == stages-1 {
+			last = n - 1
+		}
+		specs = append(specs, partition.StageSpec{FirstLayer: first, LastLayer: last, Replicas: 1})
+		first = last + 1
+	}
+	plan, err := partition.Evaluate(prof, topo, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+func TestSimulateBalancedPipelineThroughput(t *testing.T) {
+	// 4 equal stages, fwd=1, bwd=2, no comm: steady state processes one
+	// minibatch per (fwd+bwd)=3 time units.
+	prof := uniformProfile(4, 1, 2, 4, 4)
+	topo := fastTopo(4)
+	plan := straightPlan(t, prof, topo, 4)
+	res, err := Simulate(Config{
+		Profile: prof, Topo: topo, Plan: plan,
+		Policy: schedule.PipeDream1F1B, Minibatches: 60, RecordTimeline: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Throughput-1.0/3.0) > 0.02 {
+		t.Fatalf("throughput = %v, want ~1/3", res.Throughput)
+	}
+}
+
+func TestSimulate1F1BInvariants(t *testing.T) {
+	prof := uniformProfile(4, 1, 2, 4, 4)
+	topo := fastTopo(4)
+	plan := straightPlan(t, prof, topo, 4)
+	res, err := Simulate(Config{
+		Profile: prof, Topo: topo, Plan: plan,
+		Policy: schedule.PipeDream1F1B, Minibatches: 40, RecordTimeline: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := schedule.Assign(plan)
+	warm := res.CompletionTimes[2*plan.NOAM]
+	cool := res.CompletionTimes[len(res.CompletionTimes)-2*plan.NOAM]
+	if err := schedule.Validate1F1B(res.Timeline, a, plan.NOAM, warm, cool); err != nil {
+		t.Fatalf("1F1B invariant violated: %v", err)
+	}
+}
+
+func TestSimulateModelParallelLowUtilization(t *testing.T) {
+	// Figure 2: model parallelism keeps ~1 of 4 workers busy.
+	prof := uniformProfile(4, 1, 2, 4, 4)
+	topo := fastTopo(4)
+	plan := straightPlan(t, prof, topo, 4)
+	res, err := Simulate(Config{
+		Profile: prof, Topo: topo, Plan: plan,
+		Policy: schedule.ModelParallelSingle, Minibatches: 30, RecordTimeline: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanUtilization > 0.3 {
+		t.Fatalf("model-parallel utilization %v, want ~0.25", res.MeanUtilization)
+	}
+	// Exactly one minibatch at a time: throughput = 1/(4*(1+2)).
+	if math.Abs(res.Throughput-1.0/12.0) > 0.01 {
+		t.Fatalf("throughput = %v, want ~1/12", res.Throughput)
+	}
+}
+
+func TestSimulatePipeDreamBeatsGPipeBeatsModelParallel(t *testing.T) {
+	// The paper's central hardware-efficiency ordering (Figures 2-4).
+	prof := uniformProfile(8, 1, 2, 4, 4)
+	topo := fastTopo(4)
+	plan := straightPlan(t, prof, topo, 4)
+	run := func(policy schedule.Policy) float64 {
+		res, err := Simulate(Config{
+			Profile: prof, Topo: topo, Plan: plan,
+			Policy: policy, Minibatches: 60,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Throughput
+	}
+	pd := run(schedule.PipeDream1F1B)
+	gp := run(schedule.GPipe)
+	mp := run(schedule.ModelParallelSingle)
+	if !(pd > gp && gp > mp) {
+		t.Fatalf("ordering violated: 1F1B %v, GPipe %v, MP %v", pd, gp, mp)
+	}
+}
+
+func TestSimulateGPipeFlushCost(t *testing.T) {
+	// GPipe with m microbatches on k stages: each round costs
+	// (m + k - 1)*fwd + (m + k - 1)*bwd versus PipeDream's m*(fwd+bwd) in
+	// steady state; utilization loss shows up as lower throughput.
+	prof := uniformProfile(4, 1, 1, 4, 4)
+	topo := fastTopo(4)
+	plan := straightPlan(t, prof, topo, 4)
+	res, err := Simulate(Config{
+		Profile: prof, Topo: topo, Plan: plan,
+		Policy: schedule.GPipe, Microbatches: 4, Minibatches: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round of 4 microbatches costs (4+3)*1 fwd + (4+3)*1 bwd = 14 for 4
+	// minibatches → throughput 4/14 ≈ 0.286.
+	want := 4.0 / 14.0
+	if math.Abs(res.Throughput-want) > 0.03 {
+		t.Fatalf("GPipe throughput = %v, want ~%v", res.Throughput, want)
+	}
+}
+
+func TestSimulateReplicatedStageRoundRobin(t *testing.T) {
+	// Figure 8: 2-1 configuration. Stage 0 is replicated; forward and
+	// backward of each minibatch must run on the same replica, with even
+	// minibatches on replica 0 and odd on replica 1.
+	prof := uniformProfile(2, 1, 1, 4, 4)
+	topo := fastTopo(3)
+	plan, err := partition.Evaluate(prof, topo, []partition.StageSpec{
+		{FirstLayer: 0, LastLayer: 0, Replicas: 2},
+		{FirstLayer: 1, LastLayer: 1, Replicas: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(Config{
+		Profile: prof, Topo: topo, Plan: plan,
+		Policy: schedule.PipeDream1F1B, Minibatches: 20, RecordTimeline: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range res.Timeline.Ops {
+		if op.Stage != 0 || op.Kind == schedule.SyncOp {
+			continue
+		}
+		if want := op.Minibatch % 2; op.Worker != want {
+			t.Fatalf("mb %d %v ran on worker %d, want %d", op.Minibatch, op.Kind, op.Worker, want)
+		}
+	}
+	a := schedule.Assign(plan)
+	if err := schedule.Validate1F1B(res.Timeline, a, plan.NOAM, res.CompletionTimes[8], res.CompletionTimes[14]); err != nil {
+		t.Fatalf("1F1B-RR invariant violated: %v", err)
+	}
+}
+
+func TestSimulateCommunicationDelaysThroughput(t *testing.T) {
+	// With a slow link, the inter-stage transfer becomes the bottleneck.
+	prof := uniformProfile(2, 0.1, 0.1, 1<<20, 4)
+	topo := topology.Flat(2, 1e6, topology.V100) // 1 MB/s: 1 MiB transfer ≈ 1.05 s
+	plan := straightPlan(t, prof, topo, 2)
+	res, err := Simulate(Config{
+		Profile: prof, Topo: topo, Plan: plan,
+		Policy: schedule.PipeDream1F1B, Minibatches: 30,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Transfers are pipelined but the link serializes one activation per
+	// direction per minibatch; throughput ≤ 1/transfer.
+	transfer := float64(1<<20) / 1e6
+	if res.Throughput > 1/transfer*1.1 {
+		t.Fatalf("throughput %v exceeds link capacity bound %v", res.Throughput, 1/transfer)
+	}
+}
+
+func TestSimulatePeakMemoryScalesWithDepth(t *testing.T) {
+	prof := uniformProfile(4, 1, 2, 1<<20, 1<<20)
+	topo := fastTopo(4)
+	plan := straightPlan(t, prof, topo, 4)
+	memAt := func(depth int) int64 {
+		res, err := Simulate(Config{
+			Profile: prof, Topo: topo, Plan: plan,
+			Policy: schedule.PipeDream1F1B, Minibatches: 40, PipelineDepth: depth,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.PeakMemory[0] // input stage stashes the most
+	}
+	m2, m4, m7 := memAt(2), memAt(4), memAt(7)
+	if !(m2 < m4 && m4 < m7) {
+		t.Fatalf("memory not increasing with depth: %d, %d, %d", m2, m4, m7)
+	}
+}
+
+func TestSimulateThroughputImprovesWithDepthUntilNOAM(t *testing.T) {
+	// Figure 18a: throughput rises with pipeline depth and saturates
+	// around NOAM.
+	prof := uniformProfile(4, 1, 2, 4, 4)
+	topo := fastTopo(4)
+	plan := straightPlan(t, prof, topo, 4) // NOAM = 4
+	tputAt := func(depth int) float64 {
+		res, err := Simulate(Config{
+			Profile: prof, Topo: topo, Plan: plan,
+			Policy: schedule.PipeDream1F1B, Minibatches: 60, PipelineDepth: depth,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Throughput
+	}
+	t2, t4, t7 := tputAt(2), tputAt(4), tputAt(7)
+	if !(t2 < t4) {
+		t.Fatalf("throughput should rise 2→4: %v vs %v", t2, t4)
+	}
+	if t7 < t4*0.99 {
+		t.Fatalf("throughput should not degrade past NOAM: %v vs %v", t4, t7)
+	}
+}
+
+func TestSimulateDeterminism(t *testing.T) {
+	prof := uniformProfile(6, 0.5, 1.0, 1024, 2048)
+	topo := topology.ClusterA(1)
+	plan := straightPlan(t, prof, topo, 3)
+	run := func() *Result {
+		res, err := Simulate(Config{
+			Profile: prof, Topo: topo, Plan: plan,
+			Policy: schedule.PipeDream1F1B, Minibatches: 25,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.TotalTime != b.TotalTime || a.Throughput != b.Throughput {
+		t.Fatalf("simulation not deterministic: %v vs %v", a.TotalTime, b.TotalTime)
+	}
+}
+
+// Property: simulated work conservation — every admitted minibatch
+// completes exactly once, and completion times are strictly positive and
+// bounded by total time.
+func TestSimulateWorkConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nLayers := 2 + rng.Intn(6)
+		prof := uniformProfile(nLayers, 0.1+rng.Float64(), 0.1+rng.Float64(),
+			int64(1+rng.Intn(1<<16)), int64(1+rng.Intn(1<<16)))
+		stages := 1 + rng.Intn(nLayers)
+		workers := stages + rng.Intn(3)
+		topo := topology.Flat(workers, 1e9, topology.V100)
+		// Give extra workers to the first stage.
+		var specs []partition.StageSpec
+		per := nLayers / stages
+		first := 0
+		for s := 0; s < stages; s++ {
+			last := first + per - 1
+			if s == stages-1 {
+				last = nLayers - 1
+			}
+			rep := 1
+			if s == 0 {
+				rep = workers - (stages - 1)
+			}
+			specs = append(specs, partition.StageSpec{FirstLayer: first, LastLayer: last, Replicas: rep})
+			first = last + 1
+		}
+		plan, err := partition.Evaluate(prof, topo, specs)
+		if err != nil {
+			t.Fatalf("evaluate: %v", err)
+		}
+		mbs := 10 + rng.Intn(30)
+		policy := []schedule.Policy{schedule.PipeDream1F1B, schedule.GPipe, schedule.ModelParallelSingle}[rng.Intn(3)]
+		res, err := Simulate(Config{
+			Profile: prof, Topo: topo, Plan: plan,
+			Policy: policy, Minibatches: mbs,
+		})
+		if err != nil {
+			t.Fatalf("simulate: %v", err)
+		}
+		for i, ct := range res.CompletionTimes {
+			if ct <= 0 || ct > res.TotalTime+1e-9 {
+				t.Logf("seed %d policy %v: completion %d at %v (total %v)", seed, policy, i, ct, res.TotalTime)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDataParallelBSPOverhead(t *testing.T) {
+	// Heavy weights on a slow link → overhead near 1; tiny weights → 0.
+	heavy := uniformProfile(2, 0.05, 0.1, 4, 256<<20)
+	light := uniformProfile(2, 0.05, 0.1, 4, 1<<10)
+	topo := topology.ClusterA(4)
+	h := DataParallelBSP(heavy, topo, 16)
+	l := DataParallelBSP(light, topo, 16)
+	if h.CommStallFrac < 0.5 {
+		t.Fatalf("heavy model overhead %v, want >0.5", h.CommStallFrac)
+	}
+	if l.CommStallFrac > 0.01 {
+		t.Fatalf("light model overhead %v, want ~0", l.CommStallFrac)
+	}
+	if DataParallelASP(heavy, topo, 16).CommStallFrac != 0 {
+		t.Fatal("ASP must have zero comm stalls")
+	}
+}
+
+func TestDPBytesPerSample(t *testing.T) {
+	prof := uniformProfile(2, 1, 1, 4, 512)
+	prof.MinibatchSize = 4
+	// 2*(3/4)*1024 bytes per minibatch of 4 samples = 384 B/sample.
+	if got := DPBytesPerSample(prof, 4); math.Abs(got-384) > 1e-9 {
+		t.Fatalf("DP bytes/sample = %v, want 384", got)
+	}
+	if got := DPBytesPerSample(prof, 1); got != 0 {
+		t.Fatalf("single-worker DP bytes = %v, want 0", got)
+	}
+}
+
+func TestPipelineBytesPerSampleStraight(t *testing.T) {
+	prof := uniformProfile(4, 1, 1, 1000, 512)
+	prof.MinibatchSize = 10
+	specs := []partition.StageSpec{
+		{FirstLayer: 0, LastLayer: 1, Replicas: 1},
+		{FirstLayer: 2, LastLayer: 3, Replicas: 1},
+	}
+	// Worst worker: stage 0 sends act (1000) and receives grad (1000) →
+	// 2000 bytes / 10 samples = 200.
+	if got := PipelineBytesPerSample(prof, specs); math.Abs(got-200) > 1e-9 {
+		t.Fatalf("pipeline bytes/sample = %v, want 200", got)
+	}
+}
+
+func TestTimelineRenderShowsPipelineFill(t *testing.T) {
+	prof := uniformProfile(4, 1, 2, 4, 4)
+	topo := fastTopo(4)
+	plan := straightPlan(t, prof, topo, 4)
+	res, err := Simulate(Config{
+		Profile: prof, Topo: topo, Plan: plan,
+		Policy: schedule.PipeDream1F1B, Minibatches: 8, RecordTimeline: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Timeline.Render(1)
+	if len(out) == 0 {
+		t.Fatal("empty render")
+	}
+}
+
+func TestSimulateRecomputeTradesMemoryForCompute(t *testing.T) {
+	prof := uniformProfile(4, 1, 2, 1<<20, 1<<10)
+	topo := fastTopo(4)
+	plan := straightPlan(t, prof, topo, 4)
+	run := func(recompute bool) *Result {
+		res, err := Simulate(Config{
+			Profile: prof, Topo: topo, Plan: plan,
+			Policy: schedule.PipeDream1F1B, Minibatches: 60, Recompute: recompute,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	plain, recomp := run(false), run(true)
+	if recomp.Throughput >= plain.Throughput {
+		t.Fatalf("recompute should cost throughput: %v vs %v", recomp.Throughput, plain.Throughput)
+	}
+	if recomp.PeakMemory[0] >= plain.PeakMemory[0] {
+		t.Fatalf("recompute should save memory: %d vs %d", recomp.PeakMemory[0], plain.PeakMemory[0])
+	}
+	// Backward now includes a forward re-run: steady state is fwd+bwd+fwd
+	// = 4 units per minibatch instead of 3.
+	if math.Abs(recomp.Throughput-0.25) > 0.02 {
+		t.Fatalf("recompute throughput %v, want ~1/4", recomp.Throughput)
+	}
+}
+
+func TestStaticScheduleStraightPipeline(t *testing.T) {
+	// A balanced straight pipeline's steady-state static schedule is the
+	// literal 1F1B cycle: one forward, one backward, advancing one
+	// minibatch per cycle.
+	prof := uniformProfile(4, 1, 2, 4, 4)
+	topo := fastTopo(4)
+	plan := straightPlan(t, prof, topo, 4)
+	cycles, err := StaticSchedule(prof, topo, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cycles) != 4 {
+		t.Fatalf("got %d worker cycles, want 4", len(cycles))
+	}
+	for w, c := range cycles {
+		if len(c) != 2 {
+			t.Fatalf("worker %d cycle length %d, want 2 (1F1B)", w, len(c))
+		}
+		kinds := map[schedule.OpKind]bool{}
+		for _, op := range c {
+			kinds[op.Kind] = true
+		}
+		if !kinds[schedule.Forward] || !kinds[schedule.Backward] {
+			t.Fatalf("worker %d cycle %+v is not one-forward-one-backward", w, c)
+		}
+	}
+}
+
+func TestStaticScheduleReplicatedStage(t *testing.T) {
+	// With a 2-1 configuration, each stage-0 replica's cycle advances by
+	// 2 minibatches (round-robin), the unreplicated stage by 1.
+	prof := uniformProfile(2, 1, 1, 4, 4)
+	topo := fastTopo(3)
+	plan, err := partition.Evaluate(prof, topo, []partition.StageSpec{
+		{FirstLayer: 0, LastLayer: 0, Replicas: 2},
+		{FirstLayer: 1, LastLayer: 1, Replicas: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycles, err := StaticSchedule(prof, topo, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replica cycles contain one F and one B.
+	for w := 0; w < 2; w++ {
+		if len(cycles[w]) != 2 {
+			t.Fatalf("replica %d cycle %+v, want 1F1B", w, cycles[w])
+		}
+	}
+	if len(cycles[2]) != 2 {
+		t.Fatalf("stage-1 cycle %+v, want 1F1B", cycles[2])
+	}
+}
+
+func TestWaitFreeSyncOverlapsCompute(t *testing.T) {
+	// A single replicated stage (DP plan) with sync < compute: wait-free
+	// backprop hides the sync entirely, while blocking sync serializes it.
+	prof := uniformProfile(2, 1, 2, 4, 1<<20)
+	topo := topology.Flat(2, 4e6, topology.V100) // sync = 2*(1/2)*2MiB/4MB/s ≈ 0.52s < bwd 4
+	plan, err := partition.Evaluate(prof, topo, []partition.StageSpec{
+		{FirstLayer: 0, LastLayer: 1, Replicas: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(blocking bool) float64 {
+		res, err := Simulate(Config{
+			Profile: prof, Topo: topo, Plan: plan,
+			Policy: schedule.PipeDream1F1B, Minibatches: 40, BlockingSync: blocking,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Throughput
+	}
+	overlapped, blocking := run(false), run(true)
+	if overlapped <= blocking {
+		t.Fatalf("wait-free sync (%v) should beat blocking sync (%v)", overlapped, blocking)
+	}
+	// With sync hidden, each replica sustains one minibatch per
+	// fwd+bwd = 6 units → stage throughput 2/6.
+	if math.Abs(overlapped-1.0/3.0) > 0.02 {
+		t.Fatalf("overlapped throughput %v, want ~1/3", overlapped)
+	}
+}
+
+func TestWaitFreeSyncBoundsWhenSyncDominates(t *testing.T) {
+	// Sync ≫ compute: the NIC serializes backwards, so the replica period
+	// approaches the sync time even with overlap.
+	prof := uniformProfile(2, 0.1, 0.2, 4, 1<<20)
+	topo := topology.Flat(2, 1e6, topology.V100) // sync ≈ 2.1s ≫ compute 0.9
+	plan, err := partition.Evaluate(prof, topo, []partition.StageSpec{
+		{FirstLayer: 0, LastLayer: 1, Replicas: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(Config{
+		Profile: prof, Topo: topo, Plan: plan,
+		Policy: schedule.PipeDream1F1B, Minibatches: 40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sync := topo.AllReduceTime(2<<20, 2)
+	// Period per replica ≥ sync (NIC serialization): throughput ≤ 2/sync.
+	if res.Throughput > 2/sync*1.05 {
+		t.Fatalf("throughput %v exceeds NIC-bound %v", res.Throughput, 2/sync)
+	}
+}
+
+func TestStragglerSlowsPipelineByItsStage(t *testing.T) {
+	// A straight pipeline's throughput is its slowest stage: slowing one
+	// worker 2x halves steady-state throughput; 1F1B cannot route around
+	// a straggler.
+	prof := uniformProfile(4, 1, 2, 4, 4)
+	topo := fastTopo(4)
+	plan := straightPlan(t, prof, topo, 4)
+	base, err := Simulate(Config{
+		Profile: prof, Topo: topo, Plan: plan,
+		Policy: schedule.PipeDream1F1B, Minibatches: 60,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := Simulate(Config{
+		Profile: prof, Topo: topo, Plan: plan,
+		Policy: schedule.PipeDream1F1B, Minibatches: 60,
+		WorkerSpeed: []float64{1, 1, 2, 1}, // worker 2 is a 2x straggler
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := base.Throughput / slow.Throughput
+	if math.Abs(ratio-2) > 0.1 {
+		t.Fatalf("straggler slowdown %.2f, want ~2 (bottleneck-stage bound)", ratio)
+	}
+}
+
+func TestStragglerDominatesStaticRoundRobin(t *testing.T) {
+	// 1F1B-RR's round-robin assignment is STATIC (that is what makes it
+	// coordination-free): a 2x straggler replica still receives 1/R of
+	// the minibatches, so epoch time is set by the slow replica — static
+	// load balancing does not rebalance around stragglers.
+	prof := uniformProfile(2, 1, 1, 4, 4)
+	topo := fastTopo(3)
+	plan, err := partition.Evaluate(prof, topo, []partition.StageSpec{
+		{FirstLayer: 0, LastLayer: 1, Replicas: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(speed []float64) float64 {
+		res, err := Simulate(Config{
+			Profile: prof, Topo: topo, Plan: plan,
+			Policy: schedule.PipeDream1F1B, Minibatches: 90,
+			WorkerSpeed: speed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.TotalTime
+	}
+	base := run(nil)
+	slow := run([]float64{2, 1, 1})
+	if ratio := slow / base; math.Abs(ratio-2) > 0.1 {
+		t.Fatalf("epoch-time slowdown %.2f, want ~2 (static RR is pinned to the straggler)", ratio)
+	}
+}

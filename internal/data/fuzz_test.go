@@ -1,0 +1,36 @@
+package data
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV must never panic on arbitrary input — it either parses or
+// returns an error.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("1.0,2.0,0\n3.0,4.0,1\n", 1)
+	f.Add("", 2)
+	f.Add("a,b,c\n", 1)
+	f.Add("1,2,-5\n", 3)
+	f.Add("1,0\n2,1\n3,0\n4,1\n", 2)
+	f.Add("1e300,2,0\n1,2,0\n", 1)
+	f.Fuzz(func(t *testing.T, src string, batch int) {
+		ds, err := ReadCSV(strings.NewReader(src), "fuzz", batch)
+		if err != nil {
+			return
+		}
+		// Parsed datasets must be structurally sound.
+		if ds.NumBatches() < 1 {
+			t.Fatal("parsed dataset with zero batches")
+		}
+		b := ds.Batch(0)
+		if b.X.Dim(0) != len(b.Labels) {
+			t.Fatalf("batch rows %d != labels %d", b.X.Dim(0), len(b.Labels))
+		}
+		for _, l := range b.Labels {
+			if l < 0 || l >= ds.Classes() {
+				t.Fatalf("label %d outside [0,%d)", l, ds.Classes())
+			}
+		}
+	})
+}

@@ -1,0 +1,409 @@
+// Package modelzoo constructs analytic per-layer profiles for the seven
+// DNNs in the paper's evaluation (VGG-16, ResNet-50, AlexNet, GNMT-8,
+// GNMT-16, AWD LM, S2VT) plus the MLPerf models of Table 3. Profiles are
+// derived from each architecture's published layer dimensions: FLOPs are
+// counted per layer and converted to compute time with a device's
+// sustained FLOP rate, activations and weights are counted in bytes.
+// These are exactly the (Tl, al, wl) triples PipeDream's profiler would
+// measure on a real GPU, so the optimizer, simulator, and every
+// communication/memory experiment run unmodified on top of them.
+package modelzoo
+
+import (
+	"fmt"
+
+	"pipedream/internal/profile"
+	"pipedream/internal/topology"
+)
+
+// bwdFactor is the backward/forward compute ratio; the paper's figures use
+// backward ≈ 2× forward, which matches practice.
+const bwdFactor = 2.0
+
+// builder accumulates layers, tracking FLOPs→seconds conversion.
+type builder struct {
+	batch int
+	flops float64 // device sustained FLOP/s
+	prof  *profile.ModelProfile
+}
+
+func newBuilder(model string, dev topology.Device, batch int) *builder {
+	return &builder{
+		batch: batch,
+		flops: dev.EffectiveFLOPS,
+		prof:  &profile.ModelProfile{Model: model, MinibatchSize: batch},
+	}
+}
+
+// add appends one layer given forward FLOPs per sample, output elements
+// per sample, and weight element count.
+func (b *builder) add(name string, fwdFLOPsPerSample, outElemsPerSample, weightElems float64) {
+	fwd := fwdFLOPsPerSample * float64(b.batch) / b.flops
+	b.prof.Layers = append(b.prof.Layers, profile.LayerProfile{
+		Name:            name,
+		FwdTime:         fwd,
+		BwdTime:         fwd * bwdFactor,
+		ActivationBytes: int64(outElemsPerSample * float64(b.batch) * 4),
+		WeightBytes:     int64(weightElems * 4),
+	})
+}
+
+// conv adds a convolution (+fused activation) layer and returns the output
+// spatial dims.
+func (b *builder) conv(name string, inC, inH, inW, outC, k, stride, pad int) (int, int, int) {
+	outH := (inH+2*pad-k)/stride + 1
+	outW := (inW+2*pad-k)/stride + 1
+	flops := 2 * float64(k*k*inC) * float64(outC) * float64(outH*outW)
+	weights := float64(k*k*inC*outC + outC)
+	b.add(name, flops, float64(outC*outH*outW), weights)
+	return outC, outH, outW
+}
+
+// pool adds a pooling layer (no weights, negligible FLOPs relative to conv).
+func (b *builder) pool(name string, c, h, w, k, stride int) (int, int, int) {
+	outH := (h-k)/stride + 1
+	outW := (w-k)/stride + 1
+	flops := float64(c * outH * outW * k * k)
+	b.add(name, flops, float64(c*outH*outW), 0)
+	return c, outH, outW
+}
+
+// fc adds a fully connected layer.
+func (b *builder) fc(name string, in, out int) {
+	b.add(name, 2*float64(in)*float64(out), float64(out), float64(in*out+out))
+}
+
+// lstm adds one LSTM layer over a length-T sequence (cuDNN-style fused
+// LSTMs reach GEMM-class efficiency at these hidden sizes).
+func (b *builder) lstm(name string, T, in, hidden int) {
+	flops := 2 * float64(T) * (float64(in)*4*float64(hidden) + float64(hidden)*4*float64(hidden))
+	weights := float64(in)*4*float64(hidden) + float64(hidden)*4*float64(hidden) + 4*float64(hidden)
+	b.add(name, flops, float64(T*hidden), weights)
+}
+
+// seqFC adds a fully connected layer applied at every of T time steps
+// (e.g. a vocabulary softmax decoder).
+func (b *builder) seqFC(name string, T, in, out int) {
+	b.add(name, 2*float64(T)*float64(in)*float64(out), float64(T*out), float64(in*out+out))
+}
+
+// embedding adds a token-embedding layer over a length-T sequence.
+func (b *builder) embedding(name string, vocab, dim, T int) {
+	b.add(name, float64(T*dim), float64(T*dim), float64(vocab*dim))
+}
+
+// attention adds a global-attention layer over length-T sequences.
+func (b *builder) attention(name string, T, hidden int) {
+	flops := 4 * float64(T) * float64(T) * float64(hidden)
+	weights := 2 * float64(hidden) * float64(hidden)
+	b.add(name, flops, float64(T*hidden), weights)
+}
+
+func (b *builder) done() *profile.ModelProfile {
+	if err := b.prof.Validate(); err != nil {
+		panic(fmt.Sprintf("modelzoo: internal profile invalid: %v", err))
+	}
+	return b.prof
+}
+
+// VGG16 returns the profile for VGG-16 on 224×224×3 inputs (Simonyan &
+// Zisserman): 13 convolutions and 3 enormous fully connected layers, which
+// is why its weights (~528 MB) dwarf its activations and data parallelism
+// struggles.
+func VGG16(dev topology.Device, batch int) *profile.ModelProfile {
+	b := newBuilder("VGG-16", dev, batch)
+	b.prof.InputBytes = int64(batch * 3 * 224 * 224 * 4)
+	c, h, w := 3, 224, 224
+	block := func(reps, out int, idx *int) {
+		for r := 0; r < reps; r++ {
+			*idx++
+			c, h, w = b.conv(fmt.Sprintf("conv%d", *idx), c, h, w, out, 3, 1, 1)
+		}
+		c, h, w = b.pool(fmt.Sprintf("pool%d", *idx), c, h, w, 2, 2)
+	}
+	idx := 0
+	block(2, 64, &idx)
+	block(2, 128, &idx)
+	block(3, 256, &idx)
+	block(3, 512, &idx)
+	block(3, 512, &idx)
+	b.fc("fc6", c*h*w, 4096)
+	b.fc("fc7", 4096, 4096)
+	b.fc("fc8", 4096, 1000)
+	return b.done()
+}
+
+// ResNet50 returns the profile for ResNet-50 on 224×224×3 inputs (He et
+// al.). Each bottleneck block is one profile layer. ResNet-50's compact
+// conv weights with large activations are why PipeDream's optimizer picks
+// plain data parallelism for it.
+func ResNet50(dev topology.Device, batch int) *profile.ModelProfile {
+	b := newBuilder("ResNet-50", dev, batch)
+	b.prof.InputBytes = int64(batch * 3 * 224 * 224 * 4)
+	c, h, w := b.conv("conv1", 3, 224, 224, 64, 7, 2, 3)
+	c, h, w = b.pool("pool1", c, h, w, 2, 2) // 56x56 (close enough to 3x3/s2)
+	stage := func(name string, blocks, mid, out, stride int) {
+		for i := 0; i < blocks; i++ {
+			s := 1
+			if i == 0 {
+				s = stride
+			}
+			// Bottleneck: 1x1 reduce, 3x3, 1x1 expand (+projection on
+			// the first block). Fold into one profile layer.
+			inC := c
+			oh := (h-1)/s + 1
+			ow := (w-1)/s + 1
+			flops := 2 * (float64(inC*mid) + float64(9*mid*mid) + float64(mid*out)) * float64(oh*ow)
+			weights := float64(inC*mid + 9*mid*mid + mid*out)
+			if i == 0 {
+				flops += 2 * float64(inC*out) * float64(oh*ow)
+				weights += float64(inC * out)
+			}
+			b.add(fmt.Sprintf("%s_block%d", name, i+1), flops, float64(out*oh*ow), weights)
+			c, h, w = out, oh, ow
+		}
+	}
+	stage("res2", 3, 64, 256, 1)
+	stage("res3", 4, 128, 512, 2)
+	stage("res4", 6, 256, 1024, 2)
+	stage("res5", 3, 512, 2048, 2)
+	b.add("avgpool", float64(c*h*w), float64(c), 0)
+	b.fc("fc", 2048, 1000)
+	return b.done()
+}
+
+// AlexNet returns the profile for AlexNet on 224×224×3 inputs (Krizhevsky
+// et al.): five convolutions and three dense layers holding ~90% of the
+// 61M parameters.
+func AlexNet(dev topology.Device, batch int) *profile.ModelProfile {
+	b := newBuilder("AlexNet", dev, batch)
+	b.prof.InputBytes = int64(batch * 3 * 224 * 224 * 4)
+	// Channel widths follow the torchvision AlexNet (64-192-384-256-256),
+	// the variant PyTorch-era evaluations train.
+	c, h, w := b.conv("conv1", 3, 224, 224, 64, 11, 4, 2)
+	c, h, w = b.pool("pool1", c, h, w, 3, 2)
+	c, h, w = b.conv("conv2", c, h, w, 192, 5, 1, 2)
+	c, h, w = b.pool("pool2", c, h, w, 3, 2)
+	c, h, w = b.conv("conv3", c, h, w, 384, 3, 1, 1)
+	c, h, w = b.conv("conv4", c, h, w, 256, 3, 1, 1)
+	c, h, w = b.conv("conv5", c, h, w, 256, 3, 1, 1)
+	c, h, w = b.pool("pool5", c, h, w, 3, 2)
+	b.fc("fc6", c*h*w, 4096)
+	b.fc("fc7", 4096, 4096)
+	b.fc("fc8", 4096, 1000)
+	return b.done()
+}
+
+// gnmt builds a GNMT translation model (Wu et al.) with the given number
+// of LSTM layers split between encoder and decoder, 1024 hidden units,
+// 32k vocabulary, and sequence length 50.
+func gnmt(name string, dev topology.Device, batch, lstmLayers int) *profile.ModelProfile {
+	const (
+		vocab  = 32000
+		hidden = 1024
+		T      = 50
+	)
+	b := newBuilder(name, dev, batch)
+	b.prof.InputBytes = int64(batch * T * 4)
+	enc := lstmLayers / 2
+	dec := lstmLayers - enc
+	b.embedding("enc_embed", vocab, hidden, T)
+	for i := 0; i < enc; i++ {
+		b.lstm(fmt.Sprintf("enc_lstm%d", i+1), T, hidden, hidden)
+	}
+	b.attention("attention", T, hidden)
+	b.embedding("dec_embed", vocab, hidden, T)
+	for i := 0; i < dec; i++ {
+		b.lstm(fmt.Sprintf("dec_lstm%d", i+1), T, hidden, hidden)
+	}
+	b.seqFC("softmax", T, hidden, vocab)
+	return b.done()
+}
+
+// GNMT8 returns the profile for GNMT with 8 LSTM layers.
+func GNMT8(dev topology.Device, batch int) *profile.ModelProfile {
+	return gnmt("GNMT-8", dev, batch, 8)
+}
+
+// GNMT16 returns the profile for GNMT with 16 LSTM layers.
+func GNMT16(dev topology.Device, batch int) *profile.ModelProfile {
+	return gnmt("GNMT-16", dev, batch, 16)
+}
+
+// AWDLM returns the profile for the AWD language model (Merity et al.) as
+// evaluated in the paper: six LSTM layers with dense recurrent weights
+// (~0.41 GB of parameters) over Penn Treebank, sequence length 70.
+func AWDLM(dev topology.Device, batch int) *profile.ModelProfile {
+	const (
+		vocab  = 10000
+		embDim = 400
+		hidden = 1350
+		T      = 70
+	)
+	b := newBuilder("AWD-LM", dev, batch)
+	b.prof.InputBytes = int64(batch * T * 4)
+	b.embedding("embed", vocab, embDim, T)
+	b.lstm("lstm1", T, embDim, hidden)
+	for i := 2; i <= 6; i++ {
+		b.lstm(fmt.Sprintf("lstm%d", i), T, hidden, hidden)
+	}
+	b.seqFC("decoder", T, hidden, vocab)
+	return b.done()
+}
+
+// S2VT returns the profile for the S2VT video-captioning model
+// (Venugopalan et al.): frame-feature encoder plus a two-layer LSTM stack
+// and a vocabulary softmax, sequence length 80 frames.
+func S2VT(dev topology.Device, batch int) *profile.ModelProfile {
+	const (
+		featDim = 4096
+		hidden  = 1000
+		vocab   = 13000
+		T       = 80
+	)
+	b := newBuilder("S2VT", dev, batch)
+	b.prof.InputBytes = int64(batch * T * featDim * 4)
+	b.add("frame_fc", 2*float64(featDim)*float64(hidden)*float64(T), float64(T*hidden),
+		float64(featDim*hidden+hidden))
+	b.lstm("lstm1", T, hidden, hidden)
+	b.lstm("lstm2", T, 2*hidden, hidden)
+	b.seqFC("softmax", T, hidden, vocab)
+	return b.done()
+}
+
+// SSD returns an SSD-like detection profile (Table 3): a VGG backbone with
+// detection heads, ~36M parameters, 300×300 inputs.
+func SSD(dev topology.Device, batch int) *profile.ModelProfile {
+	b := newBuilder("SSD", dev, batch)
+	b.prof.InputBytes = int64(batch * 3 * 300 * 300 * 4)
+	c, h, w := 3, 300, 300
+	idx := 0
+	block := func(reps, out int) {
+		for r := 0; r < reps; r++ {
+			idx++
+			c, h, w = b.conv(fmt.Sprintf("conv%d", idx), c, h, w, out, 3, 1, 1)
+		}
+		c, h, w = b.pool(fmt.Sprintf("pool%d", idx), c, h, w, 2, 2)
+	}
+	block(2, 64)
+	block(2, 128)
+	block(3, 256)
+	block(3, 512)
+	block(3, 512)
+	c, h, w = b.conv("conv6", c, h, w, 1024, 3, 1, 1)
+	c, h, w = b.conv("conv7", c, h, w, 1024, 1, 1, 0)
+	b.add("det_heads", 2*float64(c)*float64(h*w)*float64(4*(4+81)), float64(8732*(4+81)),
+		float64(c*9*4*(4+81)))
+	return b.done()
+}
+
+// MaskRCNN returns a Mask R-CNN-like profile (Table 3): ResNet-50 backbone
+// with FPN/RPN/ROI heads, ~44M parameters, 800×800 inputs.
+func MaskRCNN(dev topology.Device, batch int) *profile.ModelProfile {
+	base := ResNet50(dev, batch)
+	b := newBuilder("Mask-R-CNN", dev, batch)
+	b.prof.InputBytes = int64(batch * 3 * 800 * 800 * 4)
+	// Backbone at 800x800 is (800/224)^2 ≈ 12.8× the ResNet-50 FLOPs.
+	scale := (800.0 * 800.0) / (224.0 * 224.0)
+	for _, l := range base.Layers {
+		b.prof.Layers = append(b.prof.Layers, profile.LayerProfile{
+			Name:            "bb_" + l.Name,
+			FwdTime:         l.FwdTime * scale,
+			BwdTime:         l.BwdTime * scale,
+			ActivationBytes: int64(float64(l.ActivationBytes) * scale),
+			WeightBytes:     l.WeightBytes,
+		})
+	}
+	b.add("fpn", 2*256*256*9*200*200, 256*200*200, 4*256*256*9)
+	b.add("rpn", 2*256*256*9*200*200, 1000*5, 256*256*9)
+	b.add("roi_heads", 2*1024*1024*2*1000, 1000*1024, 2*1024*1024+1024*81*5)
+	b.add("mask_head", 2*256*256*9*4*14*14*100, 100*81*28*28, 4*256*256*9)
+	return b.done()
+}
+
+// ByName returns the profile constructor for a model name, or an error.
+func ByName(name string, dev topology.Device, batch int) (*profile.ModelProfile, error) {
+	switch name {
+	case "vgg16", "VGG-16":
+		return VGG16(dev, batch), nil
+	case "resnet50", "ResNet-50":
+		return ResNet50(dev, batch), nil
+	case "alexnet", "AlexNet":
+		return AlexNet(dev, batch), nil
+	case "gnmt8", "GNMT-8":
+		return GNMT8(dev, batch), nil
+	case "gnmt16", "GNMT-16":
+		return GNMT16(dev, batch), nil
+	case "awdlm", "AWD-LM":
+		return AWDLM(dev, batch), nil
+	case "s2vt", "S2VT":
+		return S2VT(dev, batch), nil
+	case "ssd", "SSD":
+		return SSD(dev, batch), nil
+	case "maskrcnn", "Mask-R-CNN":
+		return MaskRCNN(dev, batch), nil
+	case "bertlarge", "BERT-Large":
+		return BERTLarge(dev, batch), nil
+	}
+	return nil, fmt.Errorf("modelzoo: unknown model %q", name)
+}
+
+// Names lists the models available from ByName.
+func Names() []string {
+	return []string{"VGG-16", "ResNet-50", "AlexNet", "GNMT-8", "GNMT-16", "AWD-LM", "S2VT", "SSD", "Mask-R-CNN", "BERT-Large"}
+}
+
+// PaperBatchSize returns the per-GPU minibatch size §5.1 uses for each
+// model.
+func PaperBatchSize(model string) int {
+	switch model {
+	case "VGG-16":
+		return 64
+	case "ResNet-50":
+		return 128
+	case "AlexNet":
+		return 256
+	case "GNMT-8", "GNMT-16":
+		return 64
+	case "AWD-LM", "S2VT":
+		return 80
+	case "SSD":
+		return 16 // detection models train with small per-GPU batches
+	case "Mask-R-CNN":
+		return 2
+	case "BERT-Large":
+		return 16
+	default:
+		return 64
+	}
+}
+
+// Transformer returns an analytic profile for a BERT-style transformer
+// encoder — the model family for which 1F1B pipeline parallelism later
+// became the standard training strategy (Megatron-LM, DeepSpeed). Each
+// encoder block (self-attention + FFN) is one profile layer. Defaults
+// follow BERT-Large: 24 layers, hidden 1024, sequence length 128, 30k
+// vocabulary (~340M parameters).
+func Transformer(dev topology.Device, batch, layers, hidden, seqLen int) *profile.ModelProfile {
+	const vocab = 30000
+	b := newBuilder(fmt.Sprintf("Transformer-%dL", layers), dev, batch)
+	b.prof.InputBytes = int64(batch * seqLen * 4)
+	b.embedding("embed", vocab, hidden, seqLen)
+	h := float64(hidden)
+	T := float64(seqLen)
+	for i := 1; i <= layers; i++ {
+		// Self-attention: QKV + output projections (4·H² MACs per token)
+		// plus score/context matmuls (2·T·H per token), then a 4H FFN
+		// (8·H² MACs per token). LayerNorms and biases are negligible.
+		flops := 2*T*(4*h*h) + 2*2*T*T*h + 2*T*(8*h*h)
+		weights := 4*h*h + 8*h*h + 4*h // attn + FFN + norms
+		b.add(fmt.Sprintf("block%d", i), flops, T*h, weights)
+	}
+	b.seqFC("mlm_head", seqLen, hidden, vocab)
+	return b.done()
+}
+
+// BERTLarge returns the BERT-Large transformer profile.
+func BERTLarge(dev topology.Device, batch int) *profile.ModelProfile {
+	return Transformer(dev, batch, 24, 1024, 128)
+}

@@ -1,0 +1,197 @@
+package modelzoo
+
+import (
+	"testing"
+
+	"pipedream/internal/partition"
+	"pipedream/internal/topology"
+)
+
+func TestAllProfilesValid(t *testing.T) {
+	for _, name := range Names() {
+		prof, err := ByName(name, topology.V100, PaperBatchSize(name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := prof.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if prof.TotalTime() <= 0 {
+			t.Fatalf("%s: zero compute time", name)
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("nope", topology.V100, 1); err == nil {
+		t.Fatal("unknown model must fail")
+	}
+}
+
+// Published parameter counts (±20%): VGG-16 ≈ 138M, ResNet-50 ≈ 25.5M,
+// AlexNet ≈ 61M. These drive every communication result, so the analytic
+// profiles must get them right.
+func TestParameterCounts(t *testing.T) {
+	cases := []struct {
+		name   string
+		params float64 // millions
+	}{
+		{"VGG-16", 138},
+		{"ResNet-50", 25.5},
+		{"AlexNet", 61},
+	}
+	for _, c := range cases {
+		prof, err := ByName(c.name, topology.V100, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := float64(prof.TotalWeightBytes()) / 4 / 1e6
+		if got < c.params*0.8 || got > c.params*1.2 {
+			t.Fatalf("%s: %.1fM params, want ≈%.1fM", c.name, got, c.params)
+		}
+	}
+}
+
+// Published MAC counts per image, doubled to FLOPs (±35%): VGG-16 ≈ 15.5
+// GMACs → 31 GFLOPs forward, ResNet-50 ≈ 4.1 → 8.2, AlexNet ≈ 0.72 → 1.44.
+func TestFLOPCounts(t *testing.T) {
+	cases := []struct {
+		name   string
+		gflops float64
+	}{
+		{"VGG-16", 31},
+		{"ResNet-50", 8.2},
+		{"AlexNet", 1.44},
+	}
+	for _, c := range cases {
+		prof, err := ByName(c.name, topology.V100, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var fwd float64
+		for _, l := range prof.Layers {
+			fwd += l.FwdTime
+		}
+		got := fwd * topology.V100.EffectiveFLOPS / 1e9
+		if got < c.gflops*0.65 || got > c.gflops*1.35 {
+			t.Fatalf("%s: %.2f GFLOPs fwd, want ≈%.2f", c.name, got, c.gflops)
+		}
+	}
+}
+
+// The structural property that drives the paper's headline results: VGG,
+// AlexNet, and the LSTM models are weight-heavy (weights ≫ boundary
+// activations at conv/FC split points), while ResNet-50's weights are
+// compact relative to its activations.
+func TestWeightVsActivationShape(t *testing.T) {
+	ratio := func(name string) float64 {
+		prof, err := ByName(name, topology.V100, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Compare total weights against the smallest boundary activation
+		// in the middle half of the model (where a pipeline would cut).
+		minAct := int64(1) << 62
+		n := prof.NumLayers()
+		for i := n / 4; i < 3*n/4; i++ {
+			if a := prof.ActivationBytes(i); a < minAct {
+				minAct = a
+			}
+		}
+		return float64(prof.TotalWeightBytes()) / float64(minAct)
+	}
+	vgg, resnet := ratio("VGG-16"), ratio("ResNet-50")
+	if vgg < 10*resnet {
+		t.Fatalf("VGG weight/activation ratio (%.1f) should dwarf ResNet-50's (%.1f)", vgg, resnet)
+	}
+}
+
+func TestAWDLMSize(t *testing.T) {
+	// §5.2: the language model has ~0.41 GB of parameters.
+	prof, err := ByName("AWD-LM", topology.V100, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb := float64(prof.TotalWeightBytes()) / (1 << 30)
+	if gb < 0.25 || gb > 0.6 {
+		t.Fatalf("AWD-LM params = %.2f GB, want ≈0.41", gb)
+	}
+}
+
+func TestGNMTLayerCounts(t *testing.T) {
+	g8, _ := ByName("GNMT-8", topology.V100, 64)
+	g16, _ := ByName("GNMT-16", topology.V100, 64)
+	if g16.NumLayers() <= g8.NumLayers() {
+		t.Fatalf("GNMT-16 (%d layers) should exceed GNMT-8 (%d)", g16.NumLayers(), g8.NumLayers())
+	}
+	if g16.TotalTime() <= g8.TotalTime() {
+		t.Fatal("GNMT-16 should cost more compute than GNMT-8")
+	}
+}
+
+func TestProfilesScaleWithBatch(t *testing.T) {
+	small := VGG16(topology.V100, 16)
+	large := VGG16(topology.V100, 64)
+	if large.TotalTime() <= small.TotalTime()*3.5 {
+		t.Fatal("compute time should scale ~linearly with batch")
+	}
+	if large.TotalWeightBytes() != small.TotalWeightBytes() {
+		t.Fatal("weights must not scale with batch")
+	}
+	if large.ActivationBytes(0) != 4*small.ActivationBytes(0) {
+		t.Fatal("activations must scale linearly with batch")
+	}
+}
+
+func TestFasterDeviceShrinksCompute(t *testing.T) {
+	fast := VGG16(topology.V100, 64)
+	slow := VGG16(topology.TitanX, 64)
+	if fast.TotalTime() >= slow.TotalTime() {
+		t.Fatal("V100 profile should be faster than TitanX")
+	}
+}
+
+func TestBackwardIsTwiceForward(t *testing.T) {
+	prof := GNMT8(topology.V100, 64)
+	for i, l := range prof.Layers {
+		if l.FwdTime == 0 {
+			continue
+		}
+		if r := l.BwdTime / l.FwdTime; r < 1.99 || r > 2.01 {
+			t.Fatalf("layer %d bwd/fwd = %v, want 2", i, r)
+		}
+	}
+}
+
+func TestTransformerProfile(t *testing.T) {
+	prof := BERTLarge(topology.V100, 16)
+	if err := prof.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// BERT-Large has ~340M parameters (±20%), 26 profile layers
+	// (embedding + 24 blocks + MLM head).
+	params := float64(prof.TotalWeightBytes()) / 4 / 1e6
+	if params < 340*0.8 || params > 340*1.2 {
+		t.Fatalf("BERT-Large params %.0fM, want ~340M", params)
+	}
+	if prof.NumLayers() != 26 {
+		t.Fatalf("layers = %d, want 26", prof.NumLayers())
+	}
+	// Deep uniform blocks: the optimizer should find a pipeline on a
+	// multi-server cluster (transformers are what 1F1B ended up serving).
+	topo := topology.ClusterA(4)
+	plan, err := partition.Optimize(prof, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.IsDataParallel() {
+		t.Fatal("BERT-Large on 10 Gbps Ethernet should not be data parallel")
+	}
+	dp, err := partition.DataParallel(prof, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := dp.BottleneckTime / plan.BottleneckTime; s < 1.5 {
+		t.Fatalf("transformer pipeline speedup %.2f, want ≥1.5", s)
+	}
+}

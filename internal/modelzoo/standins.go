@@ -1,0 +1,174 @@
+package modelzoo
+
+import (
+	"math/rand"
+
+	"pipedream/internal/data"
+	"pipedream/internal/nn"
+	"pipedream/internal/tensor"
+)
+
+// StandIn bundles a small trainable model with matched synthetic data —
+// the laptop-scale analogue of one of the paper's workloads, used by the
+// statistical-efficiency experiments and the examples. Factory returns
+// identical models on every call (fixed seed), as the pipeline runtime
+// requires.
+type StandIn struct {
+	Name         string
+	Factory      func() *nn.Sequential
+	Train, Eval  data.Dataset
+	NewOptimizer func() nn.Optimizer
+}
+
+// MLPStandIn is the generic classifier stand-in: a 3-layer tanh MLP on
+// the spiral task (not linearly separable, so staleness effects show).
+func MLPStandIn(seed int64) *StandIn {
+	return &StandIn{
+		Name: "mlp-spiral",
+		Factory: func() *nn.Sequential {
+			rng := rand.New(rand.NewSource(seed))
+			return nn.NewSequential(
+				nn.NewDense(rng, "fc1", 2, 24),
+				nn.NewTanh("t1"),
+				nn.NewDense(rng, "fc2", 24, 24),
+				nn.NewTanh("t2"),
+				nn.NewDense(rng, "fc3", 24, 3),
+			)
+		},
+		Train:        data.NewSpiral(seed+1, 3, 16, 40),
+		Eval:         data.NewSpiral(seed+2, 3, 32, 8),
+		NewOptimizer: func() nn.Optimizer { return nn.NewSGD(0.1, 0.9, 0) },
+	}
+}
+
+// CNNStandIn is the image-classification stand-in (VGG/AlexNet analogue):
+// conv → pool → dense on synthetic frequency-pattern images.
+func CNNStandIn(seed int64) *StandIn {
+	return &StandIn{
+		Name: "cnn-images",
+		Factory: func() *nn.Sequential {
+			rng := rand.New(rand.NewSource(seed))
+			g1 := tensor.ConvGeom{InC: 1, InH: 10, InW: 10, KH: 3, KW: 3, Stride: 1, Pad: 1}
+			g2 := tensor.ConvGeom{InC: 6, InH: 10, InW: 10, KH: 2, KW: 2, Stride: 2}
+			return nn.NewSequential(
+				nn.NewConv2D(rng, "conv1", g1, 6),
+				nn.NewReLU("relu1"),
+				nn.NewMaxPool2D("pool1", g2),
+				nn.NewFlatten("flat"),
+				nn.NewDense(rng, "fc1", 6*5*5, 24),
+				nn.NewTanh("tanh"),
+				nn.NewDense(rng, "fc2", 24, 4),
+			)
+		},
+		Train:        data.NewImages(seed+1, 4, 1, 10, 16, 30),
+		Eval:         data.NewImages(seed+2, 4, 1, 10, 32, 6),
+		NewOptimizer: func() nn.Optimizer { return nn.NewSGD(0.02, 0.9, 0) },
+	}
+}
+
+// Seq2SeqStandIn is the translation stand-in (GNMT analogue): embedding +
+// two LSTM layers + per-step decoder on the sequence-copy task.
+func Seq2SeqStandIn(seed int64) *StandIn {
+	return &StandIn{
+		Name: "lstm-seq2seq",
+		Factory: func() *nn.Sequential {
+			rng := rand.New(rand.NewSource(seed))
+			return nn.NewSequential(
+				nn.NewEmbedding(rng, "emb", 8, 12),
+				nn.NewLSTM(rng, "lstm1", 12, 24),
+				nn.NewLSTM(rng, "lstm2", 24, 24),
+				nn.NewFlattenTime("ft"),
+				nn.NewDense(rng, "dec", 24, 8),
+			)
+		},
+		Train:        data.NewSequenceCopy(seed+1, 8, 6, 16, 30),
+		Eval:         data.NewSequenceCopy(seed+2, 8, 6, 32, 6),
+		NewOptimizer: func() nn.Optimizer { return nn.NewAdam(0.01) },
+	}
+}
+
+// GRULMStandIn is the language-model stand-in (AWD-LM analogue): a GRU
+// over Markov-chain text predicting the next token.
+func GRULMStandIn(seed int64) *StandIn {
+	return &StandIn{
+		Name: "gru-lm",
+		Factory: func() *nn.Sequential {
+			rng := rand.New(rand.NewSource(seed))
+			return nn.NewSequential(
+				nn.NewEmbedding(rng, "emb", 12, 16),
+				nn.NewGRU(rng, "gru1", 16, 32),
+				nn.NewGRU(rng, "gru2", 32, 32),
+				nn.NewFlattenTime("ft"),
+				nn.NewDense(rng, "dec", 32, 12),
+			)
+		},
+		// Train and eval must share the seed: the Markov transition
+		// structure defines the task.
+		Train:        data.NewMarkovText(seed+1, 12, 8, 16, 30),
+		Eval:         data.NewMarkovText(seed+1, 12, 8, 16, 36),
+		NewOptimizer: func() nn.Optimizer { return nn.NewAdam(0.01) },
+	}
+}
+
+// ResMLPStandIn is the residual-network stand-in (ResNet analogue):
+// LayerNorm-stabilized residual blocks over the spiral task.
+func ResMLPStandIn(seed int64) *StandIn {
+	return &StandIn{
+		Name: "resmlp-spiral",
+		Factory: func() *nn.Sequential {
+			rng := rand.New(rand.NewSource(seed))
+			block := func(name string) nn.Layer {
+				return nn.NewResidual(name, nn.NewSequential(
+					nn.NewDense(rng, name+"_fc", 24, 24),
+					nn.NewTanh(name+"_t"),
+				))
+			}
+			return nn.NewSequential(
+				nn.NewDense(rng, "stem", 2, 24),
+				block("res1"),
+				nn.NewLayerNorm("ln1", 24),
+				block("res2"),
+				nn.NewLayerNorm("ln2", 24),
+				nn.NewDense(rng, "head", 24, 3),
+			)
+		},
+		Train:        data.NewSpiral(seed+1, 3, 16, 40),
+		Eval:         data.NewSpiral(seed+2, 3, 32, 8),
+		NewOptimizer: func() nn.Optimizer { return nn.NewAdam(0.01) },
+	}
+}
+
+// TransformerStandIn is the attention-model stand-in (§2.3 lists
+// attention layers among the model diversity PipeDream must handle; the
+// analytic BERT-Large profile is its large-scale counterpart): embedding +
+// self-attention + per-token decoder on the sequence-copy task.
+func TransformerStandIn(seed int64) *StandIn {
+	return &StandIn{
+		Name: "attn-copy",
+		Factory: func() *nn.Sequential {
+			rng := rand.New(rand.NewSource(seed))
+			return nn.NewSequential(
+				nn.NewEmbedding(rng, "emb", 8, 16),
+				nn.NewMultiHeadAttention(rng, "attn", 16, 2),
+				nn.NewFlattenTime("ft"),
+				nn.NewLayerNorm("ln", 16),
+				nn.NewDense(rng, "dec", 16, 8),
+			)
+		},
+		Train:        data.NewSequenceCopy(seed+1, 8, 5, 16, 30),
+		Eval:         data.NewSequenceCopy(seed+2, 8, 5, 32, 6),
+		NewOptimizer: func() nn.Optimizer { return nn.NewAdam(0.01) },
+	}
+}
+
+// StandIns returns all stand-in builders keyed by name.
+func StandIns(seed int64) []*StandIn {
+	return []*StandIn{
+		MLPStandIn(seed),
+		CNNStandIn(seed),
+		Seq2SeqStandIn(seed),
+		GRULMStandIn(seed),
+		ResMLPStandIn(seed),
+		TransformerStandIn(seed),
+	}
+}

@@ -1,0 +1,198 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"pipedream/internal/tensor"
+)
+
+// ReLU is the rectified linear activation.
+type ReLU struct{ name string }
+
+// NewReLU creates a ReLU layer.
+func NewReLU(name string) *ReLU { return &ReLU{name: name} }
+
+type reluCtx struct{ x *tensor.Tensor }
+
+// Name implements Layer.
+func (r *ReLU) Name() string { return r.name }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, Context) {
+	y := x.Clone()
+	for i, v := range y.Data {
+		if v < 0 {
+			y.Data[i] = 0
+		}
+	}
+	return y, reluCtx{x: x}
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(ctx Context, gradOut *tensor.Tensor) *tensor.Tensor {
+	c := ctx.(reluCtx)
+	g := gradOut.Clone()
+	for i, v := range c.x.Data {
+		if v <= 0 {
+			g.Data[i] = 0
+		}
+	}
+	return g
+}
+
+// Params implements Layer.
+func (r *ReLU) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer.
+func (r *ReLU) Grads() []*tensor.Tensor { return nil }
+
+// Tanh is the hyperbolic-tangent activation.
+type Tanh struct{ name string }
+
+// NewTanh creates a Tanh layer.
+func NewTanh(name string) *Tanh { return &Tanh{name: name} }
+
+type tanhCtx struct{ y *tensor.Tensor }
+
+// Name implements Layer.
+func (t *Tanh) Name() string { return t.name }
+
+// Forward implements Layer.
+func (t *Tanh) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, Context) {
+	y := x.Clone().Apply(func(v float32) float32 { return float32(math.Tanh(float64(v))) })
+	return y, tanhCtx{y: y}
+}
+
+// Backward implements Layer.
+func (t *Tanh) Backward(ctx Context, gradOut *tensor.Tensor) *tensor.Tensor {
+	c := ctx.(tanhCtx)
+	g := gradOut.Clone()
+	for i, y := range c.y.Data {
+		g.Data[i] *= 1 - y*y
+	}
+	return g
+}
+
+// Params implements Layer.
+func (t *Tanh) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer.
+func (t *Tanh) Grads() []*tensor.Tensor { return nil }
+
+// Sigmoid is the logistic activation.
+type Sigmoid struct{ name string }
+
+// NewSigmoid creates a Sigmoid layer.
+func NewSigmoid(name string) *Sigmoid { return &Sigmoid{name: name} }
+
+type sigmoidCtx struct{ y *tensor.Tensor }
+
+func sigmoid(v float32) float32 { return float32(1 / (1 + math.Exp(-float64(v)))) }
+
+// Name implements Layer.
+func (s *Sigmoid) Name() string { return s.name }
+
+// Forward implements Layer.
+func (s *Sigmoid) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, Context) {
+	y := x.Clone().Apply(sigmoid)
+	return y, sigmoidCtx{y: y}
+}
+
+// Backward implements Layer.
+func (s *Sigmoid) Backward(ctx Context, gradOut *tensor.Tensor) *tensor.Tensor {
+	c := ctx.(sigmoidCtx)
+	g := gradOut.Clone()
+	for i, y := range c.y.Data {
+		g.Data[i] *= y * (1 - y)
+	}
+	return g
+}
+
+// Params implements Layer.
+func (s *Sigmoid) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer.
+func (s *Sigmoid) Grads() []*tensor.Tensor { return nil }
+
+// Flatten reshapes [B, d1, d2, ...] to [B, d1*d2*...].
+type Flatten struct{ name string }
+
+// NewFlatten creates a Flatten layer.
+func NewFlatten(name string) *Flatten { return &Flatten{name: name} }
+
+type flattenCtx struct{ shape []int }
+
+// Name implements Layer.
+func (f *Flatten) Name() string { return f.name }
+
+// Forward implements Layer.
+func (f *Flatten) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, Context) {
+	return x.Reshape(x.Dim(0), -1), flattenCtx{shape: x.Shape}
+}
+
+// Backward implements Layer.
+func (f *Flatten) Backward(ctx Context, gradOut *tensor.Tensor) *tensor.Tensor {
+	c := ctx.(flattenCtx)
+	return gradOut.Reshape(c.shape...)
+}
+
+// Params implements Layer.
+func (f *Flatten) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer.
+func (f *Flatten) Grads() []*tensor.Tensor { return nil }
+
+// Dropout zeroes inputs with probability P during training and rescales the
+// survivors by 1/(1-P) (inverted dropout), so evaluation needs no scaling.
+type Dropout struct {
+	name string
+	P    float64
+	rng  *rand.Rand
+}
+
+// NewDropout creates a Dropout layer with drop probability p.
+func NewDropout(rng *rand.Rand, name string, p float64) *Dropout {
+	return &Dropout{name: name, P: p, rng: rng}
+}
+
+type dropoutCtx struct{ mask []float32 }
+
+// Name implements Layer.
+func (d *Dropout) Name() string { return d.name }
+
+// Forward implements Layer.
+func (d *Dropout) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, Context) {
+	if !train || d.P == 0 {
+		return x, dropoutCtx{}
+	}
+	keep := float32(1 / (1 - d.P))
+	y := x.Clone()
+	mask := make([]float32, x.Size())
+	for i := range mask {
+		if d.rng.Float64() >= d.P {
+			mask[i] = keep
+		}
+		y.Data[i] *= mask[i]
+	}
+	return y, dropoutCtx{mask: mask}
+}
+
+// Backward implements Layer.
+func (d *Dropout) Backward(ctx Context, gradOut *tensor.Tensor) *tensor.Tensor {
+	c := ctx.(dropoutCtx)
+	if c.mask == nil {
+		return gradOut
+	}
+	g := gradOut.Clone()
+	for i, m := range c.mask {
+		g.Data[i] *= m
+	}
+	return g
+}
+
+// Params implements Layer.
+func (d *Dropout) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer.
+func (d *Dropout) Grads() []*tensor.Tensor { return nil }

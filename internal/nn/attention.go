@@ -1,0 +1,309 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"pipedream/internal/tensor"
+)
+
+// SelfAttention is scaled dot-product self-attention over [B, T, H]
+// sequences: Y = softmax(QKᵀ/√H)·V·Wo with Q/K/V projections of the input
+// (single-head; §2.3's "attention layers" in trainable form). Like every
+// layer here, it keeps per-minibatch contexts, so it pipelines under
+// 1F1B with weight stashing.
+type SelfAttention struct {
+	name           string
+	Hidden         int
+	Wq, Wk, Wv, Wo *tensor.Tensor // [H, H] each
+	GWq, GWk       *tensor.Tensor
+	GWv, GWo       *tensor.Tensor
+}
+
+// NewSelfAttention creates a self-attention layer.
+func NewSelfAttention(rng *rand.Rand, name string, hidden int) *SelfAttention {
+	s := math.Sqrt(1.0 / float64(hidden))
+	return &SelfAttention{
+		name: name, Hidden: hidden,
+		Wq: tensor.Randn(rng, s, hidden, hidden), Wk: tensor.Randn(rng, s, hidden, hidden),
+		Wv: tensor.Randn(rng, s, hidden, hidden), Wo: tensor.Randn(rng, s, hidden, hidden),
+		GWq: tensor.New(hidden, hidden), GWk: tensor.New(hidden, hidden),
+		GWv: tensor.New(hidden, hidden), GWo: tensor.New(hidden, hidden),
+	}
+}
+
+type attnCtx struct {
+	x          *tensor.Tensor   // [B,T,H] input
+	q, k, v    []*tensor.Tensor // per-sample [T,H]
+	attn       []*tensor.Tensor // per-sample softmax weights [T,T]
+	ctxv       []*tensor.Tensor // per-sample attention output before Wo [T,H]
+	batch, seq int
+}
+
+// Name implements Layer.
+func (a *SelfAttention) Name() string { return a.name }
+
+// Forward implements Layer.
+func (a *SelfAttention) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, Context) {
+	if x.NumDims() != 3 || x.Dim(2) != a.Hidden {
+		panic(fmt.Sprintf("nn: %s forward input %v, want [B,T,%d]", a.name, x.Shape, a.Hidden))
+	}
+	b, T, H := x.Dim(0), x.Dim(1), a.Hidden
+	out := tensor.New(b, T, H)
+	c := attnCtx{x: x, batch: b, seq: T,
+		q: make([]*tensor.Tensor, b), k: make([]*tensor.Tensor, b),
+		v: make([]*tensor.Tensor, b), attn: make([]*tensor.Tensor, b),
+		ctxv: make([]*tensor.Tensor, b)}
+	scale := float32(1 / math.Sqrt(float64(H)))
+	for n := 0; n < b; n++ {
+		xn := tensor.FromSlice(x.Data[n*T*H:(n+1)*T*H], T, H)
+		q := tensor.MatMul(xn, a.Wq)
+		k := tensor.MatMul(xn, a.Wk)
+		v := tensor.MatMul(xn, a.Wv)
+		scores := tensor.MatMulTransB(q, k).Scale(scale) // [T,T]
+		attn := softmaxRows(scores)
+		ctxv := tensor.MatMul(attn, v) // [T,H]
+		y := tensor.MatMul(ctxv, a.Wo)
+		copy(out.Data[n*T*H:(n+1)*T*H], y.Data)
+		c.q[n], c.k[n], c.v[n], c.attn[n], c.ctxv[n] = q, k, v, attn, ctxv
+	}
+	return out, c
+}
+
+// Backward implements Layer.
+func (a *SelfAttention) Backward(ctx Context, gradOut *tensor.Tensor) *tensor.Tensor {
+	c := ctx.(attnCtx)
+	b, T, H := c.batch, c.seq, a.Hidden
+	if gradOut.Size() != b*T*H {
+		panic(fmt.Sprintf("nn: %s backward grad %v, want [%d,%d,%d]", a.name, gradOut.Shape, b, T, H))
+	}
+	gradIn := tensor.New(b, T, H)
+	scale := float32(1 / math.Sqrt(float64(H)))
+	for n := 0; n < b; n++ {
+		xn := tensor.FromSlice(c.x.Data[n*T*H:(n+1)*T*H], T, H)
+		gy := tensor.FromSlice(gradOut.Data[n*T*H:(n+1)*T*H], T, H)
+		// Y = ctxv·Wo
+		a.GWo.Add(tensor.MatMulTransA(c.ctxv[n], gy))
+		gCtx := tensor.MatMulTransB(gy, a.Wo) // [T,H]
+		// ctxv = attn·v
+		gAttn := tensor.MatMulTransB(gCtx, c.v[n]) // [T,T]
+		gV := tensor.MatMulTransA(c.attn[n], gCtx) // [T,H]
+		// attn = softmax(scores): dS = attn ⊙ (dA − rowsum(dA⊙attn))
+		gScores := tensor.New(T, T)
+		for i := 0; i < T; i++ {
+			var dot float64
+			for j := 0; j < T; j++ {
+				dot += float64(gAttn.At(i, j)) * float64(c.attn[n].At(i, j))
+			}
+			for j := 0; j < T; j++ {
+				gScores.Set(c.attn[n].At(i, j)*(gAttn.At(i, j)-float32(dot)), i, j)
+			}
+		}
+		gScores.Scale(scale)
+		// scores = q·kᵀ
+		gQ := tensor.MatMul(gScores, c.k[n])       // [T,H]
+		gK := tensor.MatMulTransA(gScores, c.q[n]) // [T,H]
+		// q = x·Wq etc.
+		a.GWq.Add(tensor.MatMulTransA(xn, gQ))
+		a.GWk.Add(tensor.MatMulTransA(xn, gK))
+		a.GWv.Add(tensor.MatMulTransA(xn, gV))
+		gx := tensor.MatMulTransB(gQ, a.Wq)
+		gx.Add(tensor.MatMulTransB(gK, a.Wk))
+		gx.Add(tensor.MatMulTransB(gV, a.Wv))
+		copy(gradIn.Data[n*T*H:(n+1)*T*H], gx.Data)
+	}
+	return gradIn
+}
+
+// Params implements Layer.
+func (a *SelfAttention) Params() []*tensor.Tensor {
+	return []*tensor.Tensor{a.Wq, a.Wk, a.Wv, a.Wo}
+}
+
+// Grads implements Layer.
+func (a *SelfAttention) Grads() []*tensor.Tensor {
+	return []*tensor.Tensor{a.GWq, a.GWk, a.GWv, a.GWo}
+}
+
+// softmaxRows applies a numerically stable softmax to each row of a 2-D
+// tensor, returning a new tensor.
+func softmaxRows(t *tensor.Tensor) *tensor.Tensor {
+	rows, cols := t.Dim(0), t.Dim(1)
+	out := tensor.New(rows, cols)
+	for i := 0; i < rows; i++ {
+		row := t.Data[i*cols : (i+1)*cols]
+		maxV := row[0]
+		for _, v := range row {
+			if v > maxV {
+				maxV = v
+			}
+		}
+		var sum float64
+		for _, v := range row {
+			sum += math.Exp(float64(v - maxV))
+		}
+		for j, v := range row {
+			out.Data[i*cols+j] = float32(math.Exp(float64(v-maxV)) / sum)
+		}
+	}
+	return out
+}
+
+// MultiHeadAttention splits the hidden dimension across independent
+// attention heads (the transformer formulation): each head runs scaled
+// dot-product attention over its H/heads-wide slice of the Q/K/V
+// projections, and the concatenated head outputs pass through Wo.
+type MultiHeadAttention struct {
+	name           string
+	Hidden, Heads  int
+	Wq, Wk, Wv, Wo *tensor.Tensor
+	GWq, GWk       *tensor.Tensor
+	GWv, GWo       *tensor.Tensor
+}
+
+// NewMultiHeadAttention creates a multi-head attention layer; hidden must
+// be divisible by heads.
+func NewMultiHeadAttention(rng *rand.Rand, name string, hidden, heads int) *MultiHeadAttention {
+	if heads < 1 || hidden%heads != 0 {
+		panic(fmt.Sprintf("nn: %s: hidden %d not divisible by %d heads", name, hidden, heads))
+	}
+	s := math.Sqrt(1.0 / float64(hidden))
+	return &MultiHeadAttention{
+		name: name, Hidden: hidden, Heads: heads,
+		Wq: tensor.Randn(rng, s, hidden, hidden), Wk: tensor.Randn(rng, s, hidden, hidden),
+		Wv: tensor.Randn(rng, s, hidden, hidden), Wo: tensor.Randn(rng, s, hidden, hidden),
+		GWq: tensor.New(hidden, hidden), GWk: tensor.New(hidden, hidden),
+		GWv: tensor.New(hidden, hidden), GWo: tensor.New(hidden, hidden),
+	}
+}
+
+type mhaCtx struct {
+	x          *tensor.Tensor
+	q, k, v    []*tensor.Tensor   // per-sample [T,H]
+	attn       [][]*tensor.Tensor // per-sample, per-head [T,T]
+	ctxv       []*tensor.Tensor   // per-sample concatenated head outputs [T,H]
+	batch, seq int
+}
+
+// Name implements Layer.
+func (a *MultiHeadAttention) Name() string { return a.name }
+
+// headView returns the [T, Dh] sub-matrix of a [T, H] tensor for head h
+// as a fresh tensor (row-major slices of the head's columns).
+func headView(t *tensor.Tensor, h, heads int) *tensor.Tensor {
+	T, H := t.Dim(0), t.Dim(1)
+	dh := H / heads
+	out := tensor.New(T, dh)
+	for i := 0; i < T; i++ {
+		copy(out.Data[i*dh:(i+1)*dh], t.Data[i*H+h*dh:i*H+(h+1)*dh])
+	}
+	return out
+}
+
+// headAdd adds a [T, Dh] head matrix into the head-h columns of a [T, H]
+// tensor.
+func headAdd(dst *tensor.Tensor, src *tensor.Tensor, h, heads int) {
+	T, H := dst.Dim(0), dst.Dim(1)
+	dh := H / heads
+	for i := 0; i < T; i++ {
+		for j := 0; j < dh; j++ {
+			dst.Data[i*H+h*dh+j] += src.Data[i*dh+j]
+		}
+	}
+}
+
+// Forward implements Layer.
+func (a *MultiHeadAttention) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, Context) {
+	if x.NumDims() != 3 || x.Dim(2) != a.Hidden {
+		panic(fmt.Sprintf("nn: %s forward input %v, want [B,T,%d]", a.name, x.Shape, a.Hidden))
+	}
+	b, T, H := x.Dim(0), x.Dim(1), a.Hidden
+	dh := H / a.Heads
+	scale := float32(1 / math.Sqrt(float64(dh)))
+	out := tensor.New(b, T, H)
+	c := mhaCtx{x: x, batch: b, seq: T,
+		q: make([]*tensor.Tensor, b), k: make([]*tensor.Tensor, b),
+		v: make([]*tensor.Tensor, b), attn: make([][]*tensor.Tensor, b),
+		ctxv: make([]*tensor.Tensor, b)}
+	for n := 0; n < b; n++ {
+		xn := tensor.FromSlice(x.Data[n*T*H:(n+1)*T*H], T, H)
+		q := tensor.MatMul(xn, a.Wq)
+		k := tensor.MatMul(xn, a.Wk)
+		v := tensor.MatMul(xn, a.Wv)
+		ctxv := tensor.New(T, H)
+		c.attn[n] = make([]*tensor.Tensor, a.Heads)
+		for h := 0; h < a.Heads; h++ {
+			qh, kh, vh := headView(q, h, a.Heads), headView(k, h, a.Heads), headView(v, h, a.Heads)
+			attn := softmaxRows(tensor.MatMulTransB(qh, kh).Scale(scale))
+			headAdd(ctxv, tensor.MatMul(attn, vh), h, a.Heads)
+			c.attn[n][h] = attn
+		}
+		y := tensor.MatMul(ctxv, a.Wo)
+		copy(out.Data[n*T*H:(n+1)*T*H], y.Data)
+		c.q[n], c.k[n], c.v[n], c.ctxv[n] = q, k, v, ctxv
+	}
+	return out, c
+}
+
+// Backward implements Layer.
+func (a *MultiHeadAttention) Backward(ctx Context, gradOut *tensor.Tensor) *tensor.Tensor {
+	c := ctx.(mhaCtx)
+	b, T, H := c.batch, c.seq, a.Hidden
+	if gradOut.Size() != b*T*H {
+		panic(fmt.Sprintf("nn: %s backward grad %v, want [%d,%d,%d]", a.name, gradOut.Shape, b, T, H))
+	}
+	dh := H / a.Heads
+	scale := float32(1 / math.Sqrt(float64(dh)))
+	gradIn := tensor.New(b, T, H)
+	for n := 0; n < b; n++ {
+		xn := tensor.FromSlice(c.x.Data[n*T*H:(n+1)*T*H], T, H)
+		gy := tensor.FromSlice(gradOut.Data[n*T*H:(n+1)*T*H], T, H)
+		a.GWo.Add(tensor.MatMulTransA(c.ctxv[n], gy))
+		gCtx := tensor.MatMulTransB(gy, a.Wo)
+		gQ := tensor.New(T, H)
+		gK := tensor.New(T, H)
+		gV := tensor.New(T, H)
+		for h := 0; h < a.Heads; h++ {
+			qh := headView(c.q[n], h, a.Heads)
+			kh := headView(c.k[n], h, a.Heads)
+			vh := headView(c.v[n], h, a.Heads)
+			attn := c.attn[n][h]
+			gCtxH := headView(gCtx, h, a.Heads)
+			gAttn := tensor.MatMulTransB(gCtxH, vh)
+			gVh := tensor.MatMulTransA(attn, gCtxH)
+			gScores := tensor.New(T, T)
+			for i := 0; i < T; i++ {
+				var dot float64
+				for j := 0; j < T; j++ {
+					dot += float64(gAttn.At(i, j)) * float64(attn.At(i, j))
+				}
+				for j := 0; j < T; j++ {
+					gScores.Set(attn.At(i, j)*(gAttn.At(i, j)-float32(dot)), i, j)
+				}
+			}
+			gScores.Scale(scale)
+			headAdd(gQ, tensor.MatMul(gScores, kh), h, a.Heads)
+			headAdd(gK, tensor.MatMulTransA(gScores, qh), h, a.Heads)
+			headAdd(gV, gVh, h, a.Heads)
+		}
+		a.GWq.Add(tensor.MatMulTransA(xn, gQ))
+		a.GWk.Add(tensor.MatMulTransA(xn, gK))
+		a.GWv.Add(tensor.MatMulTransA(xn, gV))
+		gx := tensor.MatMulTransB(gQ, a.Wq)
+		gx.Add(tensor.MatMulTransB(gK, a.Wk))
+		gx.Add(tensor.MatMulTransB(gV, a.Wv))
+		copy(gradIn.Data[n*T*H:(n+1)*T*H], gx.Data)
+	}
+	return gradIn
+}
+
+// Params implements Layer.
+func (a *MultiHeadAttention) Params() []*tensor.Tensor {
+	return []*tensor.Tensor{a.Wq, a.Wk, a.Wv, a.Wo}
+}
+
+// Grads implements Layer.
+func (a *MultiHeadAttention) Grads() []*tensor.Tensor {
+	return []*tensor.Tensor{a.GWq, a.GWk, a.GWv, a.GWo}
+}

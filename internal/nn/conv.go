@@ -1,0 +1,133 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"pipedream/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution over [B, InC, H, W] inputs implemented via
+// im2col + matmul, the same lowering GPU frameworks use.
+type Conv2D struct {
+	name   string
+	Geom   tensor.ConvGeom
+	OutC   int
+	W      *tensor.Tensor // [InC*KH*KW, OutC]
+	B      *tensor.Tensor // [OutC]
+	GW, GB *tensor.Tensor
+}
+
+// NewConv2D creates a convolution layer with He initialization.
+func NewConv2D(rng *rand.Rand, name string, g tensor.ConvGeom, outC int) *Conv2D {
+	fanIn := g.InC * g.KH * g.KW
+	scale := math.Sqrt(2.0 / float64(fanIn))
+	return &Conv2D{
+		name: name,
+		Geom: g,
+		OutC: outC,
+		W:    tensor.Randn(rng, scale, fanIn, outC),
+		B:    tensor.New(outC),
+		GW:   tensor.New(fanIn, outC),
+		GB:   tensor.New(outC),
+	}
+}
+
+type convCtx struct {
+	cols  *tensor.Tensor
+	batch int
+}
+
+// Name implements Layer.
+func (c *Conv2D) Name() string { return c.name }
+
+// OutShape returns the output spatial shape [OutC, OutH, OutW].
+func (c *Conv2D) OutShape() (int, int, int) { return c.OutC, c.Geom.OutH(), c.Geom.OutW() }
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, Context) {
+	b := x.Dim(0)
+	cols := tensor.Im2Col(x, c.Geom) // [B*OH*OW, fanIn]
+	flat := tensor.MatMul(cols, c.W) // [B*OH*OW, OutC]
+	tensor.AddRowVector(flat, c.B)
+	oh, ow := c.Geom.OutH(), c.Geom.OutW()
+	// flat is laid out [B, OH, OW, OutC]; convert to [B, OutC, OH, OW].
+	y := tensor.New(b, c.OutC, oh, ow)
+	for n := 0; n < b; n++ {
+		for p := 0; p < oh*ow; p++ {
+			src := flat.Data[(n*oh*ow+p)*c.OutC:]
+			for oc := 0; oc < c.OutC; oc++ {
+				y.Data[((n*c.OutC+oc)*oh*ow)+p] = src[oc]
+			}
+		}
+	}
+	return y, convCtx{cols: cols, batch: b}
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(ctx Context, gradOut *tensor.Tensor) *tensor.Tensor {
+	cc := ctx.(convCtx)
+	b := cc.batch
+	oh, ow := c.Geom.OutH(), c.Geom.OutW()
+	if gradOut.NumDims() != 4 || gradOut.Dim(0) != b || gradOut.Dim(1) != c.OutC {
+		panic(fmt.Sprintf("nn: %s backward grad %v, want [%d,%d,%d,%d]", c.name, gradOut.Shape, b, c.OutC, oh, ow))
+	}
+	// Convert gradOut [B, OutC, OH, OW] back to flat layout [B*OH*OW, OutC].
+	gflat := tensor.New(b*oh*ow, c.OutC)
+	for n := 0; n < b; n++ {
+		for oc := 0; oc < c.OutC; oc++ {
+			src := gradOut.Data[(n*c.OutC+oc)*oh*ow:]
+			for p := 0; p < oh*ow; p++ {
+				gflat.Data[(n*oh*ow+p)*c.OutC+oc] = src[p]
+			}
+		}
+	}
+	c.GW.Add(tensor.MatMulTransA(cc.cols, gflat))
+	c.GB.Add(tensor.SumRows(gflat))
+	gcols := tensor.MatMulTransB(gflat, c.W) // gflat · Wᵀ = [B*OH*OW, fanIn]
+	return tensor.Col2Im(gcols, b, c.Geom)
+}
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*tensor.Tensor { return []*tensor.Tensor{c.W, c.B} }
+
+// Grads implements Layer.
+func (c *Conv2D) Grads() []*tensor.Tensor { return []*tensor.Tensor{c.GW, c.GB} }
+
+// MaxPool2D is a max-pooling layer over [B, C, H, W].
+type MaxPool2D struct {
+	name string
+	Geom tensor.ConvGeom
+}
+
+// NewMaxPool2D creates a max-pooling layer.
+func NewMaxPool2D(name string, g tensor.ConvGeom) *MaxPool2D {
+	return &MaxPool2D{name: name, Geom: g}
+}
+
+type poolCtx struct {
+	idx     []int
+	inShape []int
+}
+
+// Name implements Layer.
+func (m *MaxPool2D) Name() string { return m.name }
+
+// Forward implements Layer.
+func (m *MaxPool2D) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, Context) {
+	y, idx := tensor.MaxPool(x, m.Geom)
+	return y, poolCtx{idx: idx, inShape: x.Shape}
+}
+
+// Backward implements Layer.
+func (m *MaxPool2D) Backward(ctx Context, gradOut *tensor.Tensor) *tensor.Tensor {
+	c := ctx.(poolCtx)
+	return tensor.MaxPoolBackward(gradOut, c.idx, c.inShape)
+}
+
+// Params implements Layer.
+func (m *MaxPool2D) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer.
+func (m *MaxPool2D) Grads() []*tensor.Tensor { return nil }

@@ -1,0 +1,57 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"pipedream/internal/tensor"
+)
+
+// Dense is a fully connected layer: y = x·W + b for x [B, in] → y [B, out].
+type Dense struct {
+	name   string
+	W, B   *tensor.Tensor
+	GW, GB *tensor.Tensor
+}
+
+// NewDense creates a Dense layer with Xavier/Glorot initialization.
+func NewDense(rng *rand.Rand, name string, in, out int) *Dense {
+	scale := math.Sqrt(2.0 / float64(in+out))
+	return &Dense{
+		name: name,
+		W:    tensor.Randn(rng, scale, in, out),
+		B:    tensor.New(out),
+		GW:   tensor.New(in, out),
+		GB:   tensor.New(out),
+	}
+}
+
+type denseCtx struct{ x *tensor.Tensor }
+
+// Name implements Layer.
+func (d *Dense) Name() string { return d.name }
+
+// Forward implements Layer.
+func (d *Dense) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, Context) {
+	if x.NumDims() != 2 || x.Dim(1) != d.W.Dim(0) {
+		panic(fmt.Sprintf("nn: %s forward input %v, want [B,%d]", d.name, x.Shape, d.W.Dim(0)))
+	}
+	y := tensor.MatMul(x, d.W)
+	tensor.AddRowVector(y, d.B)
+	return y, denseCtx{x: x}
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(ctx Context, gradOut *tensor.Tensor) *tensor.Tensor {
+	c := ctx.(denseCtx)
+	d.GW.Add(tensor.MatMulTransA(c.x, gradOut))
+	d.GB.Add(tensor.SumRows(gradOut))
+	return tensor.MatMulTransB(gradOut, d.W) // gradIn = gradOut · Wᵀ
+}
+
+// Params implements Layer.
+func (d *Dense) Params() []*tensor.Tensor { return []*tensor.Tensor{d.W, d.B} }
+
+// Grads implements Layer.
+func (d *Dense) Grads() []*tensor.Tensor { return []*tensor.Tensor{d.GW, d.GB} }

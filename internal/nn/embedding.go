@@ -1,0 +1,81 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"pipedream/internal/tensor"
+)
+
+// Embedding maps token ids to dense vectors: [B, T] (ids stored as float32)
+// → [B, T, Dim]. Token ids ride in tensors so embeddings compose with the
+// pipeline transport like any other layer.
+type Embedding struct {
+	name       string
+	Vocab, Dim int
+	W          *tensor.Tensor // [Vocab, Dim]
+	GW         *tensor.Tensor
+}
+
+// NewEmbedding creates an embedding table with N(0, 1/sqrt(dim)) init.
+func NewEmbedding(rng *rand.Rand, name string, vocab, dim int) *Embedding {
+	return &Embedding{
+		name:  name,
+		Vocab: vocab,
+		Dim:   dim,
+		W:     tensor.Randn(rng, math.Sqrt(1.0/float64(dim)), vocab, dim),
+		GW:    tensor.New(vocab, dim),
+	}
+}
+
+type embeddingCtx struct {
+	ids   []int
+	shape []int
+}
+
+// Name implements Layer.
+func (e *Embedding) Name() string { return e.name }
+
+// Forward implements Layer.
+func (e *Embedding) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, Context) {
+	if x.NumDims() != 2 {
+		panic(fmt.Sprintf("nn: %s forward input %v, want [B,T]", e.name, x.Shape))
+	}
+	b, T := x.Dim(0), x.Dim(1)
+	ids := make([]int, b*T)
+	y := tensor.New(b, T, e.Dim)
+	for i, v := range x.Data {
+		id := int(v)
+		if id < 0 || id >= e.Vocab {
+			panic(fmt.Sprintf("nn: %s token id %d out of vocab %d", e.name, id, e.Vocab))
+		}
+		ids[i] = id
+		copy(y.Data[i*e.Dim:(i+1)*e.Dim], e.W.Data[id*e.Dim:(id+1)*e.Dim])
+	}
+	return y, embeddingCtx{ids: ids, shape: x.Shape}
+}
+
+// Backward implements Layer. The returned input gradient is zero (token ids
+// are not differentiable) but keeps the pipeline contract of one gradient
+// message per activation message.
+func (e *Embedding) Backward(ctx Context, gradOut *tensor.Tensor) *tensor.Tensor {
+	c := ctx.(embeddingCtx)
+	if gradOut.Size() != len(c.ids)*e.Dim {
+		panic(fmt.Sprintf("nn: %s backward grad %v for %d ids", e.name, gradOut.Shape, len(c.ids)))
+	}
+	for i, id := range c.ids {
+		dst := e.GW.Data[id*e.Dim : (id+1)*e.Dim]
+		src := gradOut.Data[i*e.Dim : (i+1)*e.Dim]
+		for j, v := range src {
+			dst[j] += v
+		}
+	}
+	return tensor.New(c.shape...)
+}
+
+// Params implements Layer.
+func (e *Embedding) Params() []*tensor.Tensor { return []*tensor.Tensor{e.W} }
+
+// Grads implements Layer.
+func (e *Embedding) Grads() []*tensor.Tensor { return []*tensor.Tensor{e.GW} }

@@ -1,0 +1,164 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"pipedream/internal/tensor"
+)
+
+// GRU processes a sequence [B, T, In] and returns all hidden states
+// [B, T, Hidden]. Gates are packed r|z|n in the weight matrices; the
+// candidate uses the r-gated recurrent contribution (the cuDNN/PyTorch
+// formulation: n = tanh(x·Wxn + r ⊙ (h·Whn) + bn)).
+type GRU struct {
+	name       string
+	In, Hidden int
+	Wx         *tensor.Tensor // [In, 3H]
+	Wh         *tensor.Tensor // [H, 3H]
+	B          *tensor.Tensor // [3H]
+	GWx, GWh   *tensor.Tensor
+	GB         *tensor.Tensor
+}
+
+// NewGRU creates a GRU layer.
+func NewGRU(rng *rand.Rand, name string, in, hidden int) *GRU {
+	sx := math.Sqrt(1.0 / float64(in))
+	sh := math.Sqrt(1.0 / float64(hidden))
+	return &GRU{
+		name: name, In: in, Hidden: hidden,
+		Wx:  tensor.Randn(rng, sx, in, 3*hidden),
+		Wh:  tensor.Randn(rng, sh, hidden, 3*hidden),
+		B:   tensor.New(3 * hidden),
+		GWx: tensor.New(in, 3*hidden),
+		GWh: tensor.New(hidden, 3*hidden),
+		GB:  tensor.New(3 * hidden),
+	}
+}
+
+type gruStep struct {
+	x, hPrev *tensor.Tensor // [B,In], [B,H]
+	r, z, n  *tensor.Tensor // gate activations [B,H]
+	hr       *tensor.Tensor // h·Whn pre-gate recurrent candidate [B,H]
+}
+
+type gruCtx struct {
+	steps []gruStep
+	batch int
+	tlen  int
+}
+
+// Name implements Layer.
+func (g *GRU) Name() string { return g.name }
+
+// Forward implements Layer.
+func (g *GRU) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, Context) {
+	if x.NumDims() != 3 || x.Dim(2) != g.In {
+		panic(fmt.Sprintf("nn: %s forward input %v, want [B,T,%d]", g.name, x.Shape, g.In))
+	}
+	b, T, H := x.Dim(0), x.Dim(1), g.Hidden
+	out := tensor.New(b, T, H)
+	h := tensor.New(b, H)
+	ctx := gruCtx{steps: make([]gruStep, T), batch: b, tlen: T}
+	for t := 0; t < T; t++ {
+		xt := tensor.New(b, g.In)
+		for n := 0; n < b; n++ {
+			copy(xt.Data[n*g.In:(n+1)*g.In], x.Data[(n*T+t)*g.In:(n*T+t+1)*g.In])
+		}
+		zx := tensor.MatMul(xt, g.Wx) // [B, 3H]
+		zh := tensor.MatMul(h, g.Wh)  // [B, 3H]
+		st := gruStep{
+			x: xt, hPrev: h,
+			r: tensor.New(b, H), z: tensor.New(b, H), n: tensor.New(b, H),
+			hr: tensor.New(b, H),
+		}
+		newH := tensor.New(b, H)
+		for n := 0; n < b; n++ {
+			xr := zx.Data[n*3*H:]
+			hrw := zh.Data[n*3*H:]
+			for j := 0; j < H; j++ {
+				r := sigmoid(xr[j] + hrw[j] + g.B.Data[j])
+				z := sigmoid(xr[H+j] + hrw[H+j] + g.B.Data[H+j])
+				hcand := hrw[2*H+j]
+				nv := float32(math.Tanh(float64(xr[2*H+j] + r*hcand + g.B.Data[2*H+j])))
+				k := n*H + j
+				st.r.Data[k], st.z.Data[k], st.n.Data[k] = r, z, nv
+				st.hr.Data[k] = hcand
+				newH.Data[k] = (1-z)*nv + z*h.Data[k]
+			}
+		}
+		h = newH
+		ctx.steps[t] = st
+		for n := 0; n < b; n++ {
+			copy(out.Data[(n*T+t)*H:(n*T+t+1)*H], h.Data[n*H:(n+1)*H])
+		}
+	}
+	return out, ctx
+}
+
+// Backward implements Layer.
+func (g *GRU) Backward(ctx Context, gradOut *tensor.Tensor) *tensor.Tensor {
+	cc := ctx.(gruCtx)
+	b, T, H := cc.batch, cc.tlen, g.Hidden
+	if gradOut.NumDims() != 3 || gradOut.Dim(0) != b || gradOut.Dim(1) != T || gradOut.Dim(2) != H {
+		panic(fmt.Sprintf("nn: %s backward grad %v, want [%d,%d,%d]", g.name, gradOut.Shape, b, T, H))
+	}
+	gradIn := tensor.New(b, T, g.In)
+	dhNext := tensor.New(b, H)
+	dzx := tensor.New(b, 3*H) // grad w.r.t. x·Wx pre-activations
+	dzh := tensor.New(b, 3*H) // grad w.r.t. h·Wh pre-activations
+	for t := T - 1; t >= 0; t-- {
+		st := cc.steps[t]
+		dh := dhNext
+		for n := 0; n < b; n++ {
+			for j := 0; j < H; j++ {
+				dh.Data[n*H+j] += gradOut.Data[(n*T+t)*H+j]
+			}
+		}
+		dhPrev := tensor.New(b, H)
+		for n := 0; n < b; n++ {
+			for j := 0; j < H; j++ {
+				k := n*H + j
+				dhv := dh.Data[k]
+				r, z, nv := st.r.Data[k], st.z.Data[k], st.n.Data[k]
+				// h = (1-z)·n + z·hPrev
+				dn := dhv * (1 - z)
+				dz := dhv * (st.hPrev.Data[k] - nv)
+				dhPrev.Data[k] = dhv * z
+				// n = tanh(xn + r·hr + bn)
+				dnPre := dn * (1 - nv*nv)
+				dr := dnPre * st.hr.Data[k]
+				// Pre-activation grads.
+				drPre := dr * r * (1 - r)
+				dzPre := dz * z * (1 - z)
+				xr := dzx.Data[n*3*H:]
+				hr := dzh.Data[n*3*H:]
+				xr[j], hr[j] = drPre, drPre
+				xr[H+j], hr[H+j] = dzPre, dzPre
+				xr[2*H+j] = dnPre
+				hr[2*H+j] = dnPre * r
+				// hPrev also feeds r and z pre-activations via Wh rows
+				// (handled below through dzh·Whᵀ).
+			}
+		}
+		g.GWx.Add(tensor.MatMulTransA(st.x, dzx))
+		g.GWh.Add(tensor.MatMulTransA(st.hPrev, dzh))
+		// Bias gradient: r and z biases get the shared pre-activation
+		// grads; the candidate bias bn gets dnPre (the x-side grad).
+		gb := tensor.SumRows(dzx)
+		g.GB.Add(gb)
+		dx := tensor.MatMulTransB(dzx, g.Wx)
+		for n := 0; n < b; n++ {
+			copy(gradIn.Data[(n*T+t)*g.In:(n*T+t+1)*g.In], dx.Data[n*g.In:(n+1)*g.In])
+		}
+		dhNext = tensor.MatMulTransB(dzh, g.Wh).Add(dhPrev)
+	}
+	return gradIn
+}
+
+// Params implements Layer.
+func (g *GRU) Params() []*tensor.Tensor { return []*tensor.Tensor{g.Wx, g.Wh, g.B} }
+
+// Grads implements Layer.
+func (g *GRU) Grads() []*tensor.Tensor { return []*tensor.Tensor{g.GWx, g.GWh, g.GB} }

@@ -1,0 +1,139 @@
+// Package nn implements a from-scratch neural-network stack at the layer
+// granularity PipeDream partitions on: every layer exposes an explicit
+// Forward and Backward, parameters and gradients are first-class tensors,
+// and forward passes return an opaque per-minibatch context so that several
+// minibatches can be in flight through the same layer at once — the
+// property pipeline-parallel execution depends on.
+package nn
+
+import (
+	"fmt"
+
+	"pipedream/internal/tensor"
+)
+
+// Context carries the per-minibatch state a layer saved during Forward and
+// needs again during Backward (inputs, pre-activations, pooling indices...).
+// Contexts are never shared between minibatches, which is what allows a
+// stage to interleave forward and backward passes of different minibatches
+// as the 1F1B schedule requires.
+type Context interface{}
+
+// Layer is a differentiable operator with (possibly empty) parameters.
+//
+// Backward must accumulate parameter gradients into the tensors returned by
+// Grads (callers zero them between optimizer steps) and return the gradient
+// with respect to the layer input.
+type Layer interface {
+	// Name identifies the layer in profiles and partitioning output.
+	Name() string
+	// Forward computes the layer output for one minibatch. train enables
+	// training-only behaviour such as dropout.
+	Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, Context)
+	// Backward computes input gradients and accumulates parameter
+	// gradients, given the context returned by the matching Forward.
+	Backward(ctx Context, gradOut *tensor.Tensor) *tensor.Tensor
+	// Params returns the parameter tensors (shared, not copies).
+	Params() []*tensor.Tensor
+	// Grads returns the gradient accumulators, aligned with Params.
+	Grads() []*tensor.Tensor
+}
+
+// Sequential is an ordered list of layers — the "operator graph" PipeDream
+// partitions into stages.
+type Sequential struct {
+	Layers []Layer
+}
+
+// NewSequential builds a Sequential from layers.
+func NewSequential(layers ...Layer) *Sequential {
+	return &Sequential{Layers: layers}
+}
+
+// SeqContext is the per-minibatch context of a Sequential: one context per
+// layer, in forward order.
+type SeqContext struct {
+	ctxs []Context
+}
+
+// Forward runs all layers in order.
+func (s *Sequential) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, *SeqContext) {
+	ctx := &SeqContext{ctxs: make([]Context, len(s.Layers))}
+	for i, l := range s.Layers {
+		x, ctx.ctxs[i] = l.Forward(x, train)
+	}
+	return x, ctx
+}
+
+// Backward runs all layers in reverse, accumulating parameter gradients.
+func (s *Sequential) Backward(ctx *SeqContext, gradOut *tensor.Tensor) *tensor.Tensor {
+	if len(ctx.ctxs) != len(s.Layers) {
+		panic(fmt.Sprintf("nn: context for %d layers used with %d-layer Sequential", len(ctx.ctxs), len(s.Layers)))
+	}
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		gradOut = s.Layers[i].Backward(ctx.ctxs[i], gradOut)
+	}
+	return gradOut
+}
+
+// Params returns all parameters of all layers.
+func (s *Sequential) Params() []*tensor.Tensor {
+	var out []*tensor.Tensor
+	for _, l := range s.Layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// Grads returns all gradient accumulators of all layers.
+func (s *Sequential) Grads() []*tensor.Tensor {
+	var out []*tensor.Tensor
+	for _, l := range s.Layers {
+		out = append(out, l.Grads()...)
+	}
+	return out
+}
+
+// ZeroGrads clears all gradient accumulators.
+func (s *Sequential) ZeroGrads() { ZeroGrads(s.Grads()) }
+
+// Slice returns a Sequential over layers [lo, hi) sharing the same layer
+// values — used to split a model into pipeline stages.
+func (s *Sequential) Slice(lo, hi int) *Sequential {
+	return &Sequential{Layers: s.Layers[lo:hi]}
+}
+
+// ZeroGrads clears each gradient tensor.
+func ZeroGrads(grads []*tensor.Tensor) {
+	for _, g := range grads {
+		g.Zero()
+	}
+}
+
+// SnapshotParams deep-copies params — the mechanism behind weight stashing.
+func SnapshotParams(params []*tensor.Tensor) []*tensor.Tensor {
+	out := make([]*tensor.Tensor, len(params))
+	for i, p := range params {
+		out[i] = p.Clone()
+	}
+	return out
+}
+
+// RestoreParams copies snapshot values back into params.
+func RestoreParams(params, snapshot []*tensor.Tensor) {
+	if len(params) != len(snapshot) {
+		panic(fmt.Sprintf("nn: restore %d params from %d snapshots", len(params), len(snapshot)))
+	}
+	for i, p := range params {
+		p.CopyFrom(snapshot[i])
+	}
+}
+
+// ParamBytes returns the total parameter size in bytes.
+func ParamBytes(params []*tensor.Tensor) int {
+	n := 0
+	for _, p := range params {
+		n += p.Bytes()
+	}
+	return n
+}

@@ -1,0 +1,239 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"pipedream/internal/tensor"
+)
+
+// LSTM processes a sequence [B, T, In] and returns all hidden states
+// [B, T, Hidden]. Gates are packed i|f|g|o in the weight matrices. The full
+// backward pass implements truncated-to-sequence BPTT.
+type LSTM struct {
+	name       string
+	In, Hidden int
+	Wx         *tensor.Tensor // [In, 4H]
+	Wh         *tensor.Tensor // [H, 4H]
+	B          *tensor.Tensor // [4H]
+	GWx, GWh   *tensor.Tensor
+	GB         *tensor.Tensor
+}
+
+// NewLSTM creates an LSTM layer. The forget-gate bias is initialized to 1,
+// the standard trick to ease early gradient flow.
+func NewLSTM(rng *rand.Rand, name string, in, hidden int) *LSTM {
+	sx := math.Sqrt(1.0 / float64(in))
+	sh := math.Sqrt(1.0 / float64(hidden))
+	l := &LSTM{
+		name: name, In: in, Hidden: hidden,
+		Wx:  tensor.Randn(rng, sx, in, 4*hidden),
+		Wh:  tensor.Randn(rng, sh, hidden, 4*hidden),
+		B:   tensor.New(4 * hidden),
+		GWx: tensor.New(in, 4*hidden),
+		GWh: tensor.New(hidden, 4*hidden),
+		GB:  tensor.New(4 * hidden),
+	}
+	for j := hidden; j < 2*hidden; j++ {
+		l.B.Data[j] = 1
+	}
+	return l
+}
+
+type lstmStep struct {
+	x, hPrev, cPrev *tensor.Tensor // [B,In], [B,H], [B,H]
+	i, f, g, o      *tensor.Tensor // gate activations [B,H]
+	c, tanhC        *tensor.Tensor // cell state and tanh(c) [B,H]
+}
+
+type lstmCtx struct {
+	steps []lstmStep
+	batch int
+	tlen  int
+}
+
+// Name implements Layer.
+func (l *LSTM) Name() string { return l.name }
+
+// Forward implements Layer.
+func (l *LSTM) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, Context) {
+	if x.NumDims() != 3 || x.Dim(2) != l.In {
+		panic(fmt.Sprintf("nn: %s forward input %v, want [B,T,%d]", l.name, x.Shape, l.In))
+	}
+	b, T, H := x.Dim(0), x.Dim(1), l.Hidden
+	out := tensor.New(b, T, H)
+	h := tensor.New(b, H)
+	c := tensor.New(b, H)
+	ctx := lstmCtx{steps: make([]lstmStep, T), batch: b, tlen: T}
+	for t := 0; t < T; t++ {
+		xt := tensor.New(b, l.In)
+		for n := 0; n < b; n++ {
+			copy(xt.Data[n*l.In:(n+1)*l.In], x.Data[(n*T+t)*l.In:(n*T+t+1)*l.In])
+		}
+		z := tensor.MatMul(xt, l.Wx)
+		z.Add(tensor.MatMul(h, l.Wh))
+		tensor.AddRowVector(z, l.B)
+		st := lstmStep{
+			x: xt, hPrev: h, cPrev: c,
+			i: tensor.New(b, H), f: tensor.New(b, H), g: tensor.New(b, H), o: tensor.New(b, H),
+			c: tensor.New(b, H), tanhC: tensor.New(b, H),
+		}
+		newH := tensor.New(b, H)
+		for n := 0; n < b; n++ {
+			zr := z.Data[n*4*H:]
+			for j := 0; j < H; j++ {
+				iv := sigmoid(zr[j])
+				fv := sigmoid(zr[H+j])
+				gv := float32(math.Tanh(float64(zr[2*H+j])))
+				ov := sigmoid(zr[3*H+j])
+				cv := fv*c.Data[n*H+j] + iv*gv
+				tc := float32(math.Tanh(float64(cv)))
+				st.i.Data[n*H+j] = iv
+				st.f.Data[n*H+j] = fv
+				st.g.Data[n*H+j] = gv
+				st.o.Data[n*H+j] = ov
+				st.c.Data[n*H+j] = cv
+				st.tanhC.Data[n*H+j] = tc
+				newH.Data[n*H+j] = ov * tc
+			}
+		}
+		h, c = newH, st.c
+		ctx.steps[t] = st
+		for n := 0; n < b; n++ {
+			copy(out.Data[(n*T+t)*H:(n*T+t+1)*H], h.Data[n*H:(n+1)*H])
+		}
+	}
+	return out, ctx
+}
+
+// Backward implements Layer.
+func (l *LSTM) Backward(ctx Context, gradOut *tensor.Tensor) *tensor.Tensor {
+	cc := ctx.(lstmCtx)
+	b, T, H := cc.batch, cc.tlen, l.Hidden
+	if gradOut.NumDims() != 3 || gradOut.Dim(0) != b || gradOut.Dim(1) != T || gradOut.Dim(2) != H {
+		panic(fmt.Sprintf("nn: %s backward grad %v, want [%d,%d,%d]", l.name, gradOut.Shape, b, T, H))
+	}
+	gradIn := tensor.New(b, T, l.In)
+	dhNext := tensor.New(b, H)
+	dcNext := tensor.New(b, H)
+	dz := tensor.New(b, 4*H)
+	for t := T - 1; t >= 0; t-- {
+		st := cc.steps[t]
+		// dh = grad from output at t + grad from t+1.
+		dh := dhNext
+		for n := 0; n < b; n++ {
+			for j := 0; j < H; j++ {
+				dh.Data[n*H+j] += gradOut.Data[(n*T+t)*H+j]
+			}
+		}
+		dcPrev := tensor.New(b, H)
+		for n := 0; n < b; n++ {
+			for j := 0; j < H; j++ {
+				k := n*H + j
+				dhv := dh.Data[k]
+				dc := dcNext.Data[k] + dhv*st.o.Data[k]*(1-st.tanhC.Data[k]*st.tanhC.Data[k])
+				di := dc * st.g.Data[k]
+				df := dc * st.cPrev.Data[k]
+				dg := dc * st.i.Data[k]
+				do := dhv * st.tanhC.Data[k]
+				zr := dz.Data[n*4*H:]
+				zr[j] = di * st.i.Data[k] * (1 - st.i.Data[k])
+				zr[H+j] = df * st.f.Data[k] * (1 - st.f.Data[k])
+				zr[2*H+j] = dg * (1 - st.g.Data[k]*st.g.Data[k])
+				zr[3*H+j] = do * st.o.Data[k] * (1 - st.o.Data[k])
+				dcPrev.Data[k] = dc * st.f.Data[k]
+			}
+		}
+		l.GWx.Add(tensor.MatMulTransA(st.x, dz))
+		l.GWh.Add(tensor.MatMulTransA(st.hPrev, dz))
+		l.GB.Add(tensor.SumRows(dz))
+		dx := tensor.MatMulTransB(dz, l.Wx) // dz · Wxᵀ = [B, In]
+		for n := 0; n < b; n++ {
+			copy(gradIn.Data[(n*T+t)*l.In:(n*T+t+1)*l.In], dx.Data[n*l.In:(n+1)*l.In])
+		}
+		dhNext = tensor.MatMulTransB(dz, l.Wh) // dz · Whᵀ = [B, H]
+		dcNext = dcPrev
+	}
+	return gradIn
+}
+
+// Params implements Layer.
+func (l *LSTM) Params() []*tensor.Tensor { return []*tensor.Tensor{l.Wx, l.Wh, l.B} }
+
+// Grads implements Layer.
+func (l *LSTM) Grads() []*tensor.Tensor { return []*tensor.Tensor{l.GWx, l.GWh, l.GB} }
+
+// LastStep extracts the final time step of a [B, T, H] sequence as [B, H].
+// It is a layer so sequence models can feed a classifier head.
+type LastStep struct{ name string }
+
+// NewLastStep creates a LastStep layer.
+func NewLastStep(name string) *LastStep { return &LastStep{name: name} }
+
+type lastStepCtx struct{ shape []int }
+
+// Name implements Layer.
+func (s *LastStep) Name() string { return s.name }
+
+// Forward implements Layer.
+func (s *LastStep) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, Context) {
+	if x.NumDims() != 3 {
+		panic(fmt.Sprintf("nn: %s forward input %v, want [B,T,H]", s.name, x.Shape))
+	}
+	b, T, H := x.Dim(0), x.Dim(1), x.Dim(2)
+	y := tensor.New(b, H)
+	for n := 0; n < b; n++ {
+		copy(y.Data[n*H:(n+1)*H], x.Data[(n*T+T-1)*H:(n*T+T)*H])
+	}
+	return y, lastStepCtx{shape: x.Shape}
+}
+
+// Backward implements Layer.
+func (s *LastStep) Backward(ctx Context, gradOut *tensor.Tensor) *tensor.Tensor {
+	c := ctx.(lastStepCtx)
+	b, T, H := c.shape[0], c.shape[1], c.shape[2]
+	g := tensor.New(b, T, H)
+	for n := 0; n < b; n++ {
+		copy(g.Data[(n*T+T-1)*H:(n*T+T)*H], gradOut.Data[n*H:(n+1)*H])
+	}
+	return g
+}
+
+// Params implements Layer.
+func (s *LastStep) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer.
+func (s *LastStep) Grads() []*tensor.Tensor { return nil }
+
+// FlattenTime reshapes [B, T, H] to [B*T, H] so a Dense head can be applied
+// to every time step (used by language models).
+type FlattenTime struct{ name string }
+
+// NewFlattenTime creates a FlattenTime layer.
+func NewFlattenTime(name string) *FlattenTime { return &FlattenTime{name: name} }
+
+type flattenTimeCtx struct{ shape []int }
+
+// Name implements Layer.
+func (s *FlattenTime) Name() string { return s.name }
+
+// Forward implements Layer.
+func (s *FlattenTime) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, Context) {
+	if x.NumDims() != 3 {
+		panic(fmt.Sprintf("nn: %s forward input %v, want [B,T,H]", s.name, x.Shape))
+	}
+	return x.Reshape(x.Dim(0)*x.Dim(1), x.Dim(2)), flattenTimeCtx{shape: x.Shape}
+}
+
+// Backward implements Layer.
+func (s *FlattenTime) Backward(ctx Context, gradOut *tensor.Tensor) *tensor.Tensor {
+	c := ctx.(flattenTimeCtx)
+	return gradOut.Reshape(c.shape...)
+}
+
+// Params implements Layer.
+func (s *FlattenTime) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer.
+func (s *FlattenTime) Grads() []*tensor.Tensor { return nil }

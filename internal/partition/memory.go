@@ -1,0 +1,99 @@
+package partition
+
+import (
+	"fmt"
+
+	"pipedream/internal/profile"
+	"pipedream/internal/topology"
+)
+
+// StageMemory estimates the peak per-worker memory of each stage of a
+// plan, in bytes: the stage's weights (one version per in-flight
+// minibatch, plus the live copy) and the activation stash (stage input
+// plus every layer output) for each in-flight minibatch. The in-flight
+// bound per stage is the plan's NOAM — the §3.3 worst case of one
+// <weights, activations> version per admitted minibatch.
+func StageMemory(plan *Plan, prof *profile.ModelProfile) []int64 {
+	out := make([]int64, len(plan.Stages))
+	for i, st := range plan.Stages {
+		weights := prof.WeightRange(st.FirstLayer, st.LastLayer)
+		var acts int64
+		for l := st.FirstLayer; l <= st.LastLayer; l++ {
+			acts += prof.Layers[l].ActivationBytes
+		}
+		if st.FirstLayer > 0 {
+			acts += prof.Layers[st.FirstLayer-1].ActivationBytes
+		} else {
+			acts += prof.InputBytes
+		}
+		inflight := int64(plan.NOAM)
+		out[i] = weights*(1+inflight) + inflight*acts
+	}
+	return out
+}
+
+// CheckMemory verifies that every stage of a plan fits in the device
+// memory of the topology's accelerators, returning a descriptive error
+// for the first stage that does not.
+func CheckMemory(plan *Plan, prof *profile.ModelProfile, topo *topology.Topology) error {
+	mem := StageMemory(plan, prof)
+	for i, m := range mem {
+		if m > topo.Device.MemBytes {
+			return fmt.Errorf("partition: stage %d needs %.1f GB, %s has %.1f GB",
+				i, float64(m)/(1<<30), topo.Device.Name, float64(topo.Device.MemBytes)/(1<<30))
+		}
+	}
+	return nil
+}
+
+// OptimizeWithMemory runs the optimizer and enforces the device-memory
+// constraint the paper's partitioning algorithm takes as input (§3.1):
+// if the unconstrained optimum does not fit, it lowers the pipeline depth
+// toward the memory bound (trading throughput for footprint, as §5.5's
+// Figure 18 discussion describes) and, failing that, falls back to the
+// deepest straight pipeline that fits. It returns the plan together with
+// the depth to run it at (plan.NOAM unless reduced).
+func OptimizeWithMemory(prof *profile.ModelProfile, topo *topology.Topology) (*Plan, int, error) {
+	plan, err := Optimize(prof, topo)
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := CheckMemory(plan, prof, topo); err == nil {
+		return plan, plan.NOAM, nil
+	}
+	// Reduce the in-flight depth until the worst stage fits.
+	for depth := plan.NOAM - 1; depth >= 1; depth-- {
+		fits := true
+		for i, st := range plan.Stages {
+			weights := prof.WeightRange(st.FirstLayer, st.LastLayer)
+			var acts int64
+			for l := st.FirstLayer; l <= st.LastLayer; l++ {
+				acts += prof.Layers[l].ActivationBytes
+			}
+			if st.FirstLayer > 0 {
+				acts += prof.Layers[st.FirstLayer-1].ActivationBytes
+			} else {
+				acts += prof.InputBytes
+			}
+			need := weights*int64(1+depth) + int64(depth)*acts
+			if need > topo.Device.MemBytes {
+				fits = false
+				break
+			}
+			_ = i
+		}
+		if fits {
+			return plan, depth, nil
+		}
+	}
+	// Even one in-flight minibatch does not fit: split the model across
+	// more stages (model parallelism shrinks per-stage weights).
+	mp, err := ModelParallel(prof, topo)
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := CheckMemory(mp, prof, topo); err != nil {
+		return nil, 0, fmt.Errorf("partition: no memory-feasible configuration: %w", err)
+	}
+	return mp, 1, nil
+}

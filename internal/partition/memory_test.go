@@ -1,0 +1,110 @@
+package partition
+
+import (
+	"testing"
+
+	"pipedream/internal/modelzoo"
+	"pipedream/internal/topology"
+)
+
+func TestStageMemoryAccounting(t *testing.T) {
+	prof := syntheticProfile([]float64{1, 1}, []int64{100, 100}, []int64{1000, 2000})
+	prof.InputBytes = 50
+	topo := topology.Flat(2, 1e9, topology.V100)
+	plan, err := Evaluate(prof, topo, []StageSpec{
+		{FirstLayer: 0, LastLayer: 0, Replicas: 1},
+		{FirstLayer: 1, LastLayer: 1, Replicas: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := StageMemory(plan, prof) // NOAM = 2
+	// Stage 0: weights 1000×(1+2) + 2×(input 50 + act 100) = 3300.
+	if mem[0] != 3300 {
+		t.Fatalf("stage 0 memory = %d, want 3300", mem[0])
+	}
+	// Stage 1: weights 2000×3 + 2×(in-act 100 + act 100) = 6400.
+	if mem[1] != 6400 {
+		t.Fatalf("stage 1 memory = %d, want 6400", mem[1])
+	}
+}
+
+func TestCheckMemoryBounds(t *testing.T) {
+	prof := syntheticProfile([]float64{1}, []int64{100}, []int64{1 << 20})
+	small := topology.Flat(1, 1e9, topology.Device{Name: "tiny", EffectiveFLOPS: 1e12, MemBytes: 1 << 10})
+	big := topology.Flat(1, 1e9, topology.V100)
+	plan, err := Evaluate(prof, small, []StageSpec{{FirstLayer: 0, LastLayer: 0, Replicas: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckMemory(plan, prof, small); err == nil {
+		t.Fatal("1 MB of weights cannot fit a 1 KB device")
+	}
+	if err := CheckMemory(plan, prof, big); err != nil {
+		t.Fatalf("V100 should fit: %v", err)
+	}
+}
+
+func TestOptimizeWithMemoryFitsOnRealDevices(t *testing.T) {
+	// Every paper model must produce a memory-feasible plan on the paper
+	// clusters — a property the paper's optimizer guarantees (§3.1).
+	for _, name := range modelzoo.Names() {
+		topo := topology.ClusterA(4)
+		prof, err := modelzoo.ByName(name, topo.Device, modelzoo.PaperBatchSize(name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, depth, err := OptimizeWithMemory(prof, topo)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if depth < 1 || depth > plan.NOAM {
+			t.Fatalf("%s: depth %d outside [1, NOAM=%d]", name, depth, plan.NOAM)
+		}
+	}
+}
+
+func TestOptimizeWithMemoryReducesDepthOnTinyDevice(t *testing.T) {
+	// A device that fits the weights but not NOAM activation stashes must
+	// get a reduced depth (the Figure 18 trade: throughput for memory).
+	prof := syntheticProfile(
+		[]float64{1, 1, 1, 1},
+		[]int64{64 << 20, 64 << 20, 64 << 20, 64 << 20}, // fat activations
+		[]int64{1 << 20, 1 << 20, 1 << 20, 1 << 20},
+	)
+	prof.InputBytes = 64 << 20
+	dev := topology.Device{Name: "small", EffectiveFLOPS: 1e12, MemBytes: 512 << 20}
+	topo := topology.Flat(4, 1e12, dev)
+	plan, depth, err := OptimizeWithMemory(prof, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if depth >= plan.NOAM && plan.NOAM > 1 {
+		t.Fatalf("expected reduced depth, got %d of NOAM %d", depth, plan.NOAM)
+	}
+	// The returned depth must actually fit.
+	for i, st := range plan.Stages {
+		weights := prof.WeightRange(st.FirstLayer, st.LastLayer)
+		var acts int64
+		for l := st.FirstLayer; l <= st.LastLayer; l++ {
+			acts += prof.Layers[l].ActivationBytes
+		}
+		if st.FirstLayer > 0 {
+			acts += prof.Layers[st.FirstLayer-1].ActivationBytes
+		} else {
+			acts += prof.InputBytes
+		}
+		if need := weights*int64(1+depth) + int64(depth)*acts; need > dev.MemBytes {
+			t.Fatalf("stage %d still needs %d > %d at depth %d", i, need, dev.MemBytes, depth)
+		}
+	}
+}
+
+func TestOptimizeWithMemoryImpossible(t *testing.T) {
+	prof := syntheticProfile([]float64{1}, []int64{8}, []int64{1 << 30})
+	dev := topology.Device{Name: "nano", EffectiveFLOPS: 1e12, MemBytes: 1 << 20}
+	topo := topology.Flat(2, 1e9, dev)
+	if _, _, err := OptimizeWithMemory(prof, topo); err == nil {
+		t.Fatal("1 GB single layer cannot fit 1 MB devices at any depth")
+	}
+}

@@ -1,0 +1,515 @@
+package partition
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pipedream/internal/modelzoo"
+	"pipedream/internal/profile"
+	"pipedream/internal/topology"
+)
+
+// syntheticProfile builds a profile from raw per-layer (time, act, weight)
+// triples.
+func syntheticProfile(times []float64, acts, weights []int64) *profile.ModelProfile {
+	p := &profile.ModelProfile{Model: "synthetic", MinibatchSize: 1}
+	for i := range times {
+		p.Layers = append(p.Layers, profile.LayerProfile{
+			Name:            "l",
+			FwdTime:         times[i] / 3,
+			BwdTime:         times[i] * 2 / 3,
+			ActivationBytes: acts[i],
+			WeightBytes:     weights[i],
+		})
+	}
+	return p
+}
+
+func TestOptimizeSingleWorkerIsOneStage(t *testing.T) {
+	prof := syntheticProfile([]float64{1, 1, 1}, []int64{8, 8, 8}, []int64{8, 8, 8})
+	topo := topology.Flat(1, 1e9, topology.V100)
+	plan, err := Optimize(prof, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Stages) != 1 || plan.Stages[0].Replicas != 1 {
+		t.Fatalf("plan = %+v, want single unreplicated stage", plan.Stages)
+	}
+	if math.Abs(plan.BottleneckTime-3) > 1e-9 {
+		t.Fatalf("bottleneck %v, want 3", plan.BottleneckTime)
+	}
+}
+
+func TestOptimizePrefersPipelineForHeavyWeights(t *testing.T) {
+	// Two equal-compute layers with enormous weights and tiny activations:
+	// data parallelism would drown in all_reduce, so the optimizer must
+	// split into a straight 2-stage pipeline.
+	prof := syntheticProfile(
+		[]float64{1, 1},
+		[]int64{4, 4},
+		[]int64{4 << 30, 4 << 30},
+	)
+	topo := topology.Flat(2, 1e9, topology.V100) // 1 GB/s links
+	plan, err := Optimize(prof, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.IsStraight() || len(plan.Stages) != 2 {
+		t.Fatalf("plan %s, want 2-stage straight pipeline", plan.ConfigString())
+	}
+	if math.Abs(plan.BottleneckTime-1) > 1e-9 {
+		t.Fatalf("bottleneck %v, want 1", plan.BottleneckTime)
+	}
+}
+
+func TestOptimizePrefersDPForCompactWeights(t *testing.T) {
+	// Tiny weights, huge activations between layers: splitting would pay
+	// a huge transfer, so replicating everything (data parallelism) wins.
+	prof := syntheticProfile(
+		[]float64{1, 1},
+		[]int64{1 << 30, 4},
+		[]int64{1024, 1024},
+	)
+	topo := topology.Flat(2, 1e9, topology.V100)
+	plan, err := Optimize(prof, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.IsDataParallel() {
+		t.Fatalf("plan %s, want data parallel", plan.ConfigString())
+	}
+}
+
+func TestOptimizeMatchesBruteForceOnRandomProfiles(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		times := make([]float64, n)
+		acts := make([]int64, n)
+		weights := make([]int64, n)
+		for i := range times {
+			times[i] = 0.1 + rng.Float64()
+			acts[i] = int64(1 + rng.Intn(1<<20))
+			weights[i] = int64(1 + rng.Intn(1<<24))
+		}
+		prof := syntheticProfile(times, acts, weights)
+		workers := 2 + rng.Intn(3)
+		topo := topology.Flat(workers, 1e8+rng.Float64()*1e9, topology.V100)
+		opt, err := Optimize(prof, topo)
+		if err != nil {
+			t.Fatalf("optimize: %v", err)
+		}
+		bf, err := BruteForce(prof, topo)
+		if err != nil {
+			t.Fatalf("brute force: %v", err)
+		}
+		// The DP must achieve the brute-force optimum (within float eps).
+		if opt.BottleneckTime > bf.BottleneckTime*(1+1e-9)+1e-12 {
+			t.Logf("seed %d: DP %v (%s) vs brute force %v (%s)",
+				seed, opt.BottleneckTime, opt.ConfigString(), bf.BottleneckTime, bf.ConfigString())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvaluateRejectsBadStages(t *testing.T) {
+	prof := syntheticProfile([]float64{1, 1}, []int64{4, 4}, []int64{4, 4})
+	topo := topology.Flat(2, 1e9, topology.V100)
+	cases := [][]StageSpec{
+		{},
+		{{FirstLayer: 0, LastLayer: 0, Replicas: 1}},                                             // gap at end
+		{{FirstLayer: 0, LastLayer: 1, Replicas: 3}},                                             // too many workers
+		{{FirstLayer: 0, LastLayer: 1, Replicas: 0}},                                             // zero replicas
+		{{FirstLayer: 1, LastLayer: 1, Replicas: 1}},                                             // missing start
+		{{FirstLayer: 0, LastLayer: 1, Replicas: 1}, {FirstLayer: 1, LastLayer: 1, Replicas: 1}}, // overlap
+	}
+	for i, st := range cases {
+		if _, err := Evaluate(prof, topo, st); err == nil {
+			t.Fatalf("case %d: expected error for %+v", i, st)
+		}
+	}
+}
+
+func TestEvaluateNOAM(t *testing.T) {
+	prof := syntheticProfile([]float64{1, 1, 1}, []int64{4, 4, 4}, []int64{4, 4, 4})
+	topo := topology.Flat(3, 1e9, topology.V100)
+	plan, err := Evaluate(prof, topo, []StageSpec{
+		{FirstLayer: 0, LastLayer: 1, Replicas: 2},
+		{FirstLayer: 2, LastLayer: 2, Replicas: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// NOAM = ceil(3 workers / 2 input replicas) = 2.
+	if plan.NOAM != 2 {
+		t.Fatalf("NOAM = %d, want 2", plan.NOAM)
+	}
+}
+
+func TestModelParallelBalances(t *testing.T) {
+	prof := syntheticProfile([]float64{4, 1, 1, 1, 1}, []int64{4, 4, 4, 4, 4}, []int64{4, 4, 4, 4, 4})
+	topo := topology.Flat(2, 1e12, topology.V100)
+	plan, err := ModelParallel(prof, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Stages) != 2 {
+		t.Fatalf("stages = %d, want 2", len(plan.Stages))
+	}
+	// Best split: [4] | [1,1,1,1] → bottleneck 4.
+	if plan.Stages[0].LastLayer != 0 {
+		t.Fatalf("split %+v, want first stage = layer 0 only", plan.Stages)
+	}
+}
+
+func TestDataParallelPlanShape(t *testing.T) {
+	prof := syntheticProfile([]float64{1, 2}, []int64{4, 4}, []int64{100, 100})
+	topo := topology.Flat(4, 1e9, topology.V100)
+	plan, err := DataParallel(prof, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.IsDataParallel() || plan.Workers != 4 {
+		t.Fatalf("plan %+v not data parallel over 4", plan)
+	}
+	if plan.NOAM != 1 {
+		t.Fatalf("DP NOAM = %d, want 1", plan.NOAM)
+	}
+}
+
+// Paper shape: on Cluster-A with 4x4 GPUs, VGG-16's optimizer output
+// replicates the conv front heavily and leaves the dense tail on few
+// workers (the paper reports 15-1); it must NOT pick data parallelism, and
+// predicted throughput must beat DP's clearly.
+func TestVGG16OnClusterAAvoidsDataParallelism(t *testing.T) {
+	prof := modelzoo.VGG16(topology.V100, 64)
+	topo := topology.ClusterA(4)
+	plan, err := Optimize(prof, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.IsDataParallel() {
+		t.Fatalf("VGG-16 plan is data parallel; paper reports 15-1")
+	}
+	dp, err := DataParallel(prof, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := dp.BottleneckTime / plan.BottleneckTime
+	if speedup < 2 {
+		t.Fatalf("VGG-16 PipeDream speedup over DP = %.2f, want ≥2 (paper: ~5.3)", speedup)
+	}
+	// The input stage should be replicated far more than the output stage.
+	first, last := plan.Stages[0], plan.Stages[len(plan.Stages)-1]
+	if first.Replicas <= last.Replicas {
+		t.Fatalf("config %s: conv front should be the replicated side", plan.ConfigString())
+	}
+}
+
+// Paper shape: ResNet-50's compact conv weights make data parallelism
+// optimal — the optimizer must return the DP config (Table 1: "16", 1×).
+func TestResNet50OnClusterAPicksDataParallelism(t *testing.T) {
+	prof := modelzoo.ResNet50(topology.V100, 128)
+	topo := topology.ClusterA(4)
+	plan, err := Optimize(prof, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp, err := DataParallel(prof, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Either it literally picks DP, or its best plan is only marginally
+	// better (paper reports 1× — no advantage; our analytic cost model
+	// may find a sliver of headroom by splitting off the tiny FC tail,
+	// but nothing like VGG-16's ~5×).
+	if !plan.IsDataParallel() && dp.BottleneckTime/plan.BottleneckTime > 1.3 {
+		t.Fatalf("ResNet-50 plan %s predicts %.2f× over DP; paper reports no gain",
+			plan.ConfigString(), dp.BottleneckTime/plan.BottleneckTime)
+	}
+}
+
+// Paper shape: GNMT-16 on Cluster-A 4 servers picks a straight pipeline.
+func TestGNMT16OnClusterAPrefersPipeline(t *testing.T) {
+	prof := modelzoo.GNMT16(topology.V100, 64)
+	topo := topology.ClusterA(4)
+	plan, err := Optimize(prof, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.IsDataParallel() {
+		t.Fatal("GNMT-16 plan is data parallel; paper reports straight pipeline")
+	}
+	dp, err := DataParallel(prof, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := dp.BottleneckTime / plan.BottleneckTime; s < 1.3 {
+		t.Fatalf("GNMT-16 speedup %.2f, want ≥1.3 (paper: ~2.9)", s)
+	}
+}
+
+func TestOptimizerIsFast(t *testing.T) {
+	// §5.5: optimizer runs in under 8 seconds for all models evaluated.
+	// Ours must be far faster; this is a smoke bound, not a benchmark.
+	for _, name := range modelzoo.Names() {
+		prof, err := modelzoo.ByName(name, topology.V100, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Optimize(prof, topology.ClusterB(4)); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestConfigString(t *testing.T) {
+	prof := syntheticProfile([]float64{1, 1, 1}, []int64{4, 4, 4}, []int64{4, 4, 4})
+	topo := topology.Flat(4, 1e9, topology.V100)
+	plan, err := Evaluate(prof, topo, []StageSpec{
+		{FirstLayer: 0, LastLayer: 0, Replicas: 2},
+		{FirstLayer: 1, LastLayer: 1, Replicas: 1},
+		{FirstLayer: 2, LastLayer: 2, Replicas: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := plan.ConfigString(); got != "2-1-1" {
+		t.Fatalf("ConfigString = %q, want 2-1-1", got)
+	}
+}
+
+func TestBandwidthForSpan(t *testing.T) {
+	topo := topology.ClusterA(2) // 4 GPUs/server @2GB/s PCIe, 2 servers @10Gbps (TCP eff)
+	if bw := bandwidthForSpan(topo, 2); bw != 2*topology.GBps {
+		t.Fatalf("span 2 bw = %v, want intra-server", bw)
+	}
+	if bw := bandwidthForSpan(topo, 8); bw != 10*topology.Gbps*topology.EthernetEff {
+		t.Fatalf("span 8 bw = %v, want inter-server", bw)
+	}
+}
+
+// Property: on random hierarchical topologies, Optimize always returns a
+// structurally valid plan — contiguous full layer coverage, worker budget
+// respected, NOAM consistent — and is deterministic.
+func TestOptimizeHierarchicalStructuralProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		times := make([]float64, n)
+		acts := make([]int64, n)
+		weights := make([]int64, n)
+		for i := range times {
+			times[i] = 0.01 + rng.Float64()
+			acts[i] = int64(1 + rng.Intn(1<<24))
+			weights[i] = int64(1 + rng.Intn(1<<28))
+		}
+		prof := syntheticProfile(times, acts, weights)
+		inner := 1 + rng.Intn(4)
+		outer := 1 + rng.Intn(4)
+		topo := &topology.Topology{
+			Name:   "rand",
+			Device: topology.V100,
+			Levels: []topology.Level{
+				{Width: inner, Bandwidth: 1e8 + rng.Float64()*1e10, Shared: rng.Intn(2) == 0},
+				{Width: outer, Bandwidth: 1e7 + rng.Float64()*1e9},
+			},
+		}
+		p1, err := Optimize(prof, topo)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		p2, err := Optimize(prof, topo)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		// Determinism.
+		if p1.ConfigString() != p2.ConfigString() || p1.BottleneckTime != p2.BottleneckTime {
+			t.Logf("seed %d: nondeterministic optimizer", seed)
+			return false
+		}
+		// Structural validity (Evaluate re-validates, but assert the
+		// essentials here explicitly).
+		next, total := 0, 0
+		for _, st := range p1.Stages {
+			if st.FirstLayer != next || st.Replicas < 1 {
+				return false
+			}
+			next = st.LastLayer + 1
+			total += st.Replicas
+		}
+		if next != n || total > inner*outer || p1.NOAM < 1 {
+			return false
+		}
+		if p1.NOAM != (p1.Workers+p1.Stages[0].Replicas-1)/p1.Stages[0].Replicas {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the hierarchical optimizer's plan is never worse (under the
+// shared cost model) than both trivial baselines it generalizes: pure
+// data parallelism and the best straight pipeline.
+func TestOptimizeDominatesBaselines(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		times := make([]float64, n)
+		acts := make([]int64, n)
+		weights := make([]int64, n)
+		for i := range times {
+			times[i] = 0.01 + rng.Float64()
+			acts[i] = int64(1 + rng.Intn(1<<22))
+			weights[i] = int64(1 + rng.Intn(1<<26))
+		}
+		prof := syntheticProfile(times, acts, weights)
+		workers := 2 + rng.Intn(4)
+		topo := topology.Flat(workers, 1e8+rng.Float64()*1e9, topology.V100)
+		opt, err := Optimize(prof, topo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dp, err := DataParallel(prof, topo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mp, err := ModelParallel(prof, topo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const eps = 1e-9
+		return opt.BottleneckTime <= dp.BottleneckTime*(1+eps) &&
+			opt.BottleneckTime <= mp.BottleneckTime*(1+eps)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The hierarchical reconstruction must flatten nested replication
+// correctly: a top-level stage replicated over s servers whose inner
+// solution replicates over g GPUs becomes a flat stage with s*g replicas.
+func TestReconstructFlattensNestedReplication(t *testing.T) {
+	// Two identical compute-heavy layers with tiny weights and tiny
+	// activations: every level's best choice is full replication, so the
+	// flattened plan must be data parallelism over all 8 workers
+	// (2 servers × 4 GPUs).
+	prof := syntheticProfile([]float64{1, 1}, []int64{4, 4}, []int64{4, 4})
+	topo := &topology.Topology{
+		Name:   "2x4",
+		Device: topology.V100,
+		Levels: []topology.Level{
+			{Width: 4, Bandwidth: 1e12},
+			{Width: 2, Bandwidth: 1e12},
+		},
+	}
+	plan, err := Optimize(prof, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.IsDataParallel() || plan.Workers != 8 {
+		t.Fatalf("plan %s over %d workers, want 8-way DP", plan.ConfigString(), plan.Workers)
+	}
+}
+
+// A weight-heavy tail forces a split at the top level; the inner level
+// then replicates the compute-heavy front within each server, and the
+// flattening must multiply the two replication factors.
+func TestReconstructMultipliesReplication(t *testing.T) {
+	prof := syntheticProfile(
+		[]float64{4, 0.1},
+		[]int64{64, 64},
+		[]int64{1 << 10, 1 << 32}, // 4 GB tail: never replicate across slow links
+	)
+	topo := &topology.Topology{
+		Name:   "2x2-slow",
+		Device: topology.V100,
+		Levels: []topology.Level{
+			{Width: 2, Bandwidth: 1e11},
+			{Width: 2, Bandwidth: 1e8},
+		},
+	}
+	plan, err := Optimize(prof, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.IsDataParallel() {
+		t.Fatalf("plan %s: 4 GB of tail weights must not be replicated across the slow link", plan.ConfigString())
+	}
+	// The tail may replicate within one server's fast links, but never
+	// across both servers (which would all_reduce 4 GB at 1e8 B/s).
+	if tail := plan.Stages[len(plan.Stages)-1].Replicas; tail > 2 {
+		t.Fatalf("plan %s: tail replicated %d-way spans the slow link", plan.ConfigString(), tail)
+	}
+	if len(plan.Stages) < 2 {
+		t.Fatalf("plan %s: expected a pipeline split", plan.ConfigString())
+	}
+	total := 0
+	for _, st := range plan.Stages {
+		total += st.Replicas
+	}
+	if total > 4 {
+		t.Fatalf("plan %s uses %d workers, topology has 4", plan.ConfigString(), total)
+	}
+}
+
+func TestPlanJSONRoundTrip(t *testing.T) {
+	prof := syntheticProfile([]float64{1, 1, 1}, []int64{4, 4, 4}, []int64{4, 4, 4})
+	topo := topology.Flat(3, 1e9, topology.V100)
+	plan, err := Evaluate(prof, topo, []StageSpec{
+		{FirstLayer: 0, LastLayer: 1, Replicas: 2},
+		{FirstLayer: 2, LastLayer: 2, Replicas: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := plan.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf, prof, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ConfigString() != plan.ConfigString() || got.NOAM != plan.NOAM ||
+		got.BottleneckTime != plan.BottleneckTime {
+		t.Fatalf("round trip changed the plan: %s vs %s", got, plan)
+	}
+}
+
+func TestPlanJSONRejectsWrongModel(t *testing.T) {
+	prof := syntheticProfile([]float64{1}, []int64{4}, []int64{4})
+	topo := topology.Flat(1, 1e9, topology.V100)
+	plan, err := Evaluate(prof, topo, []StageSpec{{FirstLayer: 0, LastLayer: 0, Replicas: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := plan.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other := syntheticProfile([]float64{1}, []int64{4}, []int64{4})
+	other.Model = "different"
+	if _, err := ReadJSON(&buf, other, topo); err == nil {
+		t.Fatal("model mismatch must fail")
+	}
+}
+
+func TestPlanJSONRejectsGarbage(t *testing.T) {
+	prof := syntheticProfile([]float64{1}, []int64{4}, []int64{4})
+	topo := topology.Flat(1, 1e9, topology.V100)
+	if _, err := ReadJSON(bytes.NewBufferString("nope"), prof, topo); err == nil {
+		t.Fatal("garbage must fail")
+	}
+}

@@ -1,0 +1,39 @@
+package partition
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"pipedream/internal/profile"
+	"pipedream/internal/topology"
+)
+
+// planJSON is the serialized form of a Plan (derived fields are
+// recomputed on load against a profile/topology, so files stay small and
+// can't go stale).
+type planJSON struct {
+	Model  string      `json:"model"`
+	Stages []StageSpec `json:"stages"`
+}
+
+// WriteJSON serializes the plan's stage assignment.
+func (p *Plan) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(planJSON{Model: p.Model, Stages: p.Stages})
+}
+
+// ReadJSON loads a stage assignment and re-evaluates it against the given
+// profile and topology (recomputing stage times, NOAM, and the throughput
+// prediction). The profile's model name must match the plan's.
+func ReadJSON(r io.Reader, prof *profile.ModelProfile, topo *topology.Topology) (*Plan, error) {
+	var pj planJSON
+	if err := json.NewDecoder(r).Decode(&pj); err != nil {
+		return nil, fmt.Errorf("partition: decode plan: %w", err)
+	}
+	if pj.Model != prof.Model {
+		return nil, fmt.Errorf("partition: plan is for model %q, profile is %q", pj.Model, prof.Model)
+	}
+	return Evaluate(prof, topo, pj.Stages)
+}

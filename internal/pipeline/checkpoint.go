@@ -1,0 +1,112 @@
+package pipeline
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"pipedream/internal/nn"
+	"pipedream/internal/tensor"
+)
+
+// checkpointFile is the serialized state of one worker's stage.
+type checkpointFile struct {
+	Stage   int
+	Replica int
+	Updates int
+	Params  []*tensor.Tensor
+	// OptState carries the optimizer's per-parameter state (momentum,
+	// Adam moments) when the optimizer implements nn.Stateful, so resumed
+	// training continues exactly.
+	OptState [][]*tensor.Tensor
+}
+
+// Checkpoint writes each worker's current parameters to dir, one file per
+// stage replica — the paper's coordination-free per-stage checkpointing
+// (§4). Call between Train invocations (the pipeline must be idle).
+func (p *Pipeline) Checkpoint(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("pipeline: checkpoint dir: %w", err)
+	}
+	for _, sw := range p.workers {
+		if sw == nil { // solo deployments hold only this process's worker
+			continue
+		}
+		path := filepath.Join(dir, fmt.Sprintf("stage%02d_replica%02d.ckpt", sw.stage, sw.replica))
+		f, err := os.Create(path)
+		if err != nil {
+			return fmt.Errorf("pipeline: checkpoint %s: %w", path, err)
+		}
+		cf := checkpointFile{
+			Stage:   sw.stage,
+			Replica: sw.replica,
+			Updates: sw.updates,
+			Params:  sw.model.Params(),
+		}
+		if st, ok := sw.opt.(nn.Stateful); ok {
+			cf.OptState = st.StateSnapshot(sw.model.Params())
+		}
+		err = gob.NewEncoder(f).Encode(&cf)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("pipeline: checkpoint %s: %w", path, err)
+		}
+	}
+	return nil
+}
+
+// Restore loads parameters previously written by Checkpoint. Restarting
+// from a checkpoint resumes every stage from its last saved version.
+func (p *Pipeline) Restore(dir string) error {
+	for _, sw := range p.workers {
+		if sw == nil {
+			continue
+		}
+		path := filepath.Join(dir, fmt.Sprintf("stage%02d_replica%02d.ckpt", sw.stage, sw.replica))
+		f, err := os.Open(path)
+		if err != nil {
+			return fmt.Errorf("pipeline: restore %s: %w", path, err)
+		}
+		var cf checkpointFile
+		err = gob.NewDecoder(f).Decode(&cf)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("pipeline: restore %s: %w", path, err)
+		}
+		if cf.Stage != sw.stage || cf.Replica != sw.replica {
+			return fmt.Errorf("pipeline: restore %s: checkpoint is for stage %d replica %d", path, cf.Stage, cf.Replica)
+		}
+		params := sw.model.Params()
+		if len(params) != len(cf.Params) {
+			return fmt.Errorf("pipeline: restore %s: %d params in checkpoint, model has %d", path, len(cf.Params), len(params))
+		}
+		for i, pt := range params {
+			pt.CopyFrom(cf.Params[i])
+		}
+		if st, ok := sw.opt.(nn.Stateful); ok && cf.OptState != nil {
+			if len(cf.OptState) != len(params) {
+				return fmt.Errorf("pipeline: restore %s: optimizer state for %d params, model has %d",
+					path, len(cf.OptState), len(params))
+			}
+			st.RestoreState(params, cf.OptState)
+		}
+		sw.updates = cf.Updates
+		if sw.mode == VerticalSync {
+			sw.versions = map[int][]*tensor.Tensor{sw.reflected(): snapshot(params)}
+		}
+	}
+	return nil
+}
+
+func snapshot(params []*tensor.Tensor) []*tensor.Tensor {
+	out := make([]*tensor.Tensor, len(params))
+	for i, p := range params {
+		out[i] = p.Clone()
+	}
+	return out
+}

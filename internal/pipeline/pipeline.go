@@ -1,0 +1,787 @@
+// Package pipeline is PipeDream's execution runtime: it takes a partition
+// plan for a real nn model, spins up one goroutine per worker (stage
+// replica), and trains with the 1F1B-RR schedule — the startup phase
+// admits NOAM minibatches, every worker then alternates forward and
+// backward work with backward priority, minibatches are routed
+// round-robin across stage replicas, and weight stashing (optionally
+// vertical sync) keeps gradients numerically correct despite pipelined
+// staleness (§3.2-3.3 of the paper). Replicated stages synchronize
+// gradients with an in-process all_reduce before applying updates.
+package pipeline
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"pipedream/internal/data"
+	"pipedream/internal/nn"
+	"pipedream/internal/partition"
+	"pipedream/internal/schedule"
+	"pipedream/internal/tensor"
+	"pipedream/internal/transport"
+)
+
+// StalenessMode selects how the runtime handles weight versions across a
+// minibatch's forward and backward passes.
+type StalenessMode int
+
+// Staleness modes (§3.3).
+const (
+	// WeightStashing (PipeDream's default): forward uses the latest
+	// weights and stashes them; the backward pass reuses the stashed
+	// version, so every gradient is valid for the weights that produced
+	// it.
+	WeightStashing StalenessMode = iota
+	// VerticalSync additionally forces every stage to use the weight
+	// version the minibatch saw at the input stage, eliminating
+	// cross-stage version inconsistency.
+	VerticalSync
+	// NoStashing is the naive pipeline: backward runs against whatever
+	// weights are current, yielding invalid gradients (the ablation that
+	// motivates stashing).
+	NoStashing
+)
+
+// String implements fmt.Stringer.
+func (m StalenessMode) String() string {
+	switch m {
+	case WeightStashing:
+		return "weight-stashing"
+	case VerticalSync:
+		return "vertical-sync"
+	case NoStashing:
+		return "no-stashing"
+	}
+	return fmt.Sprintf("StalenessMode(%d)", int(m))
+}
+
+// LossFunc computes a scalar loss and its gradient w.r.t. predictions.
+type LossFunc func(pred *tensor.Tensor, labels []int) (float64, *tensor.Tensor)
+
+// Options configures a Pipeline.
+type Options struct {
+	// ModelFactory must return architecturally identical models with
+	// identical initial weights on every call (use a fixed seed); each
+	// worker owns a private instance and slices out its stage.
+	ModelFactory func() *nn.Sequential
+	// Plan assigns model layers to stages/replicas (from the optimizer).
+	Plan *partition.Plan
+	// Loss runs at the output stage.
+	Loss LossFunc
+	// NewOptimizer builds one optimizer per worker.
+	NewOptimizer func() nn.Optimizer
+	// Mode selects the staleness handling; default WeightStashing.
+	Mode StalenessMode
+	// Depth overrides NOAM as the per-input-replica in-flight bound.
+	Depth int
+	// Recompute discards forward activations and recomputes them during
+	// the backward pass (GPipe's memory-for-compute trade, §3.3) instead
+	// of stashing layer contexts. Requires deterministic layers (dropout
+	// would re-draw its mask during recomputation).
+	Recompute bool
+	// GradAccumulation applies the optimizer update only every N
+	// backward passes, averaging the accumulated gradients — the weight
+	// aggregation technique §3.3 lists for reducing update frequency.
+	// 0 or 1 means update every minibatch.
+	GradAccumulation int
+	// Transport carries inter-stage messages; default in-process
+	// channels.
+	Transport transport.Transport
+}
+
+// Report summarizes one Train call.
+type Report struct {
+	// Losses[i] is the loss of the i-th minibatch of this run, in
+	// admission order.
+	Losses []float64
+	// WallTime is the elapsed training time.
+	WallTime time.Duration
+	// Samples is the total number of training samples processed.
+	Samples int
+	// PeakStashBytes is, per worker, the peak bytes held in weight
+	// stashes and activation inputs (tensor payloads only).
+	PeakStashBytes []int64
+}
+
+// Throughput returns samples per second of wall time.
+func (r *Report) Throughput() float64 {
+	if r.WallTime <= 0 {
+		return 0
+	}
+	return float64(r.Samples) / r.WallTime.Seconds()
+}
+
+// MeanLoss averages the recorded losses.
+func (r *Report) MeanLoss() float64 {
+	if len(r.Losses) == 0 {
+		return 0
+	}
+	var s float64
+	for _, l := range r.Losses {
+		s += l
+	}
+	return s / float64(len(r.Losses))
+}
+
+// Pipeline is a ready-to-train pipeline-parallel model instance. Workers
+// persist across Train calls, so epoch loops keep optimizer and weight
+// state.
+type Pipeline struct {
+	opts    Options
+	assign  *schedule.Assignment
+	depth   int
+	workers []*stageWorker
+	tr      transport.Transport
+	ownTr   bool
+	cursor  int
+}
+
+type lossEvent struct {
+	mb   int
+	loss float64
+}
+
+// New validates options and builds the pipeline workers.
+func New(opts Options) (*Pipeline, error) {
+	if opts.ModelFactory == nil || opts.Plan == nil || opts.Loss == nil || opts.NewOptimizer == nil {
+		return nil, fmt.Errorf("pipeline: ModelFactory, Plan, Loss, and NewOptimizer are required")
+	}
+	ref := opts.ModelFactory()
+	last := opts.Plan.Stages[len(opts.Plan.Stages)-1].LastLayer
+	if last != len(ref.Layers)-1 {
+		return nil, fmt.Errorf("pipeline: plan covers %d layers, model has %d", last+1, len(ref.Layers))
+	}
+	p := &Pipeline{opts: opts, assign: schedule.Assign(opts.Plan)}
+	p.depth = opts.Depth
+	if p.depth <= 0 {
+		p.depth = opts.Plan.NOAM
+	}
+	p.tr = opts.Transport
+	if p.tr == nil {
+		// Inboxes must absorb every in-flight message even when a worker
+		// stalls in a gradient all_reduce: depth minibatches per input
+		// replica, two messages each, plus slack.
+		buffer := 2*p.depth*opts.Plan.Stages[0].Replicas + 8
+		p.tr = transport.NewChannels(p.assign.NumWorkers(), buffer)
+		p.ownTr = true
+	}
+	reducers := make([]*allReducer, len(opts.Plan.Stages))
+	for s, spec := range opts.Plan.Stages {
+		if spec.Replicas > 1 {
+			reducers[s] = newAllReducer(spec.Replicas)
+		}
+	}
+	for w, ref := range p.assign.Workers {
+		model := opts.ModelFactory()
+		spec := opts.Plan.Stages[ref.Stage]
+		sw := &stageWorker{
+			p:       p,
+			id:      w,
+			stage:   ref.Stage,
+			replica: ref.Replica,
+			model:   model.Slice(spec.FirstLayer, spec.LastLayer+1),
+			opt:     opts.NewOptimizer(),
+			mode:    opts.Mode,
+			reducer: reducers[ref.Stage],
+			stash:   make(map[int]stashEntry),
+		}
+		if opts.Mode == VerticalSync {
+			sw.versions = map[int][]*tensor.Tensor{0: nn.SnapshotParams(sw.model.Params())}
+		}
+		p.workers = append(p.workers, sw)
+	}
+	return p, nil
+}
+
+// Close releases the transport if the pipeline created it.
+func (p *Pipeline) Close() error {
+	if p.ownTr {
+		return p.tr.Close()
+	}
+	return nil
+}
+
+// Depth returns the effective pipeline depth (NOAM unless overridden).
+func (p *Pipeline) Depth() int { return p.depth }
+
+// Plan returns the plan the pipeline executes.
+func (p *Pipeline) Plan() *partition.Plan { return p.opts.Plan }
+
+// Train processes the next `minibatches` minibatches from ds through the
+// pipeline and blocks until every backward pass has been applied.
+func (p *Pipeline) Train(ds data.Dataset, minibatches int) (*Report, error) {
+	if minibatches <= 0 {
+		return nil, fmt.Errorf("pipeline: minibatches = %d", minibatches)
+	}
+	start := p.cursor
+	end := start + minibatches
+	p.cursor = end
+	results := make(chan lossEvent, minibatches)
+	for s, spec := range p.opts.Plan.Stages {
+		if spec.Replicas > 1 {
+			p.workers[p.assign.StageWorkers[s][0]].reducer.reset(start, minibatches)
+		}
+	}
+	t0 := time.Now()
+	var wg sync.WaitGroup
+	for _, sw := range p.workers {
+		wg.Add(1)
+		go func(sw *stageWorker) {
+			defer wg.Done()
+			sw.run(ds, start, end, results)
+		}(sw)
+	}
+	wg.Wait()
+	close(results)
+	rep := &Report{
+		Losses:         make([]float64, minibatches),
+		WallTime:       time.Since(t0),
+		Samples:        minibatches * ds.Batch(start).X.Dim(0),
+		PeakStashBytes: make([]int64, len(p.workers)),
+	}
+	for ev := range results {
+		rep.Losses[ev.mb-start] = ev.loss
+	}
+	for w, sw := range p.workers {
+		rep.PeakStashBytes[w] = sw.peakStashBytes
+	}
+	return rep, nil
+}
+
+// StageModel returns the live model slice executed by the given stage
+// replica — useful for inspection and tests. The returned Sequential
+// shares parameter tensors with the worker; do not mutate while training.
+func (p *Pipeline) StageModel(stage, replica int) *nn.Sequential {
+	return p.workers[p.assign.StageWorkers[stage][replica]].model
+}
+
+// CollectModel assembles the current weights into a fresh single-worker
+// model (taking replica 0 of each stage) for evaluation or export.
+func (p *Pipeline) CollectModel() *nn.Sequential {
+	model := p.opts.ModelFactory()
+	for s, spec := range p.opts.Plan.Stages {
+		w := p.assign.StageWorkers[s][0]
+		src := p.workers[w].model.Params()
+		dst := model.Slice(spec.FirstLayer, spec.LastLayer+1).Params()
+		nn.RestoreParams(dst, src)
+	}
+	return model
+}
+
+// stashEntry is the per-minibatch state a worker keeps between a forward
+// and its backward.
+type stashEntry struct {
+	params  []*tensor.Tensor // weight version used in forward (nil in NoStashing)
+	ctx     *nn.SeqContext   // nil when recomputation is enabled
+	input   *tensor.Tensor   // stage input, kept only for recomputation
+	version int
+	bytes   int64
+}
+
+type stageWorker struct {
+	p       *Pipeline
+	id      int
+	stage   int
+	replica int
+	model   *nn.Sequential
+	opt     nn.Optimizer
+	mode    StalenessMode
+	reducer *allReducer
+
+	updates  int
+	versions map[int][]*tensor.Tensor // vertical sync: version -> params
+	stash    map[int]stashEntry
+
+	// Gradient accumulation state: pending gradient sum and count.
+	accumGrads []*tensor.Tensor
+	accumCount int
+
+	stashBytes     int64
+	peakStashBytes int64
+
+	// Message queues (fields so the distributed gradient exchange can
+	// keep routing pipeline traffic while it waits for sibling replicas).
+	fwdQ, bwdQ []transport.Message
+	// gradExch buffers sibling replicas' gradient contributions by
+	// all-reduce round.
+	gradExch map[int][]*tensor.Tensor
+
+	results    chan<- lossEvent
+	trainStart int
+	trainEnd   int
+}
+
+func (sw *stageWorker) replicas() int { return len(sw.p.assign.StageWorkers[sw.stage]) }
+
+func (sw *stageWorker) isLast() bool { return sw.stage == len(sw.p.assign.StageWorkers)-1 }
+
+// enqueue routes an incoming message to the right queue.
+func (sw *stageWorker) enqueue(m transport.Message) {
+	switch m.Kind {
+	case transport.Activation:
+		sw.fwdQ = append(sw.fwdQ, m)
+	case transport.Gradient:
+		sw.bwdQ = append(sw.bwdQ, m)
+	case transport.GradExchange:
+		if sw.gradExch == nil {
+			sw.gradExch = make(map[int][]*tensor.Tensor)
+		}
+		sw.gradExch[m.Minibatch] = append(sw.gradExch[m.Minibatch], m.Tensor)
+	}
+}
+
+// drainInbox moves every queued message into the worker's queues without
+// blocking.
+func (sw *stageWorker) drainInbox() {
+	inbox := sw.p.tr.Inbox(sw.id)
+	for {
+		select {
+		case m, ok := <-inbox:
+			if !ok {
+				return
+			}
+			sw.enqueue(m)
+		default:
+			return
+		}
+	}
+}
+
+// run is the 1F1B worker loop for one Train call.
+func (sw *stageWorker) run(ds data.Dataset, start, end int, results chan<- lossEvent) {
+	sw.results = results
+	sw.trainStart = start
+	sw.trainEnd = end
+	expected := 0
+	for mb := start; mb < end; mb++ {
+		if schedule.ReplicaFor(mb, sw.replicas()) == sw.replica {
+			expected++
+		}
+	}
+	done := 0
+	inFlight := 0
+	nextOwn := start
+	for nextOwn < end && schedule.ReplicaFor(nextOwn, sw.replicas()) != sw.replica {
+		nextOwn++
+	}
+	inbox := sw.p.tr.Inbox(sw.id)
+
+	for done < expected {
+		sw.drainInbox()
+		switch {
+		case len(sw.bwdQ) > 0:
+			// Backward priority: the "1B" half of 1F1B.
+			m := sw.bwdQ[0]
+			sw.bwdQ = sw.bwdQ[1:]
+			sw.backward(m)
+			done++
+			if sw.stage == 0 {
+				inFlight--
+			}
+		case sw.stage == 0 && inFlight < sw.p.depth && nextOwn < end:
+			// Input stage admits its own round-robin minibatches, gated
+			// by the pipeline depth (NOAM). The version tag counts the
+			// minibatches reflected in this replica's current weights.
+			mb := nextOwn
+			nextOwn += sw.replicas()
+			inFlight++
+			batch := ds.Batch(mb)
+			if b, ok := sw.forward(transport.Message{
+				Kind: transport.Activation, Minibatch: mb,
+				Version: sw.reflected(), Tensor: batch.X, Labels: batch.Labels,
+			}); ok {
+				sw.bwdQ = append(sw.bwdQ, b)
+			}
+		case sw.runnableForward(end):
+			m := sw.takeForward(end)
+			if b, ok := sw.forward(m); ok {
+				sw.bwdQ = append(sw.bwdQ, b)
+			}
+		default:
+			// Nothing runnable: block for the next message.
+			m, ok := <-inbox
+			if !ok {
+				return
+			}
+			sw.enqueue(m)
+		}
+	}
+}
+
+// forward runs the stage's forward pass for one minibatch. At the output
+// stage it computes the loss and returns the local backward message.
+func (sw *stageWorker) forward(m transport.Message) (transport.Message, bool) {
+	params := sw.model.Params()
+	var stashed []*tensor.Tensor
+	switch sw.mode {
+	case WeightStashing:
+		stashed = nn.SnapshotParams(params)
+	case VerticalSync:
+		// Version tags count globally reflected minibatches, so stages
+		// with different replication factors can translate them: this
+		// stage's version after u local updates reflects u·replicas
+		// minibatches. Use the newest version not exceeding the tag.
+		key, v := sw.lookupVersion(m.Version)
+		stashed = v
+		if key != sw.reflected() {
+			// Compute with the stashed (older) version, then put the
+			// latest back before returning.
+			latest := nn.SnapshotParams(params)
+			nn.RestoreParams(params, stashed)
+			defer nn.RestoreParams(params, latest)
+		}
+	case NoStashing:
+		stashed = nil
+	}
+	y, ctx := sw.model.Forward(m.Tensor, true)
+	entry := stashEntry{params: stashed, ctx: ctx, version: m.Version,
+		bytes: stashBytesOf(stashed, m.Tensor)}
+	if sw.p.opts.Recompute {
+		// Keep only the stage input; the backward pass re-runs the
+		// forward to rebuild layer contexts (trading compute for the
+		// activation-stash memory, §3.3).
+		entry.ctx = nil
+		entry.input = m.Tensor
+	}
+	sw.stash[m.Minibatch] = entry
+	sw.trackStash(entry.bytes)
+
+	if sw.isLast() {
+		loss, grad := sw.p.opts.Loss(y, m.Labels)
+		sw.results <- lossEvent{mb: m.Minibatch, loss: loss}
+		return transport.Message{
+			Kind: transport.Gradient, Minibatch: m.Minibatch,
+			Version: m.Version, Tensor: grad,
+		}, true
+	}
+	next := sw.stage + 1
+	target := sw.p.assign.StageWorkers[next][schedule.ReplicaFor(m.Minibatch, len(sw.p.assign.StageWorkers[next]))]
+	sw.p.tr.Send(target, transport.Message{
+		Kind: transport.Activation, Minibatch: m.Minibatch,
+		Version: m.Version, Tensor: y, Labels: m.Labels,
+	})
+	return transport.Message{}, false
+}
+
+// backward runs the stage's backward pass for one minibatch, synchronizes
+// gradients across replicas, and applies the update to the latest weights
+// (PipeDream's semantics: gradients are computed with stashed weights but
+// applied to the most recent version).
+func (sw *stageWorker) backward(m transport.Message) {
+	entry, ok := sw.stash[m.Minibatch]
+	if !ok {
+		panic(fmt.Sprintf("pipeline: worker %d backward for unknown minibatch %d", sw.id, m.Minibatch))
+	}
+	delete(sw.stash, m.Minibatch)
+	params := sw.model.Params()
+	grads := sw.model.Grads()
+	nn.ZeroGrads(grads)
+
+	var gradIn *tensor.Tensor
+	backward := func() *tensor.Tensor {
+		ctx := entry.ctx
+		if ctx == nil {
+			// Recomputation: re-run the forward pass (under the same
+			// stashed weights) to rebuild the layer contexts.
+			_, ctx = sw.model.Forward(entry.input, true)
+		}
+		return sw.model.Backward(ctx, m.Tensor)
+	}
+	if entry.params != nil {
+		latest := nn.SnapshotParams(params)
+		nn.RestoreParams(params, entry.params)
+		gradIn = backward()
+		nn.RestoreParams(params, latest)
+	} else {
+		gradIn = backward()
+	}
+	sw.trackStash(-entry.bytes)
+
+	// Replicated stages average gradients before updating, so replicas
+	// stay consistent (the runtime analogue of DDP within a stage). The
+	// in-process runtime uses a shared reducer; solo (multi-process)
+	// workers exchange gradients over the transport.
+	if sw.reducer != nil {
+		sw.reducer.reduce(m.Minibatch, grads)
+	} else if sw.replicas() > 1 {
+		sw.exchangeGradients(m.Minibatch, grads)
+	}
+	sw.applyUpdate(params, grads)
+	if sw.mode == VerticalSync {
+		sw.versions[sw.reflected()] = nn.SnapshotParams(params)
+		sw.pruneVersions()
+	}
+
+	if sw.stage > 0 {
+		prev := sw.stage - 1
+		target := sw.p.assign.StageWorkers[prev][schedule.ReplicaFor(m.Minibatch, len(sw.p.assign.StageWorkers[prev]))]
+		sw.p.tr.Send(target, transport.Message{
+			Kind: transport.Gradient, Minibatch: m.Minibatch,
+			Version: entry.version, Tensor: gradIn,
+		})
+	}
+}
+
+// applyUpdate steps the optimizer, honouring gradient accumulation: with
+// GradAccumulation = N, gradients of N consecutive minibatches are
+// averaged into one update. The version counter still advances every
+// minibatch so vertical-sync tags stay aligned across stages.
+func (sw *stageWorker) applyUpdate(params, grads []*tensor.Tensor) {
+	n := sw.p.opts.GradAccumulation
+	if n <= 1 {
+		sw.opt.Step(params, grads)
+		sw.updates++
+		return
+	}
+	if sw.accumGrads == nil {
+		sw.accumGrads = nn.SnapshotParams(grads)
+	} else {
+		for i, g := range grads {
+			sw.accumGrads[i].Add(g)
+		}
+	}
+	sw.accumCount++
+	if sw.accumCount >= n {
+		inv := float32(1) / float32(sw.accumCount)
+		for _, g := range sw.accumGrads {
+			g.Scale(inv)
+		}
+		sw.opt.Step(params, sw.accumGrads)
+		sw.accumGrads = nil
+		sw.accumCount = 0
+	}
+	sw.updates++
+}
+
+// reflected returns the number of globally admitted minibatches whose
+// updates this worker's weights incorporate: one local update per
+// round-robin round covers `replicas` minibatches.
+func (sw *stageWorker) reflected() int { return sw.updates * sw.replicas() }
+
+// lookupVersion returns the newest stored weight version whose reflected
+// count does not exceed the tag. It panics if no such version survives —
+// that would mean pruning outran an in-transit minibatch.
+func (sw *stageWorker) lookupVersion(tag int) (int, []*tensor.Tensor) {
+	bestKey := -1
+	var best []*tensor.Tensor
+	for k, v := range sw.versions {
+		if k <= tag && k > bestKey {
+			bestKey, best = k, v
+		}
+	}
+	if best == nil {
+		panic(fmt.Sprintf("pipeline: worker %d has no weight version ≤ tag %d (have %d updates over %d replicas)",
+			sw.id, tag, sw.updates, sw.replicas()))
+	}
+	return bestKey, best
+}
+
+// runnableForward reports whether a forward for the CURRENT Run window is
+// queued. In multi-process deployments a fast upstream replica may already
+// be sending next-epoch activations; those stay queued until the next Run.
+func (sw *stageWorker) runnableForward(end int) bool {
+	for _, m := range sw.fwdQ {
+		if m.Minibatch < end {
+			return true
+		}
+	}
+	return false
+}
+
+// takeForward dequeues the first forward within the current window.
+func (sw *stageWorker) takeForward(end int) transport.Message {
+	for i, m := range sw.fwdQ {
+		if m.Minibatch < end {
+			sw.fwdQ = append(sw.fwdQ[:i], sw.fwdQ[i+1:]...)
+			return m
+		}
+	}
+	panic("pipeline: takeForward without runnableForward")
+}
+
+// exchangeGradients is the distributed all_reduce for replicated stages:
+// every replica sends its flattened gradients for the round to each
+// sibling and waits (while continuing to route pipeline traffic) until
+// all participants' contributions arrive, then averages in place.
+func (sw *stageWorker) exchangeGradients(mb int, grads []*tensor.Tensor) {
+	replicas := sw.replicas()
+	round := (mb - sw.trainStart) / replicas
+	// Participants of the final partial round.
+	participants := sw.trainEnd - sw.trainStart - round*replicas
+	if participants > replicas {
+		participants = replicas
+	}
+	if participants <= 1 {
+		return
+	}
+	flat := transport.FlattenTensors(grads)
+	siblings := sw.p.assign.StageWorkers[sw.stage]
+	for _, peer := range siblings {
+		if peer == sw.id {
+			continue
+		}
+		// Skip siblings with no minibatch in this round.
+		peerReplica := sw.p.assign.Workers[peer].Replica
+		if sw.trainStart+round*replicas+peerReplica >= sw.trainEnd {
+			continue
+		}
+		sw.p.tr.Send(peer, transport.Message{
+			Kind: transport.GradExchange, Minibatch: round,
+			Version: sw.replica, Tensor: flat,
+		})
+	}
+	// Wait for the other participants, routing unrelated messages into
+	// the normal queues so the pipeline keeps flowing.
+	inbox := sw.p.tr.Inbox(sw.id)
+	for sw.gradExch == nil || len(sw.gradExch[round]) < participants-1 {
+		m, ok := <-inbox
+		if !ok {
+			panic(fmt.Sprintf("pipeline: worker %d transport closed during gradient exchange", sw.id))
+		}
+		sw.enqueue(m)
+	}
+	for _, contrib := range sw.gradExch[round] {
+		transport.UnflattenAdd(grads, contrib)
+	}
+	delete(sw.gradExch, round)
+	inv := float32(1) / float32(participants)
+	for _, g := range grads {
+		g.Scale(inv)
+	}
+}
+
+// pruneVersions drops weight versions no in-flight or in-transit minibatch
+// can still need: older than both this worker's oldest stashed version and
+// the staleness horizon implied by the pipeline depth. Keys and horizons
+// are in reflected-minibatch units.
+func (sw *stageWorker) pruneVersions() {
+	min := sw.reflected()
+	for _, e := range sw.stash {
+		if e.version < min {
+			min = e.version
+		}
+	}
+	// Messages still in transit can carry tags lagging by up to the total
+	// number of in-flight minibatches; keep one extra round of slack per
+	// replica group.
+	horizon := sw.reflected() - sw.p.depth*len(sw.p.assign.StageWorkers[0]) - sw.replicas() - 1
+	if horizon < min {
+		min = horizon
+	}
+	// Always retain the newest version at or below min so lookupVersion
+	// has a floor.
+	floor := -1
+	for k := range sw.versions {
+		if k <= min && k > floor {
+			floor = k
+		}
+	}
+	for v := range sw.versions {
+		if v < min && v != floor {
+			delete(sw.versions, v)
+		}
+	}
+}
+
+func (sw *stageWorker) trackStash(delta int64) {
+	sw.stashBytes += delta
+	if sw.stashBytes > sw.peakStashBytes {
+		sw.peakStashBytes = sw.stashBytes
+	}
+}
+
+func stashBytesOf(params []*tensor.Tensor, input *tensor.Tensor) int64 {
+	var n int64
+	for _, p := range params {
+		n += int64(p.Bytes())
+	}
+	if input != nil {
+		n += int64(input.Bytes())
+	}
+	return n
+}
+
+// allReducer averages gradients across the replicas of one stage. With
+// round-robin routing, minibatches [start+kR, start+(k+1)R) of a Train
+// call land on distinct replicas, so grouping by that block index
+// implements synchronous per-iteration gradient averaging exactly as DDP
+// does within a stage.
+type allReducer struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	replicas int
+	start    int
+	total    int
+	rounds   map[int]*reduceRound
+}
+
+type reduceRound struct {
+	sum      []*tensor.Tensor
+	arrived  int
+	expected int
+	done     bool
+	picked   int
+}
+
+func newAllReducer(replicas int) *allReducer {
+	a := &allReducer{replicas: replicas, rounds: make(map[int]*reduceRound)}
+	a.cond = sync.NewCond(&a.mu)
+	return a
+}
+
+// reset prepares the reducer for a Train call covering `total` minibatches
+// starting at `start`.
+func (a *allReducer) reset(start, total int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.rounds) != 0 {
+		panic("pipeline: all-reducer reset with incomplete rounds")
+	}
+	a.start = start
+	a.total = total
+}
+
+// reduce contributes grads for minibatch mb and blocks until all replicas
+// of the block have arrived, then overwrites grads with the block average.
+func (a *allReducer) reduce(mb int, grads []*tensor.Tensor) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	k := (mb - a.start) / a.replicas
+	r, ok := a.rounds[k]
+	if !ok {
+		expected := a.total - k*a.replicas
+		if expected > a.replicas {
+			expected = a.replicas
+		}
+		r = &reduceRound{expected: expected}
+		for _, g := range grads {
+			r.sum = append(r.sum, g.Clone())
+		}
+		r.arrived = 1
+		a.rounds[k] = r
+	} else {
+		for i, g := range grads {
+			r.sum[i].Add(g)
+		}
+		r.arrived++
+	}
+	if r.arrived == r.expected {
+		inv := float32(1) / float32(r.expected)
+		for _, s := range r.sum {
+			s.Scale(inv)
+		}
+		r.done = true
+		a.cond.Broadcast()
+	}
+	for !r.done {
+		a.cond.Wait()
+	}
+	for i, g := range grads {
+		g.CopyFrom(r.sum[i])
+	}
+	r.picked++
+	if r.picked == r.expected {
+		delete(a.rounds, k)
+	}
+}

@@ -1,0 +1,115 @@
+package pipeline
+
+import (
+	"fmt"
+	"time"
+
+	"pipedream/internal/data"
+	"pipedream/internal/nn"
+	"pipedream/internal/schedule"
+	"pipedream/internal/tensor"
+)
+
+// SoloWorker runs exactly one stage worker of a plan in this process,
+// exchanging activations and gradients with peer processes through a
+// shared-address transport (transport.NewTCPPeer) — a genuinely
+// distributed deployment of the 1F1B pipeline, one OS process per worker,
+// as the paper's runtime deploys one worker per GPU/machine. Replicated
+// stages synchronize gradients over the same transport (a message-based
+// all_reduce), so 1F1B-RR configurations run distributed too.
+type SoloWorker struct {
+	p      *Pipeline
+	id     int
+	cursor int
+}
+
+// NewSoloWorker builds the stage worker with ID workerID from the plan.
+// opts.Transport is required and must deliver messages between processes
+// (e.g. a transport.TCPPeer constructed with the same address list in
+// every process).
+func NewSoloWorker(opts Options, workerID int) (*SoloWorker, error) {
+	if opts.ModelFactory == nil || opts.Plan == nil || opts.Loss == nil || opts.NewOptimizer == nil {
+		return nil, fmt.Errorf("pipeline: ModelFactory, Plan, Loss, and NewOptimizer are required")
+	}
+	if opts.Transport == nil {
+		return nil, fmt.Errorf("pipeline: solo workers need an explicit transport")
+	}
+	assign := schedule.Assign(opts.Plan)
+	if workerID < 0 || workerID >= assign.NumWorkers() {
+		return nil, fmt.Errorf("pipeline: worker id %d outside plan's %d workers", workerID, assign.NumWorkers())
+	}
+	p := &Pipeline{opts: opts, assign: assign, tr: opts.Transport}
+	p.depth = opts.Depth
+	if p.depth <= 0 {
+		p.depth = opts.Plan.NOAM
+	}
+	// Only this process's worker is constructed; peer slots stay nil.
+	p.workers = make([]*stageWorker, assign.NumWorkers())
+	ref := assign.Workers[workerID]
+	model := opts.ModelFactory()
+	spec := opts.Plan.Stages[ref.Stage]
+	sw := &stageWorker{
+		p:       p,
+		id:      workerID,
+		stage:   ref.Stage,
+		replica: ref.Replica,
+		model:   model.Slice(spec.FirstLayer, spec.LastLayer+1),
+		opt:     opts.NewOptimizer(),
+		mode:    opts.Mode,
+		stash:   make(map[int]stashEntry),
+	}
+	if opts.Mode == VerticalSync {
+		sw.versions = map[int][]*tensor.Tensor{0: nn.SnapshotParams(sw.model.Params())}
+	}
+	p.workers[workerID] = sw
+	return &SoloWorker{p: p, id: workerID}, nil
+}
+
+// Stage returns this worker's stage index.
+func (s *SoloWorker) Stage() int { return s.p.workers[s.id].stage }
+
+// IsOutputStage reports whether this worker computes the loss.
+func (s *SoloWorker) IsOutputStage() bool { return s.p.workers[s.id].isLast() }
+
+// StageModel returns this worker's live model slice.
+func (s *SoloWorker) StageModel() *nn.Sequential { return s.p.workers[s.id].model }
+
+// Run processes the next `minibatches` global minibatches: this worker
+// performs its stage's forward and backward work for each and returns
+// when its share is complete. The output-stage worker's report carries
+// the per-minibatch losses; other stages return zero losses. Every
+// process in the deployment must call Run with the same minibatch count.
+func (s *SoloWorker) Run(ds data.Dataset, minibatches int) (*Report, error) {
+	if minibatches <= 0 {
+		return nil, fmt.Errorf("pipeline: minibatches = %d", minibatches)
+	}
+	start := s.cursor
+	end := start + minibatches
+	s.cursor = end
+	results := make(chan lossEvent, minibatches)
+	t0 := time.Now()
+	s.p.workers[s.id].run(ds, start, end, results)
+	close(results)
+	rep := &Report{
+		Losses:         make([]float64, minibatches),
+		WallTime:       time.Since(t0),
+		Samples:        minibatches * ds.Batch(start).X.Dim(0),
+		PeakStashBytes: []int64{s.p.workers[s.id].peakStashBytes},
+	}
+	for ev := range results {
+		rep.Losses[ev.mb-start] = ev.loss
+	}
+	return rep, nil
+}
+
+// Checkpoint writes this worker's stage parameters (same format as
+// Pipeline.Checkpoint; each process writes only its own stage file, which
+// is exactly the paper's coordination-free checkpointing).
+func (s *SoloWorker) Checkpoint(dir string) error { return s.p.Checkpoint(dir) }
+
+// Restore loads this worker's stage parameters.
+func (s *SoloWorker) Restore(dir string) error { return s.p.Restore(dir) }
+
+// Close releases nothing (the transport is owned by the caller) but is
+// provided for symmetry.
+func (s *SoloWorker) Close() error { return nil }

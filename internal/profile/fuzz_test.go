@@ -1,0 +1,33 @@
+package profile
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadJSON must never panic: arbitrary bytes either decode into a
+// valid profile or return an error.
+func FuzzReadJSON(f *testing.F) {
+	var buf bytes.Buffer
+	if err := sampleProfile().WriteJSON(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("{}"))
+	f.Add([]byte(`{"model":"x","minibatch_size":-1,"layers":[{}]}`))
+	f.Add([]byte("null"))
+	f.Add([]byte(`{"model":"x","minibatch_size":2,"layers":[{"name":"a","fwd_time":-3}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		prof, err := ReadJSON(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Anything that decodes must satisfy the validated invariants.
+		if prof.NumLayers() == 0 || prof.MinibatchSize <= 0 {
+			t.Fatalf("invalid profile escaped validation: %+v", prof)
+		}
+		if prof.TotalTime() < 0 || prof.TotalWeightBytes() < 0 {
+			t.Fatalf("negative aggregate: %+v", prof)
+		}
+	})
+}

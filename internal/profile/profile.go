@@ -1,0 +1,168 @@
+// Package profile defines the per-layer measurements PipeDream's optimizer
+// consumes — for each layer l the paper's triple (Tl, al, wl): compute time
+// across forward and backward pass, output activation bytes, and weight
+// bytes — plus a measuring profiler for real in-process models and JSON
+// serialization for offline use.
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"pipedream/internal/data"
+	"pipedream/internal/nn"
+	"pipedream/internal/tensor"
+)
+
+// LayerProfile is the profile of one layer for one minibatch.
+type LayerProfile struct {
+	Name            string  `json:"name"`
+	FwdTime         float64 `json:"fwd_time"`         // seconds per minibatch
+	BwdTime         float64 `json:"bwd_time"`         // seconds per minibatch
+	ActivationBytes int64   `json:"activation_bytes"` // a_l: output activation size
+	WeightBytes     int64   `json:"weight_bytes"`     // w_l: parameter size
+}
+
+// TotalTime returns Tl = forward + backward time.
+func (l LayerProfile) TotalTime() float64 { return l.FwdTime + l.BwdTime }
+
+// ModelProfile is a profiled model: an ordered list of layer profiles at a
+// fixed per-worker minibatch size.
+type ModelProfile struct {
+	Model         string         `json:"model"`
+	MinibatchSize int            `json:"minibatch_size"`
+	InputBytes    int64          `json:"input_bytes"` // size of one input minibatch
+	Layers        []LayerProfile `json:"layers"`
+
+	cumTime   []float64 // cumTime[i] = sum of TotalTime over layers [0,i)
+	cumWeight []int64   // cumWeight[i] = sum of WeightBytes over layers [0,i)
+}
+
+// NumLayers returns the layer count.
+func (m *ModelProfile) NumLayers() int { return len(m.Layers) }
+
+// buildSums (re)computes prefix sums; called lazily by accessors.
+func (m *ModelProfile) buildSums() {
+	if len(m.cumTime) == len(m.Layers)+1 {
+		return
+	}
+	m.cumTime = make([]float64, len(m.Layers)+1)
+	m.cumWeight = make([]int64, len(m.Layers)+1)
+	for i, l := range m.Layers {
+		m.cumTime[i+1] = m.cumTime[i] + l.TotalTime()
+		m.cumWeight[i+1] = m.cumWeight[i] + l.WeightBytes
+	}
+}
+
+// TimeRange returns the total compute time of layers [i, j] inclusive.
+func (m *ModelProfile) TimeRange(i, j int) float64 {
+	m.buildSums()
+	return m.cumTime[j+1] - m.cumTime[i]
+}
+
+// WeightRange returns the total weight bytes of layers [i, j] inclusive.
+func (m *ModelProfile) WeightRange(i, j int) int64 {
+	m.buildSums()
+	return m.cumWeight[j+1] - m.cumWeight[i]
+}
+
+// TotalTime returns the single-worker compute time for one minibatch.
+func (m *ModelProfile) TotalTime() float64 { return m.TimeRange(0, len(m.Layers)-1) }
+
+// TotalWeightBytes returns the full model size in bytes.
+func (m *ModelProfile) TotalWeightBytes() int64 { return m.WeightRange(0, len(m.Layers)-1) }
+
+// ActivationBytes returns a_l for layer i — the bytes crossing the
+// boundary between layer i and layer i+1 in the forward direction (the
+// backward gradient has the same size).
+func (m *ModelProfile) ActivationBytes(i int) int64 { return m.Layers[i].ActivationBytes }
+
+// Validate checks the profile is usable by the optimizer.
+func (m *ModelProfile) Validate() error {
+	if len(m.Layers) == 0 {
+		return fmt.Errorf("profile %q: no layers", m.Model)
+	}
+	if m.MinibatchSize <= 0 {
+		return fmt.Errorf("profile %q: minibatch size %d", m.Model, m.MinibatchSize)
+	}
+	for i, l := range m.Layers {
+		if l.FwdTime < 0 || l.BwdTime < 0 || l.ActivationBytes < 0 || l.WeightBytes < 0 {
+			return fmt.Errorf("profile %q: layer %d (%s) has negative fields", m.Model, i, l.Name)
+		}
+		if l.TotalTime() == 0 && l.ActivationBytes == 0 {
+			return fmt.Errorf("profile %q: layer %d (%s) is empty", m.Model, i, l.Name)
+		}
+	}
+	return nil
+}
+
+// WriteJSON serializes the profile.
+func (m *ModelProfile) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// ReadJSON deserializes a profile.
+func ReadJSON(r io.Reader) (*ModelProfile, error) {
+	var m ModelProfile
+	if err := json.NewDecoder(r).Decode(&m); err != nil {
+		return nil, fmt.Errorf("profile: decode: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// Measure profiles a real model the way the paper's profiler does: run
+// numBatches minibatches on one worker, recording per-layer forward and
+// backward wall time, activation sizes, and weight sizes. The loss
+// gradient is taken as ones (profiling only needs realistic compute, not a
+// real objective).
+func Measure(model *nn.Sequential, name string, ds data.Dataset, numBatches int) *ModelProfile {
+	if numBatches < 1 {
+		numBatches = 1
+	}
+	n := len(model.Layers)
+	prof := &ModelProfile{Model: name, Layers: make([]LayerProfile, n)}
+	for i, l := range model.Layers {
+		prof.Layers[i].Name = l.Name()
+		prof.Layers[i].WeightBytes = int64(nn.ParamBytes(l.Params()))
+	}
+	for b := 0; b < numBatches; b++ {
+		batch := ds.Batch(b)
+		if b == 0 {
+			prof.MinibatchSize = batch.X.Dim(0)
+			prof.InputBytes = int64(batch.X.Bytes())
+		}
+		x := batch.X
+		ctxs := make([]nn.Context, n)
+		acts := make([]*tensor.Tensor, n)
+		for i, l := range model.Layers {
+			t0 := time.Now()
+			y, ctx := l.Forward(x, true)
+			prof.Layers[i].FwdTime += time.Since(t0).Seconds()
+			ctxs[i], acts[i] = ctx, y
+			x = y
+		}
+		grad := tensor.Ones(x.Shape...)
+		for i := n - 1; i >= 0; i-- {
+			t0 := time.Now()
+			grad = model.Layers[i].Backward(ctxs[i], grad)
+			prof.Layers[i].BwdTime += time.Since(t0).Seconds()
+			if b == 0 {
+				prof.Layers[i].ActivationBytes = int64(acts[i].Bytes())
+			}
+		}
+		nn.ZeroGrads(model.Grads())
+	}
+	inv := 1 / float64(numBatches)
+	for i := range prof.Layers {
+		prof.Layers[i].FwdTime *= inv
+		prof.Layers[i].BwdTime *= inv
+	}
+	return prof
+}

@@ -1,0 +1,357 @@
+// Package schedule implements PipeDream's work-scheduling machinery
+// (§3.2): assignment of workers to (possibly replicated) pipeline stages,
+// the NOAM in-flight minibatch bound, deterministic round-robin routing of
+// minibatches across stage replicas (the "RR" in 1F1B-RR), and the shared
+// timeline vocabulary used by the cluster simulator, the runtime, and the
+// figure-rendering experiments.
+package schedule
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pipedream/internal/partition"
+)
+
+// Policy selects the inter-batch scheduling discipline.
+type Policy int
+
+// Scheduling policies compared in the paper.
+const (
+	// PipeDream1F1B: startup admits NOAM minibatches, then every worker
+	// alternates one forward with one backward; no flushes.
+	PipeDream1F1B Policy = iota
+	// GPipe: admit m microbatches, run all forwards then all backwards,
+	// flush the pipeline, apply the update, repeat.
+	GPipe
+	// ModelParallelSingle: one minibatch in the system at a time
+	// (traditional model parallelism, Figure 2).
+	ModelParallelSingle
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case PipeDream1F1B:
+		return "1F1B"
+	case GPipe:
+		return "GPipe"
+	case ModelParallelSingle:
+		return "ModelParallel"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// WorkerRef locates a worker within a plan: which stage and which replica
+// of that stage.
+type WorkerRef struct {
+	Stage, Replica int
+}
+
+// Assignment maps the workers of a plan to stages and back. Worker IDs are
+// dense, assigned stage by stage (stage 0's replicas first), matching the
+// paper's figures.
+type Assignment struct {
+	Plan *partition.Plan
+	// Workers[w] is the stage/replica of worker w.
+	Workers []WorkerRef
+	// StageWorkers[s][r] is the worker ID of replica r of stage s.
+	StageWorkers [][]int
+}
+
+// Assign lays out plan stages onto dense worker IDs.
+func Assign(plan *partition.Plan) *Assignment {
+	a := &Assignment{Plan: plan}
+	id := 0
+	for s, st := range plan.Stages {
+		replicas := make([]int, st.Replicas)
+		for r := 0; r < st.Replicas; r++ {
+			a.Workers = append(a.Workers, WorkerRef{Stage: s, Replica: r})
+			replicas[r] = id
+			id++
+		}
+		a.StageWorkers = append(a.StageWorkers, replicas)
+	}
+	return a
+}
+
+// NumWorkers returns the total worker count.
+func (a *Assignment) NumWorkers() int { return len(a.Workers) }
+
+// ReplicaFor returns the replica index that must execute minibatch mb at a
+// stage with the given replica count — deterministic round-robin, so the
+// backward pass of a minibatch lands on the same worker that ran its
+// forward pass (the correctness requirement of 1F1B-RR).
+func ReplicaFor(mb, replicas int) int {
+	if replicas < 1 {
+		panic(fmt.Sprintf("schedule: replicas = %d", replicas))
+	}
+	return mb % replicas
+}
+
+// Noam returns NUM_OPT_ACTIVE_MINIBATCHES = ceil(workers / input-stage
+// replicas): the fewest in-flight minibatches that keep the pipeline full.
+func Noam(totalWorkers, inputReplicas int) int {
+	if inputReplicas < 1 {
+		panic(fmt.Sprintf("schedule: input replicas = %d", inputReplicas))
+	}
+	return (totalWorkers + inputReplicas - 1) / inputReplicas
+}
+
+// OpKind distinguishes forward from backward work.
+type OpKind int
+
+// Work item kinds.
+const (
+	Forward OpKind = iota
+	Backward
+	// SyncOp models a weight-synchronization (all_reduce) interval in a
+	// timeline (data-parallel stages and BSP baselines).
+	SyncOp
+	// TransferOp models an asynchronous activation/gradient transfer on a
+	// link (recorded separately from worker busy time, since transfers
+	// overlap compute).
+	TransferOp
+)
+
+// String implements fmt.Stringer.
+func (k OpKind) String() string {
+	switch k {
+	case Forward:
+		return "F"
+	case Backward:
+		return "B"
+	case SyncOp:
+		return "S"
+	case TransferOp:
+		return "T"
+	}
+	return "?"
+}
+
+// Op is one executed work item on a worker's timeline.
+type Op struct {
+	Worker    int
+	Stage     int
+	Minibatch int
+	Kind      OpKind
+	Start     float64
+	End       float64
+}
+
+// Timeline is a per-worker record of executed ops, the raw material for
+// the paper's pipeline figures and for utilization metrics.
+type Timeline struct {
+	Workers int
+	Ops     []Op
+	// Horizon is the time at which recording stopped.
+	Horizon float64
+}
+
+// Utilization returns each worker's busy fraction over [from, Horizon].
+func (t *Timeline) Utilization(from float64) []float64 {
+	busy := make([]float64, t.Workers)
+	span := t.Horizon - from
+	if span <= 0 {
+		return busy
+	}
+	for _, op := range t.Ops {
+		s, e := op.Start, op.End
+		if e <= from {
+			continue
+		}
+		if s < from {
+			s = from
+		}
+		if e > t.Horizon {
+			e = t.Horizon
+		}
+		busy[op.Worker] += e - s
+	}
+	for i := range busy {
+		busy[i] /= span
+	}
+	return busy
+}
+
+// MeanUtilization averages Utilization over workers.
+func (t *Timeline) MeanUtilization(from float64) float64 {
+	u := t.Utilization(from)
+	if len(u) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range u {
+		s += v
+	}
+	return s / float64(len(u))
+}
+
+// WorkerOps returns worker w's ops sorted by start time.
+func (t *Timeline) WorkerOps(w int) []Op {
+	var ops []Op
+	for _, op := range t.Ops {
+		if op.Worker == w {
+			ops = append(ops, op)
+		}
+	}
+	sort.Slice(ops, func(i, j int) bool { return ops[i].Start < ops[j].Start })
+	return ops
+}
+
+// Render draws an ASCII Gantt chart of the timeline (one row per worker),
+// quantized to the given time step — the textual analogue of the paper's
+// Figures 2-4 and 8. Forward ops print the minibatch digit, backward ops
+// print the digit in brackets-free lowercase style using '·'-padding for
+// idle time.
+func (t *Timeline) Render(step float64) string {
+	if step <= 0 || t.Horizon <= 0 {
+		return ""
+	}
+	cols := int(t.Horizon/step) + 1
+	if cols > 400 {
+		cols = 400
+	}
+	var b strings.Builder
+	for w := 0; w < t.Workers; w++ {
+		row := make([]byte, cols)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, op := range t.WorkerOps(w) {
+			lo := int(op.Start / step)
+			hi := int(op.End / step)
+			for c := lo; c < hi && c < cols; c++ {
+				switch op.Kind {
+				case Forward:
+					row[c] = byte('0' + op.Minibatch%10)
+				case Backward:
+					row[c] = byte('a' + op.Minibatch%10) // letters mark backward
+				case SyncOp:
+					row[c] = '#'
+				}
+			}
+		}
+		fmt.Fprintf(&b, "worker %d |%s|\n", w, row)
+	}
+	return b.String()
+}
+
+// Validate1F1B checks the core 1F1B invariants on a timeline:
+//  1. ordering: a minibatch's backward at a stage starts only after its
+//     forward at that stage ended;
+//  2. routing: forward and backward of a minibatch at a replicated stage
+//     run on the same worker (1F1B-RR);
+//  3. alternation: in steady state (between `warm` and `cool`, excluding
+//     the startup fill and the end-of-run drain) every worker's ops
+//     strictly alternate forward/backward;
+//  4. in-flight bound: never more than `noam` minibatches active per
+//     input-stage replica.
+//
+// It returns an error describing the first violation.
+func Validate1F1B(t *Timeline, a *Assignment, noam int, warm, cool float64) error {
+	type key struct{ stage, mb int }
+	fwdEnd := map[key]float64{}
+	fwdWorker := map[key]int{}
+	for _, op := range t.Ops {
+		if op.Kind != Forward {
+			continue
+		}
+		k := key{op.Stage, op.Minibatch}
+		fwdEnd[k] = op.End
+		fwdWorker[k] = op.Worker
+	}
+	for _, op := range t.Ops {
+		if op.Kind != Backward {
+			continue
+		}
+		k := key{op.Stage, op.Minibatch}
+		fe, ok := fwdEnd[k]
+		if !ok {
+			return fmt.Errorf("backward of mb %d at stage %d without forward", op.Minibatch, op.Stage)
+		}
+		if op.Start < fe-1e-9 {
+			return fmt.Errorf("mb %d stage %d: backward starts %.4g before forward ends %.4g",
+				op.Minibatch, op.Stage, op.Start, fe)
+		}
+		if fwdWorker[k] != op.Worker {
+			return fmt.Errorf("mb %d stage %d: forward on worker %d, backward on worker %d",
+				op.Minibatch, op.Stage, fwdWorker[k], op.Worker)
+		}
+	}
+	// Alternation in steady state.
+	for w := 0; w < t.Workers; w++ {
+		var last OpKind = -1
+		for _, op := range t.WorkerOps(w) {
+			if op.Kind == SyncOp || op.End <= warm || op.Start >= cool {
+				continue
+			}
+			if last != -1 && op.Kind == last {
+				return fmt.Errorf("worker %d runs two consecutive %v ops after t=%.4g (mb %d at %.4g)",
+					w, op.Kind, warm, op.Minibatch, op.Start)
+			}
+			last = op.Kind
+		}
+	}
+	// In-flight bound per input replica: count minibatches whose input-
+	// stage forward started but whose input-stage backward has not ended.
+	input := 0
+	type iv struct{ start, end float64 }
+	life := map[int]iv{} // minibatch -> [fwd start at stage0, bwd end at stage0]
+	for _, op := range t.Ops {
+		if op.Stage != input {
+			continue
+		}
+		v, ok := life[op.Minibatch]
+		if !ok {
+			v = iv{start: -1, end: -1}
+		}
+		if op.Kind == Forward {
+			v.start = op.Start
+		} else if op.Kind == Backward {
+			v.end = op.End
+		}
+		life[op.Minibatch] = v
+	}
+	replicas := len(a.StageWorkers[0])
+	var events []struct {
+		t     float64
+		delta int
+		rep   int
+	}
+	for mb, v := range life {
+		if v.start < 0 {
+			continue
+		}
+		end := v.end
+		if end < 0 {
+			end = t.Horizon
+		}
+		rep := ReplicaFor(mb, replicas)
+		events = append(events, struct {
+			t     float64
+			delta int
+			rep   int
+		}{v.start, 1, rep}, struct {
+			t     float64
+			delta int
+			rep   int
+		}{end, -1, rep})
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].t != events[j].t {
+			return events[i].t < events[j].t
+		}
+		return events[i].delta < events[j].delta // process ends before starts at ties
+	})
+	active := make([]int, replicas)
+	for _, e := range events {
+		active[e.rep] += e.delta
+		if active[e.rep] > noam {
+			return fmt.Errorf("input replica %d has %d in-flight minibatches at t=%.4g, NOAM=%d",
+				e.rep, active[e.rep], e.t, noam)
+		}
+	}
+	return nil
+}

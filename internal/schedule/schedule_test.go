@@ -1,0 +1,185 @@
+package schedule
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"pipedream/internal/partition"
+)
+
+func planWith(stages ...int) *partition.Plan {
+	p := &partition.Plan{Model: "t"}
+	first := 0
+	for _, r := range stages {
+		p.Stages = append(p.Stages, partition.StageSpec{FirstLayer: first, LastLayer: first, Replicas: r})
+		first++
+		p.Workers += r
+	}
+	p.NOAM = Noam(p.Workers, stages[0])
+	return p
+}
+
+func TestAssignDenseWorkerIDs(t *testing.T) {
+	a := Assign(planWith(2, 1, 3))
+	if a.NumWorkers() != 6 {
+		t.Fatalf("workers = %d, want 6", a.NumWorkers())
+	}
+	// Stage 0 gets workers 0,1; stage 1 gets 2; stage 2 gets 3,4,5.
+	if a.Workers[0] != (WorkerRef{0, 0}) || a.Workers[1] != (WorkerRef{0, 1}) {
+		t.Fatalf("stage0 refs wrong: %+v", a.Workers[:2])
+	}
+	if a.Workers[2] != (WorkerRef{1, 0}) {
+		t.Fatalf("stage1 ref wrong: %+v", a.Workers[2])
+	}
+	if got := a.StageWorkers[2]; len(got) != 3 || got[0] != 3 || got[2] != 5 {
+		t.Fatalf("stage2 workers %v", got)
+	}
+}
+
+func TestReplicaForRoundRobin(t *testing.T) {
+	for mb := 0; mb < 10; mb++ {
+		if got := ReplicaFor(mb, 3); got != mb%3 {
+			t.Fatalf("ReplicaFor(%d,3) = %d", mb, got)
+		}
+	}
+	if ReplicaFor(5, 1) != 0 {
+		t.Fatal("single replica must always be 0")
+	}
+}
+
+func TestReplicaForPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ReplicaFor(1, 0)
+}
+
+func TestNoam(t *testing.T) {
+	cases := []struct{ workers, inputReps, want int }{
+		{4, 1, 4},   // Figure 4: straight 4-worker pipeline
+		{3, 2, 2},   // Figure 8: 2-1 configuration
+		{16, 15, 2}, // VGG-16's 15-1
+		{16, 16, 1}, // pure data parallelism
+		{5, 4, 2},
+	}
+	for _, c := range cases {
+		if got := Noam(c.workers, c.inputReps); got != c.want {
+			t.Fatalf("Noam(%d,%d) = %d, want %d", c.workers, c.inputReps, got, c.want)
+		}
+	}
+}
+
+// Property: NOAM is the minimal m with m·inputReps ≥ workers.
+func TestNoamMinimality(t *testing.T) {
+	f := func(w, r uint8) bool {
+		workers := int(w%63) + 1
+		reps := int(r)%workers + 1
+		n := Noam(workers, reps)
+		return n*reps >= workers && (n-1)*reps < workers
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimelineUtilization(t *testing.T) {
+	tl := &Timeline{Workers: 2, Horizon: 10}
+	tl.Ops = []Op{
+		{Worker: 0, Kind: Forward, Start: 0, End: 5},
+		{Worker: 0, Kind: Backward, Start: 5, End: 10},
+		{Worker: 1, Kind: Forward, Start: 0, End: 2},
+	}
+	u := tl.Utilization(0)
+	if u[0] != 1.0 || u[1] != 0.2 {
+		t.Fatalf("utilization = %v", u)
+	}
+	if m := tl.MeanUtilization(0); m != 0.6 {
+		t.Fatalf("mean = %v", m)
+	}
+	// Window clipping.
+	u = tl.Utilization(5)
+	if u[0] != 1.0 || u[1] != 0 {
+		t.Fatalf("clipped utilization = %v", u)
+	}
+}
+
+func TestTimelineRender(t *testing.T) {
+	tl := &Timeline{Workers: 1, Horizon: 4}
+	tl.Ops = []Op{
+		{Worker: 0, Minibatch: 3, Kind: Forward, Start: 0, End: 2},
+		{Worker: 0, Minibatch: 3, Kind: Backward, Start: 2, End: 4},
+	}
+	out := tl.Render(1)
+	if !strings.Contains(out, "33dd") {
+		t.Fatalf("render = %q, want forward digits then backward letters", out)
+	}
+}
+
+func TestValidate1F1BCatchesBadRouting(t *testing.T) {
+	plan := planWith(2, 1)
+	a := Assign(plan)
+	tl := &Timeline{Workers: 3, Horizon: 10}
+	tl.Ops = []Op{
+		{Worker: 0, Stage: 0, Minibatch: 0, Kind: Forward, Start: 0, End: 1},
+		{Worker: 1, Stage: 0, Minibatch: 0, Kind: Backward, Start: 2, End: 3}, // wrong replica!
+	}
+	if err := Validate1F1B(tl, a, 2, 0, 10); err == nil {
+		t.Fatal("expected routing violation")
+	}
+}
+
+func TestValidate1F1BCatchesBackwardBeforeForward(t *testing.T) {
+	plan := planWith(1)
+	a := Assign(plan)
+	tl := &Timeline{Workers: 1, Horizon: 10}
+	tl.Ops = []Op{
+		{Worker: 0, Stage: 0, Minibatch: 0, Kind: Forward, Start: 2, End: 3},
+		{Worker: 0, Stage: 0, Minibatch: 0, Kind: Backward, Start: 1, End: 2},
+	}
+	if err := Validate1F1B(tl, a, 1, 0, 10); err == nil {
+		t.Fatal("expected ordering violation")
+	}
+}
+
+func TestValidate1F1BCatchesOverAdmission(t *testing.T) {
+	plan := planWith(1)
+	a := Assign(plan)
+	tl := &Timeline{Workers: 1, Horizon: 10}
+	// Two minibatches in flight with NOAM 1.
+	tl.Ops = []Op{
+		{Worker: 0, Stage: 0, Minibatch: 0, Kind: Forward, Start: 0, End: 1},
+		{Worker: 0, Stage: 0, Minibatch: 1, Kind: Forward, Start: 1, End: 2},
+		{Worker: 0, Stage: 0, Minibatch: 0, Kind: Backward, Start: 2, End: 3},
+		{Worker: 0, Stage: 0, Minibatch: 1, Kind: Backward, Start: 3, End: 4},
+	}
+	if err := Validate1F1B(tl, a, 1, 0, 10); err == nil {
+		t.Fatal("expected NOAM violation")
+	}
+	if err := Validate1F1B(tl, a, 2, 0, 0); err != nil {
+		t.Fatalf("NOAM 2 should pass: %v", err)
+	}
+}
+
+func TestValidate1F1BCatchesMissingForward(t *testing.T) {
+	plan := planWith(1)
+	a := Assign(plan)
+	tl := &Timeline{Workers: 1, Horizon: 10}
+	tl.Ops = []Op{
+		{Worker: 0, Stage: 0, Minibatch: 7, Kind: Backward, Start: 1, End: 2},
+	}
+	if err := Validate1F1B(tl, a, 1, 0, 10); err == nil {
+		t.Fatal("expected missing-forward violation")
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	if PipeDream1F1B.String() != "1F1B" || GPipe.String() != "GPipe" || ModelParallelSingle.String() != "ModelParallel" {
+		t.Fatal("policy strings wrong")
+	}
+	if Forward.String() != "F" || Backward.String() != "B" || SyncOp.String() != "S" {
+		t.Fatal("op kind strings wrong")
+	}
+}

@@ -1,0 +1,198 @@
+package statseff
+
+import (
+	"math/rand"
+	"testing"
+
+	"pipedream/internal/data"
+	"pipedream/internal/nn"
+	"pipedream/internal/partition"
+	"pipedream/internal/pipeline"
+	"pipedream/internal/profile"
+	"pipedream/internal/topology"
+)
+
+func testConfig(epochs int) Config {
+	factory := func() *nn.Sequential {
+		rng := rand.New(rand.NewSource(5))
+		return nn.NewSequential(
+			nn.NewDense(rng, "fc1", 2, 16),
+			nn.NewTanh("t1"),
+			nn.NewDense(rng, "fc2", 16, 16),
+			nn.NewTanh("t2"),
+			nn.NewDense(rng, "fc3", 16, 3),
+		)
+	}
+	return Config{
+		Factory:      factory,
+		Train:        data.NewSpiral(7, 3, 16, 30),
+		Eval:         data.NewSpiral(8, 3, 32, 6),
+		NewOptimizer: func() nn.Optimizer { return nn.NewSGD(0.1, 0.9, 0) },
+		Loss:         nn.SoftmaxCrossEntropy,
+		Epochs:       epochs,
+	}
+}
+
+func straightPlanFor(t *testing.T, layers, stages int) *partition.Plan {
+	t.Helper()
+	prof := &profile.ModelProfile{Model: "t", MinibatchSize: 1, InputBytes: 4}
+	for i := 0; i < layers; i++ {
+		prof.Layers = append(prof.Layers, profile.LayerProfile{
+			Name: "l", FwdTime: 1, BwdTime: 2, ActivationBytes: 4, WeightBytes: 4,
+		})
+	}
+	var specs []partition.StageSpec
+	per := layers / stages
+	first := 0
+	for s := 0; s < stages; s++ {
+		last := first + per - 1
+		if s == stages-1 {
+			last = layers - 1
+		}
+		specs = append(specs, partition.StageSpec{FirstLayer: first, LastLayer: last, Replicas: 1})
+		first = last + 1
+	}
+	plan, err := partition.Evaluate(prof, topology.Flat(stages, 1e9, topology.V100), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+func TestBSPOneWorkerEqualsSequential(t *testing.T) {
+	cfg := testConfig(2)
+	a, err := TrainBSP(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TrainSequential(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := range a.Score {
+		if a.Score[e] != b.Score[e] {
+			t.Fatalf("epoch %d: BSP(1) %v != sequential %v", e, a.Score[e], b.Score[e])
+		}
+	}
+}
+
+func TestBSPLearnsSpiral(t *testing.T) {
+	cfg := testConfig(12)
+	c, err := TrainBSP(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Final() < 0.8 {
+		t.Fatalf("BSP final accuracy %v, want ≥0.8", c.Final())
+	}
+}
+
+func TestWeightStashingMatchesBSPStatisticalEfficiency(t *testing.T) {
+	// The paper's key statistical claim (Figure 11): pipelined training
+	// with weight stashing needs about the same number of epochs as BSP
+	// data parallelism.
+	cfg := testConfig(12)
+	bsp, err := TrainBSP(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd, err := TrainPipeline(cfg, straightPlanFor(t, 5, 3), pipeline.WeightStashing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pd.Final() < bsp.Final()-0.1 {
+		t.Fatalf("stashing final %v far below BSP %v", pd.Final(), bsp.Final())
+	}
+	target := 0.8
+	be, pe := bsp.EpochsToTarget(target), pd.EpochsToTarget(target)
+	if pe == -1 {
+		t.Fatalf("stashing never reached %v (BSP did at epoch %d)", target, be)
+	}
+}
+
+func TestASPDegradesStatisticalEfficiency(t *testing.T) {
+	// ASP's stale gradients should converge no faster than BSP and
+	// typically slower (paper: 7.4× slower time-to-accuracy).
+	cfg := testConfig(10)
+	bsp, err := TrainBSP(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asp, err := TrainASP(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare areas under the accuracy curve: ASP should not dominate.
+	var bArea, aArea float64
+	for e := range bsp.Score {
+		bArea += bsp.Score[e]
+		aArea += asp.Score[e]
+	}
+	if aArea > bArea*1.1 {
+		t.Fatalf("ASP area %v unexpectedly dominates BSP %v", aArea, bArea)
+	}
+}
+
+func TestEpochsToTarget(t *testing.T) {
+	c := &Curve{Score: []float64{0.2, 0.5, 0.9, 0.95}}
+	if got := c.EpochsToTarget(0.9); got != 3 {
+		t.Fatalf("EpochsToTarget = %d, want 3", got)
+	}
+	if got := c.EpochsToTarget(0.99); got != -1 {
+		t.Fatalf("EpochsToTarget = %d, want -1", got)
+	}
+	if (&Curve{}).Final() != 0 {
+		t.Fatal("empty curve Final should be 0")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := TrainBSP(Config{}, 1); err == nil {
+		t.Fatal("empty config must fail")
+	}
+	cfg := testConfig(0)
+	if _, err := TrainBSP(cfg, 1); err == nil {
+		t.Fatal("zero epochs must fail")
+	}
+	cfg = testConfig(1)
+	if _, err := TrainBSP(cfg, 0); err == nil {
+		t.Fatal("zero workers must fail")
+	}
+	if _, err := TrainASP(cfg, 0); err == nil {
+		t.Fatal("zero ASP workers must fail")
+	}
+}
+
+func TestGPipeSemanticsTrains(t *testing.T) {
+	cfg := testConfig(12)
+	plan := straightPlanFor(t, 5, 3)
+	gp, err := TrainGPipeSemantics(cfg, plan, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd, err := TrainPipeline(cfg, plan, pipeline.WeightStashing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both must learn; GPipe applies 4x fewer updates per epoch, so it
+	// must not converge faster per epoch than PipeDream.
+	if gp.Final() < 0.5 {
+		t.Fatalf("GPipe semantics final accuracy %v, want ≥0.5", gp.Final())
+	}
+	var gArea, pArea float64
+	for e := range gp.Score {
+		gArea += gp.Score[e]
+		pArea += pd.Score[e]
+	}
+	if gArea > pArea*1.15 {
+		t.Fatalf("GPipe per-epoch convergence (%v) should not dominate PipeDream's (%v)", gArea, pArea)
+	}
+}
+
+func TestGPipeSemanticsRejectsBadMicrobatches(t *testing.T) {
+	cfg := testConfig(1)
+	plan := straightPlanFor(t, 5, 3)
+	if _, err := TrainGPipeSemantics(cfg, plan, 0); err == nil {
+		t.Fatal("zero microbatches must fail")
+	}
+}

@@ -1,0 +1,159 @@
+package tensor
+
+import "fmt"
+
+// ConvGeom describes the geometry of a 2-D convolution or pooling window.
+type ConvGeom struct {
+	InC, InH, InW int // input channels, height, width
+	KH, KW        int // kernel height, width
+	Stride        int
+	Pad           int
+}
+
+// OutH returns the output height.
+func (g ConvGeom) OutH() int { return (g.InH+2*g.Pad-g.KH)/g.Stride + 1 }
+
+// OutW returns the output width.
+func (g ConvGeom) OutW() int { return (g.InW+2*g.Pad-g.KW)/g.Stride + 1 }
+
+func (g ConvGeom) check() {
+	if g.Stride <= 0 {
+		panic(fmt.Sprintf("tensor: conv stride must be positive, got %d", g.Stride))
+	}
+	if g.OutH() <= 0 || g.OutW() <= 0 {
+		panic(fmt.Sprintf("tensor: conv geometry %+v yields empty output", g))
+	}
+}
+
+// Im2Col lowers a batch input [B, C, H, W] into a matrix
+// [B*OutH*OutW, C*KH*KW] so that convolution becomes a matrix multiply
+// against a [C*KH*KW, OutC] kernel matrix.
+func Im2Col(in *Tensor, g ConvGeom) *Tensor {
+	g.check()
+	if in.NumDims() != 4 || in.Shape[1] != g.InC || in.Shape[2] != g.InH || in.Shape[3] != g.InW {
+		panic(fmt.Sprintf("tensor: im2col input %v does not match geometry %+v", in.Shape, g))
+	}
+	b := in.Shape[0]
+	oh, ow := g.OutH(), g.OutW()
+	cols := New(b*oh*ow, g.InC*g.KH*g.KW)
+	rowLen := g.InC * g.KH * g.KW
+	for n := 0; n < b; n++ {
+		img := in.Data[n*g.InC*g.InH*g.InW:]
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				row := cols.Data[((n*oh+oy)*ow+ox)*rowLen:]
+				ri := 0
+				for c := 0; c < g.InC; c++ {
+					plane := img[c*g.InH*g.InW:]
+					for ky := 0; ky < g.KH; ky++ {
+						iy := oy*g.Stride + ky - g.Pad
+						for kx := 0; kx < g.KW; kx++ {
+							ix := ox*g.Stride + kx - g.Pad
+							if iy >= 0 && iy < g.InH && ix >= 0 && ix < g.InW {
+								row[ri] = plane[iy*g.InW+ix]
+							}
+							ri++
+						}
+					}
+				}
+			}
+		}
+	}
+	return cols
+}
+
+// Col2Im scatters a column matrix [B*OutH*OutW, C*KH*KW] back into a batch
+// image [B, C, H, W], summing overlapping contributions. It is the adjoint
+// of Im2Col and is used for convolution input gradients.
+func Col2Im(cols *Tensor, batch int, g ConvGeom) *Tensor {
+	g.check()
+	oh, ow := g.OutH(), g.OutW()
+	rowLen := g.InC * g.KH * g.KW
+	if cols.NumDims() != 2 || cols.Shape[0] != batch*oh*ow || cols.Shape[1] != rowLen {
+		panic(fmt.Sprintf("tensor: col2im input %v does not match geometry %+v batch %d", cols.Shape, g, batch))
+	}
+	out := New(batch, g.InC, g.InH, g.InW)
+	for n := 0; n < batch; n++ {
+		img := out.Data[n*g.InC*g.InH*g.InW:]
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				row := cols.Data[((n*oh+oy)*ow+ox)*rowLen:]
+				ri := 0
+				for c := 0; c < g.InC; c++ {
+					plane := img[c*g.InH*g.InW:]
+					for ky := 0; ky < g.KH; ky++ {
+						iy := oy*g.Stride + ky - g.Pad
+						for kx := 0; kx < g.KW; kx++ {
+							ix := ox*g.Stride + kx - g.Pad
+							if iy >= 0 && iy < g.InH && ix >= 0 && ix < g.InW {
+								plane[iy*g.InW+ix] += row[ri]
+							}
+							ri++
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// MaxPool performs max pooling over [B, C, H, W] and returns the pooled
+// tensor [B, C, OutH, OutW] along with the flat input index of each maximum
+// (for the backward pass).
+func MaxPool(in *Tensor, g ConvGeom) (*Tensor, []int) {
+	g.check()
+	if in.NumDims() != 4 || in.Shape[1] != g.InC || in.Shape[2] != g.InH || in.Shape[3] != g.InW {
+		panic(fmt.Sprintf("tensor: maxpool input %v does not match geometry %+v", in.Shape, g))
+	}
+	b := in.Shape[0]
+	oh, ow := g.OutH(), g.OutW()
+	out := New(b, g.InC, oh, ow)
+	idx := make([]int, out.Size())
+	oi := 0
+	for n := 0; n < b; n++ {
+		for c := 0; c < g.InC; c++ {
+			base := (n*g.InC + c) * g.InH * g.InW
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					bestIdx, bestVal, seen := -1, float32(0), false
+					for ky := 0; ky < g.KH; ky++ {
+						iy := oy*g.Stride + ky - g.Pad
+						if iy < 0 || iy >= g.InH {
+							continue
+						}
+						for kx := 0; kx < g.KW; kx++ {
+							ix := ox*g.Stride + kx - g.Pad
+							if ix < 0 || ix >= g.InW {
+								continue
+							}
+							v := in.Data[base+iy*g.InW+ix]
+							if !seen || v > bestVal {
+								bestIdx, bestVal, seen = base+iy*g.InW+ix, v, true
+							}
+						}
+					}
+					out.Data[oi] = bestVal
+					idx[oi] = bestIdx
+					oi++
+				}
+			}
+		}
+	}
+	return out, idx
+}
+
+// MaxPoolBackward routes output gradients back to the argmax positions
+// recorded by MaxPool, producing the input gradient.
+func MaxPoolBackward(gradOut *Tensor, idx []int, inShape []int) *Tensor {
+	if gradOut.Size() != len(idx) {
+		panic(fmt.Sprintf("tensor: maxpool backward size mismatch %d vs %d", gradOut.Size(), len(idx)))
+	}
+	grad := New(inShape...)
+	for i, v := range gradOut.Data {
+		if idx[i] >= 0 {
+			grad.Data[idx[i]] += v
+		}
+	}
+	return grad
+}

@@ -1,0 +1,154 @@
+package tensor
+
+import "fmt"
+
+// MatMul computes C = A·B for 2-D tensors A [m,k] and B [k,n], returning a
+// new [m,n] tensor. The inner loop is ordered i-k-j so B is streamed
+// row-major, which keeps the kernel cache-friendly without resorting to
+// blocking.
+func MatMul(a, b *Tensor) *Tensor {
+	if a.NumDims() != 2 || b.NumDims() != 2 {
+		panic(fmt.Sprintf("tensor: matmul needs 2-d operands, got %v × %v", a.Shape, b.Shape))
+	}
+	m, k := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: matmul inner dim mismatch %v × %v", a.Shape, b.Shape))
+	}
+	c := New(m, n)
+	for i := 0; i < m; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		crow := c.Data[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[p*n : (p+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+	return c
+}
+
+// MatMulTransA computes C = Aᵀ·B for A [k,m], B [k,n] → C [m,n].
+func MatMulTransA(a, b *Tensor) *Tensor {
+	if a.NumDims() != 2 || b.NumDims() != 2 {
+		panic(fmt.Sprintf("tensor: matmulTransA needs 2-d operands, got %v × %v", a.Shape, b.Shape))
+	}
+	k, m := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: matmulTransA inner dim mismatch %v × %v", a.Shape, b.Shape))
+	}
+	c := New(m, n)
+	for p := 0; p < k; p++ {
+		arow := a.Data[p*m : (p+1)*m]
+		brow := b.Data[p*n : (p+1)*n]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			crow := c.Data[i*n : (i+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+	return c
+}
+
+// MatMulTransB computes C = A·Bᵀ for A [m,k], B [n,k] → C [m,n].
+func MatMulTransB(a, b *Tensor) *Tensor {
+	if a.NumDims() != 2 || b.NumDims() != 2 {
+		panic(fmt.Sprintf("tensor: matmulTransB needs 2-d operands, got %v × %v", a.Shape, b.Shape))
+	}
+	m, k := a.Shape[0], a.Shape[1]
+	n, k2 := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: matmulTransB inner dim mismatch %v × %v", a.Shape, b.Shape))
+	}
+	c := New(m, n)
+	for i := 0; i < m; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		crow := c.Data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := b.Data[j*k : (j+1)*k]
+			var s float32
+			for p, av := range arow {
+				s += av * brow[p]
+			}
+			crow[j] = s
+		}
+	}
+	return c
+}
+
+// Transpose2D returns a new tensor that is the transpose of a 2-D tensor.
+func Transpose2D(a *Tensor) *Tensor {
+	if a.NumDims() != 2 {
+		panic(fmt.Sprintf("tensor: transpose needs a 2-d tensor, got %v", a.Shape))
+	}
+	m, n := a.Shape[0], a.Shape[1]
+	t := New(n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			t.Data[j*m+i] = a.Data[i*n+j]
+		}
+	}
+	return t
+}
+
+// AddRowVector adds the length-n vector v to every row of the [m,n] tensor.
+func AddRowVector(a, v *Tensor) *Tensor {
+	if a.NumDims() != 2 || v.Size() != a.Shape[1] {
+		panic(fmt.Sprintf("tensor: addRowVector shape mismatch %v + %v", a.Shape, v.Shape))
+	}
+	n := a.Shape[1]
+	for i := 0; i < a.Shape[0]; i++ {
+		row := a.Data[i*n : (i+1)*n]
+		for j, bv := range v.Data {
+			row[j] += bv
+		}
+	}
+	return a
+}
+
+// SumRows returns the column-wise sum of a [m,n] tensor as a length-n vector.
+func SumRows(a *Tensor) *Tensor {
+	if a.NumDims() != 2 {
+		panic(fmt.Sprintf("tensor: sumRows needs a 2-d tensor, got %v", a.Shape))
+	}
+	m, n := a.Shape[0], a.Shape[1]
+	out := New(n)
+	for i := 0; i < m; i++ {
+		row := a.Data[i*n : (i+1)*n]
+		for j, v := range row {
+			out.Data[j] += v
+		}
+	}
+	return out
+}
+
+// ArgMaxRows returns, for each row of a [m,n] tensor, the index of its
+// maximum element.
+func ArgMaxRows(a *Tensor) []int {
+	if a.NumDims() != 2 {
+		panic(fmt.Sprintf("tensor: argMaxRows needs a 2-d tensor, got %v", a.Shape))
+	}
+	m, n := a.Shape[0], a.Shape[1]
+	out := make([]int, m)
+	for i := 0; i < m; i++ {
+		row := a.Data[i*n : (i+1)*n]
+		best, bestV := 0, row[0]
+		for j, v := range row {
+			if v > bestV {
+				best, bestV = j, v
+			}
+		}
+		out[i] = best
+	}
+	return out
+}

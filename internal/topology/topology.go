@@ -1,0 +1,166 @@
+// Package topology models the hierarchical hardware deployments PipeDream
+// optimizes for: workers grouped into levels (GPUs within a server, servers
+// within a cluster) with per-level interconnect bandwidths, exactly the
+// structure of the paper's Figure 7 and Table 2.
+package topology
+
+import "fmt"
+
+// Gigabit and related constants convert link ratings to bytes per second.
+const (
+	Gbps = 1e9 / 8 // 1 gigabit per second, in bytes/second
+	GBps = 1e9     // 1 gigabyte per second, in bytes/second
+
+	// EthernetEff is the fraction of rated Ethernet bandwidth that
+	// TCP-based collective stacks (Gloo, NCCL-over-TCP circa 2019)
+	// actually deliver; cluster presets bake it into their link rates.
+	EthernetEff = 0.5
+)
+
+// Device describes one accelerator. EffectiveFLOPS is the sustained
+// throughput used to convert model FLOPs into compute time; MemBytes is
+// the device memory capacity used for memory-feasibility checks.
+type Device struct {
+	Name           string
+	EffectiveFLOPS float64
+	MemBytes       int64
+}
+
+// Devices used in the paper's evaluation (Table 2 and Figure 1). Effective
+// FLOPS are sustained fp32 rates (roughly half of peak), which is what
+// converts analytic layer FLOP counts into realistic compute times.
+var (
+	V100    = Device{Name: "V100", EffectiveFLOPS: 7.8e12, MemBytes: 16 << 30}
+	GTX1080 = Device{Name: "1080Ti", EffectiveFLOPS: 5.5e12, MemBytes: 11 << 30}
+	TitanX  = Device{Name: "TitanX", EffectiveFLOPS: 5.0e12, MemBytes: 12 << 30}
+)
+
+// Level is one tier of the hierarchy: Width components of the level below,
+// connected by links of Bandwidth bytes/second. Following the paper, level
+// k is comprised of m_k components of level k-1 linked at bandwidth B_k.
+// Shared marks a bus-style interconnect (a PCIe tree) whose bandwidth is
+// divided among all members transferring concurrently; point-to-point
+// fabrics (NVLink, per-server Ethernet NICs) leave it false.
+type Level struct {
+	Width     int
+	Bandwidth float64
+	Shared    bool
+}
+
+// Topology is a hierarchical deployment. Levels[0] is the innermost tier
+// (e.g. GPUs within a server); the last level is the outermost (servers in
+// a cluster). A single-level topology models one multi-GPU server.
+type Topology struct {
+	Name   string
+	Device Device
+	Levels []Level
+}
+
+// Validate checks structural invariants.
+func (t *Topology) Validate() error {
+	if len(t.Levels) == 0 {
+		return fmt.Errorf("topology %q: no levels", t.Name)
+	}
+	for i, l := range t.Levels {
+		if l.Width < 1 {
+			return fmt.Errorf("topology %q: level %d width %d", t.Name, i, l.Width)
+		}
+		if l.Width > 1 && l.Bandwidth <= 0 {
+			return fmt.Errorf("topology %q: level %d has width %d but bandwidth %v", t.Name, i, l.Width, l.Bandwidth)
+		}
+	}
+	if t.Device.EffectiveFLOPS <= 0 {
+		return fmt.Errorf("topology %q: device %q has no FLOPS rating", t.Name, t.Device.Name)
+	}
+	return nil
+}
+
+// TotalWorkers returns the product of all level widths.
+func (t *Topology) TotalWorkers() int {
+	n := 1
+	for _, l := range t.Levels {
+		n *= l.Width
+	}
+	return n
+}
+
+// SlowestBandwidth returns the lowest link bandwidth in the hierarchy —
+// the bottleneck for naive data parallelism.
+func (t *Topology) SlowestBandwidth() float64 {
+	b := 0.0
+	for _, l := range t.Levels {
+		if l.Width > 1 && (b == 0 || l.Bandwidth < b) {
+			b = l.Bandwidth
+		}
+	}
+	return b
+}
+
+// String renders e.g. "Cluster-A[4xV100/srv × 2 srv]".
+func (t *Topology) String() string {
+	return fmt.Sprintf("%s[%d workers, %s]", t.Name, t.TotalWorkers(), t.Device.Name)
+}
+
+// ClusterA returns the paper's Cluster-A: servers with 4 V100s on shared
+// PCIe, 10 Gbps Ethernet between servers (Azure NCv3). The PCIe figure is
+// the effective all_reduce bus bandwidth on Azure NC-series hardware,
+// where GPUs lack peer-to-peer access and collectives stage through host
+// memory (~2 GB/s), far below the 16 GB/s point-to-point peak.
+func ClusterA(servers int) *Topology {
+	levels := []Level{{Width: 4, Bandwidth: 2 * GBps, Shared: true}}
+	if servers > 1 {
+		levels = append(levels, Level{Width: servers, Bandwidth: 10 * Gbps * EthernetEff})
+	}
+	return &Topology{Name: fmt.Sprintf("Cluster-A(%dx4)", servers), Device: V100, Levels: levels}
+}
+
+// ClusterB returns the paper's Cluster-B: servers with 8 V100s on NVLink,
+// 25 Gbps Ethernet between servers (AWS p3.16xlarge).
+func ClusterB(servers int) *Topology {
+	levels := []Level{{Width: 8, Bandwidth: 30 * GBps}}
+	if servers > 1 {
+		levels = append(levels, Level{Width: servers, Bandwidth: 25 * Gbps * EthernetEff})
+	}
+	return &Topology{Name: fmt.Sprintf("Cluster-B(%dx8)", servers), Device: V100, Levels: levels}
+}
+
+// ClusterC returns the paper's Cluster-C: single-Titan X servers linked by
+// 40 Gbps Ethernet.
+func ClusterC(servers int) *Topology {
+	return &Topology{
+		Name:   fmt.Sprintf("Cluster-C(%dx1)", servers),
+		Device: TitanX,
+		Levels: []Level{{Width: servers, Bandwidth: 40 * Gbps * EthernetEff}},
+	}
+}
+
+// Fig1Private returns the Figure 1(a) deployment: servers with 8 1080Tis
+// on PCIe, 25 Gbps between servers.
+func Fig1Private(servers int) *Topology {
+	levels := []Level{{Width: 8, Bandwidth: 4 * GBps, Shared: true}}
+	if servers > 1 {
+		levels = append(levels, Level{Width: servers, Bandwidth: 25 * Gbps * EthernetEff})
+	}
+	return &Topology{Name: fmt.Sprintf("Private(%dx8 1080Ti)", servers), Device: GTX1080, Levels: levels}
+}
+
+// Dedicated returns an MLPerf-style dedicated cluster: 8-GPU NVLink
+// servers with 100 Gbps InfiniBand-class interconnect (Table 3 baseline).
+func Dedicated(servers int) *Topology {
+	// Dedicated clusters run RDMA-capable fabrics at near line rate.
+	levels := []Level{{Width: 8, Bandwidth: 30 * GBps}}
+	if servers > 1 {
+		levels = append(levels, Level{Width: servers, Bandwidth: 100 * Gbps})
+	}
+	return &Topology{Name: fmt.Sprintf("Dedicated(%dx8)", servers), Device: V100, Levels: levels}
+}
+
+// Flat returns a single-level topology of n workers at the given bandwidth
+// — convenient for unit tests and microbenchmarks.
+func Flat(n int, bandwidth float64, dev Device) *Topology {
+	return &Topology{
+		Name:   fmt.Sprintf("Flat(%d)", n),
+		Device: dev,
+		Levels: []Level{{Width: n, Bandwidth: bandwidth}},
+	}
+}

@@ -1,0 +1,65 @@
+// Package trace exports simulator/runtime timelines in the Chrome
+// trace-event format (the JSON array consumed by chrome://tracing and
+// https://ui.perfetto.dev), so pipeline schedules can be inspected
+// interactively instead of as ASCII art.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"pipedream/internal/schedule"
+)
+
+// event is one complete ("ph":"X") trace event.
+type event struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`  // microseconds
+	Dur  float64           `json:"dur"` // microseconds
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// WriteChrome serializes a timeline as Chrome trace events. Each worker
+// becomes a thread; forward, backward, and sync ops become complete
+// events. timeUnit scales timeline time into seconds (pass 1 if the
+// timeline is already in seconds).
+func WriteChrome(w io.Writer, t *schedule.Timeline, timeUnit float64) error {
+	if t == nil {
+		return fmt.Errorf("trace: nil timeline")
+	}
+	if timeUnit <= 0 {
+		return fmt.Errorf("trace: timeUnit must be positive, got %v", timeUnit)
+	}
+	events := make([]event, 0, len(t.Ops))
+	for _, op := range t.Ops {
+		name := ""
+		switch op.Kind {
+		case schedule.Forward:
+			name = fmt.Sprintf("F%d", op.Minibatch)
+		case schedule.Backward:
+			name = fmt.Sprintf("B%d", op.Minibatch)
+		case schedule.SyncOp:
+			name = "all_reduce"
+		}
+		events = append(events, event{
+			Name: name,
+			Cat:  op.Kind.String(),
+			Ph:   "X",
+			Ts:   op.Start * timeUnit * 1e6,
+			Dur:  (op.End - op.Start) * timeUnit * 1e6,
+			Pid:  0,
+			Tid:  op.Worker,
+			Args: map[string]string{
+				"stage":     fmt.Sprintf("%d", op.Stage),
+				"minibatch": fmt.Sprintf("%d", op.Minibatch),
+			},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(events)
+}

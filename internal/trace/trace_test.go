@@ -1,0 +1,71 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"pipedream/internal/schedule"
+)
+
+func sampleTimeline() *schedule.Timeline {
+	return &schedule.Timeline{
+		Workers: 2,
+		Horizon: 4,
+		Ops: []schedule.Op{
+			{Worker: 0, Stage: 0, Minibatch: 1, Kind: schedule.Forward, Start: 0, End: 1},
+			{Worker: 0, Stage: 0, Minibatch: 1, Kind: schedule.Backward, Start: 2, End: 4},
+			{Worker: 1, Stage: 1, Minibatch: 1, Kind: schedule.SyncOp, Start: 1, End: 2},
+		},
+	}
+}
+
+func TestWriteChromeProducesValidJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, sampleTimeline(), 1); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(events) != 3 {
+		t.Fatalf("got %d events, want 3", len(events))
+	}
+	first := events[0]
+	if first["name"] != "F1" || first["ph"] != "X" {
+		t.Fatalf("first event %+v", first)
+	}
+	// Microsecond scaling.
+	if first["dur"].(float64) != 1e6 {
+		t.Fatalf("dur = %v, want 1e6 µs", first["dur"])
+	}
+	if !strings.Contains(buf.String(), "all_reduce") {
+		t.Fatal("sync op missing")
+	}
+}
+
+func TestWriteChromeScalesTime(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, sampleTimeline(), 0.001); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatal(err)
+	}
+	if events[0]["dur"].(float64) != 1e3 {
+		t.Fatalf("scaled dur = %v, want 1000 µs", events[0]["dur"])
+	}
+}
+
+func TestWriteChromeRejectsBadInput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, nil, 1); err == nil {
+		t.Fatal("nil timeline must fail")
+	}
+	if err := WriteChrome(&buf, sampleTimeline(), 0); err == nil {
+		t.Fatal("zero time unit must fail")
+	}
+}

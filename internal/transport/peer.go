@@ -1,0 +1,175 @@
+package transport
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// TCPPeer is the transport endpoint of ONE worker in a multi-process
+// deployment: it listens on its own address and dials peers on demand.
+// Every process constructs a TCPPeer with the same address list; worker w
+// in process w sends to worker v by dialing addrs[v]. Inbox is only valid
+// for the local worker ID.
+type TCPPeer struct {
+	me    int
+	addrs []string
+
+	ln    net.Listener
+	inbox chan Message
+
+	mu       sync.Mutex
+	conns    map[int]*gobConn
+	accepted []net.Conn
+
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+// NewTCPPeer creates the endpoint for worker `me`, listening on
+// addrs[me]. Peers need not be up yet: dialing retries with backoff until
+// DialTimeout elapses.
+func NewTCPPeer(me int, addrs []string, buffer int) (*TCPPeer, error) {
+	if me < 0 || me >= len(addrs) {
+		return nil, fmt.Errorf("transport: worker id %d outside address list of %d", me, len(addrs))
+	}
+	ln, err := net.Listen("tcp", addrs[me])
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addrs[me], err)
+	}
+	t := &TCPPeer{
+		me:     me,
+		addrs:  addrs,
+		ln:     ln,
+		inbox:  make(chan Message, buffer),
+		conns:  make(map[int]*gobConn),
+		closed: make(chan struct{}),
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// DialTimeout bounds how long Send waits for a peer to come up.
+const DialTimeout = 30 * time.Second
+
+// Addr returns the local listen address (useful with ":0" port requests).
+func (t *TCPPeer) Addr() string { return t.ln.Addr().String() }
+
+func (t *TCPPeer) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return
+		}
+		t.mu.Lock()
+		t.accepted = append(t.accepted, conn)
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.readLoop(conn)
+	}
+}
+
+func (t *TCPPeer) readLoop(conn net.Conn) {
+	defer t.wg.Done()
+	dec := gob.NewDecoder(conn)
+	for {
+		var m Message
+		if err := dec.Decode(&m); err != nil {
+			return
+		}
+		select {
+		case t.inbox <- m:
+		case <-t.closed:
+			return
+		}
+	}
+}
+
+// Send implements Transport. Peers that have not started yet are retried
+// with backoff until DialTimeout.
+func (t *TCPPeer) Send(to int, m Message) {
+	gc, err := t.dial(to)
+	if err != nil {
+		select {
+		case <-t.closed:
+			return
+		default:
+			panic(fmt.Sprintf("transport: peer %d → %d: %v", t.me, to, err))
+		}
+	}
+	gc.mu.Lock()
+	defer gc.mu.Unlock()
+	if err := gc.enc.Encode(m); err != nil {
+		select {
+		case <-t.closed:
+		default:
+			panic(fmt.Sprintf("transport: peer %d send to %d: %v", t.me, to, err))
+		}
+	}
+}
+
+func (t *TCPPeer) dial(to int) (*gobConn, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if gc, ok := t.conns[to]; ok {
+		return gc, nil
+	}
+	if to < 0 || to >= len(t.addrs) {
+		return nil, fmt.Errorf("unknown worker %d", to)
+	}
+	deadline := time.Now().Add(DialTimeout)
+	backoff := 10 * time.Millisecond
+	for {
+		conn, err := net.Dial("tcp", t.addrs[to])
+		if err == nil {
+			gc := &gobConn{conn: conn, enc: gob.NewEncoder(conn)}
+			t.conns[to] = gc
+			return gc, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("dial %s: %w", t.addrs[to], err)
+		}
+		select {
+		case <-t.closed:
+			return nil, fmt.Errorf("transport closed")
+		case <-time.After(backoff):
+		}
+		if backoff < time.Second {
+			backoff *= 2
+		}
+	}
+}
+
+// Inbox implements Transport. Only the local worker's inbox exists in
+// this process; asking for any other ID panics (it would be a programming
+// error in a solo-worker deployment).
+func (t *TCPPeer) Inbox(w int) <-chan Message {
+	if w != t.me {
+		panic(fmt.Sprintf("transport: process for worker %d asked for worker %d's inbox", t.me, w))
+	}
+	return t.inbox
+}
+
+// Close implements Transport.
+func (t *TCPPeer) Close() error {
+	t.closeOnce.Do(func() {
+		close(t.closed)
+		t.ln.Close()
+		t.mu.Lock()
+		for _, gc := range t.conns {
+			gc.conn.Close()
+		}
+		for _, c := range t.accepted {
+			c.Close()
+		}
+		t.mu.Unlock()
+		t.wg.Wait()
+		close(t.inbox)
+	})
+	return nil
+}

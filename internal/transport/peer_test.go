@@ -1,0 +1,105 @@
+package transport
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"pipedream/internal/tensor"
+)
+
+func peerAddrs(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	lns := make([]net.Listener, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	return addrs
+}
+
+func TestTCPPeerRoundTrip(t *testing.T) {
+	addrs := peerAddrs(t, 2)
+	a, err := NewTCPPeer(0, addrs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := NewTCPPeer(1, addrs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	a.Send(1, Message{Kind: Activation, Minibatch: 3,
+		Tensor: tensor.FromSlice([]float32{1, 2}, 2), Labels: []int{9}})
+	m := <-b.Inbox(1)
+	if m.Minibatch != 3 || m.Tensor.Data[1] != 2 || m.Labels[0] != 9 {
+		t.Fatalf("message corrupted: %+v", m)
+	}
+	// And the reverse direction.
+	b.Send(0, Message{Kind: Gradient, Minibatch: 4, Tensor: tensor.FromSlice([]float32{5}, 1)})
+	r := <-a.Inbox(0)
+	if r.Kind != Gradient || r.Minibatch != 4 {
+		t.Fatalf("reply corrupted: %+v", r)
+	}
+}
+
+func TestTCPPeerRetriesUntilPeerStarts(t *testing.T) {
+	addrs := peerAddrs(t, 2)
+	a, err := NewTCPPeer(0, addrs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	// Start the receiver AFTER a delay; the sender must retry and
+	// eventually deliver.
+	done := make(chan Message, 1)
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		b, err := NewTCPPeer(1, addrs, 4)
+		if err != nil {
+			return
+		}
+		defer b.Close()
+		done <- <-b.Inbox(1)
+	}()
+	a.Send(1, Message{Kind: Activation, Minibatch: 7, Tensor: tensor.FromSlice([]float32{1}, 1)})
+	select {
+	case m := <-done:
+		if m.Minibatch != 7 {
+			t.Fatalf("got %+v", m)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("message never delivered despite retry")
+	}
+}
+
+func TestTCPPeerInboxPanicsForForeignWorker(t *testing.T) {
+	addrs := peerAddrs(t, 2)
+	a, err := NewTCPPeer(0, addrs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for foreign inbox")
+		}
+	}()
+	a.Inbox(1)
+}
+
+func TestTCPPeerRejectsBadID(t *testing.T) {
+	if _, err := NewTCPPeer(5, []string{"127.0.0.1:0"}, 1); err == nil {
+		t.Fatal("out-of-range id must fail")
+	}
+}

@@ -1,0 +1,273 @@
+// Package transport moves activations and gradients between pipeline-stage
+// workers. Two implementations share one interface: an in-process channel
+// transport (the common case: workers are goroutines) and a TCP transport
+// that serializes messages with encoding/gob over real sockets, exercising
+// the same code path a multi-machine deployment would.
+package transport
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+
+	"pipedream/internal/tensor"
+)
+
+// FlattenTensors concatenates tensors into one flat tensor (for
+// single-message gradient exchange) and UnflattenInto adds a flat tensor
+// back into a destination slice of the same total size.
+func FlattenTensors(ts []*tensor.Tensor) *tensor.Tensor {
+	n := 0
+	for _, t := range ts {
+		n += t.Size()
+	}
+	out := tensor.New(n)
+	off := 0
+	for _, t := range ts {
+		copy(out.Data[off:], t.Data)
+		off += t.Size()
+	}
+	return out
+}
+
+// UnflattenAdd adds flat's values element-wise into dst (same layout as
+// produced by FlattenTensors).
+func UnflattenAdd(dst []*tensor.Tensor, flat *tensor.Tensor) {
+	off := 0
+	for _, t := range dst {
+		for i := range t.Data {
+			t.Data[i] += flat.Data[off+i]
+		}
+		off += t.Size()
+	}
+	if off != flat.Size() {
+		panic(fmt.Sprintf("transport: unflatten size mismatch: %d vs %d", off, flat.Size()))
+	}
+}
+
+// MsgKind distinguishes message payloads.
+type MsgKind int
+
+// Message kinds.
+const (
+	// Activation carries a stage's forward output to the next stage.
+	Activation MsgKind = iota
+	// Gradient carries the loss gradient w.r.t. a stage's input back to
+	// the previous stage.
+	Gradient
+	// GradExchange carries one replica's flattened weight gradients to a
+	// sibling replica of the same stage (the distributed analogue of the
+	// in-process all_reduce). Minibatch holds the all-reduce round index
+	// and Version the sender's replica index.
+	GradExchange
+)
+
+// String implements fmt.Stringer.
+func (k MsgKind) String() string {
+	switch k {
+	case Activation:
+		return "activation"
+	case Gradient:
+		return "gradient"
+	case GradExchange:
+		return "grad-exchange"
+	}
+	return fmt.Sprintf("MsgKind(%d)", int(k))
+}
+
+// Message is one inter-stage transfer for one minibatch.
+type Message struct {
+	Kind      MsgKind
+	Minibatch int
+	// Version is the weight-version tag used by vertical sync.
+	Version int
+	Tensor  *tensor.Tensor
+	Labels  []int
+}
+
+// Transport delivers messages to per-worker inboxes.
+type Transport interface {
+	// Send delivers m to worker `to`'s inbox. It may block if the
+	// receiver's inbox is full (providing natural backpressure).
+	Send(to int, m Message)
+	// Inbox returns worker w's receive channel. The channel is closed by
+	// Close.
+	Inbox(w int) <-chan Message
+	// Close shuts down the transport and closes all inboxes.
+	Close() error
+}
+
+// Channels is the in-process transport: one buffered Go channel per
+// worker.
+type Channels struct {
+	inboxes   []chan Message
+	closeOnce sync.Once
+}
+
+// NewChannels creates an in-process transport for n workers with the given
+// per-inbox buffer size.
+func NewChannels(n, buffer int) *Channels {
+	c := &Channels{inboxes: make([]chan Message, n)}
+	for i := range c.inboxes {
+		c.inboxes[i] = make(chan Message, buffer)
+	}
+	return c
+}
+
+// Send implements Transport.
+func (c *Channels) Send(to int, m Message) { c.inboxes[to] <- m }
+
+// Inbox implements Transport.
+func (c *Channels) Inbox(w int) <-chan Message { return c.inboxes[w] }
+
+// Close implements Transport.
+func (c *Channels) Close() error {
+	c.closeOnce.Do(func() {
+		for _, ch := range c.inboxes {
+			close(ch)
+		}
+	})
+	return nil
+}
+
+// TCP is a loopback-or-network transport: every worker listens on its own
+// TCP port and peers hold persistent gob-encoded connections. It carries
+// exactly the same Message type as Channels, so a Pipeline can run over
+// real sockets without code changes.
+type TCP struct {
+	n         int
+	listeners []net.Listener
+	inboxes   []chan Message
+
+	mu    sync.Mutex
+	conns map[[2]int]*gobConn // (from, to) -> connection
+
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+type gobConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+}
+
+// NewTCP creates a TCP transport for n workers listening on ephemeral
+// loopback ports.
+func NewTCP(n, buffer int) (*TCP, error) {
+	t := &TCP{
+		n:       n,
+		inboxes: make([]chan Message, n),
+		conns:   make(map[[2]int]*gobConn),
+		closed:  make(chan struct{}),
+	}
+	for i := 0; i < n; i++ {
+		t.inboxes[i] = make(chan Message, buffer)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("transport: listen for worker %d: %w", i, err)
+		}
+		t.listeners = append(t.listeners, ln)
+		t.wg.Add(1)
+		go t.acceptLoop(i, ln)
+	}
+	return t, nil
+}
+
+// Addr returns the listen address of worker w.
+func (t *TCP) Addr(w int) string { return t.listeners[w].Addr().String() }
+
+func (t *TCP) acceptLoop(w int, ln net.Listener) {
+	defer t.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.wg.Add(1)
+		go t.readLoop(w, conn)
+	}
+}
+
+func (t *TCP) readLoop(w int, conn net.Conn) {
+	defer t.wg.Done()
+	dec := gob.NewDecoder(conn)
+	for {
+		var m Message
+		if err := dec.Decode(&m); err != nil {
+			return // connection closed
+		}
+		select {
+		case t.inboxes[w] <- m:
+		case <-t.closed:
+			return
+		}
+	}
+}
+
+// Send implements Transport. Connections are established lazily and
+// reused; concurrent sends to the same destination serialize on the
+// connection's encoder.
+func (t *TCP) Send(to int, m Message) {
+	gc, err := t.dial(to)
+	if err != nil {
+		// Delivery failure after Close is expected during shutdown;
+		// anything else is a programming error in a single-process run.
+		select {
+		case <-t.closed:
+			return
+		default:
+			panic(fmt.Sprintf("transport: dial worker %d: %v", to, err))
+		}
+	}
+	gc.mu.Lock()
+	defer gc.mu.Unlock()
+	if err := gc.enc.Encode(m); err != nil {
+		select {
+		case <-t.closed:
+		default:
+			panic(fmt.Sprintf("transport: send to worker %d: %v", to, err))
+		}
+	}
+}
+
+func (t *TCP) dial(to int) (*gobConn, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	key := [2]int{0, to} // one shared outbound connection per destination
+	if gc, ok := t.conns[key]; ok {
+		return gc, nil
+	}
+	conn, err := net.Dial("tcp", t.Addr(to))
+	if err != nil {
+		return nil, err
+	}
+	gc := &gobConn{conn: conn, enc: gob.NewEncoder(conn)}
+	t.conns[key] = gc
+	return gc, nil
+}
+
+// Inbox implements Transport.
+func (t *TCP) Inbox(w int) <-chan Message { return t.inboxes[w] }
+
+// Close implements Transport.
+func (t *TCP) Close() error {
+	t.closeOnce.Do(func() {
+		close(t.closed)
+		for _, ln := range t.listeners {
+			ln.Close()
+		}
+		t.mu.Lock()
+		for _, gc := range t.conns {
+			gc.conn.Close()
+		}
+		t.mu.Unlock()
+		t.wg.Wait()
+		for _, ch := range t.inboxes {
+			close(ch)
+		}
+	})
+	return nil
+}

@@ -1,0 +1,190 @@
+// Package pipedream is a from-scratch Go reproduction of "PipeDream:
+// Generalized Pipeline Parallelism for DNN Training" (SOSP 2019).
+//
+// The package exposes the full workflow the paper describes:
+//
+//  1. Profile — measure per-layer compute time, activation size, and
+//     weight size for a model (ProfileModel), or use an analytic profile
+//     from the model zoo (Model).
+//  2. Plan — run the hierarchical dynamic-programming partitioner to
+//     split layers into (possibly replicated) pipeline stages for a
+//     hardware topology (Plan).
+//  3. Execute — either train a real model in-process with the 1F1B-RR
+//     runtime, complete with weight stashing and round-robin replicated
+//     stages (NewPipeline), or simulate the plan's behaviour on a
+//     modelled GPU cluster (Simulate).
+//
+// The heavy lifting lives in the internal packages (tensor, nn, data,
+// topology, profile, modelzoo, partition, schedule, transport, pipeline,
+// cluster, statseff, experiments); this package re-exports the types a
+// downstream user needs so that everyday use requires a single import.
+//
+// A minimal end-to-end example:
+//
+//	model := func() *nn.Sequential { ... }                  // your model
+//	prof := pipedream.ProfileModel(model(), "mlp", ds, 16)  // 1. profile
+//	topo := pipedream.ClusterA(1)                           // 4-GPU server
+//	plan, _ := pipedream.Plan(prof, topo)                   // 2. plan
+//	p, _ := pipedream.NewPipeline(pipedream.PipelineOptions{ // 3. run
+//	    ModelFactory: model,
+//	    Plan:         plan,
+//	    Loss:         pipedream.SoftmaxCrossEntropy,
+//	    NewOptimizer: func() pipedream.Optimizer { return pipedream.NewSGD(0.1, 0.9, 0) },
+//	})
+//	report, _ := p.Train(ds, ds.NumBatches())
+package pipedream
+
+import (
+	"pipedream/internal/cluster"
+	"pipedream/internal/data"
+	"pipedream/internal/modelzoo"
+	"pipedream/internal/nn"
+	"pipedream/internal/partition"
+	"pipedream/internal/pipeline"
+	"pipedream/internal/profile"
+	"pipedream/internal/schedule"
+	"pipedream/internal/topology"
+	"pipedream/internal/transport"
+)
+
+// Core model-building types.
+type (
+	// Sequential is an ordered list of layers — the unit PipeDream
+	// partitions.
+	Sequential = nn.Sequential
+	// Layer is one differentiable operator with explicit Forward and
+	// Backward passes.
+	Layer = nn.Layer
+	// Optimizer applies gradient updates (SGD, Adam, LARS).
+	Optimizer = nn.Optimizer
+	// Dataset supplies deterministic minibatches.
+	Dataset = data.Dataset
+	// Batch is one minibatch of inputs and labels.
+	Batch = data.Batch
+)
+
+// Profiling and planning types.
+type (
+	// ModelProfile is the per-layer (Tl, al, wl) triple the optimizer
+	// consumes.
+	ModelProfile = profile.ModelProfile
+	// LayerProfile is one layer's profile entry.
+	LayerProfile = profile.LayerProfile
+	// Topology is a hierarchical hardware deployment.
+	Topology = topology.Topology
+	// Device describes one accelerator.
+	Device = topology.Device
+	// PartitionPlan assigns layer ranges to (replicated) stages.
+	PartitionPlan = partition.Plan
+	// StageSpec is one stage of a plan.
+	StageSpec = partition.StageSpec
+)
+
+// Execution types.
+type (
+	// PipelineOptions configures the 1F1B-RR training runtime.
+	PipelineOptions = pipeline.Options
+	// Pipeline is a live pipeline-parallel training instance.
+	Pipeline = pipeline.Pipeline
+	// TrainReport summarizes one training run.
+	TrainReport = pipeline.Report
+	// StalenessMode selects weight stashing / vertical sync / naive.
+	StalenessMode = pipeline.StalenessMode
+	// SimConfig configures a cluster simulation.
+	SimConfig = cluster.Config
+	// SimResult carries simulation measurements.
+	SimResult = cluster.Result
+	// Policy selects the inter-batch schedule (1F1B, GPipe, model
+	// parallel).
+	Policy = schedule.Policy
+	// SoloWorkerT is one stage worker of a multi-process deployment
+	// (returned by NewSoloWorker).
+	SoloWorkerT = pipeline.SoloWorker
+)
+
+// Staleness modes (§3.3 of the paper).
+const (
+	WeightStashing = pipeline.WeightStashing
+	VerticalSync   = pipeline.VerticalSync
+	NoStashing     = pipeline.NoStashing
+)
+
+// Scheduling policies.
+const (
+	PipeDream1F1B       = schedule.PipeDream1F1B
+	GPipe               = schedule.GPipe
+	ModelParallelSingle = schedule.ModelParallelSingle
+)
+
+// Re-exported constructors and functions.
+var (
+	// NewSGD, NewAdam, and NewLARS build optimizers.
+	NewSGD  = nn.NewSGD
+	NewAdam = nn.NewAdam
+	NewLARS = nn.NewLARS
+	// SoftmaxCrossEntropy is the standard classification loss.
+	SoftmaxCrossEntropy = nn.SoftmaxCrossEntropy
+	// Accuracy scores logits against labels.
+	Accuracy = nn.Accuracy
+
+	// ClusterA/B/C are the paper's Table 2 deployments.
+	ClusterA = topology.ClusterA
+	ClusterB = topology.ClusterB
+	ClusterC = topology.ClusterC
+
+	// Model returns an analytic profile for one of the paper's models
+	// ("VGG-16", "ResNet-50", "AlexNet", "GNMT-8", "GNMT-16", "AWD-LM",
+	// "S2VT", "BERT-Large", ...).
+	Model = modelzoo.ByName
+	// Models lists the model zoo.
+	Models = modelzoo.Names
+
+	// NewTCPPeer creates one process's transport endpoint for distributed
+	// deployments.
+	NewTCPPeer = transport.NewTCPPeer
+)
+
+// ProfileModel measures a real model's per-layer profile, as the paper's
+// profiler does (§3.1): run numBatches minibatches on one worker, timing
+// each layer's forward and backward pass and recording activation and
+// weight sizes.
+func ProfileModel(model *Sequential, name string, ds Dataset, numBatches int) *ModelProfile {
+	return profile.Measure(model, name, ds, numBatches)
+}
+
+// Plan runs PipeDream's partitioning optimizer: it splits the profiled
+// layers into pipeline stages, chooses replication factors, and computes
+// NOAM and the predicted throughput.
+func Plan(prof *ModelProfile, topo *Topology) (*PartitionPlan, error) {
+	return partition.Optimize(prof, topo)
+}
+
+// DataParallelPlan returns the vanilla data-parallel configuration for
+// comparison.
+func DataParallelPlan(prof *ModelProfile, topo *Topology) (*PartitionPlan, error) {
+	return partition.DataParallel(prof, topo)
+}
+
+// NewPipeline builds the 1F1B-RR training runtime for a plan.
+func NewPipeline(opts PipelineOptions) (*Pipeline, error) {
+	return pipeline.New(opts)
+}
+
+// NewSoloWorker builds ONE stage worker of a multi-process distributed
+// deployment; connect processes with NewTCPPeer using a shared address
+// list.
+func NewSoloWorker(opts PipelineOptions, workerID int) (*pipeline.SoloWorker, error) {
+	return pipeline.NewSoloWorker(opts, workerID)
+}
+
+// PlanWithMemory runs the optimizer under the device-memory constraint,
+// returning the plan and the pipeline depth to run it at (≤ NOAM).
+func PlanWithMemory(prof *ModelProfile, topo *Topology) (*PartitionPlan, int, error) {
+	return partition.OptimizeWithMemory(prof, topo)
+}
+
+// Simulate executes a plan on the modelled GPU cluster and reports
+// throughput, utilization, memory, and communication volumes.
+func Simulate(cfg SimConfig) (*SimResult, error) {
+	return cluster.Simulate(cfg)
+}
