@@ -11,8 +11,10 @@
 package pipedream
 
 import (
+	"fmt"
 	"io"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"pipedream/internal/cluster"
@@ -87,6 +89,46 @@ func BenchmarkTensorMatMul128(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tensor.MatMul(x, y)
+	}
+}
+
+// BenchmarkTensorMatMulParallel measures the blocked matmul kernel at
+// parallelism 1 vs all cores; the ratio is the kernel-level speedup the
+// shared worker pool delivers on this machine (compare across PRs via
+// scripts/bench.sh → BENCH_kernels.json).
+func BenchmarkTensorMatMulParallel(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.Randn(rng, 1, 256, 256)
+	y := tensor.Randn(rng, 1, 256, 256)
+	out := tensor.New(256, 256)
+	for _, p := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("p%d", p), func(b *testing.B) {
+			defer tensor.SetParallelism(tensor.SetParallelism(p))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tensor.MatMulInto(out, x, y)
+			}
+		})
+	}
+}
+
+// BenchmarkConvForwardParallel measures a full im2col+matmul Conv2D
+// forward pass (the CNN hot path) at parallelism 1 vs all cores.
+func BenchmarkConvForwardParallel(b *testing.B) {
+	g := tensor.ConvGeom{InC: 8, InH: 32, InW: 32, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	for _, p := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("p%d", p), func(b *testing.B) {
+			defer tensor.SetParallelism(tensor.SetParallelism(p))
+			rng := rand.New(rand.NewSource(2))
+			layer := nn.NewConv2D(rng, "conv", g, 16)
+			x := tensor.Randn(rng, 1, 8, 8, 32, 32)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				layer.Forward(x, true)
+			}
+		})
 	}
 }
 

@@ -61,11 +61,16 @@ func (a *SelfAttention) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, C
 		q := tensor.MatMul(xn, a.Wq)
 		k := tensor.MatMul(xn, a.Wk)
 		v := tensor.MatMul(xn, a.Wv)
-		scores := tensor.MatMulTransB(q, k).Scale(scale) // [T,T]
+		scores := tensor.Get(T, T)
+		tensor.MatMulTransBInto(scores, q, k)
+		scores.Scale(scale)
 		attn := softmaxRows(scores)
+		tensor.Put(scores)
 		ctxv := tensor.MatMul(attn, v) // [T,H]
-		y := tensor.MatMul(ctxv, a.Wo)
+		y := tensor.Get(T, H)
+		tensor.MatMulInto(y, ctxv, a.Wo)
 		copy(out.Data[n*T*H:(n+1)*T*H], y.Data)
+		tensor.Put(y)
 		c.q[n], c.k[n], c.v[n], c.attn[n], c.ctxv[n] = q, k, v, attn, ctxv
 	}
 	return out, c
@@ -84,13 +89,17 @@ func (a *SelfAttention) Backward(ctx Context, gradOut *tensor.Tensor) *tensor.Te
 		xn := tensor.FromSlice(c.x.Data[n*T*H:(n+1)*T*H], T, H)
 		gy := tensor.FromSlice(gradOut.Data[n*T*H:(n+1)*T*H], T, H)
 		// Y = ctxv·Wo
-		a.GWo.Add(tensor.MatMulTransA(c.ctxv[n], gy))
-		gCtx := tensor.MatMulTransB(gy, a.Wo) // [T,H]
+		addMatMulTransA(a.GWo, c.ctxv[n], gy)
+		gCtx := tensor.Get(T, H)
+		tensor.MatMulTransBInto(gCtx, gy, a.Wo)
 		// ctxv = attn·v
-		gAttn := tensor.MatMulTransB(gCtx, c.v[n]) // [T,T]
-		gV := tensor.MatMulTransA(c.attn[n], gCtx) // [T,H]
+		gAttn := tensor.Get(T, T)
+		tensor.MatMulTransBInto(gAttn, gCtx, c.v[n])
+		gV := tensor.Get(T, H)
+		tensor.MatMulTransAInto(gV, c.attn[n], gCtx)
+		tensor.Put(gCtx)
 		// attn = softmax(scores): dS = attn ⊙ (dA − rowsum(dA⊙attn))
-		gScores := tensor.New(T, T)
+		gScores := tensor.Get(T, T)
 		for i := 0; i < T; i++ {
 			var dot float64
 			for j := 0; j < T; j++ {
@@ -100,18 +109,25 @@ func (a *SelfAttention) Backward(ctx Context, gradOut *tensor.Tensor) *tensor.Te
 				gScores.Set(c.attn[n].At(i, j)*(gAttn.At(i, j)-float32(dot)), i, j)
 			}
 		}
+		tensor.Put(gAttn)
 		gScores.Scale(scale)
 		// scores = q·kᵀ
-		gQ := tensor.MatMul(gScores, c.k[n])       // [T,H]
-		gK := tensor.MatMulTransA(gScores, c.q[n]) // [T,H]
+		gQ := tensor.Get(T, H)
+		tensor.MatMulInto(gQ, gScores, c.k[n])
+		gK := tensor.Get(T, H)
+		tensor.MatMulTransAInto(gK, gScores, c.q[n])
+		tensor.Put(gScores)
 		// q = x·Wq etc.
-		a.GWq.Add(tensor.MatMulTransA(xn, gQ))
-		a.GWk.Add(tensor.MatMulTransA(xn, gK))
-		a.GWv.Add(tensor.MatMulTransA(xn, gV))
-		gx := tensor.MatMulTransB(gQ, a.Wq)
-		gx.Add(tensor.MatMulTransB(gK, a.Wk))
-		gx.Add(tensor.MatMulTransB(gV, a.Wv))
-		copy(gradIn.Data[n*T*H:(n+1)*T*H], gx.Data)
+		addMatMulTransA(a.GWq, xn, gQ)
+		addMatMulTransA(a.GWk, xn, gK)
+		addMatMulTransA(a.GWv, xn, gV)
+		gx := tensor.FromSlice(gradIn.Data[n*T*H:(n+1)*T*H], T, H)
+		tensor.MatMulTransBInto(gx, gQ, a.Wq)
+		addMatMulTransB(gx, gK, a.Wk)
+		addMatMulTransB(gx, gV, a.Wv)
+		tensor.Put(gQ)
+		tensor.Put(gK)
+		tensor.Put(gV)
 	}
 	return gradIn
 }
@@ -190,11 +206,12 @@ type mhaCtx struct {
 func (a *MultiHeadAttention) Name() string { return a.name }
 
 // headView returns the [T, Dh] sub-matrix of a [T, H] tensor for head h
-// as a fresh tensor (row-major slices of the head's columns).
+// as a pooled tensor (row-major slices of the head's columns). Callers
+// own the result and should tensor.Put it when done.
 func headView(t *tensor.Tensor, h, heads int) *tensor.Tensor {
 	T, H := t.Dim(0), t.Dim(1)
 	dh := H / heads
-	out := tensor.New(T, dh)
+	out := tensor.Get(T, dh)
 	for i := 0; i < T; i++ {
 		copy(out.Data[i*dh:(i+1)*dh], t.Data[i*H+h*dh:i*H+(h+1)*dh])
 	}
@@ -235,12 +252,23 @@ func (a *MultiHeadAttention) Forward(x *tensor.Tensor, train bool) (*tensor.Tens
 		c.attn[n] = make([]*tensor.Tensor, a.Heads)
 		for h := 0; h < a.Heads; h++ {
 			qh, kh, vh := headView(q, h, a.Heads), headView(k, h, a.Heads), headView(v, h, a.Heads)
-			attn := softmaxRows(tensor.MatMulTransB(qh, kh).Scale(scale))
-			headAdd(ctxv, tensor.MatMul(attn, vh), h, a.Heads)
+			scores := tensor.Get(T, T)
+			tensor.MatMulTransBInto(scores, qh, kh)
+			attn := softmaxRows(scores.Scale(scale))
+			tensor.Put(scores)
+			ctxh := tensor.Get(T, H/a.Heads)
+			tensor.MatMulInto(ctxh, attn, vh)
+			headAdd(ctxv, ctxh, h, a.Heads)
+			tensor.Put(ctxh)
+			tensor.Put(qh)
+			tensor.Put(kh)
+			tensor.Put(vh)
 			c.attn[n][h] = attn
 		}
-		y := tensor.MatMul(ctxv, a.Wo)
+		y := tensor.Get(T, H)
+		tensor.MatMulInto(y, ctxv, a.Wo)
 		copy(out.Data[n*T*H:(n+1)*T*H], y.Data)
+		tensor.Put(y)
 		c.q[n], c.k[n], c.v[n], c.ctxv[n] = q, k, v, ctxv
 	}
 	return out, c
@@ -259,20 +287,23 @@ func (a *MultiHeadAttention) Backward(ctx Context, gradOut *tensor.Tensor) *tens
 	for n := 0; n < b; n++ {
 		xn := tensor.FromSlice(c.x.Data[n*T*H:(n+1)*T*H], T, H)
 		gy := tensor.FromSlice(gradOut.Data[n*T*H:(n+1)*T*H], T, H)
-		a.GWo.Add(tensor.MatMulTransA(c.ctxv[n], gy))
-		gCtx := tensor.MatMulTransB(gy, a.Wo)
-		gQ := tensor.New(T, H)
-		gK := tensor.New(T, H)
-		gV := tensor.New(T, H)
+		addMatMulTransA(a.GWo, c.ctxv[n], gy)
+		gCtx := tensor.Get(T, H)
+		tensor.MatMulTransBInto(gCtx, gy, a.Wo)
+		gQ := tensor.Get(T, H)
+		gK := tensor.Get(T, H)
+		gV := tensor.Get(T, H)
 		for h := 0; h < a.Heads; h++ {
 			qh := headView(c.q[n], h, a.Heads)
 			kh := headView(c.k[n], h, a.Heads)
 			vh := headView(c.v[n], h, a.Heads)
 			attn := c.attn[n][h]
 			gCtxH := headView(gCtx, h, a.Heads)
-			gAttn := tensor.MatMulTransB(gCtxH, vh)
-			gVh := tensor.MatMulTransA(attn, gCtxH)
-			gScores := tensor.New(T, T)
+			gAttn := tensor.Get(T, T)
+			tensor.MatMulTransBInto(gAttn, gCtxH, vh)
+			gVh := tensor.Get(T, H/a.Heads)
+			tensor.MatMulTransAInto(gVh, attn, gCtxH)
+			gScores := tensor.Get(T, T)
 			for i := 0; i < T; i++ {
 				var dot float64
 				for j := 0; j < T; j++ {
@@ -282,18 +313,33 @@ func (a *MultiHeadAttention) Backward(ctx Context, gradOut *tensor.Tensor) *tens
 					gScores.Set(attn.At(i, j)*(gAttn.At(i, j)-float32(dot)), i, j)
 				}
 			}
+			tensor.Put(gAttn)
 			gScores.Scale(scale)
-			headAdd(gQ, tensor.MatMul(gScores, kh), h, a.Heads)
-			headAdd(gK, tensor.MatMulTransA(gScores, qh), h, a.Heads)
+			gTmp := tensor.Get(T, H/a.Heads)
+			tensor.MatMulInto(gTmp, gScores, kh)
+			headAdd(gQ, gTmp, h, a.Heads)
+			tensor.MatMulTransAInto(gTmp, gScores, qh)
+			headAdd(gK, gTmp, h, a.Heads)
+			tensor.Put(gTmp)
+			tensor.Put(gScores)
 			headAdd(gV, gVh, h, a.Heads)
+			tensor.Put(gVh)
+			tensor.Put(qh)
+			tensor.Put(kh)
+			tensor.Put(vh)
+			tensor.Put(gCtxH)
 		}
-		a.GWq.Add(tensor.MatMulTransA(xn, gQ))
-		a.GWk.Add(tensor.MatMulTransA(xn, gK))
-		a.GWv.Add(tensor.MatMulTransA(xn, gV))
-		gx := tensor.MatMulTransB(gQ, a.Wq)
-		gx.Add(tensor.MatMulTransB(gK, a.Wk))
-		gx.Add(tensor.MatMulTransB(gV, a.Wv))
-		copy(gradIn.Data[n*T*H:(n+1)*T*H], gx.Data)
+		tensor.Put(gCtx)
+		addMatMulTransA(a.GWq, xn, gQ)
+		addMatMulTransA(a.GWk, xn, gK)
+		addMatMulTransA(a.GWv, xn, gV)
+		gx := tensor.FromSlice(gradIn.Data[n*T*H:(n+1)*T*H], T, H)
+		tensor.MatMulTransBInto(gx, gQ, a.Wq)
+		addMatMulTransB(gx, gK, a.Wk)
+		addMatMulTransB(gx, gV, a.Wv)
+		tensor.Put(gQ)
+		tensor.Put(gK)
+		tensor.Put(gV)
 	}
 	return gradIn
 }

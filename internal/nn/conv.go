@@ -48,10 +48,11 @@ func (c *Conv2D) OutShape() (int, int, int) { return c.OutC, c.Geom.OutH(), c.Ge
 // Forward implements Layer.
 func (c *Conv2D) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, Context) {
 	b := x.Dim(0)
-	cols := tensor.Im2Col(x, c.Geom) // [B*OH*OW, fanIn]
-	flat := tensor.MatMul(cols, c.W) // [B*OH*OW, OutC]
-	tensor.AddRowVector(flat, c.B)
 	oh, ow := c.Geom.OutH(), c.Geom.OutW()
+	cols := tensor.Im2Col(x, c.Geom) // [B*OH*OW, fanIn]; stashed for backward
+	flat := tensor.Get(b*oh*ow, c.OutC)
+	tensor.MatMulInto(flat, cols, c.W) // [B*OH*OW, OutC]
+	tensor.AddRowVector(flat, c.B)
 	// flat is laid out [B, OH, OW, OutC]; convert to [B, OutC, OH, OW].
 	y := tensor.New(b, c.OutC, oh, ow)
 	for n := 0; n < b; n++ {
@@ -62,6 +63,7 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, Context)
 			}
 		}
 	}
+	tensor.Put(flat)
 	return y, convCtx{cols: cols, batch: b}
 }
 
@@ -74,7 +76,7 @@ func (c *Conv2D) Backward(ctx Context, gradOut *tensor.Tensor) *tensor.Tensor {
 		panic(fmt.Sprintf("nn: %s backward grad %v, want [%d,%d,%d,%d]", c.name, gradOut.Shape, b, c.OutC, oh, ow))
 	}
 	// Convert gradOut [B, OutC, OH, OW] back to flat layout [B*OH*OW, OutC].
-	gflat := tensor.New(b*oh*ow, c.OutC)
+	gflat := tensor.Get(b*oh*ow, c.OutC)
 	for n := 0; n < b; n++ {
 		for oc := 0; oc < c.OutC; oc++ {
 			src := gradOut.Data[(n*c.OutC+oc)*oh*ow:]
@@ -83,10 +85,14 @@ func (c *Conv2D) Backward(ctx Context, gradOut *tensor.Tensor) *tensor.Tensor {
 			}
 		}
 	}
-	c.GW.Add(tensor.MatMulTransA(cc.cols, gflat))
+	addMatMulTransA(c.GW, cc.cols, gflat)
 	c.GB.Add(tensor.SumRows(gflat))
-	gcols := tensor.MatMulTransB(gflat, c.W) // gflat · Wᵀ = [B*OH*OW, fanIn]
-	return tensor.Col2Im(gcols, b, c.Geom)
+	gcols := tensor.Get(b*oh*ow, c.Geom.InC*c.Geom.KH*c.Geom.KW)
+	tensor.MatMulTransBInto(gcols, gflat, c.W) // gflat · Wᵀ = [B*OH*OW, fanIn]
+	tensor.Put(gflat)
+	gradIn := tensor.Col2Im(gcols, b, c.Geom)
+	tensor.Put(gcols)
+	return gradIn
 }
 
 // Params implements Layer.

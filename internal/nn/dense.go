@@ -45,7 +45,7 @@ func (d *Dense) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, Context) 
 // Backward implements Layer.
 func (d *Dense) Backward(ctx Context, gradOut *tensor.Tensor) *tensor.Tensor {
 	c := ctx.(denseCtx)
-	d.GW.Add(tensor.MatMulTransA(c.x, gradOut))
+	addMatMulTransA(d.GW, c.x, gradOut)
 	d.GB.Add(tensor.SumRows(gradOut))
 	return tensor.MatMulTransB(gradOut, d.W) // gradIn = gradOut · Wᵀ
 }

@@ -71,8 +71,12 @@ func (l *LSTM) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, Context) {
 		for n := 0; n < b; n++ {
 			copy(xt.Data[n*l.In:(n+1)*l.In], x.Data[(n*T+t)*l.In:(n*T+t+1)*l.In])
 		}
-		z := tensor.MatMul(xt, l.Wx)
-		z.Add(tensor.MatMul(h, l.Wh))
+		z := tensor.Get(b, 4*H)
+		tensor.MatMulInto(z, xt, l.Wx)
+		zh := tensor.Get(b, 4*H)
+		tensor.MatMulInto(zh, h, l.Wh)
+		z.Add(zh)
+		tensor.Put(zh)
 		tensor.AddRowVector(z, l.B)
 		st := lstmStep{
 			x: xt, hPrev: h, cPrev: c,
@@ -98,6 +102,7 @@ func (l *LSTM) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, Context) {
 				newH.Data[n*H+j] = ov * tc
 			}
 		}
+		tensor.Put(z)
 		h, c = newH, st.c
 		ctx.steps[t] = st
 		for n := 0; n < b; n++ {
@@ -115,9 +120,14 @@ func (l *LSTM) Backward(ctx Context, gradOut *tensor.Tensor) *tensor.Tensor {
 		panic(fmt.Sprintf("nn: %s backward grad %v, want [%d,%d,%d]", l.name, gradOut.Shape, b, T, H))
 	}
 	gradIn := tensor.New(b, T, l.In)
-	dhNext := tensor.New(b, H)
-	dcNext := tensor.New(b, H)
-	dz := tensor.New(b, 4*H)
+	// All per-step scratch is pooled and recycled across the T steps:
+	// dcPrev/dcNext double-buffer (every element is overwritten each
+	// step) and dhNext is rewritten in place by the Wh product.
+	dhNext := tensor.Get(b, H)
+	dcNext := tensor.Get(b, H)
+	dcPrev := tensor.Get(b, H)
+	dz := tensor.Get(b, 4*H)
+	dx := tensor.Get(b, l.In)
 	for t := T - 1; t >= 0; t-- {
 		st := cc.steps[t]
 		// dh = grad from output at t + grad from t+1.
@@ -127,7 +137,6 @@ func (l *LSTM) Backward(ctx Context, gradOut *tensor.Tensor) *tensor.Tensor {
 				dh.Data[n*H+j] += gradOut.Data[(n*T+t)*H+j]
 			}
 		}
-		dcPrev := tensor.New(b, H)
 		for n := 0; n < b; n++ {
 			for j := 0; j < H; j++ {
 				k := n*H + j
@@ -145,16 +154,21 @@ func (l *LSTM) Backward(ctx Context, gradOut *tensor.Tensor) *tensor.Tensor {
 				dcPrev.Data[k] = dc * st.f.Data[k]
 			}
 		}
-		l.GWx.Add(tensor.MatMulTransA(st.x, dz))
-		l.GWh.Add(tensor.MatMulTransA(st.hPrev, dz))
+		addMatMulTransA(l.GWx, st.x, dz)
+		addMatMulTransA(l.GWh, st.hPrev, dz)
 		l.GB.Add(tensor.SumRows(dz))
-		dx := tensor.MatMulTransB(dz, l.Wx) // dz · Wxᵀ = [B, In]
+		tensor.MatMulTransBInto(dx, dz, l.Wx) // dz · Wxᵀ = [B, In]
 		for n := 0; n < b; n++ {
 			copy(gradIn.Data[(n*T+t)*l.In:(n*T+t+1)*l.In], dx.Data[n*l.In:(n+1)*l.In])
 		}
-		dhNext = tensor.MatMulTransB(dz, l.Wh) // dz · Whᵀ = [B, H]
-		dcNext = dcPrev
+		tensor.MatMulTransBInto(dhNext, dz, l.Wh) // dz · Whᵀ = [B, H]
+		dcNext, dcPrev = dcPrev, dcNext
 	}
+	tensor.Put(dhNext)
+	tensor.Put(dcNext)
+	tensor.Put(dcPrev)
+	tensor.Put(dz)
+	tensor.Put(dx)
 	return gradIn
 }
 

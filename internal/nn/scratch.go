@@ -1,0 +1,24 @@
+package nn
+
+import "pipedream/internal/tensor"
+
+// Pooled-scratch helpers for the gradient-accumulation pattern
+// `dst.Add(MatMul*(a, b))` that dominates backward passes: the product
+// lands in a tensor.Get buffer instead of a fresh allocation, so
+// steady-state training reuses the same few arenas every minibatch.
+
+// addMatMulTransA accumulates Aᵀ·B into dst using pooled scratch.
+func addMatMulTransA(dst, a, b *tensor.Tensor) {
+	tmp := tensor.Get(dst.Shape...)
+	tensor.MatMulTransAInto(tmp, a, b)
+	dst.Add(tmp)
+	tensor.Put(tmp)
+}
+
+// addMatMulTransB accumulates A·Bᵀ into dst using pooled scratch.
+func addMatMulTransB(dst, a, b *tensor.Tensor) {
+	tmp := tensor.Get(dst.Shape...)
+	tensor.MatMulTransBInto(tmp, a, b)
+	dst.Add(tmp)
+	tensor.Put(tmp)
+}

@@ -11,6 +11,8 @@ package pipeline
 
 import (
 	"fmt"
+	"os"
+	"runtime"
 	"sync"
 	"time"
 
@@ -88,6 +90,19 @@ type Options struct {
 	// Transport carries inter-stage messages; default in-process
 	// channels.
 	Transport transport.Transport
+	// KernelParallelism, when > 0, sets the tensor package's degree of
+	// kernel-level parallelism for this process (tensor.SetParallelism).
+	// Kernel chunks from every concurrently executing stage worker are
+	// dispatched to tensor's single bounded pool, whose excess-work
+	// fallback runs chunks inline in the submitting stage goroutine —
+	// so stage-level parallelism × kernel-level parallelism never
+	// oversubscribes NumCPU no matter what this is set to. The useful
+	// setting when stages are compute-balanced is roughly
+	// NumCPU / number-of-workers; when this is left 0 and the
+	// PIPEDREAM_PARALLELISM environment variable is not set, Train
+	// lowers the global degree to that value for its duration (it
+	// never raises it) and restores the previous degree on return.
+	KernelParallelism int
 }
 
 // Report summarizes one Train call.
@@ -157,6 +172,9 @@ func New(opts Options) (*Pipeline, error) {
 	if p.depth <= 0 {
 		p.depth = opts.Plan.NOAM
 	}
+	if opts.KernelParallelism > 0 {
+		tensor.SetParallelism(opts.KernelParallelism)
+	}
 	p.tr = opts.Transport
 	if p.tr == nil {
 		// Inboxes must absorb every in-flight message even when a worker
@@ -213,6 +231,23 @@ func (p *Pipeline) Plan() *partition.Plan { return p.opts.Plan }
 func (p *Pipeline) Train(ds data.Dataset, minibatches int) (*Report, error) {
 	if minibatches <= 0 {
 		return nil, fmt.Errorf("pipeline: minibatches = %d", minibatches)
+	}
+	// Wire kernel-level parallelism to the stage-level concurrency this
+	// call is about to create: every stage worker dispatches kernel
+	// chunks to tensor's single bounded pool, so the product of the two
+	// levels can never oversubscribe NumCPU — but sizing the kernel
+	// fan-out to the cores left per worker also keeps compute-balanced
+	// stages from contending on the pool's dispatch queue. Explicit
+	// overrides (KernelParallelism or the environment) are respected.
+	if p.opts.KernelParallelism == 0 && os.Getenv(tensor.ParallelismEnv) == "" {
+		per := runtime.NumCPU() / p.assign.NumWorkers()
+		if per < 1 {
+			per = 1
+		}
+		if cur := tensor.Parallelism(); per < cur {
+			tensor.SetParallelism(per)
+			defer tensor.SetParallelism(cur)
+		}
 	}
 	start := p.cursor
 	end := start + minibatches

@@ -31,10 +31,17 @@ func (l LayerProfile) TotalTime() float64 { return l.FwdTime + l.BwdTime }
 // ModelProfile is a profiled model: an ordered list of layer profiles at a
 // fixed per-worker minibatch size.
 type ModelProfile struct {
-	Model         string         `json:"model"`
-	MinibatchSize int            `json:"minibatch_size"`
-	InputBytes    int64          `json:"input_bytes"` // size of one input minibatch
-	Layers        []LayerProfile `json:"layers"`
+	Model         string `json:"model"`
+	MinibatchSize int    `json:"minibatch_size"`
+	InputBytes    int64  `json:"input_bytes"` // size of one input minibatch
+	// Parallelism records the tensor-kernel parallelism degree the
+	// timings were measured under. Tl feeds the partitioner's stage
+	// sizing, so profiles must be taken at the same degree the runtime
+	// will train with (see tensor.SetParallelism); a mismatch skews
+	// every predicted stage time by the speedup ratio. 0 in profiles
+	// predating this field.
+	Parallelism int            `json:"parallelism,omitempty"`
+	Layers      []LayerProfile `json:"layers"`
 
 	cumTime   []float64 // cumTime[i] = sum of TotalTime over layers [0,i)
 	cumWeight []int64   // cumWeight[i] = sum of WeightBytes over layers [0,i)
@@ -122,12 +129,20 @@ func ReadJSON(r io.Reader) (*ModelProfile, error) {
 // backward wall time, activation sizes, and weight sizes. The loss
 // gradient is taken as ones (profiling only needs realistic compute, not a
 // real objective).
+//
+// Timings are taken under the tensor package's current parallelism
+// degree, which is recorded in the returned profile: set it (via
+// tensor.SetParallelism, PIPEDREAM_PARALLELISM, or the pipeline's
+// KernelParallelism option) to the per-worker degree the runtime will
+// actually train with before profiling, or the measured Tl will not
+// match the compute time the partitioner is sizing stages for.
 func Measure(model *nn.Sequential, name string, ds data.Dataset, numBatches int) *ModelProfile {
 	if numBatches < 1 {
 		numBatches = 1
 	}
 	n := len(model.Layers)
-	prof := &ModelProfile{Model: name, Layers: make([]LayerProfile, n)}
+	prof := &ModelProfile{Model: name, Parallelism: tensor.Parallelism(),
+		Layers: make([]LayerProfile, n)}
 	for i, l := range model.Layers {
 		prof.Layers[i].Name = l.Name()
 		prof.Layers[i].WeightBytes = int64(nn.ParamBytes(l.Params()))

@@ -27,7 +27,8 @@ func (g ConvGeom) check() {
 
 // Im2Col lowers a batch input [B, C, H, W] into a matrix
 // [B*OutH*OutW, C*KH*KW] so that convolution becomes a matrix multiply
-// against a [C*KH*KW, OutC] kernel matrix.
+// against a [C*KH*KW, OutC] kernel matrix. Images are lowered in
+// parallel on the shared pool; each image writes a disjoint row block.
 func Im2Col(in *Tensor, g ConvGeom) *Tensor {
 	g.check()
 	if in.NumDims() != 4 || in.Shape[1] != g.InC || in.Shape[2] != g.InH || in.Shape[3] != g.InW {
@@ -35,36 +36,40 @@ func Im2Col(in *Tensor, g ConvGeom) *Tensor {
 	}
 	b := in.Shape[0]
 	oh, ow := g.OutH(), g.OutW()
-	cols := New(b*oh*ow, g.InC*g.KH*g.KW)
 	rowLen := g.InC * g.KH * g.KW
-	for n := 0; n < b; n++ {
-		img := in.Data[n*g.InC*g.InH*g.InW:]
-		for oy := 0; oy < oh; oy++ {
-			for ox := 0; ox < ow; ox++ {
-				row := cols.Data[((n*oh+oy)*ow+ox)*rowLen:]
-				ri := 0
-				for c := 0; c < g.InC; c++ {
-					plane := img[c*g.InH*g.InW:]
-					for ky := 0; ky < g.KH; ky++ {
-						iy := oy*g.Stride + ky - g.Pad
-						for kx := 0; kx < g.KW; kx++ {
-							ix := ox*g.Stride + kx - g.Pad
-							if iy >= 0 && iy < g.InH && ix >= 0 && ix < g.InW {
-								row[ri] = plane[iy*g.InW+ix]
+	cols := New(b*oh*ow, rowLen)
+	parallelFor(b, oh*ow*rowLen, func(lo, hi int) {
+		for n := lo; n < hi; n++ {
+			img := in.Data[n*g.InC*g.InH*g.InW:]
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					row := cols.Data[((n*oh+oy)*ow+ox)*rowLen:]
+					ri := 0
+					for c := 0; c < g.InC; c++ {
+						plane := img[c*g.InH*g.InW:]
+						for ky := 0; ky < g.KH; ky++ {
+							iy := oy*g.Stride + ky - g.Pad
+							for kx := 0; kx < g.KW; kx++ {
+								ix := ox*g.Stride + kx - g.Pad
+								if iy >= 0 && iy < g.InH && ix >= 0 && ix < g.InW {
+									row[ri] = plane[iy*g.InW+ix]
+								}
+								ri++
 							}
-							ri++
 						}
 					}
 				}
 			}
 		}
-	}
+	})
 	return cols
 }
 
 // Col2Im scatters a column matrix [B*OutH*OutW, C*KH*KW] back into a batch
 // image [B, C, H, W], summing overlapping contributions. It is the adjoint
-// of Im2Col and is used for convolution input gradients.
+// of Im2Col and is used for convolution input gradients. Parallelism is
+// per image: every scatter-add for image n lands in image n's plane, so
+// concurrent images never race.
 func Col2Im(cols *Tensor, batch int, g ConvGeom) *Tensor {
 	g.check()
 	oh, ow := g.OutH(), g.OutW()
@@ -73,34 +78,37 @@ func Col2Im(cols *Tensor, batch int, g ConvGeom) *Tensor {
 		panic(fmt.Sprintf("tensor: col2im input %v does not match geometry %+v batch %d", cols.Shape, g, batch))
 	}
 	out := New(batch, g.InC, g.InH, g.InW)
-	for n := 0; n < batch; n++ {
-		img := out.Data[n*g.InC*g.InH*g.InW:]
-		for oy := 0; oy < oh; oy++ {
-			for ox := 0; ox < ow; ox++ {
-				row := cols.Data[((n*oh+oy)*ow+ox)*rowLen:]
-				ri := 0
-				for c := 0; c < g.InC; c++ {
-					plane := img[c*g.InH*g.InW:]
-					for ky := 0; ky < g.KH; ky++ {
-						iy := oy*g.Stride + ky - g.Pad
-						for kx := 0; kx < g.KW; kx++ {
-							ix := ox*g.Stride + kx - g.Pad
-							if iy >= 0 && iy < g.InH && ix >= 0 && ix < g.InW {
-								plane[iy*g.InW+ix] += row[ri]
+	parallelFor(batch, oh*ow*rowLen, func(lo, hi int) {
+		for n := lo; n < hi; n++ {
+			img := out.Data[n*g.InC*g.InH*g.InW:]
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					row := cols.Data[((n*oh+oy)*ow+ox)*rowLen:]
+					ri := 0
+					for c := 0; c < g.InC; c++ {
+						plane := img[c*g.InH*g.InW:]
+						for ky := 0; ky < g.KH; ky++ {
+							iy := oy*g.Stride + ky - g.Pad
+							for kx := 0; kx < g.KW; kx++ {
+								ix := ox*g.Stride + kx - g.Pad
+								if iy >= 0 && iy < g.InH && ix >= 0 && ix < g.InW {
+									plane[iy*g.InW+ix] += row[ri]
+								}
+								ri++
 							}
-							ri++
 						}
 					}
 				}
 			}
 		}
-	}
+	})
 	return out
 }
 
 // MaxPool performs max pooling over [B, C, H, W] and returns the pooled
 // tensor [B, C, OutH, OutW] along with the flat input index of each maximum
-// (for the backward pass).
+// (for the backward pass). Images are pooled in parallel; outputs and
+// argmax indices for image n occupy a disjoint block.
 func MaxPool(in *Tensor, g ConvGeom) (*Tensor, []int) {
 	g.check()
 	if in.NumDims() != 4 || in.Shape[1] != g.InC || in.Shape[2] != g.InH || in.Shape[3] != g.InW {
@@ -110,36 +118,38 @@ func MaxPool(in *Tensor, g ConvGeom) (*Tensor, []int) {
 	oh, ow := g.OutH(), g.OutW()
 	out := New(b, g.InC, oh, ow)
 	idx := make([]int, out.Size())
-	oi := 0
-	for n := 0; n < b; n++ {
-		for c := 0; c < g.InC; c++ {
-			base := (n*g.InC + c) * g.InH * g.InW
-			for oy := 0; oy < oh; oy++ {
-				for ox := 0; ox < ow; ox++ {
-					bestIdx, bestVal, seen := -1, float32(0), false
-					for ky := 0; ky < g.KH; ky++ {
-						iy := oy*g.Stride + ky - g.Pad
-						if iy < 0 || iy >= g.InH {
-							continue
-						}
-						for kx := 0; kx < g.KW; kx++ {
-							ix := ox*g.Stride + kx - g.Pad
-							if ix < 0 || ix >= g.InW {
+	parallelFor(b, g.InC*oh*ow*g.KH*g.KW, func(lo, hi int) {
+		for n := lo; n < hi; n++ {
+			oi := n * g.InC * oh * ow
+			for c := 0; c < g.InC; c++ {
+				base := (n*g.InC + c) * g.InH * g.InW
+				for oy := 0; oy < oh; oy++ {
+					for ox := 0; ox < ow; ox++ {
+						bestIdx, bestVal, seen := -1, float32(0), false
+						for ky := 0; ky < g.KH; ky++ {
+							iy := oy*g.Stride + ky - g.Pad
+							if iy < 0 || iy >= g.InH {
 								continue
 							}
-							v := in.Data[base+iy*g.InW+ix]
-							if !seen || v > bestVal {
-								bestIdx, bestVal, seen = base+iy*g.InW+ix, v, true
+							for kx := 0; kx < g.KW; kx++ {
+								ix := ox*g.Stride + kx - g.Pad
+								if ix < 0 || ix >= g.InW {
+									continue
+								}
+								v := in.Data[base+iy*g.InW+ix]
+								if !seen || v > bestVal {
+									bestIdx, bestVal, seen = base+iy*g.InW+ix, v, true
+								}
 							}
 						}
+						out.Data[oi] = bestVal
+						idx[oi] = bestIdx
+						oi++
 					}
-					out.Data[oi] = bestVal
-					idx[oi] = bestIdx
-					oi++
 				}
 			}
 		}
-	}
+	})
 	return out, idx
 }
 

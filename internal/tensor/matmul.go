@@ -2,102 +2,232 @@ package tensor
 
 import "fmt"
 
-// MatMul computes C = A·B for 2-D tensors A [m,k] and B [k,n], returning a
-// new [m,n] tensor. The inner loop is ordered i-k-j so B is streamed
-// row-major, which keeps the kernel cache-friendly without resorting to
-// blocking.
-func MatMul(a, b *Tensor) *Tensor {
+// Matrix kernels. All three matmul variants share the same structure:
+// the output is cut into row panels that parallelFor dispatches to the
+// shared worker pool (each panel writes a disjoint slice of C, so no
+// synchronization is needed), and the inner loops are blocked/unrolled
+// for cache friendliness. Per-row accumulation order is independent of
+// the panel split, so results are bit-identical at every parallelism
+// degree.
+
+func checkMatMul2D(a, b *Tensor, op string) {
 	if a.NumDims() != 2 || b.NumDims() != 2 {
-		panic(fmt.Sprintf("tensor: matmul needs 2-d operands, got %v × %v", a.Shape, b.Shape))
+		panic(fmt.Sprintf("tensor: %s needs 2-d operands, got %v × %v", op, a.Shape, b.Shape))
 	}
+}
+
+// MatMul computes C = A·B for 2-D tensors A [m,k] and B [k,n], returning
+// a new [m,n] tensor.
+func MatMul(a, b *Tensor) *Tensor {
+	checkMatMul2D(a, b, "matmul")
+	c := New(a.Shape[0], b.Shape[1])
+	MatMulInto(c, a, b)
+	return c
+}
+
+// MatMulInto computes C = A·B into dst, which must be [m,n]. Existing
+// contents of dst are overwritten. Returns dst.
+func MatMulInto(dst, a, b *Tensor) *Tensor {
+	checkMatMul2D(a, b, "matmul")
 	m, k := a.Shape[0], a.Shape[1]
 	k2, n := b.Shape[0], b.Shape[1]
 	if k != k2 {
 		panic(fmt.Sprintf("tensor: matmul inner dim mismatch %v × %v", a.Shape, b.Shape))
 	}
-	c := New(m, n)
-	for i := 0; i < m; i++ {
-		arow := a.Data[i*k : (i+1)*k]
-		crow := c.Data[i*n : (i+1)*n]
-		for p := 0; p < k; p++ {
-			av := arow[p]
-			if av == 0 {
-				continue
+	if dst.NumDims() != 2 || dst.Shape[0] != m || dst.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: matmul dst %v, want [%d,%d]", dst.Shape, m, n))
+	}
+	bd, cd := b.Data, dst.Data
+	parallelFor(m, k*n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Data[i*k : (i+1)*k]
+			crow := cd[i*n : (i+1)*n]
+			for j := range crow {
+				crow[j] = 0
 			}
-			brow := b.Data[p*n : (p+1)*n]
-			for j, bv := range brow {
-				crow[j] += av * bv
+			// 8-way unroll over k: eight A coefficients are applied per
+			// sweep of the output row, cutting the store/reload traffic
+			// on crow 8×. Dense activations make a zero-skip branch here
+			// a per-element mispredict cost, not a saving.
+			p := 0
+			for ; p+8 <= k; p += 8 {
+				av0, av1, av2, av3 := arow[p], arow[p+1], arow[p+2], arow[p+3]
+				av4, av5, av6, av7 := arow[p+4], arow[p+5], arow[p+6], arow[p+7]
+				br0 := bd[p*n : p*n+n]
+				br1 := bd[(p+1)*n : (p+1)*n+n]
+				br2 := bd[(p+2)*n : (p+2)*n+n]
+				br3 := bd[(p+3)*n : (p+3)*n+n]
+				br4 := bd[(p+4)*n : (p+4)*n+n]
+				br5 := bd[(p+5)*n : (p+5)*n+n]
+				br6 := bd[(p+6)*n : (p+6)*n+n]
+				br7 := bd[(p+7)*n : (p+7)*n+n]
+				for j := range crow {
+					crow[j] += av0*br0[j] + av1*br1[j] + av2*br2[j] + av3*br3[j] +
+						av4*br4[j] + av5*br5[j] + av6*br6[j] + av7*br7[j]
+				}
+			}
+			for ; p < k; p++ {
+				av := arow[p]
+				brow := bd[p*n : p*n+n]
+				for j, bv := range brow {
+					crow[j] += av * bv
+				}
 			}
 		}
-	}
-	return c
+	})
+	return dst
 }
 
 // MatMulTransA computes C = Aᵀ·B for A [k,m], B [k,n] → C [m,n].
 func MatMulTransA(a, b *Tensor) *Tensor {
-	if a.NumDims() != 2 || b.NumDims() != 2 {
-		panic(fmt.Sprintf("tensor: matmulTransA needs 2-d operands, got %v × %v", a.Shape, b.Shape))
-	}
+	checkMatMul2D(a, b, "matmulTransA")
+	c := New(a.Shape[1], b.Shape[1])
+	MatMulTransAInto(c, a, b)
+	return c
+}
+
+// MatMulTransAInto computes C = Aᵀ·B into dst, which must be [m,n].
+// Existing contents of dst are overwritten. Returns dst.
+func MatMulTransAInto(dst, a, b *Tensor) *Tensor {
+	checkMatMul2D(a, b, "matmulTransA")
 	k, m := a.Shape[0], a.Shape[1]
 	k2, n := b.Shape[0], b.Shape[1]
 	if k != k2 {
 		panic(fmt.Sprintf("tensor: matmulTransA inner dim mismatch %v × %v", a.Shape, b.Shape))
 	}
-	c := New(m, n)
-	for p := 0; p < k; p++ {
-		arow := a.Data[p*m : (p+1)*m]
-		brow := b.Data[p*n : (p+1)*n]
-		for i, av := range arow {
-			if av == 0 {
-				continue
-			}
-			crow := c.Data[i*n : (i+1)*n]
-			for j, bv := range brow {
-				crow[j] += av * bv
+	if dst.NumDims() != 2 || dst.Shape[0] != m || dst.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: matmulTransA dst %v, want [%d,%d]", dst.Shape, m, n))
+	}
+	ad, bd, cd := a.Data, b.Data, dst.Data
+	// Panels are over C's rows, i.e. A's columns: for one panel [lo,hi)
+	// the kernel touches the contiguous segment A[p, lo:hi] of every A
+	// row, streams each B row once, and owns C rows [lo,hi) exclusively.
+	parallelFor(m, k*n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			crow := cd[i*n : (i+1)*n]
+			for j := range crow {
+				crow[j] = 0
 			}
 		}
-	}
-	return c
+		// 4 k-steps per sweep of each output row, quartering the
+		// store/reload traffic on C.
+		p := 0
+		for ; p+4 <= k; p += 4 {
+			as0 := ad[p*m+lo : p*m+hi]
+			as1 := ad[(p+1)*m+lo : (p+1)*m+hi]
+			as2 := ad[(p+2)*m+lo : (p+2)*m+hi]
+			as3 := ad[(p+3)*m+lo : (p+3)*m+hi]
+			br0 := bd[p*n : p*n+n]
+			br1 := bd[(p+1)*n : (p+1)*n+n]
+			br2 := bd[(p+2)*n : (p+2)*n+n]
+			br3 := bd[(p+3)*n : (p+3)*n+n]
+			for ii := range as0 {
+				av0, av1, av2, av3 := as0[ii], as1[ii], as2[ii], as3[ii]
+				crow := cd[(lo+ii)*n : (lo+ii+1)*n]
+				for j := range crow {
+					crow[j] += av0*br0[j] + av1*br1[j] + av2*br2[j] + av3*br3[j]
+				}
+			}
+		}
+		for ; p < k; p++ {
+			aseg := ad[p*m+lo : p*m+hi]
+			brow := bd[p*n : p*n+n]
+			for ii, av := range aseg {
+				crow := cd[(lo+ii)*n : (lo+ii+1)*n]
+				for j, bv := range brow {
+					crow[j] += av * bv
+				}
+			}
+		}
+	})
+	return dst
 }
 
 // MatMulTransB computes C = A·Bᵀ for A [m,k], B [n,k] → C [m,n].
 func MatMulTransB(a, b *Tensor) *Tensor {
-	if a.NumDims() != 2 || b.NumDims() != 2 {
-		panic(fmt.Sprintf("tensor: matmulTransB needs 2-d operands, got %v × %v", a.Shape, b.Shape))
-	}
+	checkMatMul2D(a, b, "matmulTransB")
+	c := New(a.Shape[0], b.Shape[0])
+	MatMulTransBInto(c, a, b)
+	return c
+}
+
+// MatMulTransBInto computes C = A·Bᵀ into dst, which must be [m,n].
+// Existing contents of dst are overwritten. Returns dst.
+func MatMulTransBInto(dst, a, b *Tensor) *Tensor {
+	checkMatMul2D(a, b, "matmulTransB")
 	m, k := a.Shape[0], a.Shape[1]
 	n, k2 := b.Shape[0], b.Shape[1]
 	if k != k2 {
 		panic(fmt.Sprintf("tensor: matmulTransB inner dim mismatch %v × %v", a.Shape, b.Shape))
 	}
-	c := New(m, n)
-	for i := 0; i < m; i++ {
-		arow := a.Data[i*k : (i+1)*k]
-		crow := c.Data[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
-			brow := b.Data[j*k : (j+1)*k]
-			var s float32
-			for p, av := range arow {
-				s += av * brow[p]
-			}
-			crow[j] = s
-		}
+	if dst.NumDims() != 2 || dst.Shape[0] != m || dst.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: matmulTransB dst %v, want [%d,%d]", dst.Shape, m, n))
 	}
-	return c
+	ad, bd, cd := a.Data, b.Data, dst.Data
+	parallelFor(m, k*n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := ad[i*k : (i+1)*k]
+			crow := cd[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				brow := bd[j*k : j*k+k]
+				// Four accumulators break the additive dependency chain
+				// so the dot product keeps the FMA ports busy.
+				var s0, s1, s2, s3 float32
+				p := 0
+				for ; p+4 <= k; p += 4 {
+					s0 += arow[p] * brow[p]
+					s1 += arow[p+1] * brow[p+1]
+					s2 += arow[p+2] * brow[p+2]
+					s3 += arow[p+3] * brow[p+3]
+				}
+				s := s0 + s1 + s2 + s3
+				for ; p < k; p++ {
+					s += arow[p] * brow[p]
+				}
+				crow[j] = s
+			}
+		}
+	})
+	return dst
 }
 
-// Transpose2D returns a new tensor that is the transpose of a 2-D tensor.
+// transposeBlock is the tile edge for Transpose2D: 32×32 float32 tiles
+// (4 KiB read + 4 KiB written) sit comfortably in L1, so the
+// column-major writes hit cache lines that stay resident for the whole
+// tile instead of thrashing on large matrices.
+const transposeBlock = 32
+
+// Transpose2D returns a new tensor that is the transpose of a 2-D
+// tensor, traversed in 32×32 tiles and parallelized over tile rows.
 func Transpose2D(a *Tensor) *Tensor {
 	if a.NumDims() != 2 {
 		panic(fmt.Sprintf("tensor: transpose needs a 2-d tensor, got %v", a.Shape))
 	}
 	m, n := a.Shape[0], a.Shape[1]
 	t := New(n, m)
-	for i := 0; i < m; i++ {
-		for j := 0; j < n; j++ {
-			t.Data[j*m+i] = a.Data[i*n+j]
+	ad, td := a.Data, t.Data
+	tileRows := (m + transposeBlock - 1) / transposeBlock
+	parallelFor(tileRows, transposeBlock*n, func(lo, hi int) {
+		for ti := lo; ti < hi; ti++ {
+			i0 := ti * transposeBlock
+			i1 := i0 + transposeBlock
+			if i1 > m {
+				i1 = m
+			}
+			for j0 := 0; j0 < n; j0 += transposeBlock {
+				j1 := j0 + transposeBlock
+				if j1 > n {
+					j1 = n
+				}
+				for i := i0; i < i1; i++ {
+					row := ad[i*n : (i+1)*n]
+					for j := j0; j < j1; j++ {
+						td[j*m+i] = row[j]
+					}
+				}
+			}
 		}
-	}
+	})
 	return t
 }
 

@@ -1,0 +1,135 @@
+package tensor
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// The parallel compute substrate: a single shared, bounded worker pool
+// that every kernel in this package dispatches panel/image chunks to.
+//
+// Sharing one pool is what lets concurrently executing pipeline stages
+// (each a goroutine in internal/pipeline's 1F1B runtime) use parallel
+// kernels without oversubscribing the machine: the pool owns at most
+// poolWorkers goroutines in total, and when the pool is saturated a
+// caller simply executes its chunk inline. Stage-level parallelism ×
+// kernel-level parallelism therefore never exceeds NumCPU + the number
+// of stage goroutines already runnable, instead of multiplying.
+//
+// ParallelismEnv overrides the default degree at process start;
+// SetParallelism overrides it at runtime. Degree 1 short-circuits every
+// kernel to its serial path, as does any dispatch whose estimated work
+// is below serialThreshold (tiny tensors never pay goroutine overhead).
+
+// ParallelismEnv is the environment variable consulted at init for the
+// default parallelism degree (e.g. PIPEDREAM_PARALLELISM=4).
+const ParallelismEnv = "PIPEDREAM_PARALLELISM"
+
+// serialThreshold is the minimum estimated work (in fused
+// multiply-add-sized units, n×workPerItem) a kernel must present before
+// chunks are dispatched to the pool. Below it, goroutine handoff costs
+// more than the parallelism recovers.
+const serialThreshold = 64 * 1024
+
+var parDegree atomic.Int32
+
+func init() {
+	d := runtime.GOMAXPROCS(0)
+	if s := os.Getenv(ParallelismEnv); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			d = v
+		}
+	}
+	parDegree.Store(int32(d))
+}
+
+// SetParallelism sets the degree of parallelism used by the tensor
+// kernels and returns the previous value. Degree 1 forces every kernel
+// onto its serial path; values above the pool size still chunk the work
+// but excess chunks run inline in the caller. n <= 0 resets to
+// GOMAXPROCS.
+func SetParallelism(n int) int {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return int(parDegree.Swap(int32(n)))
+}
+
+// Parallelism returns the current degree of parallelism.
+func Parallelism() int { return int(parDegree.Load()) }
+
+// task is one chunk of a parallelFor dispatch.
+type task struct {
+	lo, hi int
+	fn     func(lo, hi int)
+	wg     *sync.WaitGroup
+}
+
+var (
+	poolOnce    sync.Once
+	poolWorkers int
+	taskQueue   chan task
+)
+
+// ensurePool starts the shared worker pool. The pool is sized once from
+// GOMAXPROCS (with a floor of 2 so single-core hosts still exercise the
+// concurrent path under the race detector); the effective parallelism
+// is governed separately by SetParallelism.
+func ensurePool() {
+	poolOnce.Do(func() {
+		poolWorkers = runtime.GOMAXPROCS(0)
+		if poolWorkers < 2 {
+			poolWorkers = 2
+		}
+		taskQueue = make(chan task, 4*poolWorkers)
+		for i := 0; i < poolWorkers; i++ {
+			go func() {
+				for t := range taskQueue {
+					t.fn(t.lo, t.hi)
+					t.wg.Done()
+				}
+			}()
+		}
+	})
+}
+
+// parallelFor runs fn over disjoint sub-ranges covering [0, n).
+// workPerItem is the caller's estimate of the cost of one item in
+// multiply-add units (e.g. k·n for one output row of a matmul); it
+// gates the serial fallback. The caller always executes the final chunk
+// itself and, when the shared pool is saturated, any chunk that could
+// not be enqueued — dispatch never blocks and never oversubscribes.
+func parallelFor(n, workPerItem int, fn func(lo, hi int)) {
+	p := int(parDegree.Load())
+	if p <= 1 || n <= 1 || workPerItem <= 0 || n*workPerItem < serialThreshold {
+		fn(0, n)
+		return
+	}
+	ensurePool()
+	chunks := p
+	if chunks > n {
+		chunks = n
+	}
+	size := (n + chunks - 1) / chunks
+	var wg sync.WaitGroup
+	lo := 0
+	for lo+size < n {
+		hi := lo + size
+		wg.Add(1)
+		select {
+		case taskQueue <- task{lo: lo, hi: hi, fn: fn, wg: &wg}:
+		default:
+			// Pool saturated (other kernels — often other pipeline
+			// stages — hold every worker): run inline instead of
+			// spawning beyond the bound.
+			fn(lo, hi)
+			wg.Done()
+		}
+		lo = hi
+	}
+	fn(lo, n)
+	wg.Wait()
+}

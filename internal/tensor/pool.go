@@ -1,0 +1,68 @@
+package tensor
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// A free-list arena for scratch tensors. Steady-state training allocates
+// the same handful of shapes every minibatch (im2col panels, gate
+// pre-activations, gradient scratch); recycling them through sync.Pool
+// size classes keeps the GC out of the hot path.
+//
+// Get returns a zero-filled tensor exactly like New; Put recycles its
+// backing array. Ownership discipline is the caller's: never Put a
+// tensor that escaped (stashed contexts, layer outputs handed
+// downstream, views created by Reshape/FromSlice over shared data), and
+// never use a tensor after Put.
+
+// pools[c] holds []float32 buffers with capacity exactly 1<<c.
+var pools [33]sync.Pool
+
+// sizeClass returns the smallest c with 1<<c >= n.
+func sizeClass(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// Get returns a zero-filled tensor of the given shape, reusing a pooled
+// backing array when one is available. Pair with Put when the tensor is
+// pure scratch.
+func Get(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic("tensor: negative dimension in Get")
+		}
+		n *= d
+	}
+	s := make([]int, len(shape))
+	copy(s, shape)
+	c := sizeClass(n)
+	if v := pools[c].Get(); v != nil {
+		data := v.([]float32)[:n]
+		for i := range data {
+			data[i] = 0
+		}
+		return &Tensor{Shape: s, Data: data}
+	}
+	return &Tensor{Shape: s, Data: make([]float32, n, 1<<c)}
+}
+
+// Put recycles t's backing array into the free list. t must not be used
+// afterwards. Tensors whose capacity is not a pooled size class (e.g.
+// built by New or FromSlice) are dropped silently, so Put is always
+// safe to call on scratch you own — but never on data that aliases or
+// escaped.
+func Put(t *Tensor) {
+	if t == nil || cap(t.Data) == 0 {
+		return
+	}
+	c := sizeClass(cap(t.Data))
+	if 1<<c != cap(t.Data) {
+		return // not an arena buffer; let the GC have it
+	}
+	pools[c].Put(t.Data[:cap(t.Data)])
+}

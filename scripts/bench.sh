@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Kernel + runtime benchmark harness. Runs the tensor microbenchmarks
+# and the 1F1B runtime epoch benchmark, writes the raw `go test -bench`
+# output to BENCH_kernels.txt (the format benchstat consumes — keep one
+# file per PR and diff with `benchstat old.txt new.txt`), and distills
+# the same numbers into BENCH_kernels.json for dashboards and the
+# perf-trajectory record in CHANGES.md.
+#
+# Usage: scripts/bench.sh [output-dir]
+#   BENCHTIME=2s COUNT=5 scripts/bench.sh   # longer runs for benchstat
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT_DIR="${1:-.}"
+BENCHTIME="${BENCHTIME:-1s}"
+COUNT="${COUNT:-1}"
+PATTERN='^(BenchmarkTensorMatMul128|BenchmarkTensorMatMulParallel|BenchmarkConvForwardParallel|BenchmarkTensorIm2Col|BenchmarkDenseForwardBackward|BenchmarkLSTMForwardBackward|BenchmarkPipelineRuntimeEpoch)$'
+
+TXT="$OUT_DIR/BENCH_kernels.txt"
+JSON="$OUT_DIR/BENCH_kernels.json"
+
+go test -run '^$' -bench "$PATTERN" -benchmem \
+  -benchtime "$BENCHTIME" -count "$COUNT" . | tee "$TXT"
+
+# Distill "BenchmarkName-P  N  ns/op  B/op  allocs/op" lines to JSON.
+awk -v parallelism="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)" '
+BEGIN { print "{"; printf "  \"ncpu\": %d,\n  \"benchmarks\": [", parallelism; first = 1 }
+/^Benchmark/ && / ns\/op/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    ns = ""; bytes = "null"; allocs = "null"
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op")     ns = $(i-1)
+        if ($i == "B/op")      bytes = $(i-1)
+        if ($i == "allocs/op") allocs = $(i-1)
+    }
+    if (ns == "") next
+    if (!first) printf ","
+    first = 0
+    printf "\n    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, ns, bytes, allocs
+}
+END { print "\n  ]\n}" }
+' "$TXT" > "$JSON"
+
+echo "wrote $TXT and $JSON"

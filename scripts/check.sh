@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# CI-style gate: vet, formatting, build, full test suite, and the race
+# detector over the packages with real concurrency (the parallel tensor
+# kernels and the 1F1B runtime).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go vet"
+go vet ./...
+
+echo "== gofmt"
+UNFORMATTED=$(gofmt -l .)
+if [ -n "$UNFORMATTED" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$UNFORMATTED" >&2
+    exit 1
+fi
+
+echo "== go build"
+go build ./...
+
+echo "== go test"
+go test ./...
+
+echo "== go test -race (tensor, pipeline)"
+go test -race ./internal/tensor/ ./internal/pipeline/
+
+echo "all checks passed"
