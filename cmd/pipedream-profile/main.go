@@ -27,10 +27,21 @@ func main() {
 	batches := flag.Int("batches", 20, "minibatches to profile over")
 	out := flag.String("o", "", "output JSON path (default stdout)")
 	seed := flag.Int64("seed", 42, "random seed")
+	showMetrics := flag.Bool("metrics", false, "report tensor-arena traffic (pool hits/misses) for the profiling run to stderr")
 	flag.Parse()
 
 	model, ds, name := buildModel(*task, *seed)
 	prof := profile.Measure(model, name, ds, *batches)
+	if *showMetrics {
+		hits, misses, puts := tensor.PoolCounters()
+		total := hits + misses
+		rate := 0.0
+		if total > 0 {
+			rate = 100 * float64(hits) / float64(total)
+		}
+		fmt.Fprintf(os.Stderr, "tensor arena: %d gets (%.1f%% pooled), %d allocating misses, %d puts\n",
+			total, rate, misses, puts)
+	}
 
 	w := os.Stdout
 	if *out != "" {

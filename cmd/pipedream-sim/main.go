@@ -32,6 +32,7 @@ func main() {
 	micro := flag.Int("micro", 0, "GPipe microbatches per flush (0 = NOAM)")
 	timeline := flag.Bool("timeline", false, "print the worker timeline")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of the timeline to this path")
+	traceOutAlias := flag.String("trace-out", "", "alias of -trace (the flag name the runtime CLIs use)")
 	dataParallel := flag.Bool("dp", false, "simulate the data-parallel plan instead of the optimizer's")
 	planPath := flag.String("plan", "", "JSON plan file from pipedream-optimizer -o (overrides the optimizer)")
 	flag.Parse()
@@ -84,6 +85,10 @@ func main() {
 		policy = schedule.ModelParallelSingle
 	default:
 		fatal(fmt.Errorf("unknown policy %q (want 1f1b, gpipe, or mp)", *policyName))
+	}
+
+	if *traceOut == "" {
+		*traceOut = *traceOutAlias
 	}
 
 	res, err := cluster.Simulate(cluster.Config{

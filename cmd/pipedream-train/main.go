@@ -17,12 +17,14 @@ import (
 	"os"
 
 	"pipedream/internal/data"
+	"pipedream/internal/metrics"
 	"pipedream/internal/nn"
 	"pipedream/internal/partition"
 	"pipedream/internal/pipeline"
 	"pipedream/internal/profile"
 	"pipedream/internal/tensor"
 	"pipedream/internal/topology"
+	"pipedream/internal/trace"
 	"pipedream/internal/transport"
 )
 
@@ -36,6 +38,9 @@ func main() {
 	useTCP := flag.Bool("tcp", false, "run the pipeline over TCP sockets instead of channels")
 	checkpoint := flag.String("checkpoint", "", "directory for per-stage checkpoints after each epoch")
 	seed := flag.Int64("seed", 42, "random seed")
+	showMetrics := flag.Bool("metrics", false, "collect live per-stage metrics and print the summary table after each epoch")
+	metricsOut := flag.String("metrics-out", "", "write an expvar-style JSON metrics snapshot to this path at end of run (implies -metrics)")
+	traceOut := flag.String("trace-out", "", "capture the run's op log and write a Chrome trace-event JSON to this path (open in ui.perfetto.dev)")
 	flag.Parse()
 
 	var mode pipeline.StalenessMode
@@ -81,6 +86,16 @@ func main() {
 		opts.Transport = tr
 		fmt.Println("transport: TCP loopback sockets (gob-encoded tensors)")
 	}
+	var reg *metrics.Registry
+	var opLog *metrics.OpLog
+	if *showMetrics || *metricsOut != "" {
+		reg = metrics.NewRegistry()
+		opts.Metrics = reg
+	}
+	if *traceOut != "" {
+		opLog = metrics.NewOpLog(0)
+		opts.OpLog = opLog
+	}
 	p, err := pipeline.New(opts)
 	if err != nil {
 		fatal(err)
@@ -95,6 +110,9 @@ func main() {
 		acc := evaluate(p, eval)
 		fmt.Printf("epoch %2d: mean loss %.4f, eval accuracy %.1f%%, wall %v\n",
 			e, rep.MeanLoss(), acc*100, rep.WallTime.Round(1e6))
+		if *showMetrics || *metricsOut != "" {
+			fmt.Print(rep.StageSummary())
+		}
 		if *checkpoint != "" {
 			if err := p.Checkpoint(*checkpoint); err != nil {
 				fatal(err)
@@ -103,6 +121,35 @@ func main() {
 	}
 	if *checkpoint != "" {
 		fmt.Printf("per-stage checkpoints written to %s\n", *checkpoint)
+	}
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := reg.WriteJSON(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("metrics snapshot written to %s\n", *metricsOut)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := trace.WriteRuntime(f, opLog); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		if d := opLog.Dropped(); d > 0 {
+			fmt.Fprintf(os.Stderr, "warning: op log dropped %d events (run is longer than the log capacity)\n", d)
+		}
+		fmt.Printf("runtime trace written to %s (open in ui.perfetto.dev)\n", *traceOut)
 	}
 }
 

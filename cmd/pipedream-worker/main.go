@@ -22,11 +22,13 @@ import (
 	"strings"
 
 	"pipedream/internal/data"
+	"pipedream/internal/metrics"
 	"pipedream/internal/nn"
 	"pipedream/internal/partition"
 	"pipedream/internal/pipeline"
 	"pipedream/internal/profile"
 	"pipedream/internal/topology"
+	"pipedream/internal/trace"
 	"pipedream/internal/transport"
 )
 
@@ -40,6 +42,8 @@ func main() {
 	minibatches := flag.Int("minibatches", 0, "minibatches per epoch (default: dataset size)")
 	seed := flag.Int64("seed", 42, "shared random seed (must match across workers)")
 	checkpoint := flag.String("checkpoint", "", "directory for this stage's checkpoint after training")
+	showMetrics := flag.Bool("metrics", false, "collect live metrics for this stage and print its summary to stderr after each epoch")
+	traceOut := flag.String("trace-out", "", "write this worker's ops as a Chrome trace-event JSON to this path at end of run")
 	flag.Parse()
 
 	addrs := strings.Split(*peers, ",")
@@ -72,13 +76,22 @@ func main() {
 	}
 	defer tr.Close()
 
-	w, err := pipeline.NewSoloWorker(pipeline.Options{
+	opts := pipeline.Options{
 		ModelFactory: factory,
 		Plan:         plan,
 		Loss:         nn.SoftmaxCrossEntropy,
 		NewOptimizer: func() nn.Optimizer { return nn.NewSGD(0.1, 0.9, 0) },
 		Transport:    tr,
-	}, *id)
+	}
+	if *showMetrics {
+		opts.Metrics = metrics.NewRegistry()
+	}
+	var opLog *metrics.OpLog
+	if *traceOut != "" {
+		opLog = metrics.NewOpLog(0)
+		opts.OpLog = opLog
+	}
+	w, err := pipeline.NewSoloWorker(opts, *id)
 	if err != nil {
 		fatal(err)
 	}
@@ -92,6 +105,22 @@ func main() {
 		if w.IsOutputStage() {
 			fmt.Printf("epoch %d loss %.6f\n", e, rep.MeanLoss())
 		}
+		if *showMetrics {
+			fmt.Fprintf(os.Stderr, "worker %d epoch %d metrics:\n%s", *id, e, rep.StageSummary())
+		}
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := trace.WriteRuntime(f, opLog); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "worker %d: runtime trace written to %s\n", *id, *traceOut)
 	}
 	if *checkpoint != "" {
 		if err := w.Checkpoint(*checkpoint); err != nil {

@@ -1,12 +1,16 @@
-// Quickstart: the complete PipeDream workflow in ~60 lines — profile a
-// real model, let the optimizer partition it, and train it with the
-// 1F1B-RR pipeline runtime where every worker is a goroutine.
+// Quickstart: the complete PipeDream workflow in ~80 lines — profile a
+// real model, let the optimizer partition it, train it with the 1F1B-RR
+// pipeline runtime where every worker is a goroutine, and observe the
+// run: a per-stage metrics summary (forward/backward time, bubble
+// fraction, staleness) plus a Chrome-trace capture of every op
+// (quickstart-trace.json, open in ui.perfetto.dev).
 package main
 
 import (
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
 
 	"pipedream"
 	"pipedream/internal/data"
@@ -40,21 +44,28 @@ func main() {
 	}
 	fmt.Printf("plan: %s\n", plan)
 
-	// 3. Train with 1F1B-RR and weight stashing.
+	// 3. Train with 1F1B-RR and weight stashing, with the observability
+	// layer on: a metrics registry for per-stage statistics and an op
+	// log for Chrome-trace capture.
+	reg := pipedream.NewMetricsRegistry()
+	opLog := pipedream.NewOpLog(0)
 	p, err := pipedream.NewPipeline(pipedream.PipelineOptions{
 		ModelFactory: factory,
 		Plan:         plan,
 		Loss:         pipedream.SoftmaxCrossEntropy,
 		NewOptimizer: func() pipedream.Optimizer { return pipedream.NewSGD(0.1, 0.9, 0) },
 		Mode:         pipedream.WeightStashing,
+		Metrics:      reg,
+		OpLog:        opLog,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer p.Close()
 
+	var rep *pipedream.TrainReport
 	for epoch := 1; epoch <= 5; epoch++ {
-		rep, err := p.Train(train, train.NumBatches())
+		rep, err = p.Train(train, train.NumBatches())
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -69,4 +80,18 @@ func main() {
 		fmt.Printf("epoch %d: loss %.4f, accuracy %.1f%%\n",
 			epoch, rep.MeanLoss(), 100*float64(correct)/float64(total))
 	}
+
+	// 4. Observe: where did the last epoch's time go, per stage?
+	fmt.Printf("\nper-stage metrics (last epoch):\n%s", rep.StageSummary())
+	f, err := os.Create("quickstart-trace.json")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := pipedream.WriteRuntimeTrace(f, opLog); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("runtime trace written to quickstart-trace.json (open in ui.perfetto.dev)")
 }

@@ -1,0 +1,365 @@
+// Package metrics is the runtime observability layer: allocation-free
+// instruments (atomic counters, gauges, and fixed-bucket histograms)
+// collected in a named Registry that serializes to expvar-style JSON
+// snapshots. The 1F1B runtime (internal/pipeline) records per-stage op
+// durations, queue depths, stash bytes, gradient-sync waits, and weight
+// staleness through these instruments; internal/trace renders the
+// companion OpLog to the Chrome trace-event format, so live runs become
+// observable the same way simulated ones are (§3.2 of the paper argues
+// from exactly these per-stage quantities).
+//
+// No third-party dependencies, and nothing on the Observe/Add hot path
+// allocates or takes a lock — instruments are safe for concurrent use
+// from every stage-worker goroutine.
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by delta.
+func (c *Counter) Add(delta int64) { c.v.Add(delta) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value (queue depth, stash bytes, ...).
+type Gauge struct {
+	v   atomic.Int64
+	max atomic.Int64
+}
+
+// Set stores the current value and tracks the high-water mark.
+func (g *Gauge) Set(v int64) {
+	g.v.Store(v)
+	for {
+		m := g.max.Load()
+		if v <= m || g.max.CompareAndSwap(m, v) {
+			return
+		}
+	}
+}
+
+// Add adjusts the current value by delta and tracks the high-water mark.
+func (g *Gauge) Add(delta int64) {
+	v := g.v.Add(delta)
+	for {
+		m := g.max.Load()
+		if v <= m || g.max.CompareAndSwap(m, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Max returns the high-water mark since creation.
+func (g *Gauge) Max() int64 { return g.max.Load() }
+
+// Histogram is a fixed-bucket histogram with atomic counts. Bucket i
+// counts observations v with v <= Bounds[i]; one implicit overflow
+// bucket counts the rest. Observations also accumulate into count, sum,
+// min, and max, so means are exact even though quantiles are bucketed.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64
+	count  atomic.Int64
+	sum    atomicFloat
+	min    atomicFloat
+	max    atomicFloat
+}
+
+// atomicFloat stores a float64 as CAS-updated bits.
+type atomicFloat struct {
+	bits atomic.Uint64
+}
+
+func (f *atomicFloat) load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+func (f *atomicFloat) store(v float64) { f.bits.Store(math.Float64bits(v)) }
+
+func (f *atomicFloat) add(delta float64) {
+	for {
+		old := f.bits.Load()
+		v := math.Float64frombits(old) + delta
+		if f.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) storeMin(v float64) {
+	for {
+		old := f.bits.Load()
+		if v >= math.Float64frombits(old) {
+			return
+		}
+		if f.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) storeMax(v float64) {
+	for {
+		old := f.bits.Load()
+		if v <= math.Float64frombits(old) {
+			return
+		}
+		if f.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// NewHistogram builds a histogram over the given strictly increasing
+// bucket upper bounds. The slice is copied; an empty bounds slice yields
+// a histogram that still tracks count/sum/min/max exactly.
+func NewHistogram(bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("metrics: histogram bounds not increasing at %d: %v", i, bounds))
+		}
+	}
+	h := &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+	h.min.store(math.Inf(1))
+	h.max.store(math.Inf(-1))
+	return h
+}
+
+// DurationBuckets are the default microsecond bounds for op-duration
+// histograms: 1 µs to ~17 s in powers of two.
+func DurationBuckets() []float64 {
+	b := make([]float64, 25)
+	for i := range b {
+		b[i] = float64(int64(1) << i) // 1 µs .. 16.8 s
+	}
+	return b
+}
+
+// DepthBuckets are small-integer bounds for queue-depth and staleness
+// histograms.
+func DepthBuckets() []float64 {
+	return []float64{0, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 64, 128}
+}
+
+// Observe records one observation. It never allocates and never locks.
+func (h *Histogram) Observe(v float64) {
+	// Binary search for the first bound >= v; the bucket arrays are
+	// small (≤ ~32), so this is a handful of compares.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.bounds[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	h.counts[lo].Add(1)
+	h.count.Add(1)
+	h.sum.add(v)
+	h.min.storeMin(v)
+	h.max.storeMax(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return h.sum.load() }
+
+// Mean returns the exact mean of all observations (0 when empty).
+func (h *Histogram) Mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return h.sum.load() / float64(n)
+}
+
+// Min returns the smallest observation (+Inf when empty).
+func (h *Histogram) Min() float64 { return h.min.load() }
+
+// Max returns the largest observation (-Inf when empty).
+func (h *Histogram) Max() float64 { return h.max.load() }
+
+// Quantile returns an upper bound for the q-quantile (0 ≤ q ≤ 1) from
+// the bucket counts: the bound of the bucket in which the quantile
+// falls, clamped to the observed max. Returns 0 when empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i := range h.counts {
+		seen += h.counts[i].Load()
+		if seen >= rank {
+			if i < len(h.bounds) {
+				return math.Min(h.bounds[i], h.max.load())
+			}
+			return h.max.load()
+		}
+	}
+	return h.max.load()
+}
+
+// Buckets returns copies of the bounds and counts (the last count is the
+// overflow bucket).
+func (h *Histogram) Buckets() (bounds []float64, counts []int64) {
+	bounds = append([]float64(nil), h.bounds...)
+	counts = make([]int64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return bounds, counts
+}
+
+// snapshot summarizes the histogram for JSON export.
+func (h *Histogram) snapshot() map[string]any {
+	n := h.count.Load()
+	s := map[string]any{
+		"count": n,
+		"sum":   h.sum.load(),
+		"mean":  h.Mean(),
+	}
+	if n > 0 {
+		s["min"] = h.min.load()
+		s["max"] = h.max.load()
+		s["p50"] = h.Quantile(0.50)
+		s["p99"] = h.Quantile(0.99)
+	}
+	return s
+}
+
+// Registry is a named collection of instruments. Lookup (get-or-create)
+// takes a lock; the returned instruments do not — fetch them once and
+// hold the pointer on hot paths.
+type Registry struct {
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bounds on first use (later calls ignore bounds).
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = NewHistogram(bounds)
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Snapshot returns a point-in-time copy of every instrument's state,
+// keyed by name (counters and gauges as numbers, histograms as summary
+// maps). Safe to call while instruments are being updated.
+func (r *Registry) Snapshot() map[string]any {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := make(map[string]any, len(r.counters)+len(r.gauges)+len(r.histograms))
+	for name, c := range r.counters {
+		s[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s[name] = map[string]any{"value": g.Value(), "max": g.Max()}
+	}
+	for name, h := range r.histograms {
+		s[name] = h.snapshot()
+	}
+	return s
+}
+
+// WriteJSON writes an expvar-style snapshot: one flat JSON object with
+// sorted keys, suitable for scraping or diffing between runs.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	snap := r.Snapshot()
+	keys := make([]string, 0, len(snap))
+	for k := range snap {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	// Encode key-by-key so output ordering is deterministic.
+	if _, err := io.WriteString(w, "{\n"); err != nil {
+		return err
+	}
+	for i, k := range keys {
+		kb, err := json.Marshal(k)
+		if err != nil {
+			return err
+		}
+		vb, err := json.Marshal(snap[k])
+		if err != nil {
+			return err
+		}
+		sep := ",\n"
+		if i == len(keys)-1 {
+			sep = "\n"
+		}
+		if _, err := fmt.Fprintf(w, "  %s: %s%s", kb, vb, sep); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "}\n")
+	return err
+}

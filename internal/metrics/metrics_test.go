@@ -1,0 +1,181 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBucketing(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4, 8})
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 8, 9, 100} {
+		h.Observe(v)
+	}
+	bounds, counts := h.Buckets()
+	if len(bounds) != 4 || len(counts) != 5 {
+		t.Fatalf("bounds %v counts %v", bounds, counts)
+	}
+	// v <= bound lands in the bucket; 9 and 100 overflow.
+	want := []int64{2, 2, 1, 1, 2}
+	for i, c := range counts {
+		if c != want[i] {
+			t.Fatalf("bucket %d = %d, want %d (counts %v)", i, c, want[i], counts)
+		}
+	}
+	if h.Count() != 8 {
+		t.Fatalf("count %d", h.Count())
+	}
+	if got := h.Sum(); math.Abs(got-125) > 1e-9 {
+		t.Fatalf("sum %v", got)
+	}
+	if h.Min() != 0.5 || h.Max() != 100 {
+		t.Fatalf("min/max %v/%v", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4, 8, 16})
+	for v := 1; v <= 100; v++ {
+		h.Observe(float64(v % 10)) // values 0..9, uniform-ish
+	}
+	if q := h.Quantile(0.5); q < 4 || q > 8 {
+		t.Fatalf("p50 = %v, want within (4, 8]", q)
+	}
+	if q := h.Quantile(1); q != 9 {
+		t.Fatalf("p100 = %v, want observed max 9", q)
+	}
+	empty := NewHistogram(DurationBuckets())
+	if empty.Quantile(0.99) != 0 || empty.Mean() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+}
+
+func TestHistogramRejectsBadBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-increasing bounds must panic")
+		}
+	}()
+	NewHistogram([]float64{1, 1})
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	const workers, n = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("ops")
+			g := r.Gauge("depth")
+			h := r.Histogram("lat_us", DurationBuckets())
+			for i := 0; i < n; i++ {
+				c.Inc()
+				g.Set(int64(i % 17))
+				h.Observe(float64(i%1000 + 1))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("ops").Value(); got != workers*n {
+		t.Fatalf("counter = %d, want %d", got, workers*n)
+	}
+	h := r.Histogram("lat_us", nil)
+	if h.Count() != workers*n {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), workers*n)
+	}
+	_, counts := h.Buckets()
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total != workers*n {
+		t.Fatalf("bucket counts sum to %d, want %d", total, workers*n)
+	}
+	if got := r.Gauge("depth").Max(); got != 16 {
+		t.Fatalf("gauge max = %d, want 16", got)
+	}
+}
+
+func TestGaugeAddTracksHighWater(t *testing.T) {
+	var g Gauge
+	g.Add(5)
+	g.Add(7)
+	g.Add(-10)
+	if g.Value() != 2 || g.Max() != 12 {
+		t.Fatalf("value %d max %d", g.Value(), g.Max())
+	}
+}
+
+func TestRegistryWriteJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b.count").Add(3)
+	r.Gauge("a.depth").Set(5)
+	h := r.Histogram("c.lat", []float64{1, 10, 100})
+	h.Observe(4)
+	h.Observe(40)
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("invalid JSON %q: %v", buf.String(), err)
+	}
+	if snap["b.count"].(float64) != 3 {
+		t.Fatalf("counter in snapshot: %v", snap["b.count"])
+	}
+	hist := snap["c.lat"].(map[string]any)
+	if hist["count"].(float64) != 2 || hist["mean"].(float64) != 22 {
+		t.Fatalf("histogram summary %v", hist)
+	}
+	// Deterministic ordering: keys appear sorted in the raw output.
+	if ia, ib := bytes.Index(buf.Bytes(), []byte("a.depth")), bytes.Index(buf.Bytes(), []byte("b.count")); ia > ib {
+		t.Fatal("keys not sorted in WriteJSON output")
+	}
+}
+
+func TestOpLogRecordAndBound(t *testing.T) {
+	l := NewOpLog(3)
+	t0 := time.Now()
+	l.SetOrigin(t0)
+	for i := 0; i < 5; i++ {
+		l.Record(OpEvent{Worker: i, Kind: OpForward, Dur: time.Millisecond}, t0.Add(time.Duration(i)*time.Millisecond))
+	}
+	if l.Len() != 3 || l.Dropped() != 2 {
+		t.Fatalf("len %d dropped %d", l.Len(), l.Dropped())
+	}
+	evs := l.Events()
+	if evs[1].Start != time.Millisecond {
+		t.Fatalf("event offset %v, want 1ms", evs[1].Start)
+	}
+	// Origin is pinned by the first SetOrigin; later calls are ignored.
+	l.SetOrigin(t0.Add(time.Hour))
+	l.Record(OpEvent{}, t0.Add(2*time.Millisecond)) // dropped, but offset math uses old origin
+	if l.Dropped() != 3 {
+		t.Fatalf("dropped %d", l.Dropped())
+	}
+}
+
+func TestOpLogConcurrentAppend(t *testing.T) {
+	l := NewOpLog(0)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				l.Record(OpEvent{Worker: w, Minibatch: i, Kind: OpBackward}, time.Now())
+			}
+		}(w)
+	}
+	wg.Wait()
+	if l.Len() != 4000 {
+		t.Fatalf("len %d", l.Len())
+	}
+}

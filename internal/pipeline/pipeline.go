@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"pipedream/internal/data"
+	"pipedream/internal/metrics"
 	"pipedream/internal/nn"
 	"pipedream/internal/partition"
 	"pipedream/internal/schedule"
@@ -103,7 +104,24 @@ type Options struct {
 	// lowers the global degree to that value for its duration (it
 	// never raises it) and restores the previous degree on return.
 	KernelParallelism int
+	// Metrics, when non-nil, receives live instrumentation: per-stage
+	// forward/backward/sync-wait duration histograms, queue-depth and
+	// staleness histograms, stash-bytes gauges, and the tensor arena's
+	// hit/miss counters, all registered under "pipeline.s<stage>.r<rep>.*"
+	// and "tensor.pool.*". The registry's WriteJSON gives expvar-style
+	// snapshots. Enabling it also populates Report.Stages. Nil (the
+	// default) keeps the hot path free of clocks and atomics.
+	Metrics *metrics.Registry
+	// OpLog, when non-nil, captures every forward, backward, and
+	// gradient-sync op with real timestamps; render it with
+	// trace.WriteRuntime to get the same Chrome/Perfetto timeline the
+	// simulator emits, directly comparable to it. Enabling it also
+	// populates Report.Stages.
+	OpLog *metrics.OpLog
 }
+
+// instrumented reports whether any observability sink is configured.
+func (o *Options) instrumented() bool { return o.Metrics != nil || o.OpLog != nil }
 
 // Report summarizes one Train call.
 type Report struct {
@@ -117,6 +135,11 @@ type Report struct {
 	// PeakStashBytes is, per worker, the peak bytes held in weight
 	// stashes and activation inputs (tensor payloads only).
 	PeakStashBytes []int64
+	// Stages carries per-worker runtime statistics — op counts and
+	// durations, sync waits, idle time, bubble fraction, queue depth,
+	// and weight staleness. Nil unless Options.Metrics or Options.OpLog
+	// enabled instrumentation. Render with StageSummary.
+	Stages []StageStats
 }
 
 // Throughput returns samples per second of wall time.
@@ -207,6 +230,9 @@ func New(opts Options) (*Pipeline, error) {
 		if opts.Mode == VerticalSync {
 			sw.versions = map[int][]*tensor.Tensor{0: nn.SnapshotParams(sw.model.Params())}
 		}
+		if opts.instrumented() {
+			sw.met = newWorkerMetrics(opts.Metrics, opts.OpLog, ref.Stage, ref.Replica)
+		}
 		p.workers = append(p.workers, sw)
 	}
 	return p, nil
@@ -259,6 +285,9 @@ func (p *Pipeline) Train(ds data.Dataset, minibatches int) (*Report, error) {
 		}
 	}
 	t0 := time.Now()
+	if p.opts.OpLog != nil {
+		p.opts.OpLog.SetOrigin(t0)
+	}
 	var wg sync.WaitGroup
 	for _, sw := range p.workers {
 		wg.Add(1)
@@ -280,6 +309,12 @@ func (p *Pipeline) Train(ds data.Dataset, minibatches int) (*Report, error) {
 	}
 	for w, sw := range p.workers {
 		rep.PeakStashBytes[w] = sw.peakStashBytes
+	}
+	if p.opts.instrumented() {
+		for _, sw := range p.workers {
+			rep.Stages = append(rep.Stages, sw.met.stats(sw))
+		}
+		publishPoolCounters(p.opts.Metrics)
 	}
 	return rep, nil
 }
@@ -307,11 +342,12 @@ func (p *Pipeline) CollectModel() *nn.Sequential {
 // stashEntry is the per-minibatch state a worker keeps between a forward
 // and its backward.
 type stashEntry struct {
-	params  []*tensor.Tensor // weight version used in forward (nil in NoStashing)
-	ctx     *nn.SeqContext   // nil when recomputation is enabled
-	input   *tensor.Tensor   // stage input, kept only for recomputation
-	version int
-	bytes   int64
+	params     []*tensor.Tensor // weight version used in forward (nil in NoStashing)
+	ctx        *nn.SeqContext   // nil when recomputation is enabled
+	input      *tensor.Tensor   // stage input, kept only for recomputation
+	version    int
+	bytes      int64
+	fwdUpdates int // local optimizer updates at forward time (staleness baseline)
 }
 
 type stageWorker struct {
@@ -334,6 +370,14 @@ type stageWorker struct {
 
 	stashBytes     int64
 	peakStashBytes int64
+
+	// met is the worker's instrumentation state; nil when observability
+	// is off, and every hook is guarded so the disabled hot path pays
+	// only the nil checks. syncStart/syncDur carry the most recent
+	// gradient-sync wait from the sync block to the backward hook.
+	met       *workerMetrics
+	syncStart time.Time
+	syncDur   time.Duration
 
 	// Message queues (fields so the distributed gradient exchange can
 	// keep routing pipeline traffic while it waits for sibling replicas).
@@ -401,9 +445,16 @@ func (sw *stageWorker) run(ds data.Dataset, start, end int, results chan<- lossE
 		nextOwn++
 	}
 	inbox := sw.p.tr.Inbox(sw.id)
+	if sw.met != nil {
+		sw.met.beginRun()
+		defer sw.met.endRun()
+	}
 
 	for done < expected {
 		sw.drainInbox()
+		if sw.met != nil {
+			sw.met.sampleQueues(len(sw.fwdQ) + len(sw.bwdQ))
+		}
 		switch {
 		case len(sw.bwdQ) > 0:
 			// Backward priority: the "1B" half of 1F1B.
@@ -434,8 +485,16 @@ func (sw *stageWorker) run(ds data.Dataset, start, end int, results chan<- lossE
 				sw.bwdQ = append(sw.bwdQ, b)
 			}
 		default:
-			// Nothing runnable: block for the next message.
+			// Nothing runnable: block for the next message. This wait is
+			// the worker's directly observed pipeline bubble.
+			var idle0 time.Time
+			if sw.met != nil {
+				idle0 = time.Now()
+			}
 			m, ok := <-inbox
+			if sw.met != nil {
+				sw.met.idleTime += time.Since(idle0)
+			}
 			if !ok {
 				return
 			}
@@ -447,6 +506,11 @@ func (sw *stageWorker) run(ds data.Dataset, start, end int, results chan<- lossE
 // forward runs the stage's forward pass for one minibatch. At the output
 // stage it computes the loss and returns the local backward message.
 func (sw *stageWorker) forward(m transport.Message) (transport.Message, bool) {
+	var op0 time.Time
+	if sw.met != nil {
+		op0 = time.Now()
+		defer func() { sw.met.forwardDone(sw, m.Minibatch, op0) }()
+	}
 	params := sw.model.Params()
 	var stashed []*tensor.Tensor
 	switch sw.mode {
@@ -471,7 +535,7 @@ func (sw *stageWorker) forward(m transport.Message) (transport.Message, bool) {
 	}
 	y, ctx := sw.model.Forward(m.Tensor, true)
 	entry := stashEntry{params: stashed, ctx: ctx, version: m.Version,
-		bytes: stashBytesOf(stashed, m.Tensor)}
+		bytes: stashBytesOf(stashed, m.Tensor), fwdUpdates: sw.updates}
 	if sw.p.opts.Recompute {
 		// Keep only the stage input; the backward pass re-runs the
 		// forward to rebuild layer contexts (trading compute for the
@@ -508,6 +572,14 @@ func (sw *stageWorker) backward(m transport.Message) {
 	if !ok {
 		panic(fmt.Sprintf("pipeline: worker %d backward for unknown minibatch %d", sw.id, m.Minibatch))
 	}
+	if sw.met != nil {
+		op0 := time.Now()
+		staleness := sw.updates - entry.fwdUpdates
+		defer func() {
+			sw.met.backwardDone(sw, m.Minibatch, op0, sw.syncStart, sw.syncDur, staleness)
+			sw.syncDur = 0
+		}()
+	}
 	delete(sw.stash, m.Minibatch)
 	params := sw.model.Params()
 	grads := sw.model.Grads()
@@ -537,10 +609,20 @@ func (sw *stageWorker) backward(m transport.Message) {
 	// stay consistent (the runtime analogue of DDP within a stage). The
 	// in-process runtime uses a shared reducer; solo (multi-process)
 	// workers exchange gradients over the transport.
-	if sw.reducer != nil {
-		sw.reducer.reduce(m.Minibatch, grads)
-	} else if sw.replicas() > 1 {
-		sw.exchangeGradients(m.Minibatch, grads)
+	if sw.reducer != nil || sw.replicas() > 1 {
+		var s0 time.Time
+		if sw.met != nil {
+			s0 = time.Now()
+		}
+		if sw.reducer != nil {
+			sw.reducer.reduce(m.Minibatch, grads)
+		} else {
+			sw.exchangeGradients(m.Minibatch, grads)
+		}
+		if sw.met != nil {
+			sw.syncStart = s0
+			sw.syncDur = time.Since(s0)
+		}
 	}
 	sw.applyUpdate(params, grads)
 	if sw.mode == VerticalSync {
@@ -723,6 +805,9 @@ func (sw *stageWorker) trackStash(delta int64) {
 	sw.stashBytes += delta
 	if sw.stashBytes > sw.peakStashBytes {
 		sw.peakStashBytes = sw.stashBytes
+	}
+	if sw.met != nil && sw.met.stash != nil {
+		sw.met.stash.Set(sw.stashBytes)
 	}
 }
 

@@ -61,6 +61,9 @@ func NewSoloWorker(opts Options, workerID int) (*SoloWorker, error) {
 	if opts.Mode == VerticalSync {
 		sw.versions = map[int][]*tensor.Tensor{0: nn.SnapshotParams(sw.model.Params())}
 	}
+	if opts.instrumented() {
+		sw.met = newWorkerMetrics(opts.Metrics, opts.OpLog, ref.Stage, ref.Replica)
+	}
 	p.workers[workerID] = sw
 	return &SoloWorker{p: p, id: workerID}, nil
 }
@@ -88,6 +91,9 @@ func (s *SoloWorker) Run(ds data.Dataset, minibatches int) (*Report, error) {
 	s.cursor = end
 	results := make(chan lossEvent, minibatches)
 	t0 := time.Now()
+	if s.p.opts.OpLog != nil {
+		s.p.opts.OpLog.SetOrigin(t0)
+	}
 	s.p.workers[s.id].run(ds, start, end, results)
 	close(results)
 	rep := &Report{
@@ -98,6 +104,11 @@ func (s *SoloWorker) Run(ds data.Dataset, minibatches int) (*Report, error) {
 	}
 	for ev := range results {
 		rep.Losses[ev.mb-start] = ev.loss
+	}
+	if s.p.opts.instrumented() {
+		sw := s.p.workers[s.id]
+		rep.Stages = []StageStats{sw.met.stats(sw)}
+		publishPoolCounters(s.p.opts.Metrics)
 	}
 	return rep, nil
 }

@@ -3,6 +3,7 @@ package tensor
 import (
 	"math/bits"
 	"sync"
+	"sync/atomic"
 )
 
 // A free-list arena for scratch tensors. Steady-state training allocates
@@ -18,6 +19,20 @@ import (
 
 // pools[c] holds []float32 buffers with capacity exactly 1<<c.
 var pools [33]sync.Pool
+
+// Arena traffic counters: hits are Gets served from the free list,
+// misses are Gets that allocated, puts are arrays recycled. One atomic
+// add per Get/Put (calls are per-scratch-tensor, not per-element) keeps
+// the arena observable at negligible cost.
+var poolHits, poolMisses, poolPuts atomic.Int64
+
+// PoolCounters reports the arena's cumulative traffic since process
+// start: free-list hits, allocating misses, and recycled puts. The
+// miss count in steady-state training is the arena's leak detector —
+// it should stop growing once every per-minibatch shape has been seen.
+func PoolCounters() (hits, misses, puts int64) {
+	return poolHits.Load(), poolMisses.Load(), poolPuts.Load()
+}
 
 // sizeClass returns the smallest c with 1<<c >= n.
 func sizeClass(n int) int {
@@ -42,12 +57,14 @@ func Get(shape ...int) *Tensor {
 	copy(s, shape)
 	c := sizeClass(n)
 	if v := pools[c].Get(); v != nil {
+		poolHits.Add(1)
 		data := v.([]float32)[:n]
 		for i := range data {
 			data[i] = 0
 		}
 		return &Tensor{Shape: s, Data: data}
 	}
+	poolMisses.Add(1)
 	return &Tensor{Shape: s, Data: make([]float32, n, 1<<c)}
 }
 
@@ -64,5 +81,6 @@ func Put(t *Tensor) {
 	if 1<<c != cap(t.Data) {
 		return // not an arena buffer; let the GC have it
 	}
+	poolPuts.Add(1)
 	pools[c].Put(t.Data[:cap(t.Data)])
 }

@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"pipedream/internal/metrics"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// sampleOpLog is a deterministic 2-worker run fragment: F0 F1 B0 on the
+// input stage (with a nested grad_sync) and F0 B0 downstream.
+func sampleOpLog() *metrics.OpLog {
+	l := metrics.NewOpLog(16)
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	l.Append(metrics.OpEvent{Worker: 0, Stage: 0, Minibatch: 0, Kind: metrics.OpForward, Start: ms(0), Dur: ms(2)})
+	l.Append(metrics.OpEvent{Worker: 0, Stage: 0, Minibatch: 1, Kind: metrics.OpForward, Start: ms(2), Dur: ms(2)})
+	l.Append(metrics.OpEvent{Worker: 1, Stage: 1, Minibatch: 0, Kind: metrics.OpForward, Start: ms(2), Dur: ms(1)})
+	l.Append(metrics.OpEvent{Worker: 1, Stage: 1, Minibatch: 0, Kind: metrics.OpBackward, Start: ms(3), Dur: ms(2), Staleness: 0})
+	l.Append(metrics.OpEvent{Worker: 0, Stage: 0, Minibatch: 0, Kind: metrics.OpBackward, Start: ms(5), Dur: ms(4), Staleness: 1})
+	l.Append(metrics.OpEvent{Worker: 0, Stage: 0, Minibatch: 0, Kind: metrics.OpSync, Start: ms(6), Dur: ms(1)})
+	return l
+}
+
+func TestWriteRuntimeGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteRuntime(&buf, sampleOpLog()); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "runtime_trace.golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("output differs from golden file %s:\ngot:  %s\nwant: %s", golden, buf.Bytes(), want)
+	}
+}
+
+// TestWriteRuntimeIsValidChromeTrace checks the structural contract
+// Perfetto/chrome://tracing require: a JSON array of complete events
+// with name/ph/ts/dur/pid/tid.
+func TestWriteRuntimeIsValidChromeTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteRuntime(&buf, sampleOpLog()); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+	if len(events) != 6 {
+		t.Fatalf("got %d events, want 6", len(events))
+	}
+	for i, ev := range events {
+		for _, key := range []string{"name", "cat", "ph", "ts", "dur", "pid", "tid"} {
+			if _, ok := ev[key]; !ok {
+				t.Fatalf("event %d missing %q: %v", i, key, ev)
+			}
+		}
+		if ev["ph"] != "X" {
+			t.Fatalf("event %d has phase %v, want complete event X", i, ev["ph"])
+		}
+	}
+	// Timestamps are microseconds: the first forward spans [0, 2000).
+	if events[0]["name"] != "F0" || events[0]["dur"].(float64) != 2000 {
+		t.Fatalf("first event %v", events[0])
+	}
+	// Backward events carry staleness; sync events are named grad_sync.
+	b0 := events[4]
+	if b0["name"] != "B0" || b0["args"].(map[string]any)["staleness"] != "1" {
+		t.Fatalf("backward event %v", b0)
+	}
+	if events[5]["name"] != "grad_sync" || events[5]["cat"] != "sync" {
+		t.Fatalf("sync event %v", events[5])
+	}
+}
+
+func TestWriteRuntimeRejectsBadInput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteRuntime(&buf, nil); err == nil {
+		t.Fatal("nil op log must fail")
+	}
+	if err := WriteRuntime(&buf, metrics.NewOpLog(4)); err == nil {
+		t.Fatal("empty op log must fail")
+	}
+}

@@ -1,7 +1,11 @@
 // Package trace exports simulator/runtime timelines in the Chrome
 // trace-event format (the JSON array consumed by chrome://tracing and
 // https://ui.perfetto.dev), so pipeline schedules can be inspected
-// interactively instead of as ASCII art.
+// interactively instead of as ASCII art. WriteChrome renders simulated
+// schedule.Timelines; WriteRuntime renders the metrics.OpLog a live
+// pipeline.Train run captures — both produce the same event vocabulary
+// (F<mb>/B<mb>/sync spans, one thread per worker), so a measured
+// timeline loads side-by-side with its simulated prediction.
 package trace
 
 import (
@@ -9,6 +13,7 @@ import (
 	"fmt"
 	"io"
 
+	"pipedream/internal/metrics"
 	"pipedream/internal/schedule"
 )
 
@@ -58,6 +63,56 @@ func WriteChrome(w io.Writer, t *schedule.Timeline, timeUnit float64) error {
 				"stage":     fmt.Sprintf("%d", op.Stage),
 				"minibatch": fmt.Sprintf("%d", op.Minibatch),
 			},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(events)
+}
+
+// WriteRuntime serializes a live run's op log as Chrome trace events:
+// each worker becomes a thread, each recorded forward/backward/sync op a
+// complete event with its real (wall-clock) start and duration.
+// Backward events carry the observed weight-version staleness; sync
+// events nest inside the backward that waited. The output loads in
+// ui.perfetto.dev exactly like WriteChrome's simulated timelines.
+func WriteRuntime(w io.Writer, log *metrics.OpLog) error {
+	if log == nil {
+		return fmt.Errorf("trace: nil op log")
+	}
+	ops := log.Events()
+	if len(ops) == 0 {
+		return fmt.Errorf("trace: empty op log (was the run instrumented?)")
+	}
+	events := make([]event, 0, len(ops))
+	for _, op := range ops {
+		name := ""
+		switch op.Kind {
+		case metrics.OpForward:
+			name = fmt.Sprintf("F%d", op.Minibatch)
+		case metrics.OpBackward:
+			name = fmt.Sprintf("B%d", op.Minibatch)
+		case metrics.OpSync:
+			name = "grad_sync"
+		default:
+			name = op.Kind.String()
+		}
+		args := map[string]string{
+			"stage":     fmt.Sprintf("%d", op.Stage),
+			"replica":   fmt.Sprintf("%d", op.Replica),
+			"minibatch": fmt.Sprintf("%d", op.Minibatch),
+		}
+		if op.Kind == metrics.OpBackward {
+			args["staleness"] = fmt.Sprintf("%d", op.Staleness)
+		}
+		events = append(events, event{
+			Name: name,
+			Cat:  op.Kind.String(),
+			Ph:   "X",
+			Ts:   float64(op.Start.Nanoseconds()) / 1e3,
+			Dur:  float64(op.Dur.Nanoseconds()) / 1e3,
+			Pid:  0,
+			Tid:  op.Worker,
+			Args: args,
 		})
 	}
 	enc := json.NewEncoder(w)

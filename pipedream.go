@@ -37,6 +37,7 @@ package pipedream
 import (
 	"pipedream/internal/cluster"
 	"pipedream/internal/data"
+	"pipedream/internal/metrics"
 	"pipedream/internal/modelzoo"
 	"pipedream/internal/nn"
 	"pipedream/internal/partition"
@@ -44,6 +45,7 @@ import (
 	"pipedream/internal/profile"
 	"pipedream/internal/schedule"
 	"pipedream/internal/topology"
+	"pipedream/internal/trace"
 	"pipedream/internal/transport"
 )
 
@@ -102,6 +104,19 @@ type (
 	SoloWorkerT = pipeline.SoloWorker
 )
 
+// Observability types (set PipelineOptions.Metrics / PipelineOptions.OpLog
+// to instrument a live run; see docs/ARCHITECTURE.md "Observability").
+type (
+	// MetricsRegistry collects live counters, gauges, and histograms and
+	// serializes expvar-style JSON snapshots (WriteJSON).
+	MetricsRegistry = metrics.Registry
+	// OpLog captures per-op runtime events for Chrome-trace export.
+	OpLog = metrics.OpLog
+	// StageStats is one worker's per-run statistics (bubble fraction,
+	// queue depth, staleness, op times) in TrainReport.Stages.
+	StageStats = pipeline.StageStats
+)
+
 // Staleness modes (§3.3 of the paper).
 const (
 	WeightStashing = pipeline.WeightStashing
@@ -142,6 +157,15 @@ var (
 	// NewTCPPeer creates one process's transport endpoint for distributed
 	// deployments.
 	NewTCPPeer = transport.NewTCPPeer
+
+	// NewMetricsRegistry and NewOpLog build the observability sinks a
+	// pipeline accepts via PipelineOptions.Metrics / PipelineOptions.OpLog.
+	NewMetricsRegistry = metrics.NewRegistry
+	NewOpLog           = metrics.NewOpLog
+	// WriteRuntimeTrace renders a captured OpLog as a Chrome/Perfetto
+	// trace-event file — the measured counterpart of the simulator's
+	// timeline export.
+	WriteRuntimeTrace = trace.WriteRuntime
 )
 
 // ProfileModel measures a real model's per-layer profile, as the paper's

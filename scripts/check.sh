@@ -22,7 +22,44 @@ go build ./...
 echo "== go test"
 go test ./...
 
-echo "== go test -race (tensor, pipeline)"
-go test -race ./internal/tensor/ ./internal/pipeline/
+echo "== go test -race (tensor, pipeline, metrics, trace)"
+go test -race ./internal/tensor/ ./internal/pipeline/ ./internal/metrics/ ./internal/trace/
+
+echo "== doc comments (exported identifiers in pipeline + metrics)"
+MISSING=$(for f in internal/pipeline/*.go internal/metrics/*.go; do
+    case "$f" in *_test.go) continue ;; esac
+    awk -v file="$f" '
+    /^(func|type|var|const) (\()?[A-Za-z]/ {
+        name = ""
+        if ($0 ~ /^func \(/) { split($0, a, ") "); split(a[2], b, "("); name = b[1] }
+        else { split($0, a, " "); name = a[2]; sub(/[(=[].*/, "", name) }
+        if (name ~ /^[A-Z]/ && prev !~ /^\/\//)
+            print file ":" FNR ": exported " name " missing doc comment"
+    }
+    { prev = $0 }' "$f"
+done)
+if [ -n "$MISSING" ]; then
+    echo "$MISSING" >&2
+    exit 1
+fi
+
+echo "== docs/ARCHITECTURE.md (links resolve, named packages exist)"
+[ -f docs/ARCHITECTURE.md ] || { echo "docs/ARCHITECTURE.md missing" >&2; exit 1; }
+# Relative markdown links must point at real files (anchors stripped).
+for target in $(grep -o '](\.\./[^)#]*\|]([A-Za-z0-9_./-]*\.md' docs/ARCHITECTURE.md | sed 's/^](//'); do
+    if [ ! -e "docs/$target" ]; then
+        echo "docs/ARCHITECTURE.md: broken link $target" >&2
+        exit 1
+    fi
+done
+# Every internal/<pkg> the document names must exist in the tree.
+for pkg in $(grep -o 'internal/[a-z]*' docs/ARCHITECTURE.md | sort -u); do
+    if [ ! -d "$pkg" ]; then
+        echo "docs/ARCHITECTURE.md: names missing package $pkg" >&2
+        exit 1
+    fi
+done
+# README must link the architecture map.
+grep -q 'docs/ARCHITECTURE.md' README.md || { echo "README.md does not link docs/ARCHITECTURE.md" >&2; exit 1; }
 
 echo "all checks passed"
