@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"time"
 
 	"pipedream/internal/data"
 	"pipedream/internal/metrics"
@@ -36,7 +37,19 @@ func main() {
 	epochs := flag.Int("epochs", 8, "training epochs")
 	depth := flag.Int("depth", 0, "pipeline depth override (0 = NOAM)")
 	useTCP := flag.Bool("tcp", false, "run the pipeline over TCP sockets instead of channels")
-	checkpoint := flag.String("checkpoint", "", "directory for per-stage checkpoints after each epoch")
+	var ckptDir string
+	flag.StringVar(&ckptDir, "checkpoint-dir", "", "directory for per-stage checkpoint generations (written after each epoch; with -checkpoint-every also mid-epoch)")
+	flag.StringVar(&ckptDir, "checkpoint", "", "alias for -checkpoint-dir")
+	ckptEvery := flag.Int("checkpoint-every", 0, "also checkpoint every K minibatches at a pipeline drain barrier (0 = epoch boundaries only)")
+	resume := flag.Bool("resume", false, "restore from the latest complete checkpoint generation in -checkpoint-dir and continue training")
+	maxRecoveries := flag.Int("max-recoveries", 0, "automatic restore-and-resume attempts on a detected worker failure (0 = fail fast)")
+	watchdog := flag.Duration("watchdog", 0, "per-worker no-progress timeout before the failure detector trips (0 = disabled)")
+	heartbeat := flag.Duration("heartbeat", 0, "period of liveness probes to pipeline neighbours (0 = disabled)")
+	chaosDrop := flag.Float64("chaos-drop", 0, "chaos: probability a transport message is silently dropped")
+	chaosDelay := flag.Float64("chaos-delay", 0, "chaos: probability a transport message is delivered late")
+	chaosDup := flag.Float64("chaos-dup", 0, "chaos: probability a transport message is delivered twice")
+	chaosMaxDelay := flag.Duration("chaos-max-delay", 10*time.Millisecond, "chaos: upper bound on injected delivery delays")
+	chaosSeed := flag.Int64("chaos-seed", 1, "chaos: seed fixing the fault schedule")
 	seed := flag.Int64("seed", 42, "random seed")
 	showMetrics := flag.Bool("metrics", false, "collect live per-stage metrics and print the summary table after each epoch")
 	metricsOut := flag.String("metrics-out", "", "write an expvar-style JSON metrics snapshot to this path at end of run (implies -metrics)")
@@ -70,12 +83,17 @@ func main() {
 		*task, len(model.Layers), *stages, workers, plan.ConfigString(), plan.NOAM, mode)
 
 	opts := pipeline.Options{
-		ModelFactory: factory,
-		Plan:         plan,
-		Loss:         nn.SoftmaxCrossEntropy,
-		NewOptimizer: opt,
-		Mode:         mode,
-		Depth:        *depth,
+		ModelFactory:    factory,
+		Plan:            plan,
+		Loss:            nn.SoftmaxCrossEntropy,
+		NewOptimizer:    opt,
+		Mode:            mode,
+		Depth:           *depth,
+		CheckpointDir:   ckptDir,
+		CheckpointEvery: *ckptEvery,
+		MaxRecoveries:   *maxRecoveries,
+		WatchdogTimeout: *watchdog,
+		HeartbeatEvery:  *heartbeat,
 	}
 	if *useTCP {
 		tr, err := transport.NewTCP(workers, 4*plan.NOAM+8)
@@ -85,6 +103,24 @@ func main() {
 		defer tr.Close()
 		opts.Transport = tr
 		fmt.Println("transport: TCP loopback sockets (gob-encoded tensors)")
+	}
+	useChaos := *chaosDrop > 0 || *chaosDelay > 0 || *chaosDup > 0
+	if useChaos {
+		inner := opts.Transport
+		if inner == nil {
+			inner = transport.NewChannels(workers, 4*plan.NOAM+8)
+		}
+		chaos := transport.NewChaos(inner, transport.ChaosConfig{
+			Seed:      *chaosSeed,
+			DropRate:  *chaosDrop,
+			DelayRate: *chaosDelay,
+			DupRate:   *chaosDup,
+			MaxDelay:  *chaosMaxDelay,
+		})
+		defer chaos.Close()
+		opts.Transport = chaos
+		fmt.Printf("chaos: seed %d, drop %g, delay %g (max %v), dup %g\n",
+			*chaosSeed, *chaosDrop, *chaosDelay, *chaosMaxDelay, *chaosDup)
 	}
 	var reg *metrics.Registry
 	var opLog *metrics.OpLog
@@ -102,8 +138,24 @@ func main() {
 	}
 	defer p.Close()
 
-	for e := 1; e <= *epochs; e++ {
-		rep, err := p.Train(train, train.NumBatches())
+	if *resume {
+		if ckptDir == "" {
+			fatal(fmt.Errorf("-resume needs -checkpoint-dir"))
+		}
+		if err := p.Restore(ckptDir); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("resumed from checkpoint generation at minibatch %d\n", p.Cursor())
+	}
+
+	// The epoch loop is cursor-driven so a resumed run finishes its
+	// partial epoch before starting the next one.
+	mbs := train.NumBatches()
+	total := *epochs * mbs
+	var faults pipeline.FaultStats
+	for p.Cursor() < total {
+		e := p.Cursor()/mbs + 1
+		rep, err := p.Train(train, mbs-p.Cursor()%mbs)
 		if err != nil {
 			fatal(err)
 		}
@@ -113,14 +165,22 @@ func main() {
 		if *showMetrics || *metricsOut != "" {
 			fmt.Print(rep.StageSummary())
 		}
-		if *checkpoint != "" {
-			if err := p.Checkpoint(*checkpoint); err != nil {
+		faults.Recoveries += rep.Faults.Recoveries
+		faults.CheckpointWrites += rep.Faults.CheckpointWrites
+		faults.TransportReconnects += rep.Faults.TransportReconnects
+		faults.TransportSendErrors += rep.Faults.TransportSendErrors
+		if ckptDir != "" {
+			if err := p.Checkpoint(ckptDir); err != nil {
 				fatal(err)
 			}
 		}
 	}
-	if *checkpoint != "" {
-		fmt.Printf("per-stage checkpoints written to %s\n", *checkpoint)
+	if ckptDir != "" {
+		fmt.Printf("per-stage checkpoint generations written to %s\n", ckptDir)
+	}
+	if faults.Recoveries > 0 || faults.TransportReconnects > 0 || faults.TransportSendErrors > 0 {
+		fmt.Printf("faults: %d recoveries, %d checkpoint writes, %d transport reconnects, %d send errors\n",
+			faults.Recoveries, faults.CheckpointWrites, faults.TransportReconnects, faults.TransportSendErrors)
 	}
 	if *metricsOut != "" {
 		f, err := os.Create(*metricsOut)

@@ -20,6 +20,7 @@ import (
 	"math/rand"
 	"os"
 	"strings"
+	"time"
 
 	"pipedream/internal/data"
 	"pipedream/internal/metrics"
@@ -41,7 +42,19 @@ func main() {
 	epochs := flag.Int("epochs", 3, "training epochs")
 	minibatches := flag.Int("minibatches", 0, "minibatches per epoch (default: dataset size)")
 	seed := flag.Int64("seed", 42, "shared random seed (must match across workers)")
-	checkpoint := flag.String("checkpoint", "", "directory for this stage's checkpoint after training")
+	var ckptDir string
+	flag.StringVar(&ckptDir, "checkpoint-dir", "", "directory for this stage's checkpoint generations (shared by all workers; written after training, and mid-training with -checkpoint-every)")
+	flag.StringVar(&ckptDir, "checkpoint", "", "alias for -checkpoint-dir")
+	ckptEvery := flag.Int("checkpoint-every", 0, "also checkpoint every K minibatches at a pipeline drain barrier (0 = end of training only)")
+	resume := flag.Bool("resume", false, "restore this stage from the latest complete checkpoint generation in -checkpoint-dir and continue")
+	maxRecoveries := flag.Int("max-recoveries", 0, "automatic restore-and-resume attempts on a detected failure (0 = fail fast)")
+	watchdog := flag.Duration("watchdog", 0, "no-progress timeout before this worker's failure detector trips (0 = disabled)")
+	heartbeat := flag.Duration("heartbeat", 0, "period of liveness probes to pipeline neighbours (0 = disabled)")
+	chaosDrop := flag.Float64("chaos-drop", 0, "chaos: probability an outgoing message is silently dropped")
+	chaosDelay := flag.Float64("chaos-delay", 0, "chaos: probability an outgoing message is delivered late")
+	chaosDup := flag.Float64("chaos-dup", 0, "chaos: probability an outgoing message is delivered twice")
+	chaosMaxDelay := flag.Duration("chaos-max-delay", 10*time.Millisecond, "chaos: upper bound on injected delivery delays")
+	chaosSeed := flag.Int64("chaos-seed", 1, "chaos: seed fixing the fault schedule")
 	showMetrics := flag.Bool("metrics", false, "collect live metrics for this stage and print its summary to stderr after each epoch")
 	traceOut := flag.String("trace-out", "", "write this worker's ops as a Chrome trace-event JSON to this path at end of run")
 	flag.Parse()
@@ -77,11 +90,29 @@ func main() {
 	defer tr.Close()
 
 	opts := pipeline.Options{
-		ModelFactory: factory,
-		Plan:         plan,
-		Loss:         nn.SoftmaxCrossEntropy,
-		NewOptimizer: func() nn.Optimizer { return nn.NewSGD(0.1, 0.9, 0) },
-		Transport:    tr,
+		ModelFactory:    factory,
+		Plan:            plan,
+		Loss:            nn.SoftmaxCrossEntropy,
+		NewOptimizer:    func() nn.Optimizer { return nn.NewSGD(0.1, 0.9, 0) },
+		Transport:       tr,
+		CheckpointDir:   ckptDir,
+		CheckpointEvery: *ckptEvery,
+		MaxRecoveries:   *maxRecoveries,
+		WatchdogTimeout: *watchdog,
+		HeartbeatEvery:  *heartbeat,
+	}
+	if *chaosDrop > 0 || *chaosDelay > 0 || *chaosDup > 0 {
+		chaos := transport.NewChaos(tr, transport.ChaosConfig{
+			Seed:      *chaosSeed,
+			DropRate:  *chaosDrop,
+			DelayRate: *chaosDelay,
+			DupRate:   *chaosDup,
+			MaxDelay:  *chaosMaxDelay,
+		})
+		defer chaos.Close()
+		opts.Transport = chaos
+		fmt.Fprintf(os.Stderr, "worker %d chaos: seed %d, drop %g, delay %g (max %v), dup %g\n",
+			*id, *chaosSeed, *chaosDrop, *chaosDelay, *chaosMaxDelay, *chaosDup)
 	}
 	if *showMetrics {
 		opts.Metrics = metrics.NewRegistry()
@@ -97,8 +128,23 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "worker %d: stage %d of %d, listening on %s\n", *id, w.Stage(), nStages, tr.Addr())
 
-	for e := 1; e <= *epochs; e++ {
-		rep, err := w.Run(train, mbs)
+	if *resume {
+		if ckptDir == "" {
+			fatal(fmt.Errorf("-resume needs -checkpoint-dir"))
+		}
+		if err := w.Restore(ckptDir); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "worker %d: resumed from checkpoint at minibatch %d\n", *id, w.Cursor())
+	}
+
+	// Cursor-driven epoch loop: a resumed worker first finishes the
+	// partial epoch its checkpoint landed in, keeping all processes'
+	// epoch boundaries aligned.
+	total := *epochs * mbs
+	for w.Cursor() < total {
+		e := w.Cursor()/mbs + 1
+		rep, err := w.Run(train, mbs-w.Cursor()%mbs)
 		if err != nil {
 			fatal(err)
 		}
@@ -122,11 +168,11 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "worker %d: runtime trace written to %s\n", *id, *traceOut)
 	}
-	if *checkpoint != "" {
-		if err := w.Checkpoint(*checkpoint); err != nil {
+	if ckptDir != "" {
+		if err := w.Checkpoint(ckptDir); err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "worker %d: checkpoint written to %s\n", *id, *checkpoint)
+		fmt.Fprintf(os.Stderr, "worker %d: checkpoint written to %s\n", *id, ckptDir)
 	}
 }
 

@@ -86,9 +86,26 @@ func TestDistributedMultiProcessTraining(t *testing.T) {
 		t.Fatalf("distributed training did not learn: losses %v", losses)
 	}
 
-	// Coordination-free checkpointing: one file per stage.
+	// Coordination-free checkpointing: one generation directory holding
+	// one file per stage plus the shared manifest each process wrote.
+	entries, err := os.ReadDir(ckptDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gen string
+	for _, e := range entries {
+		if e.IsDir() && strings.HasPrefix(e.Name(), "gen-") {
+			gen = e.Name()
+		}
+	}
+	if gen == "" {
+		t.Fatalf("no checkpoint generation written in %s", ckptDir)
+	}
+	if _, err := os.Stat(filepath.Join(ckptDir, gen, "MANIFEST.json")); err != nil {
+		t.Fatalf("generation manifest missing: %v", err)
+	}
 	for s := 0; s < stages; s++ {
-		path := filepath.Join(ckptDir, fmt.Sprintf("stage%02d_replica00.ckpt", s))
+		path := filepath.Join(ckptDir, gen, fmt.Sprintf("stage%02d_replica00.ckpt", s))
 		if _, err := os.Stat(path); err != nil {
 			t.Fatalf("stage %d checkpoint missing: %v", s, err)
 		}

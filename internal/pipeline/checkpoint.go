@@ -2,9 +2,11 @@ package pipeline
 
 import (
 	"encoding/gob"
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 
 	"pipedream/internal/nn"
 	"pipedream/internal/tensor"
@@ -12,92 +14,377 @@ import (
 
 // checkpointFile is the serialized state of one worker's stage.
 type checkpointFile struct {
-	Stage   int
-	Replica int
-	Updates int
-	Params  []*tensor.Tensor
+	// Generation is the minibatch cursor of the generation this file
+	// belongs to; Restore rejects files whose Generation disagrees with
+	// their directory (a torn or hand-mixed checkpoint).
+	Generation int
+	Stage      int
+	Replica    int
+	Updates    int
+	Params     []*tensor.Tensor
 	// OptState carries the optimizer's per-parameter state (momentum,
 	// Adam moments) when the optimizer implements nn.Stateful, so resumed
 	// training continues exactly.
 	OptState [][]*tensor.Tensor
 }
 
-// Checkpoint writes each worker's current parameters to dir, one file per
-// stage replica — the paper's coordination-free per-stage checkpointing
-// (§4). Call between Train invocations (the pipeline must be idle).
+// checkpointManifest validates a generation: its content is derived only
+// from the plan and the cursor, so every process of a multi-process
+// deployment writes byte-identical manifests (coordination-free, §4).
+// Restore requires the manifest AND all stage files it implies; a
+// generation missing files is skipped (some stage hadn't finished
+// writing), while a present-but-inconsistent file fails loudly.
+type checkpointManifest struct {
+	// Generation repeats the cursor encoded in the directory name.
+	Generation int
+	// Cursor is the global minibatch count the generation's weights
+	// reflect — training resumes from here.
+	Cursor int
+	// Stages and Replicas describe the plan shape the checkpoint was
+	// written for (Replicas[s] = replica count of stage s).
+	Stages   int
+	Replicas []int
+}
+
+const manifestName = "MANIFEST.json"
+
+func genDirName(cursor int) string { return fmt.Sprintf("gen-%08d", cursor) }
+
+// Checkpoint writes each worker's current parameters to a new generation
+// under dir, one file per stage replica plus a validating manifest — the
+// paper's coordination-free per-stage checkpointing (§4). Call between
+// Train invocations (the pipeline must be idle). The generation is named
+// after the pipeline's minibatch cursor; Restore resumes from it.
 func (p *Pipeline) Checkpoint(dir string) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	return p.checkpointAt(dir, p.cursor)
+}
+
+// checkpointAt writes the generation for the given cursor. Every file is
+// written to a temp name and renamed into place (atomic on POSIX); the
+// manifest is written last, so a crash mid-write leaves a generation that
+// Restore recognizes as incomplete and skips.
+func (p *Pipeline) checkpointAt(dir string, cursor int) error {
+	gdir := filepath.Join(dir, genDirName(cursor))
+	if err := os.MkdirAll(gdir, 0o755); err != nil {
 		return fmt.Errorf("pipeline: checkpoint dir: %w", err)
 	}
 	for _, sw := range p.workers {
 		if sw == nil { // solo deployments hold only this process's worker
 			continue
 		}
-		path := filepath.Join(dir, fmt.Sprintf("stage%02d_replica%02d.ckpt", sw.stage, sw.replica))
-		f, err := os.Create(path)
-		if err != nil {
-			return fmt.Errorf("pipeline: checkpoint %s: %w", path, err)
-		}
 		cf := checkpointFile{
-			Stage:   sw.stage,
-			Replica: sw.replica,
-			Updates: sw.updates,
-			Params:  sw.model.Params(),
+			Generation: cursor,
+			Stage:      sw.stage,
+			Replica:    sw.replica,
+			Updates:    sw.updates,
+			Params:     sw.model.Params(),
 		}
 		if st, ok := sw.opt.(nn.Stateful); ok {
 			cf.OptState = st.StateSnapshot(sw.model.Params())
 		}
-		err = gob.NewEncoder(f).Encode(&cf)
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
-		if err != nil {
+		path := filepath.Join(gdir, stageFileName(sw.stage, sw.replica))
+		if err := atomicWrite(path, func(f *os.File) error {
+			return gob.NewEncoder(f).Encode(&cf)
+		}); err != nil {
 			return fmt.Errorf("pipeline: checkpoint %s: %w", path, err)
+		}
+	}
+	man := p.manifest(cursor)
+	mpath := filepath.Join(gdir, manifestName)
+	if err := atomicWrite(mpath, func(f *os.File) error {
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		return enc.Encode(&man)
+	}); err != nil {
+		return fmt.Errorf("pipeline: checkpoint %s: %w", mpath, err)
+	}
+	if p.opts.Metrics != nil {
+		p.opts.Metrics.Counter("pipeline.checkpoint_writes").Inc()
+	}
+	p.pruneGenerations(dir, 3)
+	return nil
+}
+
+func (p *Pipeline) manifest(cursor int) checkpointManifest {
+	man := checkpointManifest{
+		Generation: cursor,
+		Cursor:     cursor,
+		Stages:     len(p.opts.Plan.Stages),
+	}
+	for _, spec := range p.opts.Plan.Stages {
+		man.Replicas = append(man.Replicas, spec.Replicas)
+	}
+	return man
+}
+
+func stageFileName(stage, replica int) string {
+	return fmt.Sprintf("stage%02d_replica%02d.ckpt", stage, replica)
+}
+
+// atomicWrite writes via a temp file and renames it into place so readers
+// never observe a torn file.
+func atomicWrite(path string, write func(*os.File) error) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	err = write(tmp)
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// pruneGenerations keeps the newest `keep` generation directories and
+// deletes older ones (each a complete checkpoint, so only the recent
+// history is worth disk).
+func (p *Pipeline) pruneGenerations(dir string, keep int) {
+	gens, err := listGenerations(dir)
+	if err != nil || len(gens) <= keep {
+		return
+	}
+	for _, g := range gens[:len(gens)-keep] {
+		os.RemoveAll(filepath.Join(dir, genDirName(g)))
+	}
+}
+
+// listGenerations returns the generation cursors found under dir in
+// ascending order.
+func listGenerations(dir string) ([]int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var gens []int
+	for _, e := range entries {
+		var g int
+		if e.IsDir() {
+			if _, err := fmt.Sscanf(e.Name(), "gen-%d", &g); err == nil {
+				gens = append(gens, g)
+			}
+		}
+	}
+	sort.Ints(gens)
+	return gens, nil
+}
+
+// LatestCheckpoint returns the cursor of the newest complete checkpoint
+// generation under dir — the minibatch count training would resume from.
+// A generation is complete when its manifest exists and every stage file
+// the manifest implies is present. It returns an error when no complete
+// generation exists.
+func LatestCheckpoint(dir string) (int, error) {
+	gens, err := listGenerations(dir)
+	if err != nil {
+		return 0, fmt.Errorf("pipeline: checkpoint dir %s: %w", dir, err)
+	}
+	for i := len(gens) - 1; i >= 0; i-- {
+		man, err := readManifest(filepath.Join(dir, genDirName(gens[i])))
+		if err != nil {
+			continue
+		}
+		if generationComplete(filepath.Join(dir, genDirName(gens[i])), man) {
+			return man.Cursor, nil
+		}
+	}
+	return 0, fmt.Errorf("pipeline: no complete checkpoint generation in %s", dir)
+}
+
+func readManifest(gdir string) (*checkpointManifest, error) {
+	data, err := os.ReadFile(filepath.Join(gdir, manifestName))
+	if err != nil {
+		return nil, err
+	}
+	var man checkpointManifest
+	if err := json.Unmarshal(data, &man); err != nil {
+		return nil, fmt.Errorf("manifest: %w", err)
+	}
+	return &man, nil
+}
+
+// generationComplete reports whether every stage file the manifest
+// implies exists in gdir.
+func generationComplete(gdir string, man *checkpointManifest) bool {
+	for s := 0; s < man.Stages; s++ {
+		reps := 1
+		if s < len(man.Replicas) {
+			reps = man.Replicas[s]
+		}
+		for r := 0; r < reps; r++ {
+			if _, err := os.Stat(filepath.Join(gdir, stageFileName(s, r))); err != nil {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Restore loads parameters previously written by Checkpoint: the newest
+// complete generation is selected, validated against this pipeline's plan,
+// and every local worker's weights, optimizer state, and update counter
+// are restored; the pipeline's minibatch cursor rewinds to the
+// generation's. Incomplete generations (missing stage files) are skipped
+// in favour of older ones; a present-but-corrupt or plan-mismatched
+// generation fails loudly. Directories written by the pre-generation flat
+// layout are still accepted (without cursor information).
+func (p *Pipeline) Restore(dir string) error {
+	_, err := p.restoreLatest(dir)
+	return err
+}
+
+// restoreLatest restores from the newest complete generation and returns
+// its cursor.
+func (p *Pipeline) restoreLatest(dir string) (int, error) {
+	gens, err := listGenerations(dir)
+	if err != nil {
+		return 0, fmt.Errorf("pipeline: restore %s: %w", dir, err)
+	}
+	if len(gens) == 0 {
+		// Pre-generation layout: stage files at the directory root.
+		if err := p.restoreFlat(dir); err != nil {
+			return 0, err
+		}
+		return p.cursor, nil
+	}
+	var lastSkip error
+	for i := len(gens) - 1; i >= 0; i-- {
+		gdir := filepath.Join(dir, genDirName(gens[i]))
+		man, err := readManifest(gdir)
+		if err != nil {
+			if os.IsNotExist(err) {
+				lastSkip = fmt.Errorf("generation %d has no manifest", gens[i])
+				continue // crashed before the manifest: incomplete
+			}
+			return 0, fmt.Errorf("pipeline: restore %s: %w", gdir, err)
+		}
+		if man.Generation != gens[i] {
+			return 0, fmt.Errorf("pipeline: restore %s: manifest generation %d does not match directory",
+				gdir, man.Generation)
+		}
+		if err := p.validateManifest(man); err != nil {
+			return 0, fmt.Errorf("pipeline: restore %s: %w", gdir, err)
+		}
+		if !generationComplete(gdir, man) {
+			lastSkip = fmt.Errorf("generation %d is incomplete", gens[i])
+			continue
+		}
+		if err := p.restoreGeneration(gdir, man); err != nil {
+			return 0, err
+		}
+		p.cursor = man.Cursor
+		return man.Cursor, nil
+	}
+	return 0, fmt.Errorf("pipeline: no complete checkpoint generation in %s (%v)", dir, lastSkip)
+}
+
+// validateManifest checks the manifest against this pipeline's plan shape.
+func (p *Pipeline) validateManifest(man *checkpointManifest) error {
+	if man.Stages != len(p.opts.Plan.Stages) {
+		return fmt.Errorf("checkpoint has %d stages, plan has %d", man.Stages, len(p.opts.Plan.Stages))
+	}
+	for s, spec := range p.opts.Plan.Stages {
+		reps := 1
+		if s < len(man.Replicas) {
+			reps = man.Replicas[s]
+		}
+		if reps != spec.Replicas {
+			return fmt.Errorf("checkpoint stage %d has %d replicas, plan has %d", s, reps, spec.Replicas)
 		}
 	}
 	return nil
 }
 
-// Restore loads parameters previously written by Checkpoint. Restarting
-// from a checkpoint resumes every stage from its last saved version.
-func (p *Pipeline) Restore(dir string) error {
+// restoreGeneration loads this process's workers from one complete,
+// validated generation.
+func (p *Pipeline) restoreGeneration(gdir string, man *checkpointManifest) error {
 	for _, sw := range p.workers {
 		if sw == nil {
 			continue
 		}
-		path := filepath.Join(dir, fmt.Sprintf("stage%02d_replica%02d.ckpt", sw.stage, sw.replica))
-		f, err := os.Open(path)
+		path := filepath.Join(gdir, stageFileName(sw.stage, sw.replica))
+		cf, err := readStageFile(path)
 		if err != nil {
-			return fmt.Errorf("pipeline: restore %s: %w", path, err)
+			return err
 		}
-		var cf checkpointFile
-		err = gob.NewDecoder(f).Decode(&cf)
-		if cerr := f.Close(); err == nil {
-			err = cerr
+		if cf.Generation != man.Generation {
+			return fmt.Errorf("pipeline: restore %s: file generation %d in generation-%d directory (mixed checkpoint)",
+				path, cf.Generation, man.Generation)
 		}
+		if err := sw.restoreFrom(path, cf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readStageFile(path string) (*checkpointFile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: restore %s: %w", path, err)
+	}
+	var cf checkpointFile
+	err = gob.NewDecoder(f).Decode(&cf)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: restore %s: %w", path, err)
+	}
+	return &cf, nil
+}
+
+// restoreFrom applies one validated checkpoint file to this worker.
+func (sw *stageWorker) restoreFrom(path string, cf *checkpointFile) error {
+	if cf.Stage != sw.stage || cf.Replica != sw.replica {
+		return fmt.Errorf("pipeline: restore %s: checkpoint is for stage %d replica %d", path, cf.Stage, cf.Replica)
+	}
+	params := sw.model.Params()
+	if len(params) != len(cf.Params) {
+		return fmt.Errorf("pipeline: restore %s: %d params in checkpoint, model has %d", path, len(cf.Params), len(params))
+	}
+	for i, pt := range params {
+		if pt.Size() != cf.Params[i].Size() {
+			return fmt.Errorf("pipeline: restore %s: param %d has %d values, model has %d",
+				path, i, cf.Params[i].Size(), pt.Size())
+		}
+		pt.CopyFrom(cf.Params[i])
+	}
+	if st, ok := sw.opt.(nn.Stateful); ok && cf.OptState != nil {
+		if len(cf.OptState) != len(params) {
+			return fmt.Errorf("pipeline: restore %s: optimizer state for %d params, model has %d",
+				path, len(cf.OptState), len(params))
+		}
+		st.RestoreState(params, cf.OptState)
+	}
+	sw.updates = cf.Updates
+	if sw.mode == VerticalSync {
+		sw.versions = map[int][]*tensor.Tensor{sw.reflected(): snapshot(params)}
+	}
+	return nil
+}
+
+// restoreFlat loads the pre-generation layout (stage files at the
+// directory root, no manifest, no cursor).
+func (p *Pipeline) restoreFlat(dir string) error {
+	for _, sw := range p.workers {
+		if sw == nil {
+			continue
+		}
+		path := filepath.Join(dir, stageFileName(sw.stage, sw.replica))
+		cf, err := readStageFile(path)
 		if err != nil {
-			return fmt.Errorf("pipeline: restore %s: %w", path, err)
+			return err
 		}
-		if cf.Stage != sw.stage || cf.Replica != sw.replica {
-			return fmt.Errorf("pipeline: restore %s: checkpoint is for stage %d replica %d", path, cf.Stage, cf.Replica)
-		}
-		params := sw.model.Params()
-		if len(params) != len(cf.Params) {
-			return fmt.Errorf("pipeline: restore %s: %d params in checkpoint, model has %d", path, len(cf.Params), len(params))
-		}
-		for i, pt := range params {
-			pt.CopyFrom(cf.Params[i])
-		}
-		if st, ok := sw.opt.(nn.Stateful); ok && cf.OptState != nil {
-			if len(cf.OptState) != len(params) {
-				return fmt.Errorf("pipeline: restore %s: optimizer state for %d params, model has %d",
-					path, len(cf.OptState), len(params))
-			}
-			st.RestoreState(params, cf.OptState)
-		}
-		sw.updates = cf.Updates
-		if sw.mode == VerticalSync {
-			sw.versions = map[int][]*tensor.Tensor{sw.reflected(): snapshot(params)}
+		if err := sw.restoreFrom(path, cf); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -443,8 +443,9 @@ func TestCheckpointPreservesOptimizerState(t *testing.T) {
 	if err := p2.Restore(dir); err != nil {
 		t.Fatal(err)
 	}
-	// Advance the data cursor to where the failure happened.
-	if _, err := p2.Train(skipDataset{ds}, 15); err != nil {
+	// Restore rewinds p2's minibatch cursor to the checkpoint's (15), so
+	// Train continues with exactly the minibatches the failure interrupted.
+	if _, err := p2.Train(ds, 15); err != nil {
 		t.Fatal(err)
 	}
 	got := p2.CollectModel().Params()
@@ -455,9 +456,3 @@ func TestCheckpointPreservesOptimizerState(t *testing.T) {
 		}
 	}
 }
-
-// skipDataset shifts batch indices by 15 so a restored pipeline (whose
-// cursor restarts at 0) continues with the right data.
-type skipDataset struct{ data.Dataset }
-
-func (s skipDataset) Batch(i int) data.Batch { return s.Dataset.Batch(i + 15) }

@@ -99,18 +99,22 @@ func newWorkerMetrics(reg *metrics.Registry, oplog *metrics.OpLog, stage, replic
 	return wm
 }
 
-// beginRun resets the per-run fields at the top of a worker's run loop.
+// beginRun resets the per-run fields at the top of a Train (or solo Run)
+// call. A call may execute several chunk spans (checkpoint barriers,
+// recovery retries); beginSpan/endSpan bracket each one and accumulate.
 func (wm *workerMetrics) beginRun() {
 	*wm = workerMetrics{
 		oplog: wm.oplog, fwdHist: wm.fwdHist, bwdHist: wm.bwdHist,
 		syncHist: wm.syncHist, depthHist: wm.depthHist,
 		staleHist: wm.staleHist, stash: wm.stash,
 	}
-	wm.runStart = time.Now()
 }
 
-// endRun closes out the run's wall-clock span.
-func (wm *workerMetrics) endRun() { wm.wall = time.Since(wm.runStart) }
+// beginSpan marks the start of one chunk's run loop.
+func (wm *workerMetrics) beginSpan() { wm.runStart = time.Now() }
+
+// endSpan folds the chunk's wall-clock time into the run total.
+func (wm *workerMetrics) endSpan() { wm.wall += time.Since(wm.runStart) }
 
 // sampleQueues records the worker's combined queue depth at one
 // scheduling decision.
@@ -228,6 +232,11 @@ func (r *Report) StageSummary() string {
 			roundDur(s.FwdTime), roundDur(s.BwdTime), roundDur(s.SyncWait), roundDur(s.Idle),
 			100*s.BubbleFraction, s.MeanQueueDepth, s.PeakQueueDepth,
 			s.MeanStaleness, s.MaxStaleness, fmtBytes(s.PeakStashBytes))
+	}
+	f := r.Faults
+	if f.Recoveries > 0 || f.CheckpointWrites > 0 || f.TransportReconnects > 0 || f.TransportSendErrors > 0 {
+		fmt.Fprintf(&b, "faults: %d recoveries, %d checkpoint writes, %d transport reconnects, %d send errors\n",
+			f.Recoveries, f.CheckpointWrites, f.TransportReconnects, f.TransportSendErrors)
 	}
 	return b.String()
 }

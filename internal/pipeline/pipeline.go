@@ -118,6 +118,31 @@ type Options struct {
 	// simulator emits, directly comparable to it. Enabling it also
 	// populates Report.Stages.
 	OpLog *metrics.OpLog
+	// CheckpointDir, when non-empty, is where Train writes per-stage
+	// checkpoint generations (the paper's §4 coordination-free
+	// checkpointing) and where recovery restores from.
+	CheckpointDir string
+	// CheckpointEvery, when > 0, makes Train checkpoint every K
+	// minibatches at an epoch-consistent barrier (the pipeline drains
+	// between chunks). 0 disables periodic checkpoints; explicit
+	// Checkpoint calls still work.
+	CheckpointEvery int
+	// MaxRecoveries, when > 0 together with CheckpointDir, makes Train
+	// supervise failures: on a detected failure (stalled worker, dead
+	// peer, closed transport) it drains in-flight work, restores every
+	// stage from the last complete checkpoint generation, and resumes —
+	// up to this many times before the error surfaces to the caller.
+	MaxRecoveries int
+	// WatchdogTimeout, when > 0, bounds how long a worker may sit blocked
+	// with no progress (no completed op, no accepted message) before the
+	// failure detector trips with ErrWorkerStalled. 0 disables the
+	// watchdog (the worker blocks indefinitely, as the paper's fault-free
+	// runtime does).
+	WatchdogTimeout time.Duration
+	// HeartbeatEvery, when > 0, makes every worker probe its pipeline
+	// neighbours at this period; a dead peer then surfaces as
+	// ErrPeerDown at the sender instead of waiting for the watchdog.
+	HeartbeatEvery time.Duration
 }
 
 // instrumented reports whether any observability sink is configured.
@@ -140,6 +165,9 @@ type Report struct {
 	// and weight staleness. Nil unless Options.Metrics or Options.OpLog
 	// enabled instrumentation. Render with StageSummary.
 	Stages []StageStats
+	// Faults summarizes this call's failure-path activity: recoveries,
+	// checkpoint writes, and transport reconnect/send-error counts.
+	Faults FaultStats
 }
 
 // Throughput returns samples per second of wall time.
@@ -173,6 +201,9 @@ type Pipeline struct {
 	tr      transport.Transport
 	ownTr   bool
 	cursor  int
+	// lastStats is the transport's counter snapshot at the last fault
+	// publication, so per-call deltas can be reported.
+	lastStats transport.Stats
 }
 
 type lossEvent struct {
@@ -249,6 +280,10 @@ func (p *Pipeline) Close() error {
 // Depth returns the effective pipeline depth (NOAM unless overridden).
 func (p *Pipeline) Depth() int { return p.depth }
 
+// Cursor returns the global minibatch index the next Train call starts
+// from; Restore rewinds it to the restored checkpoint's cursor.
+func (p *Pipeline) Cursor() int { return p.cursor }
+
 // Plan returns the plan the pipeline executes.
 func (p *Pipeline) Plan() *partition.Plan { return p.opts.Plan }
 
@@ -277,35 +312,70 @@ func (p *Pipeline) Train(ds data.Dataset, minibatches int) (*Report, error) {
 	}
 	start := p.cursor
 	end := start + minibatches
-	p.cursor = end
-	results := make(chan lossEvent, minibatches)
-	for s, spec := range p.opts.Plan.Stages {
-		if spec.Replicas > 1 {
-			p.workers[p.assign.StageWorkers[s][0]].reducer.reset(start, minibatches)
-		}
+	every := minibatches
+	if p.opts.CheckpointDir != "" && p.opts.CheckpointEvery > 0 {
+		every = p.opts.CheckpointEvery
 	}
 	t0 := time.Now()
 	if p.opts.OpLog != nil {
 		p.opts.OpLog.SetOrigin(t0)
 	}
-	var wg sync.WaitGroup
-	for _, sw := range p.workers {
-		wg.Add(1)
-		go func(sw *stageWorker) {
-			defer wg.Done()
-			sw.run(ds, start, end, results)
-		}(sw)
+	p.registerFaultCounters()
+	if p.opts.instrumented() {
+		for _, sw := range p.workers {
+			sw.met.beginRun()
+		}
 	}
-	wg.Wait()
-	close(results)
+	losses := make([]float64, minibatches)
+	recoveries, ckptWrites := 0, 0
+	if p.autoRecover() {
+		// Seed an initial generation so the first failure has something to
+		// restore (a training run that fails before its first periodic
+		// checkpoint would otherwise be unrecoverable).
+		if _, err := LatestCheckpoint(p.opts.CheckpointDir); err != nil {
+			if err := p.checkpointAt(p.opts.CheckpointDir, start); err != nil {
+				return nil, err
+			}
+			ckptWrites++
+		}
+	}
+	cs := start
+	for cs < end {
+		ce := cs + every
+		if ce > end {
+			ce = end
+		}
+		if err := p.runChunk(ds, cs, ce, start, losses); err != nil {
+			if !p.autoRecover() || recoveries >= p.opts.MaxRecoveries {
+				return nil, err
+			}
+			recoveries++
+			restored, rerr := p.recoverFromCheckpoint()
+			if rerr != nil {
+				return nil, fmt.Errorf("pipeline: recovery after %v: %w", err, rerr)
+			}
+			if restored < start {
+				return nil, fmt.Errorf("pipeline: checkpoint generation %d predates this Train call (start %d) after %w",
+					restored, start, err)
+			}
+			cs = restored
+			continue
+		}
+		cs = ce
+		p.cursor = ce
+		if p.opts.CheckpointDir != "" && p.opts.CheckpointEvery > 0 {
+			if err := p.checkpointAt(p.opts.CheckpointDir, ce); err != nil {
+				return nil, err
+			}
+			ckptWrites++
+		}
+	}
+	p.cursor = end
 	rep := &Report{
-		Losses:         make([]float64, minibatches),
+		Losses:         losses,
 		WallTime:       time.Since(t0),
 		Samples:        minibatches * ds.Batch(start).X.Dim(0),
 		PeakStashBytes: make([]int64, len(p.workers)),
-	}
-	for ev := range results {
-		rep.Losses[ev.mb-start] = ev.loss
 	}
 	for w, sw := range p.workers {
 		rep.PeakStashBytes[w] = sw.peakStashBytes
@@ -316,7 +386,51 @@ func (p *Pipeline) Train(ds data.Dataset, minibatches int) (*Report, error) {
 		}
 		publishPoolCounters(p.opts.Metrics)
 	}
+	p.publishFaultStats(rep, recoveries, ckptWrites)
 	return rep, nil
+}
+
+// runChunk drives all workers through minibatches [cs, ce) and blocks
+// until the chunk drains — an epoch-consistent barrier at which every
+// stage's weights reflect exactly the same minibatches, so a checkpoint
+// taken here is globally consistent. Losses land in losses[mb-base].
+func (p *Pipeline) runChunk(ds data.Dataset, cs, ce, base int, losses []float64) error {
+	for s, spec := range p.opts.Plan.Stages {
+		if spec.Replicas > 1 {
+			p.workers[p.assign.StageWorkers[s][0]].reducer.reset(cs, ce-cs)
+		}
+	}
+	ab := newRunAbort(func() {
+		for s, spec := range p.opts.Plan.Stages {
+			if spec.Replicas > 1 {
+				p.workers[p.assign.StageWorkers[s][0]].reducer.abortAll()
+			}
+		}
+	})
+	results := make(chan lossEvent, ce-cs+8)
+	stopHB := make(chan struct{})
+	if p.opts.HeartbeatEvery > 0 {
+		for _, sw := range p.workers {
+			go sw.heartbeatLoop(p.opts.HeartbeatEvery, stopHB, ab)
+		}
+	}
+	var wg sync.WaitGroup
+	for _, sw := range p.workers {
+		wg.Add(1)
+		go func(sw *stageWorker) {
+			defer wg.Done()
+			sw.run(ds, cs, ce, results, ab)
+		}(sw)
+	}
+	wg.Wait()
+	close(stopHB)
+	close(results)
+	for ev := range results {
+		if i := ev.mb - base; i >= 0 && i < len(losses) {
+			losses[i] = ev.loss
+		}
+	}
+	return ab.error()
 }
 
 // StageModel returns the live model slice executed by the given stage
@@ -383,8 +497,17 @@ type stageWorker struct {
 	// keep routing pipeline traffic while it waits for sibling replicas).
 	fwdQ, bwdQ []transport.Message
 	// gradExch buffers sibling replicas' gradient contributions by
-	// all-reduce round.
-	gradExch map[int][]*tensor.Tensor
+	// all-reduce round, keyed by sender replica so duplicate deliveries
+	// (chaos, retransmits) collapse instead of double-counting.
+	gradExch map[int]map[int]*tensor.Tensor
+	// seenFwd marks minibatches whose activation was already accepted, so
+	// duplicate deliveries are dropped instead of running twice.
+	seenFwd map[int]bool
+	// dupDrops counts duplicate messages discarded by dedup.
+	dupDrops int
+	// lastProgress is the watchdog baseline: the time of the last
+	// completed op or accepted message. Heartbeats do not advance it.
+	lastProgress time.Time
 
 	results    chan<- lossEvent
 	trainStart int
@@ -395,18 +518,51 @@ func (sw *stageWorker) replicas() int { return len(sw.p.assign.StageWorkers[sw.s
 
 func (sw *stageWorker) isLast() bool { return sw.stage == len(sw.p.assign.StageWorkers)-1 }
 
-// enqueue routes an incoming message to the right queue.
+// enqueue routes an incoming message to the right queue, dropping
+// duplicates (a transport retransmit after reconnect, or an injected
+// chaos duplicate, must not run a minibatch twice).
 func (sw *stageWorker) enqueue(m transport.Message) {
 	switch m.Kind {
 	case transport.Activation:
+		if sw.seenFwd[m.Minibatch] {
+			sw.dupDrops++
+			return
+		}
+		if sw.seenFwd == nil {
+			sw.seenFwd = make(map[int]bool)
+		}
+		sw.seenFwd[m.Minibatch] = true
 		sw.fwdQ = append(sw.fwdQ, m)
 	case transport.Gradient:
+		// A gradient is valid only while its forward's stash entry exists;
+		// a second delivery after the backward ran has no stash and drops.
+		if _, ok := sw.stash[m.Minibatch]; !ok {
+			sw.dupDrops++
+			return
+		}
+		for _, q := range sw.bwdQ {
+			if q.Minibatch == m.Minibatch {
+				sw.dupDrops++
+				return
+			}
+		}
 		sw.bwdQ = append(sw.bwdQ, m)
 	case transport.GradExchange:
 		if sw.gradExch == nil {
-			sw.gradExch = make(map[int][]*tensor.Tensor)
+			sw.gradExch = make(map[int]map[int]*tensor.Tensor)
 		}
-		sw.gradExch[m.Minibatch] = append(sw.gradExch[m.Minibatch], m.Tensor)
+		round := sw.gradExch[m.Minibatch]
+		if round == nil {
+			round = make(map[int]*tensor.Tensor)
+			sw.gradExch[m.Minibatch] = round
+		}
+		if _, dup := round[m.Version]; dup {
+			sw.dupDrops++
+			return
+		}
+		round[m.Version] = m.Tensor
+	case transport.Heartbeat:
+		// Liveness only; never queued.
 	}
 }
 
@@ -427,11 +583,18 @@ func (sw *stageWorker) drainInbox() {
 	}
 }
 
-// run is the 1F1B worker loop for one Train call.
-func (sw *stageWorker) run(ds data.Dataset, start, end int, results chan<- lossEvent) {
+// run is the 1F1B worker loop for one chunk of a Train call. It returns
+// a non-nil error (after flagging the shared abort) when the transport
+// fails, the watchdog trips, or another worker aborted the chunk.
+func (sw *stageWorker) run(ds data.Dataset, start, end int, results chan<- lossEvent, ab *runAbort) error {
 	sw.results = results
 	sw.trainStart = start
 	sw.trainEnd = end
+	for mb := range sw.seenFwd {
+		if mb < start {
+			delete(sw.seenFwd, mb)
+		}
+	}
 	expected := 0
 	for mb := start; mb < end; mb++ {
 		if schedule.ReplicaFor(mb, sw.replicas()) == sw.replica {
@@ -444,13 +607,16 @@ func (sw *stageWorker) run(ds data.Dataset, start, end int, results chan<- lossE
 	for nextOwn < end && schedule.ReplicaFor(nextOwn, sw.replicas()) != sw.replica {
 		nextOwn++
 	}
-	inbox := sw.p.tr.Inbox(sw.id)
+	sw.lastProgress = time.Now()
 	if sw.met != nil {
-		sw.met.beginRun()
-		defer sw.met.endRun()
+		sw.met.beginSpan()
+		defer sw.met.endSpan()
 	}
 
 	for done < expected {
+		if ab.failed() {
+			return ab.error()
+		}
 		sw.drainInbox()
 		if sw.met != nil {
 			sw.met.sampleQueues(len(sw.fwdQ) + len(sw.bwdQ))
@@ -460,8 +626,15 @@ func (sw *stageWorker) run(ds data.Dataset, start, end int, results chan<- lossE
 			// Backward priority: the "1B" half of 1F1B.
 			m := sw.bwdQ[0]
 			sw.bwdQ = sw.bwdQ[1:]
-			sw.backward(m)
+			ran, err := sw.backward(m, ab)
+			if err != nil {
+				return err
+			}
+			if !ran {
+				continue // duplicate delivery, dropped
+			}
 			done++
+			sw.lastProgress = time.Now()
 			if sw.stage == 0 {
 				inFlight--
 			}
@@ -473,39 +646,42 @@ func (sw *stageWorker) run(ds data.Dataset, start, end int, results chan<- lossE
 			nextOwn += sw.replicas()
 			inFlight++
 			batch := ds.Batch(mb)
-			if b, ok := sw.forward(transport.Message{
+			b, ok, err := sw.forward(transport.Message{
 				Kind: transport.Activation, Minibatch: mb,
 				Version: sw.reflected(), Tensor: batch.X, Labels: batch.Labels,
-			}); ok {
+			}, ab)
+			if err != nil {
+				return err
+			}
+			if ok {
 				sw.bwdQ = append(sw.bwdQ, b)
 			}
+			sw.lastProgress = time.Now()
 		case sw.runnableForward(end):
 			m := sw.takeForward(end)
-			if b, ok := sw.forward(m); ok {
+			b, ok, err := sw.forward(m, ab)
+			if err != nil {
+				return err
+			}
+			if ok {
 				sw.bwdQ = append(sw.bwdQ, b)
 			}
+			sw.lastProgress = time.Now()
 		default:
-			// Nothing runnable: block for the next message. This wait is
-			// the worker's directly observed pipeline bubble.
-			var idle0 time.Time
-			if sw.met != nil {
-				idle0 = time.Now()
+			// Nothing runnable: block for the next message (the worker's
+			// directly observed pipeline bubble), under the watchdog.
+			if err := sw.waitMsg(ab, true); err != nil {
+				return err
 			}
-			m, ok := <-inbox
-			if sw.met != nil {
-				sw.met.idleTime += time.Since(idle0)
-			}
-			if !ok {
-				return
-			}
-			sw.enqueue(m)
 		}
 	}
+	return nil
 }
 
 // forward runs the stage's forward pass for one minibatch. At the output
-// stage it computes the loss and returns the local backward message.
-func (sw *stageWorker) forward(m transport.Message) (transport.Message, bool) {
+// stage it computes the loss and returns the local backward message. A
+// transport failure on the downstream send aborts the run.
+func (sw *stageWorker) forward(m transport.Message, ab *runAbort) (transport.Message, bool, error) {
 	var op0 time.Time
 	if sw.met != nil {
 		op0 = time.Now()
@@ -552,25 +728,33 @@ func (sw *stageWorker) forward(m transport.Message) (transport.Message, bool) {
 		return transport.Message{
 			Kind: transport.Gradient, Minibatch: m.Minibatch,
 			Version: m.Version, Tensor: grad,
-		}, true
+		}, true, nil
 	}
 	next := sw.stage + 1
 	target := sw.p.assign.StageWorkers[next][schedule.ReplicaFor(m.Minibatch, len(sw.p.assign.StageWorkers[next]))]
-	sw.p.tr.Send(target, transport.Message{
+	if err := sw.p.tr.Send(target, transport.Message{
 		Kind: transport.Activation, Minibatch: m.Minibatch,
 		Version: m.Version, Tensor: y, Labels: m.Labels,
-	})
-	return transport.Message{}, false
+	}); err != nil {
+		err = fmt.Errorf("pipeline: worker %d forward mb %d: %w", sw.id, m.Minibatch, err)
+		ab.fail(err)
+		return transport.Message{}, false, err
+	}
+	return transport.Message{}, false, nil
 }
 
 // backward runs the stage's backward pass for one minibatch, synchronizes
 // gradients across replicas, and applies the update to the latest weights
 // (PipeDream's semantics: gradients are computed with stashed weights but
-// applied to the most recent version).
-func (sw *stageWorker) backward(m transport.Message) {
+// applied to the most recent version). ran=false means the message was a
+// duplicate delivery (no stash entry) and was dropped.
+func (sw *stageWorker) backward(m transport.Message, ab *runAbort) (ran bool, err error) {
 	entry, ok := sw.stash[m.Minibatch]
 	if !ok {
-		panic(fmt.Sprintf("pipeline: worker %d backward for unknown minibatch %d", sw.id, m.Minibatch))
+		// The forward's stash is deleted when its backward runs; a second
+		// gradient for the same minibatch is a retransmit or chaos dup.
+		sw.dupDrops++
+		return false, nil
 	}
 	if sw.met != nil {
 		op0 := time.Now()
@@ -615,9 +799,13 @@ func (sw *stageWorker) backward(m transport.Message) {
 			s0 = time.Now()
 		}
 		if sw.reducer != nil {
-			sw.reducer.reduce(m.Minibatch, grads)
+			if !sw.reducer.reduce(m.Minibatch, grads) {
+				return false, ab.error() // chunk aborted mid-reduce
+			}
 		} else {
-			sw.exchangeGradients(m.Minibatch, grads)
+			if err := sw.exchangeGradients(m.Minibatch, grads, ab); err != nil {
+				return false, err
+			}
 		}
 		if sw.met != nil {
 			sw.syncStart = s0
@@ -633,11 +821,16 @@ func (sw *stageWorker) backward(m transport.Message) {
 	if sw.stage > 0 {
 		prev := sw.stage - 1
 		target := sw.p.assign.StageWorkers[prev][schedule.ReplicaFor(m.Minibatch, len(sw.p.assign.StageWorkers[prev]))]
-		sw.p.tr.Send(target, transport.Message{
+		if err := sw.p.tr.Send(target, transport.Message{
 			Kind: transport.Gradient, Minibatch: m.Minibatch,
 			Version: entry.version, Tensor: gradIn,
-		})
+		}); err != nil {
+			err = fmt.Errorf("pipeline: worker %d backward mb %d: %w", sw.id, m.Minibatch, err)
+			ab.fail(err)
+			return false, err
+		}
 	}
+	return true, nil
 }
 
 // applyUpdate steps the optimizer, honouring gradient accumulation: with
@@ -720,8 +913,9 @@ func (sw *stageWorker) takeForward(end int) transport.Message {
 // exchangeGradients is the distributed all_reduce for replicated stages:
 // every replica sends its flattened gradients for the round to each
 // sibling and waits (while continuing to route pipeline traffic) until
-// all participants' contributions arrive, then averages in place.
-func (sw *stageWorker) exchangeGradients(mb int, grads []*tensor.Tensor) {
+// all participants' contributions arrive, then averages in place. A dead
+// sibling surfaces as a send error or a watchdog trip, not a hang.
+func (sw *stageWorker) exchangeGradients(mb int, grads []*tensor.Tensor, ab *runAbort) error {
 	replicas := sw.replicas()
 	round := (mb - sw.trainStart) / replicas
 	// Participants of the final partial round.
@@ -730,7 +924,7 @@ func (sw *stageWorker) exchangeGradients(mb int, grads []*tensor.Tensor) {
 		participants = replicas
 	}
 	if participants <= 1 {
-		return
+		return nil
 	}
 	flat := transport.FlattenTensors(grads)
 	siblings := sw.p.assign.StageWorkers[sw.stage]
@@ -743,20 +937,21 @@ func (sw *stageWorker) exchangeGradients(mb int, grads []*tensor.Tensor) {
 		if sw.trainStart+round*replicas+peerReplica >= sw.trainEnd {
 			continue
 		}
-		sw.p.tr.Send(peer, transport.Message{
+		if err := sw.p.tr.Send(peer, transport.Message{
 			Kind: transport.GradExchange, Minibatch: round,
 			Version: sw.replica, Tensor: flat,
-		})
+		}); err != nil {
+			err = fmt.Errorf("pipeline: worker %d gradient exchange round %d: %w", sw.id, round, err)
+			ab.fail(err)
+			return err
+		}
 	}
 	// Wait for the other participants, routing unrelated messages into
 	// the normal queues so the pipeline keeps flowing.
-	inbox := sw.p.tr.Inbox(sw.id)
 	for sw.gradExch == nil || len(sw.gradExch[round]) < participants-1 {
-		m, ok := <-inbox
-		if !ok {
-			panic(fmt.Sprintf("pipeline: worker %d transport closed during gradient exchange", sw.id))
+		if err := sw.waitMsg(ab, false); err != nil {
+			return err
 		}
-		sw.enqueue(m)
 	}
 	for _, contrib := range sw.gradExch[round] {
 		transport.UnflattenAdd(grads, contrib)
@@ -766,6 +961,7 @@ func (sw *stageWorker) exchangeGradients(mb int, grads []*tensor.Tensor) {
 	for _, g := range grads {
 		g.Scale(inv)
 	}
+	return nil
 }
 
 // pruneVersions drops weight versions no in-flight or in-transit minibatch
@@ -833,6 +1029,7 @@ type allReducer struct {
 	replicas int
 	start    int
 	total    int
+	aborted  bool
 	rounds   map[int]*reduceRound
 }
 
@@ -850,7 +1047,7 @@ func newAllReducer(replicas int) *allReducer {
 	return a
 }
 
-// reset prepares the reducer for a Train call covering `total` minibatches
+// reset prepares the reducer for a run covering `total` minibatches
 // starting at `start`.
 func (a *allReducer) reset(start, total int) {
 	a.mu.Lock()
@@ -862,11 +1059,33 @@ func (a *allReducer) reset(start, total int) {
 	a.total = total
 }
 
+// abortAll wakes every replica blocked in reduce; their reduce calls
+// return false so they can observe the run's abort error.
+func (a *allReducer) abortAll() {
+	a.mu.Lock()
+	a.aborted = true
+	a.mu.Unlock()
+	a.cond.Broadcast()
+}
+
+// clear discards incomplete rounds and the abort flag — the recovery
+// reset between a failed chunk and its retry.
+func (a *allReducer) clear() {
+	a.mu.Lock()
+	a.rounds = make(map[int]*reduceRound)
+	a.aborted = false
+	a.mu.Unlock()
+}
+
 // reduce contributes grads for minibatch mb and blocks until all replicas
 // of the block have arrived, then overwrites grads with the block average.
-func (a *allReducer) reduce(mb int, grads []*tensor.Tensor) {
+// It returns false if the run aborted while waiting (grads untouched).
+func (a *allReducer) reduce(mb int, grads []*tensor.Tensor) bool {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	if a.aborted {
+		return false
+	}
 	k := (mb - a.start) / a.replicas
 	r, ok := a.rounds[k]
 	if !ok {
@@ -894,8 +1113,11 @@ func (a *allReducer) reduce(mb int, grads []*tensor.Tensor) {
 		r.done = true
 		a.cond.Broadcast()
 	}
-	for !r.done {
+	for !r.done && !a.aborted {
 		a.cond.Wait()
+	}
+	if !r.done {
+		return false
 	}
 	for i, g := range grads {
 		g.CopyFrom(r.sum[i])
@@ -904,4 +1126,5 @@ func (a *allReducer) reduce(mb int, grads []*tensor.Tensor) {
 	if r.picked == r.expected {
 		delete(a.rounds, k)
 	}
+	return true
 }

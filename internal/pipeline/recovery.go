@@ -1,0 +1,273 @@
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"pipedream/internal/transport"
+)
+
+// ErrWorkerStalled reports that a stage worker made no progress for longer
+// than Options.WatchdogTimeout — the pipeline's failure detector tripped
+// (a peer died, a message was lost, or the pipeline wedged). Match with
+// errors.Is; when recovery is enabled the pipeline handles it internally
+// and it only escapes after MaxRecoveries attempts.
+var ErrWorkerStalled = errors.New("pipeline: worker stalled")
+
+// FaultStats summarizes the failure-path activity of one Train (or
+// SoloWorker.Run) call: how often the runtime recovered from a detected
+// failure, how many mid-training checkpoints it wrote, and the transport's
+// reconnect/send-error counts (zero unless the transport reports stats).
+type FaultStats struct {
+	// Recoveries counts supervised restore-and-resume cycles.
+	Recoveries int
+	// CheckpointWrites counts checkpoint generations written.
+	CheckpointWrites int
+	// TransportReconnects and TransportSendErrors mirror the transport's
+	// cumulative counters for this call's duration.
+	TransportReconnects int64
+	TransportSendErrors int64
+}
+
+// runAbort coordinates failure propagation across the workers of one
+// chunk: the first failure wins, every blocked worker is woken, and the
+// error is collected after the WaitGroup drains.
+type runAbort struct {
+	ch     chan struct{}
+	once   sync.Once
+	mu     sync.Mutex
+	err    error
+	onFail func()
+}
+
+func newRunAbort(onFail func()) *runAbort {
+	return &runAbort{ch: make(chan struct{}), onFail: onFail}
+}
+
+// fail records the first error, wakes workers blocked in reducers, and
+// closes the abort channel so workers blocked on inboxes see it.
+func (a *runAbort) fail(err error) {
+	a.once.Do(func() {
+		a.mu.Lock()
+		a.err = err
+		a.mu.Unlock()
+		if a.onFail != nil {
+			a.onFail()
+		}
+		close(a.ch)
+	})
+}
+
+// failed reports (non-blocking) whether any worker has failed.
+func (a *runAbort) failed() bool {
+	select {
+	case <-a.ch:
+		return true
+	default:
+		return false
+	}
+}
+
+func (a *runAbort) error() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.err
+}
+
+// waitMsg blocks until one non-heartbeat message is enqueued, the run
+// aborts, or the watchdog trips. The watchdog deadline derives from the
+// worker's last useful progress (completed op or accepted message) —
+// heartbeats deliberately do NOT reset it, so a pipeline that is merely
+// alive but not advancing still trips the detector.
+func (sw *stageWorker) waitMsg(ab *runAbort, countIdle bool) error {
+	inbox := sw.p.tr.Inbox(sw.id)
+	watchdog := sw.p.opts.WatchdogTimeout
+	var idle0 time.Time
+	if countIdle && sw.met != nil {
+		idle0 = time.Now()
+		defer func() { sw.met.idleTime += time.Since(idle0) }()
+	}
+	for {
+		var timeout <-chan time.Time
+		var timer *time.Timer
+		if watchdog > 0 {
+			remain := time.Until(sw.lastProgress.Add(watchdog))
+			if remain <= 0 {
+				err := fmt.Errorf("pipeline: worker %d no progress for %v: %w", sw.id, watchdog, ErrWorkerStalled)
+				ab.fail(err)
+				return err
+			}
+			timer = time.NewTimer(remain)
+			timeout = timer.C
+		}
+		select {
+		case m, ok := <-inbox:
+			if timer != nil {
+				timer.Stop()
+			}
+			if !ok {
+				err := fmt.Errorf("pipeline: worker %d inbox: %w", sw.id, transport.ErrClosed)
+				ab.fail(err)
+				return err
+			}
+			if m.Kind == transport.Heartbeat {
+				continue // liveness only; not progress
+			}
+			sw.lastProgress = time.Now()
+			sw.enqueue(m)
+			return nil
+		case <-ab.ch:
+			if timer != nil {
+				timer.Stop()
+			}
+			return ab.error()
+		case <-timeout:
+			err := fmt.Errorf("pipeline: worker %d no progress for %v: %w", sw.id, watchdog, ErrWorkerStalled)
+			ab.fail(err)
+			return err
+		}
+	}
+}
+
+// heartbeatLoop periodically probes this worker's pipeline neighbours
+// (adjacent stages and sibling replicas) with Heartbeat messages. The
+// probe's value is at the SENDER: a dead peer surfaces as ErrPeerDown on
+// the send, failing the run immediately instead of waiting for the
+// receiver-side watchdog.
+func (sw *stageWorker) heartbeatLoop(every time.Duration, stop <-chan struct{}, ab *runAbort) {
+	targets := sw.neighbours()
+	if len(targets) == 0 {
+		return
+	}
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ab.ch:
+			return
+		case <-ticker.C:
+			for _, t := range targets {
+				if err := sw.p.tr.Send(t, transport.Message{Kind: transport.Heartbeat, Minibatch: -1}); err != nil {
+					if errors.Is(err, transport.ErrPeerDown) {
+						ab.fail(fmt.Errorf("pipeline: worker %d heartbeat to %d: %w", sw.id, t, err))
+					}
+					return
+				}
+			}
+		}
+	}
+}
+
+// neighbours lists the workers this one exchanges traffic with: all
+// replicas of the adjacent stages plus its own stage's siblings.
+func (sw *stageWorker) neighbours() []int {
+	var out []int
+	stages := sw.p.assign.StageWorkers
+	if sw.stage > 0 {
+		out = append(out, stages[sw.stage-1]...)
+	}
+	if sw.stage < len(stages)-1 {
+		out = append(out, stages[sw.stage+1]...)
+	}
+	for _, w := range stages[sw.stage] {
+		if w != sw.id {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// resetTransient clears one worker's in-flight state — queues, stashes,
+// dedup sets, accumulated gradients — so a restore starts from a clean
+// slate. Inbox contents are drained and discarded (they reference
+// pre-failure weight versions).
+func (sw *stageWorker) resetTransient() {
+	inbox := sw.p.tr.Inbox(sw.id)
+drain:
+	for {
+		select {
+		case _, ok := <-inbox:
+			if !ok {
+				break drain
+			}
+		default:
+			break drain
+		}
+	}
+	sw.fwdQ = nil
+	sw.bwdQ = nil
+	sw.stash = make(map[int]stashEntry)
+	sw.seenFwd = nil
+	sw.gradExch = nil
+	sw.accumGrads = nil
+	sw.accumCount = 0
+	sw.stashBytes = 0
+	sw.syncDur = 0
+}
+
+// autoRecover reports whether this pipeline supervises failures itself
+// (restore + resume) instead of surfacing them to the caller.
+func (p *Pipeline) autoRecover() bool {
+	return p.opts.CheckpointDir != "" && p.opts.MaxRecoveries > 0
+}
+
+// recoverFromCheckpoint drains all transient state and restores every
+// local worker from the latest complete checkpoint generation, returning
+// the minibatch cursor to resume from.
+func (p *Pipeline) recoverFromCheckpoint() (int, error) {
+	for _, sw := range p.workers {
+		if sw == nil {
+			continue
+		}
+		sw.resetTransient()
+	}
+	for _, sw := range p.workers {
+		if sw != nil && sw.reducer != nil {
+			sw.reducer.clear()
+		}
+	}
+	cursor, err := p.restoreLatest(p.opts.CheckpointDir)
+	if err != nil {
+		return 0, err
+	}
+	if p.opts.Metrics != nil {
+		p.opts.Metrics.Counter("pipeline.recoveries").Inc()
+	}
+	return cursor, nil
+}
+
+// publishFaultStats folds this call's failure-path activity into the
+// report and, when a registry is attached, the shared counters. Transport
+// counters are cumulative per transport, so only the delta since the last
+// publication is added.
+func (p *Pipeline) publishFaultStats(rep *Report, recoveries, ckptWrites int) {
+	rep.Faults.Recoveries = recoveries
+	rep.Faults.CheckpointWrites = ckptWrites
+	if sr, ok := p.tr.(transport.StatsReporter); ok {
+		cur := sr.Stats()
+		delta := cur.Sub(p.lastStats)
+		p.lastStats = cur
+		rep.Faults.TransportReconnects = delta.Reconnects
+		rep.Faults.TransportSendErrors = delta.SendErrors
+		if p.opts.Metrics != nil {
+			p.opts.Metrics.Counter("transport.reconnects").Add(delta.Reconnects)
+			p.opts.Metrics.Counter("transport.send_errors").Add(delta.SendErrors)
+		}
+	}
+}
+
+// registerFaultCounters pre-registers the failure counters so a metrics
+// snapshot shows them (at zero) even before any fault occurs.
+func (p *Pipeline) registerFaultCounters() {
+	if p.opts.Metrics == nil {
+		return
+	}
+	p.opts.Metrics.Counter("pipeline.recoveries")
+	p.opts.Metrics.Counter("pipeline.checkpoint_writes")
+	p.opts.Metrics.Counter("transport.reconnects")
+	p.opts.Metrics.Counter("transport.send_errors")
+}

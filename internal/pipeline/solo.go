@@ -77,49 +77,139 @@ func (s *SoloWorker) IsOutputStage() bool { return s.p.workers[s.id].isLast() }
 // StageModel returns this worker's live model slice.
 func (s *SoloWorker) StageModel() *nn.Sequential { return s.p.workers[s.id].model }
 
+// Cursor returns the global minibatch count this worker has processed
+// (advanced by Run, rewound by Restore) — the resume point after a
+// restart.
+func (s *SoloWorker) Cursor() int { return s.cursor }
+
 // Run processes the next `minibatches` global minibatches: this worker
 // performs its stage's forward and backward work for each and returns
 // when its share is complete. The output-stage worker's report carries
 // the per-minibatch losses; other stages return zero losses. Every
 // process in the deployment must call Run with the same minibatch count.
+//
+// With CheckpointDir and CheckpointEvery set, the worker writes its stage
+// file (and the shared manifest) every K minibatches; with MaxRecoveries
+// additionally set, a detected failure — a dead peer, a stalled pipeline
+// (WatchdogTimeout) — drains in-flight state, restores from the last
+// complete generation, and resumes.
 func (s *SoloWorker) Run(ds data.Dataset, minibatches int) (*Report, error) {
 	if minibatches <= 0 {
 		return nil, fmt.Errorf("pipeline: minibatches = %d", minibatches)
 	}
+	sw := s.p.workers[s.id]
 	start := s.cursor
 	end := start + minibatches
-	s.cursor = end
-	results := make(chan lossEvent, minibatches)
+	every := minibatches
+	if s.p.opts.CheckpointDir != "" && s.p.opts.CheckpointEvery > 0 {
+		every = s.p.opts.CheckpointEvery
+	}
 	t0 := time.Now()
 	if s.p.opts.OpLog != nil {
 		s.p.opts.OpLog.SetOrigin(t0)
 	}
-	s.p.workers[s.id].run(ds, start, end, results)
-	close(results)
+	s.p.registerFaultCounters()
+	if s.p.opts.instrumented() {
+		sw.met.beginRun()
+	}
+	losses := make([]float64, minibatches)
+	recoveries, ckptWrites := 0, 0
+	if s.p.autoRecover() {
+		if _, err := LatestCheckpoint(s.p.opts.CheckpointDir); err != nil {
+			s.p.cursor = start
+			if err := s.p.checkpointAt(s.p.opts.CheckpointDir, start); err != nil {
+				return nil, err
+			}
+			ckptWrites++
+		}
+	}
+	cs := start
+	for cs < end {
+		ce := cs + every
+		if ce > end {
+			ce = end
+		}
+		if err := s.runChunk(ds, cs, ce, start, losses); err != nil {
+			if !s.p.autoRecover() || recoveries >= s.p.opts.MaxRecoveries {
+				return nil, err
+			}
+			recoveries++
+			restored, rerr := s.p.recoverFromCheckpoint()
+			if rerr != nil {
+				return nil, fmt.Errorf("pipeline: recovery after %v: %w", err, rerr)
+			}
+			cs = restored
+			continue
+		}
+		cs = ce
+		s.cursor = ce
+		s.p.cursor = ce
+		if s.p.opts.CheckpointDir != "" && s.p.opts.CheckpointEvery > 0 {
+			if err := s.p.checkpointAt(s.p.opts.CheckpointDir, ce); err != nil {
+				return nil, err
+			}
+			ckptWrites++
+		}
+	}
+	s.cursor = end
+	s.p.cursor = end
 	rep := &Report{
-		Losses:         make([]float64, minibatches),
+		Losses:         losses,
 		WallTime:       time.Since(t0),
 		Samples:        minibatches * ds.Batch(start).X.Dim(0),
-		PeakStashBytes: []int64{s.p.workers[s.id].peakStashBytes},
-	}
-	for ev := range results {
-		rep.Losses[ev.mb-start] = ev.loss
+		PeakStashBytes: []int64{sw.peakStashBytes},
 	}
 	if s.p.opts.instrumented() {
-		sw := s.p.workers[s.id]
 		rep.Stages = []StageStats{sw.met.stats(sw)}
 		publishPoolCounters(s.p.opts.Metrics)
 	}
+	s.p.publishFaultStats(rep, recoveries, ckptWrites)
 	return rep, nil
 }
 
-// Checkpoint writes this worker's stage parameters (same format as
-// Pipeline.Checkpoint; each process writes only its own stage file, which
-// is exactly the paper's coordination-free checkpointing).
-func (s *SoloWorker) Checkpoint(dir string) error { return s.p.Checkpoint(dir) }
+// runChunk drives this worker through its share of minibatches [cs, ce).
+func (s *SoloWorker) runChunk(ds data.Dataset, cs, ce, base int, losses []float64) error {
+	sw := s.p.workers[s.id]
+	ab := newRunAbort(nil)
+	results := make(chan lossEvent, ce-cs+8)
+	stopHB := make(chan struct{})
+	if s.p.opts.HeartbeatEvery > 0 {
+		go sw.heartbeatLoop(s.p.opts.HeartbeatEvery, stopHB, ab)
+	}
+	err := sw.run(ds, cs, ce, results, ab)
+	close(stopHB)
+	close(results)
+	for ev := range results {
+		if i := ev.mb - base; i >= 0 && i < len(losses) {
+			losses[i] = ev.loss
+		}
+	}
+	if err != nil {
+		return err
+	}
+	return ab.error()
+}
 
-// Restore loads this worker's stage parameters.
-func (s *SoloWorker) Restore(dir string) error { return s.p.Restore(dir) }
+// Checkpoint writes this worker's stage file and the generation manifest
+// (same layout as Pipeline.Checkpoint; each process writes only its own
+// stage file, which is exactly the paper's coordination-free
+// checkpointing — the manifest's content is plan-derived, so every
+// process writes it identically).
+func (s *SoloWorker) Checkpoint(dir string) error {
+	s.p.cursor = s.cursor
+	return s.p.Checkpoint(dir)
+}
+
+// Restore loads this worker's stage parameters from the newest complete
+// generation and rewinds the worker's cursor to it, so the next Run
+// resumes from the checkpointed minibatch.
+func (s *SoloWorker) Restore(dir string) error {
+	if err := s.p.Restore(dir); err != nil {
+		return err
+	}
+	s.cursor = s.p.cursor
+	return nil
+}
 
 // Close releases nothing (the transport is owned by the caller) but is
 // provided for symmetry.

@@ -1,0 +1,134 @@
+package transport
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestChannelsSendAfterCloseReturnsErrClosed(t *testing.T) {
+	c := NewChannels(2, 1)
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Send(1, sampleMessage(0)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("send after close: %v, want ErrClosed", err)
+	}
+}
+
+func TestTCPReconnectsAfterBrokenConnection(t *testing.T) {
+	tr, err := NewTCP(2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if err := tr.Send(1, sampleMessage(0)); err != nil {
+		t.Fatal(err)
+	}
+	<-tr.Inbox(1)
+	// Sever the cached outbound connection; the next Send must detect the
+	// dead socket and transparently re-dial.
+	tr.BreakConn(1)
+	if err := tr.Send(1, sampleMessage(1)); err != nil {
+		t.Fatalf("send after broken connection: %v", err)
+	}
+	select {
+	case m := <-tr.Inbox(1):
+		if m.Minibatch != 1 {
+			t.Fatalf("got %+v", m)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("message never delivered after reconnect")
+	}
+}
+
+func TestTCPPeerSendToDeadPeerReturnsErrPeerDown(t *testing.T) {
+	addrs := peerAddrs(t, 2) // addrs[1] reserved but nobody listens
+	a, err := NewTCPPeer(0, addrs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	a.DialTimeout = 200 * time.Millisecond
+	err = a.Send(1, sampleMessage(0))
+	if !errors.Is(err, ErrPeerDown) {
+		t.Fatalf("send to dead peer: %v, want ErrPeerDown", err)
+	}
+	if s := a.Stats(); s.SendErrors == 0 {
+		t.Fatal("send errors not counted")
+	}
+}
+
+func TestTCPPeerReconnectsAfterPeerRestart(t *testing.T) {
+	addrs := peerAddrs(t, 2)
+	a, err := NewTCPPeer(0, addrs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	a.DialTimeout = 5 * time.Second
+	b1, err := NewTCPPeer(1, addrs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(1, sampleMessage(0)); err != nil {
+		t.Fatal(err)
+	}
+	<-b1.Inbox(1)
+	// Kill peer 1 and restart it on the same address: the satellite fix —
+	// a's cached connection to the dead process must be invalidated and
+	// re-dialed, not reused.
+	b1.Close()
+	b2, err := NewTCPPeer(1, addrs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b2.Close()
+	var sendErr error
+	for i := 0; i < 3; i++ {
+		// The first send after the restart may be swallowed by the dead
+		// socket's buffer (a half-open TCP connection accepts one write
+		// before RST); subsequent sends detect the failure and re-dial.
+		sendErr = a.Send(1, sampleMessage(10+i))
+		if sendErr != nil {
+			break
+		}
+	}
+	if sendErr != nil {
+		t.Fatalf("send after peer restart: %v", sendErr)
+	}
+	select {
+	case m := <-b2.Inbox(1):
+		if m.Minibatch < 10 {
+			t.Fatalf("got %+v", m)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("restarted peer never received a message")
+	}
+}
+
+func TestTCPSendAfterCloseReturnsErrClosed(t *testing.T) {
+	tr, err := NewTCP(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Send(1, sampleMessage(0)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("send after close: %v, want ErrClosed", err)
+	}
+}
+
+func TestStatsSubAndAdd(t *testing.T) {
+	a := Stats{Reconnects: 5, SendErrors: 7, Drops: 1}
+	b := Stats{Reconnects: 2, SendErrors: 3}
+	d := a.Sub(b)
+	if d.Reconnects != 3 || d.SendErrors != 4 || d.Drops != 1 {
+		t.Fatalf("Sub: %+v", d)
+	}
+	s := a.Add(b)
+	if s.Reconnects != 7 || s.SendErrors != 10 {
+		t.Fatalf("Add: %+v", s)
+	}
+}

@@ -1,0 +1,39 @@
+package transport
+
+import (
+	"fmt"
+
+	"pipedream/internal/tensor"
+)
+
+// FlattenTensors concatenates tensors into one flat tensor (for
+// single-message gradient exchange) and UnflattenAdd adds a flat tensor
+// back into a destination slice of the same total size.
+func FlattenTensors(ts []*tensor.Tensor) *tensor.Tensor {
+	n := 0
+	for _, t := range ts {
+		n += t.Size()
+	}
+	out := tensor.New(n)
+	off := 0
+	for _, t := range ts {
+		copy(out.Data[off:], t.Data)
+		off += t.Size()
+	}
+	return out
+}
+
+// UnflattenAdd adds flat's values element-wise into dst (same layout as
+// produced by FlattenTensors).
+func UnflattenAdd(dst []*tensor.Tensor, flat *tensor.Tensor) {
+	off := 0
+	for _, t := range dst {
+		for i := range t.Data {
+			t.Data[i] += flat.Data[off+i]
+		}
+		off += t.Size()
+	}
+	if off != flat.Size() {
+		panic(fmt.Sprintf("transport: unflatten size mismatch: %d vs %d", off, flat.Size()))
+	}
+}

@@ -20,13 +20,25 @@ type TCPPeer struct {
 	ln    net.Listener
 	inbox chan Message
 
+	// DialTimeout bounds how long one dial retries with backoff while a
+	// peer is down or not yet up; SendTimeout bounds one message write.
+	// Set before first use (they default to DefaultDialTimeout /
+	// DefaultSendTimeout).
+	DialTimeout time.Duration
+	SendTimeout time.Duration
+
 	mu       sync.Mutex
 	conns    map[int]*gobConn
 	accepted []net.Conn
 
+	stats statsCounters
+
 	wg        sync.WaitGroup
 	closeOnce sync.Once
 	closed    chan struct{}
+
+	// noInbox is a pre-closed channel returned for foreign worker IDs.
+	noInbox chan Message
 }
 
 // NewTCPPeer creates the endpoint for worker `me`, listening on
@@ -41,20 +53,28 @@ func NewTCPPeer(me int, addrs []string, buffer int) (*TCPPeer, error) {
 		return nil, fmt.Errorf("transport: listen %s: %w", addrs[me], err)
 	}
 	t := &TCPPeer{
-		me:     me,
-		addrs:  addrs,
-		ln:     ln,
-		inbox:  make(chan Message, buffer),
-		conns:  make(map[int]*gobConn),
-		closed: make(chan struct{}),
+		me:          me,
+		addrs:       addrs,
+		ln:          ln,
+		inbox:       make(chan Message, buffer),
+		conns:       make(map[int]*gobConn),
+		closed:      make(chan struct{}),
+		noInbox:     make(chan Message),
+		DialTimeout: DefaultDialTimeout,
+		SendTimeout: DefaultSendTimeout,
 	}
+	close(t.noInbox)
 	t.wg.Add(1)
 	go t.acceptLoop()
 	return t, nil
 }
 
-// DialTimeout bounds how long Send waits for a peer to come up.
-const DialTimeout = 30 * time.Second
+// DefaultDialTimeout bounds how long Send waits for a peer to come up.
+const DefaultDialTimeout = 30 * time.Second
+
+// DialTimeout is the historical name of DefaultDialTimeout, kept for
+// callers that reference the package-level constant.
+const DialTimeout = DefaultDialTimeout
 
 // Addr returns the local listen address (useful with ":0" port requests).
 func (t *TCPPeer) Addr() string { return t.ln.Addr().String() }
@@ -91,52 +111,64 @@ func (t *TCPPeer) readLoop(conn net.Conn) {
 }
 
 // Send implements Transport. Peers that have not started yet are retried
-// with backoff until DialTimeout.
-func (t *TCPPeer) Send(to int, m Message) {
-	gc, err := t.dial(to)
-	if err != nil {
+// with backoff until DialTimeout. A write failure on a cached connection
+// (peer restarted, link severed) invalidates it and re-dials once; if the
+// peer stays unreachable, Send returns an error wrapping ErrPeerDown.
+func (t *TCPPeer) Send(to int, m Message) error {
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
 		select {
 		case <-t.closed:
-			return
+			return fmt.Errorf("peer %d send to %d: %w", t.me, to, ErrClosed)
 		default:
-			panic(fmt.Sprintf("transport: peer %d → %d: %v", t.me, to, err))
+		}
+		gc, fresh, err := t.dial(to)
+		if err != nil {
+			t.stats.sendErrors.Add(1)
+			return fmt.Errorf("peer %d send to %d: %v: %w", t.me, to, err, ErrPeerDown)
+		}
+		if fresh && lastErr != nil {
+			t.stats.reconnects.Add(1)
+		}
+		if err := gc.send(m, t.SendTimeout); err == nil {
+			return nil
+		} else {
+			t.stats.sendErrors.Add(1)
+			lastErr = err
+			t.invalidate(to, gc)
 		}
 	}
-	gc.mu.Lock()
-	defer gc.mu.Unlock()
-	if err := gc.enc.Encode(m); err != nil {
-		select {
-		case <-t.closed:
-		default:
-			panic(fmt.Sprintf("transport: peer %d send to %d: %v", t.me, to, err))
-		}
-	}
+	return fmt.Errorf("peer %d send to %d: %v: %w", t.me, to, lastErr, ErrPeerDown)
 }
 
-func (t *TCPPeer) dial(to int) (*gobConn, error) {
+func (t *TCPPeer) dial(to int) (gc *gobConn, fresh bool, err error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if gc, ok := t.conns[to]; ok {
-		return gc, nil
+		return gc, false, nil
 	}
 	if to < 0 || to >= len(t.addrs) {
-		return nil, fmt.Errorf("unknown worker %d", to)
+		return nil, false, fmt.Errorf("unknown worker %d", to)
 	}
-	deadline := time.Now().Add(DialTimeout)
+	deadline := time.Now().Add(t.DialTimeout)
 	backoff := 10 * time.Millisecond
 	for {
 		conn, err := net.Dial("tcp", t.addrs[to])
 		if err == nil {
+			if tc, ok := conn.(*net.TCPConn); ok {
+				tc.SetKeepAlive(true)
+				tc.SetKeepAlivePeriod(15 * time.Second)
+			}
 			gc := &gobConn{conn: conn, enc: gob.NewEncoder(conn)}
 			t.conns[to] = gc
-			return gc, nil
+			return gc, true, nil
 		}
 		if time.Now().After(deadline) {
-			return nil, fmt.Errorf("dial %s: %w", t.addrs[to], err)
+			return nil, false, fmt.Errorf("dial %s: %w", t.addrs[to], err)
 		}
 		select {
 		case <-t.closed:
-			return nil, fmt.Errorf("transport closed")
+			return nil, false, ErrClosed
 		case <-time.After(backoff):
 		}
 		if backoff < time.Second {
@@ -145,12 +177,27 @@ func (t *TCPPeer) dial(to int) (*gobConn, error) {
 	}
 }
 
+// invalidate drops a broken cached connection so the next dial
+// re-establishes it.
+func (t *TCPPeer) invalidate(to int, gc *gobConn) {
+	t.mu.Lock()
+	if cur, ok := t.conns[to]; ok && cur == gc {
+		delete(t.conns, to)
+	}
+	t.mu.Unlock()
+	gc.conn.Close()
+}
+
+// Stats implements StatsReporter.
+func (t *TCPPeer) Stats() Stats { return t.stats.snapshot() }
+
 // Inbox implements Transport. Only the local worker's inbox exists in
-// this process; asking for any other ID panics (it would be a programming
-// error in a solo-worker deployment).
+// this process; asking for any other ID returns a permanently closed
+// channel (a receive from it reports the worker as unavailable instead of
+// crashing the process).
 func (t *TCPPeer) Inbox(w int) <-chan Message {
 	if w != t.me {
-		panic(fmt.Sprintf("transport: process for worker %d asked for worker %d's inbox", t.me, w))
+		return t.noInbox
 	}
 	return t.inbox
 }

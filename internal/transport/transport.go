@@ -1,8 +1,14 @@
 // Package transport moves activations and gradients between pipeline-stage
-// workers. Two implementations share one interface: an in-process channel
-// transport (the common case: workers are goroutines) and a TCP transport
-// that serializes messages with encoding/gob over real sockets, exercising
-// the same code path a multi-machine deployment would.
+// workers. Three implementations share one interface: an in-process channel
+// transport (the common case: workers are goroutines), a TCP transport
+// that serializes messages with encoding/gob over real sockets, and a
+// per-process TCPPeer endpoint for multi-process deployments. A fourth,
+// Chaos, wraps any of them with deterministic fault injection for testing
+// the pipeline's failure paths.
+//
+// Send never panics: delivery failures surface as typed errors
+// (ErrPeerDown, ErrClosed) after automatic reconnect-with-backoff, so a
+// dead peer is a condition callers detect and recover from, not a crash.
 package transport
 
 import (
@@ -10,41 +16,10 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"pipedream/internal/tensor"
 )
-
-// FlattenTensors concatenates tensors into one flat tensor (for
-// single-message gradient exchange) and UnflattenInto adds a flat tensor
-// back into a destination slice of the same total size.
-func FlattenTensors(ts []*tensor.Tensor) *tensor.Tensor {
-	n := 0
-	for _, t := range ts {
-		n += t.Size()
-	}
-	out := tensor.New(n)
-	off := 0
-	for _, t := range ts {
-		copy(out.Data[off:], t.Data)
-		off += t.Size()
-	}
-	return out
-}
-
-// UnflattenAdd adds flat's values element-wise into dst (same layout as
-// produced by FlattenTensors).
-func UnflattenAdd(dst []*tensor.Tensor, flat *tensor.Tensor) {
-	off := 0
-	for _, t := range dst {
-		for i := range t.Data {
-			t.Data[i] += flat.Data[off+i]
-		}
-		off += t.Size()
-	}
-	if off != flat.Size() {
-		panic(fmt.Sprintf("transport: unflatten size mismatch: %d vs %d", off, flat.Size()))
-	}
-}
 
 // MsgKind distinguishes message payloads.
 type MsgKind int
@@ -61,6 +36,10 @@ const (
 	// in-process all_reduce). Minibatch holds the all-reduce round index
 	// and Version the sender's replica index.
 	GradExchange
+	// Heartbeat is a liveness probe between adjacent stages. It carries
+	// no payload; its purpose is to force a send on the connection so
+	// that a dead peer surfaces as ErrPeerDown at the sender.
+	Heartbeat
 )
 
 // String implements fmt.Stringer.
@@ -72,6 +51,8 @@ func (k MsgKind) String() string {
 		return "gradient"
 	case GradExchange:
 		return "grad-exchange"
+	case Heartbeat:
+		return "heartbeat"
 	}
 	return fmt.Sprintf("MsgKind(%d)", int(k))
 }
@@ -89,8 +70,11 @@ type Message struct {
 // Transport delivers messages to per-worker inboxes.
 type Transport interface {
 	// Send delivers m to worker `to`'s inbox. It may block if the
-	// receiver's inbox is full (providing natural backpressure).
-	Send(to int, m Message)
+	// receiver's inbox is full (providing natural backpressure). A
+	// delivery failure returns a typed error — ErrPeerDown when the
+	// destination is unreachable after reconnect-with-backoff, ErrClosed
+	// when this endpoint has been shut down — and never panics.
+	Send(to int, m Message) error
 	// Inbox returns worker w's receive channel. The channel is closed by
 	// Close.
 	Inbox(w int) <-chan Message
@@ -103,20 +87,44 @@ type Transport interface {
 type Channels struct {
 	inboxes   []chan Message
 	closeOnce sync.Once
+	closed    chan struct{}
 }
 
 // NewChannels creates an in-process transport for n workers with the given
 // per-inbox buffer size.
 func NewChannels(n, buffer int) *Channels {
-	c := &Channels{inboxes: make([]chan Message, n)}
+	c := &Channels{
+		inboxes: make([]chan Message, n),
+		closed:  make(chan struct{}),
+	}
 	for i := range c.inboxes {
 		c.inboxes[i] = make(chan Message, buffer)
 	}
 	return c
 }
 
-// Send implements Transport.
-func (c *Channels) Send(to int, m Message) { c.inboxes[to] <- m }
+// Send implements Transport. After Close it returns ErrClosed.
+func (c *Channels) Send(to int, m Message) (err error) {
+	// A concurrent Close can close the inbox between the select below and
+	// the channel send; recover turns that race into ErrClosed instead of
+	// a crash.
+	defer func() {
+		if recover() != nil {
+			err = fmt.Errorf("send to worker %d: %w", to, ErrClosed)
+		}
+	}()
+	select {
+	case <-c.closed:
+		return fmt.Errorf("send to worker %d: %w", to, ErrClosed)
+	default:
+	}
+	select {
+	case c.inboxes[to] <- m:
+		return nil
+	case <-c.closed:
+		return fmt.Errorf("send to worker %d: %w", to, ErrClosed)
+	}
+}
 
 // Inbox implements Transport.
 func (c *Channels) Inbox(w int) <-chan Message { return c.inboxes[w] }
@@ -124,6 +132,7 @@ func (c *Channels) Inbox(w int) <-chan Message { return c.inboxes[w] }
 // Close implements Transport.
 func (c *Channels) Close() error {
 	c.closeOnce.Do(func() {
+		close(c.closed)
 		for _, ch := range c.inboxes {
 			close(ch)
 		}
@@ -131,17 +140,38 @@ func (c *Channels) Close() error {
 	return nil
 }
 
+// Default deadlines for the TCP transports. Each instance copies them at
+// construction so tests can shorten its own copies without races.
+const (
+	// DefaultSendTimeout bounds one message write; a peer that stops
+	// draining its socket surfaces as a send error instead of a hang.
+	DefaultSendTimeout = 10 * time.Second
+	// DefaultRedialTimeout bounds how long a failed Send keeps retrying
+	// reconnect-with-backoff before giving up with ErrPeerDown.
+	DefaultRedialTimeout = 5 * time.Second
+)
+
 // TCP is a loopback-or-network transport: every worker listens on its own
 // TCP port and peers hold persistent gob-encoded connections. It carries
 // exactly the same Message type as Channels, so a Pipeline can run over
-// real sockets without code changes.
+// real sockets without code changes. Broken connections are detected at
+// send time and re-dialed with backoff; a destination that stays down
+// surfaces as ErrPeerDown.
 type TCP struct {
 	n         int
 	listeners []net.Listener
 	inboxes   []chan Message
 
+	// SendTimeout bounds one message write; RedialTimeout bounds the
+	// total reconnect-with-backoff budget of one Send. Set before first
+	// use (they default to DefaultSendTimeout / DefaultRedialTimeout).
+	SendTimeout   time.Duration
+	RedialTimeout time.Duration
+
 	mu    sync.Mutex
-	conns map[[2]int]*gobConn // (from, to) -> connection
+	conns map[int]*gobConn // destination worker -> connection
+
+	stats statsCounters
 
 	wg        sync.WaitGroup
 	closeOnce sync.Once
@@ -154,14 +184,28 @@ type gobConn struct {
 	enc  *gob.Encoder
 }
 
+// send writes one message under the connection's encoder lock, bounded by
+// timeout (0 means no deadline).
+func (gc *gobConn) send(m Message, timeout time.Duration) error {
+	gc.mu.Lock()
+	defer gc.mu.Unlock()
+	if timeout > 0 {
+		gc.conn.SetWriteDeadline(time.Now().Add(timeout))
+		defer gc.conn.SetWriteDeadline(time.Time{})
+	}
+	return gc.enc.Encode(m)
+}
+
 // NewTCP creates a TCP transport for n workers listening on ephemeral
 // loopback ports.
 func NewTCP(n, buffer int) (*TCP, error) {
 	t := &TCP{
-		n:       n,
-		inboxes: make([]chan Message, n),
-		conns:   make(map[[2]int]*gobConn),
-		closed:  make(chan struct{}),
+		n:             n,
+		inboxes:       make([]chan Message, n),
+		conns:         make(map[int]*gobConn),
+		closed:        make(chan struct{}),
+		SendTimeout:   DefaultSendTimeout,
+		RedialTimeout: DefaultRedialTimeout,
 	}
 	for i := 0; i < n; i++ {
 		t.inboxes[i] = make(chan Message, buffer)
@@ -209,45 +253,98 @@ func (t *TCP) readLoop(w int, conn net.Conn) {
 
 // Send implements Transport. Connections are established lazily and
 // reused; concurrent sends to the same destination serialize on the
-// connection's encoder.
-func (t *TCP) Send(to int, m Message) {
-	gc, err := t.dial(to)
-	if err != nil {
-		// Delivery failure after Close is expected during shutdown;
-		// anything else is a programming error in a single-process run.
+// connection's encoder. A write failure invalidates the cached connection
+// and retries with backoff (re-dialing) until RedialTimeout elapses, then
+// returns an error wrapping ErrPeerDown.
+func (t *TCP) Send(to int, m Message) error {
+	deadline := time.Now().Add(t.RedialTimeout)
+	backoff := 10 * time.Millisecond
+	var lastErr error
+	for {
 		select {
 		case <-t.closed:
-			return
+			return fmt.Errorf("send to worker %d: %w", to, ErrClosed)
 		default:
-			panic(fmt.Sprintf("transport: dial worker %d: %v", to, err))
 		}
-	}
-	gc.mu.Lock()
-	defer gc.mu.Unlock()
-	if err := gc.enc.Encode(m); err != nil {
+		gc, fresh, err := t.dial(to)
+		if err == nil {
+			if fresh && lastErr != nil {
+				t.stats.reconnects.Add(1)
+			}
+			if err = gc.send(m, t.SendTimeout); err == nil {
+				return nil
+			}
+			t.invalidate(to, gc)
+		}
+		t.stats.sendErrors.Add(1)
+		lastErr = err
+		if time.Now().After(deadline) {
+			return fmt.Errorf("send to worker %d: %v: %w", to, lastErr, ErrPeerDown)
+		}
 		select {
 		case <-t.closed:
-		default:
-			panic(fmt.Sprintf("transport: send to worker %d: %v", to, err))
+			return fmt.Errorf("send to worker %d: %w", to, ErrClosed)
+		case <-time.After(backoff):
+		}
+		if backoff < 500*time.Millisecond {
+			backoff *= 2
 		}
 	}
 }
 
-func (t *TCP) dial(to int) (*gobConn, error) {
+// dial returns the cached connection to worker `to`, establishing a new
+// one if none is cached. fresh reports whether this call created the
+// connection.
+func (t *TCP) dial(to int) (gc *gobConn, fresh bool, err error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	key := [2]int{0, to} // one shared outbound connection per destination
-	if gc, ok := t.conns[key]; ok {
-		return gc, nil
+	if to < 0 || to >= t.n {
+		return nil, false, fmt.Errorf("unknown worker %d", to)
+	}
+	if gc, ok := t.conns[to]; ok {
+		return gc, false, nil
 	}
 	conn, err := net.Dial("tcp", t.Addr(to))
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
-	gc := &gobConn{conn: conn, enc: gob.NewEncoder(conn)}
-	t.conns[key] = gc
-	return gc, nil
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetKeepAlive(true)
+		tc.SetKeepAlivePeriod(15 * time.Second)
+	}
+	gc = &gobConn{conn: conn, enc: gob.NewEncoder(conn)}
+	t.conns[to] = gc
+	return gc, true, nil
 }
+
+// invalidate drops a broken cached connection so the next Send re-dials.
+// It only evicts if the cache still holds the same connection (a
+// concurrent Send may already have replaced it).
+func (t *TCP) invalidate(to int, gc *gobConn) {
+	t.mu.Lock()
+	if cur, ok := t.conns[to]; ok && cur == gc {
+		delete(t.conns, to)
+	}
+	t.mu.Unlock()
+	gc.conn.Close()
+}
+
+// BreakConn severs the cached outbound connection to worker `to` (test
+// and chaos hook): the next Send detects the broken pipe and re-dials.
+func (t *TCP) BreakConn(to int) {
+	t.mu.Lock()
+	gc, ok := t.conns[to]
+	if ok {
+		delete(t.conns, to)
+	}
+	t.mu.Unlock()
+	if ok {
+		gc.conn.Close()
+	}
+}
+
+// Stats implements StatsReporter.
+func (t *TCP) Stats() Stats { return t.stats.snapshot() }
 
 // Inbox implements Transport.
 func (t *TCP) Inbox(w int) <-chan Message { return t.inboxes[w] }

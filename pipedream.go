@@ -117,6 +117,39 @@ type (
 	StageStats = pipeline.StageStats
 )
 
+// Fault-tolerance types (see docs/ARCHITECTURE.md "Failure detection and
+// recovery"): transports return typed errors instead of panicking, the
+// Chaos wrapper injects seeded faults for testing, and PipelineOptions'
+// CheckpointDir/CheckpointEvery/MaxRecoveries/WatchdogTimeout/
+// HeartbeatEvery fields enable mid-training checkpointing and supervised
+// recovery.
+type (
+	// Transport carries inter-stage messages (channels, TCP, or a Chaos
+	// wrapper around either).
+	Transport = transport.Transport
+	// ChaosTransport wraps another transport with deterministic seeded
+	// fault injection (drop/delay/duplicate/sever/kill-inbox).
+	ChaosTransport = transport.Chaos
+	// ChaosConfig parameterizes a ChaosTransport's fault schedule.
+	ChaosConfig = transport.ChaosConfig
+	// TransportStats counts a transport's reconnects, send errors, and
+	// injected faults.
+	TransportStats = transport.Stats
+	// FaultStats summarizes a training run's failure-path activity in
+	// TrainReport.Faults.
+	FaultStats = pipeline.FaultStats
+)
+
+// Typed failure errors (match with errors.Is).
+var (
+	// ErrPeerDown marks a send whose peer is unreachable after retries.
+	ErrPeerDown = transport.ErrPeerDown
+	// ErrTransportClosed marks an operation on a closed transport.
+	ErrTransportClosed = transport.ErrClosed
+	// ErrWorkerStalled marks a worker whose watchdog saw no progress.
+	ErrWorkerStalled = pipeline.ErrWorkerStalled
+)
+
 // Staleness modes (§3.3 of the paper).
 const (
 	WeightStashing = pipeline.WeightStashing
@@ -157,6 +190,18 @@ var (
 	// NewTCPPeer creates one process's transport endpoint for distributed
 	// deployments.
 	NewTCPPeer = transport.NewTCPPeer
+	// NewTCP creates an in-process loopback TCP transport (all workers in
+	// one process, messages over real sockets).
+	NewTCP = transport.NewTCP
+	// NewChannelTransport creates the default in-process channel
+	// transport explicitly (useful as the inner transport of NewChaos).
+	NewChannelTransport = transport.NewChannels
+	// NewChaos wraps a transport with seeded fault injection for
+	// chaos-testing the pipeline's failure detection and recovery.
+	NewChaos = transport.NewChaos
+	// LatestCheckpoint reports the cursor (global minibatch index) of the
+	// newest complete checkpoint generation in a directory.
+	LatestCheckpoint = pipeline.LatestCheckpoint
 
 	// NewMetricsRegistry and NewOpLog build the observability sinks a
 	// pipeline accepts via PipelineOptions.Metrics / PipelineOptions.OpLog.

@@ -25,6 +25,18 @@ go test ./...
 echo "== go test -race (tensor, pipeline, metrics, trace)"
 go test -race ./internal/tensor/ ./internal/pipeline/ ./internal/metrics/ ./internal/trace/
 
+echo "== chaos gate (fault injection under the race detector)"
+go test -race -run 'Chaos' ./internal/transport/ ./internal/pipeline/
+
+echo "== no panics on transport send/receive paths"
+PANICS=$(grep -n 'panic(' internal/transport/transport.go internal/transport/peer.go \
+    internal/transport/chaos.go internal/transport/errors.go || true)
+if [ -n "$PANICS" ]; then
+    echo "transport data path must return errors, not panic:" >&2
+    echo "$PANICS" >&2
+    exit 1
+fi
+
 echo "== doc comments (exported identifiers in pipeline + metrics)"
 MISSING=$(for f in internal/pipeline/*.go internal/metrics/*.go; do
     case "$f" in *_test.go) continue ;; esac
