@@ -15,9 +15,12 @@ import (
 	"io"
 	"math/rand"
 	"runtime"
+	"sync"
 	"testing"
+	"time"
 
 	"pipedream/internal/cluster"
+	"pipedream/internal/collective"
 	"pipedream/internal/data"
 	"pipedream/internal/experiments"
 	"pipedream/internal/modelzoo"
@@ -27,6 +30,7 @@ import (
 	"pipedream/internal/schedule"
 	"pipedream/internal/tensor"
 	"pipedream/internal/topology"
+	"pipedream/internal/transport"
 )
 
 // benchExperiment regenerates one paper artifact per iteration.
@@ -268,4 +272,142 @@ func BenchmarkAllReduceModel(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		topo.AllReduceTime(528<<20, 64)
 	}
+}
+
+// ---- Gradient collective benchmarks (ring vs central). ----
+
+// gradSyncState holds one replica's gradient tensors for the collective
+// benchmarks.
+type gradSyncState struct {
+	grads []*tensor.Tensor
+}
+
+func newGradSyncStates(replicas, layers, elems int) []*gradSyncState {
+	rng := rand.New(rand.NewSource(7))
+	states := make([]*gradSyncState, replicas)
+	for r := range states {
+		st := &gradSyncState{}
+		for l := 0; l < layers; l++ {
+			st.grads = append(st.grads, tensor.Randn(rng, 1, elems))
+		}
+		states[r] = st
+	}
+	return states
+}
+
+// gradSyncLayerTime is the simulated backward time of one layer in
+// BenchmarkGradSync. Backward compute in a real deployment runs on the
+// accelerator, so the host is free during it — modelled as sleeping to
+// the layer's absolute finish deadline (absolute so coarse timer ticks
+// don't accumulate) — and the overlapped ring pumps its chunks in
+// exactly that window.
+const gradSyncLayerTime = 1500 * time.Microsecond
+
+// BenchmarkGradSync compares one backward pass + gradient synchronization
+// across 4 replicas of an 8 MB-weight stage (8 layers × 256Ki floats)
+// under the two collectives. The central reducer waits out the full
+// backward, then blocks every replica on a barrier while the gradient
+// averaging runs serially under one lock — its cost is fully exposed on
+// the critical path. The chunked ring starts reducing a layer's bucket
+// the moment that layer's backward finishes, so its transfers and
+// arithmetic hide inside the remaining backward window and only the
+// first (= last finished) bucket's ring is exposed. The ring/central
+// ratio is the overlap win recorded in BENCH_kernels.json (acceptance:
+// ≥1.5× on 4 replicas with ≥1 MB of weights).
+func BenchmarkGradSync(b *testing.B) {
+	const (
+		replicas = 4
+		layers   = 8
+		elems    = 256 << 10 // 256Ki floats per layer = 8 MB total
+	)
+
+	b.Run("central", func(b *testing.B) {
+		states := newGradSyncStates(replicas, layers, elems)
+		red := collective.NewCentralReducer(replicas)
+		red.Reset(0, b.N*replicas)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var wg sync.WaitGroup
+			for r := 0; r < replicas; r++ {
+				wg.Add(1)
+				go func(r int) {
+					defer wg.Done()
+					t0 := time.Now()
+					for l := layers - 1; l >= 0; l-- {
+						done := time.Duration(layers-l) * gradSyncLayerTime
+						time.Sleep(time.Until(t0.Add(done)))
+					}
+					red.Reduce(i*replicas+r, states[r].grads)
+				}(r)
+			}
+			wg.Wait()
+		}
+	})
+
+	b.Run("ring", func(b *testing.B) {
+		states := newGradSyncStates(replicas, layers, elems)
+		tr := transport.NewChannels(replicas, 256)
+		defer tr.Close()
+		peers := make([]int, replicas)
+		for i := range peers {
+			peers[i] = i
+		}
+		rings := make([]*collective.RingReducer, replicas)
+		for r := range rings {
+			rings[r] = collective.NewRingReducer(r, peers, tr, collective.DefaultBucketBytes)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var wg sync.WaitGroup
+			for r := 0; r < replicas; r++ {
+				wg.Add(1)
+				go func(r int) {
+					defer wg.Done()
+					st, ring, inbox := states[r], rings[r], tr.Inbox(r)
+					if err := ring.BeginRound(i*replicas, replicas, st.grads); err != nil {
+						b.Error(err)
+						return
+					}
+					// Pump arriving chunks throughout each layer's
+					// accelerator window — the host thread is free while
+					// the device computes — and mark the layer's bucket
+					// ready at its finish deadline.
+					t0 := time.Now()
+					timer := time.NewTimer(time.Hour)
+					defer timer.Stop()
+					for l := layers - 1; l >= 0; l-- {
+						deadline := t0.Add(time.Duration(layers-l) * gradSyncLayerTime)
+						for {
+							remaining := time.Until(deadline)
+							if remaining <= 0 {
+								break
+							}
+							timer.Reset(remaining)
+							select {
+							case m := <-inbox:
+								if err := ring.Deliver(m); err != nil {
+									b.Error(err)
+									return
+								}
+							case <-timer.C:
+							}
+						}
+						if err := ring.Ready(l); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+					for !ring.Idle() {
+						if err := ring.Deliver(<-inbox); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(r)
+			}
+			wg.Wait()
+		}
+	})
 }

@@ -17,6 +17,7 @@ import (
 	"os"
 	"time"
 
+	"pipedream/internal/collective"
 	"pipedream/internal/data"
 	"pipedream/internal/metrics"
 	"pipedream/internal/nn"
@@ -33,6 +34,8 @@ func main() {
 	task := flag.String("task", "spiral", "training task: spiral, images, or sequence")
 	stages := flag.Int("stages", 3, "pipeline stages")
 	replicas := flag.Int("replicas", 1, "replicas of the first stage (1F1B-RR)")
+	allreduce := flag.String("allreduce", "ring", "gradient collective for replicated stages: ring (chunked, overlapped with backward) or central (barrier-style)")
+	bucketBytes := flag.Int("bucket-bytes", 0, "ring all-reduce gradient bucket size in bytes (0 = 256KiB default)")
 	modeName := flag.String("mode", "weight-stashing", "staleness mode: weight-stashing, vertical-sync, or no-stashing")
 	epochs := flag.Int("epochs", 8, "training epochs")
 	depth := flag.Int("depth", 0, "pipeline depth override (0 = NOAM)")
@@ -68,19 +71,32 @@ func main() {
 		fatal(fmt.Errorf("unknown mode %q", *modeName))
 	}
 
+	method, err := collective.ParseMethod(*allreduce)
+	if err != nil {
+		fatal(err)
+	}
+	// The planner's replication decision must be priced with the
+	// collective the runtime will actually use: ring overlaps with
+	// backward and moves 2(R-1)/R of the weights, central blocks and
+	// moves 2(R-1) of them through one coordinator.
+	sync := partition.SyncRing
+	if method == collective.Central {
+		sync = partition.SyncCentral
+	}
+
 	factory, train, eval, opt := buildTask(*task, *seed)
 	model := factory()
 	if *stages < 1 || *stages > len(model.Layers) {
 		fatal(fmt.Errorf("stages must be in [1, %d]", len(model.Layers)))
 	}
 
-	plan, err := buildPlan(model, *stages, *replicas)
+	plan, err := buildPlan(model, *stages, *replicas, sync)
 	if err != nil {
 		fatal(err)
 	}
 	workers := *stages - 1 + *replicas
-	fmt.Printf("task %s: %d layers across %d stage(s) on %d worker(s), config %s, NOAM %d, mode %s\n",
-		*task, len(model.Layers), *stages, workers, plan.ConfigString(), plan.NOAM, mode)
+	fmt.Printf("task %s: %d layers across %d stage(s) on %d worker(s), config %s, NOAM %d, mode %s, allreduce %s\n",
+		*task, len(model.Layers), *stages, workers, plan.ConfigString(), plan.NOAM, mode, method)
 
 	opts := pipeline.Options{
 		ModelFactory:    factory,
@@ -88,6 +104,8 @@ func main() {
 		Loss:            nn.SoftmaxCrossEntropy,
 		NewOptimizer:    opt,
 		Mode:            mode,
+		AllReduce:       method,
+		BucketBytes:     *bucketBytes,
 		Depth:           *depth,
 		CheckpointDir:   ckptDir,
 		CheckpointEvery: *ckptEvery,
@@ -95,8 +113,22 @@ func main() {
 		WatchdogTimeout: *watchdog,
 		HeartbeatEvery:  *heartbeat,
 	}
+	buffer := 4*plan.NOAM + 8
+	if method == collective.Ring && *replicas > 1 {
+		// Room for the ring's lock-step chunk traffic: one in-flight
+		// chunk per bucket from the current round plus the next.
+		bytes := 0
+		for _, g := range model.Grads() {
+			bytes += g.Bytes()
+		}
+		bb := *bucketBytes
+		if bb <= 0 {
+			bb = collective.DefaultBucketBytes
+		}
+		buffer += 2*((bytes+bb-1)/bb) + 16
+	}
 	if *useTCP {
-		tr, err := transport.NewTCP(workers, 4*plan.NOAM+8)
+		tr, err := transport.NewTCP(workers, buffer)
 		if err != nil {
 			fatal(err)
 		}
@@ -108,7 +140,7 @@ func main() {
 	if useChaos {
 		inner := opts.Transport
 		if inner == nil {
-			inner = transport.NewChannels(workers, 4*plan.NOAM+8)
+			inner = transport.NewChannels(workers, buffer)
 		}
 		chaos := transport.NewChaos(inner, transport.ChaosConfig{
 			Seed:      *chaosSeed,
@@ -262,7 +294,7 @@ func buildTask(task string, seed int64) (func() *nn.Sequential, data.Dataset, da
 	return nil, nil, nil, nil
 }
 
-func buildPlan(model *nn.Sequential, stages, replicas int) (*partition.Plan, error) {
+func buildPlan(model *nn.Sequential, stages, replicas int, sync partition.SyncModel) (*partition.Plan, error) {
 	n := len(model.Layers)
 	prof := &profile.ModelProfile{Model: "cli", MinibatchSize: 1, InputBytes: 4}
 	for i := 0; i < n; i++ {
@@ -286,7 +318,7 @@ func buildPlan(model *nn.Sequential, stages, replicas int) (*partition.Plan, err
 		first = last + 1
 	}
 	workers := stages - 1 + replicas
-	return partition.Evaluate(prof, topology.Flat(workers, 1e9, topology.V100), specs)
+	return partition.EvaluateSync(prof, topology.Flat(workers, 1e9, topology.V100), specs, sync)
 }
 
 func evaluate(p *pipeline.Pipeline, eval data.Dataset) float64 {

@@ -22,6 +22,7 @@ import (
 	"strings"
 	"time"
 
+	"pipedream/internal/collective"
 	"pipedream/internal/data"
 	"pipedream/internal/metrics"
 	"pipedream/internal/nn"
@@ -39,6 +40,8 @@ func main() {
 	task := flag.String("task", "spiral", "training task: spiral or sequence")
 	stages := flag.Int("stages", 0, "pipeline stages (default: number of peers)")
 	replicas := flag.Int("replicas", 1, "replicas of the first stage (1F1B-RR; ids 0..replicas-1)")
+	allreduce := flag.String("allreduce", "ring", "gradient collective for replicated stages: ring (chunked, overlapped with backward) or central (barrier-style full-gradient exchange)")
+	bucketBytes := flag.Int("bucket-bytes", 0, "ring all-reduce gradient bucket size in bytes (0 = 256KiB default; must match across workers)")
 	epochs := flag.Int("epochs", 3, "training epochs")
 	minibatches := flag.Int("minibatches", 0, "minibatches per epoch (default: dataset size)")
 	seed := flag.Int64("seed", 42, "shared random seed (must match across workers)")
@@ -72,9 +75,18 @@ func main() {
 			nStages, *replicas, nStages-1+*replicas, len(addrs)))
 	}
 
+	method, err := collective.ParseMethod(*allreduce)
+	if err != nil {
+		fatal(err)
+	}
+	sync := partition.SyncRing
+	if method == collective.Central {
+		sync = partition.SyncCentral
+	}
+
 	factory, train := buildTask(*task, *seed)
 	model := factory()
-	plan, err := buildPlan(model, nStages, *replicas)
+	plan, err := buildPlan(model, nStages, *replicas, sync)
 	if err != nil {
 		fatal(err)
 	}
@@ -83,7 +95,21 @@ func main() {
 		mbs = train.NumBatches()
 	}
 
-	tr, err := transport.NewTCPPeer(*id, addrs, 4*plan.NOAM+8)
+	buffer := 4*plan.NOAM + 8
+	if method == collective.Ring && *replicas > 1 {
+		// Room for the ring's lock-step chunk traffic: one in-flight
+		// chunk per bucket from the current round plus the next.
+		bytes := 0
+		for _, g := range model.Grads() {
+			bytes += g.Bytes()
+		}
+		bb := *bucketBytes
+		if bb <= 0 {
+			bb = collective.DefaultBucketBytes
+		}
+		buffer += 2*((bytes+bb-1)/bb) + 16
+	}
+	tr, err := transport.NewTCPPeer(*id, addrs, buffer)
 	if err != nil {
 		fatal(err)
 	}
@@ -95,6 +121,8 @@ func main() {
 		Loss:            nn.SoftmaxCrossEntropy,
 		NewOptimizer:    func() nn.Optimizer { return nn.NewSGD(0.1, 0.9, 0) },
 		Transport:       tr,
+		AllReduce:       method,
+		BucketBytes:     *bucketBytes,
 		CheckpointDir:   ckptDir,
 		CheckpointEvery: *ckptEvery,
 		MaxRecoveries:   *maxRecoveries,
@@ -205,7 +233,7 @@ func buildTask(task string, seed int64) (func() *nn.Sequential, data.Dataset) {
 	return nil, nil
 }
 
-func buildPlan(model *nn.Sequential, stages, replicas int) (*partition.Plan, error) {
+func buildPlan(model *nn.Sequential, stages, replicas int, sync partition.SyncModel) (*partition.Plan, error) {
 	n := len(model.Layers)
 	if stages > n {
 		return nil, fmt.Errorf("%d stages for %d layers", stages, n)
@@ -232,7 +260,7 @@ func buildPlan(model *nn.Sequential, stages, replicas int) (*partition.Plan, err
 		first = last + 1
 	}
 	workers := stages - 1 + replicas
-	return partition.Evaluate(prof, topology.Flat(workers, 1e9, topology.V100), specs)
+	return partition.EvaluateSync(prof, topology.Flat(workers, 1e9, topology.V100), specs, sync)
 }
 
 func fatal(err error) {

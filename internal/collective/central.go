@@ -1,0 +1,126 @@
+package collective
+
+import (
+	"sync"
+
+	"pipedream/internal/tensor"
+)
+
+// CentralReducer averages gradients across the replicas of one stage
+// through shared memory: every replica blocks in Reduce until the whole
+// round-robin block has contributed, then all leave with the block
+// average. With round-robin routing, minibatches [start+kR, start+(k+1)R)
+// of a Train call land on distinct replicas, so grouping by that block
+// index implements synchronous per-iteration gradient averaging exactly
+// as DDP does within a stage.
+//
+// This is the barrier-style collective the chunked RingReducer replaces:
+// no overlap with backward compute, and all R full-size gradient adds
+// serialize under one mutex.
+type CentralReducer struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	replicas int
+	start    int
+	total    int
+	aborted  bool
+	rounds   map[int]*reduceRound
+}
+
+type reduceRound struct {
+	sum      []*tensor.Tensor
+	arrived  int
+	expected int
+	done     bool
+	picked   int
+}
+
+// NewCentralReducer creates a reducer shared by `replicas` workers of one
+// stage.
+func NewCentralReducer(replicas int) *CentralReducer {
+	a := &CentralReducer{replicas: replicas, rounds: make(map[int]*reduceRound)}
+	a.cond = sync.NewCond(&a.mu)
+	return a
+}
+
+// Reset prepares the reducer for a run covering `total` minibatches
+// starting at `start`.
+func (a *CentralReducer) Reset(start, total int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.rounds) != 0 {
+		panic("collective: central reducer reset with incomplete rounds")
+	}
+	a.start = start
+	a.total = total
+}
+
+// AbortAll wakes every replica blocked in Reduce; their Reduce calls
+// return false so they can observe the run's abort error.
+func (a *CentralReducer) AbortAll() {
+	a.mu.Lock()
+	a.aborted = true
+	a.mu.Unlock()
+	a.cond.Broadcast()
+}
+
+// Clear discards incomplete rounds and the abort flag — the recovery
+// reset between a failed chunk and its retry.
+func (a *CentralReducer) Clear() {
+	a.mu.Lock()
+	a.rounds = make(map[int]*reduceRound)
+	a.aborted = false
+	a.mu.Unlock()
+}
+
+// Reduce contributes grads for minibatch mb and blocks until all replicas
+// of the block have arrived, then overwrites grads with the block average.
+// It returns false if the run aborted while waiting (grads untouched).
+func (a *CentralReducer) Reduce(mb int, grads []*tensor.Tensor) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.aborted {
+		return false
+	}
+	k := (mb - a.start) / a.replicas
+	r, ok := a.rounds[k]
+	if !ok {
+		expected := a.total - k*a.replicas
+		if expected > a.replicas {
+			expected = a.replicas
+		}
+		r = &reduceRound{expected: expected}
+		for _, g := range grads {
+			r.sum = append(r.sum, g.Clone())
+		}
+		r.arrived = 1
+		a.rounds[k] = r
+	} else {
+		for i, g := range grads {
+			r.sum[i].Add(g)
+		}
+		r.arrived++
+	}
+	if r.arrived == r.expected {
+		inv := float32(1) / float32(r.expected)
+		for _, s := range r.sum {
+			s.Scale(inv)
+		}
+		r.done = true
+		a.cond.Broadcast()
+	}
+	for !r.done && !a.aborted {
+		a.cond.Wait()
+	}
+	if !r.done {
+		return false
+	}
+	for i, g := range grads {
+		g.CopyFrom(r.sum[i])
+	}
+	r.picked++
+	if r.picked == r.expected {
+		delete(a.rounds, k)
+	}
+	return true
+}

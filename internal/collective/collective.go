@@ -1,0 +1,77 @@
+// Package collective implements gradient synchronization for replicated
+// pipeline stages. PipeDream's hybrid parallelism (§3.1 of the paper)
+// replicates fast stages and averages their weight gradients every round;
+// this package provides the two collectives the runtime can use for that
+// average:
+//
+//   - RingReducer — a chunked ring all-reduce (reduce-scatter followed by
+//     all-gather) over transport messages. Gradients are split into
+//     buckets that start reducing as soon as their layers' backward
+//     completes, overlapping synchronization with the remaining backward
+//     compute. Each replica moves 2(R-1)/R of the weight bytes, matching
+//     the cost the partitioning DP charges for replication.
+//   - CentralReducer — the original barrier-style shared-memory reducer
+//     (every replica blocks until all have contributed, one replica's
+//     clone accumulates the sum). Kept as the in-process fallback.
+//
+// Chunk ordering is deterministic: chunk c's sum always accumulates in
+// ring order g_c + g_{c+1} + ... regardless of message timing, so results
+// are bit-identical run to run.
+package collective
+
+import (
+	"fmt"
+
+	"pipedream/internal/transport"
+)
+
+// Method selects the gradient-synchronization collective for replicated
+// stages.
+type Method int
+
+// Supported collectives. The zero value is Central so that a zero
+// pipeline.Options keeps the pre-existing reducer behavior.
+const (
+	// Central is the barrier-style shared reducer (CentralReducer) for
+	// in-process replicas, or the full-gradient broadcast exchange for
+	// distributed ones.
+	Central Method = iota
+	// Ring is the chunked ring all-reduce with backward/sync overlap
+	// (RingReducer), working over both in-process channels and TCP.
+	Ring
+)
+
+// String implements fmt.Stringer.
+func (m Method) String() string {
+	switch m {
+	case Central:
+		return "central"
+	case Ring:
+		return "ring"
+	}
+	return fmt.Sprintf("Method(%d)", int(m))
+}
+
+// ParseMethod maps a -allreduce flag value to a Method.
+func ParseMethod(s string) (Method, error) {
+	switch s {
+	case "central":
+		return Central, nil
+	case "ring":
+		return Ring, nil
+	}
+	return Central, fmt.Errorf("collective: unknown all-reduce method %q (want ring or central)", s)
+}
+
+// Sender is the transport slice the ring collective needs: point-to-point
+// delivery to a peer's inbox. transport.Transport satisfies it.
+type Sender interface {
+	// Send delivers m to worker `to`'s inbox.
+	Send(to int, m transport.Message) error
+}
+
+// DefaultBucketBytes is the gradient bucket size used when the caller
+// does not specify one: large enough to amortize per-message overhead,
+// small enough that the first bucket finishes backward (and can start
+// reducing) well before the last.
+const DefaultBucketBytes = 256 << 10

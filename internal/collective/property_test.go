@@ -1,0 +1,92 @@
+package collective
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pipedream/internal/tensor"
+)
+
+// TestRingPropertyMatchesNaiveReference is the randomized equivalence
+// suite: across random tensor shapes, replica counts 2–5, partial-round
+// participant subsets, and bucket sizes, the chunked ring all-reduce must
+// (a) match the naive sum-then-divide reference within 1e-6 and (b) be
+// bit-identical across two runs over the same inputs — the determinism
+// invariant that makes training reproducible.
+func TestRingPropertyMatchesNaiveReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260806))
+	bucketChoices := []int{4, 16, 64, 256, 1024, 1 << 20}
+	for trial := 0; trial < 40; trial++ {
+		replicas := 2 + rng.Intn(4) // 2..5
+		participants := replicas
+		if rng.Intn(3) == 0 && replicas > 2 {
+			participants = 2 + rng.Intn(replicas-1) // partial final round
+		}
+		nTensors := 1 + rng.Intn(6)
+		shapes := make([][]int, nTensors)
+		for ti := range shapes {
+			dims := 1 + rng.Intn(3)
+			shape := make([]int, dims)
+			for d := range shape {
+				shape[d] = rng.Intn(9) // 0..8, zero-sized dims included
+			}
+			shapes[ti] = shape
+		}
+		bucketBytes := bucketChoices[rng.Intn(len(bucketChoices))]
+
+		base := make([][]*tensor.Tensor, replicas)
+		for r := 0; r < replicas; r++ {
+			for _, shape := range shapes {
+				g := tensor.New(shape...)
+				for i := range g.Data {
+					g.Data[i] = rng.Float32()*2 - 1
+				}
+				base[r] = append(base[r], g)
+			}
+		}
+		want := naiveAverage(base, participants)
+
+		run := func(perLayer bool) [][]*tensor.Tensor {
+			grads := cloneGrads(base)
+			tr, rings := makeRings(replicas, bucketBytes)
+			defer tr.Close()
+			runRound(t, tr, rings, grads, trial*10, participants, perLayer)
+			return grads
+		}
+		first := run(rng.Intn(2) == 0)
+		second := run(rng.Intn(2) == 0)
+		if t.Failed() {
+			t.Fatalf("trial %d (replicas=%d participants=%d buckets=%dB shapes=%v)",
+				trial, replicas, participants, bucketBytes, shapes)
+		}
+
+		for r := 0; r < participants; r++ {
+			for ti := range base[r] {
+				for i := range base[r][ti].Data {
+					got := float64(first[r][ti].Data[i])
+					if math.Abs(got-want[ti][i]) > 1e-6 {
+						t.Fatalf("trial %d replica %d tensor %d[%d]: ring %.9f vs naive %.9f (replicas=%d participants=%d buckets=%dB)",
+							trial, r, ti, i, got, want[ti][i], replicas, participants, bucketBytes)
+					}
+					a := math.Float32bits(first[r][ti].Data[i])
+					b := math.Float32bits(second[r][ti].Data[i])
+					if a != b {
+						t.Fatalf("trial %d replica %d tensor %d[%d]: runs differ bit-wise: %08x vs %08x",
+							trial, r, ti, i, a, b)
+					}
+				}
+			}
+		}
+		// All participants must leave with identical bits (consensus).
+		for r := 1; r < participants; r++ {
+			for ti := range first[r] {
+				for i := range first[r][ti].Data {
+					if math.Float32bits(first[r][ti].Data[i]) != math.Float32bits(first[0][ti].Data[i]) {
+						t.Fatalf("trial %d: replica %d disagrees with replica 0 at tensor %d[%d]", trial, r, ti, i)
+					}
+				}
+			}
+		}
+	}
+}

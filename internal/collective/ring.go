@@ -1,0 +1,431 @@
+package collective
+
+import (
+	"fmt"
+
+	"pipedream/internal/tensor"
+	"pipedream/internal/transport"
+)
+
+// RingReducer averages one replica's gradients with its siblings through
+// a chunked ring all-reduce carried over transport messages, overlapping
+// the reduction with the remaining backward compute.
+//
+// Gradients are packed into contiguous buckets of at most bucketBytes.
+// Because backward runs last-layer-first, the tail buckets become ready
+// first: as soon as a bucket's layers have final gradients, the owner
+// calls Ready and that bucket starts its ring — reduce-scatter (P-1
+// steps) then all-gather (P-1 steps), each step moving one 1/P-sized
+// chunk to the right neighbor — while earlier layers are still
+// backpropagating. Each replica therefore moves 2(P-1)/P of the bucket
+// bytes, the cost the partitioning DP charges for replication.
+//
+// The reducer is deliberately single-threaded and poll-driven: it only
+// progresses when its owning worker pumps it (Deliver on an incoming
+// chunk, Ready after a layer's backward). Chunk c's sum accumulates in
+// fixed ring order g_c, g_{c+1}, ... regardless of message timing, and
+// two-operand float addition is commutative, so results are bit-identical
+// run to run — unlike the arrival-ordered CentralReducer sum.
+type RingReducer struct {
+	rank        int
+	peers       []int
+	tr          Sender
+	bucketBytes int
+
+	buckets []*ringBucket // templates built on first BeginRound, reused per round
+	nGrads  int
+	nElems  int
+
+	cur      *roundState
+	pending  map[chunkKey]*tensor.Tensor
+	lastDone int
+	wire     int64
+	drops    int64
+}
+
+// chunkKey identifies one expected chunk transfer: pending deliveries are
+// parked here until the owning bucket's lock-step state machine reaches
+// that (phase, step).
+type chunkKey struct {
+	round  int
+	bucket int
+	phase  int
+	step   int
+}
+
+// roundState is the in-flight all-reduce round (at most one per reducer:
+// rounds on one worker are strictly sequential).
+type roundState struct {
+	key          int
+	participants int
+	grads        []*tensor.Tensor
+	readyFrom    int // grads[readyFrom:] have final values
+	done         int // completed buckets
+}
+
+// ringBucket is one contiguous range of gradient tensors reduced as a
+// unit. Its flat working buffer and chunk table persist across rounds
+// (gradient shapes never change within a run). A bucket that covers
+// exactly one tensor works on that tensor's storage in place — no
+// flatten/unflatten copies — so large layers that get a bucket to
+// themselves reduce copy-free.
+type ringBucket struct {
+	index       int
+	first, last int // tensor index range [first, last) into the grads slice
+	elems       int
+	buf         []float32 // owned buffer; nil for single-tensor buckets
+	data        []float32 // working view: buf, or the lone tensor's storage
+	chunks      [][2]int  // per-chunk [lo, hi) element ranges into data
+	chunkedFor  int       // participant count the chunk table was built for
+
+	phase int // 0 reduce-scatter, 1 all-gather, 2 complete
+	step  int
+	sent  bool
+	ready bool
+	done  bool
+}
+
+// NewRingReducer creates the reducer for the replica with the given rank.
+// peers lists the worker ids of all replicas of the stage in rank order
+// (peers[rank] is this worker); tr delivers chunks to their inboxes.
+// bucketBytes <= 0 selects DefaultBucketBytes.
+func NewRingReducer(rank int, peers []int, tr Sender, bucketBytes int) *RingReducer {
+	if bucketBytes <= 0 {
+		bucketBytes = DefaultBucketBytes
+	}
+	return &RingReducer{
+		rank:        rank,
+		peers:       append([]int(nil), peers...),
+		tr:          tr,
+		bucketBytes: bucketBytes,
+		pending:     make(map[chunkKey]*tensor.Tensor),
+		lastDone:    -1,
+	}
+}
+
+// BeginRound opens all-reduce round `key` over the first `participants`
+// ranks. grads is this replica's gradient list; buckets with no elements
+// complete immediately, the rest join the ring once Ready marks their
+// layers final. key must be globally unique and increasing (the runtime
+// uses the first minibatch of the round-robin block).
+func (r *RingReducer) BeginRound(key, participants int, grads []*tensor.Tensor) error {
+	if r.cur != nil {
+		return fmt.Errorf("collective: ring round %d begun while round %d is incomplete", key, r.cur.key)
+	}
+	if key <= r.lastDone {
+		return fmt.Errorf("collective: ring round key %d not after completed key %d", key, r.lastDone)
+	}
+	if participants < 2 || participants > len(r.peers) {
+		return fmt.Errorf("collective: ring round %d over %d participants of %d peers", key, participants, len(r.peers))
+	}
+	if r.rank >= participants {
+		return fmt.Errorf("collective: rank %d is not a participant of %d-way round %d", r.rank, participants, key)
+	}
+	if err := r.ensureBuckets(grads); err != nil {
+		return err
+	}
+	st := &roundState{key: key, participants: participants, grads: grads, readyFrom: len(grads)}
+	r.cur = st
+	if len(r.buckets) == 0 {
+		// A stage with no parameters has nothing to reduce.
+		r.lastDone = key
+		r.cur = nil
+		return nil
+	}
+	for _, b := range r.buckets {
+		b.resetFor(participants)
+		if b.elems == 0 {
+			r.finishBucket(st, b)
+		}
+	}
+	return nil
+}
+
+// Ready marks grads[firstFinal:] as final: every bucket fully inside that
+// range is flattened and starts (or continues) its ring. The pipeline
+// calls this from the backward hook after each layer, and with 0 before
+// the final drain. Calls after the round already completed (the overlap
+// finished mid-backward) are no-ops.
+func (r *RingReducer) Ready(firstFinal int) error {
+	st := r.cur
+	if st == nil {
+		return nil
+	}
+	if firstFinal < 0 {
+		firstFinal = 0
+	}
+	if firstFinal < st.readyFrom {
+		st.readyFrom = firstFinal
+	}
+	for i := len(r.buckets) - 1; i >= 0; i-- {
+		b := r.buckets[i]
+		if b.ready || b.done {
+			continue
+		}
+		if b.first < st.readyFrom {
+			break // buckets are ordered; everything earlier is not final yet
+		}
+		if b.buf == nil {
+			b.data = st.grads[b.first].Data // single-tensor bucket: reduce in place
+		} else {
+			b.data = b.buf
+			transport.FlattenInto(b.data, st.grads[b.first:b.last])
+		}
+		b.ready = true
+		if err := r.advance(st, b); err != nil {
+			return err
+		}
+		if r.cur == nil {
+			break // round completed inside advance
+		}
+	}
+	return nil
+}
+
+// Deliver routes one incoming GradChunk message into the reducer.
+// Messages for other kinds are ignored; duplicates and retransmits of
+// completed rounds are dropped; chunks for future rounds are parked until
+// their round begins.
+func (r *RingReducer) Deliver(m transport.Message) error {
+	if m.Kind != transport.GradChunk {
+		return nil
+	}
+	if m.Minibatch <= r.lastDone {
+		r.drops++
+		return nil
+	}
+	k := chunkKey{round: m.Minibatch, bucket: m.Chunk.Bucket, phase: m.Chunk.Phase, step: m.Chunk.Step}
+	if _, dup := r.pending[k]; dup {
+		r.drops++
+		return nil
+	}
+	r.pending[k] = m.Tensor
+	if r.cur != nil && m.Minibatch == r.cur.key {
+		if k.bucket < 0 || k.bucket >= len(r.buckets) {
+			return fmt.Errorf("collective: round %d chunk for unknown bucket %d of %d", m.Minibatch, k.bucket, len(r.buckets))
+		}
+		return r.advance(r.cur, r.buckets[k.bucket])
+	}
+	return nil
+}
+
+// Idle reports whether no all-reduce round is in flight.
+func (r *RingReducer) Idle() bool { return r.cur == nil }
+
+// NumBuckets returns how many gradient buckets a round consists of (0
+// before the first round).
+func (r *RingReducer) NumBuckets() int { return len(r.buckets) }
+
+// CompletedBuckets returns how many buckets of the in-flight round have
+// finished reducing; when idle it reports the full bucket count.
+func (r *RingReducer) CompletedBuckets() int {
+	if r.cur == nil {
+		return len(r.buckets)
+	}
+	return r.cur.done
+}
+
+// WireBytes returns the cumulative payload bytes this replica has put on
+// the wire for ring chunks.
+func (r *RingReducer) WireBytes() int64 { return r.wire }
+
+// DroppedChunks returns how many duplicate or stale chunk deliveries were
+// discarded.
+func (r *RingReducer) DroppedChunks() int64 { return r.drops }
+
+// Reset discards any in-flight round and parked chunks and forgets
+// completed round keys — the recovery reset between a failed chunk of
+// training and its retry (re-run minibatches legitimately reuse their
+// round keys). Bucket layout and cumulative counters persist.
+func (r *RingReducer) Reset() {
+	r.cur = nil
+	r.pending = make(map[chunkKey]*tensor.Tensor)
+	r.lastDone = -1
+}
+
+// ensureBuckets builds the bucket templates on first use and verifies the
+// gradient layout has not changed since.
+func (r *RingReducer) ensureBuckets(grads []*tensor.Tensor) error {
+	total := 0
+	for _, g := range grads {
+		total += g.Size()
+	}
+	if r.buckets != nil {
+		if len(grads) != r.nGrads || total != r.nElems {
+			return fmt.Errorf("collective: gradient layout changed: %d tensors/%d elems, want %d/%d",
+				len(grads), total, r.nGrads, r.nElems)
+		}
+		return nil
+	}
+	r.nGrads, r.nElems = len(grads), total
+	perBucket := r.bucketBytes / 4
+	if perBucket < 1 {
+		perBucket = 1
+	}
+	first, elems := 0, 0
+	for i, g := range grads {
+		elems += g.Size()
+		if elems >= perBucket || i == len(grads)-1 {
+			b := &ringBucket{
+				index: len(r.buckets),
+				first: first,
+				last:  i + 1,
+				elems: elems,
+			}
+			if b.last-b.first > 1 {
+				b.buf = make([]float32, elems)
+			}
+			r.buckets = append(r.buckets, b)
+			first, elems = i+1, 0
+		}
+	}
+	return nil
+}
+
+// advance runs one bucket's lock-step state machine as far as the parked
+// chunks allow: send this step's chunk (once), consume the matching
+// incoming chunk if it has arrived, move to the next step.
+func (r *RingReducer) advance(st *roundState, b *ringBucket) error {
+	if b.done || !b.ready {
+		return nil
+	}
+	p := st.participants
+	for {
+		if !b.sent {
+			c := b.sendChunk(r.rank, p)
+			lo, hi := b.chunks[c][0], b.chunks[c][1]
+			// Payloads come from the tensor arena (uninitialized — the
+			// copy overwrites every element) and are recycled by the
+			// receiving reducer once consumed, keeping the per-chunk
+			// allocation churn off the training hot path.
+			payload := tensor.GetRaw(hi - lo)
+			copy(payload.Data, b.data[lo:hi])
+			msg := transport.Message{
+				Kind:      transport.GradChunk,
+				Minibatch: st.key,
+				Version:   r.rank,
+				Tensor:    payload,
+				Chunk:     transport.ChunkInfo{Bucket: b.index, Phase: b.phase, Step: b.step, Chunk: c},
+			}
+			if err := r.tr.Send(r.peers[(r.rank+1)%p], msg); err != nil {
+				return err
+			}
+			r.wire += int64(4 * payload.Size())
+			b.sent = true
+		}
+		k := chunkKey{round: st.key, bucket: b.index, phase: b.phase, step: b.step}
+		in, ok := r.pending[k]
+		if !ok {
+			return nil // wait for the left neighbor's chunk
+		}
+		delete(r.pending, k)
+		c := b.recvChunk(r.rank, p)
+		lo, hi := b.chunks[c][0], b.chunks[c][1]
+		if in.Size() != hi-lo {
+			return fmt.Errorf("collective: round %d bucket %d phase %d step %d: got %d elems, want %d",
+				st.key, b.index, b.phase, b.step, in.Size(), hi-lo)
+		}
+		if b.phase == 0 {
+			dst := b.data[lo:hi]
+			for i, v := range in.Data {
+				dst[i] += v
+			}
+		} else {
+			copy(b.data[lo:hi], in.Data)
+		}
+		// The chunk is consumed exactly once per key; recycle its buffer.
+		// Duplicate deliveries never reach this point (they are dropped
+		// while the original is parked, or re-parked after consumption and
+		// purged unread at round end), so no buffer is recycled twice.
+		tensor.Put(in)
+		b.sent = false
+		b.step++
+		if b.step == p-1 {
+			b.phase++
+			b.step = 0
+			if b.phase == 1 {
+				// Reduce-scatter done: this rank owns one fully summed
+				// chunk. Scale it here, once, so the all-gather copies
+				// final averaged values — bit-identical to scaling the
+				// whole bucket at every replica, at 1/P the multiplies.
+				own := b.chunks[b.sendChunk(r.rank, p)]
+				inv := float32(1) / float32(p)
+				for i := own[0]; i < own[1]; i++ {
+					b.data[i] *= inv
+				}
+			}
+		}
+		if b.phase == 2 {
+			if b.buf != nil {
+				transport.UnflattenFrom(st.grads[b.first:b.last], b.data)
+			}
+			r.finishBucket(st, b)
+			return nil
+		}
+	}
+}
+
+// finishBucket marks b complete and closes the round when it was the
+// last one.
+func (r *RingReducer) finishBucket(st *roundState, b *ringBucket) {
+	b.done = true
+	st.done++
+	if st.done == len(r.buckets) {
+		r.lastDone = st.key
+		r.cur = nil
+		for k := range r.pending {
+			if k.round <= st.key {
+				delete(r.pending, k)
+			}
+		}
+	}
+}
+
+// resetFor prepares the bucket for a new round over p participants,
+// rebuilding the chunk table when the participant count changed (the
+// final partial round of a training chunk).
+func (b *ringBucket) resetFor(p int) {
+	b.phase, b.step = 0, 0
+	b.sent, b.ready, b.done = false, false, false
+	if b.chunkedFor == p {
+		return
+	}
+	b.chunkedFor = p
+	b.chunks = b.chunks[:0]
+	base, rem := b.elems/p, b.elems%p
+	lo := 0
+	for i := 0; i < p; i++ {
+		n := base
+		if i < rem {
+			n++
+		}
+		b.chunks = append(b.chunks, [2]int{lo, lo + n})
+		lo += n
+	}
+}
+
+// sendChunk returns the chunk index this rank transmits at the bucket's
+// current (phase, step); recvChunk the index it expects from its left
+// neighbor. The fixed schedule is what makes the reduction order — and
+// therefore the floating-point result — deterministic.
+func (b *ringBucket) sendChunk(rank, p int) int {
+	if b.phase == 0 {
+		return mod(rank-b.step, p)
+	}
+	return mod(rank+1-b.step, p)
+}
+
+func (b *ringBucket) recvChunk(rank, p int) int {
+	if b.phase == 0 {
+		return mod(rank-b.step-1, p)
+	}
+	return mod(rank-b.step, p)
+}
+
+func mod(a, p int) int {
+	a %= p
+	if a < 0 {
+		a += p
+	}
+	return a
+}

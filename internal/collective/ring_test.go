@@ -1,0 +1,357 @@
+package collective
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"pipedream/internal/tensor"
+	"pipedream/internal/transport"
+)
+
+// runRound drives one all-reduce round to completion: `participants`
+// goroutines (ranks 0..participants-1) each contribute grads[rank],
+// pumping their rings from their own inboxes exactly the way a stage
+// worker does. When perLayer is true, tensors are marked ready one at a
+// time from the tail (the backward/sync overlap path); otherwise all at
+// once.
+func runRound(t testing.TB, tr transport.Transport, rings []*RingReducer, grads [][]*tensor.Tensor, key, participants int, perLayer bool) {
+	t.Helper()
+	errs := make(chan error, participants)
+	var wg sync.WaitGroup
+	for rank := 0; rank < participants; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			r := rings[rank]
+			inbox := tr.Inbox(rank)
+			pump := func() error {
+				for {
+					select {
+					case m, ok := <-inbox:
+						if !ok {
+							return nil
+						}
+						if err := r.Deliver(m); err != nil {
+							return err
+						}
+					default:
+						return nil
+					}
+				}
+			}
+			if err := r.BeginRound(key, participants, grads[rank]); err != nil {
+				errs <- err
+				return
+			}
+			if perLayer {
+				for i := len(grads[rank]) - 1; i >= 0; i-- {
+					if err := pump(); err != nil {
+						errs <- err
+						return
+					}
+					if err := r.Ready(i); err != nil {
+						errs <- err
+						return
+					}
+				}
+			} else if len(grads[rank]) > 0 {
+				if err := r.Ready(0); err != nil {
+					errs <- err
+					return
+				}
+			}
+			deadline := time.After(10 * time.Second)
+			for !r.Idle() {
+				select {
+				case m, ok := <-inbox:
+					if !ok {
+						errs <- nil
+						return
+					}
+					if err := r.Deliver(m); err != nil {
+						errs <- err
+						return
+					}
+				case <-deadline:
+					t.Errorf("rank %d: round %d did not complete", rank, key)
+					return
+				}
+			}
+		}(rank)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatalf("ring round %d: %v", key, err)
+		}
+	}
+}
+
+// makeRings builds one ring per replica over a fresh in-process transport.
+func makeRings(replicas, bucketBytes int) (*transport.Channels, []*RingReducer) {
+	tr := transport.NewChannels(replicas, 256)
+	peers := make([]int, replicas)
+	for i := range peers {
+		peers[i] = i
+	}
+	rings := make([]*RingReducer, replicas)
+	for r := range rings {
+		rings[r] = NewRingReducer(r, peers, tr, bucketBytes)
+	}
+	return tr, rings
+}
+
+// cloneGrads deep-copies a per-replica gradient set.
+func cloneGrads(src [][]*tensor.Tensor) [][]*tensor.Tensor {
+	out := make([][]*tensor.Tensor, len(src))
+	for r, ts := range src {
+		for _, g := range ts {
+			out[r] = append(out[r], g.Clone())
+		}
+	}
+	return out
+}
+
+// naiveAverage computes the sum-then-divide reference in float64.
+func naiveAverage(grads [][]*tensor.Tensor, participants int) [][]float64 {
+	out := make([][]float64, len(grads[0]))
+	for ti := range grads[0] {
+		out[ti] = make([]float64, grads[0][ti].Size())
+		for i := range out[ti] {
+			var s float64
+			for r := 0; r < participants; r++ {
+				s += float64(grads[r][ti].Data[i])
+			}
+			out[ti][i] = s / float64(participants)
+		}
+	}
+	return out
+}
+
+func TestRingTwoReplicasExactAverage(t *testing.T) {
+	tr, rings := makeRings(2, 64)
+	defer tr.Close()
+	grads := [][]*tensor.Tensor{
+		{tensor.FromSlice([]float32{1, 2, 3, 4}, 4), tensor.FromSlice([]float32{10}, 1)},
+		{tensor.FromSlice([]float32{3, 2, 1, 0}, 4), tensor.FromSlice([]float32{-10}, 1)},
+	}
+	runRound(t, tr, rings, grads, 0, 2, false)
+	want := [][]float32{{2, 2, 2, 2}, {0}}
+	for r := 0; r < 2; r++ {
+		for ti, w := range want {
+			for i, v := range w {
+				if grads[r][ti].Data[i] != v {
+					t.Fatalf("replica %d tensor %d[%d] = %g, want %g", r, ti, i, grads[r][ti].Data[i], v)
+				}
+			}
+		}
+	}
+	if rings[0].WireBytes() == 0 {
+		t.Fatal("no bytes recorded on the wire")
+	}
+}
+
+func TestRingPartialRoundUsesSubsetOfReplicas(t *testing.T) {
+	// 3 replicas configured, but the final round has only 2 participants.
+	tr, rings := makeRings(3, 1<<20)
+	defer tr.Close()
+	grads := [][]*tensor.Tensor{
+		{tensor.FromSlice([]float32{2, 4, 6, 8, 10}, 5)},
+		{tensor.FromSlice([]float32{0, 0, 2, 2, 2}, 5)},
+		{tensor.FromSlice([]float32{99, 99, 99, 99, 99}, 5)}, // not a participant
+	}
+	runRound(t, tr, rings, grads, 7, 2, false)
+	want := []float32{1, 2, 4, 5, 6}
+	for r := 0; r < 2; r++ {
+		for i, v := range want {
+			if grads[r][0].Data[i] != v {
+				t.Fatalf("replica %d [%d] = %g, want %g", r, i, grads[r][0].Data[i], v)
+			}
+		}
+	}
+	for i, v := range grads[2][0].Data {
+		if v != 99 {
+			t.Fatalf("non-participant grads mutated at %d: %g", i, v)
+		}
+	}
+}
+
+func TestRingOverlapPerLayerReadyConverges(t *testing.T) {
+	// Layer-at-a-time Ready (the backward overlap path) must give the
+	// same result as all-at-once, across several buckets and replicas.
+	const replicas = 4
+	base := make([][]*tensor.Tensor, replicas)
+	for r := 0; r < replicas; r++ {
+		for ti := 0; ti < 5; ti++ {
+			g := tensor.New(17)
+			for i := range g.Data {
+				g.Data[i] = float32(r+1) * float32(ti*17+i) * 0.25
+			}
+			base[r] = append(base[r], g)
+		}
+	}
+	allAtOnce := cloneGrads(base)
+	perLayer := cloneGrads(base)
+
+	tr1, rings1 := makeRings(replicas, 64)
+	runRound(t, tr1, rings1, allAtOnce, 3, replicas, false)
+	tr1.Close()
+
+	tr2, rings2 := makeRings(replicas, 64)
+	runRound(t, tr2, rings2, perLayer, 3, replicas, true)
+	tr2.Close()
+
+	for r := 0; r < replicas; r++ {
+		for ti := range base[r] {
+			for i := range base[r][ti].Data {
+				a := allAtOnce[r][ti].Data[i]
+				b := perLayer[r][ti].Data[i]
+				if math.Float32bits(a) != math.Float32bits(b) {
+					t.Fatalf("replica %d tensor %d[%d]: all-at-once %g != per-layer %g", r, ti, i, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestRingSequentialRoundsReuseBuckets(t *testing.T) {
+	tr, rings := makeRings(2, 32)
+	defer tr.Close()
+	grads := [][]*tensor.Tensor{
+		{tensor.New(20), tensor.New(5)},
+		{tensor.New(20), tensor.New(5)},
+	}
+	for round := 0; round < 3; round++ {
+		for r := 0; r < 2; r++ {
+			for _, g := range grads[r] {
+				for i := range g.Data {
+					g.Data[i] = float32(r + round + i)
+				}
+			}
+		}
+		runRound(t, tr, rings, grads, round*2, 2, false)
+		for i := range grads[0][0].Data {
+			want := (float32(0+round+i) + float32(1+round+i)) / 2
+			if grads[0][0].Data[i] != want {
+				t.Fatalf("round %d [%d] = %g, want %g", round, i, grads[0][0].Data[i], want)
+			}
+		}
+	}
+}
+
+func TestRingEmptyGradientsCompleteImmediately(t *testing.T) {
+	tr, rings := makeRings(2, 64)
+	defer tr.Close()
+	if err := rings[0].BeginRound(0, 2, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !rings[0].Idle() {
+		t.Fatal("round over zero gradients should complete at BeginRound")
+	}
+}
+
+func TestRingRejectsMisusedRounds(t *testing.T) {
+	tr, rings := makeRings(2, 64)
+	defer tr.Close()
+	grads := []*tensor.Tensor{tensor.New(8)}
+	if err := rings[0].BeginRound(0, 2, grads); err != nil {
+		t.Fatal(err)
+	}
+	if err := rings[0].BeginRound(2, 2, grads); err == nil {
+		t.Fatal("second BeginRound while round 0 is in flight should fail")
+	}
+	if err := rings[0].BeginRound(0, 1, grads); err == nil {
+		t.Fatal("participants < 2 should fail")
+	}
+	rings[0].Reset()
+	if err := rings[0].BeginRound(0, 3, grads); err == nil {
+		t.Fatal("participants > peers should fail")
+	}
+}
+
+func TestRingChaosDelayDupMatchesClean(t *testing.T) {
+	// Heavy reordering and duplication from the chaos transport must not
+	// change the result by a single bit: chunk ordering is fixed by the
+	// schedule, not by arrival order.
+	const replicas = 3
+	base := make([][]*tensor.Tensor, replicas)
+	for r := 0; r < replicas; r++ {
+		for ti := 0; ti < 4; ti++ {
+			g := tensor.New(33)
+			for i := range g.Data {
+				g.Data[i] = float32(math.Sin(float64(r*1000 + ti*100 + i)))
+			}
+			base[r] = append(base[r], g)
+		}
+	}
+	clean := cloneGrads(base)
+	trC, ringsC := makeRings(replicas, 128)
+	runRound(t, trC, ringsC, clean, 5, replicas, true)
+	trC.Close()
+
+	noisy := cloneGrads(base)
+	inner := transport.NewChannels(replicas, 256)
+	chaos := transport.NewChaos(inner, transport.ChaosConfig{
+		Seed: 11, DelayRate: 0.5, DupRate: 0.3, MaxDelay: 2 * time.Millisecond,
+	})
+	defer chaos.Close()
+	peers := []int{0, 1, 2}
+	rings := make([]*RingReducer, replicas)
+	for r := range rings {
+		rings[r] = NewRingReducer(r, peers, chaos, 128)
+	}
+	runRound(t, chaos, rings, noisy, 5, replicas, true)
+
+	for r := 0; r < replicas; r++ {
+		for ti := range base[r] {
+			for i := range base[r][ti].Data {
+				a, b := clean[r][ti].Data[i], noisy[r][ti].Data[i]
+				if math.Float32bits(a) != math.Float32bits(b) {
+					t.Fatalf("replica %d tensor %d[%d]: clean %g != chaos %g", r, ti, i, a, b)
+				}
+			}
+		}
+	}
+	var dropped int64
+	for _, r := range rings {
+		dropped += r.DroppedChunks()
+	}
+	if dropped == 0 {
+		t.Log("chaos produced no duplicate deliveries this run (dedup not exercised)")
+	}
+}
+
+func TestCentralReducerAveragesBlock(t *testing.T) {
+	red := NewCentralReducer(2)
+	red.Reset(0, 4)
+	g0 := []*tensor.Tensor{tensor.FromSlice([]float32{1, 3}, 2)}
+	g1 := []*tensor.Tensor{tensor.FromSlice([]float32{3, 5}, 2)}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); red.Reduce(0, g0) }()
+	go func() { defer wg.Done(); red.Reduce(1, g1) }()
+	wg.Wait()
+	for _, g := range [][]*tensor.Tensor{g0, g1} {
+		if g[0].Data[0] != 2 || g[0].Data[1] != 4 {
+			t.Fatalf("central average = %v, want [2 4]", g[0].Data)
+		}
+	}
+}
+
+func TestParseMethod(t *testing.T) {
+	if m, err := ParseMethod("ring"); err != nil || m != Ring {
+		t.Fatalf("ParseMethod(ring) = %v, %v", m, err)
+	}
+	if m, err := ParseMethod("central"); err != nil || m != Central {
+		t.Fatalf("ParseMethod(central) = %v, %v", m, err)
+	}
+	if _, err := ParseMethod("nccl"); err == nil {
+		t.Fatal("ParseMethod(nccl) should fail")
+	}
+	if Ring.String() != "ring" || Central.String() != "central" {
+		t.Fatalf("String() = %q/%q", Ring.String(), Central.String())
+	}
+}

@@ -67,11 +67,24 @@ func (s *Sequential) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, *Seq
 
 // Backward runs all layers in reverse, accumulating parameter gradients.
 func (s *Sequential) Backward(ctx *SeqContext, gradOut *tensor.Tensor) *tensor.Tensor {
+	return s.BackwardWithHook(ctx, gradOut, nil)
+}
+
+// BackwardWithHook runs all layers in reverse like Backward, invoking
+// hook(i) after layer i's backward completes — at that point the
+// parameter gradients of layers i..len-1 are final and may be consumed.
+// The pipeline runtime uses the hook to overlap replicated-stage gradient
+// synchronization with the remaining backward compute. A nil hook makes
+// this identical to Backward.
+func (s *Sequential) BackwardWithHook(ctx *SeqContext, gradOut *tensor.Tensor, hook func(layer int)) *tensor.Tensor {
 	if len(ctx.ctxs) != len(s.Layers) {
 		panic(fmt.Sprintf("nn: context for %d layers used with %d-layer Sequential", len(ctx.ctxs), len(s.Layers)))
 	}
 	for i := len(s.Layers) - 1; i >= 0; i-- {
 		gradOut = s.Layers[i].Backward(ctx.ctxs[i], gradOut)
+		if hook != nil {
+			hook(i)
+		}
 	}
 	return gradOut
 }

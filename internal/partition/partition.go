@@ -36,6 +36,8 @@ type Plan struct {
 	// CommTimes[i] is the activation+gradient transfer time between
 	// stage i and stage i+1 (len = len(Stages)-1).
 	CommTimes []float64
+	// Sync is the collective cost model the plan was priced under.
+	Sync SyncModel
 	// BottleneckTime is the slowest pipeline element's time per
 	// minibatch; steady-state throughput is MinibatchSize/BottleneckTime.
 	BottleneckTime float64
@@ -135,11 +137,66 @@ func ringSyncTime(w int64, m int, bw float64, shared bool) float64 {
 	return 2 * float64(m-1) / float64(m) * float64(w) / bw
 }
 
-// Optimize runs the hierarchical DP and returns the best plan. It
-// considers every stage boundary and replication factor at every level of
-// the topology, then flattens nested replication into the paper's
-// "r1-r2-..." configuration notation.
+// centralSyncTime returns the per-update time of the centralized
+// (coordinator-based) exchange: the coordinator's link carries the full
+// 2(m-1)·w bytes, and the collective blocks the backward pass instead of
+// overlapping it.
+func centralSyncTime(w int64, m int, bw float64, shared bool) float64 {
+	if m <= 1 {
+		return 0
+	}
+	if shared {
+		bw /= float64(m)
+	}
+	return 2 * float64(m-1) * float64(w) / bw
+}
+
+// SyncModel selects which gradient collective the optimizer charges
+// replicated stages for — the planner must price what the runtime runs.
+type SyncModel int
+
+const (
+	// SyncRing models the chunked overlapped ring collective: the
+	// all_reduce runs while later layers' backward still computes
+	// (wait-free backpropagation), so a replica's period is
+	// max(compute, 2(m-1)/m·w/B) / m.
+	SyncRing SyncModel = iota
+	// SyncCentral models the barrier-style central reducer: the full
+	// 2(m-1)·w exchange blocks the backward path, so a replica's period
+	// is (compute + 2(m-1)·w/B) / m.
+	SyncCentral
+)
+
+// String implements fmt.Stringer.
+func (s SyncModel) String() string {
+	if s == SyncCentral {
+		return "central"
+	}
+	return "ring"
+}
+
+// stageSyncTime prices one replicated stage under the chosen model (see
+// SyncRing/SyncCentral for the two formulas).
+func stageSyncTime(sync SyncModel, compute float64, w int64, m int, bw float64, shared bool) float64 {
+	if sync == SyncCentral {
+		return (compute + centralSyncTime(w, m, bw, shared)) / float64(m)
+	}
+	return math.Max(compute, ringSyncTime(w, m, bw, shared)) / float64(m)
+}
+
+// Optimize runs the hierarchical DP and returns the best plan under the
+// default SyncRing cost model. It considers every stage boundary and
+// replication factor at every level of the topology, then flattens nested
+// replication into the paper's "r1-r2-..." configuration notation.
 func Optimize(prof *profile.ModelProfile, topo *topology.Topology) (*Plan, error) {
+	return OptimizeSync(prof, topo, SyncRing)
+}
+
+// OptimizeSync is Optimize with an explicit collective cost model:
+// planning for the central reducer charges the blocking 2(m-1)·w exchange,
+// which can flip the DP away from replication where the overlapped ring
+// would profit from it.
+func OptimizeSync(prof *profile.ModelProfile, topo *topology.Topology, sync SyncModel) (*Plan, error) {
 	if err := prof.Validate(); err != nil {
 		return nil, err
 	}
@@ -172,11 +229,9 @@ func Optimize(prof *profile.ModelProfile, topo *topology.Topology) (*Plan, error
 				for m := 2; m <= lvl.Width; m++ {
 					// Option 1: whole range as a single stage
 					// replicated over all m components. Each component
-					// sustains one minibatch per max(compute, sync).
-					tSingle := math.Max(
-						prev.a[i][j][prevWidth],
-						ringSyncTime(prof.WeightRange(i, j), m, lvl.Bandwidth, shared),
-					) / float64(m)
+					// sustains one minibatch per the sync model's period.
+					tSingle := stageSyncTime(sync, prev.a[i][j][prevWidth],
+						prof.WeightRange(i, j), m, lvl.Bandwidth, shared)
 					best, bestCh := tSingle, dpChoice{single: true}
 					// Option 2: split into an optimal sub-pipeline
 					// [i..s] on m-mp components followed by one stage
@@ -184,10 +239,8 @@ func Optimize(prof *profile.ModelProfile, topo *topology.Topology) (*Plan, error
 					for s := i; s < j; s++ {
 						comm := 2 * float64(prof.ActivationBytes(s)) / lvl.Bandwidth
 						for mp := 1; mp < m; mp++ {
-							tStage := math.Max(
-								prev.a[s+1][j][prevWidth],
-								ringSyncTime(prof.WeightRange(s+1, j), mp, lvl.Bandwidth, shared),
-							) / float64(mp)
+							tStage := stageSyncTime(sync, prev.a[s+1][j][prevWidth],
+								prof.WeightRange(s+1, j), mp, lvl.Bandwidth, shared)
 							t := math.Max(cur.a[i][s][m-mp], math.Max(comm, tStage))
 							if t < best {
 								best = t
@@ -205,7 +258,7 @@ func Optimize(prof *profile.ModelProfile, topo *topology.Topology) (*Plan, error
 	}
 
 	stages := reconstruct(tables, prof, len(levels), 0, n-1, levels[len(levels)-1].Width, 1)
-	return Evaluate(prof, topo, stages)
+	return EvaluateSync(prof, topo, stages, sync)
 }
 
 // reconstruct walks the DP choices at table level k (1-based into tables;
@@ -297,10 +350,16 @@ func balanceStages(prof *profile.ModelProfile, stages int) []StageSpec {
 }
 
 // Evaluate computes the optimizer's throughput prediction for an arbitrary
-// stage assignment on a topology, using the same cost model as the DP:
-// stage time = max(compute, weight sync)/replicas, inter-stage transfer
+// stage assignment on a topology under the default SyncRing model:
+// stage time = max(compute, ring sync)/replicas, inter-stage transfer
 // time = 2·a_s/bandwidth, bottleneck = slowest element.
 func Evaluate(prof *profile.ModelProfile, topo *topology.Topology, stages []StageSpec) (*Plan, error) {
+	return EvaluateSync(prof, topo, stages, SyncRing)
+}
+
+// EvaluateSync is Evaluate with an explicit collective cost model (see
+// SyncRing/SyncCentral for the per-stage formulas).
+func EvaluateSync(prof *profile.ModelProfile, topo *topology.Topology, stages []StageSpec, sync SyncModel) (*Plan, error) {
 	if err := validateStages(prof, topo, stages); err != nil {
 		return nil, err
 	}
@@ -312,16 +371,22 @@ func Evaluate(prof *profile.ModelProfile, topo *topology.Topology, stages []Stag
 		Model:      prof.Model,
 		Stages:     stages,
 		Workers:    workers,
+		Sync:       sync,
 		StageTimes: make([]float64, len(stages)),
 		CommTimes:  make([]float64, 0, len(stages)-1),
 	}
 	for i, st := range stages {
 		compute := prof.TimeRange(st.FirstLayer, st.LastLayer)
-		// Each replica sustains one minibatch per max(compute, sync):
-		// with wait-free backpropagation, weight synchronization overlaps
-		// compute of the next minibatch.
-		sync := topo.AllReduceTime(prof.WeightRange(st.FirstLayer, st.LastLayer), st.Replicas)
-		p.StageTimes[i] = math.Max(compute, sync) / float64(st.Replicas)
+		w := prof.WeightRange(st.FirstLayer, st.LastLayer)
+		if sync == SyncCentral {
+			// The central exchange blocks the backward path.
+			p.StageTimes[i] = (compute + topo.CentralExchangeTime(w, st.Replicas)) / float64(st.Replicas)
+		} else {
+			// Each replica sustains one minibatch per max(compute, sync):
+			// with wait-free backpropagation, the ring all_reduce overlaps
+			// compute of the next minibatch.
+			p.StageTimes[i] = math.Max(compute, topo.AllReduceTime(w, st.Replicas)) / float64(st.Replicas)
+		}
 		if p.StageTimes[i] > p.BottleneckTime {
 			p.BottleneckTime = p.StageTimes[i]
 		}

@@ -203,9 +203,36 @@ func readManifest(gdir string) (*checkpointManifest, error) {
 	if err != nil {
 		return nil, err
 	}
+	return parseManifest(data)
+}
+
+// maxManifestStages bounds the plan shape a manifest may describe; a
+// larger value is corruption, not a real deployment, and rejecting it
+// here keeps completeness scans over the implied stage files bounded.
+const maxManifestStages = 4096
+
+// parseManifest decodes and sanity-checks a checkpoint manifest. It is
+// pure (no filesystem access) so it can be fuzzed directly; every
+// malformed input must produce an error, never a panic or an implausible
+// manifest.
+func parseManifest(data []byte) (*checkpointManifest, error) {
 	var man checkpointManifest
 	if err := json.Unmarshal(data, &man); err != nil {
 		return nil, fmt.Errorf("manifest: %w", err)
+	}
+	if man.Generation < 0 || man.Cursor < 0 {
+		return nil, fmt.Errorf("manifest: negative generation %d / cursor %d", man.Generation, man.Cursor)
+	}
+	if man.Stages < 0 || man.Stages > maxManifestStages {
+		return nil, fmt.Errorf("manifest: implausible stage count %d", man.Stages)
+	}
+	if len(man.Replicas) > maxManifestStages {
+		return nil, fmt.Errorf("manifest: %d replica entries for %d stages", len(man.Replicas), man.Stages)
+	}
+	for s, r := range man.Replicas {
+		if r < 0 || r > maxManifestStages {
+			return nil, fmt.Errorf("manifest: implausible replica count %d for stage %d", r, s)
+		}
 	}
 	return &man, nil
 }

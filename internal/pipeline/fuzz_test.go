@@ -1,0 +1,56 @@
+package pipeline
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzManifestParse feeds arbitrary bytes to the checkpoint manifest
+// decoder: any input must either produce a sane manifest or an error —
+// never a panic, and never implausible plan shapes that would send the
+// completeness scan over millions of phantom stage files.
+func FuzzManifestParse(f *testing.F) {
+	f.Add([]byte(`{"Generation":5,"Cursor":5,"Stages":2,"Replicas":[2,1]}`))
+	f.Add([]byte(`{"Generation":0,"Cursor":0,"Stages":0,"Replicas":[]}`))
+	f.Add([]byte(`{"Stages":99999999}`))
+	f.Add([]byte(`{"Replicas":[-1]}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		man, err := parseManifest(data)
+		if err != nil {
+			if man != nil {
+				t.Fatal("parseManifest returned both a manifest and an error")
+			}
+			return
+		}
+		if man.Generation < 0 || man.Cursor < 0 {
+			t.Fatalf("accepted negative generation/cursor: %+v", man)
+		}
+		if man.Stages < 0 || man.Stages > maxManifestStages {
+			t.Fatalf("accepted implausible stage count: %+v", man)
+		}
+		if len(man.Replicas) > maxManifestStages {
+			t.Fatalf("accepted %d replica entries: %+v", len(man.Replicas), man)
+		}
+		for _, r := range man.Replicas {
+			if r < 0 || r > maxManifestStages {
+				t.Fatalf("accepted implausible replica count: %+v", man)
+			}
+		}
+		// A manifest that survives parsing must round-trip through the
+		// writer's encoding.
+		re, err := json.Marshal(man)
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		again, err := parseManifest(re)
+		if err != nil {
+			t.Fatalf("re-parse of accepted manifest failed: %v", err)
+		}
+		if again.Generation != man.Generation || again.Cursor != man.Cursor ||
+			again.Stages != man.Stages || len(again.Replicas) != len(man.Replicas) {
+			t.Fatalf("round trip changed the manifest: %+v vs %+v", man, again)
+		}
+	})
+}

@@ -25,6 +25,18 @@ type StageStats struct {
 	// SyncWait is total time blocked in replicated-stage gradient
 	// all_reduce (zero for unreplicated stages).
 	SyncWait time.Duration
+	// SyncFirstWait is the portion of SyncWait spent before the round's
+	// first gradient bucket finished reducing, and SyncTailWait the
+	// remainder (they sum to SyncWait). With the overlapped ring
+	// collective a small first wait means buckets were already reducing
+	// during backward compute; the central reducer has no buckets, so its
+	// whole wait counts as first wait.
+	SyncFirstWait time.Duration
+	SyncTailWait  time.Duration
+	// WireBytes is the cumulative gradient-chunk payload this worker put
+	// on the wire for ring all-reduce (zero for central or unreplicated
+	// stages).
+	WireBytes int64
 	// Idle is total time blocked waiting for a message with nothing
 	// runnable — the directly observed pipeline bubble.
 	Idle time.Duration
@@ -59,21 +71,27 @@ type StageStats struct {
 type workerMetrics struct {
 	oplog *metrics.OpLog
 
-	fwdHist   *metrics.Histogram // op durations, µs
-	bwdHist   *metrics.Histogram
-	syncHist  *metrics.Histogram
-	depthHist *metrics.Histogram // queue-depth samples
-	staleHist *metrics.Histogram // staleness, in local updates
-	stash     *metrics.Gauge     // live stash bytes
+	fwdHist    *metrics.Histogram // op durations, µs
+	bwdHist    *metrics.Histogram
+	syncHist   *metrics.Histogram
+	firstHist  *metrics.Histogram // sync wait before the first bucket, µs
+	tailHist   *metrics.Histogram // sync wait after the first bucket, µs
+	bucketHist *metrics.Histogram // per-bucket completion waits, µs
+	depthHist  *metrics.Histogram // queue-depth samples
+	staleHist  *metrics.Histogram // staleness, in local updates
+	stash      *metrics.Gauge     // live stash bytes
+	wire       *metrics.Gauge     // cumulative ring chunk bytes on the wire
 
-	runStart time.Time
-	wall     time.Duration
-	fwdOps   int
-	bwdOps   int
-	fwdTime  time.Duration
-	bwdTime  time.Duration
-	syncTime time.Duration
-	idleTime time.Duration
+	runStart  time.Time
+	wall      time.Duration
+	fwdOps    int
+	bwdOps    int
+	fwdTime   time.Duration
+	bwdTime   time.Duration
+	syncTime  time.Duration
+	syncFirst time.Duration
+	syncTail  time.Duration
+	idleTime  time.Duration
 
 	queueSum     int64
 	queueSamples int64
@@ -92,9 +110,13 @@ func newWorkerMetrics(reg *metrics.Registry, oplog *metrics.OpLog, stage, replic
 		wm.fwdHist = reg.Histogram(prefix+"forward_us", metrics.DurationBuckets())
 		wm.bwdHist = reg.Histogram(prefix+"backward_us", metrics.DurationBuckets())
 		wm.syncHist = reg.Histogram(prefix+"sync_wait_us", metrics.DurationBuckets())
+		wm.firstHist = reg.Histogram(prefix+"sync_first_us", metrics.DurationBuckets())
+		wm.tailHist = reg.Histogram(prefix+"sync_tail_us", metrics.DurationBuckets())
+		wm.bucketHist = reg.Histogram(prefix+"sync_bucket_us", metrics.DurationBuckets())
 		wm.depthHist = reg.Histogram(prefix+"queue_depth", metrics.DepthBuckets())
 		wm.staleHist = reg.Histogram(prefix+"staleness", metrics.DepthBuckets())
 		wm.stash = reg.Gauge(prefix + "stash_bytes")
+		wm.wire = reg.Gauge(prefix + "wire_bytes")
 	}
 	return wm
 }
@@ -105,8 +127,9 @@ func newWorkerMetrics(reg *metrics.Registry, oplog *metrics.OpLog, stage, replic
 func (wm *workerMetrics) beginRun() {
 	*wm = workerMetrics{
 		oplog: wm.oplog, fwdHist: wm.fwdHist, bwdHist: wm.bwdHist,
-		syncHist: wm.syncHist, depthHist: wm.depthHist,
-		staleHist: wm.staleHist, stash: wm.stash,
+		syncHist: wm.syncHist, firstHist: wm.firstHist, tailHist: wm.tailHist,
+		bucketHist: wm.bucketHist, depthHist: wm.depthHist,
+		staleHist: wm.staleHist, stash: wm.stash, wire: wm.wire,
 	}
 }
 
@@ -145,14 +168,32 @@ func (wm *workerMetrics) forwardDone(sw *stageWorker, mb int, start time.Time) {
 	}
 }
 
+// observeBucketWait records the wait between consecutive ring-bucket
+// completions during the sync drain (n buckets finished after waiting d).
+func (wm *workerMetrics) observeBucketWait(d time.Duration, n int) {
+	if wm.bucketHist == nil {
+		return
+	}
+	for i := 0; i < n; i++ {
+		wm.bucketHist.Observe(float64(d.Microseconds()))
+	}
+}
+
 // backwardDone records one completed backward pass: its full duration,
-// the sync-wait sub-span (nested inside it on the trace timeline), and
-// the observed weight-version staleness.
-func (wm *workerMetrics) backwardDone(sw *stageWorker, mb int, start time.Time, syncStart time.Time, syncDur time.Duration, staleness int) {
+// the sync-wait sub-span (nested inside it on the trace timeline) split
+// into before-first-bucket and tail portions, and the observed
+// weight-version staleness.
+func (wm *workerMetrics) backwardDone(sw *stageWorker, mb int, start time.Time, syncStart time.Time, syncDur, syncFirst time.Duration, staleness int) {
 	d := time.Since(start)
+	if syncFirst > syncDur {
+		syncFirst = syncDur
+	}
+	syncTail := syncDur - syncFirst
 	wm.bwdOps++
 	wm.bwdTime += d - syncDur
 	wm.syncTime += syncDur
+	wm.syncFirst += syncFirst
+	wm.syncTail += syncTail
 	wm.staleSum += int64(staleness)
 	if staleness > wm.maxStale {
 		wm.maxStale = staleness
@@ -162,6 +203,8 @@ func (wm *workerMetrics) backwardDone(sw *stageWorker, mb int, start time.Time, 
 		wm.staleHist.Observe(float64(staleness))
 		if syncDur > 0 {
 			wm.syncHist.Observe(float64(syncDur.Microseconds()))
+			wm.firstHist.Observe(float64(syncFirst.Microseconds()))
+			wm.tailHist.Observe(float64(syncTail.Microseconds()))
 		}
 	}
 	if wm.oplog != nil {
@@ -184,9 +227,16 @@ func (wm *workerMetrics) stats(sw *stageWorker) StageStats {
 		Worker: sw.id, Stage: sw.stage, Replica: sw.replica,
 		FwdOps: wm.fwdOps, BwdOps: wm.bwdOps,
 		FwdTime: wm.fwdTime, BwdTime: wm.bwdTime,
-		SyncWait: wm.syncTime, Idle: wm.idleTime, Wall: wm.wall,
+		SyncWait: wm.syncTime, SyncFirstWait: wm.syncFirst, SyncTailWait: wm.syncTail,
+		Idle: wm.idleTime, Wall: wm.wall,
 		PeakQueueDepth: wm.peakQueue, MaxStaleness: wm.maxStale,
 		PeakStashBytes: sw.peakStashBytes,
+	}
+	if sw.ring != nil {
+		s.WireBytes = sw.ring.WireBytes()
+		if wm.wire != nil {
+			wm.wire.Set(s.WireBytes)
+		}
 	}
 	if wm.wall > 0 {
 		s.BubbleFraction = 1 - float64(wm.fwdTime+wm.bwdTime)/float64(wm.wall)
@@ -224,14 +274,15 @@ func (r *Report) StageSummary() string {
 		return ""
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-8s %-6s %6s %10s %10s %10s %10s %7s %11s %10s %10s\n",
-		"worker", "stage", "ops", "fwd", "bwd", "sync", "idle", "bubble", "queue(µ/pk)", "stale(µ/mx)", "stash")
+	fmt.Fprintf(&b, "%-8s %-6s %6s %10s %10s %10s %10s %10s %10s %7s %11s %10s %10s %8s\n",
+		"worker", "stage", "ops", "fwd", "bwd", "sync", "sync1st", "synctail", "idle", "bubble", "queue(µ/pk)", "stale(µ/mx)", "stash", "wire")
 	for _, s := range r.Stages {
-		fmt.Fprintf(&b, "%-8d %d/%-4d %6d %10s %10s %10s %10s %6.1f%% %5.1f/%-5d %6.1f/%-3d %10s\n",
+		fmt.Fprintf(&b, "%-8d %d/%-4d %6d %10s %10s %10s %10s %10s %10s %6.1f%% %5.1f/%-5d %6.1f/%-3d %10s %8s\n",
 			s.Worker, s.Stage, s.Replica, s.FwdOps+s.BwdOps,
-			roundDur(s.FwdTime), roundDur(s.BwdTime), roundDur(s.SyncWait), roundDur(s.Idle),
+			roundDur(s.FwdTime), roundDur(s.BwdTime), roundDur(s.SyncWait),
+			roundDur(s.SyncFirstWait), roundDur(s.SyncTailWait), roundDur(s.Idle),
 			100*s.BubbleFraction, s.MeanQueueDepth, s.PeakQueueDepth,
-			s.MeanStaleness, s.MaxStaleness, fmtBytes(s.PeakStashBytes))
+			s.MeanStaleness, s.MaxStaleness, fmtBytes(s.PeakStashBytes), fmtBytes(s.WireBytes))
 	}
 	f := r.Faults
 	if f.Recoveries > 0 || f.CheckpointWrites > 0 || f.TransportReconnects > 0 || f.TransportSendErrors > 0 {

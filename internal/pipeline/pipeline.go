@@ -6,7 +6,9 @@
 // round-robin across stage replicas, and weight stashing (optionally
 // vertical sync) keeps gradients numerically correct despite pipelined
 // staleness (§3.2-3.3 of the paper). Replicated stages synchronize
-// gradients with an in-process all_reduce before applying updates.
+// gradients before applying updates — by default through a barrier-style
+// central reducer, or (Options.AllReduce = collective.Ring) through a
+// chunked ring all-reduce that overlaps with backward compute.
 package pipeline
 
 import (
@@ -16,6 +18,7 @@ import (
 	"sync"
 	"time"
 
+	"pipedream/internal/collective"
 	"pipedream/internal/data"
 	"pipedream/internal/metrics"
 	"pipedream/internal/nn"
@@ -143,6 +146,17 @@ type Options struct {
 	// neighbours at this period; a dead peer then surfaces as
 	// ErrPeerDown at the sender instead of waiting for the watchdog.
 	HeartbeatEvery time.Duration
+	// AllReduce selects the gradient collective for replicated stages:
+	// collective.Central (the default: barrier-style shared reducer
+	// in-process, full-gradient broadcast exchange across processes) or
+	// collective.Ring (chunked ring all-reduce over the transport,
+	// overlapped with backward compute; deterministic chunk ordering
+	// makes results bit-identical run to run).
+	AllReduce collective.Method
+	// BucketBytes caps the gradient bucket size of the ring collective;
+	// 0 selects collective.DefaultBucketBytes. Smaller buckets start
+	// reducing earlier (more overlap) at more per-message overhead.
+	BucketBytes int
 }
 
 // instrumented reports whether any observability sink is configured.
@@ -229,19 +243,26 @@ func New(opts Options) (*Pipeline, error) {
 	if opts.KernelParallelism > 0 {
 		tensor.SetParallelism(opts.KernelParallelism)
 	}
+	useRing := opts.AllReduce == collective.Ring
 	p.tr = opts.Transport
 	if p.tr == nil {
 		// Inboxes must absorb every in-flight message even when a worker
 		// stalls in a gradient all_reduce: depth minibatches per input
-		// replica, two messages each, plus slack.
+		// replica, two messages each, plus slack. Ring mode adds room for
+		// the lock-step chunk traffic: at most one in-flight chunk per
+		// bucket from the left neighbor's current round plus one from its
+		// next round.
 		buffer := 2*p.depth*opts.Plan.Stages[0].Replicas + 8
+		if useRing {
+			buffer += 2*maxRingBuckets(ref, opts) + 8
+		}
 		p.tr = transport.NewChannels(p.assign.NumWorkers(), buffer)
 		p.ownTr = true
 	}
-	reducers := make([]*allReducer, len(opts.Plan.Stages))
+	reducers := make([]*collective.CentralReducer, len(opts.Plan.Stages))
 	for s, spec := range opts.Plan.Stages {
-		if spec.Replicas > 1 {
-			reducers[s] = newAllReducer(spec.Replicas)
+		if spec.Replicas > 1 && !useRing {
+			reducers[s] = collective.NewCentralReducer(spec.Replicas)
 		}
 	}
 	for w, ref := range p.assign.Workers {
@@ -258,6 +279,10 @@ func New(opts Options) (*Pipeline, error) {
 			reducer: reducers[ref.Stage],
 			stash:   make(map[int]stashEntry),
 		}
+		if useRing && spec.Replicas > 1 {
+			sw.ring = collective.NewRingReducer(ref.Replica, p.assign.StageWorkers[ref.Stage], p.tr, opts.BucketBytes)
+			sw.gradOffsets = gradOffsetsOf(sw.model)
+		}
 		if opts.Mode == VerticalSync {
 			sw.versions = map[int][]*tensor.Tensor{0: nn.SnapshotParams(sw.model.Params())}
 		}
@@ -267,6 +292,48 @@ func New(opts Options) (*Pipeline, error) {
 		p.workers = append(p.workers, sw)
 	}
 	return p, nil
+}
+
+// maxRingBuckets bounds how many gradient buckets the ring collective of
+// any replicated stage will use — the transport buffer slack needed to
+// absorb its chunk traffic.
+func maxRingBuckets(model *nn.Sequential, opts Options) int {
+	bb := opts.BucketBytes
+	if bb <= 0 {
+		bb = collective.DefaultBucketBytes
+	}
+	max := 0
+	for _, spec := range opts.Plan.Stages {
+		if spec.Replicas <= 1 {
+			continue
+		}
+		bytes := 0
+		for _, g := range model.Slice(spec.FirstLayer, spec.LastLayer+1).Grads() {
+			bytes += g.Bytes()
+		}
+		n := (bytes + bb - 1) / bb
+		if n < 1 {
+			n = 1
+		}
+		if n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// gradOffsetsOf returns, per layer, the index of the layer's first
+// gradient tensor in model.Grads() — the translation from "layer i's
+// backward just finished" to "grads[offsets[i]:] are final" that the
+// backward/sync overlap hook needs.
+func gradOffsetsOf(model *nn.Sequential) []int {
+	offs := make([]int, len(model.Layers))
+	n := 0
+	for i, l := range model.Layers {
+		offs[i] = n
+		n += len(l.Grads())
+	}
+	return offs
 }
 
 // Close releases the transport if the pipeline created it.
@@ -396,14 +463,19 @@ func (p *Pipeline) Train(ds data.Dataset, minibatches int) (*Report, error) {
 // taken here is globally consistent. Losses land in losses[mb-base].
 func (p *Pipeline) runChunk(ds data.Dataset, cs, ce, base int, losses []float64) error {
 	for s, spec := range p.opts.Plan.Stages {
-		if spec.Replicas > 1 {
-			p.workers[p.assign.StageWorkers[s][0]].reducer.reset(cs, ce-cs)
+		if spec.Replicas > 1 && p.workers[p.assign.StageWorkers[s][0]].reducer != nil {
+			p.workers[p.assign.StageWorkers[s][0]].reducer.Reset(cs, ce-cs)
+		}
+	}
+	for _, sw := range p.workers {
+		if sw.ring != nil {
+			sw.ring.Reset()
 		}
 	}
 	ab := newRunAbort(func() {
 		for s, spec := range p.opts.Plan.Stages {
-			if spec.Replicas > 1 {
-				p.workers[p.assign.StageWorkers[s][0]].reducer.abortAll()
+			if spec.Replicas > 1 && p.workers[p.assign.StageWorkers[s][0]].reducer != nil {
+				p.workers[p.assign.StageWorkers[s][0]].reducer.AbortAll()
 			}
 		}
 	})
@@ -472,7 +544,17 @@ type stageWorker struct {
 	model   *nn.Sequential
 	opt     nn.Optimizer
 	mode    StalenessMode
-	reducer *allReducer
+	reducer *collective.CentralReducer
+
+	// ring is the chunked overlapped collective (Options.AllReduce =
+	// collective.Ring) — mutually exclusive with reducer. gradOffsets
+	// maps "layer i finished backward" to the first final gradient
+	// tensor; curAb and ringErr let the message-routing path (enqueue)
+	// surface collective failures into the running chunk's abort.
+	ring        *collective.RingReducer
+	gradOffsets []int
+	curAb       *runAbort
+	ringErr     error
 
 	updates  int
 	versions map[int][]*tensor.Tensor // vertical sync: version -> params
@@ -488,10 +570,13 @@ type stageWorker struct {
 	// met is the worker's instrumentation state; nil when observability
 	// is off, and every hook is guarded so the disabled hot path pays
 	// only the nil checks. syncStart/syncDur carry the most recent
-	// gradient-sync wait from the sync block to the backward hook.
+	// gradient-sync wait from the sync block to the backward hook;
+	// syncFirst is the portion of it spent before the first bucket
+	// completed (equal to syncDur outside ring mode).
 	met       *workerMetrics
 	syncStart time.Time
 	syncDur   time.Duration
+	syncFirst time.Duration
 
 	// Message queues (fields so the distributed gradient exchange can
 	// keep routing pipeline traffic while it waits for sibling replicas).
@@ -561,6 +646,17 @@ func (sw *stageWorker) enqueue(m transport.Message) {
 			return
 		}
 		round[m.Version] = m.Tensor
+	case transport.GradChunk:
+		if sw.ring == nil {
+			sw.dupDrops++
+			return
+		}
+		if err := sw.ring.Deliver(m); err != nil && sw.ringErr == nil {
+			sw.ringErr = fmt.Errorf("pipeline: worker %d ring all-reduce: %w", sw.id, err)
+			if sw.curAb != nil {
+				sw.curAb.fail(sw.ringErr)
+			}
+		}
 	case transport.Heartbeat:
 		// Liveness only; never queued.
 	}
@@ -590,6 +686,9 @@ func (sw *stageWorker) run(ds data.Dataset, start, end int, results chan<- lossE
 	sw.results = results
 	sw.trainStart = start
 	sw.trainEnd = end
+	sw.curAb = ab
+	sw.ringErr = nil
+	defer func() { sw.curAb = nil }()
 	for mb := range sw.seenFwd {
 		if mb < start {
 			delete(sw.seenFwd, mb)
@@ -760,14 +859,31 @@ func (sw *stageWorker) backward(m transport.Message, ab *runAbort) (ran bool, er
 		op0 := time.Now()
 		staleness := sw.updates - entry.fwdUpdates
 		defer func() {
-			sw.met.backwardDone(sw, m.Minibatch, op0, sw.syncStart, sw.syncDur, staleness)
+			sw.met.backwardDone(sw, m.Minibatch, op0, sw.syncStart, sw.syncDur, sw.syncFirst, staleness)
 			sw.syncDur = 0
+			sw.syncFirst = 0
 		}()
 	}
 	delete(sw.stash, m.Minibatch)
 	params := sw.model.Params()
 	grads := sw.model.Grads()
 	nn.ZeroGrads(grads)
+
+	// Ring mode opens the all-reduce round before backward runs so that
+	// tail buckets start reducing from the overlap hook while earlier
+	// layers are still backpropagating.
+	useRing := false
+	if sw.ring != nil {
+		participants, roundKey := sw.roundOf(m.Minibatch)
+		if participants > 1 {
+			useRing = true
+			if err := sw.ring.BeginRound(roundKey, participants, grads); err != nil {
+				err = fmt.Errorf("pipeline: worker %d ring round for mb %d: %w", sw.id, m.Minibatch, err)
+				ab.fail(err)
+				return false, err
+			}
+		}
+	}
 
 	var gradIn *tensor.Tensor
 	backward := func() *tensor.Tensor {
@@ -776,6 +892,9 @@ func (sw *stageWorker) backward(m transport.Message, ab *runAbort) (ran bool, er
 			// Recomputation: re-run the forward pass (under the same
 			// stashed weights) to rebuild the layer contexts.
 			_, ctx = sw.model.Forward(entry.input, true)
+		}
+		if useRing {
+			return sw.model.BackwardWithHook(ctx, m.Tensor, sw.pumpRing)
 		}
 		return sw.model.Backward(ctx, m.Tensor)
 	}
@@ -788,37 +907,21 @@ func (sw *stageWorker) backward(m transport.Message, ab *runAbort) (ran bool, er
 		gradIn = backward()
 	}
 	sw.trackStash(-entry.bytes)
-
-	// Replicated stages average gradients before updating, so replicas
-	// stay consistent (the runtime analogue of DDP within a stage). The
-	// in-process runtime uses a shared reducer; solo (multi-process)
-	// workers exchange gradients over the transport.
-	if sw.reducer != nil || sw.replicas() > 1 {
-		var s0 time.Time
-		if sw.met != nil {
-			s0 = time.Now()
-		}
-		if sw.reducer != nil {
-			if !sw.reducer.reduce(m.Minibatch, grads) {
-				return false, ab.error() // chunk aborted mid-reduce
-			}
-		} else {
-			if err := sw.exchangeGradients(m.Minibatch, grads, ab); err != nil {
-				return false, err
-			}
-		}
-		if sw.met != nil {
-			sw.syncStart = s0
-			sw.syncDur = time.Since(s0)
-		}
-	}
-	sw.applyUpdate(params, grads)
-	if sw.mode == VerticalSync {
-		sw.versions[sw.reflected()] = nn.SnapshotParams(params)
-		sw.pruneVersions()
+	if sw.ringErr != nil {
+		err := sw.ringErr
+		sw.ringErr = nil
+		return false, err
 	}
 
-	if sw.stage > 0 {
+	// In ring mode the upstream gradient leaves before the sync drain:
+	// the previous stage starts its backward while our buckets finish
+	// reducing (overlap in both directions).
+	sentUp := false
+	sendUp := func() error {
+		if sw.stage == 0 || sentUp {
+			return nil
+		}
+		sentUp = true
 		prev := sw.stage - 1
 		target := sw.p.assign.StageWorkers[prev][schedule.ReplicaFor(m.Minibatch, len(sw.p.assign.StageWorkers[prev]))]
 		if err := sw.p.tr.Send(target, transport.Message{
@@ -827,10 +930,147 @@ func (sw *stageWorker) backward(m transport.Message, ab *runAbort) (ran bool, er
 		}); err != nil {
 			err = fmt.Errorf("pipeline: worker %d backward mb %d: %w", sw.id, m.Minibatch, err)
 			ab.fail(err)
+			return err
+		}
+		return nil
+	}
+	if useRing {
+		if err := sendUp(); err != nil {
 			return false, err
 		}
 	}
+
+	// Replicated stages average gradients before updating, so replicas
+	// stay consistent (the runtime analogue of DDP within a stage). Ring
+	// mode drains the overlapped collective; otherwise the in-process
+	// runtime uses a shared reducer and solo (multi-process) workers
+	// exchange full gradients over the transport.
+	if sw.replicas() > 1 {
+		var s0 time.Time
+		if sw.met != nil {
+			s0 = time.Now()
+		}
+		switch {
+		case useRing:
+			if err := sw.drainRing(ab); err != nil {
+				return false, err
+			}
+		case sw.ring != nil:
+			// Ring mode, but the final partial round has one participant:
+			// nothing to synchronize.
+		case sw.reducer != nil:
+			if !sw.reducer.Reduce(m.Minibatch, grads) {
+				return false, ab.error() // chunk aborted mid-reduce
+			}
+		default:
+			if err := sw.exchangeGradients(m.Minibatch, grads, ab); err != nil {
+				return false, err
+			}
+		}
+		if sw.met != nil {
+			sw.syncStart = s0
+			sw.syncDur = time.Since(s0)
+			if !useRing {
+				sw.syncFirst = sw.syncDur
+			}
+		}
+	}
+	sw.applyUpdate(params, grads)
+	if sw.mode == VerticalSync {
+		sw.versions[sw.reflected()] = nn.SnapshotParams(params)
+		sw.pruneVersions()
+	}
+
+	if err := sendUp(); err != nil {
+		return false, err
+	}
 	return true, nil
+}
+
+// roundOf returns the participant count and globally unique key of the
+// all-reduce round minibatch mb belongs to: with round-robin routing,
+// blocks of `replicas` consecutive minibatches from the Train window's
+// start land on distinct replicas, and the block's first minibatch index
+// names the round.
+func (sw *stageWorker) roundOf(mb int) (participants, key int) {
+	replicas := sw.replicas()
+	k := (mb - sw.trainStart) / replicas
+	participants = sw.trainEnd - sw.trainStart - k*replicas
+	if participants > replicas {
+		participants = replicas
+	}
+	key = sw.trainStart + k*replicas
+	return participants, key
+}
+
+// pumpRing is the backward/sync overlap hook: after layer `layer`
+// finishes its backward, drain queued messages (chunk deliveries advance
+// the ring) and mark the layer's gradients final so its bucket can start
+// reducing while earlier layers still backpropagate.
+func (sw *stageWorker) pumpRing(layer int) {
+	sw.drainInbox()
+	if sw.ringErr != nil {
+		return
+	}
+	if err := sw.ring.Ready(sw.gradOffsets[layer]); err != nil {
+		sw.ringErr = fmt.Errorf("pipeline: worker %d ring all-reduce: %w", sw.id, err)
+		if sw.curAb != nil {
+			sw.curAb.fail(sw.ringErr)
+		}
+	}
+}
+
+// drainRing blocks until the in-flight ring round completes, routing
+// unrelated messages into the normal queues so the pipeline keeps
+// flowing. When instrumented it splits the wait into
+// before-first-bucket-completion vs tail and records per-bucket waits.
+func (sw *stageWorker) drainRing(ab *runAbort) error {
+	r := sw.ring
+	if sw.met == nil {
+		for !r.Idle() {
+			if err := sw.waitMsg(ab, false); err != nil {
+				return err
+			}
+			if sw.ringErr != nil {
+				err := sw.ringErr
+				sw.ringErr = nil
+				return err
+			}
+		}
+		return nil
+	}
+	t0 := time.Now()
+	total := r.NumBuckets()
+	prevDone := r.CompletedBuckets()
+	firstSeen := prevDone > 0 || r.Idle()
+	var firstDur time.Duration
+	last := t0
+	for !r.Idle() {
+		if err := sw.waitMsg(ab, false); err != nil {
+			return err
+		}
+		if sw.ringErr != nil {
+			err := sw.ringErr
+			sw.ringErr = nil
+			return err
+		}
+		done := total
+		if !r.Idle() {
+			done = r.CompletedBuckets()
+		}
+		if done > prevDone {
+			now := time.Now()
+			sw.met.observeBucketWait(now.Sub(last), done-prevDone)
+			if !firstSeen {
+				firstSeen = true
+				firstDur = now.Sub(t0)
+			}
+			last = now
+			prevDone = done
+		}
+	}
+	sw.syncFirst = firstDur
+	return nil
 }
 
 // applyUpdate steps the optimizer, honouring gradient accumulation: with
@@ -1016,115 +1256,4 @@ func stashBytesOf(params []*tensor.Tensor, input *tensor.Tensor) int64 {
 		n += int64(input.Bytes())
 	}
 	return n
-}
-
-// allReducer averages gradients across the replicas of one stage. With
-// round-robin routing, minibatches [start+kR, start+(k+1)R) of a Train
-// call land on distinct replicas, so grouping by that block index
-// implements synchronous per-iteration gradient averaging exactly as DDP
-// does within a stage.
-type allReducer struct {
-	mu       sync.Mutex
-	cond     *sync.Cond
-	replicas int
-	start    int
-	total    int
-	aborted  bool
-	rounds   map[int]*reduceRound
-}
-
-type reduceRound struct {
-	sum      []*tensor.Tensor
-	arrived  int
-	expected int
-	done     bool
-	picked   int
-}
-
-func newAllReducer(replicas int) *allReducer {
-	a := &allReducer{replicas: replicas, rounds: make(map[int]*reduceRound)}
-	a.cond = sync.NewCond(&a.mu)
-	return a
-}
-
-// reset prepares the reducer for a run covering `total` minibatches
-// starting at `start`.
-func (a *allReducer) reset(start, total int) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	if len(a.rounds) != 0 {
-		panic("pipeline: all-reducer reset with incomplete rounds")
-	}
-	a.start = start
-	a.total = total
-}
-
-// abortAll wakes every replica blocked in reduce; their reduce calls
-// return false so they can observe the run's abort error.
-func (a *allReducer) abortAll() {
-	a.mu.Lock()
-	a.aborted = true
-	a.mu.Unlock()
-	a.cond.Broadcast()
-}
-
-// clear discards incomplete rounds and the abort flag — the recovery
-// reset between a failed chunk and its retry.
-func (a *allReducer) clear() {
-	a.mu.Lock()
-	a.rounds = make(map[int]*reduceRound)
-	a.aborted = false
-	a.mu.Unlock()
-}
-
-// reduce contributes grads for minibatch mb and blocks until all replicas
-// of the block have arrived, then overwrites grads with the block average.
-// It returns false if the run aborted while waiting (grads untouched).
-func (a *allReducer) reduce(mb int, grads []*tensor.Tensor) bool {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	if a.aborted {
-		return false
-	}
-	k := (mb - a.start) / a.replicas
-	r, ok := a.rounds[k]
-	if !ok {
-		expected := a.total - k*a.replicas
-		if expected > a.replicas {
-			expected = a.replicas
-		}
-		r = &reduceRound{expected: expected}
-		for _, g := range grads {
-			r.sum = append(r.sum, g.Clone())
-		}
-		r.arrived = 1
-		a.rounds[k] = r
-	} else {
-		for i, g := range grads {
-			r.sum[i].Add(g)
-		}
-		r.arrived++
-	}
-	if r.arrived == r.expected {
-		inv := float32(1) / float32(r.expected)
-		for _, s := range r.sum {
-			s.Scale(inv)
-		}
-		r.done = true
-		a.cond.Broadcast()
-	}
-	for !r.done && !a.aborted {
-		a.cond.Wait()
-	}
-	if !r.done {
-		return false
-	}
-	for i, g := range grads {
-		g.CopyFrom(r.sum[i])
-	}
-	r.picked++
-	if r.picked == r.expected {
-		delete(a.rounds, k)
-	}
-	return true
 }

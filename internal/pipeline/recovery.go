@@ -207,6 +207,11 @@ drain:
 	sw.accumCount = 0
 	sw.stashBytes = 0
 	sw.syncDur = 0
+	sw.syncFirst = 0
+	sw.ringErr = nil
+	if sw.ring != nil {
+		sw.ring.Reset()
+	}
 }
 
 // autoRecover reports whether this pipeline supervises failures itself
@@ -227,7 +232,7 @@ func (p *Pipeline) recoverFromCheckpoint() (int, error) {
 	}
 	for _, sw := range p.workers {
 		if sw != nil && sw.reducer != nil {
-			sw.reducer.clear()
+			sw.reducer.Clear()
 		}
 	}
 	cursor, err := p.restoreLatest(p.opts.CheckpointDir)

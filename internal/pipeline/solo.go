@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"pipedream/internal/collective"
 	"pipedream/internal/data"
 	"pipedream/internal/nn"
 	"pipedream/internal/schedule"
@@ -57,6 +58,10 @@ func NewSoloWorker(opts Options, workerID int) (*SoloWorker, error) {
 		opt:     opts.NewOptimizer(),
 		mode:    opts.Mode,
 		stash:   make(map[int]stashEntry),
+	}
+	if opts.AllReduce == collective.Ring && spec.Replicas > 1 {
+		sw.ring = collective.NewRingReducer(ref.Replica, assign.StageWorkers[ref.Stage], p.tr, opts.BucketBytes)
+		sw.gradOffsets = gradOffsetsOf(sw.model)
 	}
 	if opts.Mode == VerticalSync {
 		sw.versions = map[int][]*tensor.Tensor{0: nn.SnapshotParams(sw.model.Params())}
@@ -170,6 +175,9 @@ func (s *SoloWorker) Run(ds data.Dataset, minibatches int) (*Report, error) {
 // runChunk drives this worker through its share of minibatches [cs, ce).
 func (s *SoloWorker) runChunk(ds data.Dataset, cs, ce, base int, losses []float64) error {
 	sw := s.p.workers[s.id]
+	if sw.ring != nil {
+		sw.ring.Reset()
+	}
 	ab := newRunAbort(nil)
 	results := make(chan lossEvent, ce-cs+8)
 	stopHB := make(chan struct{})

@@ -1,0 +1,143 @@
+package schedule_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pipedream/internal/cluster"
+	"pipedream/internal/partition"
+	"pipedream/internal/profile"
+	"pipedream/internal/schedule"
+	"pipedream/internal/topology"
+)
+
+// goldenConfig is one (workers, input-replicas) shape from the paper's
+// pipeline figures: Replicas[s] is the replica count of stage s, one
+// profiled layer per stage.
+type goldenConfig struct {
+	name     string
+	replicas []int
+}
+
+func goldenConfigs() []goldenConfig {
+	return []goldenConfig{
+		{"w4r1", []int{1, 1, 1, 1}}, // straight 4-stage pipeline (Figure 4)
+		{"w4r2", []int{2, 1, 1}},    // 2-1-1 replicated input (Figure 8)
+		{"w6r3", []int{3, 1, 1, 1}}, // 3-1-1-1, NOAM = ceil(6/3) = 2
+	}
+}
+
+func goldenPlan(t *testing.T, cfg goldenConfig) (*profile.ModelProfile, *topology.Topology, *partition.Plan) {
+	t.Helper()
+	prof := &profile.ModelProfile{Model: cfg.name, MinibatchSize: 1, InputBytes: 4}
+	workers := 0
+	layer := 0
+	var specs []partition.StageSpec
+	for _, r := range cfg.replicas {
+		// A stage replicated r ways carries r layers, so per-replica
+		// work matches the unreplicated stages — the balanced shape the
+		// paper's planner produces when it chooses to replicate.
+		first := layer
+		for i := 0; i < r; i++ {
+			prof.Layers = append(prof.Layers, profile.LayerProfile{
+				Name: "l", FwdTime: 1, BwdTime: 2, ActivationBytes: 4, WeightBytes: 4,
+			})
+			layer++
+		}
+		specs = append(specs, partition.StageSpec{FirstLayer: first, LastLayer: layer - 1, Replicas: r})
+		workers += r
+	}
+	topo := topology.Flat(workers, 1e18, topology.V100)
+	plan, err := partition.Evaluate(prof, topo, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prof, topo, plan
+}
+
+// TestGolden1F1BTimelines simulates 1F1B-RR for three canonical
+// (workers, input-replicas) shapes and pins the resulting schedule:
+//
+//  1. the rendered timeline must match the checked-in golden file
+//     character for character (regenerate with UPDATE_GOLDEN=1);
+//  2. startup must admit exactly NOAM = ceil(workers/input-replicas)
+//     minibatches per input replica before the first backward runs;
+//  3. the steady state must satisfy the full 1F1B invariant set
+//     (ordering, same-worker RR routing, strict alternation, NOAM
+//     in-flight bound).
+func TestGolden1F1BTimelines(t *testing.T) {
+	for _, cfg := range goldenConfigs() {
+		cfg := cfg
+		t.Run(cfg.name, func(t *testing.T) {
+			prof, topo, plan := goldenPlan(t, cfg)
+			const mbs = 30
+			res, err := cluster.Simulate(cluster.Config{
+				Profile: prof, Topo: topo, Plan: plan,
+				Policy: schedule.PipeDream1F1B, Minibatches: mbs,
+				RecordTimeline: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			a := schedule.Assign(plan)
+			workers := a.NumWorkers()
+			noam := schedule.Noam(workers, cfg.replicas[0])
+			if plan.NOAM != noam {
+				t.Fatalf("plan NOAM = %d, schedule.Noam(%d, %d) = %d",
+					plan.NOAM, workers, cfg.replicas[0], noam)
+			}
+
+			// Startup admission: each input replica runs exactly NOAM
+			// forwards before its first backward.
+			for _, w := range a.StageWorkers[0] {
+				ops := res.Timeline.WorkerOps(w)
+				admitted := 0
+				for _, op := range ops {
+					if op.Kind == schedule.Backward {
+						break
+					}
+					if op.Kind == schedule.Forward {
+						admitted++
+					}
+				}
+				if admitted != noam {
+					t.Errorf("input worker %d admitted %d minibatches at startup, NOAM = %d",
+						w, admitted, noam)
+				}
+			}
+
+			// Full 1F1B invariants over the steady-state window: the fill
+			// and drain each span NOAM minibatches per input replica, so
+			// the window excludes 2·NOAM·replicas at both ends.
+			edge := 2 * noam * cfg.replicas[0]
+			warm := res.CompletionTimes[edge]
+			cool := res.CompletionTimes[len(res.CompletionTimes)-edge]
+			if err := schedule.Validate1F1B(res.Timeline, a, noam, warm, cool); err != nil {
+				t.Errorf("1F1B invariant violated: %v", err)
+			}
+
+			got := res.Timeline.Render(1.0)
+			if got == "" {
+				t.Fatal("empty timeline render")
+			}
+			golden := filepath.Join("testdata", cfg.name+".golden")
+			if os.Getenv("UPDATE_GOLDEN") != "" {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden file (run with UPDATE_GOLDEN=1 to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("timeline diverged from %s (UPDATE_GOLDEN=1 regenerates)\n--- got ---\n%s--- want ---\n%s",
+					golden, got, want)
+			}
+		})
+	}
+}

@@ -68,6 +68,29 @@ func Get(shape ...int) *Tensor {
 	return &Tensor{Shape: s, Data: make([]float32, n, 1<<c)}
 }
 
+// GetRaw returns a tensor of the given shape with UNINITIALIZED
+// contents — the zero-fill of Get skipped — for callers that overwrite
+// every element before reading any (message payloads, copy
+// destinations). Pair with Put like Get.
+func GetRaw(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic("tensor: negative dimension in GetRaw")
+		}
+		n *= d
+	}
+	s := make([]int, len(shape))
+	copy(s, shape)
+	c := sizeClass(n)
+	if v := pools[c].Get(); v != nil {
+		poolHits.Add(1)
+		return &Tensor{Shape: s, Data: v.([]float32)[:n]}
+	}
+	poolMisses.Add(1)
+	return &Tensor{Shape: s, Data: make([]float32, n, 1<<c)}
+}
+
 // Put recycles t's backing array into the free list. t must not be used
 // afterwards. Tensors whose capacity is not a pooled size class (e.g.
 // built by New or FromSlice) are dropped silently, so Put is always

@@ -1,0 +1,123 @@
+package transport
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"pipedream/internal/tensor"
+)
+
+// fuzzTensors decodes an arbitrary byte string into a tensor list: the
+// first byte picks the tensor count, the following bytes pick sizes
+// (zero-length tensors included), and the remainder is consumed four
+// bytes at a time as raw float32 bits (NaN and Inf payloads included).
+func fuzzTensors(data []byte) []*tensor.Tensor {
+	if len(data) == 0 {
+		return nil
+	}
+	n := int(data[0] % 9) // 0..8 tensors
+	data = data[1:]
+	ts := make([]*tensor.Tensor, 0, n)
+	for i := 0; i < n; i++ {
+		size := 0
+		if len(data) > 0 {
+			size = int(data[0] % 33) // 0..32 elements
+			data = data[1:]
+		}
+		g := tensor.New(size)
+		for j := 0; j < size && len(data) >= 4; j++ {
+			g.Data[j] = math.Float32frombits(binary.LittleEndian.Uint32(data))
+			data = data[4:]
+		}
+		ts = append(ts, g)
+	}
+	return ts
+}
+
+// FuzzFlattenRoundTrip checks the wire codec for gradient payloads:
+// flatten → unflatten must reproduce every input bit (including NaN
+// payloads), the per-bucket In/From views must agree with the
+// whole-tensor path, and a shape-mismatched destination must produce an
+// error — never a panic, and never a partial write.
+func FuzzFlattenRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{3, 4, 0, 2, 1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{1, 32, 0xff, 0xff, 0xff, 0x7f}) // NaN bits
+	f.Add([]byte{8})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		src := fuzzTensors(data)
+		flat := FlattenTensors(src)
+
+		total := 0
+		dst := make([]*tensor.Tensor, len(src))
+		for i, g := range src {
+			dst[i] = tensor.New(g.Size())
+			total += g.Size()
+		}
+		if flat.Size() != total {
+			t.Fatalf("flat has %d elements, inputs total %d", flat.Size(), total)
+		}
+		if err := UnflattenTensors(dst, flat); err != nil {
+			t.Fatalf("unflatten of matching shapes failed: %v", err)
+		}
+		for i, g := range src {
+			for j := range g.Data {
+				if math.Float32bits(dst[i].Data[j]) != math.Float32bits(g.Data[j]) {
+					t.Fatalf("tensor %d[%d]: round trip %x != input %x",
+						i, j, math.Float32bits(dst[i].Data[j]), math.Float32bits(g.Data[j]))
+				}
+			}
+		}
+
+		// The bucket views must match the whole-tensor path bit-for-bit.
+		view := make([]float32, total)
+		if n := FlattenInto(view, src); n != total {
+			t.Fatalf("FlattenInto wrote %d of %d elements", n, total)
+		}
+		for i := range view {
+			if math.Float32bits(view[i]) != math.Float32bits(flat.Data[i]) {
+				t.Fatalf("view[%d] %x != flat %x", i, math.Float32bits(view[i]), math.Float32bits(flat.Data[i]))
+			}
+		}
+		back := make([]*tensor.Tensor, len(src))
+		for i, g := range src {
+			back[i] = tensor.New(g.Size())
+		}
+		if n := UnflattenFrom(back, view); n != total {
+			t.Fatalf("UnflattenFrom read %d of %d elements", n, total)
+		}
+		for i, g := range src {
+			for j := range g.Data {
+				if math.Float32bits(back[i].Data[j]) != math.Float32bits(g.Data[j]) {
+					t.Fatalf("bucket view tensor %d[%d] differs from input", i, j)
+				}
+			}
+		}
+
+		// A destination whose total size disagrees must error without
+		// touching any destination tensor.
+		bad := append(append([]*tensor.Tensor{}, dst...), tensor.New(1+total%7))
+		marker := float32(12345)
+		for _, g := range bad {
+			for j := range g.Data {
+				g.Data[j] = marker
+			}
+		}
+		if err := UnflattenTensors(bad, flat); err == nil {
+			t.Fatal("size-mismatched unflatten did not error")
+		}
+		for i, g := range bad {
+			for j := range g.Data {
+				if g.Data[j] != marker {
+					t.Fatalf("failed unflatten wrote into tensor %d[%d]", i, j)
+				}
+			}
+		}
+		if total > 0 {
+			if err := UnflattenTensors(dst, nil); err == nil {
+				t.Fatal("nil flat into non-empty destination did not error")
+			}
+		}
+	})
+}

@@ -40,6 +40,12 @@ const (
 	// no payload; its purpose is to force a send on the connection so
 	// that a dead peer surfaces as ErrPeerDown at the sender.
 	Heartbeat
+	// GradChunk carries one chunk of a ring all-reduce between sibling
+	// replicas of a replicated stage (reduce-scatter or all-gather
+	// traffic). Minibatch holds the all-reduce round key, Version the
+	// sender's replica rank, and Chunk locates the transfer within the
+	// round.
+	GradChunk
 )
 
 // String implements fmt.Stringer.
@@ -53,8 +59,23 @@ func (k MsgKind) String() string {
 		return "grad-exchange"
 	case Heartbeat:
 		return "heartbeat"
+	case GradChunk:
+		return "grad-chunk"
 	}
 	return fmt.Sprintf("MsgKind(%d)", int(k))
+}
+
+// ChunkInfo locates one ring all-reduce transfer within its round. It is
+// meaningful only on GradChunk messages.
+type ChunkInfo struct {
+	// Bucket indexes the gradient bucket the chunk belongs to.
+	Bucket int
+	// Phase is 0 during reduce-scatter and 1 during all-gather.
+	Phase int
+	// Step is the ring step within the phase (0 .. participants-2).
+	Step int
+	// Chunk is the chunk index being transferred at this step.
+	Chunk int
 }
 
 // Message is one inter-stage transfer for one minibatch.
@@ -65,6 +86,9 @@ type Message struct {
 	Version int
 	Tensor  *tensor.Tensor
 	Labels  []int
+	// Chunk carries ring all-reduce routing metadata on GradChunk
+	// messages (zero otherwise).
+	Chunk ChunkInfo
 }
 
 // Transport delivers messages to per-worker inboxes.

@@ -36,6 +36,7 @@ package pipedream
 
 import (
 	"pipedream/internal/cluster"
+	"pipedream/internal/collective"
 	"pipedream/internal/data"
 	"pipedream/internal/metrics"
 	"pipedream/internal/modelzoo"
@@ -157,6 +158,29 @@ const (
 	NoStashing     = pipeline.NoStashing
 )
 
+// AllReduceMethod selects the gradient collective for replicated stages
+// (PipelineOptions.AllReduce; see docs/ARCHITECTURE.md "Gradient
+// collectives").
+type AllReduceMethod = collective.Method
+
+// Gradient collectives for replicated stages.
+const (
+	// RingAllReduce is the chunked ring all-reduce that overlaps
+	// synchronization with backward compute and moves 2(R-1)/R of the
+	// weight bytes per replica.
+	RingAllReduce = collective.Ring
+	// CentralAllReduce is the barrier-style reducer (the zero value):
+	// replicas block until all have contributed.
+	CentralAllReduce = collective.Central
+)
+
+// Replication sync-cost models for the partitioner
+// (OptimizeSync/EvaluateSync; Plan.Sync records the choice).
+const (
+	SyncRing    = partition.SyncRing
+	SyncCentral = partition.SyncCentral
+)
+
 // Scheduling policies.
 const (
 	PipeDream1F1B       = schedule.PipeDream1F1B
@@ -202,6 +226,10 @@ var (
 	// LatestCheckpoint reports the cursor (global minibatch index) of the
 	// newest complete checkpoint generation in a directory.
 	LatestCheckpoint = pipeline.LatestCheckpoint
+
+	// ParseAllReduceMethod maps an -allreduce flag value ("ring" or
+	// "central") to an AllReduceMethod.
+	ParseAllReduceMethod = collective.ParseMethod
 
 	// NewMetricsRegistry and NewOpLog build the observability sinks a
 	// pipeline accepts via PipelineOptions.Metrics / PipelineOptions.OpLog.

@@ -25,8 +25,15 @@ go test ./...
 echo "== go test -race (tensor, pipeline, metrics, trace)"
 go test -race ./internal/tensor/ ./internal/pipeline/ ./internal/metrics/ ./internal/trace/
 
+echo "== ring all-reduce soak (collective + replicated pipeline under the race detector)"
+go test -race -run 'Ring|Overlap' ./internal/collective/ ./internal/pipeline/
+
 echo "== chaos gate (fault injection under the race detector)"
 go test -race -run 'Chaos' ./internal/transport/ ./internal/pipeline/
+
+echo "== fuzz smoke (flatten round-trip + checkpoint manifest parser, 10s each)"
+go test -run '^$' -fuzz '^FuzzFlattenRoundTrip$' -fuzztime=10s ./internal/transport/
+go test -run '^$' -fuzz '^FuzzManifestParse$' -fuzztime=10s ./internal/pipeline/
 
 echo "== no panics on transport send/receive paths"
 PANICS=$(grep -n 'panic(' internal/transport/transport.go internal/transport/peer.go \
