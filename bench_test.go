@@ -28,6 +28,7 @@ import (
 	"pipedream/internal/partition"
 	"pipedream/internal/pipeline"
 	"pipedream/internal/schedule"
+	"pipedream/internal/serve"
 	"pipedream/internal/tensor"
 	"pipedream/internal/topology"
 	"pipedream/internal/transport"
@@ -238,6 +239,60 @@ func BenchmarkPipelineRuntimeEpoch(b *testing.B) {
 		}
 	}
 }
+
+// benchServe drives an 8-stage serving pipeline closed-loop from 64
+// concurrent clients, one row per request. BenchmarkServeBatch1 pins
+// MaxBatch to 1 (every request travels alone — the no-batching
+// baseline); BenchmarkServeDynamic lets the batcher coalesce up to 16
+// rows. The ratio of the two is the dynamic-batching speedup at
+// saturation: the model is compute-trivial, so per-batch pipeline
+// overhead (message hops, worker scheduling, demux bookkeeping)
+// dominates — exactly the regime batching exists for. Kernel
+// parallelism is pinned to 1 so tiny matmuls don't pay fan-out costs.
+func benchServe(b *testing.B, maxBatch int) {
+	rng := rand.New(rand.NewSource(9))
+	layers := make([]nn.Layer, 8)
+	for i := range layers {
+		layers[i] = nn.NewDense(rng, fmt.Sprintf("fc%d", i), 8, 8)
+	}
+	model := nn.NewSequential(layers...)
+	srv, err := serve.NewServer(serve.Config{
+		Model:             model,
+		Plan:              mustStraightPlan(b, 8, 8),
+		MaxBatch:          maxBatch,
+		BatchTimeout:      500 * time.Microsecond,
+		QueueCap:          4096,
+		MaxInFlight:       16,
+		KernelParallelism: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	inputs := make([]*tensor.Tensor, 64)
+	for i := range inputs {
+		inputs[i] = tensor.RandUniform(rng, -1, 1, 1, 8)
+	}
+	const clients = 128
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := c; i < b.N; i += clients {
+				if _, err := srv.Infer(inputs[i%len(inputs)]); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+}
+
+func BenchmarkServeBatch1(b *testing.B)  { benchServe(b, 1) }
+func BenchmarkServeDynamic(b *testing.B) { benchServe(b, 16) }
 
 func mustStraightPlan(b *testing.B, layers, stages int) *partition.Plan {
 	b.Helper()

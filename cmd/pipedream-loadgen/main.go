@@ -1,0 +1,175 @@
+// Command pipedream-loadgen drives a pipedream-serve instance and
+// reports client-side throughput and latency quantiles — the measurement
+// harness for the serving runtime's dynamic-batching claims.
+//
+// Two driving modes:
+//
+//   - Closed loop (default): -concurrency workers each keep exactly one
+//     request outstanding, so offered load adapts to the server — the
+//     saturation-throughput measurement.
+//   - Open loop (-rate > 0): requests fire on a fixed schedule
+//     regardless of completions, so queueing delay shows up in the tail
+//     latencies — the latency-under-load measurement.
+//
+// Example:
+//
+//	pipedream-serve -task spiral -checkpoint-dir /tmp/ckpt -addr :8080 &
+//	pipedream-loadgen -addr http://127.0.0.1:8080 -task spiral -concurrency 16 -duration 10s
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pipedream/internal/cliconf"
+	"pipedream/internal/metrics"
+)
+
+func main() {
+	mdl := &cliconf.Model{Task: "spiral", Seed: 42, Stages: 1, Replicas: 1}
+	fs := flag.CommandLine
+	mdl.Register(fs)
+	addr := flag.String("addr", "http://127.0.0.1:8080", "base URL of the pipedream-serve instance")
+	concurrency := flag.Int("concurrency", 8, "closed-loop workers, each with one request outstanding (ignored when -rate > 0)")
+	rate := flag.Float64("rate", 0, "open-loop request rate in req/s (0 = closed loop)")
+	duration := flag.Duration("duration", 10*time.Second, "how long to drive load")
+	requests := flag.Int("requests", 0, "stop after this many requests (0 = run for -duration)")
+	rows := flag.Int("rows", 1, "input rows per request")
+	flag.Parse()
+
+	task, err := mdl.Build()
+	if err != nil {
+		fatal(err)
+	}
+	bodies := buildBodies(task, *rows)
+	fmt.Printf("driving %s/infer: task %s, %d rows/request, %s\n",
+		*addr, mdl.Task, *rows, modeString(*rate, *concurrency))
+
+	lat := metrics.NewHistogram(metrics.LatencyBuckets())
+	var sent, ok, shed, failed atomic.Int64
+	client := &http.Client{Timeout: 30 * time.Second}
+	deadline := time.Now().Add(*duration)
+	budget := func() bool {
+		if *requests > 0 {
+			return sent.Add(1) <= int64(*requests)
+		}
+		sent.Add(1)
+		return time.Now().Before(deadline)
+	}
+	fire := func(i int) {
+		body := bodies[i%len(bodies)]
+		start := time.Now()
+		status, err := post(client, *addr+"/infer", body)
+		lat.Observe(float64(time.Since(start).Microseconds()))
+		switch {
+		case err != nil || status >= 500:
+			failed.Add(1)
+		case status == http.StatusTooManyRequests:
+			shed.Add(1)
+		case status == http.StatusOK:
+			ok.Add(1)
+		default:
+			failed.Add(1)
+		}
+	}
+
+	t0 := time.Now()
+	var wg sync.WaitGroup
+	if *rate > 0 {
+		// Open loop: a ticker fires requests on schedule; each runs in
+		// its own goroutine so a slow server cannot slow the schedule.
+		tick := time.NewTicker(time.Duration(float64(time.Second) / *rate))
+		defer tick.Stop()
+		i := 0
+		for range tick.C {
+			if !budget() {
+				break
+			}
+			wg.Add(1)
+			go func(i int) { defer wg.Done(); fire(i) }(i)
+			i++
+		}
+	} else {
+		for w := 0; w < *concurrency; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; budget(); i += *concurrency {
+					fire(i)
+				}
+			}(w)
+		}
+	}
+	wg.Wait()
+	wall := time.Since(t0)
+
+	n := ok.Load()
+	fmt.Printf("completed: %d ok, %d shed (429), %d failed in %v\n", n, shed.Load(), failed.Load(), wall.Round(time.Millisecond))
+	if n > 0 {
+		fmt.Printf("throughput: %.1f req/s, %.1f rows/s\n",
+			float64(n)/wall.Seconds(), float64(n*int64(*rows))/wall.Seconds())
+		fmt.Printf("latency: mean %.0fus, p50 %.0fus, p95 %.0fus, p99 %.0fus, max %.0fus\n",
+			lat.Mean(), lat.Quantile(0.50), lat.Quantile(0.95), lat.Quantile(0.99), lat.Max())
+	}
+	if failed.Load() > 0 {
+		os.Exit(1)
+	}
+}
+
+// buildBodies pre-encodes request bodies from the task's eval set so the
+// load loop does no JSON work while timing.
+func buildBodies(task *cliconf.Task, rows int) [][]byte {
+	type inferRequest struct {
+		Inputs [][]float32 `json:"inputs"`
+	}
+	var bodies [][]byte
+	for b := 0; b < task.Eval.NumBatches(); b++ {
+		x := task.Eval.Batch(b).X
+		rowSize := x.Size() / x.Dim(0)
+		for lo := 0; lo+rows <= x.Dim(0); lo += rows {
+			req := inferRequest{Inputs: make([][]float32, rows)}
+			for i := 0; i < rows; i++ {
+				req.Inputs[i] = x.Data[(lo+i)*rowSize : (lo+i+1)*rowSize]
+			}
+			body, err := json.Marshal(req)
+			if err != nil {
+				fatal(err)
+			}
+			bodies = append(bodies, body)
+		}
+	}
+	if len(bodies) == 0 {
+		fatal(fmt.Errorf("eval set smaller than %d rows per request", rows))
+	}
+	return bodies
+}
+
+func post(client *http.Client, url string, body []byte) (int, error) {
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, nil
+}
+
+func modeString(rate float64, concurrency int) string {
+	if rate > 0 {
+		return fmt.Sprintf("open loop at %.1f req/s", rate)
+	}
+	return fmt.Sprintf("closed loop with %d workers", concurrency)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pipedream-loadgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,211 @@
+// Command pipedream-serve is the inference front-end of the PipeDream
+// reproduction: it loads a trained checkpoint (written by pipedream-train
+// or pipedream-worker), partitions the model onto a forward-only stage
+// pipeline, and serves HTTP inference requests through a dynamic batcher
+// with admission control.
+//
+// Serve a checkpointed spiral model on 2 stages:
+//
+//	pipedream-train -task spiral -epochs 8 -checkpoint-dir /tmp/ckpt
+//	pipedream-serve -task spiral -stages 2 -checkpoint-dir /tmp/ckpt -addr :8080
+//
+// Endpoints:
+//
+//	POST /infer    {"inputs": [[...row floats...], ...]} →
+//	               {"outputs": [[...]], "argmax": [...]}
+//	GET  /healthz  serving stats (requests, batches, latency quantiles)
+//	GET  /metrics  full expvar-style metrics snapshot
+//
+// The serving plan is independent of the training plan: checkpoints store
+// per-stage parameter shards that reassemble into the full model, so a
+// model trained on 3 stages can serve on 1, 2, or 4.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"pipedream/internal/cliconf"
+	"pipedream/internal/metrics"
+	"pipedream/internal/partition"
+	"pipedream/internal/pipeline"
+	"pipedream/internal/serve"
+	"pipedream/internal/tensor"
+)
+
+func main() {
+	mdl := &cliconf.Model{Task: "spiral", Seed: 42, Stages: 2, Replicas: 1}
+	obsFlags := &cliconf.Obs{}
+	fs := flag.CommandLine
+	mdl.Register(fs)
+	obsFlags.Register(fs)
+	ckptDir := flag.String("checkpoint-dir", "", "checkpoint directory to load the model from (\"\" serves freshly initialized weights)")
+	addr := flag.String("addr", ":8080", "HTTP listen address")
+	maxBatch := flag.Int("max-batch", serve.DefaultMaxBatch, "max rows coalesced into one pipeline batch (1 disables dynamic batching)")
+	batchTimeout := flag.Duration("batch-timeout", serve.DefaultBatchTimeout, "max wait after the first queued request before dispatching a partial batch")
+	queueCap := flag.Int("queue-cap", serve.DefaultQueueCap, "max requests waiting for batching before new ones are shed with 429")
+	maxInFlight := flag.Int("max-inflight", 0, "max batches concurrently inside the stage pipeline (0 = 2x stages)")
+	flag.Parse()
+
+	task, err := mdl.Build()
+	if err != nil {
+		fatal(err)
+	}
+	model := task.Factory()
+	cursor := 0
+	if *ckptDir != "" {
+		model, cursor, err = pipeline.LoadModel(*ckptDir, task.Factory)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("loaded checkpoint from %s (trained to minibatch %d)\n", *ckptDir, cursor)
+	} else {
+		fmt.Println("warning: no -checkpoint-dir, serving freshly initialized weights")
+	}
+	plan, err := cliconf.BuildPlan(model, mdl.Stages, 1, partition.SyncRing)
+	if err != nil {
+		fatal(err)
+	}
+	// The eval set knows the task's per-row input shape; validating
+	// against it turns malformed requests into 400s instead of batch
+	// failures.
+	inputShape := append([]int(nil), task.Eval.Batch(0).X.Shape[1:]...)
+
+	reg, opLog := obsFlags.Sinks()
+	if reg == nil {
+		reg = metrics.NewRegistry() // /metrics always works
+	}
+	srv, err := serve.NewServer(serve.Config{
+		Model:        model,
+		Plan:         plan,
+		InputShape:   inputShape,
+		MaxBatch:     *maxBatch,
+		BatchTimeout: *batchTimeout,
+		QueueCap:     *queueCap,
+		MaxInFlight:  *maxInFlight,
+		Metrics:      reg,
+		OpLog:        opLog,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("serving %s (%d layers) on %d stage(s), max batch %d, batch timeout %v, input shape %v\n",
+		mdl.Task, len(model.Layers), srv.Stages(), *maxBatch, *batchTimeout, inputShape)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/infer", func(w http.ResponseWriter, r *http.Request) { handleInfer(srv, inputShape, w, r) })
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(srv.Stats())
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		reg.WriteJSON(w)
+	})
+	hs := &http.Server{Addr: *addr, Handler: mux}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-stop
+		fmt.Println("\nshutting down")
+		hs.Close()
+	}()
+	fmt.Printf("listening on %s\n", *addr)
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+	srv.Close()
+	if err := obsFlags.WriteOutputs(reg, opLog); err != nil {
+		fatal(err)
+	}
+	st := srv.Stats()
+	fmt.Printf("served %d requests (%d rows) in %d batches, %d shed, %d errors, p50 %.0fus p99 %.0fus\n",
+		st.Responses, st.Rows, st.Batches, st.Shed, st.Errors, st.P50Micros, st.P99Micros)
+}
+
+// inferRequest is the POST /infer body: one flat float row per input.
+type inferRequest struct {
+	Inputs [][]float32 `json:"inputs"`
+}
+
+// inferResponse carries per-row output vectors and their argmax class.
+type inferResponse struct {
+	Outputs [][]float32 `json:"outputs"`
+	Argmax  []int       `json:"argmax"`
+}
+
+func handleInfer(srv *serve.Server, inputShape []int, w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req inferRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	rowSize := 1
+	for _, d := range inputShape {
+		rowSize *= d
+	}
+	rows := len(req.Inputs)
+	if rows == 0 {
+		http.Error(w, "no inputs", http.StatusBadRequest)
+		return
+	}
+	flat := make([]float32, 0, rows*rowSize)
+	for i, row := range req.Inputs {
+		if len(row) != rowSize {
+			http.Error(w, fmt.Sprintf("input %d has %d values, want %d", i, len(row), rowSize), http.StatusBadRequest)
+			return
+		}
+		flat = append(flat, row...)
+	}
+	x := tensor.FromSlice(flat, append([]int{rows}, inputShape...)...)
+	y, err := srv.Infer(x)
+	if err != nil {
+		http.Error(w, err.Error(), statusFor(err))
+		return
+	}
+	outRow := y.Size() / y.Dim(0)
+	resp := inferResponse{Outputs: make([][]float32, y.Dim(0)), Argmax: make([]int, y.Dim(0))}
+	for i := 0; i < y.Dim(0); i++ {
+		row := y.Data[i*outRow : (i+1)*outRow]
+		resp.Outputs[i] = row
+		best := 0
+		for j, v := range row {
+			if v > row[best] {
+				best = j
+			}
+		}
+		resp.Argmax[i] = best
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+// statusFor maps the server's typed errors onto HTTP statuses.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, serve.ErrOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, serve.ErrBadRequest):
+		return http.StatusBadRequest
+	case errors.Is(err, serve.ErrServerClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pipedream-serve:", err)
+	os.Exit(1)
+}

@@ -13,50 +13,32 @@ package main
 import (
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
 	"time"
 
-	"pipedream/internal/collective"
+	"pipedream/internal/cliconf"
 	"pipedream/internal/data"
-	"pipedream/internal/metrics"
 	"pipedream/internal/nn"
-	"pipedream/internal/partition"
 	"pipedream/internal/pipeline"
-	"pipedream/internal/profile"
-	"pipedream/internal/tensor"
-	"pipedream/internal/topology"
-	"pipedream/internal/trace"
 	"pipedream/internal/transport"
 )
 
 func main() {
-	task := flag.String("task", "spiral", "training task: spiral, images, or sequence")
-	stages := flag.Int("stages", 3, "pipeline stages")
-	replicas := flag.Int("replicas", 1, "replicas of the first stage (1F1B-RR)")
-	allreduce := flag.String("allreduce", "ring", "gradient collective for replicated stages: ring (chunked, overlapped with backward) or central (barrier-style)")
-	bucketBytes := flag.Int("bucket-bytes", 0, "ring all-reduce gradient bucket size in bytes (0 = 256KiB default)")
+	mdl := &cliconf.Model{Task: "spiral", Seed: 42, Stages: 3, Replicas: 1}
+	syncFlags := &cliconf.Sync{Method: "ring"}
+	faultFlags := &cliconf.Fault{}
+	chaosFlags := &cliconf.Chaos{MaxDelay: 10 * time.Millisecond, Seed: 1}
+	obsFlags := &cliconf.Obs{}
+	fs := flag.CommandLine
+	mdl.Register(fs)
+	syncFlags.Register(fs)
+	faultFlags.Register(fs)
+	chaosFlags.Register(fs)
+	obsFlags.Register(fs)
 	modeName := flag.String("mode", "weight-stashing", "staleness mode: weight-stashing, vertical-sync, or no-stashing")
 	epochs := flag.Int("epochs", 8, "training epochs")
 	depth := flag.Int("depth", 0, "pipeline depth override (0 = NOAM)")
 	useTCP := flag.Bool("tcp", false, "run the pipeline over TCP sockets instead of channels")
-	var ckptDir string
-	flag.StringVar(&ckptDir, "checkpoint-dir", "", "directory for per-stage checkpoint generations (written after each epoch; with -checkpoint-every also mid-epoch)")
-	flag.StringVar(&ckptDir, "checkpoint", "", "alias for -checkpoint-dir")
-	ckptEvery := flag.Int("checkpoint-every", 0, "also checkpoint every K minibatches at a pipeline drain barrier (0 = epoch boundaries only)")
-	resume := flag.Bool("resume", false, "restore from the latest complete checkpoint generation in -checkpoint-dir and continue training")
-	maxRecoveries := flag.Int("max-recoveries", 0, "automatic restore-and-resume attempts on a detected worker failure (0 = fail fast)")
-	watchdog := flag.Duration("watchdog", 0, "per-worker no-progress timeout before the failure detector trips (0 = disabled)")
-	heartbeat := flag.Duration("heartbeat", 0, "period of liveness probes to pipeline neighbours (0 = disabled)")
-	chaosDrop := flag.Float64("chaos-drop", 0, "chaos: probability a transport message is silently dropped")
-	chaosDelay := flag.Float64("chaos-delay", 0, "chaos: probability a transport message is delivered late")
-	chaosDup := flag.Float64("chaos-dup", 0, "chaos: probability a transport message is delivered twice")
-	chaosMaxDelay := flag.Duration("chaos-max-delay", 10*time.Millisecond, "chaos: upper bound on injected delivery delays")
-	chaosSeed := flag.Int64("chaos-seed", 1, "chaos: seed fixing the fault schedule")
-	seed := flag.Int64("seed", 42, "random seed")
-	showMetrics := flag.Bool("metrics", false, "collect live per-stage metrics and print the summary table after each epoch")
-	metricsOut := flag.String("metrics-out", "", "write an expvar-style JSON metrics snapshot to this path at end of run (implies -metrics)")
-	traceOut := flag.String("trace-out", "", "capture the run's op log and write a Chrome trace-event JSON to this path (open in ui.perfetto.dev)")
 	flag.Parse()
 
 	var mode pipeline.StalenessMode
@@ -71,62 +53,37 @@ func main() {
 		fatal(fmt.Errorf("unknown mode %q", *modeName))
 	}
 
-	method, err := collective.ParseMethod(*allreduce)
+	syncCfg, sync, err := syncFlags.Build()
 	if err != nil {
 		fatal(err)
 	}
-	// The planner's replication decision must be priced with the
-	// collective the runtime will actually use: ring overlaps with
-	// backward and moves 2(R-1)/R of the weights, central blocks and
-	// moves 2(R-1) of them through one coordinator.
-	sync := partition.SyncRing
-	if method == collective.Central {
-		sync = partition.SyncCentral
-	}
-
-	factory, train, eval, opt := buildTask(*task, *seed)
-	model := factory()
-	if *stages < 1 || *stages > len(model.Layers) {
-		fatal(fmt.Errorf("stages must be in [1, %d]", len(model.Layers)))
-	}
-
-	plan, err := buildPlan(model, *stages, *replicas, sync)
+	task, err := mdl.Build()
 	if err != nil {
 		fatal(err)
 	}
-	workers := *stages - 1 + *replicas
+	model := task.Factory()
+	plan, err := cliconf.BuildPlan(model, mdl.Stages, mdl.Replicas, sync)
+	if err != nil {
+		fatal(err)
+	}
+	workers := mdl.Stages - 1 + mdl.Replicas
 	fmt.Printf("task %s: %d layers across %d stage(s) on %d worker(s), config %s, NOAM %d, mode %s, allreduce %s\n",
-		*task, len(model.Layers), *stages, workers, plan.ConfigString(), plan.NOAM, mode, method)
+		mdl.Task, len(model.Layers), mdl.Stages, workers, plan.ConfigString(), plan.NOAM, mode, syncCfg.AllReduce)
 
+	reg, opLog := obsFlags.Sinks()
 	opts := pipeline.Options{
-		ModelFactory:    factory,
-		Plan:            plan,
-		Loss:            nn.SoftmaxCrossEntropy,
-		NewOptimizer:    opt,
-		Mode:            mode,
-		AllReduce:       method,
-		BucketBytes:     *bucketBytes,
-		Depth:           *depth,
-		CheckpointDir:   ckptDir,
-		CheckpointEvery: *ckptEvery,
-		MaxRecoveries:   *maxRecoveries,
-		WatchdogTimeout: *watchdog,
-		HeartbeatEvery:  *heartbeat,
+		ModelFactory:  task.Factory,
+		Plan:          plan,
+		Loss:          nn.SoftmaxCrossEntropy,
+		NewOptimizer:  task.NewOptimizer,
+		Mode:          mode,
+		Metrics:       reg,
+		OpLog:         opLog,
+		RuntimeConfig: pipeline.RuntimeConfig{Depth: *depth},
+		SyncConfig:    syncCfg,
+		FaultConfig:   faultFlags.Build(),
 	}
-	buffer := 4*plan.NOAM + 8
-	if method == collective.Ring && *replicas > 1 {
-		// Room for the ring's lock-step chunk traffic: one in-flight
-		// chunk per bucket from the current round plus the next.
-		bytes := 0
-		for _, g := range model.Grads() {
-			bytes += g.Bytes()
-		}
-		bb := *bucketBytes
-		if bb <= 0 {
-			bb = collective.DefaultBucketBytes
-		}
-		buffer += 2*((bytes+bb-1)/bb) + 16
-	}
+	buffer := cliconf.Buffer(plan, model, syncCfg)
 	if *useTCP {
 		tr, err := transport.NewTCP(workers, buffer)
 		if err != nil {
@@ -136,33 +93,15 @@ func main() {
 		opts.Transport = tr
 		fmt.Println("transport: TCP loopback sockets (gob-encoded tensors)")
 	}
-	useChaos := *chaosDrop > 0 || *chaosDelay > 0 || *chaosDup > 0
-	if useChaos {
+	if chaosFlags.Enabled() {
 		inner := opts.Transport
 		if inner == nil {
 			inner = transport.NewChannels(workers, buffer)
 		}
-		chaos := transport.NewChaos(inner, transport.ChaosConfig{
-			Seed:      *chaosSeed,
-			DropRate:  *chaosDrop,
-			DelayRate: *chaosDelay,
-			DupRate:   *chaosDup,
-			MaxDelay:  *chaosMaxDelay,
-		})
+		chaos := chaosFlags.Wrap(inner)
 		defer chaos.Close()
 		opts.Transport = chaos
-		fmt.Printf("chaos: seed %d, drop %g, delay %g (max %v), dup %g\n",
-			*chaosSeed, *chaosDrop, *chaosDelay, *chaosMaxDelay, *chaosDup)
-	}
-	var reg *metrics.Registry
-	var opLog *metrics.OpLog
-	if *showMetrics || *metricsOut != "" {
-		reg = metrics.NewRegistry()
-		opts.Metrics = reg
-	}
-	if *traceOut != "" {
-		opLog = metrics.NewOpLog(0)
-		opts.OpLog = opLog
+		fmt.Printf("chaos: %s\n", chaosFlags)
 	}
 	p, err := pipeline.New(opts)
 	if err != nil {
@@ -170,11 +109,11 @@ func main() {
 	}
 	defer p.Close()
 
-	if *resume {
-		if ckptDir == "" {
+	if faultFlags.Resume {
+		if faultFlags.Dir == "" {
 			fatal(fmt.Errorf("-resume needs -checkpoint-dir"))
 		}
-		if err := p.Restore(ckptDir); err != nil {
+		if err := p.Restore(faultFlags.Dir); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("resumed from checkpoint generation at minibatch %d\n", p.Cursor())
@@ -182,143 +121,47 @@ func main() {
 
 	// The epoch loop is cursor-driven so a resumed run finishes its
 	// partial epoch before starting the next one.
-	mbs := train.NumBatches()
+	mbs := task.Train.NumBatches()
 	total := *epochs * mbs
 	var faults pipeline.FaultStats
 	for p.Cursor() < total {
 		e := p.Cursor()/mbs + 1
-		rep, err := p.Train(train, mbs-p.Cursor()%mbs)
+		rep, err := p.Train(task.Train, mbs-p.Cursor()%mbs)
 		if err != nil {
 			fatal(err)
 		}
-		acc := evaluate(p, eval)
+		acc := evaluate(p, task.Eval)
 		fmt.Printf("epoch %2d: mean loss %.4f, eval accuracy %.1f%%, wall %v\n",
 			e, rep.MeanLoss(), acc*100, rep.WallTime.Round(1e6))
-		if *showMetrics || *metricsOut != "" {
+		if obsFlags.MetricsEnabled() {
 			fmt.Print(rep.StageSummary())
 		}
 		faults.Recoveries += rep.Faults.Recoveries
 		faults.CheckpointWrites += rep.Faults.CheckpointWrites
 		faults.TransportReconnects += rep.Faults.TransportReconnects
 		faults.TransportSendErrors += rep.Faults.TransportSendErrors
-		if ckptDir != "" {
-			if err := p.Checkpoint(ckptDir); err != nil {
+		if faultFlags.Dir != "" {
+			if err := p.Checkpoint(faultFlags.Dir); err != nil {
 				fatal(err)
 			}
 		}
 	}
-	if ckptDir != "" {
-		fmt.Printf("per-stage checkpoint generations written to %s\n", ckptDir)
+	if faultFlags.Dir != "" {
+		fmt.Printf("per-stage checkpoint generations written to %s\n", faultFlags.Dir)
 	}
 	if faults.Recoveries > 0 || faults.TransportReconnects > 0 || faults.TransportSendErrors > 0 {
 		fmt.Printf("faults: %d recoveries, %d checkpoint writes, %d transport reconnects, %d send errors\n",
 			faults.Recoveries, faults.CheckpointWrites, faults.TransportReconnects, faults.TransportSendErrors)
 	}
-	if *metricsOut != "" {
-		f, err := os.Create(*metricsOut)
-		if err != nil {
-			fatal(err)
-		}
-		if err := reg.WriteJSON(f); err != nil {
-			fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("metrics snapshot written to %s\n", *metricsOut)
+	if err := obsFlags.WriteOutputs(reg, opLog); err != nil {
+		fatal(err)
 	}
-	if *traceOut != "" {
-		f, err := os.Create(*traceOut)
-		if err != nil {
-			fatal(err)
-		}
-		if err := trace.WriteRuntime(f, opLog); err != nil {
-			fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			fatal(err)
-		}
-		if d := opLog.Dropped(); d > 0 {
-			fmt.Fprintf(os.Stderr, "warning: op log dropped %d events (run is longer than the log capacity)\n", d)
-		}
-		fmt.Printf("runtime trace written to %s (open in ui.perfetto.dev)\n", *traceOut)
+	if obsFlags.MetricsOut != "" {
+		fmt.Printf("metrics snapshot written to %s\n", obsFlags.MetricsOut)
 	}
-}
-
-func buildTask(task string, seed int64) (func() *nn.Sequential, data.Dataset, data.Dataset, func() nn.Optimizer) {
-	switch task {
-	case "spiral":
-		factory := func() *nn.Sequential {
-			rng := rand.New(rand.NewSource(seed))
-			return nn.NewSequential(
-				nn.NewDense(rng, "fc1", 2, 32),
-				nn.NewTanh("t1"),
-				nn.NewDense(rng, "fc2", 32, 32),
-				nn.NewTanh("t2"),
-				nn.NewDense(rng, "fc3", 32, 3),
-			)
-		}
-		return factory, data.NewSpiral(seed+1, 3, 16, 50), data.NewSpiral(seed+2, 3, 32, 8),
-			func() nn.Optimizer { return nn.NewSGD(0.1, 0.9, 0) }
-	case "images":
-		factory := func() *nn.Sequential {
-			rng := rand.New(rand.NewSource(seed))
-			g1 := tensor.ConvGeom{InC: 1, InH: 12, InW: 12, KH: 3, KW: 3, Stride: 1, Pad: 1}
-			g2 := tensor.ConvGeom{InC: 8, InH: 12, InW: 12, KH: 3, KW: 3, Stride: 1, Pad: 1}
-			return nn.NewSequential(
-				nn.NewConv2D(rng, "conv1", g1, 8),
-				nn.NewReLU("r1"),
-				nn.NewConv2D(rng, "conv2", g2, 8),
-				nn.NewReLU("r2"),
-				nn.NewFlatten("flat"),
-				nn.NewDense(rng, "fc", 8*12*12, 4),
-			)
-		}
-		return factory, data.NewImages(seed+1, 4, 1, 12, 16, 30), data.NewImages(seed+2, 4, 1, 12, 32, 6),
-			func() nn.Optimizer { return nn.NewSGD(0.05, 0.9, 0) }
-	case "sequence":
-		factory := func() *nn.Sequential {
-			rng := rand.New(rand.NewSource(seed))
-			return nn.NewSequential(
-				nn.NewEmbedding(rng, "emb", 10, 16),
-				nn.NewLSTM(rng, "lstm1", 16, 32),
-				nn.NewLSTM(rng, "lstm2", 32, 32),
-				nn.NewFlattenTime("ft"),
-				nn.NewDense(rng, "dec", 32, 10),
-			)
-		}
-		return factory, data.NewSequenceCopy(seed+1, 10, 8, 16, 40), data.NewSequenceCopy(seed+2, 10, 8, 32, 6),
-			func() nn.Optimizer { return nn.NewAdam(0.01) }
+	if obsFlags.TraceOut != "" {
+		fmt.Printf("runtime trace written to %s (open in ui.perfetto.dev)\n", obsFlags.TraceOut)
 	}
-	fatal(fmt.Errorf("unknown task %q (want spiral, images, or sequence)", task))
-	return nil, nil, nil, nil
-}
-
-func buildPlan(model *nn.Sequential, stages, replicas int, sync partition.SyncModel) (*partition.Plan, error) {
-	n := len(model.Layers)
-	prof := &profile.ModelProfile{Model: "cli", MinibatchSize: 1, InputBytes: 4}
-	for i := 0; i < n; i++ {
-		prof.Layers = append(prof.Layers, profile.LayerProfile{
-			Name: model.Layers[i].Name(), FwdTime: 1, BwdTime: 2, ActivationBytes: 4, WeightBytes: 4,
-		})
-	}
-	per := n / stages
-	var specs []partition.StageSpec
-	first := 0
-	for s := 0; s < stages; s++ {
-		last := first + per - 1
-		if s == stages-1 {
-			last = n - 1
-		}
-		rep := 1
-		if s == 0 {
-			rep = replicas
-		}
-		specs = append(specs, partition.StageSpec{FirstLayer: first, LastLayer: last, Replicas: rep})
-		first = last + 1
-	}
-	workers := stages - 1 + replicas
-	return partition.EvaluateSync(prof, topology.Flat(workers, 1e9, topology.V100), specs, sync)
 }
 
 func evaluate(p *pipeline.Pipeline, eval data.Dataset) float64 {

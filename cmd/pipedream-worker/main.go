@@ -17,138 +17,88 @@ package main
 import (
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
 	"strings"
 	"time"
 
-	"pipedream/internal/collective"
-	"pipedream/internal/data"
-	"pipedream/internal/metrics"
+	"pipedream/internal/cliconf"
 	"pipedream/internal/nn"
-	"pipedream/internal/partition"
 	"pipedream/internal/pipeline"
-	"pipedream/internal/profile"
-	"pipedream/internal/topology"
-	"pipedream/internal/trace"
 	"pipedream/internal/transport"
 )
 
 func main() {
+	mdl := &cliconf.Model{Task: "spiral", Seed: 42, Stages: 0, Replicas: 1}
+	syncFlags := &cliconf.Sync{Method: "ring"}
+	faultFlags := &cliconf.Fault{}
+	chaosFlags := &cliconf.Chaos{MaxDelay: 10 * time.Millisecond, Seed: 1}
+	obsFlags := &cliconf.Obs{}
+	fs := flag.CommandLine
+	mdl.Register(fs)
+	syncFlags.Register(fs)
+	faultFlags.Register(fs)
+	chaosFlags.Register(fs)
+	obsFlags.Register(fs)
 	id := flag.Int("id", 0, "this worker's id (= its pipeline stage for straight pipelines)")
 	peers := flag.String("peers", "", "comma-separated listen addresses of all workers, ordered by id")
-	task := flag.String("task", "spiral", "training task: spiral or sequence")
-	stages := flag.Int("stages", 0, "pipeline stages (default: number of peers)")
-	replicas := flag.Int("replicas", 1, "replicas of the first stage (1F1B-RR; ids 0..replicas-1)")
-	allreduce := flag.String("allreduce", "ring", "gradient collective for replicated stages: ring (chunked, overlapped with backward) or central (barrier-style full-gradient exchange)")
-	bucketBytes := flag.Int("bucket-bytes", 0, "ring all-reduce gradient bucket size in bytes (0 = 256KiB default; must match across workers)")
 	epochs := flag.Int("epochs", 3, "training epochs")
 	minibatches := flag.Int("minibatches", 0, "minibatches per epoch (default: dataset size)")
-	seed := flag.Int64("seed", 42, "shared random seed (must match across workers)")
-	var ckptDir string
-	flag.StringVar(&ckptDir, "checkpoint-dir", "", "directory for this stage's checkpoint generations (shared by all workers; written after training, and mid-training with -checkpoint-every)")
-	flag.StringVar(&ckptDir, "checkpoint", "", "alias for -checkpoint-dir")
-	ckptEvery := flag.Int("checkpoint-every", 0, "also checkpoint every K minibatches at a pipeline drain barrier (0 = end of training only)")
-	resume := flag.Bool("resume", false, "restore this stage from the latest complete checkpoint generation in -checkpoint-dir and continue")
-	maxRecoveries := flag.Int("max-recoveries", 0, "automatic restore-and-resume attempts on a detected failure (0 = fail fast)")
-	watchdog := flag.Duration("watchdog", 0, "no-progress timeout before this worker's failure detector trips (0 = disabled)")
-	heartbeat := flag.Duration("heartbeat", 0, "period of liveness probes to pipeline neighbours (0 = disabled)")
-	chaosDrop := flag.Float64("chaos-drop", 0, "chaos: probability an outgoing message is silently dropped")
-	chaosDelay := flag.Float64("chaos-delay", 0, "chaos: probability an outgoing message is delivered late")
-	chaosDup := flag.Float64("chaos-dup", 0, "chaos: probability an outgoing message is delivered twice")
-	chaosMaxDelay := flag.Duration("chaos-max-delay", 10*time.Millisecond, "chaos: upper bound on injected delivery delays")
-	chaosSeed := flag.Int64("chaos-seed", 1, "chaos: seed fixing the fault schedule")
-	showMetrics := flag.Bool("metrics", false, "collect live metrics for this stage and print its summary to stderr after each epoch")
-	traceOut := flag.String("trace-out", "", "write this worker's ops as a Chrome trace-event JSON to this path at end of run")
 	flag.Parse()
 
 	addrs := strings.Split(*peers, ",")
 	if len(addrs) < 2 || *peers == "" {
 		fatal(fmt.Errorf("need at least two -peers addresses, got %q", *peers))
 	}
-	nStages := *stages
+	nStages := mdl.Stages
 	if nStages == 0 {
-		nStages = len(addrs) - *replicas + 1
+		nStages = len(addrs) - mdl.Replicas + 1
 	}
-	if nStages-1+*replicas != len(addrs) {
+	if nStages-1+mdl.Replicas != len(addrs) {
 		fatal(fmt.Errorf("%d stages with a %d-way first stage need %d peers, got %d",
-			nStages, *replicas, nStages-1+*replicas, len(addrs)))
+			nStages, mdl.Replicas, nStages-1+mdl.Replicas, len(addrs)))
 	}
 
-	method, err := collective.ParseMethod(*allreduce)
+	syncCfg, sync, err := syncFlags.Build()
 	if err != nil {
 		fatal(err)
 	}
-	sync := partition.SyncRing
-	if method == collective.Central {
-		sync = partition.SyncCentral
+	task, err := mdl.Build()
+	if err != nil {
+		fatal(err)
 	}
-
-	factory, train := buildTask(*task, *seed)
-	model := factory()
-	plan, err := buildPlan(model, nStages, *replicas, sync)
+	model := task.Factory()
+	plan, err := cliconf.BuildPlan(model, nStages, mdl.Replicas, sync)
 	if err != nil {
 		fatal(err)
 	}
 	mbs := *minibatches
 	if mbs == 0 {
-		mbs = train.NumBatches()
+		mbs = task.Train.NumBatches()
 	}
 
-	buffer := 4*plan.NOAM + 8
-	if method == collective.Ring && *replicas > 1 {
-		// Room for the ring's lock-step chunk traffic: one in-flight
-		// chunk per bucket from the current round plus the next.
-		bytes := 0
-		for _, g := range model.Grads() {
-			bytes += g.Bytes()
-		}
-		bb := *bucketBytes
-		if bb <= 0 {
-			bb = collective.DefaultBucketBytes
-		}
-		buffer += 2*((bytes+bb-1)/bb) + 16
-	}
-	tr, err := transport.NewTCPPeer(*id, addrs, buffer)
+	tr, err := transport.NewTCPPeer(*id, addrs, cliconf.Buffer(plan, model, syncCfg))
 	if err != nil {
 		fatal(err)
 	}
 	defer tr.Close()
 
+	reg, opLog := obsFlags.Sinks()
 	opts := pipeline.Options{
-		ModelFactory:    factory,
-		Plan:            plan,
-		Loss:            nn.SoftmaxCrossEntropy,
-		NewOptimizer:    func() nn.Optimizer { return nn.NewSGD(0.1, 0.9, 0) },
-		Transport:       tr,
-		AllReduce:       method,
-		BucketBytes:     *bucketBytes,
-		CheckpointDir:   ckptDir,
-		CheckpointEvery: *ckptEvery,
-		MaxRecoveries:   *maxRecoveries,
-		WatchdogTimeout: *watchdog,
-		HeartbeatEvery:  *heartbeat,
+		ModelFactory: task.Factory,
+		Plan:         plan,
+		Loss:         nn.SoftmaxCrossEntropy,
+		NewOptimizer: task.NewOptimizer,
+		Transport:    tr,
+		Metrics:      reg,
+		OpLog:        opLog,
+		SyncConfig:   syncCfg,
+		FaultConfig:  faultFlags.Build(),
 	}
-	if *chaosDrop > 0 || *chaosDelay > 0 || *chaosDup > 0 {
-		chaos := transport.NewChaos(tr, transport.ChaosConfig{
-			Seed:      *chaosSeed,
-			DropRate:  *chaosDrop,
-			DelayRate: *chaosDelay,
-			DupRate:   *chaosDup,
-			MaxDelay:  *chaosMaxDelay,
-		})
+	if chaosFlags.Enabled() {
+		chaos := chaosFlags.Wrap(tr)
 		defer chaos.Close()
 		opts.Transport = chaos
-		fmt.Fprintf(os.Stderr, "worker %d chaos: seed %d, drop %g, delay %g (max %v), dup %g\n",
-			*id, *chaosSeed, *chaosDrop, *chaosDelay, *chaosMaxDelay, *chaosDup)
-	}
-	if *showMetrics {
-		opts.Metrics = metrics.NewRegistry()
-	}
-	var opLog *metrics.OpLog
-	if *traceOut != "" {
-		opLog = metrics.NewOpLog(0)
-		opts.OpLog = opLog
+		fmt.Fprintf(os.Stderr, "worker %d chaos: %s\n", *id, chaosFlags)
 	}
 	w, err := pipeline.NewSoloWorker(opts, *id)
 	if err != nil {
@@ -156,11 +106,11 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "worker %d: stage %d of %d, listening on %s\n", *id, w.Stage(), nStages, tr.Addr())
 
-	if *resume {
-		if ckptDir == "" {
+	if faultFlags.Resume {
+		if faultFlags.Dir == "" {
 			fatal(fmt.Errorf("-resume needs -checkpoint-dir"))
 		}
-		if err := w.Restore(ckptDir); err != nil {
+		if err := w.Restore(faultFlags.Dir); err != nil {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "worker %d: resumed from checkpoint at minibatch %d\n", *id, w.Cursor())
@@ -172,95 +122,29 @@ func main() {
 	total := *epochs * mbs
 	for w.Cursor() < total {
 		e := w.Cursor()/mbs + 1
-		rep, err := w.Run(train, mbs-w.Cursor()%mbs)
+		rep, err := w.Run(task.Train, mbs-w.Cursor()%mbs)
 		if err != nil {
 			fatal(err)
 		}
 		if w.IsOutputStage() {
 			fmt.Printf("epoch %d loss %.6f\n", e, rep.MeanLoss())
 		}
-		if *showMetrics {
+		if obsFlags.MetricsEnabled() {
 			fmt.Fprintf(os.Stderr, "worker %d epoch %d metrics:\n%s", *id, e, rep.StageSummary())
 		}
 	}
-	if *traceOut != "" {
-		f, err := os.Create(*traceOut)
-		if err != nil {
+	if err := obsFlags.WriteOutputs(reg, opLog); err != nil {
+		fatal(err)
+	}
+	if obsFlags.TraceOut != "" {
+		fmt.Fprintf(os.Stderr, "worker %d: runtime trace written to %s\n", *id, obsFlags.TraceOut)
+	}
+	if faultFlags.Dir != "" {
+		if err := w.Checkpoint(faultFlags.Dir); err != nil {
 			fatal(err)
 		}
-		if err := trace.WriteRuntime(f, opLog); err != nil {
-			fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			fatal(err)
-		}
-		fmt.Fprintf(os.Stderr, "worker %d: runtime trace written to %s\n", *id, *traceOut)
+		fmt.Fprintf(os.Stderr, "worker %d: checkpoint written to %s\n", *id, faultFlags.Dir)
 	}
-	if ckptDir != "" {
-		if err := w.Checkpoint(ckptDir); err != nil {
-			fatal(err)
-		}
-		fmt.Fprintf(os.Stderr, "worker %d: checkpoint written to %s\n", *id, ckptDir)
-	}
-}
-
-func buildTask(task string, seed int64) (func() *nn.Sequential, data.Dataset) {
-	switch task {
-	case "spiral":
-		return func() *nn.Sequential {
-			rng := rand.New(rand.NewSource(seed))
-			return nn.NewSequential(
-				nn.NewDense(rng, "fc1", 2, 24),
-				nn.NewTanh("t1"),
-				nn.NewDense(rng, "fc2", 24, 24),
-				nn.NewTanh("t2"),
-				nn.NewDense(rng, "fc3", 24, 3),
-			)
-		}, data.NewSpiral(seed+1, 3, 16, 40)
-	case "sequence":
-		return func() *nn.Sequential {
-			rng := rand.New(rand.NewSource(seed))
-			return nn.NewSequential(
-				nn.NewEmbedding(rng, "emb", 10, 12),
-				nn.NewLSTM(rng, "lstm1", 12, 24),
-				nn.NewLSTM(rng, "lstm2", 24, 24),
-				nn.NewFlattenTime("ft"),
-				nn.NewDense(rng, "dec", 24, 10),
-			)
-		}, data.NewSequenceCopy(seed+1, 10, 6, 16, 30)
-	}
-	fatal(fmt.Errorf("unknown task %q (want spiral or sequence)", task))
-	return nil, nil
-}
-
-func buildPlan(model *nn.Sequential, stages, replicas int, sync partition.SyncModel) (*partition.Plan, error) {
-	n := len(model.Layers)
-	if stages > n {
-		return nil, fmt.Errorf("%d stages for %d layers", stages, n)
-	}
-	prof := &profile.ModelProfile{Model: "worker", MinibatchSize: 1, InputBytes: 4}
-	for i := 0; i < n; i++ {
-		prof.Layers = append(prof.Layers, profile.LayerProfile{
-			Name: model.Layers[i].Name(), FwdTime: 1, BwdTime: 2, ActivationBytes: 4, WeightBytes: 4,
-		})
-	}
-	per := n / stages
-	var specs []partition.StageSpec
-	first := 0
-	for s := 0; s < stages; s++ {
-		last := first + per - 1
-		if s == stages-1 {
-			last = n - 1
-		}
-		rep := 1
-		if s == 0 {
-			rep = replicas
-		}
-		specs = append(specs, partition.StageSpec{FirstLayer: first, LastLayer: last, Replicas: rep})
-		first = last + 1
-	}
-	workers := stages - 1 + replicas
-	return partition.EvaluateSync(prof, topology.Flat(workers, 1e9, topology.V100), specs, sync)
 }
 
 func fatal(err error) {

@@ -56,7 +56,7 @@ func main() {
 	}
 	fmt.Printf("config %s (NOAM %d), workers at %v\n\n", plan.ConfigString(), plan.NOAM, addrs)
 
-	workers := make([]*pipedream.SoloWorkerT, 3)
+	workers := make([]*pipedream.SoloWorker, 3)
 	for i := range workers {
 		tr, err := pipedream.NewTCPPeer(i, addrs, 32)
 		if err != nil {
@@ -81,7 +81,7 @@ func main() {
 		var loss float64
 		for i, w := range workers {
 			wg.Add(1)
-			go func(i int, w *pipedream.SoloWorkerT) {
+			go func(i int, w *pipedream.SoloWorker) {
 				defer wg.Done()
 				rep, err := w.Run(train, train.NumBatches())
 				if err != nil {

@@ -218,14 +218,13 @@ func TestPipelineRandomConfigsProperty(t *testing.T) {
 		}
 		ds := data.NewBlobs(seed+1, 3, 4, 4, 17) // odd count exercises partial all-reduce rounds
 		p, err := NewPipeline(PipelineOptions{
-			ModelFactory:     factory,
-			Plan:             plan,
-			Loss:             SoftmaxCrossEntropy,
-			NewOptimizer:     func() Optimizer { return NewSGD(0.05, 0, 0) },
-			Mode:             mode,
-			Depth:            depth,
-			Recompute:        rng.Intn(2) == 0,
-			GradAccumulation: rng.Intn(3),
+			ModelFactory:  factory,
+			Plan:          plan,
+			Loss:          SoftmaxCrossEntropy,
+			NewOptimizer:  func() Optimizer { return NewSGD(0.05, 0, 0) },
+			Mode:          mode,
+			RuntimeConfig: RuntimeConfig{Depth: depth, Recompute: rng.Intn(2) == 0},
+			SyncConfig:    SyncConfig{GradAccumulation: rng.Intn(3)},
 		})
 		if err != nil {
 			t.Fatalf("seed %d: new: %v", seed, err)

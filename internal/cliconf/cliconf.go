@@ -1,0 +1,372 @@
+// Package cliconf factors the flag surface the pipedream command-line
+// binaries share (pipedream-train, pipedream-worker, pipedream-serve)
+// out of their mains: each configuration group is a struct with a
+// Register method that declares its flags on a FlagSet — using the
+// struct's current field values as the defaults, so each binary presets
+// what differs — and a Build (or equivalent) method that turns the
+// parsed values into the runtime configuration the internal packages
+// consume. The task zoo and the demo partitioning/buffer-sizing logic
+// the binaries duplicated live here too, so every process of a
+// distributed run derives the identical model, plan, and transport
+// sizing from the identical flags.
+package cliconf
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"pipedream/internal/collective"
+	"pipedream/internal/data"
+	"pipedream/internal/metrics"
+	"pipedream/internal/nn"
+	"pipedream/internal/partition"
+	"pipedream/internal/pipeline"
+	"pipedream/internal/profile"
+	"pipedream/internal/tensor"
+	"pipedream/internal/topology"
+	"pipedream/internal/trace"
+	"pipedream/internal/transport"
+)
+
+// Model selects the demo task and the pipeline shape: which model/
+// dataset pair to build, the shared seed every process must agree on,
+// and how many stages and first-stage replicas to partition into.
+type Model struct {
+	// Task names the demo task: spiral, images, or sequence.
+	Task string
+	// Seed is the shared random seed; distributed processes must agree.
+	Seed int64
+	// Stages is the number of pipeline stages (binaries choose their own
+	// default; 0 lets pipedream-worker derive it from the peer count).
+	Stages int
+	// Replicas is the replication factor of the first stage (1F1B-RR).
+	Replicas int
+}
+
+// Register declares the model/task flags, defaulting to the current
+// field values.
+func (c *Model) Register(fs *flag.FlagSet) {
+	fs.StringVar(&c.Task, "task", c.Task, "demo task: spiral, images, or sequence")
+	fs.Int64Var(&c.Seed, "seed", c.Seed, "random seed (must match across distributed processes)")
+	fs.IntVar(&c.Stages, "stages", c.Stages, "pipeline stages (0 = derive from peer count)")
+	fs.IntVar(&c.Replicas, "replicas", c.Replicas, "replicas of the first stage (1F1B-RR)")
+}
+
+// Task is one demo task: a model factory plus its train/eval datasets
+// and per-task optimizer.
+type Task struct {
+	// Factory builds a fresh model with deterministically seeded weights.
+	Factory func() *nn.Sequential
+	// Train is the training dataset.
+	Train data.Dataset
+	// Eval is the held-out evaluation dataset.
+	Eval data.Dataset
+	// NewOptimizer builds the task's optimizer.
+	NewOptimizer func() nn.Optimizer
+}
+
+// Build resolves the named task. Every process calling Build with the
+// same Task/Seed gets bit-identical initial weights and data.
+func (c *Model) Build() (*Task, error) {
+	seed := c.Seed
+	switch c.Task {
+	case "spiral":
+		return &Task{
+			Factory: func() *nn.Sequential {
+				rng := rand.New(rand.NewSource(seed))
+				return nn.NewSequential(
+					nn.NewDense(rng, "fc1", 2, 32),
+					nn.NewTanh("t1"),
+					nn.NewDense(rng, "fc2", 32, 32),
+					nn.NewTanh("t2"),
+					nn.NewDense(rng, "fc3", 32, 3),
+				)
+			},
+			Train:        data.NewSpiral(seed+1, 3, 16, 50),
+			Eval:         data.NewSpiral(seed+2, 3, 32, 8),
+			NewOptimizer: func() nn.Optimizer { return nn.NewSGD(0.1, 0.9, 0) },
+		}, nil
+	case "images":
+		return &Task{
+			Factory: func() *nn.Sequential {
+				rng := rand.New(rand.NewSource(seed))
+				g1 := tensor.ConvGeom{InC: 1, InH: 12, InW: 12, KH: 3, KW: 3, Stride: 1, Pad: 1}
+				g2 := tensor.ConvGeom{InC: 8, InH: 12, InW: 12, KH: 3, KW: 3, Stride: 1, Pad: 1}
+				return nn.NewSequential(
+					nn.NewConv2D(rng, "conv1", g1, 8),
+					nn.NewReLU("r1"),
+					nn.NewConv2D(rng, "conv2", g2, 8),
+					nn.NewReLU("r2"),
+					nn.NewFlatten("flat"),
+					nn.NewDense(rng, "fc", 8*12*12, 4),
+				)
+			},
+			Train:        data.NewImages(seed+1, 4, 1, 12, 16, 30),
+			Eval:         data.NewImages(seed+2, 4, 1, 12, 32, 6),
+			NewOptimizer: func() nn.Optimizer { return nn.NewSGD(0.05, 0.9, 0) },
+		}, nil
+	case "sequence":
+		return &Task{
+			Factory: func() *nn.Sequential {
+				rng := rand.New(rand.NewSource(seed))
+				return nn.NewSequential(
+					nn.NewEmbedding(rng, "emb", 10, 16),
+					nn.NewLSTM(rng, "lstm1", 16, 32),
+					nn.NewLSTM(rng, "lstm2", 32, 32),
+					nn.NewFlattenTime("ft"),
+					nn.NewDense(rng, "dec", 32, 10),
+				)
+			},
+			Train:        data.NewSequenceCopy(seed+1, 10, 8, 16, 40),
+			Eval:         data.NewSequenceCopy(seed+2, 10, 8, 32, 6),
+			NewOptimizer: func() nn.Optimizer { return nn.NewAdam(0.01) },
+		}, nil
+	}
+	return nil, fmt.Errorf("unknown task %q (want spiral, images, or sequence)", c.Task)
+}
+
+// BuildPlan partitions the model's layers evenly into stages (the first
+// stage replicated) and prices the result with the given sync-cost
+// model — the straight demo partitioning both runtime binaries use in
+// place of a measured profile.
+func BuildPlan(model *nn.Sequential, stages, replicas int, sync partition.SyncModel) (*partition.Plan, error) {
+	n := len(model.Layers)
+	if stages < 1 || stages > n {
+		return nil, fmt.Errorf("stages must be in [1, %d], got %d", n, stages)
+	}
+	prof := &profile.ModelProfile{Model: "cli", MinibatchSize: 1, InputBytes: 4}
+	for i := 0; i < n; i++ {
+		prof.Layers = append(prof.Layers, profile.LayerProfile{
+			Name: model.Layers[i].Name(), FwdTime: 1, BwdTime: 2, ActivationBytes: 4, WeightBytes: 4,
+		})
+	}
+	per := n / stages
+	var specs []partition.StageSpec
+	first := 0
+	for s := 0; s < stages; s++ {
+		last := first + per - 1
+		if s == stages-1 {
+			last = n - 1
+		}
+		rep := 1
+		if s == 0 {
+			rep = replicas
+		}
+		specs = append(specs, partition.StageSpec{FirstLayer: first, LastLayer: last, Replicas: rep})
+		first = last + 1
+	}
+	workers := stages - 1 + replicas
+	return partition.EvaluateSync(prof, topology.Flat(workers, 1e9, topology.V100), specs, sync)
+}
+
+// Buffer sizes per-worker transport inboxes for a training run: room
+// for the 1F1B schedule's in-flight minibatches plus, when a replicated
+// stage will run the ring all-reduce, the ring's lock-step chunk traffic
+// (one in-flight chunk per bucket from the current round plus the next).
+func Buffer(plan *partition.Plan, model *nn.Sequential, sc pipeline.SyncConfig) int {
+	buffer := 4*plan.NOAM + 8
+	replicated := false
+	for _, s := range plan.Stages {
+		if s.Replicas > 1 {
+			replicated = true
+		}
+	}
+	if sc.AllReduce == collective.Ring && replicated {
+		bytes := 0
+		for _, g := range model.Grads() {
+			bytes += g.Bytes()
+		}
+		bb := sc.BucketBytes
+		if bb <= 0 {
+			bb = collective.DefaultBucketBytes
+		}
+		buffer += 2*((bytes+bb-1)/bb) + 16
+	}
+	return buffer
+}
+
+// Sync configures the replicated-stage gradient collective.
+type Sync struct {
+	// Method is the -allreduce flag value: ring or central.
+	Method string
+	// BucketBytes is the ring collective's gradient bucket size.
+	BucketBytes int
+}
+
+// Register declares the gradient-sync flags, defaulting to the current
+// field values.
+func (c *Sync) Register(fs *flag.FlagSet) {
+	fs.StringVar(&c.Method, "allreduce", c.Method, "gradient collective for replicated stages: ring (chunked, overlapped with backward) or central (barrier-style)")
+	fs.IntVar(&c.BucketBytes, "bucket-bytes", c.BucketBytes, "ring all-reduce gradient bucket size in bytes (0 = 256KiB default; must match across workers)")
+}
+
+// Build parses the method and returns both the runtime's SyncConfig and
+// the partitioner's matching sync-cost model — the planner's replication
+// decision must be priced with the collective the runtime will actually
+// use: ring overlaps with backward and moves 2(R-1)/R of the weights,
+// central blocks and moves 2(R-1) of them through one coordinator.
+func (c *Sync) Build() (pipeline.SyncConfig, partition.SyncModel, error) {
+	method, err := collective.ParseMethod(c.Method)
+	if err != nil {
+		return pipeline.SyncConfig{}, 0, err
+	}
+	sync := partition.SyncRing
+	if method == collective.Central {
+		sync = partition.SyncCentral
+	}
+	return pipeline.SyncConfig{AllReduce: method, BucketBytes: c.BucketBytes}, sync, nil
+}
+
+// Fault configures checkpointing and failure recovery.
+type Fault struct {
+	// Dir is the checkpoint directory ("" disables checkpointing).
+	Dir string
+	// Every checkpoints every K minibatches at a drain barrier.
+	Every int
+	// Resume restores from the latest complete generation before training.
+	Resume bool
+	// MaxRecoveries bounds automatic restore-and-resume attempts.
+	MaxRecoveries int
+	// Watchdog is the per-worker no-progress timeout (0 disables).
+	Watchdog time.Duration
+	// Heartbeat is the liveness-probe period (0 disables).
+	Heartbeat time.Duration
+}
+
+// Register declares the fault-tolerance flags, defaulting to the current
+// field values.
+func (c *Fault) Register(fs *flag.FlagSet) {
+	fs.StringVar(&c.Dir, "checkpoint-dir", c.Dir, "directory for per-stage checkpoint generations")
+	fs.StringVar(&c.Dir, "checkpoint", c.Dir, "alias for -checkpoint-dir")
+	fs.IntVar(&c.Every, "checkpoint-every", c.Every, "also checkpoint every K minibatches at a pipeline drain barrier (0 = run boundaries only)")
+	fs.BoolVar(&c.Resume, "resume", c.Resume, "restore from the latest complete checkpoint generation in -checkpoint-dir and continue")
+	fs.IntVar(&c.MaxRecoveries, "max-recoveries", c.MaxRecoveries, "automatic restore-and-resume attempts on a detected worker failure (0 = fail fast)")
+	fs.DurationVar(&c.Watchdog, "watchdog", c.Watchdog, "per-worker no-progress timeout before the failure detector trips (0 = disabled)")
+	fs.DurationVar(&c.Heartbeat, "heartbeat", c.Heartbeat, "period of liveness probes to pipeline neighbours (0 = disabled)")
+}
+
+// Build returns the runtime's FaultConfig. (Resume is acted on by the
+// binary after construction — it needs the built pipeline.)
+func (c *Fault) Build() pipeline.FaultConfig {
+	return pipeline.FaultConfig{
+		CheckpointDir:   c.Dir,
+		CheckpointEvery: c.Every,
+		MaxRecoveries:   c.MaxRecoveries,
+		WatchdogTimeout: c.Watchdog,
+		HeartbeatEvery:  c.Heartbeat,
+	}
+}
+
+// Chaos configures seeded transport fault injection.
+type Chaos struct {
+	// Drop, Delay, and Dup are per-message fault probabilities.
+	Drop, Delay, Dup float64
+	// MaxDelay bounds injected delivery delays.
+	MaxDelay time.Duration
+	// Seed fixes the fault schedule.
+	Seed int64
+}
+
+// Register declares the chaos flags, defaulting to the current field
+// values.
+func (c *Chaos) Register(fs *flag.FlagSet) {
+	fs.Float64Var(&c.Drop, "chaos-drop", c.Drop, "chaos: probability a transport message is silently dropped")
+	fs.Float64Var(&c.Delay, "chaos-delay", c.Delay, "chaos: probability a transport message is delivered late")
+	fs.Float64Var(&c.Dup, "chaos-dup", c.Dup, "chaos: probability a transport message is delivered twice")
+	fs.DurationVar(&c.MaxDelay, "chaos-max-delay", c.MaxDelay, "chaos: upper bound on injected delivery delays")
+	fs.Int64Var(&c.Seed, "chaos-seed", c.Seed, "chaos: seed fixing the fault schedule")
+}
+
+// Enabled reports whether any fault probability is set.
+func (c *Chaos) Enabled() bool { return c.Drop > 0 || c.Delay > 0 || c.Dup > 0 }
+
+// Wrap wraps inner with the configured fault injector.
+func (c *Chaos) Wrap(inner transport.Transport) *transport.Chaos {
+	return transport.NewChaos(inner, transport.ChaosConfig{
+		Seed:      c.Seed,
+		DropRate:  c.Drop,
+		DelayRate: c.Delay,
+		DupRate:   c.Dup,
+		MaxDelay:  c.MaxDelay,
+	})
+}
+
+// String renders the active fault schedule for a startup log line.
+func (c *Chaos) String() string {
+	return fmt.Sprintf("seed %d, drop %g, delay %g (max %v), dup %g",
+		c.Seed, c.Drop, c.Delay, c.MaxDelay, c.Dup)
+}
+
+// Obs configures the observability sinks.
+type Obs struct {
+	// Show prints live per-stage metric summaries during the run.
+	Show bool
+	// MetricsOut writes a JSON metrics snapshot to this path at exit.
+	MetricsOut string
+	// TraceOut writes a Chrome trace-event JSON to this path at exit.
+	TraceOut string
+}
+
+// Register declares the observability flags, defaulting to the current
+// field values.
+func (c *Obs) Register(fs *flag.FlagSet) {
+	fs.BoolVar(&c.Show, "metrics", c.Show, "collect live per-stage metrics and print the summary table")
+	fs.StringVar(&c.MetricsOut, "metrics-out", c.MetricsOut, "write an expvar-style JSON metrics snapshot to this path at end of run (implies -metrics)")
+	fs.StringVar(&c.TraceOut, "trace-out", c.TraceOut, "capture the run's op log and write a Chrome trace-event JSON to this path (open in ui.perfetto.dev)")
+}
+
+// MetricsEnabled reports whether a metrics registry should be attached.
+func (c *Obs) MetricsEnabled() bool { return c.Show || c.MetricsOut != "" }
+
+// Sinks returns the registry and op log the flags call for (nil for the
+// ones not requested).
+func (c *Obs) Sinks() (*metrics.Registry, *metrics.OpLog) {
+	var reg *metrics.Registry
+	var opLog *metrics.OpLog
+	if c.MetricsEnabled() {
+		reg = metrics.NewRegistry()
+	}
+	if c.TraceOut != "" {
+		opLog = metrics.NewOpLog(0)
+	}
+	return reg, opLog
+}
+
+// WriteOutputs writes the requested end-of-run artifacts: the metrics
+// snapshot to MetricsOut and the rendered op log to TraceOut. Sinks not
+// requested (or nil) are skipped.
+func (c *Obs) WriteOutputs(reg *metrics.Registry, opLog *metrics.OpLog) error {
+	if c.MetricsOut != "" && reg != nil {
+		f, err := os.Create(c.MetricsOut)
+		if err != nil {
+			return err
+		}
+		if err := reg.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if c.TraceOut != "" && opLog != nil {
+		f, err := os.Create(c.TraceOut)
+		if err != nil {
+			return err
+		}
+		if err := trace.WriteRuntime(f, opLog); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		if d := opLog.Dropped(); d > 0 {
+			fmt.Fprintf(os.Stderr, "warning: op log dropped %d events (run is longer than the log capacity)\n", d)
+		}
+	}
+	return nil
+}

@@ -161,6 +161,19 @@ func DepthBuckets() []float64 {
 	return []float64{0, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 64, 128}
 }
 
+// LatencyBuckets are microsecond bounds for request-latency histograms:
+// 10 µs to ~10 s at ~25% spacing, fine enough that the bucketed p50/p95/
+// p99 upper bounds a serving load generator reports stay within a quarter
+// of the true quantile (DurationBuckets' power-of-two spacing is built
+// for op durations, too coarse for tail-latency reporting).
+func LatencyBuckets() []float64 {
+	var b []float64
+	for v := 10.0; v < 10e6; v *= 1.25 {
+		b = append(b, math.Round(v))
+	}
+	return b
+}
+
 // Observe records one observation. It never allocates and never locks.
 func (h *Histogram) Observe(v float64) {
 	// Binary search for the first bound >= v; the bucket arrays are
@@ -250,6 +263,7 @@ func (h *Histogram) snapshot() map[string]any {
 		s["min"] = h.min.load()
 		s["max"] = h.max.load()
 		s["p50"] = h.Quantile(0.50)
+		s["p95"] = h.Quantile(0.95)
 		s["p99"] = h.Quantile(0.99)
 	}
 	return s

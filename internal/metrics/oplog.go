@@ -17,6 +17,9 @@ const (
 	// OpSync is time spent waiting in a replicated-stage gradient
 	// all_reduce (in-process reducer or message-based exchange).
 	OpSync
+	// OpRequest is one serving request's full span, from admission into
+	// the dynamic batcher to response demultiplexing (internal/serve).
+	OpRequest
 )
 
 // String implements fmt.Stringer.
@@ -28,6 +31,8 @@ func (k OpKind) String() string {
 		return "backward"
 	case OpSync:
 		return "sync"
+	case OpRequest:
+		return "request"
 	}
 	return "unknown"
 }

@@ -254,6 +254,86 @@ func generationComplete(gdir string, man *checkpointManifest) bool {
 	return true
 }
 
+// LoadModel assembles a full trained model from the newest complete
+// checkpoint generation under dir, for forward-only use (serving,
+// evaluation, export). It reads replica 0 of every stage the generation's
+// manifest names, concatenates their parameters in stage order — which,
+// because stages partition the layer list, is exactly the full model's
+// parameter list — and copies them into a fresh model built by factory.
+// The returned cursor is the global minibatch count the weights reflect.
+//
+// Unlike Restore, LoadModel needs no Pipeline and no plan: the serving
+// process may re-partition the model into a different number of stages
+// than training used (or run it unpartitioned).
+func LoadModel(dir string, factory func() *nn.Sequential) (*nn.Sequential, int, error) {
+	gens, err := listGenerations(dir)
+	if err != nil {
+		return nil, 0, fmt.Errorf("pipeline: load %s: %w", dir, err)
+	}
+	var lastSkip error
+	for i := len(gens) - 1; i >= 0; i-- {
+		gdir := filepath.Join(dir, genDirName(gens[i]))
+		man, err := readManifest(gdir)
+		if err != nil {
+			if os.IsNotExist(err) {
+				lastSkip = fmt.Errorf("generation %d has no manifest", gens[i])
+				continue
+			}
+			return nil, 0, fmt.Errorf("pipeline: load %s: %w", gdir, err)
+		}
+		if man.Generation != gens[i] {
+			return nil, 0, fmt.Errorf("pipeline: load %s: manifest generation %d does not match directory",
+				gdir, man.Generation)
+		}
+		if !generationComplete(gdir, man) {
+			lastSkip = fmt.Errorf("generation %d is incomplete", gens[i])
+			continue
+		}
+		model, err := loadGenerationModel(gdir, man, factory)
+		if err != nil {
+			return nil, 0, err
+		}
+		return model, man.Cursor, nil
+	}
+	return nil, 0, fmt.Errorf("pipeline: no complete checkpoint generation in %s (%v)", dir, lastSkip)
+}
+
+// loadGenerationModel reads every stage's replica-0 file of one complete,
+// validated generation and copies the concatenated parameters into a
+// fresh model.
+func loadGenerationModel(gdir string, man *checkpointManifest, factory func() *nn.Sequential) (*nn.Sequential, error) {
+	var loaded []*tensor.Tensor
+	for s := 0; s < man.Stages; s++ {
+		path := filepath.Join(gdir, stageFileName(s, 0))
+		cf, err := readStageFile(path)
+		if err != nil {
+			return nil, err
+		}
+		if cf.Generation != man.Generation {
+			return nil, fmt.Errorf("pipeline: load %s: file generation %d in generation-%d directory (mixed checkpoint)",
+				path, cf.Generation, man.Generation)
+		}
+		if cf.Stage != s {
+			return nil, fmt.Errorf("pipeline: load %s: file is for stage %d", path, cf.Stage)
+		}
+		loaded = append(loaded, cf.Params...)
+	}
+	model := factory()
+	params := model.Params()
+	if len(params) != len(loaded) {
+		return nil, fmt.Errorf("pipeline: load %s: %d params in checkpoint, model has %d",
+			gdir, len(loaded), len(params))
+	}
+	for i, pt := range params {
+		if pt.Size() != loaded[i].Size() {
+			return nil, fmt.Errorf("pipeline: load %s: param %d has %d values, model has %d",
+				gdir, i, loaded[i].Size(), pt.Size())
+		}
+		pt.CopyFrom(loaded[i])
+	}
+	return model, nil
+}
+
 // Restore loads parameters previously written by Checkpoint: the newest
 // complete generation is selected, validated against this pipeline's plan,
 // and every local worker's weights, optimizer state, and update counter

@@ -1,0 +1,84 @@
+package pipeline
+
+import (
+	"testing"
+
+	"pipedream/internal/data"
+	"pipedream/internal/nn"
+)
+
+// TestLoadModelReassemblesCheckpoint trains a multi-stage pipeline,
+// checkpoints it, and checks LoadModel rebuilds the exact trained model
+// from the per-stage shards — the loader serving builds on.
+func TestLoadModelReassemblesCheckpoint(t *testing.T) {
+	factory := mlpFactory(21, 4, 8, 3)
+	ds := data.NewBlobs(22, 3, 4, 8, 12)
+	dir := t.TempDir()
+	p, err := New(Options{
+		ModelFactory: factory,
+		Plan:         evenPlan(t, factory, 2, 1),
+		Loss:         nn.SoftmaxCrossEntropy,
+		NewOptimizer: func() nn.Optimizer { return nn.NewSGD(0.1, 0, 0) },
+		FaultConfig:  FaultConfig{CheckpointDir: dir},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if _, err := p.Train(ds, 12); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Checkpoint(dir); err != nil {
+		t.Fatal(err)
+	}
+	want := p.CollectModel().Params()
+
+	model, cursor, err := LoadModel(dir, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cursor != 12 {
+		t.Fatalf("cursor = %d, want 12", cursor)
+	}
+	got := model.Params()
+	if len(got) != len(want) {
+		t.Fatalf("loaded %d params, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !got[i].AllClose(want[i], 0) {
+			t.Fatalf("param %d differs from trained model", i)
+		}
+	}
+}
+
+// TestLoadModelValidation: an empty directory and a factory whose
+// parameter layout does not match the shards both fail with an error
+// instead of a silently wrong model.
+func TestLoadModelValidation(t *testing.T) {
+	if _, _, err := LoadModel(t.TempDir(), mlpFactory(1, 4, 8, 3)); err == nil {
+		t.Fatal("LoadModel on an empty directory succeeded")
+	}
+
+	factory := mlpFactory(23, 4, 8, 3)
+	ds := data.NewBlobs(24, 3, 4, 8, 6)
+	dir := t.TempDir()
+	p, err := New(Options{
+		ModelFactory: factory,
+		Plan:         evenPlan(t, factory, 2, 1),
+		Loss:         nn.SoftmaxCrossEntropy,
+		NewOptimizer: func() nn.Optimizer { return nn.NewSGD(0.1, 0, 0) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if _, err := p.Train(ds, 6); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Checkpoint(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadModel(dir, mlpFactory(1, 4, 16, 3)); err == nil {
+		t.Fatal("LoadModel with a mismatched factory succeeded")
+	}
+}

@@ -19,11 +19,11 @@ func TestRecomputeMatchesStashedActivationsExactly(t *testing.T) {
 	ds := data.NewBlobs(11, 3, 4, 8, 30)
 	run := func(recompute bool) []float64 {
 		p, err := New(Options{
-			ModelFactory: factory,
-			Plan:         evenPlan(t, factory, 3, 1),
-			Loss:         nn.SoftmaxCrossEntropy,
-			NewOptimizer: func() nn.Optimizer { return nn.NewSGD(0.1, 0, 0) },
-			Recompute:    recompute,
+			ModelFactory:  factory,
+			Plan:          evenPlan(t, factory, 3, 1),
+			Loss:          nn.SoftmaxCrossEntropy,
+			NewOptimizer:  func() nn.Optimizer { return nn.NewSGD(0.1, 0, 0) },
+			RuntimeConfig: RuntimeConfig{Recompute: recompute},
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -52,12 +52,12 @@ func TestRecomputeShrinksStash(t *testing.T) {
 	ds := data.NewBlobs(13, 3, 4, 16, 20)
 	peak := func(recompute bool) int64 {
 		p, err := New(Options{
-			ModelFactory: factory,
-			Plan:         evenPlan(t, factory, 3, 1),
-			Loss:         nn.SoftmaxCrossEntropy,
-			NewOptimizer: func() nn.Optimizer { return nn.NewSGD(0.1, 0, 0) },
-			Recompute:    recompute,
-			Mode:         NoStashing, // isolate activation memory from weight stashes
+			ModelFactory:  factory,
+			Plan:          evenPlan(t, factory, 3, 1),
+			Loss:          nn.SoftmaxCrossEntropy,
+			NewOptimizer:  func() nn.Optimizer { return nn.NewSGD(0.1, 0, 0) },
+			RuntimeConfig: RuntimeConfig{Recompute: recompute},
+			Mode:          NoStashing, // isolate activation memory from weight stashes
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -114,12 +114,12 @@ func TestGradAccumulationMatchesLargeBatchReference(t *testing.T) {
 
 	// Pipeline with depth 1 (no staleness) and gradient accumulation.
 	p, err := New(Options{
-		ModelFactory:     factory,
-		Plan:             evenPlan(t, factory, 1, 1),
-		Loss:             nn.SoftmaxCrossEntropy,
-		NewOptimizer:     func() nn.Optimizer { return nn.NewSGD(0.1, 0, 0) },
-		Depth:            1,
-		GradAccumulation: accum,
+		ModelFactory:  factory,
+		Plan:          evenPlan(t, factory, 1, 1),
+		Loss:          nn.SoftmaxCrossEntropy,
+		NewOptimizer:  func() nn.Optimizer { return nn.NewSGD(0.1, 0, 0) },
+		RuntimeConfig: RuntimeConfig{Depth: 1},
+		SyncConfig:    SyncConfig{GradAccumulation: accum},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -143,12 +143,12 @@ func TestGradAccumulationPartialWindow(t *testing.T) {
 	factory := mlpFactory(23, 4, 8, 3)
 	ds := data.NewBlobs(29, 3, 4, 8, 5)
 	p, err := New(Options{
-		ModelFactory:     factory,
-		Plan:             evenPlan(t, factory, 1, 1),
-		Loss:             nn.SoftmaxCrossEntropy,
-		NewOptimizer:     func() nn.Optimizer { return nn.NewSGD(0.5, 0, 0) },
-		Depth:            1,
-		GradAccumulation: 4,
+		ModelFactory:  factory,
+		Plan:          evenPlan(t, factory, 1, 1),
+		Loss:          nn.SoftmaxCrossEntropy,
+		NewOptimizer:  func() nn.Optimizer { return nn.NewSGD(0.5, 0, 0) },
+		RuntimeConfig: RuntimeConfig{Depth: 1},
+		SyncConfig:    SyncConfig{GradAccumulation: 4},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -171,12 +171,12 @@ func TestRecomputeWithStashingKeepsVersions(t *testing.T) {
 	factory := mlpFactory(31, 4, 8, 3)
 	ds := data.NewBlobs(37, 3, 4, 8, 24)
 	p, err := New(Options{
-		ModelFactory: factory,
-		Plan:         evenPlan(t, factory, 3, 1),
-		Loss:         nn.SoftmaxCrossEntropy,
-		NewOptimizer: func() nn.Optimizer { return nn.NewSGD(0.1, 0.9, 0) },
-		Mode:         WeightStashing,
-		Recompute:    true,
+		ModelFactory:  factory,
+		Plan:          evenPlan(t, factory, 3, 1),
+		Loss:          nn.SoftmaxCrossEntropy,
+		NewOptimizer:  func() nn.Optimizer { return nn.NewSGD(0.1, 0.9, 0) },
+		Mode:          WeightStashing,
+		RuntimeConfig: RuntimeConfig{Recompute: true},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -203,11 +203,11 @@ func TestSoloWorkersMatchInProcessPipeline(t *testing.T) {
 
 	// Reference: in-process pipeline, depth 1.
 	ref, err := New(Options{
-		ModelFactory: factory,
-		Plan:         plan,
-		Loss:         nn.SoftmaxCrossEntropy,
-		NewOptimizer: func() nn.Optimizer { return nn.NewSGD(0.1, 0, 0) },
-		Depth:        1,
+		ModelFactory:  factory,
+		Plan:          plan,
+		Loss:          nn.SoftmaxCrossEntropy,
+		NewOptimizer:  func() nn.Optimizer { return nn.NewSGD(0.1, 0, 0) },
+		RuntimeConfig: RuntimeConfig{Depth: 1},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -243,12 +243,12 @@ func TestSoloWorkersMatchInProcessPipeline(t *testing.T) {
 	workers := make([]*SoloWorker, 3)
 	for i := range workers {
 		w, err := NewSoloWorker(Options{
-			ModelFactory: factory,
-			Plan:         plan,
-			Loss:         nn.SoftmaxCrossEntropy,
-			NewOptimizer: func() nn.Optimizer { return nn.NewSGD(0.1, 0, 0) },
-			Transport:    peers[i],
-			Depth:        1,
+			ModelFactory:  factory,
+			Plan:          plan,
+			Loss:          nn.SoftmaxCrossEntropy,
+			NewOptimizer:  func() nn.Optimizer { return nn.NewSGD(0.1, 0, 0) },
+			Transport:     peers[i],
+			RuntimeConfig: RuntimeConfig{Depth: 1},
 		}, i)
 		if err != nil {
 			t.Fatal(err)
@@ -410,11 +410,11 @@ func TestCheckpointPreservesOptimizerState(t *testing.T) {
 	ds := data.NewBlobs(67, 3, 4, 8, 30)
 	mk := func() *Pipeline {
 		p, err := New(Options{
-			ModelFactory: factory,
-			Plan:         evenPlan(t, factory, 2, 1),
-			Loss:         nn.SoftmaxCrossEntropy,
-			NewOptimizer: func() nn.Optimizer { return nn.NewSGD(0.1, 0.9, 0) }, // momentum matters
-			Depth:        1,                                                     // determinism
+			ModelFactory:  factory,
+			Plan:          evenPlan(t, factory, 2, 1),
+			Loss:          nn.SoftmaxCrossEntropy,
+			NewOptimizer:  func() nn.Optimizer { return nn.NewSGD(0.1, 0.9, 0) }, // momentum matters
+			RuntimeConfig: RuntimeConfig{Depth: 1},                               // determinism
 		})
 		if err != nil {
 			t.Fatal(err)

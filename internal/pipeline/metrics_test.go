@@ -20,13 +20,13 @@ func TestReportStagesPopulated(t *testing.T) {
 	reg := metrics.NewRegistry()
 	log := metrics.NewOpLog(0)
 	p, err := New(Options{
-		ModelFactory: factory,
-		Plan:         evenPlan(t, factory, 2, 1),
-		Loss:         nn.SoftmaxCrossEntropy,
-		NewOptimizer: func() nn.Optimizer { return nn.NewSGD(0.05, 0, 0) },
-		Depth:        2,
-		Metrics:      reg,
-		OpLog:        log,
+		ModelFactory:  factory,
+		Plan:          evenPlan(t, factory, 2, 1),
+		Loss:          nn.SoftmaxCrossEntropy,
+		NewOptimizer:  func() nn.Optimizer { return nn.NewSGD(0.05, 0, 0) },
+		RuntimeConfig: RuntimeConfig{Depth: 2},
+		Metrics:       reg,
+		OpLog:         log,
 	})
 	if err != nil {
 		t.Fatal(err)

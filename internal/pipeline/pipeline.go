@@ -65,20 +65,11 @@ func (m StalenessMode) String() string {
 // LossFunc computes a scalar loss and its gradient w.r.t. predictions.
 type LossFunc func(pred *tensor.Tensor, labels []int) (float64, *tensor.Tensor)
 
-// Options configures a Pipeline.
-type Options struct {
-	// ModelFactory must return architecturally identical models with
-	// identical initial weights on every call (use a fixed seed); each
-	// worker owns a private instance and slices out its stage.
-	ModelFactory func() *nn.Sequential
-	// Plan assigns model layers to stages/replicas (from the optimizer).
-	Plan *partition.Plan
-	// Loss runs at the output stage.
-	Loss LossFunc
-	// NewOptimizer builds one optimizer per worker.
-	NewOptimizer func() nn.Optimizer
-	// Mode selects the staleness handling; default WeightStashing.
-	Mode StalenessMode
+// RuntimeConfig groups the execution-shape options of a Pipeline: how
+// deep the pipeline runs, whether activations are recomputed, and how
+// much kernel-level parallelism each worker may use. Its fields are
+// promoted into Options, so opts.Depth and friends keep working.
+type RuntimeConfig struct {
 	// Depth overrides NOAM as the per-input-replica in-flight bound.
 	Depth int
 	// Recompute discards forward activations and recomputes them during
@@ -86,14 +77,6 @@ type Options struct {
 	// of stashing layer contexts. Requires deterministic layers (dropout
 	// would re-draw its mask during recomputation).
 	Recompute bool
-	// GradAccumulation applies the optimizer update only every N
-	// backward passes, averaging the accumulated gradients — the weight
-	// aggregation technique §3.3 lists for reducing update frequency.
-	// 0 or 1 means update every minibatch.
-	GradAccumulation int
-	// Transport carries inter-stage messages; default in-process
-	// channels.
-	Transport transport.Transport
 	// KernelParallelism, when > 0, sets the tensor package's degree of
 	// kernel-level parallelism for this process (tensor.SetParallelism).
 	// Kernel chunks from every concurrently executing stage worker are
@@ -107,20 +90,32 @@ type Options struct {
 	// lowers the global degree to that value for its duration (it
 	// never raises it) and restores the previous degree on return.
 	KernelParallelism int
-	// Metrics, when non-nil, receives live instrumentation: per-stage
-	// forward/backward/sync-wait duration histograms, queue-depth and
-	// staleness histograms, stash-bytes gauges, and the tensor arena's
-	// hit/miss counters, all registered under "pipeline.s<stage>.r<rep>.*"
-	// and "tensor.pool.*". The registry's WriteJSON gives expvar-style
-	// snapshots. Enabling it also populates Report.Stages. Nil (the
-	// default) keeps the hot path free of clocks and atomics.
-	Metrics *metrics.Registry
-	// OpLog, when non-nil, captures every forward, backward, and
-	// gradient-sync op with real timestamps; render it with
-	// trace.WriteRuntime to get the same Chrome/Perfetto timeline the
-	// simulator emits, directly comparable to it. Enabling it also
-	// populates Report.Stages.
-	OpLog *metrics.OpLog
+}
+
+// SyncConfig groups the gradient-synchronization options for replicated
+// stages. Its fields are promoted into Options.
+type SyncConfig struct {
+	// AllReduce selects the gradient collective for replicated stages:
+	// collective.Central (the default: barrier-style shared reducer
+	// in-process, full-gradient broadcast exchange across processes) or
+	// collective.Ring (chunked ring all-reduce over the transport,
+	// overlapped with backward compute; deterministic chunk ordering
+	// makes results bit-identical run to run).
+	AllReduce collective.Method
+	// BucketBytes caps the gradient bucket size of the ring collective;
+	// 0 selects collective.DefaultBucketBytes. Smaller buckets start
+	// reducing earlier (more overlap) at more per-message overhead.
+	BucketBytes int
+	// GradAccumulation applies the optimizer update only every N
+	// backward passes, averaging the accumulated gradients — the weight
+	// aggregation technique §3.3 lists for reducing update frequency.
+	// 0 or 1 means update every minibatch.
+	GradAccumulation int
+}
+
+// FaultConfig groups the checkpointing and failure-recovery options. Its
+// fields are promoted into Options.
+type FaultConfig struct {
 	// CheckpointDir, when non-empty, is where Train writes per-stage
 	// checkpoint generations (the paper's §4 coordination-free
 	// checkpointing) and where recovery restores from.
@@ -146,17 +141,48 @@ type Options struct {
 	// neighbours at this period; a dead peer then surfaces as
 	// ErrPeerDown at the sender instead of waiting for the watchdog.
 	HeartbeatEvery time.Duration
-	// AllReduce selects the gradient collective for replicated stages:
-	// collective.Central (the default: barrier-style shared reducer
-	// in-process, full-gradient broadcast exchange across processes) or
-	// collective.Ring (chunked ring all-reduce over the transport,
-	// overlapped with backward compute; deterministic chunk ordering
-	// makes results bit-identical run to run).
-	AllReduce collective.Method
-	// BucketBytes caps the gradient bucket size of the ring collective;
-	// 0 selects collective.DefaultBucketBytes. Smaller buckets start
-	// reducing earlier (more overlap) at more per-message overhead.
-	BucketBytes int
+}
+
+// Options configures a Pipeline. The tuning knobs live in three embedded
+// config groups — RuntimeConfig (execution shape), SyncConfig (gradient
+// collectives), and FaultConfig (checkpointing and recovery) — whose
+// fields are promoted, so opts.Depth, opts.AllReduce, opts.CheckpointDir
+// and friends read and assign exactly as before the split. Composite
+// literals name the group: Options{RuntimeConfig: RuntimeConfig{Depth: 4}}.
+type Options struct {
+	// ModelFactory must return architecturally identical models with
+	// identical initial weights on every call (use a fixed seed); each
+	// worker owns a private instance and slices out its stage.
+	ModelFactory func() *nn.Sequential
+	// Plan assigns model layers to stages/replicas (from the optimizer).
+	Plan *partition.Plan
+	// Loss runs at the output stage.
+	Loss LossFunc
+	// NewOptimizer builds one optimizer per worker.
+	NewOptimizer func() nn.Optimizer
+	// Mode selects the staleness handling; default WeightStashing.
+	Mode StalenessMode
+	// Transport carries inter-stage messages; default in-process
+	// channels.
+	Transport transport.Transport
+	// Metrics, when non-nil, receives live instrumentation: per-stage
+	// forward/backward/sync-wait duration histograms, queue-depth and
+	// staleness histograms, stash-bytes gauges, and the tensor arena's
+	// hit/miss counters, all registered under "pipeline.s<stage>.r<rep>.*"
+	// and "tensor.pool.*". The registry's WriteJSON gives expvar-style
+	// snapshots. Enabling it also populates Report.Stages. Nil (the
+	// default) keeps the hot path free of clocks and atomics.
+	Metrics *metrics.Registry
+	// OpLog, when non-nil, captures every forward, backward, and
+	// gradient-sync op with real timestamps; render it with
+	// trace.WriteRuntime to get the same Chrome/Perfetto timeline the
+	// simulator emits, directly comparable to it. Enabling it also
+	// populates Report.Stages.
+	OpLog *metrics.OpLog
+
+	RuntimeConfig
+	SyncConfig
+	FaultConfig
 }
 
 // instrumented reports whether any observability sink is configured.

@@ -101,11 +101,11 @@ func checkPipelineMatchesSequential(t *testing.T, stages, depth int) {
 	}
 
 	p, err := New(Options{
-		ModelFactory: factory,
-		Plan:         evenPlan(t, factory, stages, 1),
-		Loss:         nn.SoftmaxCrossEntropy,
-		NewOptimizer: func() nn.Optimizer { return nn.NewSGD(0.1, 0, 0) },
-		Depth:        depth,
+		ModelFactory:  factory,
+		Plan:          evenPlan(t, factory, stages, 1),
+		Loss:          nn.SoftmaxCrossEntropy,
+		NewOptimizer:  func() nn.Optimizer { return nn.NewSGD(0.1, 0, 0) },
+		RuntimeConfig: RuntimeConfig{Depth: depth},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -262,12 +262,12 @@ func TestVerticalSyncMatchesSequentialAtDepthOne(t *testing.T) {
 		refOpt.Step(ref.Params(), ref.Grads())
 	}
 	p, err := New(Options{
-		ModelFactory: factory,
-		Plan:         evenPlan(t, factory, 3, 1),
-		Loss:         nn.SoftmaxCrossEntropy,
-		NewOptimizer: func() nn.Optimizer { return nn.NewSGD(0.1, 0, 0) },
-		Mode:         VerticalSync,
-		Depth:        1,
+		ModelFactory:  factory,
+		Plan:          evenPlan(t, factory, 3, 1),
+		Loss:          nn.SoftmaxCrossEntropy,
+		NewOptimizer:  func() nn.Optimizer { return nn.NewSGD(0.1, 0, 0) },
+		Mode:          VerticalSync,
+		RuntimeConfig: RuntimeConfig{Depth: 1},
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -45,12 +45,12 @@ func TestChaosSeverDelayMatchesBaseline(t *testing.T) {
 	run := func(tr transport.Transport, ds data.Dataset) []float64 {
 		t.Helper()
 		p, err := New(Options{
-			ModelFactory: factory,
-			Plan:         evenPlan(t, factory, 3, 1),
-			Loss:         nn.SoftmaxCrossEntropy,
-			NewOptimizer: func() nn.Optimizer { return nn.NewSGD(0.1, 0.9, 0) },
-			Depth:        1, // strictly sequential: delays cannot reorder
-			Transport:    tr,
+			ModelFactory:  factory,
+			Plan:          evenPlan(t, factory, 3, 1),
+			Loss:          nn.SoftmaxCrossEntropy,
+			NewOptimizer:  func() nn.Optimizer { return nn.NewSGD(0.1, 0.9, 0) },
+			RuntimeConfig: RuntimeConfig{Depth: 1}, // strictly sequential: delays cannot reorder
+			Transport:     tr,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -101,12 +101,12 @@ func TestChaosDropRecoveryMatchesCleanRun(t *testing.T) {
 	mk := func(tr transport.Transport, dir string) *Pipeline {
 		t.Helper()
 		opts := Options{
-			ModelFactory: factory,
-			Plan:         evenPlan(t, factory, 2, 1),
-			Loss:         nn.SoftmaxCrossEntropy,
-			NewOptimizer: func() nn.Optimizer { return nn.NewSGD(0.1, 0.9, 0) },
-			Depth:        1,
-			Transport:    tr,
+			ModelFactory:  factory,
+			Plan:          evenPlan(t, factory, 2, 1),
+			Loss:          nn.SoftmaxCrossEntropy,
+			NewOptimizer:  func() nn.Optimizer { return nn.NewSGD(0.1, 0.9, 0) },
+			RuntimeConfig: RuntimeConfig{Depth: 1},
+			Transport:     tr,
 		}
 		if dir != "" {
 			opts.CheckpointDir = dir
@@ -161,16 +161,13 @@ func TestChaosRecoveryExhaustedSurfacesTypedError(t *testing.T) {
 	chaos := transport.NewChaos(transport.NewChannels(2, 16), transport.ChaosConfig{Seed: 2, DropRate: 1})
 	defer chaos.Close()
 	p, err := New(Options{
-		ModelFactory:    factory,
-		Plan:            evenPlan(t, factory, 2, 1),
-		Loss:            nn.SoftmaxCrossEntropy,
-		NewOptimizer:    func() nn.Optimizer { return nn.NewSGD(0.1, 0, 0) },
-		Depth:           1,
-		Transport:       chaos,
-		CheckpointDir:   t.TempDir(),
-		CheckpointEvery: 5,
-		MaxRecoveries:   1,
-		WatchdogTimeout: 150 * time.Millisecond,
+		ModelFactory:  factory,
+		Plan:          evenPlan(t, factory, 2, 1),
+		Loss:          nn.SoftmaxCrossEntropy,
+		NewOptimizer:  func() nn.Optimizer { return nn.NewSGD(0.1, 0, 0) },
+		RuntimeConfig: RuntimeConfig{Depth: 1},
+		Transport:     chaos,
+		FaultConfig:   FaultConfig{CheckpointDir: t.TempDir(), CheckpointEvery: 5, MaxRecoveries: 1, WatchdogTimeout: 150 * time.Millisecond},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -190,12 +187,12 @@ func TestChaosSeveredPeerSurfacesErrPeerDown(t *testing.T) {
 	chaos := transport.NewChaos(transport.NewChannels(2, 16), transport.ChaosConfig{Seed: 3})
 	defer chaos.Close()
 	p, err := New(Options{
-		ModelFactory: factory,
-		Plan:         evenPlan(t, factory, 2, 1),
-		Loss:         nn.SoftmaxCrossEntropy,
-		NewOptimizer: func() nn.Optimizer { return nn.NewSGD(0.1, 0, 0) },
-		Depth:        1,
-		Transport:    chaos,
+		ModelFactory:  factory,
+		Plan:          evenPlan(t, factory, 2, 1),
+		Loss:          nn.SoftmaxCrossEntropy,
+		NewOptimizer:  func() nn.Optimizer { return nn.NewSGD(0.1, 0, 0) },
+		RuntimeConfig: RuntimeConfig{Depth: 1},
+		Transport:     chaos,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -248,12 +245,12 @@ func TestChaosSoloWorkerWatchdogTrips(t *testing.T) {
 	tr := transport.NewChannels(2, 4)
 	defer tr.Close()
 	w, err := NewSoloWorker(Options{
-		ModelFactory:    factory,
-		Plan:            evenPlan(t, factory, 2, 1),
-		Loss:            nn.SoftmaxCrossEntropy,
-		NewOptimizer:    func() nn.Optimizer { return nn.NewSGD(0.1, 0, 0) },
-		Transport:       tr,
-		WatchdogTimeout: 150 * time.Millisecond,
+		ModelFactory: factory,
+		Plan:         evenPlan(t, factory, 2, 1),
+		Loss:         nn.SoftmaxCrossEntropy,
+		NewOptimizer: func() nn.Optimizer { return nn.NewSGD(0.1, 0, 0) },
+		Transport:    tr,
+		FaultConfig:  FaultConfig{WatchdogTimeout: 150 * time.Millisecond},
 	}, 1) // stage 1 receives from a stage-0 process that never starts
 	if err != nil {
 		t.Fatal(err)
@@ -278,15 +275,12 @@ func TestChaosSoakRecoversOrFailsTyped(t *testing.T) {
 	})
 	defer chaos.Close()
 	p, err := New(Options{
-		ModelFactory:    factory,
-		Plan:            evenPlan(t, factory, 3, 1),
-		Loss:            nn.SoftmaxCrossEntropy,
-		NewOptimizer:    func() nn.Optimizer { return nn.NewSGD(0.1, 0.9, 0) },
-		Transport:       chaos,
-		CheckpointDir:   t.TempDir(),
-		CheckpointEvery: 10,
-		MaxRecoveries:   8,
-		WatchdogTimeout: 400 * time.Millisecond,
+		ModelFactory: factory,
+		Plan:         evenPlan(t, factory, 3, 1),
+		Loss:         nn.SoftmaxCrossEntropy,
+		NewOptimizer: func() nn.Optimizer { return nn.NewSGD(0.1, 0.9, 0) },
+		Transport:    chaos,
+		FaultConfig:  FaultConfig{CheckpointDir: t.TempDir(), CheckpointEvery: 10, MaxRecoveries: 8, WatchdogTimeout: 400 * time.Millisecond},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -315,11 +309,11 @@ func TestChaosMidTrainingCheckpointResumeEquivalence(t *testing.T) {
 	mk := func(dir string) *Pipeline {
 		t.Helper()
 		opts := Options{
-			ModelFactory: factory,
-			Plan:         evenPlan(t, factory, 2, 1),
-			Loss:         nn.SoftmaxCrossEntropy,
-			NewOptimizer: func() nn.Optimizer { return nn.NewSGD(0.1, 0.9, 0) },
-			Depth:        1,
+			ModelFactory:  factory,
+			Plan:          evenPlan(t, factory, 2, 1),
+			Loss:          nn.SoftmaxCrossEntropy,
+			NewOptimizer:  func() nn.Optimizer { return nn.NewSGD(0.1, 0.9, 0) },
+			RuntimeConfig: RuntimeConfig{Depth: 1},
 		}
 		if dir != "" {
 			opts.CheckpointDir = dir
@@ -377,11 +371,11 @@ func TestRestoreGenerationValidation(t *testing.T) {
 	mk := func() *Pipeline {
 		t.Helper()
 		p, err := New(Options{
-			ModelFactory: factory,
-			Plan:         evenPlan(t, factory, 2, 1),
-			Loss:         nn.SoftmaxCrossEntropy,
-			NewOptimizer: func() nn.Optimizer { return nn.NewSGD(0.1, 0, 0) },
-			Depth:        1,
+			ModelFactory:  factory,
+			Plan:          evenPlan(t, factory, 2, 1),
+			Loss:          nn.SoftmaxCrossEntropy,
+			NewOptimizer:  func() nn.Optimizer { return nn.NewSGD(0.1, 0, 0) },
+			RuntimeConfig: RuntimeConfig{Depth: 1},
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -436,11 +430,11 @@ func TestRestoreRejectsMixedGenerations(t *testing.T) {
 	factory := mlpFactory(101, 4, 8, 3)
 	ds := data.NewBlobs(103, 3, 4, 8, 30)
 	p, err := New(Options{
-		ModelFactory: factory,
-		Plan:         evenPlan(t, factory, 2, 1),
-		Loss:         nn.SoftmaxCrossEntropy,
-		NewOptimizer: func() nn.Optimizer { return nn.NewSGD(0.1, 0, 0) },
-		Depth:        1,
+		ModelFactory:  factory,
+		Plan:          evenPlan(t, factory, 2, 1),
+		Loss:          nn.SoftmaxCrossEntropy,
+		NewOptimizer:  func() nn.Optimizer { return nn.NewSGD(0.1, 0, 0) },
+		RuntimeConfig: RuntimeConfig{Depth: 1},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -480,14 +474,13 @@ func TestFaultCountersInMetricsJSON(t *testing.T) {
 	ds := data.NewBlobs(109, 3, 4, 8, 30)
 	reg := metrics.NewRegistry()
 	p, err := New(Options{
-		ModelFactory:    factory,
-		Plan:            evenPlan(t, factory, 2, 1),
-		Loss:            nn.SoftmaxCrossEntropy,
-		NewOptimizer:    func() nn.Optimizer { return nn.NewSGD(0.1, 0, 0) },
-		Depth:           1,
-		Metrics:         reg,
-		CheckpointDir:   t.TempDir(),
-		CheckpointEvery: 5,
+		ModelFactory:  factory,
+		Plan:          evenPlan(t, factory, 2, 1),
+		Loss:          nn.SoftmaxCrossEntropy,
+		NewOptimizer:  func() nn.Optimizer { return nn.NewSGD(0.1, 0, 0) },
+		RuntimeConfig: RuntimeConfig{Depth: 1},
+		Metrics:       reg,
+		FaultConfig:   FaultConfig{CheckpointDir: t.TempDir(), CheckpointEvery: 5},
 	})
 	if err != nil {
 		t.Fatal(err)

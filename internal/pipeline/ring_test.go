@@ -52,7 +52,7 @@ func TestRingMatchesCentralExactly(t *testing.T) {
 			Plan:         evenPlan(t, factory, 1, 2),
 			Loss:         nn.SoftmaxCrossEntropy,
 			NewOptimizer: func() nn.Optimizer { return nn.NewSGD(0.05, 0, 0) },
-			AllReduce:    m,
+			SyncConfig:   SyncConfig{AllReduce: m},
 		}
 	}
 	centralLoss, centralParams := trainWith(t, mk(collective.Central), ds, 24)
@@ -86,8 +86,7 @@ func TestRingReplicatedStageKeepsReplicasConsistent(t *testing.T) {
 		Plan:         evenPlan(t, factory, 2, 3),
 		Loss:         nn.SoftmaxCrossEntropy,
 		NewOptimizer: func() nn.Optimizer { return nn.NewSGD(0.05, 0, 0) },
-		AllReduce:    collective.Ring,
-		BucketBytes:  96, // force several buckets per round
+		SyncConfig:   SyncConfig{AllReduce: collective.Ring, BucketBytes: 96}, // force several buckets per round
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -130,8 +129,7 @@ func TestRingOverTCPTransport(t *testing.T) {
 			Plan:         evenPlan(t, factory, 1, 2),
 			Loss:         nn.SoftmaxCrossEntropy,
 			NewOptimizer: func() nn.Optimizer { return nn.NewSGD(0.1, 0, 0) },
-			AllReduce:    collective.Ring,
-			BucketBytes:  64, // several chunked rounds per minibatch
+			SyncConfig:   SyncConfig{AllReduce: collective.Ring, BucketBytes: 64}, // several chunked rounds per minibatch
 			Transport:    tr,
 		}
 	}
@@ -171,7 +169,7 @@ func TestRingVerticalSyncCompatible(t *testing.T) {
 			Loss:         nn.SoftmaxCrossEntropy,
 			NewOptimizer: func() nn.Optimizer { return nn.NewSGD(0.05, 0, 0) },
 			Mode:         VerticalSync,
-			AllReduce:    m,
+			SyncConfig:   SyncConfig{AllReduce: m},
 		}
 	}
 	centralLoss, centralParams := trainWith(t, mk(collective.Central), ds, 16)
@@ -194,7 +192,7 @@ func TestRingVerticalSyncCompatible(t *testing.T) {
 		Loss:         nn.SoftmaxCrossEntropy,
 		NewOptimizer: func() nn.Optimizer { return nn.NewSGD(0.05, 0, 0) },
 		Mode:         VerticalSync,
-		AllReduce:    collective.Ring,
+		SyncConfig:   SyncConfig{AllReduce: collective.Ring},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -225,8 +223,7 @@ func TestOverlapSyncSplitMetrics(t *testing.T) {
 		Plan:         evenPlan(t, factory, 2, 2),
 		Loss:         nn.SoftmaxCrossEntropy,
 		NewOptimizer: func() nn.Optimizer { return nn.NewSGD(0.05, 0, 0) },
-		AllReduce:    collective.Ring,
-		BucketBytes:  128,
+		SyncConfig:   SyncConfig{AllReduce: collective.Ring, BucketBytes: 128},
 		Metrics:      reg,
 	})
 	if err != nil {
@@ -286,8 +283,7 @@ func TestChaosRingDropDelayMatchesCleanRun(t *testing.T) {
 			Plan:         evenPlan(t, factory, 1, 2),
 			Loss:         nn.SoftmaxCrossEntropy,
 			NewOptimizer: func() nn.Optimizer { return nn.NewSGD(0.1, 0.9, 0) },
-			AllReduce:    collective.Ring,
-			BucketBytes:  256,
+			SyncConfig:   SyncConfig{AllReduce: collective.Ring, BucketBytes: 256},
 			Transport:    tr,
 		}
 		if dir != "" {

@@ -1,0 +1,27 @@
+package serve
+
+import "errors"
+
+// Typed sentinel errors returned by Server.Infer. Match with errors.Is —
+// the wrapped errors carry situational detail (queue capacity, expected
+// shape) in their messages.
+var (
+	// ErrOverloaded is returned when admission control sheds a request
+	// because the submit queue is at QueueCap. Clients should back off
+	// and retry; the server stays healthy for the requests it admitted.
+	ErrOverloaded = errors.New("serve: overloaded")
+
+	// ErrServerClosed is returned for requests submitted after Close and
+	// for requests still queued or in flight when Close ran.
+	ErrServerClosed = errors.New("serve: server closed")
+
+	// ErrBadRequest is returned when a request fails validation before
+	// admission: no rows, or a per-row shape that does not match the
+	// configured InputShape.
+	ErrBadRequest = errors.New("serve: bad request")
+
+	// ErrInference is returned when a stage worker failed while running
+	// the batch that carried the request (a kernel or layer panic,
+	// typically a shape mismatch the server could not pre-validate).
+	ErrInference = errors.New("serve: inference failed")
+)

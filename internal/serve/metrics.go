@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"fmt"
+
+	"pipedream/internal/metrics"
+)
+
+// serverMetrics holds the server's instruments, fetched once at startup
+// so hot paths never touch the registry's lock. When no registry is
+// configured the instruments are standalone (still live, still cheap) so
+// recording code needs no nil checks and Stats always works.
+type serverMetrics struct {
+	requests  *metrics.Counter // serve.requests: Infer calls admitted to validation
+	rows      *metrics.Counter // serve.rows: input rows across all requests
+	shed      *metrics.Counter // serve.shed: requests rejected with ErrOverloaded
+	batches   *metrics.Counter // serve.batches: pipeline batches dispatched
+	responses *metrics.Counter // serve.responses: requests completed successfully
+	errors    *metrics.Counter // serve.errors: requests completed with an error
+
+	batchRows  *metrics.Histogram // serve.batch_rows: rows per dispatched batch
+	latency    *metrics.Histogram // serve.latency_us: request latency, admission→response
+	queueDepth *metrics.Gauge     // serve.queue_depth: submit-queue depth after enqueue
+
+	stageForward []*metrics.Histogram // serve.s<i>.forward_us: per-stage forward time
+
+	oplog *metrics.OpLog
+}
+
+func newServerMetrics(reg *metrics.Registry, oplog *metrics.OpLog, stages int) *serverMetrics {
+	m := &serverMetrics{oplog: oplog, stageForward: make([]*metrics.Histogram, stages)}
+	if reg == nil {
+		m.requests = &metrics.Counter{}
+		m.rows = &metrics.Counter{}
+		m.shed = &metrics.Counter{}
+		m.batches = &metrics.Counter{}
+		m.responses = &metrics.Counter{}
+		m.errors = &metrics.Counter{}
+		m.batchRows = metrics.NewHistogram(metrics.DepthBuckets())
+		m.latency = metrics.NewHistogram(metrics.LatencyBuckets())
+		m.queueDepth = &metrics.Gauge{}
+		for i := range m.stageForward {
+			m.stageForward[i] = metrics.NewHistogram(metrics.DurationBuckets())
+		}
+		return m
+	}
+	m.requests = reg.Counter("serve.requests")
+	m.rows = reg.Counter("serve.rows")
+	m.shed = reg.Counter("serve.shed")
+	m.batches = reg.Counter("serve.batches")
+	m.responses = reg.Counter("serve.responses")
+	m.errors = reg.Counter("serve.errors")
+	m.batchRows = reg.Histogram("serve.batch_rows", metrics.DepthBuckets())
+	m.latency = reg.Histogram("serve.latency_us", metrics.LatencyBuckets())
+	m.queueDepth = reg.Gauge("serve.queue_depth")
+	for i := range m.stageForward {
+		m.stageForward[i] = reg.Histogram(fmt.Sprintf("serve.s%d.forward_us", i), metrics.DurationBuckets())
+	}
+	return m
+}
+
+// Stats is a point-in-time summary of a server's counters and latency
+// quantiles — what a health endpoint or load generator reports without
+// scraping the full registry snapshot.
+type Stats struct {
+	// Requests is the number of Infer calls admitted to validation.
+	Requests int64
+	// Rows is the total input rows across all requests.
+	Rows int64
+	// Responses is the number of requests answered successfully.
+	Responses int64
+	// Shed is the number of requests rejected with ErrOverloaded.
+	Shed int64
+	// Errors is the number of requests that completed with an error.
+	Errors int64
+	// Batches is the number of pipeline batches dispatched; Rows/Batches
+	// is the realized dynamic-batching factor.
+	Batches int64
+	// MeanBatchRows is the mean rows per dispatched batch.
+	MeanBatchRows float64
+	// P50Micros, P95Micros, and P99Micros are bucketed upper bounds on
+	// the request latency quantiles, in microseconds.
+	P50Micros, P95Micros, P99Micros float64
+}
+
+// Stats returns a point-in-time summary of the server's activity.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Requests:      s.met.requests.Value(),
+		Rows:          s.met.rows.Value(),
+		Responses:     s.met.responses.Value(),
+		Shed:          s.met.shed.Value(),
+		Errors:        s.met.errors.Value(),
+		Batches:       s.met.batches.Value(),
+		MeanBatchRows: s.met.batchRows.Mean(),
+		P50Micros:     s.met.latency.Quantile(0.50),
+		P95Micros:     s.met.latency.Quantile(0.95),
+		P99Micros:     s.met.latency.Quantile(0.99),
+	}
+}

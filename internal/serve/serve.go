@@ -1,0 +1,387 @@
+// Package serve is PipeDream's forward-only serving runtime: it loads a
+// trained model (pipeline.LoadModel) onto a stage partitioning and pumps
+// concurrent inference requests through the stages over the same
+// transport layer the training runtime uses — inter-batch pipelining at
+// serving time, the forward-only half of the paper's §3.2 schedule.
+//
+// Three pieces cooperate:
+//
+//   - A deadline-aware dynamic batcher coalesces queued requests into
+//     pipeline batches of at most MaxBatch rows, waiting at most
+//     BatchTimeout after the first request so a lone request never
+//     stalls. Requests with different per-row shapes never share a
+//     batch; requests larger than MaxBatch are split across batches and
+//     the response is reassembled.
+//   - One forward worker per stage runs the stage's layer slice
+//     (train=false) and forwards activations downstream, so consecutive
+//     batches execute concurrently on different stages.
+//   - A response demultiplexer routes each batch's output rows back to
+//     the submitting requests, preserving request/response pairing under
+//     arbitrary concurrency.
+//
+// Admission control keeps latency bounded instead of letting queues grow
+// without limit: at most QueueCap requests wait in the submit queue
+// (further submits shed with ErrOverloaded) and at most MaxInFlight
+// batches occupy the stage pipeline (the batcher blocks, transferring
+// backpressure to the queue).
+package serve
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"pipedream/internal/metrics"
+	"pipedream/internal/nn"
+	"pipedream/internal/partition"
+	"pipedream/internal/tensor"
+	"pipedream/internal/transport"
+)
+
+// Serving defaults; Config fields left zero select them.
+const (
+	// DefaultMaxBatch is the default cap on rows coalesced into one
+	// pipeline batch.
+	DefaultMaxBatch = 16
+	// DefaultBatchTimeout is the default maximum wait after the first
+	// queued request before a partial batch is dispatched.
+	DefaultBatchTimeout = 2 * time.Millisecond
+	// DefaultQueueCap is the default bound on requests waiting for
+	// batching; submits beyond it shed with ErrOverloaded.
+	DefaultQueueCap = 256
+)
+
+// Config configures a Server.
+type Config struct {
+	// Model is the trained model to serve (e.g. from pipeline.LoadModel
+	// or Pipeline.CollectModel). The server slices it into stages; the
+	// caller must not mutate its parameters while serving.
+	Model *nn.Sequential
+	// Plan partitions the model's layers into pipeline stages. Only the
+	// layer ranges are used (forward-only serving runs one worker per
+	// stage; training-time replica counts are ignored). Nil serves the
+	// whole model as a single stage.
+	Plan *partition.Plan
+	// Transport carries inter-stage messages; default in-process
+	// channels. A custom transport must provide len(stages)+1 endpoints:
+	// one per stage plus the front-end demultiplexer at index
+	// len(stages).
+	Transport transport.Transport
+	// InputShape, when non-nil, is the expected per-row shape of request
+	// tensors; Infer rejects mismatched requests with ErrBadRequest
+	// before they can reach (and panic) a stage worker. Nil disables
+	// request-shape validation.
+	InputShape []int
+	// MaxBatch caps the rows coalesced into one pipeline batch
+	// (DefaultMaxBatch when 0). 1 disables dynamic batching — every
+	// request row set travels alone, the baseline the saturation
+	// benchmark compares against.
+	MaxBatch int
+	// BatchTimeout bounds how long the batcher waits after the first
+	// queued request for more to coalesce (DefaultBatchTimeout when 0).
+	BatchTimeout time.Duration
+	// QueueCap bounds the submit queue (DefaultQueueCap when 0); a full
+	// queue sheds new requests with ErrOverloaded instead of growing
+	// latency without bound.
+	QueueCap int
+	// MaxInFlight bounds the batches concurrently inside the stage
+	// pipeline (2×stages when 0, enough to keep every stage busy with
+	// one batch ahead).
+	MaxInFlight int
+	// KernelParallelism, when > 0, sets the tensor package's global
+	// kernel parallelism for the server's lifetime; when 0 (and the
+	// PIPEDREAM_PARALLELISM environment variable is unset) NewServer
+	// lowers the degree to NumCPU/stages — the same per-worker scoping
+	// Pipeline.Train applies — and Close restores it.
+	KernelParallelism int
+	// Metrics, when non-nil, receives serve.* instrumentation: request/
+	// response/shed/batch counters, batch-size and request-latency
+	// histograms, queue-depth gauge, and per-stage forward-time
+	// histograms.
+	Metrics *metrics.Registry
+	// OpLog, when non-nil, records per-stage forward spans and
+	// per-request end-to-end spans; render with trace.WriteRuntime.
+	OpLog *metrics.OpLog
+}
+
+// Server is a live forward-only serving pipeline. Create with NewServer,
+// submit with Infer from any number of goroutines, stop with Close.
+type Server struct {
+	cfg    Config
+	stages []*nn.Sequential
+	tr     transport.Transport
+	ownTr  bool
+	client int // demux endpoint index = len(stages)
+
+	queue    chan *request
+	inflight chan struct{} // admission semaphore, one slot per in-flight batch
+	done     chan struct{}
+
+	mu        sync.Mutex
+	closed    bool
+	pending   map[int]*batchInfo // batch id -> response routing
+	met       *serverMetrics
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+
+	restoreParallelism func()
+}
+
+// request is one Infer call in flight: its input rows, the channel its
+// result lands on, and its admission time (the latency span origin).
+type request struct {
+	x    *tensor.Tensor
+	rows int
+	resp chan result
+	enq  time.Time
+}
+
+type result struct {
+	y   *tensor.Tensor
+	err error
+}
+
+// pendingReq is the demux-side assembly state of one request: responses
+// arrive per pipeline batch, possibly out of order when a large request
+// was split, and complete the request when every row is accounted for.
+type pendingReq struct {
+	req       *request
+	out       *tensor.Tensor // allocated on first completed segment
+	remaining int            // rows still outstanding
+	firstID   int            // first pipeline batch id (trace span tag)
+	failed    bool           // true once a response with an error fired
+}
+
+// segment maps a row range of one pipeline batch back to a row range of
+// one request.
+type segment struct {
+	pr     *pendingReq
+	srcRow int // offset within the batch
+	dstRow int // offset within the request
+	n      int
+}
+
+// batchInfo is the demux routing entry for one dispatched batch.
+type batchInfo struct {
+	segs []segment
+	rows int
+}
+
+// NewServer validates the config, slices the model into stage workers,
+// and starts the batcher, stage, and demux goroutines. The server is
+// ready for Infer when NewServer returns.
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.Model == nil {
+		return nil, fmt.Errorf("serve: Model is required")
+	}
+	if cfg.MaxBatch == 0 {
+		cfg.MaxBatch = DefaultMaxBatch
+	}
+	if cfg.MaxBatch < 1 {
+		return nil, fmt.Errorf("serve: MaxBatch = %d", cfg.MaxBatch)
+	}
+	if cfg.BatchTimeout == 0 {
+		cfg.BatchTimeout = DefaultBatchTimeout
+	}
+	if cfg.QueueCap == 0 {
+		cfg.QueueCap = DefaultQueueCap
+	}
+	if cfg.QueueCap < 1 {
+		return nil, fmt.Errorf("serve: QueueCap = %d", cfg.QueueCap)
+	}
+	stages, err := sliceStages(cfg.Model, cfg.Plan)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.MaxInFlight == 0 {
+		cfg.MaxInFlight = 2 * len(stages)
+	}
+	if cfg.MaxInFlight < 1 {
+		return nil, fmt.Errorf("serve: MaxInFlight = %d", cfg.MaxInFlight)
+	}
+	s := &Server{
+		cfg:      cfg,
+		stages:   stages,
+		client:   len(stages),
+		queue:    make(chan *request, cfg.QueueCap),
+		inflight: make(chan struct{}, cfg.MaxInFlight),
+		done:     make(chan struct{}),
+		pending:  make(map[int]*batchInfo),
+		met:      newServerMetrics(cfg.Metrics, cfg.OpLog, len(stages)),
+	}
+	s.tr = cfg.Transport
+	if s.tr == nil {
+		// Every in-flight batch can queue at a single stage; one extra
+		// slot of slack per endpoint absorbs the dispatch race.
+		s.tr = transport.NewChannels(len(stages)+1, cfg.MaxInFlight+4)
+		s.ownTr = true
+	}
+	// Scope kernel parallelism to the per-stage core share, exactly as
+	// Pipeline.Train does for stage workers (explicit settings win).
+	if cfg.KernelParallelism > 0 {
+		tensor.SetParallelism(cfg.KernelParallelism)
+	} else if os.Getenv(tensor.ParallelismEnv) == "" {
+		per := runtime.NumCPU() / len(stages)
+		if per < 1 {
+			per = 1
+		}
+		if cur := tensor.Parallelism(); per < cur {
+			tensor.SetParallelism(per)
+			s.restoreParallelism = func() { tensor.SetParallelism(cur) }
+		}
+	}
+	for st := range s.stages {
+		s.wg.Add(1)
+		go s.stageWorker(st)
+	}
+	s.wg.Add(2)
+	go s.demux()
+	go s.batcher()
+	return s, nil
+}
+
+// sliceStages cuts the model into per-stage layer slices according to the
+// plan (one slice covering everything when plan is nil).
+func sliceStages(model *nn.Sequential, plan *partition.Plan) ([]*nn.Sequential, error) {
+	if plan == nil {
+		return []*nn.Sequential{model}, nil
+	}
+	if len(plan.Stages) == 0 {
+		return nil, fmt.Errorf("serve: plan has no stages")
+	}
+	last := plan.Stages[len(plan.Stages)-1].LastLayer
+	if last != len(model.Layers)-1 {
+		return nil, fmt.Errorf("serve: plan covers %d layers, model has %d", last+1, len(model.Layers))
+	}
+	stages := make([]*nn.Sequential, len(plan.Stages))
+	for i, spec := range plan.Stages {
+		stages[i] = model.Slice(spec.FirstLayer, spec.LastLayer+1)
+	}
+	return stages, nil
+}
+
+// Stages returns the number of pipeline stages the server runs.
+func (s *Server) Stages() int { return len(s.stages) }
+
+// Infer runs one request through the serving pipeline and blocks until
+// its result is ready. x holds one or more input rows (dim 0 is the row
+// count); the result has the same row count and order, and each row is
+// bit-identical to a single-row forward pass of the same input — dynamic
+// batching never changes answers. Infer is safe for concurrent use; a
+// full queue returns ErrOverloaded immediately (load shedding), a closed
+// server ErrServerClosed.
+func (s *Server) Infer(x *tensor.Tensor) (*tensor.Tensor, error) {
+	if x == nil || x.NumDims() < 1 || x.Dim(0) < 1 {
+		return nil, fmt.Errorf("serve: request needs at least one row: %w", ErrBadRequest)
+	}
+	if s.cfg.InputShape != nil && !rowShapeIs(x, s.cfg.InputShape) {
+		return nil, fmt.Errorf("serve: request row shape %v, want %v: %w",
+			x.Shape[1:], s.cfg.InputShape, ErrBadRequest)
+	}
+	req := &request{x: x, rows: x.Dim(0), resp: make(chan result, 1), enq: time.Now()}
+	s.met.requests.Inc()
+	s.met.rows.Add(int64(req.rows))
+	if err := s.submit(req); err != nil {
+		return nil, err
+	}
+	s.met.queueDepth.Set(int64(len(s.queue)))
+	r := <-req.resp
+	if r.err != nil {
+		s.met.errors.Inc()
+		return nil, r.err
+	}
+	s.met.responses.Inc()
+	return r.y, nil
+}
+
+// submit enqueues the request, shedding when the queue is full. The
+// closed check and the enqueue share the server mutex so a request can
+// never slip into the queue after Close's final flush.
+func (s *Server) submit(req *request) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrServerClosed
+	}
+	select {
+	case s.queue <- req:
+		return nil
+	default:
+		s.met.shed.Inc()
+		return fmt.Errorf("serve: %d requests queued: %w", cap(s.queue), ErrOverloaded)
+	}
+}
+
+// Close stops the server: new Infer calls fail with ErrServerClosed,
+// queued and in-flight requests receive ErrServerClosed, and all worker
+// goroutines exit before Close returns. It closes the transport only
+// when the server created it.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		s.mu.Lock()
+		s.closed = true
+		s.mu.Unlock()
+		close(s.done)
+		// Every goroutine watches done and none blocks inside Send (the
+		// MaxInFlight semaphore keeps inboxes below capacity), so the
+		// wait terminates — and closing the owned transport only after
+		// it avoids racing a close against an in-progress send.
+		s.wg.Wait()
+		if s.ownTr {
+			s.tr.Close()
+		}
+		// All goroutines have exited; whatever is still tracked — batches
+		// in the pending map, requests in the queue — can be failed
+		// without racing anyone.
+		s.mu.Lock()
+		for id, info := range s.pending {
+			delete(s.pending, id)
+			for _, seg := range info.segs {
+				s.failPendingLocked(seg.pr, ErrServerClosed)
+			}
+		}
+		s.mu.Unlock()
+		for {
+			select {
+			case req := <-s.queue:
+				req.resp <- result{err: ErrServerClosed}
+			default:
+				if s.restoreParallelism != nil {
+					s.restoreParallelism()
+				}
+				return
+			}
+		}
+	})
+	return nil
+}
+
+// rowShapeIs reports whether x's per-row shape (everything after dim 0)
+// equals want.
+func rowShapeIs(x *tensor.Tensor, want []int) bool {
+	if x.NumDims()-1 != len(want) {
+		return false
+	}
+	for i, d := range want {
+		if x.Shape[i+1] != d {
+			return false
+		}
+	}
+	return true
+}
+
+// sameRowShape reports whether two tensors agree on every dimension
+// after dim 0 — the condition for coalescing them into one batch.
+func sameRowShape(a, b *tensor.Tensor) bool {
+	if a.NumDims() != b.NumDims() {
+		return false
+	}
+	for i := 1; i < a.NumDims(); i++ {
+		if a.Shape[i] != b.Shape[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,414 @@
+package serve
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"pipedream/internal/metrics"
+	"pipedream/internal/nn"
+	"pipedream/internal/partition"
+	"pipedream/internal/tensor"
+)
+
+// testModel builds a small deterministic MLP: 2 → 16 → 3.
+func testModel(seed int64) *nn.Sequential {
+	rng := rand.New(rand.NewSource(seed))
+	return nn.NewSequential(
+		nn.NewDense(rng, "fc1", 2, 16),
+		nn.NewTanh("t1"),
+		nn.NewDense(rng, "fc2", 16, 16),
+		nn.NewTanh("t2"),
+		nn.NewDense(rng, "fc3", 16, 3),
+	)
+}
+
+// testInput builds a deterministic [rows, 2] input.
+func testInput(seed int64, rows int) *tensor.Tensor {
+	rng := rand.New(rand.NewSource(seed))
+	return tensor.RandUniform(rng, -1, 1, rows, 2)
+}
+
+// plan2 splits the 5-layer test model into two stages.
+func plan2() *partition.Plan {
+	return &partition.Plan{Stages: []partition.StageSpec{
+		{FirstLayer: 0, LastLayer: 2, Replicas: 1},
+		{FirstLayer: 3, LastLayer: 4, Replicas: 1},
+	}}
+}
+
+func mustServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func wantEqual(t *testing.T, got, want *tensor.Tensor) {
+	t.Helper()
+	if got == nil {
+		t.Fatal("nil result")
+	}
+	if len(got.Data) != len(want.Data) {
+		t.Fatalf("result has %d values, want %d", len(got.Data), len(want.Data))
+	}
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("result[%d] = %v, want %v (bit-exact)", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+// TestBatchedMatchesUnbatched is the core serving invariant: dynamically
+// batched responses are bit-identical to single-request forward passes,
+// for every batch composition the batcher can produce.
+func TestBatchedMatchesUnbatched(t *testing.T) {
+	model := testModel(1)
+	ref := testModel(1)
+	s := mustServer(t, Config{Model: model, Plan: plan2(), MaxBatch: 8, BatchTimeout: time.Millisecond})
+
+	const requests = 40
+	type res struct {
+		got  *tensor.Tensor
+		err  error
+		want *tensor.Tensor
+	}
+	results := make([]res, requests)
+	var wg sync.WaitGroup
+	for i := 0; i < requests; i++ {
+		x := testInput(int64(100+i), 1+i%5) // 1..5 rows
+		want, _ := ref.Forward(x, false)
+		results[i].want = want
+		wg.Add(1)
+		go func(i int, x *tensor.Tensor) {
+			defer wg.Done()
+			results[i].got, results[i].err = s.Infer(x)
+		}(i, x)
+	}
+	wg.Wait()
+	for i, r := range results {
+		if r.err != nil {
+			t.Fatalf("request %d: %v", i, r.err)
+		}
+		wantEqual(t, r.got, r.want)
+	}
+	st := s.Stats()
+	if st.Responses != requests {
+		t.Fatalf("responses = %d, want %d", st.Responses, requests)
+	}
+	if st.Batches >= st.Requests {
+		t.Errorf("no coalescing happened: %d batches for %d requests", st.Batches, st.Requests)
+	}
+}
+
+// TestSingleRequestAtDeadline: a lone request must not wait for a batch
+// that will never fill — it dispatches at the BatchTimeout deadline.
+func TestSingleRequestAtDeadline(t *testing.T) {
+	model := testModel(2)
+	ref := testModel(2)
+	s := mustServer(t, Config{Model: model, MaxBatch: 64, BatchTimeout: 20 * time.Millisecond})
+	x := testInput(7, 1)
+	want, _ := ref.Forward(x, false)
+	start := time.Now()
+	y, err := s.Infer(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	wantEqual(t, y, want)
+	if elapsed < 15*time.Millisecond {
+		t.Errorf("lone request completed in %v, before the %v batch deadline", elapsed, 20*time.Millisecond)
+	}
+	if elapsed > 2*time.Second {
+		t.Errorf("lone request took %v, deadline did not fire", elapsed)
+	}
+	if st := s.Stats(); st.Batches != 1 {
+		t.Errorf("batches = %d, want 1", st.Batches)
+	}
+}
+
+// TestLargeRequestSplits: a request bigger than MaxBatch spans several
+// pipeline batches and reassembles in order.
+func TestLargeRequestSplits(t *testing.T) {
+	model := testModel(3)
+	ref := testModel(3)
+	s := mustServer(t, Config{Model: model, Plan: plan2(), MaxBatch: 4, BatchTimeout: time.Millisecond})
+	x := testInput(11, 19) // 19 rows through MaxBatch=4 → 5 pipeline batches
+	want, _ := ref.Forward(x, false)
+	y, err := s.Infer(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEqual(t, y, want)
+	if st := s.Stats(); st.Batches != 5 {
+		t.Errorf("batches = %d, want 5", st.Batches)
+	}
+}
+
+// TestBurstBeyondMaxBatch: a burst of more rows than MaxBatch is split
+// into full batches, and every request still gets its own rows back.
+func TestBurstBeyondMaxBatch(t *testing.T) {
+	model := testModel(4)
+	ref := testModel(4)
+	s := mustServer(t, Config{Model: model, MaxBatch: 4, BatchTimeout: 5 * time.Millisecond})
+	const requests = 32
+	var wg sync.WaitGroup
+	errs := make([]error, requests)
+	got := make([]*tensor.Tensor, requests)
+	want := make([]*tensor.Tensor, requests)
+	for i := 0; i < requests; i++ {
+		x := testInput(int64(500+i), 2)
+		want[i], _ = ref.Forward(x, false)
+		wg.Add(1)
+		go func(i int, x *tensor.Tensor) {
+			defer wg.Done()
+			got[i], errs[i] = s.Infer(x)
+		}(i, x)
+	}
+	wg.Wait()
+	for i := range errs {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+		wantEqual(t, got[i], want[i])
+	}
+}
+
+// TestQueueFullSheds: when the submit queue is full, Infer fails fast
+// with ErrOverloaded instead of queueing unboundedly.
+func TestQueueFullSheds(t *testing.T) {
+	model := nn.NewSequential(&slowLayer{delay: 50 * time.Millisecond})
+	s := mustServer(t, Config{
+		Model: model, MaxBatch: 1, BatchTimeout: time.Millisecond,
+		QueueCap: 2, MaxInFlight: 1,
+	})
+	// Saturate: 1 in flight (slow), 2 queued, rest must shed.
+	const requests = 16
+	var wg sync.WaitGroup
+	var shed, okCount int
+	var mu sync.Mutex
+	for i := 0; i < requests; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, err := s.Infer(testInput(int64(i), 1))
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err == nil:
+				okCount++
+			case errors.Is(err, ErrOverloaded):
+				shed++
+			default:
+				t.Errorf("unexpected error: %v", err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if shed == 0 {
+		t.Fatalf("no requests shed (%d ok)", okCount)
+	}
+	if okCount == 0 {
+		t.Fatal("every request shed; admission control admitted nothing")
+	}
+	if st := s.Stats(); st.Shed != int64(shed) {
+		t.Errorf("Stats().Shed = %d, want %d", st.Shed, shed)
+	}
+}
+
+// slowLayer is an identity layer that sleeps, to hold the pipeline busy.
+type slowLayer struct{ delay time.Duration }
+
+func (l *slowLayer) Name() string { return "slow" }
+func (l *slowLayer) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, nn.Context) {
+	time.Sleep(l.delay)
+	return x, nil
+}
+func (l *slowLayer) Backward(ctx nn.Context, g *tensor.Tensor) *tensor.Tensor { return g }
+func (l *slowLayer) Params() []*tensor.Tensor                                 { return nil }
+func (l *slowLayer) Grads() []*tensor.Tensor                                  { return nil }
+
+// TestShapeGrouping: requests with different per-row shapes are never
+// coalesced into one batch — both still answer correctly.
+func TestShapeGrouping(t *testing.T) {
+	// Tanh accepts any shape, so mixed-shape traffic is well-defined as
+	// long as the batcher keeps shapes apart.
+	model := nn.NewSequential(nn.NewTanh("t"))
+	s := mustServer(t, Config{Model: model, MaxBatch: 16, BatchTimeout: 5 * time.Millisecond})
+	var wg sync.WaitGroup
+	for i := 0; i < 24; i++ {
+		dim := 3 + i%2 // rows of width 3 and 4, interleaved
+		x := testInputDim(int64(i), 2, dim)
+		wg.Add(1)
+		go func(x *tensor.Tensor) {
+			defer wg.Done()
+			y, err := s.Infer(x)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if y.Dim(0) != x.Dim(0) || y.Dim(1) != x.Dim(1) {
+				t.Errorf("shape %v in, %v out", x.Shape, y.Shape)
+				return
+			}
+			for j := range x.Data {
+				want := float32(tanh32(x.Data[j]))
+				if y.Data[j] != want {
+					t.Errorf("y[%d] = %v, want %v", j, y.Data[j], want)
+					return
+				}
+			}
+		}(x)
+	}
+	wg.Wait()
+}
+
+func testInputDim(seed int64, rows, dim int) *tensor.Tensor {
+	rng := rand.New(rand.NewSource(seed))
+	return tensor.RandUniform(rng, -1, 1, rows, dim)
+}
+
+// tanh32 mirrors the Tanh layer's float32 elementwise math.
+func tanh32(v float32) float32 {
+	y, _ := nn.NewTanh("t").Forward(tensor.FromSlice([]float32{v}, 1, 1), false)
+	return y.Data[0]
+}
+
+// TestInputShapeValidation: InputShape turns malformed requests into
+// typed ErrBadRequest before they reach a stage worker.
+func TestInputShapeValidation(t *testing.T) {
+	s := mustServer(t, Config{Model: testModel(5), InputShape: []int{2}})
+	if _, err := s.Infer(testInputDim(1, 2, 3)); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("wrong-shape request: err = %v, want ErrBadRequest", err)
+	}
+	if _, err := s.Infer(nil); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("nil request: err = %v, want ErrBadRequest", err)
+	}
+	if _, err := s.Infer(testInput(1, 2)); err != nil {
+		t.Fatalf("well-formed request: %v", err)
+	}
+}
+
+// TestWorkerPanicIsolated: a batch whose shape blows up inside a kernel
+// fails with ErrInference; the server keeps serving later requests.
+func TestWorkerPanicIsolated(t *testing.T) {
+	s := mustServer(t, Config{Model: testModel(6), MaxBatch: 1, BatchTimeout: time.Millisecond})
+	if _, err := s.Infer(testInputDim(1, 2, 7)); !errors.Is(err, ErrInference) {
+		t.Fatalf("bad-shape request: err = %v, want ErrInference", err)
+	}
+	if _, err := s.Infer(testInput(1, 3)); err != nil {
+		t.Fatalf("request after panic: %v", err)
+	}
+}
+
+// TestCloseFailsPending: Close answers queued and in-flight requests
+// with ErrServerClosed, and later submits fail immediately.
+func TestCloseFailsPending(t *testing.T) {
+	model := nn.NewSequential(&slowLayer{delay: 30 * time.Millisecond})
+	s, err := NewServer(Config{Model: model, MaxBatch: 1, BatchTimeout: time.Millisecond, QueueCap: 8, MaxInFlight: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 6)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = s.Infer(testInput(int64(i), 1))
+		}(i)
+	}
+	time.Sleep(10 * time.Millisecond) // let them queue
+	s.Close()
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil && !errors.Is(err, ErrServerClosed) && !errors.Is(err, ErrOverloaded) {
+			t.Errorf("request %d: err = %v, want nil, ErrServerClosed, or ErrOverloaded", i, err)
+		}
+	}
+	if _, err := s.Infer(testInput(99, 1)); !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("post-close request: err = %v, want ErrServerClosed", err)
+	}
+}
+
+// TestOrderPreservedUnderConcurrency hammers a multi-stage server from
+// many submitters and checks every response is the one for its request
+// (run with -race to double as the data-race gate).
+func TestOrderPreservedUnderConcurrency(t *testing.T) {
+	model := nn.NewSequential(nn.NewTanh("t"))
+	s := mustServer(t, Config{Model: model, MaxBatch: 8, BatchTimeout: time.Millisecond, QueueCap: 1024, MaxInFlight: 8})
+	const workers = 8
+	const perWorker = 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				rows := 1 + (w+i)%4
+				x := tensor.New(rows, 2)
+				for r := 0; r < rows; r++ {
+					// Encode (worker, request, row) into the values.
+					x.Data[r*2] = float32(w*1000 + i)
+					x.Data[r*2+1] = float32(r)
+				}
+				y, err := s.Infer(x)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for r := 0; r < rows; r++ {
+					if y.Data[r*2] != tanh32(float32(w*1000+i)) || y.Data[r*2+1] != tanh32(float32(r)) {
+						t.Errorf("worker %d request %d row %d: got someone else's row", w, i, r)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if st := s.Stats(); st.Responses != workers*perWorker {
+		t.Fatalf("responses = %d, want %d", st.Responses, workers*perWorker)
+	}
+}
+
+// TestMetricsRegistry: serve.* instruments land in a provided registry.
+func TestMetricsRegistry(t *testing.T) {
+	reg := metrics.NewRegistry()
+	opLog := metrics.NewOpLog(0)
+	s := mustServer(t, Config{Model: testModel(8), Plan: plan2(), Metrics: reg, OpLog: opLog, BatchTimeout: time.Millisecond})
+	if _, err := s.Infer(testInput(1, 4)); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	for _, key := range []string{"serve.requests", "serve.rows", "serve.batches", "serve.latency_us", "serve.batch_rows", "serve.s0.forward_us", "serve.s1.forward_us"} {
+		if _, ok := snap[key]; !ok {
+			t.Errorf("registry missing %q", key)
+		}
+	}
+	var sawRequest, sawForward bool
+	for _, ev := range opLog.Events() {
+		switch ev.Kind {
+		case metrics.OpRequest:
+			sawRequest = true
+		case metrics.OpForward:
+			sawForward = true
+		}
+	}
+	if !sawRequest || !sawForward {
+		t.Errorf("op log missing spans: request=%v forward=%v", sawRequest, sawForward)
+	}
+}
+
+// TestPlanMismatch: a plan that does not cover the model is rejected.
+func TestPlanMismatch(t *testing.T) {
+	bad := &partition.Plan{Stages: []partition.StageSpec{{FirstLayer: 0, LastLayer: 1, Replicas: 1}}}
+	if _, err := NewServer(Config{Model: testModel(9), Plan: bad}); err == nil {
+		t.Fatal("plan covering 2 of 5 layers was accepted")
+	}
+}

@@ -1,0 +1,163 @@
+package serve
+
+import (
+	"time"
+
+	"pipedream/internal/metrics"
+	"pipedream/internal/nn"
+	"pipedream/internal/tensor"
+	"pipedream/internal/transport"
+)
+
+// stageWorker is the forward loop of one pipeline stage: receive an
+// activation batch, run this stage's layer slice in inference mode, and
+// forward the result — to the next stage, or to the demultiplexer as a
+// Prediction when this is the output stage. One goroutine per stage, so
+// consecutive batches overlap across stages exactly like forward passes
+// in the training pipeline.
+//
+// A panic inside the forward pass (a shape mismatch reaching a kernel)
+// is contained to the batch: the worker sends a tensor-less Prediction
+// straight to the demultiplexer, which fails the batch's requests with
+// ErrInference, and keeps serving.
+func (s *Server) stageWorker(st int) {
+	defer s.wg.Done()
+	slice := s.stages[st]
+	inbox := s.tr.Inbox(st)
+	hist := s.met.stageForward[st]
+	last := st == len(s.stages)-1
+	for {
+		select {
+		case <-s.done:
+			return
+		case m, ok := <-inbox:
+			if !ok {
+				return
+			}
+			if m.Kind != transport.Activation {
+				continue
+			}
+			start := time.Now()
+			y := forward(slice, m.Tensor)
+			dur := time.Since(start)
+			hist.Observe(float64(dur.Microseconds()))
+			if s.met.oplog != nil {
+				s.met.oplog.Record(metrics.OpEvent{
+					Worker:    st,
+					Stage:     st,
+					Minibatch: m.Minibatch,
+					Kind:      metrics.OpForward,
+					Dur:       dur,
+				}, start)
+			}
+			out := transport.Message{Minibatch: m.Minibatch, Tensor: y}
+			if y == nil || last {
+				out.Kind = transport.Prediction
+				_ = s.tr.Send(s.client, out)
+			} else {
+				out.Kind = transport.Activation
+				_ = s.tr.Send(st+1, out)
+			}
+		}
+	}
+}
+
+// forward runs one stage slice in inference mode, converting a panic
+// into a nil result so a bad batch cannot take the worker down.
+func forward(slice *nn.Sequential, x *tensor.Tensor) (y *tensor.Tensor) {
+	defer func() {
+		if recover() != nil {
+			y = nil
+		}
+	}()
+	if x == nil {
+		return nil
+	}
+	y, _ = slice.Forward(x, false)
+	return y
+}
+
+// demux is the response loop: it receives the output stage's Prediction
+// messages, releases the batch's in-flight slot, and scatters the output
+// rows back to the submitting requests via the batch's segment table. A
+// request completes when all its rows have arrived (a split request
+// needs several batches); completion records the end-to-end latency
+// histogram and, when an OpLog is configured, an OpRequest span.
+func (s *Server) demux() {
+	defer s.wg.Done()
+	inbox := s.tr.Inbox(s.client)
+	for {
+		select {
+		case <-s.done:
+			return
+		case m, ok := <-inbox:
+			if !ok {
+				return
+			}
+			if m.Kind != transport.Prediction {
+				continue
+			}
+			<-s.inflight
+			s.mu.Lock()
+			info := s.pending[m.Minibatch]
+			delete(s.pending, m.Minibatch)
+			if info != nil {
+				s.deliverLocked(info, m.Tensor)
+			}
+			s.mu.Unlock()
+		}
+	}
+}
+
+// deliverLocked scatters one batch output to its requests. A nil output
+// means a stage worker failed on this batch; its requests get
+// ErrInference. Callers hold s.mu.
+func (s *Server) deliverLocked(info *batchInfo, y *tensor.Tensor) {
+	if y == nil {
+		for _, seg := range info.segs {
+			s.failPendingLocked(seg.pr, ErrInference)
+		}
+		return
+	}
+	outRowSize := y.Size() / y.Dim(0)
+	for _, seg := range info.segs {
+		pr := seg.pr
+		if pr.failed {
+			continue
+		}
+		if pr.out == nil && seg.n == pr.req.rows && seg.n == info.rows {
+			// The batch is exactly this request: hand the output through.
+			pr.out = y
+			pr.remaining = 0
+		} else {
+			if pr.out == nil {
+				shape := append([]int{pr.req.rows}, y.Shape[1:]...)
+				pr.out = tensor.New(shape...)
+			}
+			copy(pr.out.Data[seg.dstRow*outRowSize:],
+				y.Data[seg.srcRow*outRowSize:(seg.srcRow+seg.n)*outRowSize])
+			pr.remaining -= seg.n
+		}
+		if pr.remaining == 0 {
+			s.completeLocked(pr)
+		}
+	}
+}
+
+// completeLocked delivers a fully assembled response and records the
+// request's end-to-end span. Callers hold s.mu; the response channel is
+// buffered, so the send cannot block.
+func (s *Server) completeLocked(pr *pendingReq) {
+	dur := time.Since(pr.req.enq)
+	s.met.latency.Observe(float64(dur.Microseconds()))
+	if s.met.oplog != nil {
+		s.met.oplog.Record(metrics.OpEvent{
+			Worker:    s.client,
+			Stage:     s.client,
+			Minibatch: pr.firstID,
+			Kind:      metrics.OpRequest,
+			Dur:       dur,
+		}, pr.req.enq)
+	}
+	pr.req.resp <- result{y: pr.out}
+}

@@ -238,13 +238,13 @@ func TrainGPipeSemantics(cfg Config, plan *partition.Plan, microbatches int) (*C
 		return nil, fmt.Errorf("statseff: microbatches = %d", microbatches)
 	}
 	p, err := pipeline.New(pipeline.Options{
-		ModelFactory:     cfg.Factory,
-		Plan:             plan,
-		Loss:             cfg.Loss,
-		NewOptimizer:     cfg.NewOptimizer,
-		Mode:             pipeline.WeightStashing,
-		Depth:            microbatches,
-		GradAccumulation: microbatches,
+		ModelFactory:  cfg.Factory,
+		Plan:          plan,
+		Loss:          cfg.Loss,
+		NewOptimizer:  cfg.NewOptimizer,
+		Mode:          pipeline.WeightStashing,
+		RuntimeConfig: pipeline.RuntimeConfig{Depth: microbatches},
+		SyncConfig:    pipeline.SyncConfig{GradAccumulation: microbatches},
 	})
 	if err != nil {
 		return nil, err

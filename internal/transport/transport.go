@@ -46,6 +46,11 @@ const (
 	// sender's replica rank, and Chunk locates the transfer within the
 	// round.
 	GradChunk
+	// Prediction carries the output stage's forward result of one
+	// serving batch back to the front-end demultiplexer (forward-only
+	// inference; no backward pass follows). Minibatch holds the serving
+	// batch id.
+	Prediction
 )
 
 // String implements fmt.Stringer.
@@ -61,6 +66,8 @@ func (k MsgKind) String() string {
 		return "heartbeat"
 	case GradChunk:
 		return "grad-chunk"
+	case Prediction:
+		return "prediction"
 	}
 	return fmt.Sprintf("MsgKind(%d)", int(k))
 }

@@ -45,6 +45,8 @@ import (
 	"pipedream/internal/pipeline"
 	"pipedream/internal/profile"
 	"pipedream/internal/schedule"
+	"pipedream/internal/serve"
+	"pipedream/internal/tensor"
 	"pipedream/internal/topology"
 	"pipedream/internal/trace"
 	"pipedream/internal/transport"
@@ -52,6 +54,9 @@ import (
 
 // Core model-building types.
 type (
+	// Tensor is a dense row-major float32 tensor — the value Server.Infer
+	// consumes and produces.
+	Tensor = tensor.Tensor
 	// Sequential is an ordered list of layers — the unit PipeDream
 	// partitions.
 	Sequential = nn.Sequential
@@ -100,9 +105,39 @@ type (
 	// Policy selects the inter-batch schedule (1F1B, GPipe, model
 	// parallel).
 	Policy = schedule.Policy
-	// SoloWorkerT is one stage worker of a multi-process deployment
+	// SoloWorker is one stage worker of a multi-process deployment
 	// (returned by NewSoloWorker).
-	SoloWorkerT = pipeline.SoloWorker
+	SoloWorker = pipeline.SoloWorker
+)
+
+// Grouped pipeline configuration (embedded in PipelineOptions; read
+// fields through promotion — opts.Depth — but set them in literals
+// through the group: RuntimeConfig: pipedream.RuntimeConfig{Depth: 4}).
+type (
+	// RuntimeConfig groups PipelineOptions' execution-shape knobs:
+	// pipeline depth, activation recomputation, kernel parallelism.
+	RuntimeConfig = pipeline.RuntimeConfig
+	// SyncConfig groups PipelineOptions' gradient-synchronization knobs:
+	// all-reduce method, bucket size, gradient accumulation.
+	SyncConfig = pipeline.SyncConfig
+	// FaultConfig groups PipelineOptions' fault-tolerance knobs:
+	// checkpointing, recovery budget, watchdog, heartbeat.
+	FaultConfig = pipeline.FaultConfig
+)
+
+// Serving types (forward-only pipelined inference; see
+// docs/ARCHITECTURE.md "Serving path").
+type (
+	// Server is a live forward-only serving pipeline with dynamic
+	// batching and admission control (internal/serve).
+	Server = serve.Server
+	// ServeConfig configures a Server: model, stage plan, batching
+	// (MaxBatch/BatchTimeout), and admission control (QueueCap/
+	// MaxInFlight).
+	ServeConfig = serve.Config
+	// ServeStats is a point-in-time summary of a Server's counters and
+	// latency quantiles.
+	ServeStats = serve.Stats
 )
 
 // Observability types (set PipelineOptions.Metrics / PipelineOptions.OpLog
@@ -149,6 +184,11 @@ var (
 	ErrTransportClosed = transport.ErrClosed
 	// ErrWorkerStalled marks a worker whose watchdog saw no progress.
 	ErrWorkerStalled = pipeline.ErrWorkerStalled
+	// ErrOverloaded marks a serving request shed by admission control.
+	ErrOverloaded = serve.ErrOverloaded
+	// ErrServerClosed marks a serving request submitted to (or caught
+	// inside) a closed Server.
+	ErrServerClosed = serve.ErrServerClosed
 )
 
 // Staleness modes (§3.3 of the paper).
@@ -226,6 +266,14 @@ var (
 	// LatestCheckpoint reports the cursor (global minibatch index) of the
 	// newest complete checkpoint generation in a directory.
 	LatestCheckpoint = pipeline.LatestCheckpoint
+	// LoadCheckpointModel reassembles the full model from the newest
+	// complete checkpoint generation in a directory — the bridge from a
+	// training run to NewServer (the serving plan need not match the
+	// training plan).
+	LoadCheckpointModel = pipeline.LoadModel
+	// NewServer starts a forward-only serving pipeline over a trained
+	// model; submit requests with Server.Infer.
+	NewServer = serve.NewServer
 
 	// ParseAllReduceMethod maps an -allreduce flag value ("ring" or
 	// "central") to an AllReduceMethod.

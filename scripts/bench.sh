@@ -22,6 +22,14 @@ JSON="$OUT_DIR/BENCH_kernels.json"
 go test -run '^$' -bench "$PATTERN" -benchmem \
   -benchtime "$BENCHTIME" -count "$COUNT" . | tee "$TXT"
 
+# Serving benchmarks: batch-size-1 baseline vs dynamic batching. The
+# dynamic/batch1 ns-per-op ratio is the batching speedup at saturation.
+SERVE_TXT="$OUT_DIR/BENCH_serve.txt"
+SERVE_JSON="$OUT_DIR/BENCH_serve.json"
+
+go test -run '^$' -bench '^BenchmarkServe(Batch1|Dynamic)$' -benchmem \
+  -benchtime "$BENCHTIME" -count "$COUNT" . | tee "$SERVE_TXT"
+
 # Distill "BenchmarkName-P  N  ns/op  B/op  allocs/op" lines to JSON.
 awk -v parallelism="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)" '
 BEGIN { print "{"; printf "  \"ncpu\": %d,\n  \"benchmarks\": [", parallelism; first = 1 }
@@ -41,4 +49,31 @@ BEGIN { print "{"; printf "  \"ncpu\": %d,\n  \"benchmarks\": [", parallelism; f
 END { print "\n  ]\n}" }
 ' "$TXT" > "$JSON"
 
-echo "wrote $TXT and $JSON"
+# Serve JSON adds the headline number: dynamic-batching speedup over the
+# batch-size-1 baseline (ratio of mean ns/op).
+awk -v parallelism="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)" '
+/^Benchmark/ && / ns\/op/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    ns = ""
+    for (i = 2; i <= NF; i++) if ($i == "ns/op") ns = $(i-1)
+    if (ns == "") next
+    sum[name] += ns; cnt[name]++
+}
+END {
+    print "{"
+    printf "  \"ncpu\": %d,\n", parallelism
+    printf "  \"benchmarks\": ["
+    first = 1
+    for (name in sum) {
+        if (!first) printf ","
+        first = 0
+        printf "\n    {\"name\": \"%s\", \"ns_per_op\": %.1f}", name, sum[name] / cnt[name]
+    }
+    print "\n  ],"
+    b1 = sum["BenchmarkServeBatch1"] / cnt["BenchmarkServeBatch1"]
+    dyn = sum["BenchmarkServeDynamic"] / cnt["BenchmarkServeDynamic"]
+    printf "  \"dynamic_batching_speedup\": %.2f\n}\n", b1 / dyn
+}
+' "$SERVE_TXT" > "$SERVE_JSON"
+
+echo "wrote $TXT, $JSON, $SERVE_TXT and $SERVE_JSON"

@@ -31,6 +31,10 @@ go test -race -run 'Ring|Overlap' ./internal/collective/ ./internal/pipeline/
 echo "== chaos gate (fault injection under the race detector)"
 go test -race -run 'Chaos' ./internal/transport/ ./internal/pipeline/
 
+echo "== serving gate (dynamic batcher + stage workers under the race detector)"
+go test -race -count=2 ./internal/serve/
+go test -race -run 'Serve' ./
+
 echo "== fuzz smoke (flatten round-trip + checkpoint manifest parser, 10s each)"
 go test -run '^$' -fuzz '^FuzzFlattenRoundTrip$' -fuzztime=10s ./internal/transport/
 go test -run '^$' -fuzz '^FuzzManifestParse$' -fuzztime=10s ./internal/pipeline/
@@ -44,8 +48,8 @@ if [ -n "$PANICS" ]; then
     exit 1
 fi
 
-echo "== doc comments (exported identifiers in pipeline + metrics)"
-MISSING=$(for f in internal/pipeline/*.go internal/metrics/*.go; do
+echo "== doc comments (exported identifiers in pipeline + metrics + serve + cliconf)"
+MISSING=$(for f in internal/pipeline/*.go internal/metrics/*.go internal/serve/*.go internal/cliconf/*.go; do
     case "$f" in *_test.go) continue ;; esac
     awk -v file="$f" '
     /^(func|type|var|const) (\()?[A-Za-z]/ {
@@ -80,5 +84,10 @@ for pkg in $(grep -o 'internal/[a-z]*' docs/ARCHITECTURE.md | sort -u); do
 done
 # README must link the architecture map.
 grep -q 'docs/ARCHITECTURE.md' README.md || { echo "README.md does not link docs/ARCHITECTURE.md" >&2; exit 1; }
+
+echo "== facade exports (serving surface reachable from package pipedream)"
+for sym in NewServer ServeConfig ErrOverloaded LoadCheckpointModel SyncConfig FaultConfig RuntimeConfig; do
+    grep -q "\b$sym\b" pipedream.go || { echo "pipedream.go does not re-export $sym" >&2; exit 1; }
+done
 
 echo "all checks passed"

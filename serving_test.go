@@ -1,0 +1,138 @@
+package pipedream
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"pipedream/internal/data"
+	"pipedream/internal/nn"
+	"pipedream/internal/partition"
+	"pipedream/internal/profile"
+	"pipedream/internal/topology"
+)
+
+// mlp5Factory builds the 5-layer MLP the serving tests train and serve.
+func mlp5Factory(seed int64) func() *Sequential {
+	return func() *Sequential {
+		rng := rand.New(rand.NewSource(seed))
+		return nn.NewSequential(
+			nn.NewDense(rng, "fc1", 4, 16),
+			nn.NewTanh("t1"),
+			nn.NewDense(rng, "fc2", 16, 16),
+			nn.NewTanh("t2"),
+			nn.NewDense(rng, "fc3", 16, 3),
+		)
+	}
+}
+
+// servingPlan partitions a model's n layers evenly into stages for the
+// serving tests (no replication; serving runs one worker per stage).
+func servingPlan(t *testing.T, n, stages int) *PartitionPlan {
+	t.Helper()
+	prof := &profile.ModelProfile{Model: "serve-test", MinibatchSize: 1, InputBytes: 4}
+	for i := 0; i < n; i++ {
+		prof.Layers = append(prof.Layers, profile.LayerProfile{Name: "l", FwdTime: 1, BwdTime: 2, ActivationBytes: 4, WeightBytes: 4})
+	}
+	per := n / stages
+	var specs []partition.StageSpec
+	first := 0
+	for s := 0; s < stages; s++ {
+		last := first + per - 1
+		if s == stages-1 {
+			last = n - 1
+		}
+		specs = append(specs, partition.StageSpec{FirstLayer: first, LastLayer: last, Replicas: 1})
+		first = last + 1
+	}
+	plan, err := partition.Evaluate(prof, topology.Flat(stages, 1e9, topology.V100), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+// TestTrainCheckpointServeEndToEnd closes the full serving loop through
+// the public facade: train a pipelined model with checkpointing, load
+// the checkpoint back with LoadCheckpointModel, serve it on a DIFFERENT
+// stage partitioning, and verify concurrent batched serving returns
+// exactly what a direct forward pass of the trained model returns.
+func TestTrainCheckpointServeEndToEnd(t *testing.T) {
+	factory := mlp5Factory(31)
+	train := data.NewBlobs(32, 3, 4, 8, 20)
+	dir := t.TempDir()
+
+	p, err := NewPipeline(PipelineOptions{
+		ModelFactory: factory,
+		Plan:         servingPlan(t, 5, 2),
+		Loss:         SoftmaxCrossEntropy,
+		NewOptimizer: func() Optimizer { return NewSGD(0.1, 0.9, 0) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Train(train, 20); err != nil {
+		p.Close()
+		t.Fatal(err)
+	}
+	if err := p.Checkpoint(dir); err != nil {
+		p.Close()
+		t.Fatal(err)
+	}
+	p.Close()
+
+	// Load the trained model from the checkpoint shards.
+	model, cursor, err := LoadCheckpointModel(dir, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cursor != 20 {
+		t.Fatalf("checkpoint cursor = %d, want 20", cursor)
+	}
+	ref, _, err := LoadCheckpointModel(dir, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Serve on 3 stages although training ran on 2: checkpoints store
+	// the full parameter sequence, so the serving plan is free.
+	srv, err := NewServer(ServeConfig{
+		Model:        model,
+		Plan:         servingPlan(t, 5, 3),
+		MaxBatch:     8,
+		BatchTimeout: time.Millisecond,
+		InputShape:   []int{4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	eval := data.NewBlobs(33, 3, 4, 4, 12)
+	var wg sync.WaitGroup
+	for i := 0; i < eval.NumBatches(); i++ {
+		x := eval.Batch(i).X
+		want, _ := ref.Forward(x, false)
+		wg.Add(1)
+		go func(x, want *Tensor) {
+			defer wg.Done()
+			got, err := srv.Infer(x)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for j := range want.Data {
+				if got.Data[j] != want.Data[j] {
+					t.Errorf("served output differs from direct forward at %d: %v != %v", j, got.Data[j], want.Data[j])
+					return
+				}
+			}
+		}(x, want)
+	}
+	wg.Wait()
+	st := srv.Stats()
+	if st.Responses != int64(eval.NumBatches()) {
+		t.Fatalf("responses = %d, want %d", st.Responses, eval.NumBatches())
+	}
+}
