@@ -34,9 +34,11 @@ import (
 )
 
 func main() {
-	mdl := &cliconf.Model{Task: "spiral", Seed: 42, Stages: 1, Replicas: 1}
+	mdl := &cliconf.Model{Task: "spiral", Seed: 42}
 	fs := flag.CommandLine
-	mdl.Register(fs)
+	// The load generator only rebuilds the task's datasets client-side;
+	// pipeline shape flags (-stages, -replicas) belong to the server.
+	mdl.RegisterTask(fs)
 	addr := flag.String("addr", "http://127.0.0.1:8080", "base URL of the pipedream-serve instance")
 	concurrency := flag.Int("concurrency", 8, "closed-loop workers, each with one request outstanding (ignored when -rate > 0)")
 	rate := flag.Float64("rate", 0, "open-loop request rate in req/s (0 = closed loop)")

@@ -22,6 +22,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -30,6 +31,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"pipedream/internal/cliconf"
 	"pipedream/internal/metrics"
@@ -43,7 +45,9 @@ func main() {
 	mdl := &cliconf.Model{Task: "spiral", Seed: 42, Stages: 2, Replicas: 1}
 	obsFlags := &cliconf.Obs{}
 	fs := flag.CommandLine
-	mdl.Register(fs)
+	// Forward-only flags: serving runs one worker per stage, so the
+	// training-only -replicas is not offered rather than ignored.
+	mdl.RegisterForward(fs)
 	obsFlags.Register(fs)
 	ckptDir := flag.String("checkpoint-dir", "", "checkpoint directory to load the model from (\"\" serves freshly initialized weights)")
 	addr := flag.String("addr", ":8080", "HTTP listen address")
@@ -112,15 +116,26 @@ func main() {
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	// Graceful shutdown: Shutdown stops accepting but lets in-flight
+	// /infer requests complete (bounded by the timeout); only after it
+	// returns is the serving pipeline torn down.
+	idle := make(chan struct{})
 	go func() {
 		<-stop
 		fmt.Println("\nshutting down")
-		hs.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "pipedream-serve: shutdown:", err)
+			hs.Close()
+		}
+		close(idle)
 	}()
 	fmt.Printf("listening on %s\n", *addr)
 	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fatal(err)
 	}
+	<-idle
 	srv.Close()
 	if err := obsFlags.WriteOutputs(reg, opLog); err != nil {
 		fatal(err)
@@ -200,6 +215,8 @@ func statusFor(err error) int {
 		return http.StatusBadRequest
 	case errors.Is(err, serve.ErrServerClosed):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, serve.ErrTransport):
+		return http.StatusBadGateway
 	default:
 		return http.StatusInternalServerError
 	}

@@ -46,13 +46,30 @@ type Model struct {
 	Replicas int
 }
 
-// Register declares the model/task flags, defaulting to the current
-// field values.
+// Register declares every model/task flag — task selection plus the
+// full training pipeline shape — defaulting to the current field
+// values. Binaries that consume only part of the surface register the
+// narrower subset (RegisterForward, RegisterTask) so no flag is parsed
+// and then silently ignored.
 func (c *Model) Register(fs *flag.FlagSet) {
+	c.RegisterForward(fs)
+	fs.IntVar(&c.Replicas, "replicas", c.Replicas, "replicas of the first stage (1F1B-RR)")
+}
+
+// RegisterForward declares the flags a forward-only consumer needs:
+// task selection plus stage count, without the training-only -replicas
+// (serving runs one worker per stage). Used by pipedream-serve.
+func (c *Model) RegisterForward(fs *flag.FlagSet) {
+	c.RegisterTask(fs)
+	fs.IntVar(&c.Stages, "stages", c.Stages, "pipeline stages (0 = derive from peer count)")
+}
+
+// RegisterTask declares only the task-selection flags — enough to
+// rebuild the model's datasets client-side, with no pipeline shape at
+// all. Used by pipedream-loadgen.
+func (c *Model) RegisterTask(fs *flag.FlagSet) {
 	fs.StringVar(&c.Task, "task", c.Task, "demo task: spiral, images, or sequence")
 	fs.Int64Var(&c.Seed, "seed", c.Seed, "random seed (must match across distributed processes)")
-	fs.IntVar(&c.Stages, "stages", c.Stages, "pipeline stages (0 = derive from peer count)")
-	fs.IntVar(&c.Replicas, "replicas", c.Replicas, "replicas of the first stage (1F1B-RR)")
 }
 
 // Task is one demo task: a model factory plus its train/eval datasets

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"fmt"
 	"time"
 
 	"pipedream/internal/tensor"
@@ -147,7 +148,7 @@ func (s *Server) dispatch(batch []*request, nextID int) int {
 			s.mu.Lock()
 			delete(s.pending, nextID)
 			s.mu.Unlock()
-			s.failBatch(info, err)
+			s.failBatch(info, fmt.Errorf("serve: batch %d lost: %v: %w", nextID, err, ErrTransport))
 		}
 		nextID++
 	}

@@ -22,6 +22,14 @@ var (
 
 	// ErrInference is returned when a stage worker failed while running
 	// the batch that carried the request (a kernel or layer panic,
-	// typically a shape mismatch the server could not pre-validate).
+	// typically a shape mismatch the server could not pre-validate), or
+	// when the model produced an output whose rows cannot be attributed
+	// back to the request's input rows.
 	ErrInference = errors.New("serve: inference failed")
+
+	// ErrTransport is returned when the transport lost the batch that
+	// carried the request: a stage could not forward it (peer down,
+	// closed transport), so its result can never arrive. The wrapped
+	// message carries the underlying transport error.
+	ErrTransport = errors.New("serve: transport failed")
 )

@@ -267,11 +267,14 @@ func (s *Server) Stages() int { return len(s.stages) }
 
 // Infer runs one request through the serving pipeline and blocks until
 // its result is ready. x holds one or more input rows (dim 0 is the row
-// count); the result has the same row count and order, and each row is
-// bit-identical to a single-row forward pass of the same input — dynamic
-// batching never changes answers. Infer is safe for concurrent use; a
-// full queue returns ErrOverloaded immediately (load shedding), a closed
-// server ErrServerClosed.
+// count); the result preserves row order and is bit-identical to a
+// forward pass of the same input alone — dynamic batching never changes
+// answers. Models that expand rows (FlattenTime reshaping [B, T, H] to
+// [B*T, H]) return the uniformly expanded row count, each input row
+// owning its consecutive output rows. Infer is safe for concurrent use;
+// a full queue returns ErrOverloaded immediately (load shedding), a
+// closed server ErrServerClosed, a batch the transport lost
+// ErrTransport.
 func (s *Server) Infer(x *tensor.Tensor) (*tensor.Tensor, error) {
 	if x == nil || x.NumDims() < 1 || x.Dim(0) < 1 {
 		return nil, fmt.Errorf("serve: request needs at least one row: %w", ErrBadRequest)

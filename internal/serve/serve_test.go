@@ -11,6 +11,7 @@ import (
 	"pipedream/internal/nn"
 	"pipedream/internal/partition"
 	"pipedream/internal/tensor"
+	"pipedream/internal/transport"
 )
 
 // testModel builds a small deterministic MLP: 2 → 16 → 3.
@@ -402,6 +403,129 @@ func TestMetricsRegistry(t *testing.T) {
 	}
 	if !sawRequest || !sawForward {
 		t.Errorf("op log missing spans: request=%v forward=%v", sawRequest, sawForward)
+	}
+}
+
+// expandModel builds FlattenTime → Tanh: [B, T, H] in, [B*T, H] out —
+// the row-count-changing shape the sequence task's head sees.
+func expandModel() *nn.Sequential {
+	return nn.NewSequential(nn.NewFlattenTime("ft"), nn.NewTanh("t"))
+}
+
+// TestRowExpandingModelBatched: layers like FlattenTime change the
+// output row count ([B,T,H] → [B*T,H]); coalesced responses must still
+// be bit-identical to unbatched forward passes, with segment offsets
+// scaled by the expansion factor.
+func TestRowExpandingModelBatched(t *testing.T) {
+	s := mustServer(t, Config{Model: expandModel(), MaxBatch: 8, BatchTimeout: 5 * time.Millisecond})
+	ref := expandModel()
+	const requests = 24
+	type res struct {
+		got, want *tensor.Tensor
+		err       error
+	}
+	results := make([]res, requests)
+	var wg sync.WaitGroup
+	for i := 0; i < requests; i++ {
+		rows := 1 + i%3
+		rng := rand.New(rand.NewSource(int64(900 + i)))
+		x := tensor.RandUniform(rng, -1, 1, rows, 4, 2) // [B, T=4, H=2]
+		results[i].want, _ = ref.Forward(x, false)
+		wg.Add(1)
+		go func(i int, x *tensor.Tensor) {
+			defer wg.Done()
+			results[i].got, results[i].err = s.Infer(x)
+		}(i, x)
+	}
+	wg.Wait()
+	for i, r := range results {
+		if r.err != nil {
+			t.Fatalf("request %d: %v", i, r.err)
+		}
+		if r.got.Dim(0) != r.want.Dim(0) {
+			t.Fatalf("request %d: %d output rows, want %d", i, r.got.Dim(0), r.want.Dim(0))
+		}
+		wantEqual(t, r.got, r.want)
+	}
+	if st := s.Stats(); st.Batches >= st.Requests {
+		t.Errorf("no coalescing happened: %d batches for %d requests", st.Batches, st.Requests)
+	}
+}
+
+// TestRowExpandingModelSplit: a request larger than MaxBatch through a
+// row-expanding model reassembles each batch's expanded rows at the
+// right request offsets.
+func TestRowExpandingModelSplit(t *testing.T) {
+	s := mustServer(t, Config{Model: expandModel(), MaxBatch: 4, BatchTimeout: time.Millisecond})
+	ref := expandModel()
+	rng := rand.New(rand.NewSource(901))
+	x := tensor.RandUniform(rng, -1, 1, 11, 3, 2) // 11 rows through MaxBatch=4 → 3 batches
+	want, _ := ref.Forward(x, false)
+	y, err := s.Infer(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.Dim(0) != want.Dim(0) {
+		t.Fatalf("%d output rows, want %d", y.Dim(0), want.Dim(0))
+	}
+	wantEqual(t, y, want)
+}
+
+// failingTransport wraps a Transport and fails the next fail[to] sends
+// to each endpoint with ErrPeerDown, like a TCP peer mid-outage.
+type failingTransport struct {
+	transport.Transport
+	mu   sync.Mutex
+	fail map[int]int
+}
+
+// Send implements transport.Transport.
+func (f *failingTransport) Send(to int, m transport.Message) error {
+	f.mu.Lock()
+	if f.fail[to] > 0 {
+		f.fail[to]--
+		f.mu.Unlock()
+		return transport.ErrPeerDown
+	}
+	f.mu.Unlock()
+	return f.Transport.Send(to, m)
+}
+
+// TestSendFailureReclaimsSlot: a batch whose Send fails anywhere along
+// the pipeline must release its MaxInFlight slot and fail its requests
+// with ErrTransport — otherwise each lost batch leaks a slot and the
+// server deadlocks after MaxInFlight losses.
+func TestSendFailureReclaimsSlot(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		to   int // endpoint whose sends fail
+	}{
+		{"dispatch", 0},    // batcher → stage 0
+		{"inter-stage", 1}, // stage 0 → stage 1
+		{"prediction", 2},  // stage 1 → demux
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			tr := &failingTransport{
+				Transport: transport.NewChannels(3, 8),
+				fail:      map[int]int{tc.to: 2},
+			}
+			s := mustServer(t, Config{
+				Model: testModel(10), Plan: plan2(), Transport: tr,
+				MaxBatch: 1, BatchTimeout: time.Millisecond, MaxInFlight: 1,
+			})
+			// The first two requests ride batches the transport loses.
+			for i := 0; i < 2; i++ {
+				if _, err := s.Infer(testInput(int64(i), 1)); !errors.Is(err, ErrTransport) {
+					t.Fatalf("lost batch %d: err = %v, want ErrTransport", i, err)
+				}
+			}
+			// With MaxInFlight=1, serving again proves both slots came back.
+			for i := 2; i < 5; i++ {
+				if _, err := s.Infer(testInput(int64(i), 1)); err != nil {
+					t.Fatalf("request after transport recovery: %v", err)
+				}
+			}
+		})
 	}
 }
 

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"fmt"
 	"time"
 
 	"pipedream/internal/metrics"
@@ -53,10 +54,14 @@ func (s *Server) stageWorker(st int) {
 			out := transport.Message{Minibatch: m.Minibatch, Tensor: y}
 			if y == nil || last {
 				out.Kind = transport.Prediction
-				_ = s.tr.Send(s.client, out)
+				if err := s.tr.Send(s.client, out); err != nil {
+					s.reclaimBatch(m.Minibatch, err)
+				}
 			} else {
 				out.Kind = transport.Activation
-				_ = s.tr.Send(st+1, out)
+				if err := s.tr.Send(st+1, out); err != nil {
+					s.reclaimBatch(m.Minibatch, err)
+				}
 			}
 		}
 	}
@@ -75,6 +80,28 @@ func forward(slice *nn.Sequential, x *tensor.Tensor) (y *tensor.Tensor) {
 	}
 	y, _ = slice.Forward(x, false)
 	return y
+}
+
+// reclaimBatch is the failure path for a batch whose result can no
+// longer reach the demultiplexer: a stage worker's Send failed (peer
+// down, closed transport), so no Prediction will ever arrive for this
+// id. It releases the batch's MaxInFlight slot — held since dispatch,
+// so the receive cannot block — and fails its requests with a typed
+// ErrTransport. Without it a lossy transport would leak one admission
+// slot per failure and deadlock the server after MaxInFlight losses.
+func (s *Server) reclaimBatch(id int, cause error) {
+	<-s.inflight
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	info := s.pending[id]
+	delete(s.pending, id)
+	if info == nil {
+		return
+	}
+	err := fmt.Errorf("serve: batch %d lost: %v: %w", id, cause, ErrTransport)
+	for _, seg := range info.segs {
+		s.failPendingLocked(seg.pr, err)
+	}
 }
 
 // demux is the response loop: it receives the output stage's Prediction
@@ -112,13 +139,22 @@ func (s *Server) demux() {
 // deliverLocked scatters one batch output to its requests. A nil output
 // means a stage worker failed on this batch; its requests get
 // ErrInference. Callers hold s.mu.
+//
+// The model may change the row count: FlattenTime reshapes [B, T, H] to
+// [B*T, H], so a batch of n input rows yields n*T output rows. As long
+// as the expansion is uniform — y.Dim(0) an exact multiple of the input
+// rows — every input row owns `expand` consecutive output rows and the
+// segment scatter scales its offsets by that factor. A non-uniform row
+// count cannot be attributed back to requests, so the batch fails with
+// ErrInference rather than returning corrupt rows.
 func (s *Server) deliverLocked(info *batchInfo, y *tensor.Tensor) {
-	if y == nil {
+	if y == nil || y.Dim(0) == 0 || y.Dim(0)%info.rows != 0 {
 		for _, seg := range info.segs {
 			s.failPendingLocked(seg.pr, ErrInference)
 		}
 		return
 	}
+	expand := y.Dim(0) / info.rows
 	outRowSize := y.Size() / y.Dim(0)
 	for _, seg := range info.segs {
 		pr := seg.pr
@@ -131,11 +167,17 @@ func (s *Server) deliverLocked(info *batchInfo, y *tensor.Tensor) {
 			pr.remaining = 0
 		} else {
 			if pr.out == nil {
-				shape := append([]int{pr.req.rows}, y.Shape[1:]...)
+				shape := append([]int{pr.req.rows * expand}, y.Shape[1:]...)
 				pr.out = tensor.New(shape...)
 			}
-			copy(pr.out.Data[seg.dstRow*outRowSize:],
-				y.Data[seg.srcRow*outRowSize:(seg.srcRow+seg.n)*outRowSize])
+			if pr.out.Size() != pr.req.rows*expand*outRowSize {
+				// A split request saw a different expansion or row size on
+				// an earlier batch; no coherent response can be assembled.
+				s.failPendingLocked(pr, ErrInference)
+				continue
+			}
+			copy(pr.out.Data[seg.dstRow*expand*outRowSize:],
+				y.Data[seg.srcRow*expand*outRowSize:(seg.srcRow+seg.n)*expand*outRowSize])
 			pr.remaining -= seg.n
 		}
 		if pr.remaining == 0 {

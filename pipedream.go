@@ -189,6 +189,15 @@ var (
 	// ErrServerClosed marks a serving request submitted to (or caught
 	// inside) a closed Server.
 	ErrServerClosed = serve.ErrServerClosed
+	// ErrBadRequest marks a serving request rejected by validation
+	// before admission (no rows, or a row shape unlike InputShape).
+	ErrBadRequest = serve.ErrBadRequest
+	// ErrInference marks a serving request whose batch failed inside a
+	// stage forward pass.
+	ErrInference = serve.ErrInference
+	// ErrServeTransport marks a serving request whose batch the
+	// transport lost between stages.
+	ErrServeTransport = serve.ErrTransport
 )
 
 // Staleness modes (§3.3 of the paper).
