@@ -15,6 +15,7 @@ import (
 	"io"
 	"math/rand"
 	"runtime"
+	"sort"
 	"sync"
 	"testing"
 	"time"
@@ -249,7 +250,12 @@ func BenchmarkPipelineRuntimeEpoch(b *testing.B) {
 // overhead (message hops, worker scheduling, demux bookkeeping)
 // dominates — exactly the regime batching exists for. Kernel
 // parallelism is pinned to 1 so tiny matmuls don't pay fan-out costs.
-func benchServe(b *testing.B, maxBatch int) {
+//
+// unfused selects the pre-fusion forward path (training kernels, no
+// arenas); BenchmarkServeDynamicUnfused against BenchmarkServeDynamic is
+// the before/after of the fused inference hot path. Each run also
+// reports the median end-to-end request latency as p50_us.
+func benchServe(b *testing.B, maxBatch int, unfused bool) {
 	rng := rand.New(rand.NewSource(9))
 	layers := make([]nn.Layer, 8)
 	for i := range layers {
@@ -264,6 +270,7 @@ func benchServe(b *testing.B, maxBatch int) {
 		QueueCap:          4096,
 		MaxInFlight:       16,
 		KernelParallelism: 1,
+		UnfusedForward:    unfused,
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -274,6 +281,8 @@ func benchServe(b *testing.B, maxBatch int) {
 		inputs[i] = tensor.RandUniform(rng, -1, 1, 1, 8)
 	}
 	const clients = 128
+	lats := make([][]float64, clients)
+	b.ReportAllocs()
 	b.ResetTimer()
 	var wg sync.WaitGroup
 	for c := 0; c < clients; c++ {
@@ -281,18 +290,30 @@ func benchServe(b *testing.B, maxBatch int) {
 		go func(c int) {
 			defer wg.Done()
 			for i := c; i < b.N; i += clients {
+				t0 := time.Now()
 				if _, err := srv.Infer(inputs[i%len(inputs)]); err != nil {
 					b.Error(err)
 					return
 				}
+				lats[c] = append(lats[c], float64(time.Since(t0).Microseconds()))
 			}
 		}(c)
 	}
 	wg.Wait()
+	b.StopTimer()
+	var all []float64
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	if len(all) > 0 {
+		sort.Float64s(all)
+		b.ReportMetric(all[len(all)/2], "p50_us")
+	}
 }
 
-func BenchmarkServeBatch1(b *testing.B)  { benchServe(b, 1) }
-func BenchmarkServeDynamic(b *testing.B) { benchServe(b, 16) }
+func BenchmarkServeBatch1(b *testing.B)         { benchServe(b, 1, false) }
+func BenchmarkServeDynamic(b *testing.B)        { benchServe(b, 16, false) }
+func BenchmarkServeDynamicUnfused(b *testing.B) { benchServe(b, 16, true) }
 
 func mustStraightPlan(b *testing.B, layers, stages int) *partition.Plan {
 	b.Helper()

@@ -25,6 +25,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -83,6 +84,12 @@ func main() {
 		}
 	}
 
+	// Snapshot the client process's memory counters around the run: the
+	// deltas report loadgen-side allocation and GC-pause cost per
+	// request, so client overhead is visible next to the latency numbers
+	// it inflates.
+	var memBefore runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
 	t0 := time.Now()
 	var wg sync.WaitGroup
 	if *rate > 0 {
@@ -112,6 +119,8 @@ func main() {
 	}
 	wg.Wait()
 	wall := time.Since(t0)
+	var memAfter runtime.MemStats
+	runtime.ReadMemStats(&memAfter)
 
 	n := ok.Load()
 	fmt.Printf("completed: %d ok, %d shed (429), %d failed in %v\n", n, shed.Load(), failed.Load(), wall.Round(time.Millisecond))
@@ -120,6 +129,12 @@ func main() {
 			float64(n)/wall.Seconds(), float64(n*int64(*rows))/wall.Seconds())
 		fmt.Printf("latency: mean %.0fus, p50 %.0fus, p95 %.0fus, p99 %.0fus, max %.0fus\n",
 			lat.Mean(), lat.Quantile(0.50), lat.Quantile(0.95), lat.Quantile(0.99), lat.Max())
+		mallocs := memAfter.Mallocs - memBefore.Mallocs
+		allocBytes := memAfter.TotalAlloc - memBefore.TotalAlloc
+		gcs := memAfter.NumGC - memBefore.NumGC
+		pause := time.Duration(memAfter.PauseTotalNs - memBefore.PauseTotalNs)
+		fmt.Printf("client memory: %.1f allocs/req, %.0f B/req, %d GCs, %v total GC pause\n",
+			float64(mallocs)/float64(n), float64(allocBytes)/float64(n), gcs, pause.Round(time.Microsecond))
 	}
 	if failed.Load() > 0 {
 		os.Exit(1)

@@ -307,10 +307,13 @@ func (r *RingReducer) advance(st *roundState, b *ringBucket) error {
 				Tensor:    payload,
 				Chunk:     transport.ChunkInfo{Bucket: b.index, Phase: b.phase, Step: b.step, Chunk: c},
 			}
+			// Account the wire bytes before Send: the receiving reducer
+			// recycles the payload's header once consumed, so no field of
+			// it may be read after the message is handed off.
+			r.wire += int64(4 * (hi - lo))
 			if err := r.tr.Send(r.peers[(r.rank+1)%p], msg); err != nil {
 				return err
 			}
-			r.wire += int64(4 * payload.Size())
 			b.sent = true
 		}
 		k := chunkKey{round: st.key, bucket: b.index, phase: b.phase, step: b.step}

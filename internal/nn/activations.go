@@ -1,11 +1,17 @@
 package nn
 
 import (
-	"math"
 	"math/rand"
 
 	"pipedream/internal/tensor"
 )
+
+// The pointwise activations store a bare *tensor.Tensor as their
+// Context (the input for ReLU, the output for Tanh/Sigmoid): a pointer
+// fits in an interface word, so unlike a struct context it does not
+// allocate. All three share the canonical scalar kernels in
+// internal/tensor, which keeps their outputs bit-identical to the
+// fused MatMulBiasActInto epilogue used on the inference path.
 
 // ReLU is the rectified linear activation.
 type ReLU struct{ name string }
@@ -13,27 +19,28 @@ type ReLU struct{ name string }
 // NewReLU creates a ReLU layer.
 func NewReLU(name string) *ReLU { return &ReLU{name: name} }
 
-type reluCtx struct{ x *tensor.Tensor }
-
 // Name implements Layer.
 func (r *ReLU) Name() string { return r.name }
 
 // Forward implements Layer.
 func (r *ReLU) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, Context) {
 	y := x.Clone()
-	for i, v := range y.Data {
-		if v < 0 {
-			y.Data[i] = 0
-		}
-	}
-	return y, reluCtx{x: x}
+	tensor.ApplyActivation(y.Data, tensor.ActReLU)
+	return y, x
 }
+
+// ForwardInfer implements InferLayer.
+func (r *ReLU) ForwardInfer(x *tensor.Tensor, a *tensor.Arena) *tensor.Tensor {
+	return applyInfer(tensor.ActReLU, x, a)
+}
+
+func (r *ReLU) fusedAct() tensor.Activation { return tensor.ActReLU }
 
 // Backward implements Layer.
 func (r *ReLU) Backward(ctx Context, gradOut *tensor.Tensor) *tensor.Tensor {
-	c := ctx.(reluCtx)
+	x := ctx.(*tensor.Tensor)
 	g := gradOut.Clone()
-	for i, v := range c.x.Data {
+	for i, v := range x.Data {
 		if v <= 0 {
 			g.Data[i] = 0
 		}
@@ -53,22 +60,28 @@ type Tanh struct{ name string }
 // NewTanh creates a Tanh layer.
 func NewTanh(name string) *Tanh { return &Tanh{name: name} }
 
-type tanhCtx struct{ y *tensor.Tensor }
-
 // Name implements Layer.
 func (t *Tanh) Name() string { return t.name }
 
 // Forward implements Layer.
 func (t *Tanh) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, Context) {
-	y := x.Clone().Apply(func(v float32) float32 { return float32(math.Tanh(float64(v))) })
-	return y, tanhCtx{y: y}
+	y := x.Clone()
+	tensor.ApplyActivation(y.Data, tensor.ActTanh)
+	return y, y
 }
+
+// ForwardInfer implements InferLayer.
+func (t *Tanh) ForwardInfer(x *tensor.Tensor, a *tensor.Arena) *tensor.Tensor {
+	return applyInfer(tensor.ActTanh, x, a)
+}
+
+func (t *Tanh) fusedAct() tensor.Activation { return tensor.ActTanh }
 
 // Backward implements Layer.
 func (t *Tanh) Backward(ctx Context, gradOut *tensor.Tensor) *tensor.Tensor {
-	c := ctx.(tanhCtx)
+	yc := ctx.(*tensor.Tensor)
 	g := gradOut.Clone()
-	for i, y := range c.y.Data {
+	for i, y := range yc.Data {
 		g.Data[i] *= 1 - y*y
 	}
 	return g
@@ -86,24 +99,32 @@ type Sigmoid struct{ name string }
 // NewSigmoid creates a Sigmoid layer.
 func NewSigmoid(name string) *Sigmoid { return &Sigmoid{name: name} }
 
-type sigmoidCtx struct{ y *tensor.Tensor }
-
-func sigmoid(v float32) float32 { return float32(1 / (1 + math.Exp(-float64(v)))) }
+// sigmoid delegates to the canonical kernel so recurrent gates and the
+// fused epilogue round identically.
+func sigmoid(v float32) float32 { return tensor.Sigmoid32(v) }
 
 // Name implements Layer.
 func (s *Sigmoid) Name() string { return s.name }
 
 // Forward implements Layer.
 func (s *Sigmoid) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, Context) {
-	y := x.Clone().Apply(sigmoid)
-	return y, sigmoidCtx{y: y}
+	y := x.Clone()
+	tensor.ApplyActivation(y.Data, tensor.ActSigmoid)
+	return y, y
 }
+
+// ForwardInfer implements InferLayer.
+func (s *Sigmoid) ForwardInfer(x *tensor.Tensor, a *tensor.Arena) *tensor.Tensor {
+	return applyInfer(tensor.ActSigmoid, x, a)
+}
+
+func (s *Sigmoid) fusedAct() tensor.Activation { return tensor.ActSigmoid }
 
 // Backward implements Layer.
 func (s *Sigmoid) Backward(ctx Context, gradOut *tensor.Tensor) *tensor.Tensor {
-	c := ctx.(sigmoidCtx)
+	yc := ctx.(*tensor.Tensor)
 	g := gradOut.Clone()
-	for i, y := range c.y.Data {
+	for i, y := range yc.Data {
 		g.Data[i] *= y * (1 - y)
 	}
 	return g
@@ -131,6 +152,12 @@ func (f *Flatten) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, Context
 	return x.Reshape(x.Dim(0), -1), flattenCtx{shape: x.Shape}
 }
 
+// ForwardInfer implements InferLayer: a zero-copy reshape whose header
+// lives in the arena.
+func (f *Flatten) ForwardInfer(x *tensor.Tensor, a *tensor.Arena) *tensor.Tensor {
+	return a.View(x, x.Dim(0), x.Size()/x.Dim(0))
+}
+
 // Backward implements Layer.
 func (f *Flatten) Backward(ctx Context, gradOut *tensor.Tensor) *tensor.Tensor {
 	c := ctx.(flattenCtx)
@@ -156,38 +183,47 @@ func NewDropout(rng *rand.Rand, name string, p float64) *Dropout {
 	return &Dropout{name: name, P: p, rng: rng}
 }
 
-type dropoutCtx struct{ mask []float32 }
-
 // Name implements Layer.
 func (d *Dropout) Name() string { return d.name }
 
-// Forward implements Layer.
+// Forward implements Layer. The context is the pooled mask tensor (nil
+// outside training); Backward recycles it.
 func (d *Dropout) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, Context) {
 	if !train || d.P == 0 {
-		return x, dropoutCtx{}
+		var noMask *tensor.Tensor
+		return x, noMask
 	}
 	keep := float32(1 / (1 - d.P))
 	y := x.Clone()
-	mask := make([]float32, x.Size())
-	for i := range mask {
+	mask := tensor.GetRaw(x.Size())
+	for i := range mask.Data {
+		m := float32(0)
 		if d.rng.Float64() >= d.P {
-			mask[i] = keep
+			m = keep
 		}
-		y.Data[i] *= mask[i]
+		mask.Data[i] = m
+		y.Data[i] *= m
 	}
-	return y, dropoutCtx{mask: mask}
+	return y, mask
+}
+
+// ForwardInfer implements InferLayer: dropout is the identity at
+// inference time.
+func (d *Dropout) ForwardInfer(x *tensor.Tensor, a *tensor.Arena) *tensor.Tensor {
+	return x
 }
 
 // Backward implements Layer.
 func (d *Dropout) Backward(ctx Context, gradOut *tensor.Tensor) *tensor.Tensor {
-	c := ctx.(dropoutCtx)
-	if c.mask == nil {
+	mask := ctx.(*tensor.Tensor)
+	if mask == nil {
 		return gradOut
 	}
 	g := gradOut.Clone()
-	for i, m := range c.mask {
+	for i, m := range mask.Data {
 		g.Data[i] *= m
 	}
+	tensor.Put(mask)
 	return g
 }
 

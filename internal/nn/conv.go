@@ -35,7 +35,7 @@ func NewConv2D(rng *rand.Rand, name string, g tensor.ConvGeom, outC int) *Conv2D
 }
 
 type convCtx struct {
-	cols  *tensor.Tensor
+	cols  *tensor.Tensor // pooled; recycled by Backward
 	batch int
 }
 
@@ -49,27 +49,51 @@ func (c *Conv2D) OutShape() (int, int, int) { return c.OutC, c.Geom.OutH(), c.Ge
 func (c *Conv2D) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, Context) {
 	b := x.Dim(0)
 	oh, ow := c.Geom.OutH(), c.Geom.OutW()
-	cols := tensor.Im2Col(x, c.Geom) // [B*OH*OW, fanIn]; stashed for backward
-	flat := tensor.Get(b*oh*ow, c.OutC)
-	tensor.MatMulInto(flat, cols, c.W) // [B*OH*OW, OutC]
-	tensor.AddRowVector(flat, c.B)
+	fanIn := c.Geom.InC * c.Geom.KH * c.Geom.KW
+	cols := tensor.GetRaw(b*oh*ow, fanIn) // stashed for backward
+	tensor.Im2ColInto(cols, x, c.Geom)
+	flat := tensor.GetRaw(b*oh*ow, c.OutC)
+	// Matmul with the bias-add fused into the epilogue (bit-identical
+	// to MatMulInto + AddRowVector).
+	tensor.MatMulBiasActInto(flat, cols, c.W, c.B, tensor.ActNone)
 	// flat is laid out [B, OH, OW, OutC]; convert to [B, OutC, OH, OW].
 	y := tensor.New(b, c.OutC, oh, ow)
+	convTransposeOut(y.Data, flat.Data, b, c.OutC, oh*ow)
+	tensor.Put(flat)
+	return y, &convCtx{cols: cols, batch: b}
+}
+
+// convTransposeOut converts the matmul's [B, P, OutC] layout to the
+// NCHW [B, OutC, P] layout (P = OH·OW).
+func convTransposeOut(dst, src []float32, b, outC, p int) {
 	for n := 0; n < b; n++ {
-		for p := 0; p < oh*ow; p++ {
-			src := flat.Data[(n*oh*ow+p)*c.OutC:]
-			for oc := 0; oc < c.OutC; oc++ {
-				y.Data[((n*c.OutC+oc)*oh*ow)+p] = src[oc]
+		for q := 0; q < p; q++ {
+			s := src[(n*p+q)*outC:]
+			for oc := 0; oc < outC; oc++ {
+				dst[(n*outC+oc)*p+q] = s[oc]
 			}
 		}
 	}
-	tensor.Put(flat)
-	return y, convCtx{cols: cols, batch: b}
 }
 
-// Backward implements Layer.
+// ForwardInfer implements InferLayer: im2col panel, fused
+// matmul+bias, and the NCHW transpose all run out of the arena.
+func (c *Conv2D) ForwardInfer(x *tensor.Tensor, a *tensor.Arena) *tensor.Tensor {
+	b := x.Dim(0)
+	oh, ow := c.Geom.OutH(), c.Geom.OutW()
+	fanIn := c.Geom.InC * c.Geom.KH * c.Geom.KW
+	cols := a.GetRaw(b*oh*ow, fanIn)
+	tensor.Im2ColInto(cols, x, c.Geom)
+	flat := a.GetRaw(b*oh*ow, c.OutC)
+	tensor.MatMulBiasActInto(flat, cols, c.W, c.B, tensor.ActNone)
+	y := a.GetRaw(b, c.OutC, oh, ow)
+	convTransposeOut(y.Data, flat.Data, b, c.OutC, oh*ow)
+	return y
+}
+
+// Backward implements Layer. It recycles the stashed im2col panel.
 func (c *Conv2D) Backward(ctx Context, gradOut *tensor.Tensor) *tensor.Tensor {
-	cc := ctx.(convCtx)
+	cc := ctx.(*convCtx)
 	b := cc.batch
 	oh, ow := c.Geom.OutH(), c.Geom.OutW()
 	if gradOut.NumDims() != 4 || gradOut.Dim(0) != b || gradOut.Dim(1) != c.OutC {
@@ -86,12 +110,13 @@ func (c *Conv2D) Backward(ctx Context, gradOut *tensor.Tensor) *tensor.Tensor {
 		}
 	}
 	addMatMulTransA(c.GW, cc.cols, gflat)
-	c.GB.Add(tensor.SumRows(gflat))
+	addSumRows(c.GB, gflat)
 	gcols := tensor.Get(b*oh*ow, c.Geom.InC*c.Geom.KH*c.Geom.KW)
 	tensor.MatMulTransBInto(gcols, gflat, c.W) // gflat · Wᵀ = [B*OH*OW, fanIn]
 	tensor.Put(gflat)
 	gradIn := tensor.Col2Im(gcols, b, c.Geom)
 	tensor.Put(gcols)
+	tensor.Put(cc.cols)
 	return gradIn
 }
 

@@ -27,26 +27,45 @@ func NewDense(rng *rand.Rand, name string, in, out int) *Dense {
 	}
 }
 
-type denseCtx struct{ x *tensor.Tensor }
-
 // Name implements Layer.
 func (d *Dense) Name() string { return d.name }
 
-// Forward implements Layer.
-func (d *Dense) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, Context) {
+func (d *Dense) checkInput(x *tensor.Tensor) {
 	if x.NumDims() != 2 || x.Dim(1) != d.W.Dim(0) {
 		panic(fmt.Sprintf("nn: %s forward input %v, want [B,%d]", d.name, x.Shape, d.W.Dim(0)))
 	}
-	y := tensor.MatMul(x, d.W)
-	tensor.AddRowVector(y, d.B)
-	return y, denseCtx{x: x}
+}
+
+// Forward implements Layer. The matmul and bias-add run as one fused
+// kernel; the context is the input tensor itself (pointer-in-interface,
+// no allocation).
+func (d *Dense) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, Context) {
+	d.checkInput(x)
+	y := tensor.New(x.Dim(0), d.W.Dim(1))
+	tensor.MatMulBiasActInto(y, x, d.W, d.B, tensor.ActNone)
+	return y, x
+}
+
+// ForwardInfer implements InferLayer.
+func (d *Dense) ForwardInfer(x *tensor.Tensor, a *tensor.Arena) *tensor.Tensor {
+	return d.forwardFused(x, a, tensor.ActNone)
+}
+
+// forwardFused is the arena-backed fused kernel call; act folds a
+// following pointwise activation into the matmul epilogue (the
+// Sequential.ForwardInfer peephole).
+func (d *Dense) forwardFused(x *tensor.Tensor, a *tensor.Arena, act tensor.Activation) *tensor.Tensor {
+	d.checkInput(x)
+	y := a.GetRaw(x.Dim(0), d.W.Dim(1))
+	tensor.MatMulBiasActInto(y, x, d.W, d.B, act)
+	return y
 }
 
 // Backward implements Layer.
 func (d *Dense) Backward(ctx Context, gradOut *tensor.Tensor) *tensor.Tensor {
-	c := ctx.(denseCtx)
-	addMatMulTransA(d.GW, c.x, gradOut)
-	d.GB.Add(tensor.SumRows(gradOut))
+	x := ctx.(*tensor.Tensor)
+	addMatMulTransA(d.GW, x, gradOut)
+	addSumRows(d.GB, gradOut)
 	return tensor.MatMulTransB(gradOut, d.W) // gradIn = gradOut · Wᵀ
 }
 

@@ -56,6 +56,24 @@ func (e *Embedding) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, Conte
 	return y, embeddingCtx{ids: ids, shape: x.Shape}
 }
 
+// ForwardInfer implements InferLayer: the gather writes straight into
+// an arena tensor with no id slice retained.
+func (e *Embedding) ForwardInfer(x *tensor.Tensor, a *tensor.Arena) *tensor.Tensor {
+	if x.NumDims() != 2 {
+		panic(fmt.Sprintf("nn: %s forward input %v, want [B,T]", e.name, x.Shape))
+	}
+	b, T := x.Dim(0), x.Dim(1)
+	y := a.GetRaw(b, T, e.Dim)
+	for i, v := range x.Data {
+		id := int(v)
+		if id < 0 || id >= e.Vocab {
+			panic(fmt.Sprintf("nn: %s token id %d out of vocab %d", e.name, id, e.Vocab))
+		}
+		copy(y.Data[i*e.Dim:(i+1)*e.Dim], e.W.Data[id*e.Dim:(id+1)*e.Dim])
+	}
+	return y
+}
+
 // Backward implements Layer. The returned input gradient is zero (token ids
 // are not differentiable) but keeps the pipeline contract of one gradient
 // message per activation message.

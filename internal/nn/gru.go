@@ -37,14 +37,13 @@ func NewGRU(rng *rand.Rand, name string, in, hidden int) *GRU {
 	}
 }
 
-type gruStep struct {
-	x, hPrev *tensor.Tensor // [B,In], [B,H]
-	r, z, n  *tensor.Tensor // gate activations [B,H]
-	hr       *tensor.Tensor // h·Whn pre-gate recurrent candidate [B,H]
-}
-
+// gruCtx packs the per-step state for BPTT into four pooled tensors
+// (see lstmCtx for the block layout); Backward recycles them.
 type gruCtx struct {
-	steps []gruStep
+	xs    *tensor.Tensor // [T*B, In]   time-major input copy
+	hs    *tensor.Tensor // [(T+1)*B, H] hidden states h_0..h_T
+	gates *tensor.Tensor // [T*B, 3H]   activated gates r|z|n
+	hr    *tensor.Tensor // [T*B, H]    h·Whn pre-gate recurrent candidate
 	batch int
 	tlen  int
 }
@@ -59,76 +58,129 @@ func (g *GRU) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, Context) {
 	}
 	b, T, H := x.Dim(0), x.Dim(1), g.Hidden
 	out := tensor.New(b, T, H)
-	h := tensor.New(b, H)
-	ctx := gruCtx{steps: make([]gruStep, T), batch: b, tlen: T}
+	cc := &gruCtx{
+		xs:    tensor.GetRaw(T*b, g.In),
+		hs:    tensor.GetRaw((T+1)*b, H),
+		gates: tensor.GetRaw(T*b, 3*H),
+		hr:    tensor.GetRaw(T*b, H),
+		batch: b, tlen: T,
+	}
+	for i := 0; i < b*H; i++ {
+		cc.hs.Data[i] = 0
+	}
+	xt := &tensor.Tensor{Shape: []int{b, g.In}}
+	hPrev := &tensor.Tensor{Shape: []int{b, H}}
+	zx := tensor.Get(b, 3*H)
+	zh := tensor.Get(b, 3*H)
 	for t := 0; t < T; t++ {
-		xt := tensor.New(b, g.In)
+		xBlock := cc.xs.Data[t*b*g.In : (t+1)*b*g.In]
 		for n := 0; n < b; n++ {
-			copy(xt.Data[n*g.In:(n+1)*g.In], x.Data[(n*T+t)*g.In:(n*T+t+1)*g.In])
+			copy(xBlock[n*g.In:(n+1)*g.In], x.Data[(n*T+t)*g.In:(n*T+t+1)*g.In])
 		}
-		zx := tensor.MatMul(xt, g.Wx) // [B, 3H]
-		zh := tensor.MatMul(h, g.Wh)  // [B, 3H]
-		st := gruStep{
-			x: xt, hPrev: h,
-			r: tensor.New(b, H), z: tensor.New(b, H), n: tensor.New(b, H),
-			hr: tensor.New(b, H),
-		}
-		newH := tensor.New(b, H)
+		xt.Data = xBlock
+		hPrevBlock := cc.hs.Data[t*b*H : (t+1)*b*H]
+		hPrev.Data = hPrevBlock
+		tensor.MatMulInto(zx, xt, g.Wx) // [B, 3H]
+		tensor.MatMulInto(zh, hPrev, g.Wh)
 		for n := 0; n < b; n++ {
 			xr := zx.Data[n*3*H:]
 			hrw := zh.Data[n*3*H:]
+			gr := cc.gates.Data[(t*b+n)*3*H:]
+			hcRow := cc.hr.Data[(t*b+n)*H:]
+			hNewRow := cc.hs.Data[((t+1)*b+n)*H:]
+			outRow := out.Data[(n*T+t)*H:]
 			for j := 0; j < H; j++ {
 				r := sigmoid(xr[j] + hrw[j] + g.B.Data[j])
 				z := sigmoid(xr[H+j] + hrw[H+j] + g.B.Data[H+j])
 				hcand := hrw[2*H+j]
-				nv := float32(math.Tanh(float64(xr[2*H+j] + r*hcand + g.B.Data[2*H+j])))
-				k := n*H + j
-				st.r.Data[k], st.z.Data[k], st.n.Data[k] = r, z, nv
-				st.hr.Data[k] = hcand
-				newH.Data[k] = (1-z)*nv + z*h.Data[k]
+				nv := tensor.Tanh32(xr[2*H+j] + r*hcand + g.B.Data[2*H+j])
+				gr[j], gr[H+j], gr[2*H+j] = r, z, nv
+				hcRow[j] = hcand
+				hv := (1-z)*nv + z*hPrevBlock[n*H+j]
+				hNewRow[j] = hv
+				outRow[j] = hv
 			}
 		}
-		h = newH
-		ctx.steps[t] = st
-		for n := 0; n < b; n++ {
-			copy(out.Data[(n*T+t)*H:(n*T+t+1)*H], h.Data[n*H:(n+1)*H])
-		}
 	}
-	return out, ctx
+	tensor.Put(zx)
+	tensor.Put(zh)
+	return out, cc
 }
 
-// Backward implements Layer.
+// ForwardInfer implements InferLayer: the same recurrence with every
+// buffer drawn from the arena and no context retained; op order matches
+// Forward, so outputs are bit-identical.
+func (g *GRU) ForwardInfer(x *tensor.Tensor, a *tensor.Arena) *tensor.Tensor {
+	if x.NumDims() != 3 || x.Dim(2) != g.In {
+		panic(fmt.Sprintf("nn: %s forward input %v, want [B,T,%d]", g.name, x.Shape, g.In))
+	}
+	b, T, H := x.Dim(0), x.Dim(1), g.Hidden
+	out := a.GetRaw(b, T, H)
+	xt := a.GetRaw(b, g.In)
+	zx := a.GetRaw(b, 3*H)
+	zh := a.GetRaw(b, 3*H)
+	h := a.Get(b, H)
+	for t := 0; t < T; t++ {
+		for n := 0; n < b; n++ {
+			copy(xt.Data[n*g.In:(n+1)*g.In], x.Data[(n*T+t)*g.In:(n*T+t+1)*g.In])
+		}
+		tensor.MatMulInto(zx, xt, g.Wx)
+		tensor.MatMulInto(zh, h, g.Wh)
+		for n := 0; n < b; n++ {
+			xr := zx.Data[n*3*H:]
+			hrw := zh.Data[n*3*H:]
+			hRow := h.Data[n*H:]
+			outRow := out.Data[(n*T+t)*H:]
+			for j := 0; j < H; j++ {
+				r := sigmoid(xr[j] + hrw[j] + g.B.Data[j])
+				z := sigmoid(xr[H+j] + hrw[H+j] + g.B.Data[H+j])
+				nv := tensor.Tanh32(xr[2*H+j] + r*hrw[2*H+j] + g.B.Data[2*H+j])
+				hRow[j] = (1-z)*nv + z*hRow[j]
+				outRow[j] = hRow[j]
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer. It recycles the packed forward context
+// when it returns.
 func (g *GRU) Backward(ctx Context, gradOut *tensor.Tensor) *tensor.Tensor {
-	cc := ctx.(gruCtx)
+	cc := ctx.(*gruCtx)
 	b, T, H := cc.batch, cc.tlen, g.Hidden
 	if gradOut.NumDims() != 3 || gradOut.Dim(0) != b || gradOut.Dim(1) != T || gradOut.Dim(2) != H {
 		panic(fmt.Sprintf("nn: %s backward grad %v, want [%d,%d,%d]", g.name, gradOut.Shape, b, T, H))
 	}
 	gradIn := tensor.New(b, T, g.In)
-	dhNext := tensor.New(b, H)
-	dzx := tensor.New(b, 3*H) // grad w.r.t. x·Wx pre-activations
-	dzh := tensor.New(b, 3*H) // grad w.r.t. h·Wh pre-activations
+	dhNext := tensor.Get(b, H)
+	dhPrev := tensor.Get(b, H)
+	dzx := tensor.Get(b, 3*H) // grad w.r.t. x·Wx pre-activations
+	dzh := tensor.Get(b, 3*H) // grad w.r.t. h·Wh pre-activations
+	dx := tensor.Get(b, g.In)
+	xv := &tensor.Tensor{Shape: []int{b, g.In}}
+	hv := &tensor.Tensor{Shape: []int{b, H}}
 	for t := T - 1; t >= 0; t-- {
-		st := cc.steps[t]
 		dh := dhNext
 		for n := 0; n < b; n++ {
 			for j := 0; j < H; j++ {
 				dh.Data[n*H+j] += gradOut.Data[(n*T+t)*H+j]
 			}
 		}
-		dhPrev := tensor.New(b, H)
+		hPrevBlock := cc.hs.Data[t*b*H:]
 		for n := 0; n < b; n++ {
+			gr := cc.gates.Data[(t*b+n)*3*H:]
+			hcRow := cc.hr.Data[(t*b+n)*H:]
 			for j := 0; j < H; j++ {
 				k := n*H + j
 				dhv := dh.Data[k]
-				r, z, nv := st.r.Data[k], st.z.Data[k], st.n.Data[k]
+				r, z, nv := gr[j], gr[H+j], gr[2*H+j]
 				// h = (1-z)·n + z·hPrev
 				dn := dhv * (1 - z)
-				dz := dhv * (st.hPrev.Data[k] - nv)
+				dz := dhv * (hPrevBlock[k] - nv)
 				dhPrev.Data[k] = dhv * z
 				// n = tanh(xn + r·hr + bn)
 				dnPre := dn * (1 - nv*nv)
-				dr := dnPre * st.hr.Data[k]
+				dr := dnPre * hcRow[j]
 				// Pre-activation grads.
 				drPre := dr * r * (1 - r)
 				dzPre := dz * z * (1 - z)
@@ -142,18 +194,29 @@ func (g *GRU) Backward(ctx Context, gradOut *tensor.Tensor) *tensor.Tensor {
 				// (handled below through dzh·Whᵀ).
 			}
 		}
-		g.GWx.Add(tensor.MatMulTransA(st.x, dzx))
-		g.GWh.Add(tensor.MatMulTransA(st.hPrev, dzh))
+		xv.Data = cc.xs.Data[t*b*g.In : (t+1)*b*g.In]
+		hv.Data = cc.hs.Data[t*b*H : (t+1)*b*H]
+		addMatMulTransA(g.GWx, xv, dzx)
+		addMatMulTransA(g.GWh, hv, dzh)
 		// Bias gradient: r and z biases get the shared pre-activation
 		// grads; the candidate bias bn gets dnPre (the x-side grad).
-		gb := tensor.SumRows(dzx)
-		g.GB.Add(gb)
-		dx := tensor.MatMulTransB(dzx, g.Wx)
+		addSumRows(g.GB, dzx)
+		tensor.MatMulTransBInto(dx, dzx, g.Wx)
 		for n := 0; n < b; n++ {
 			copy(gradIn.Data[(n*T+t)*g.In:(n*T+t+1)*g.In], dx.Data[n*g.In:(n+1)*g.In])
 		}
-		dhNext = tensor.MatMulTransB(dzh, g.Wh).Add(dhPrev)
+		tensor.MatMulTransBInto(dhNext, dzh, g.Wh)
+		dhNext.Add(dhPrev)
 	}
+	tensor.Put(dhNext)
+	tensor.Put(dhPrev)
+	tensor.Put(dzx)
+	tensor.Put(dzh)
+	tensor.Put(dx)
+	tensor.Put(cc.xs)
+	tensor.Put(cc.hs)
+	tensor.Put(cc.gates)
+	tensor.Put(cc.hr)
 	return gradIn
 }
 

@@ -1,0 +1,67 @@
+package nn
+
+import "pipedream/internal/tensor"
+
+// The inference-mode forward path. Training Forward must retain a
+// Context per minibatch so 1F1B can interleave backward passes, which
+// forces per-call allocations; serving needs neither contexts nor
+// gradients, so every intermediate can live in a caller-owned
+// tensor.Arena that is reset between requests. Layers that implement
+// InferLayer draw all scratch — and their output — from the arena;
+// Sequential.ForwardInfer additionally fuses Dense→activation pairs
+// into a single MatMulBiasActInto kernel call.
+//
+// Outputs returned by ForwardInfer are arena-backed and valid only
+// until the arena's next Reset: callers that hand results downstream
+// (stage workers, servers) must copy them into pool- or GC-owned
+// storage first.
+
+// InferLayer is implemented by layers with an allocation-free
+// inference path. ForwardInfer computes the same output as
+// Forward(x, false) — bit-identically — without building a Context.
+type InferLayer interface {
+	// ForwardInfer runs the layer forward for inference, drawing all
+	// scratch and the returned tensor from a.
+	ForwardInfer(x *tensor.Tensor, a *tensor.Arena) *tensor.Tensor
+}
+
+// fusedActivation is implemented by the pointwise activation layers so
+// the Sequential peephole can fold them into a preceding matmul.
+type fusedActivation interface {
+	fusedAct() tensor.Activation
+}
+
+// applyInfer copies x through a pointwise activation into an
+// arena-backed output.
+func applyInfer(act tensor.Activation, x *tensor.Tensor, a *tensor.Arena) *tensor.Tensor {
+	y := a.GetRaw(x.Shape...)
+	copy(y.Data, x.Data)
+	tensor.ApplyActivation(y.Data, act)
+	return y
+}
+
+// ForwardInfer runs the model forward in inference mode. Every layer
+// that implements InferLayer executes allocation-free against the
+// arena; Dense layers immediately followed by ReLU/Tanh/Sigmoid run as
+// one fused matmul+bias+activation kernel; all other layers fall back
+// to Forward(x, false) with the context discarded. The result aliases
+// arena storage and is invalidated by a.Reset.
+func (s *Sequential) ForwardInfer(x *tensor.Tensor, a *tensor.Arena) *tensor.Tensor {
+	for i := 0; i < len(s.Layers); i++ {
+		l := s.Layers[i]
+		if d, ok := l.(*Dense); ok && i+1 < len(s.Layers) {
+			if f, ok := s.Layers[i+1].(fusedActivation); ok {
+				x = d.forwardFused(x, a, f.fusedAct())
+				i++
+				continue
+			}
+		}
+		if il, ok := l.(InferLayer); ok {
+			x = il.ForwardInfer(x, a)
+			continue
+		}
+		y, _ := l.Forward(x, false)
+		x = y
+	}
+	return x
+}

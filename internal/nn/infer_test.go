@@ -1,0 +1,169 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pipedream/internal/tensor"
+)
+
+// inferCase pairs a model with an input generator so every architecture
+// the serving path can see is covered by the equivalence check.
+type inferCase struct {
+	name  string
+	model *Sequential
+	input func(rng *rand.Rand) *tensor.Tensor
+}
+
+func inferCases() []inferCase {
+	mk := func(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+	convGeom := tensor.ConvGeom{InC: 2, InH: 6, InW: 6, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	poolGeom := tensor.ConvGeom{InC: 4, InH: 6, InW: 6, KH: 2, KW: 2, Stride: 2}
+	return []inferCase{
+		{
+			name: "mlp-fused-activations",
+			model: NewSequential(
+				NewDense(mk(1), "fc1", 8, 16), NewTanh("t1"),
+				NewDense(mk(2), "fc2", 16, 16), NewReLU("r1"),
+				NewDense(mk(3), "fc3", 16, 16), NewSigmoid("s1"),
+				NewDropout(mk(4), "d1", 0.5), // identity at inference
+				NewDense(mk(5), "fc4", 16, 4),
+			),
+			input: func(rng *rand.Rand) *tensor.Tensor { return tensor.RandUniform(rng, -2, 2, 5, 8) },
+		},
+		{
+			name: "conv-pool-norm",
+			model: NewSequential(
+				NewConv2D(mk(6), "c1", convGeom, 4), NewReLU("r1"),
+				NewMaxPool2D("p1", poolGeom),
+				NewFlatten("f1"),
+				NewLayerNorm("ln1", 4*3*3),
+				NewDense(mk(7), "fc1", 4*3*3, 5),
+			),
+			input: func(rng *rand.Rand) *tensor.Tensor { return tensor.RandUniform(rng, -1, 1, 3, 2, 6, 6) },
+		},
+		{
+			name: "lstm-laststep",
+			model: NewSequential(
+				NewLSTM(mk(8), "lstm", 6, 10),
+				NewLastStep("last"),
+				NewDense(mk(9), "fc", 10, 3),
+			),
+			input: func(rng *rand.Rand) *tensor.Tensor { return tensor.RandUniform(rng, -1, 1, 4, 7, 6) },
+		},
+		{
+			name: "gru-flattentime",
+			model: NewSequential(
+				NewGRU(mk(10), "gru", 6, 9),
+				NewFlattenTime("ft"),
+				NewDense(mk(11), "fc", 9, 2),
+			),
+			input: func(rng *rand.Rand) *tensor.Tensor { return tensor.RandUniform(rng, -1, 1, 3, 5, 6) },
+		},
+		{
+			name: "embedding-attention",
+			model: NewSequential(
+				NewEmbedding(mk(12), "emb", 13, 8),
+				NewSelfAttention(mk(13), "sa", 8),
+				NewFlattenTime("ft"),
+				NewDense(mk(14), "fc", 8, 4),
+			),
+			input: func(rng *rand.Rand) *tensor.Tensor {
+				x := tensor.New(3, 6)
+				for i := range x.Data {
+					x.Data[i] = float32(rng.Intn(13))
+				}
+				return x
+			},
+		},
+		{
+			name: "mha-residual-norm",
+			model: NewSequential(
+				NewEmbedding(mk(15), "emb", 11, 12),
+				NewMultiHeadAttention(mk(16), "mha", 12, 3),
+				NewFlattenTime("ft"),
+				NewResidual("res", NewSequential(
+					NewDense(mk(17), "rfc1", 12, 12), NewTanh("rt"),
+				)),
+				NewLayerNorm("ln", 12),
+			),
+			input: func(rng *rand.Rand) *tensor.Tensor {
+				x := tensor.New(2, 4)
+				for i := range x.Data {
+					x.Data[i] = float32(rng.Intn(11))
+				}
+				return x
+			},
+		},
+	}
+}
+
+// TestForwardInferMatchesForward requires the arena inference path —
+// fused kernels, packed recurrences, peephole Dense→activation fusion —
+// to be bit-identical to the training forward with train=false, across
+// repeated arena reuse (stale scratch from a previous request must never
+// leak into the next).
+func TestForwardInferMatchesForward(t *testing.T) {
+	for _, tc := range inferCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(99))
+			a := tensor.NewArena()
+			for round := 0; round < 3; round++ {
+				x := tc.input(rng)
+				want, _ := tc.model.Forward(x, false)
+				got := tc.model.ForwardInfer(x, a)
+				if !got.SameShape(want) {
+					t.Fatalf("round %d: shape %v, want %v", round, got.Shape, want.Shape)
+				}
+				for i := range want.Data {
+					if math.Float32bits(got.Data[i]) != math.Float32bits(want.Data[i]) {
+						t.Fatalf("round %d: elem %d = %v, want %v (not bit-identical)",
+							round, i, got.Data[i], want.Data[i])
+					}
+				}
+				a.Reset()
+			}
+		})
+	}
+}
+
+// TestForwardInferConcurrent runs the fused path from several goroutines
+// with private arenas against a shared model — the serving deployment
+// shape — under the race detector.
+func TestForwardInferConcurrent(t *testing.T) {
+	tc := inferCases()[0]
+	ref := rand.New(rand.NewSource(5))
+	x := tc.input(ref)
+	want, _ := tc.model.Forward(x, false)
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func() {
+			a := tensor.NewArena()
+			for iter := 0; iter < 50; iter++ {
+				got := tc.model.ForwardInfer(x, a)
+				for i := range want.Data {
+					if math.Float32bits(got.Data[i]) != math.Float32bits(want.Data[i]) {
+						done <- errMismatch
+						return
+					}
+				}
+				a.Reset()
+			}
+			done <- nil
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// errMismatch is the sentinel the concurrent checker reports through its
+// channel (t.Fatal must not run off the test goroutine).
+var errMismatch = errorString("forward-infer output diverged from training forward")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }

@@ -132,6 +132,29 @@ func SnapshotParams(params []*tensor.Tensor) []*tensor.Tensor {
 	return out
 }
 
+// SnapshotParamsPooled deep-copies params into pooled tensors. Use for
+// short-lived stashes on the training hot path; the caller must hand the
+// slice to ReleaseSnapshot once nothing references it, and must never mix
+// pooled snapshots with ones that outlive the pool discipline (e.g. a
+// version table that hands out aliases).
+func SnapshotParamsPooled(params []*tensor.Tensor) []*tensor.Tensor {
+	out := make([]*tensor.Tensor, len(params))
+	for i, p := range params {
+		s := tensor.GetRaw(p.Shape...)
+		copy(s.Data, p.Data)
+		out[i] = s
+	}
+	return out
+}
+
+// ReleaseSnapshot returns a pooled snapshot's tensors to the pool. Only
+// pass slices produced by SnapshotParamsPooled.
+func ReleaseSnapshot(snapshot []*tensor.Tensor) {
+	for _, t := range snapshot {
+		tensor.Put(t)
+	}
+}
+
 // RestoreParams copies snapshot values back into params.
 func RestoreParams(params, snapshot []*tensor.Tensor) {
 	if len(params) != len(snapshot) {

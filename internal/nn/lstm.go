@@ -41,14 +41,17 @@ func NewLSTM(rng *rand.Rand, name string, in, hidden int) *LSTM {
 	return l
 }
 
-type lstmStep struct {
-	x, hPrev, cPrev *tensor.Tensor // [B,In], [B,H], [B,H]
-	i, f, g, o      *tensor.Tensor // gate activations [B,H]
-	c, tanhC        *tensor.Tensor // cell state and tanh(c) [B,H]
-}
-
+// lstmCtx packs everything the backward pass needs into five pooled
+// tensors instead of ~10 small allocations per time step. Time step t
+// occupies row block t of each tensor; hs/cs carry one extra leading
+// block for the zero initial state, so step t reads block t and writes
+// block t+1. Backward recycles all five when it finishes.
 type lstmCtx struct {
-	steps []lstmStep
+	xs    *tensor.Tensor // [T*B, In]  time-major input copy
+	hs    *tensor.Tensor // [(T+1)*B, H] hidden states h_0..h_T
+	cs    *tensor.Tensor // [(T+1)*B, H] cell states c_0..c_T
+	gates *tensor.Tensor // [T*B, 4H]  activated gates i|f|g|o
+	tanhc *tensor.Tensor // [T*B, H]   tanh of the cell state
 	batch int
 	tlen  int
 }
@@ -63,58 +66,111 @@ func (l *LSTM) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, Context) {
 	}
 	b, T, H := x.Dim(0), x.Dim(1), l.Hidden
 	out := tensor.New(b, T, H)
-	h := tensor.New(b, H)
-	c := tensor.New(b, H)
-	ctx := lstmCtx{steps: make([]lstmStep, T), batch: b, tlen: T}
+	cc := &lstmCtx{
+		xs:    tensor.GetRaw(T*b, l.In),
+		hs:    tensor.GetRaw((T+1)*b, H),
+		cs:    tensor.GetRaw((T+1)*b, H),
+		gates: tensor.GetRaw(T*b, 4*H),
+		tanhc: tensor.GetRaw(T*b, H),
+		batch: b, tlen: T,
+	}
+	// Zero initial state (only block 0; later blocks are overwritten).
+	for i := 0; i < b*H; i++ {
+		cc.hs.Data[i] = 0
+		cc.cs.Data[i] = 0
+	}
+	// Reusable view headers over the packed blocks; the kernels capture
+	// only the Data slices, so re-pointing Data per step is safe.
+	xt := &tensor.Tensor{Shape: []int{b, l.In}}
+	hPrev := &tensor.Tensor{Shape: []int{b, H}}
+	z := tensor.Get(b, 4*H)
+	zh := tensor.Get(b, 4*H)
 	for t := 0; t < T; t++ {
-		xt := tensor.New(b, l.In)
+		xBlock := cc.xs.Data[t*b*l.In : (t+1)*b*l.In]
 		for n := 0; n < b; n++ {
-			copy(xt.Data[n*l.In:(n+1)*l.In], x.Data[(n*T+t)*l.In:(n*T+t+1)*l.In])
+			copy(xBlock[n*l.In:(n+1)*l.In], x.Data[(n*T+t)*l.In:(n*T+t+1)*l.In])
 		}
-		z := tensor.Get(b, 4*H)
+		xt.Data = xBlock
+		hPrev.Data = cc.hs.Data[t*b*H : (t+1)*b*H]
 		tensor.MatMulInto(z, xt, l.Wx)
-		zh := tensor.Get(b, 4*H)
-		tensor.MatMulInto(zh, h, l.Wh)
+		tensor.MatMulInto(zh, hPrev, l.Wh)
 		z.Add(zh)
-		tensor.Put(zh)
 		tensor.AddRowVector(z, l.B)
-		st := lstmStep{
-			x: xt, hPrev: h, cPrev: c,
-			i: tensor.New(b, H), f: tensor.New(b, H), g: tensor.New(b, H), o: tensor.New(b, H),
-			c: tensor.New(b, H), tanhC: tensor.New(b, H),
-		}
-		newH := tensor.New(b, H)
 		for n := 0; n < b; n++ {
 			zr := z.Data[n*4*H:]
+			gr := cc.gates.Data[(t*b+n)*4*H:]
+			cPrevRow := cc.cs.Data[(t*b+n)*H:]
+			cRow := cc.cs.Data[((t+1)*b+n)*H:]
+			tcRow := cc.tanhc.Data[(t*b+n)*H:]
+			hRow := cc.hs.Data[((t+1)*b+n)*H:]
+			outRow := out.Data[(n*T+t)*H:]
 			for j := 0; j < H; j++ {
 				iv := sigmoid(zr[j])
 				fv := sigmoid(zr[H+j])
-				gv := float32(math.Tanh(float64(zr[2*H+j])))
+				gv := tensor.Tanh32(zr[2*H+j])
 				ov := sigmoid(zr[3*H+j])
-				cv := fv*c.Data[n*H+j] + iv*gv
-				tc := float32(math.Tanh(float64(cv)))
-				st.i.Data[n*H+j] = iv
-				st.f.Data[n*H+j] = fv
-				st.g.Data[n*H+j] = gv
-				st.o.Data[n*H+j] = ov
-				st.c.Data[n*H+j] = cv
-				st.tanhC.Data[n*H+j] = tc
-				newH.Data[n*H+j] = ov * tc
+				cv := fv*cPrevRow[j] + iv*gv
+				tc := tensor.Tanh32(cv)
+				gr[j], gr[H+j], gr[2*H+j], gr[3*H+j] = iv, fv, gv, ov
+				cRow[j] = cv
+				tcRow[j] = tc
+				hRow[j] = ov * tc
+				outRow[j] = ov * tc
 			}
 		}
-		tensor.Put(z)
-		h, c = newH, st.c
-		ctx.steps[t] = st
-		for n := 0; n < b; n++ {
-			copy(out.Data[(n*T+t)*H:(n*T+t+1)*H], h.Data[n*H:(n+1)*H])
-		}
 	}
-	return out, ctx
+	tensor.Put(z)
+	tensor.Put(zh)
+	return out, cc
 }
 
-// Backward implements Layer.
+// ForwardInfer implements InferLayer: the same recurrence with every
+// buffer drawn from the arena and no context retained. The op order
+// matches Forward exactly, so outputs are bit-identical.
+func (l *LSTM) ForwardInfer(x *tensor.Tensor, a *tensor.Arena) *tensor.Tensor {
+	if x.NumDims() != 3 || x.Dim(2) != l.In {
+		panic(fmt.Sprintf("nn: %s forward input %v, want [B,T,%d]", l.name, x.Shape, l.In))
+	}
+	b, T, H := x.Dim(0), x.Dim(1), l.Hidden
+	out := a.GetRaw(b, T, H)
+	xt := a.GetRaw(b, l.In)
+	z := a.GetRaw(b, 4*H)
+	zh := a.GetRaw(b, 4*H)
+	h := a.Get(b, H)
+	c := a.Get(b, H)
+	for t := 0; t < T; t++ {
+		for n := 0; n < b; n++ {
+			copy(xt.Data[n*l.In:(n+1)*l.In], x.Data[(n*T+t)*l.In:(n*T+t+1)*l.In])
+		}
+		tensor.MatMulInto(z, xt, l.Wx)
+		tensor.MatMulInto(zh, h, l.Wh)
+		z.Add(zh)
+		tensor.AddRowVector(z, l.B)
+		for n := 0; n < b; n++ {
+			zr := z.Data[n*4*H:]
+			hRow := h.Data[n*H:]
+			cRow := c.Data[n*H:]
+			outRow := out.Data[(n*T+t)*H:]
+			for j := 0; j < H; j++ {
+				iv := sigmoid(zr[j])
+				fv := sigmoid(zr[H+j])
+				gv := tensor.Tanh32(zr[2*H+j])
+				ov := sigmoid(zr[3*H+j])
+				cv := fv*cRow[j] + iv*gv
+				tc := tensor.Tanh32(cv)
+				cRow[j] = cv
+				hRow[j] = ov * tc
+				outRow[j] = ov * tc
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer. It recycles the packed forward context
+// when it returns.
 func (l *LSTM) Backward(ctx Context, gradOut *tensor.Tensor) *tensor.Tensor {
-	cc := ctx.(lstmCtx)
+	cc := ctx.(*lstmCtx)
 	b, T, H := cc.batch, cc.tlen, l.Hidden
 	if gradOut.NumDims() != 3 || gradOut.Dim(0) != b || gradOut.Dim(1) != T || gradOut.Dim(2) != H {
 		panic(fmt.Sprintf("nn: %s backward grad %v, want [%d,%d,%d]", l.name, gradOut.Shape, b, T, H))
@@ -128,8 +184,9 @@ func (l *LSTM) Backward(ctx Context, gradOut *tensor.Tensor) *tensor.Tensor {
 	dcPrev := tensor.Get(b, H)
 	dz := tensor.Get(b, 4*H)
 	dx := tensor.Get(b, l.In)
+	xv := &tensor.Tensor{Shape: []int{b, l.In}}
+	hv := &tensor.Tensor{Shape: []int{b, H}}
 	for t := T - 1; t >= 0; t-- {
-		st := cc.steps[t]
 		// dh = grad from output at t + grad from t+1.
 		dh := dhNext
 		for n := 0; n < b; n++ {
@@ -138,25 +195,31 @@ func (l *LSTM) Backward(ctx Context, gradOut *tensor.Tensor) *tensor.Tensor {
 			}
 		}
 		for n := 0; n < b; n++ {
+			gr := cc.gates.Data[(t*b+n)*4*H:]
+			tcRow := cc.tanhc.Data[(t*b+n)*H:]
+			cPrevRow := cc.cs.Data[(t*b+n)*H:]
 			for j := 0; j < H; j++ {
 				k := n*H + j
+				iv, fv, gv, ov := gr[j], gr[H+j], gr[2*H+j], gr[3*H+j]
 				dhv := dh.Data[k]
-				dc := dcNext.Data[k] + dhv*st.o.Data[k]*(1-st.tanhC.Data[k]*st.tanhC.Data[k])
-				di := dc * st.g.Data[k]
-				df := dc * st.cPrev.Data[k]
-				dg := dc * st.i.Data[k]
-				do := dhv * st.tanhC.Data[k]
+				dc := dcNext.Data[k] + dhv*ov*(1-tcRow[j]*tcRow[j])
+				di := dc * gv
+				df := dc * cPrevRow[j]
+				dg := dc * iv
+				do := dhv * tcRow[j]
 				zr := dz.Data[n*4*H:]
-				zr[j] = di * st.i.Data[k] * (1 - st.i.Data[k])
-				zr[H+j] = df * st.f.Data[k] * (1 - st.f.Data[k])
-				zr[2*H+j] = dg * (1 - st.g.Data[k]*st.g.Data[k])
-				zr[3*H+j] = do * st.o.Data[k] * (1 - st.o.Data[k])
-				dcPrev.Data[k] = dc * st.f.Data[k]
+				zr[j] = di * iv * (1 - iv)
+				zr[H+j] = df * fv * (1 - fv)
+				zr[2*H+j] = dg * (1 - gv*gv)
+				zr[3*H+j] = do * ov * (1 - ov)
+				dcPrev.Data[k] = dc * fv
 			}
 		}
-		addMatMulTransA(l.GWx, st.x, dz)
-		addMatMulTransA(l.GWh, st.hPrev, dz)
-		l.GB.Add(tensor.SumRows(dz))
+		xv.Data = cc.xs.Data[t*b*l.In : (t+1)*b*l.In]
+		hv.Data = cc.hs.Data[t*b*H : (t+1)*b*H]
+		addMatMulTransA(l.GWx, xv, dz)
+		addMatMulTransA(l.GWh, hv, dz)
+		addSumRows(l.GB, dz)
 		tensor.MatMulTransBInto(dx, dz, l.Wx) // dz · Wxᵀ = [B, In]
 		for n := 0; n < b; n++ {
 			copy(gradIn.Data[(n*T+t)*l.In:(n*T+t+1)*l.In], dx.Data[n*l.In:(n+1)*l.In])
@@ -169,6 +232,11 @@ func (l *LSTM) Backward(ctx Context, gradOut *tensor.Tensor) *tensor.Tensor {
 	tensor.Put(dcPrev)
 	tensor.Put(dz)
 	tensor.Put(dx)
+	tensor.Put(cc.xs)
+	tensor.Put(cc.hs)
+	tensor.Put(cc.cs)
+	tensor.Put(cc.gates)
+	tensor.Put(cc.tanhc)
 	return gradIn
 }
 
@@ -201,6 +269,19 @@ func (s *LastStep) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, Contex
 		copy(y.Data[n*H:(n+1)*H], x.Data[(n*T+T-1)*H:(n*T+T)*H])
 	}
 	return y, lastStepCtx{shape: x.Shape}
+}
+
+// ForwardInfer implements InferLayer.
+func (s *LastStep) ForwardInfer(x *tensor.Tensor, a *tensor.Arena) *tensor.Tensor {
+	if x.NumDims() != 3 {
+		panic(fmt.Sprintf("nn: %s forward input %v, want [B,T,H]", s.name, x.Shape))
+	}
+	b, T, H := x.Dim(0), x.Dim(1), x.Dim(2)
+	y := a.GetRaw(b, H)
+	for n := 0; n < b; n++ {
+		copy(y.Data[n*H:(n+1)*H], x.Data[(n*T+T-1)*H:(n*T+T)*H])
+	}
+	return y
 }
 
 // Backward implements Layer.
@@ -238,6 +319,14 @@ func (s *FlattenTime) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, Con
 		panic(fmt.Sprintf("nn: %s forward input %v, want [B,T,H]", s.name, x.Shape))
 	}
 	return x.Reshape(x.Dim(0)*x.Dim(1), x.Dim(2)), flattenTimeCtx{shape: x.Shape}
+}
+
+// ForwardInfer implements InferLayer: a zero-copy arena-header reshape.
+func (s *FlattenTime) ForwardInfer(x *tensor.Tensor, a *tensor.Arena) *tensor.Tensor {
+	if x.NumDims() != 3 {
+		panic(fmt.Sprintf("nn: %s forward input %v, want [B,T,H]", s.name, x.Shape))
+	}
+	return a.View(x, x.Dim(0)*x.Dim(1), x.Dim(2))
 }
 
 // Backward implements Layer.

@@ -29,23 +29,23 @@ func NewLayerNorm(name string, dim int) *LayerNorm {
 	}
 }
 
+// layerNormCtx keeps the normalized input and per-row 1/sqrt(var+eps)
+// in pooled tensors (invStd element n is carried in float64 precision
+// split across computation, stored rounded to float32 — well inside
+// the float32 gradient noise floor). Backward recycles both.
 type layerNormCtx struct {
 	xhat   *tensor.Tensor // normalized input [B, D]
-	invStd []float64      // per-row 1/sqrt(var+eps)
+	invStd *tensor.Tensor // per-row 1/sqrt(var+eps) [B]
 }
 
 // Name implements Layer.
 func (l *LayerNorm) Name() string { return l.name }
 
-// Forward implements Layer.
-func (l *LayerNorm) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, Context) {
-	if x.NumDims() != 2 || x.Dim(1) != l.Dim {
-		panic(fmt.Sprintf("nn: %s forward input %v, want [B,%d]", l.name, x.Shape, l.Dim))
-	}
+// forwardInto computes the layer-norm output into y, recording xhat and
+// invStd when they are non-nil (training) and skipping them for
+// inference.
+func (l *LayerNorm) forwardInto(y, xhat, invStd, x *tensor.Tensor) {
 	b, d := x.Dim(0), l.Dim
-	y := tensor.New(b, d)
-	xhat := tensor.New(b, d)
-	invStd := make([]float64, b)
 	for n := 0; n < b; n++ {
 		row := x.Data[n*d : (n+1)*d]
 		var mean float64
@@ -59,19 +59,45 @@ func (l *LayerNorm) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, Conte
 			varSum += dv * dv
 		}
 		inv := 1 / math.Sqrt(varSum/float64(d)+l.Eps)
-		invStd[n] = inv
+		if invStd != nil {
+			invStd.Data[n] = float32(inv)
+		}
 		for j, v := range row {
 			xh := float32((float64(v) - mean) * inv)
-			xhat.Data[n*d+j] = xh
+			if xhat != nil {
+				xhat.Data[n*d+j] = xh
+			}
 			y.Data[n*d+j] = xh*l.Gain.Data[j] + l.B.Data[j]
 		}
 	}
-	return y, layerNormCtx{xhat: xhat, invStd: invStd}
 }
 
-// Backward implements Layer.
+// Forward implements Layer.
+func (l *LayerNorm) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, Context) {
+	if x.NumDims() != 2 || x.Dim(1) != l.Dim {
+		panic(fmt.Sprintf("nn: %s forward input %v, want [B,%d]", l.name, x.Shape, l.Dim))
+	}
+	b, d := x.Dim(0), l.Dim
+	y := tensor.New(b, d)
+	xhat := tensor.GetRaw(b, d)
+	invStd := tensor.GetRaw(b)
+	l.forwardInto(y, xhat, invStd, x)
+	return y, &layerNormCtx{xhat: xhat, invStd: invStd}
+}
+
+// ForwardInfer implements InferLayer.
+func (l *LayerNorm) ForwardInfer(x *tensor.Tensor, a *tensor.Arena) *tensor.Tensor {
+	if x.NumDims() != 2 || x.Dim(1) != l.Dim {
+		panic(fmt.Sprintf("nn: %s forward input %v, want [B,%d]", l.name, x.Shape, l.Dim))
+	}
+	y := a.GetRaw(x.Dim(0), l.Dim)
+	l.forwardInto(y, nil, nil, x)
+	return y
+}
+
+// Backward implements Layer. It recycles the pooled forward context.
 func (l *LayerNorm) Backward(ctx Context, gradOut *tensor.Tensor) *tensor.Tensor {
-	c := ctx.(layerNormCtx)
+	c := ctx.(*layerNormCtx)
 	b, d := c.xhat.Dim(0), l.Dim
 	if gradOut.Size() != b*d {
 		panic(fmt.Sprintf("nn: %s backward grad %v, want [%d,%d]", l.name, gradOut.Shape, b, d))
@@ -93,9 +119,11 @@ func (l *LayerNorm) Backward(ctx Context, gradOut *tensor.Tensor) *tensor.Tensor
 		meanDxXh := sumDxXh / float64(d)
 		for j := 0; j < d; j++ {
 			dxh := float64(gRow[j]) * float64(l.Gain.Data[j])
-			grad.Data[n*d+j] = float32(c.invStd[n] * (dxh - meanDx - float64(xhRow[j])*meanDxXh))
+			grad.Data[n*d+j] = float32(float64(c.invStd.Data[n]) * (dxh - meanDx - float64(xhRow[j])*meanDxXh))
 		}
 	}
+	tensor.Put(c.xhat)
+	tensor.Put(c.invStd)
 	return grad
 }
 
@@ -227,6 +255,21 @@ func (r *Residual) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, Contex
 	}
 	out := y.Clone().Add(x)
 	return out, residualCtx{inner: ctx}
+}
+
+// ForwardInfer implements InferLayer: the inner stack runs on the
+// arena, and the skip connection sums into a fresh arena tensor (the
+// inner output may alias x, e.g. when the stack ends in an identity
+// layer, so the sum never runs in place).
+func (r *Residual) ForwardInfer(x *tensor.Tensor, a *tensor.Arena) *tensor.Tensor {
+	y := r.Inner.ForwardInfer(x, a)
+	if !y.SameShape(x) {
+		panic(fmt.Sprintf("nn: %s inner output %v does not match input %v", r.name, y.Shape, x.Shape))
+	}
+	out := a.GetRaw(y.Shape...)
+	copy(out.Data, y.Data)
+	out.Add(x)
+	return out
 }
 
 // Backward implements Layer.

@@ -22,3 +22,13 @@ func addMatMulTransB(dst, a, b *tensor.Tensor) {
 	dst.Add(tmp)
 	tensor.Put(tmp)
 }
+
+// addSumRows accumulates the column-wise sums of a into dst (a bias
+// gradient) via pooled scratch, preserving the accumulation order of
+// the dst.Add(SumRows(a)) form it replaces.
+func addSumRows(dst, a *tensor.Tensor) {
+	tmp := tensor.Get(dst.Shape...)
+	tensor.SumRowsInto(tmp, a)
+	dst.Add(tmp)
+	tensor.Put(tmp)
+}

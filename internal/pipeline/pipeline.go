@@ -586,6 +586,12 @@ type stageWorker struct {
 	versions map[int][]*tensor.Tensor // vertical sync: version -> params
 	stash    map[int]stashEntry
 
+	// cachedParams/cachedGrads memoize the model's flattened param and
+	// grad slices: layer membership is fixed once the worker runs, and
+	// rebuilding them per minibatch dominated steady-state allocations.
+	cachedParams []*tensor.Tensor
+	cachedGrads  []*tensor.Tensor
+
 	// Gradient accumulation state: pending gradient sum and count.
 	accumGrads []*tensor.Tensor
 	accumCount int
@@ -803,6 +809,24 @@ func (sw *stageWorker) run(ds data.Dataset, start, end int, results chan<- lossE
 	return nil
 }
 
+// paramsCached returns the memoized flattened parameter slice (layer
+// membership is fixed once the worker runs; tensor identities are stable
+// across checkpoint restores, which CopyFrom into them).
+func (sw *stageWorker) paramsCached() []*tensor.Tensor {
+	if sw.cachedParams == nil {
+		sw.cachedParams = sw.model.Params()
+	}
+	return sw.cachedParams
+}
+
+// gradsCached returns the memoized flattened gradient slice.
+func (sw *stageWorker) gradsCached() []*tensor.Tensor {
+	if sw.cachedGrads == nil {
+		sw.cachedGrads = sw.model.Grads()
+	}
+	return sw.cachedGrads
+}
+
 // forward runs the stage's forward pass for one minibatch. At the output
 // stage it computes the loss and returns the local backward message. A
 // transport failure on the downstream send aborts the run.
@@ -812,11 +836,13 @@ func (sw *stageWorker) forward(m transport.Message, ab *runAbort) (transport.Mes
 		op0 = time.Now()
 		defer func() { sw.met.forwardDone(sw, m.Minibatch, op0) }()
 	}
-	params := sw.model.Params()
+	params := sw.paramsCached()
 	var stashed []*tensor.Tensor
 	switch sw.mode {
 	case WeightStashing:
-		stashed = nn.SnapshotParams(params)
+		// Pooled: the stash is private to this worker and released by the
+		// matching backward, so the tensors can cycle through the pool.
+		stashed = nn.SnapshotParamsPooled(params)
 	case VerticalSync:
 		// Version tags count globally reflected minibatches, so stages
 		// with different replication factors can translate them: this
@@ -827,9 +853,12 @@ func (sw *stageWorker) forward(m transport.Message, ab *runAbort) (transport.Mes
 		if key != sw.reflected() {
 			// Compute with the stashed (older) version, then put the
 			// latest back before returning.
-			latest := nn.SnapshotParams(params)
+			latest := nn.SnapshotParamsPooled(params)
 			nn.RestoreParams(params, stashed)
-			defer nn.RestoreParams(params, latest)
+			defer func() {
+				nn.RestoreParams(params, latest)
+				nn.ReleaseSnapshot(latest)
+			}()
 		}
 	case NoStashing:
 		stashed = nil
@@ -891,8 +920,8 @@ func (sw *stageWorker) backward(m transport.Message, ab *runAbort) (ran bool, er
 		}()
 	}
 	delete(sw.stash, m.Minibatch)
-	params := sw.model.Params()
-	grads := sw.model.Grads()
+	params := sw.paramsCached()
+	grads := sw.gradsCached()
 	nn.ZeroGrads(grads)
 
 	// Ring mode opens the all-reduce round before backward runs so that
@@ -925,10 +954,17 @@ func (sw *stageWorker) backward(m transport.Message, ab *runAbort) (ran bool, er
 		return sw.model.Backward(ctx, m.Tensor)
 	}
 	if entry.params != nil {
-		latest := nn.SnapshotParams(params)
+		latest := nn.SnapshotParamsPooled(params)
 		nn.RestoreParams(params, entry.params)
 		gradIn = backward()
 		nn.RestoreParams(params, latest)
+		nn.ReleaseSnapshot(latest)
+		if sw.mode == WeightStashing {
+			// WeightStashing snapshots are pooled and now dead. VerticalSync
+			// entries alias the shared versions table and must NOT be
+			// recycled here.
+			nn.ReleaseSnapshot(entry.params)
+		}
 	} else {
 		gradIn = backward()
 	}

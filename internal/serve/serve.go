@@ -90,6 +90,13 @@ type Config struct {
 	// pipeline (2×stages when 0, enough to keep every stage busy with
 	// one batch ahead).
 	MaxInFlight int
+	// UnfusedForward disables the fused inference path: stage workers run
+	// the layers' training Forward (with contexts discarded) instead of
+	// the arena-backed ForwardInfer kernels, and no buffer recycling
+	// happens between stages. Results are bit-identical either way; the
+	// knob exists so benchmarks can measure the fused path against the
+	// baseline it replaced.
+	UnfusedForward bool
 	// KernelParallelism, when > 0, sets the tensor package's global
 	// kernel parallelism for the server's lifetime; when 0 (and the
 	// PIPEDREAM_PARALLELISM environment variable is unset) NewServer

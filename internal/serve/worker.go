@@ -27,6 +27,14 @@ func (s *Server) stageWorker(st int) {
 	inbox := s.tr.Inbox(st)
 	hist := s.met.stageForward[st]
 	last := st == len(s.stages)-1
+	// The worker's scratch arena: every fused forward draws its buffers
+	// from here and a single O(1) Reset between batches reclaims them, so
+	// the steady-state loop allocates nothing per batch beyond the one
+	// outgoing copy.
+	var ar *tensor.Arena
+	if !s.cfg.UnfusedForward {
+		ar = tensor.NewArena()
+	}
 	for {
 		select {
 		case <-s.done:
@@ -39,7 +47,34 @@ func (s *Server) stageWorker(st int) {
 				continue
 			}
 			start := time.Now()
-			y := forward(slice, m.Tensor)
+			var y *tensor.Tensor
+			if ar != nil {
+				y = forwardInfer(slice, m.Tensor, ar)
+				if y != nil {
+					// Copy off the arena before Reset. Predictions become
+					// GC-owned tensors (they are handed to callers and must
+					// outlive the pool discipline); intermediate activations
+					// go into pooled tensors the next stage recycles.
+					var out *tensor.Tensor
+					if last {
+						out = tensor.New(y.Shape...)
+					} else {
+						out = tensor.GetRaw(y.Shape...)
+					}
+					copy(out.Data, y.Data)
+					// Recycle the upstream activation: stages after the
+					// first own their input (the previous worker pooled
+					// it); stage 0 inputs alias request tensors and are
+					// never recycled.
+					if st > 0 {
+						tensor.Put(m.Tensor)
+					}
+					y = out
+				}
+				ar.Reset()
+			} else {
+				y = forward(slice, m.Tensor)
+			}
 			dur := time.Since(start)
 			hist.Observe(float64(dur.Microseconds()))
 			if s.met.oplog != nil {
@@ -65,6 +100,21 @@ func (s *Server) stageWorker(st int) {
 			}
 		}
 	}
+}
+
+// forwardInfer runs one stage slice through the fused inference path,
+// converting a panic into a nil result so a bad batch cannot take the
+// worker down. The result lives on the arena until the caller resets it.
+func forwardInfer(slice *nn.Sequential, x *tensor.Tensor, ar *tensor.Arena) (y *tensor.Tensor) {
+	defer func() {
+		if recover() != nil {
+			y = nil
+		}
+	}()
+	if x == nil {
+		return nil
+	}
+	return slice.ForwardInfer(x, ar)
 }
 
 // forward runs one stage slice in inference mode, converting a panic

@@ -1,0 +1,136 @@
+package tensor
+
+// Arena is a bump allocator for the forward hot path: a goroutine that
+// owns an Arena carves every per-request scratch tensor out of large
+// reused slabs and releases them all at once with Reset, instead of
+// tracking individual Get/Put pairs. Unlike the global sync.Pool it
+// has no locks, no atomics, and no per-tensor bookkeeping — an
+// allocation is a slab-offset bump plus a recycled header — so a
+// steady-state request performs zero heap allocations.
+//
+// An Arena is NOT safe for concurrent use; give each stage worker or
+// request-handling goroutine its own. Tensors returned by Get/GetRaw
+// are valid only until the next Reset: anything that must outlive the
+// request (the stage output handed to transport, a prediction returned
+// to a client) must be copied out into pool- or GC-owned storage first.
+// Never pass an arena tensor to Put — its backing array is a slab
+// interior view.
+type Arena struct {
+	slabs   [][]float32
+	si      int // index of the slab currently being bumped
+	off     int // bump offset within slabs[si]
+	headers []*Tensor
+	nHdr    int // headers handed out since the last Reset
+}
+
+// arenaSlabFloats is the default slab size (64Ki float32 = 256 KiB):
+// large enough that a typical minibatch forward fits in one or two
+// slabs, small enough that an idle arena wastes little.
+const arenaSlabFloats = 1 << 16
+
+// NewArena returns an empty arena; slabs are allocated lazily on first
+// use and retained across Reset.
+func NewArena() *Arena { return &Arena{} }
+
+// alloc bumps out n float32s, growing by a new slab when the current
+// ones are exhausted. Oversized requests get a dedicated slab.
+func (a *Arena) alloc(n int) []float32 {
+	for a.si < len(a.slabs) {
+		s := a.slabs[a.si]
+		if a.off+n <= len(s) {
+			out := s[a.off : a.off+n : a.off+n]
+			a.off += n
+			return out
+		}
+		a.si++
+		a.off = 0
+	}
+	size := arenaSlabFloats
+	if n > size {
+		size = n
+	}
+	a.slabs = append(a.slabs, make([]float32, size))
+	a.off = n
+	return a.slabs[a.si][:n:n]
+}
+
+// header returns a recycled *Tensor header, allocating only when the
+// arena has never handed out this many tensors in one epoch.
+func (a *Arena) header(shape []int) *Tensor {
+	var t *Tensor
+	if a.nHdr < len(a.headers) {
+		t = a.headers[a.nHdr]
+	} else {
+		t = &Tensor{}
+		a.headers = append(a.headers, t)
+	}
+	a.nHdr++
+	if cap(t.Shape) >= len(shape) {
+		t.Shape = t.Shape[:len(shape)]
+	} else {
+		t.Shape = make([]int, len(shape))
+	}
+	copy(t.Shape, shape)
+	return t
+}
+
+// GetRaw returns an arena tensor of the given shape with UNINITIALIZED
+// contents, valid until the next Reset.
+func (a *Arena) GetRaw(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic("tensor: negative dimension in Arena.GetRaw")
+		}
+		n *= d
+	}
+	t := a.header(shape)
+	t.Data = a.alloc(n)
+	return t
+}
+
+// Get returns a zero-filled arena tensor of the given shape, valid
+// until the next Reset.
+func (a *Arena) Get(shape ...int) *Tensor {
+	t := a.GetRaw(shape...)
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+	return t
+}
+
+// View returns an arena-owned header aliasing t's data under a new
+// shape of equal volume — a zero-copy reshape whose header is
+// reclaimed by Reset. Unlike Reshape it allocates nothing in steady
+// state.
+func (a *Arena) View(t *Tensor, shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != t.Size() {
+		panic("tensor: Arena.View shape volume mismatch")
+	}
+	v := a.header(shape)
+	v.Data = t.Data
+	return v
+}
+
+// Reset releases every tensor handed out since the previous Reset in
+// O(1); slabs and headers are retained for reuse. All tensors obtained
+// from the arena become invalid.
+func (a *Arena) Reset() {
+	a.si = 0
+	a.off = 0
+	a.nHdr = 0
+}
+
+// Bytes reports the total slab memory retained by the arena, for
+// capacity accounting in metrics.
+func (a *Arena) Bytes() int {
+	n := 0
+	for _, s := range a.slabs {
+		n += 4 * len(s)
+	}
+	return n
+}

@@ -1,0 +1,119 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestArenaNoAliasingWithinRequest proves tensors handed out between
+// two Resets never overlap, across mixed shapes that straddle slab
+// boundaries.
+func TestArenaNoAliasingWithinRequest(t *testing.T) {
+	a := NewArena()
+	rng := rand.New(rand.NewSource(11))
+	for round := 0; round < 4; round++ {
+		var ts []*Tensor
+		for i := 0; i < 40; i++ {
+			n := 1 + rng.Intn(arenaSlabFloats/3)
+			ts = append(ts, a.GetRaw(n))
+		}
+		// Stamp every tensor with a distinct value, then verify no stamp
+		// was clobbered by a later allocation.
+		for i, x := range ts {
+			x.Fill(float32(i + 1))
+		}
+		for i, x := range ts {
+			for j, v := range x.Data {
+				if v != float32(i+1) {
+					t.Fatalf("round %d: tensor %d elem %d = %v (aliased by a later allocation)", round, i, j, v)
+				}
+			}
+		}
+		a.Reset()
+	}
+}
+
+// TestArenaReuseAcrossRequests proves consecutive requests reuse slabs
+// and headers (no growth) and that a request never reads another
+// request's live data: each simulated request checks its own stamps
+// before Reset.
+func TestArenaReuseAcrossRequests(t *testing.T) {
+	a := NewArena()
+	shapes := [][]int{{4, 16}, {1, 8, 32}, {64}, {2, 2, 2, 2}}
+	// Warm-up request to size the arena.
+	for _, s := range shapes {
+		a.Get(s...)
+	}
+	a.Reset()
+	slabs, headers := len(a.slabs), len(a.headers)
+	for req := 0; req < 100; req++ {
+		var ts []*Tensor
+		for _, s := range shapes {
+			x := a.GetRaw(s...)
+			x.Fill(float32(req))
+			ts = append(ts, x)
+		}
+		for i, x := range ts {
+			if got, want := len(x.Shape), len(shapes[i]); got != want {
+				t.Fatalf("req %d: tensor %d rank %d, want %d", req, i, got, want)
+			}
+			for _, v := range x.Data {
+				if v != float32(req) {
+					t.Fatalf("req %d: tensor %d holds %v — aliasing between requests", req, i, v)
+				}
+			}
+		}
+		a.Reset()
+	}
+	if len(a.slabs) != slabs || len(a.headers) != headers {
+		t.Fatalf("arena grew across identical requests: slabs %d→%d headers %d→%d",
+			slabs, len(a.slabs), headers, len(a.headers))
+	}
+}
+
+// TestArenaGetZeroFills checks Get (unlike GetRaw) clears recycled slab
+// memory.
+func TestArenaGetZeroFills(t *testing.T) {
+	a := NewArena()
+	a.GetRaw(128).Fill(7)
+	a.Reset()
+	x := a.Get(128)
+	for i, v := range x.Data {
+		if v != 0 {
+			t.Fatalf("Arena.Get elem %d = %v, want 0", i, v)
+		}
+	}
+}
+
+// TestArenaOversizedAllocation exercises requests larger than one slab.
+func TestArenaOversizedAllocation(t *testing.T) {
+	a := NewArena()
+	big := a.GetRaw(3 * arenaSlabFloats)
+	small := a.GetRaw(16)
+	big.Fill(1)
+	small.Fill(2)
+	for _, v := range big.Data {
+		if v != 1 {
+			t.Fatal("oversized slab aliased by small allocation")
+		}
+	}
+	if got := big.Size(); got != 3*arenaSlabFloats {
+		t.Fatalf("oversized size %d", got)
+	}
+}
+
+// TestPoolHeaderRecycling proves the steady-state Get/Put cycle reuses
+// the whole header: a pooled Get after a Put performs zero allocations.
+func TestPoolHeaderRecycling(t *testing.T) {
+	// Warm the size class (and its shape slice) first.
+	Put(Get(32, 8))
+	allocs := testing.AllocsPerRun(100, func() {
+		x := GetRaw(32, 8)
+		Put(x)
+	})
+	// A GC mid-run may legitimately drop pool entries; anything ≥1
+	// alloc/op means the header is not being recycled at all.
+	if allocs >= 1 {
+		t.Fatalf("pooled GetRaw/Put allocates %v per op, want ~0", allocs)
+	}
+}

@@ -38,12 +38,30 @@ func Im2Col(in *Tensor, g ConvGeom) *Tensor {
 	oh, ow := g.OutH(), g.OutW()
 	rowLen := g.InC * g.KH * g.KW
 	cols := New(b*oh*ow, rowLen)
+	return Im2ColInto(cols, in, g)
+}
+
+// Im2ColInto lowers in into a caller-owned column matrix of shape
+// [B*OutH*OutW, C*KH*KW] (the allocation-free form of Im2Col — dst may
+// be pooled or arena-backed and uninitialized: every element, padding
+// included, is written). Returns dst.
+func Im2ColInto(dst, in *Tensor, g ConvGeom) *Tensor {
+	g.check()
+	if in.NumDims() != 4 || in.Shape[1] != g.InC || in.Shape[2] != g.InH || in.Shape[3] != g.InW {
+		panic(fmt.Sprintf("tensor: im2col input %v does not match geometry %+v", in.Shape, g))
+	}
+	b := in.Shape[0]
+	oh, ow := g.OutH(), g.OutW()
+	rowLen := g.InC * g.KH * g.KW
+	if dst.NumDims() != 2 || dst.Shape[0] != b*oh*ow || dst.Shape[1] != rowLen {
+		panic(fmt.Sprintf("tensor: im2colInto dst %v, want [%d,%d]", dst.Shape, b*oh*ow, rowLen))
+	}
 	parallelFor(b, oh*ow*rowLen, func(lo, hi int) {
 		for n := lo; n < hi; n++ {
 			img := in.Data[n*g.InC*g.InH*g.InW:]
 			for oy := 0; oy < oh; oy++ {
 				for ox := 0; ox < ow; ox++ {
-					row := cols.Data[((n*oh+oy)*ow+ox)*rowLen:]
+					row := dst.Data[((n*oh+oy)*ow+ox)*rowLen:]
 					ri := 0
 					for c := 0; c < g.InC; c++ {
 						plane := img[c*g.InH*g.InW:]
@@ -53,6 +71,8 @@ func Im2Col(in *Tensor, g ConvGeom) *Tensor {
 								ix := ox*g.Stride + kx - g.Pad
 								if iy >= 0 && iy < g.InH && ix >= 0 && ix < g.InW {
 									row[ri] = plane[iy*g.InW+ix]
+								} else {
+									row[ri] = 0
 								}
 								ri++
 							}
@@ -62,7 +82,7 @@ func Im2Col(in *Tensor, g ConvGeom) *Tensor {
 			}
 		}
 	})
-	return cols
+	return dst
 }
 
 // Col2Im scatters a column matrix [B*OutH*OutW, C*KH*KW] back into a batch

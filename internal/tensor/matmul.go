@@ -40,42 +40,47 @@ func MatMulInto(dst, a, b *Tensor) *Tensor {
 	bd, cd := b.Data, dst.Data
 	parallelFor(m, k*n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			arow := a.Data[i*k : (i+1)*k]
-			crow := cd[i*n : (i+1)*n]
-			for j := range crow {
-				crow[j] = 0
-			}
-			// 8-way unroll over k: eight A coefficients are applied per
-			// sweep of the output row, cutting the store/reload traffic
-			// on crow 8×. Dense activations make a zero-skip branch here
-			// a per-element mispredict cost, not a saving.
-			p := 0
-			for ; p+8 <= k; p += 8 {
-				av0, av1, av2, av3 := arow[p], arow[p+1], arow[p+2], arow[p+3]
-				av4, av5, av6, av7 := arow[p+4], arow[p+5], arow[p+6], arow[p+7]
-				br0 := bd[p*n : p*n+n]
-				br1 := bd[(p+1)*n : (p+1)*n+n]
-				br2 := bd[(p+2)*n : (p+2)*n+n]
-				br3 := bd[(p+3)*n : (p+3)*n+n]
-				br4 := bd[(p+4)*n : (p+4)*n+n]
-				br5 := bd[(p+5)*n : (p+5)*n+n]
-				br6 := bd[(p+6)*n : (p+6)*n+n]
-				br7 := bd[(p+7)*n : (p+7)*n+n]
-				for j := range crow {
-					crow[j] += av0*br0[j] + av1*br1[j] + av2*br2[j] + av3*br3[j] +
-						av4*br4[j] + av5*br5[j] + av6*br6[j] + av7*br7[j]
-				}
-			}
-			for ; p < k; p++ {
-				av := arow[p]
-				brow := bd[p*n : p*n+n]
-				for j, bv := range brow {
-					crow[j] += av * bv
-				}
-			}
+			matmulRowPanel(cd[i*n:(i+1)*n], a.Data[i*k:(i+1)*k], bd, k, n)
 		}
 	})
 	return dst
+}
+
+// matmulRowPanel accumulates one output row crow = arow·B, zeroing crow
+// first. It is the single accumulation kernel shared by MatMulInto and
+// MatMulBiasActInto, so fused and unfused products are bit-identical.
+func matmulRowPanel(crow, arow, bd []float32, k, n int) {
+	for j := range crow {
+		crow[j] = 0
+	}
+	// 8-way unroll over k: eight A coefficients are applied per
+	// sweep of the output row, cutting the store/reload traffic
+	// on crow 8×. Dense activations make a zero-skip branch here
+	// a per-element mispredict cost, not a saving.
+	p := 0
+	for ; p+8 <= k; p += 8 {
+		av0, av1, av2, av3 := arow[p], arow[p+1], arow[p+2], arow[p+3]
+		av4, av5, av6, av7 := arow[p+4], arow[p+5], arow[p+6], arow[p+7]
+		br0 := bd[p*n : p*n+n]
+		br1 := bd[(p+1)*n : (p+1)*n+n]
+		br2 := bd[(p+2)*n : (p+2)*n+n]
+		br3 := bd[(p+3)*n : (p+3)*n+n]
+		br4 := bd[(p+4)*n : (p+4)*n+n]
+		br5 := bd[(p+5)*n : (p+5)*n+n]
+		br6 := bd[(p+6)*n : (p+6)*n+n]
+		br7 := bd[(p+7)*n : (p+7)*n+n]
+		for j := range crow {
+			crow[j] += av0*br0[j] + av1*br1[j] + av2*br2[j] + av3*br3[j] +
+				av4*br4[j] + av5*br5[j] + av6*br6[j] + av7*br7[j]
+		}
+	}
+	for ; p < k; p++ {
+		av := arow[p]
+		brow := bd[p*n : p*n+n]
+		for j, bv := range brow {
+			crow[j] += av * bv
+		}
+	}
 }
 
 // MatMulTransA computes C = Aᵀ·B for A [k,m], B [k,n] → C [m,n].
@@ -251,15 +256,30 @@ func SumRows(a *Tensor) *Tensor {
 	if a.NumDims() != 2 {
 		panic(fmt.Sprintf("tensor: sumRows needs a 2-d tensor, got %v", a.Shape))
 	}
+	out := New(a.Shape[1])
+	return SumRowsInto(out, a)
+}
+
+// SumRowsInto accumulates the column-wise sum of a [m,n] tensor into
+// dst, a length-n vector that the caller has zeroed (or wants the sum
+// added onto). Returns dst. The allocation-free form of SumRows for
+// backward passes that fold the result straight into a bias gradient.
+func SumRowsInto(dst, a *Tensor) *Tensor {
+	if a.NumDims() != 2 {
+		panic(fmt.Sprintf("tensor: sumRows needs a 2-d tensor, got %v", a.Shape))
+	}
 	m, n := a.Shape[0], a.Shape[1]
-	out := New(n)
+	if dst.Size() != n {
+		panic(fmt.Sprintf("tensor: sumRowsInto dst %v, want %d elements", dst.Shape, n))
+	}
+	dd := dst.Data
 	for i := 0; i < m; i++ {
 		row := a.Data[i*n : (i+1)*n]
 		for j, v := range row {
-			out.Data[j] += v
+			dd[j] += v
 		}
 	}
-	return out
+	return dst
 }
 
 // ArgMaxRows returns, for each row of a [m,n] tensor, the index of its

@@ -11,17 +11,23 @@ import (
 // pre-activations, gradient scratch); recycling them through sync.Pool
 // size classes keeps the GC out of the hot path.
 //
-// Get returns a zero-filled tensor exactly like New; Put recycles its
-// backing array. Ownership discipline is the caller's: never Put a
-// tensor that escaped (stashed contexts, layer outputs handed
-// downstream, views created by Reshape/FromSlice over shared data), and
-// never use a tensor after Put.
+// The pool recycles whole *Tensor headers, not just backing arrays: a
+// steady-state Get is allocation-free because the header, the Shape
+// slice, and the data array all come back from the free list. Put
+// re-slices Data to capacity and stores the header itself.
+//
+// Get returns a zero-filled tensor exactly like New; Put recycles it.
+// Ownership discipline is the caller's: never Put a tensor that escaped
+// (stashed contexts, layer outputs handed downstream, views created by
+// Reshape/FromSlice over shared data), and never use a tensor after Put
+// — with header recycling, a use-after-Put can observe a new shape as
+// well as new data.
 
-// pools[c] holds []float32 buffers with capacity exactly 1<<c.
+// pools[c] holds *Tensor headers whose Data capacity is exactly 1<<c.
 var pools [33]sync.Pool
 
 // Arena traffic counters: hits are Gets served from the free list,
-// misses are Gets that allocated, puts are arrays recycled. One atomic
+// misses are Gets that allocated, puts are tensors recycled. One atomic
 // add per Get/Put (calls are per-scratch-tensor, not per-element) keeps
 // the arena observable at negligible cost.
 var poolHits, poolMisses, poolPuts atomic.Int64
@@ -42,10 +48,10 @@ func sizeClass(n int) int {
 	return bits.Len(uint(n - 1))
 }
 
-// Get returns a zero-filled tensor of the given shape, reusing a pooled
-// backing array when one is available. Pair with Put when the tensor is
-// pure scratch.
-func Get(shape ...int) *Tensor {
+// grab returns a pooled tensor re-shaped to shape, or a freshly
+// allocated one with pool-compatible capacity. The shape slice is
+// copied, never retained, so variadic callers stay allocation-free.
+func grab(shape []int, zero bool) *Tensor {
 	n := 1
 	for _, d := range shape {
 		if d < 0 {
@@ -53,49 +59,46 @@ func Get(shape ...int) *Tensor {
 		}
 		n *= d
 	}
-	s := make([]int, len(shape))
-	copy(s, shape)
 	c := sizeClass(n)
 	if v := pools[c].Get(); v != nil {
 		poolHits.Add(1)
-		data := v.([]float32)[:n]
-		for i := range data {
-			data[i] = 0
+		t := v.(*Tensor)
+		t.Data = t.Data[:n]
+		if cap(t.Shape) >= len(shape) {
+			t.Shape = t.Shape[:len(shape)]
+		} else {
+			t.Shape = make([]int, len(shape))
 		}
-		return &Tensor{Shape: s, Data: data}
+		copy(t.Shape, shape)
+		if zero {
+			for i := range t.Data {
+				t.Data[i] = 0
+			}
+		}
+		return t
 	}
 	poolMisses.Add(1)
+	s := make([]int, len(shape))
+	copy(s, shape)
 	return &Tensor{Shape: s, Data: make([]float32, n, 1<<c)}
 }
+
+// Get returns a zero-filled tensor of the given shape, reusing a pooled
+// header and backing array when one is available. Pair with Put when
+// the tensor is pure scratch.
+func Get(shape ...int) *Tensor { return grab(shape, true) }
 
 // GetRaw returns a tensor of the given shape with UNINITIALIZED
 // contents — the zero-fill of Get skipped — for callers that overwrite
 // every element before reading any (message payloads, copy
 // destinations). Pair with Put like Get.
-func GetRaw(shape ...int) *Tensor {
-	n := 1
-	for _, d := range shape {
-		if d < 0 {
-			panic("tensor: negative dimension in GetRaw")
-		}
-		n *= d
-	}
-	s := make([]int, len(shape))
-	copy(s, shape)
-	c := sizeClass(n)
-	if v := pools[c].Get(); v != nil {
-		poolHits.Add(1)
-		return &Tensor{Shape: s, Data: v.([]float32)[:n]}
-	}
-	poolMisses.Add(1)
-	return &Tensor{Shape: s, Data: make([]float32, n, 1<<c)}
-}
+func GetRaw(shape ...int) *Tensor { return grab(shape, false) }
 
-// Put recycles t's backing array into the free list. t must not be used
-// afterwards. Tensors whose capacity is not a pooled size class (e.g.
-// built by New or FromSlice) are dropped silently, so Put is always
-// safe to call on scratch you own — but never on data that aliases or
-// escaped.
+// Put recycles t — header, shape, and backing array — into the free
+// list. t must not be used afterwards. Tensors whose capacity is not a
+// pooled size class (e.g. built by New or FromSlice) are dropped
+// silently, so Put is always safe to call on scratch you own — but
+// never on data that aliases or escaped.
 func Put(t *Tensor) {
 	if t == nil || cap(t.Data) == 0 {
 		return
@@ -105,5 +108,6 @@ func Put(t *Tensor) {
 		return // not an arena buffer; let the GC have it
 	}
 	poolPuts.Add(1)
-	pools[c].Put(t.Data[:cap(t.Data)])
+	t.Data = t.Data[:cap(t.Data)]
+	pools[c].Put(t)
 }

@@ -1,0 +1,206 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"pipedream/internal/tensor"
+)
+
+// Binary activation framing for the socket transports. gob's reflection
+// walk allocated and copied every tensor twice per send (Message →
+// encoder buffer → socket); a frame is built once in a per-connection
+// scratch buffer whose payload section is filled straight from the
+// tensor's storage, and the receive side decodes into pooled tensors.
+// The format is little-endian and versioned by magic:
+//
+//	[0:4)   magic "PDF1"
+//	[4:8)   kind (uint32)
+//	[8:16)  minibatch (int64)
+//	[16:24) version (int64)
+//	[24:40) chunk info: bucket, phase, step, chunk (4 × int32)
+//	[40:44) label count (uint32)
+//	[44:48) tensor rank (uint32; frameNilTensor = no tensor)
+//	then    rank × uint32 dims, labels × int64, elems × float32
+const (
+	frameMagic     = 0x50444631 // "PDF1"
+	frameHeaderLen = 48
+	// frameNilTensor in the rank field marks a message without a tensor
+	// (heartbeats, failed-batch predictions).
+	frameNilTensor = 0xFFFFFFFF
+	// frameMaxDims and frameMaxElems bound what a frame may describe, so
+	// a corrupt or hostile header cannot demand an absurd allocation.
+	frameMaxDims   = 16
+	frameMaxElems  = 1 << 28 // 1 GiB of float32 payload
+	frameMaxLabels = 1 << 24
+)
+
+// frameLen returns the encoded size of m in bytes.
+func frameLen(m Message) int {
+	n := frameHeaderLen + 8*len(m.Labels)
+	if m.Tensor != nil {
+		n += 4*m.Tensor.NumDims() + 4*m.Tensor.Size()
+	}
+	return n
+}
+
+// appendFrame encodes m into buf (reusing its capacity) and returns the
+// full frame. The payload section is written directly from the tensor's
+// storage; no intermediate encoding buffer exists.
+func appendFrame(buf []byte, m Message) ([]byte, error) {
+	need := frameLen(m)
+	if cap(buf) < need {
+		buf = make([]byte, need)
+	}
+	buf = buf[:need]
+	le := binary.LittleEndian
+	le.PutUint32(buf[0:], frameMagic)
+	le.PutUint32(buf[4:], uint32(m.Kind))
+	le.PutUint64(buf[8:], uint64(m.Minibatch))
+	le.PutUint64(buf[16:], uint64(m.Version))
+	le.PutUint32(buf[24:], uint32(int32(m.Chunk.Bucket)))
+	le.PutUint32(buf[28:], uint32(int32(m.Chunk.Phase)))
+	le.PutUint32(buf[32:], uint32(int32(m.Chunk.Step)))
+	le.PutUint32(buf[36:], uint32(int32(m.Chunk.Chunk)))
+	le.PutUint32(buf[40:], uint32(len(m.Labels)))
+	off := frameHeaderLen
+	if m.Tensor == nil {
+		le.PutUint32(buf[44:], frameNilTensor)
+	} else {
+		t := m.Tensor
+		if t.NumDims() > frameMaxDims {
+			return buf, fmt.Errorf("transport: frame tensor rank %d exceeds %d", t.NumDims(), frameMaxDims)
+		}
+		if t.Size() > frameMaxElems {
+			return buf, fmt.Errorf("transport: frame tensor %d elems exceeds %d", t.Size(), frameMaxElems)
+		}
+		le.PutUint32(buf[44:], uint32(t.NumDims()))
+		for _, d := range t.Shape {
+			le.PutUint32(buf[off:], uint32(d))
+			off += 4
+		}
+	}
+	if len(m.Labels) > frameMaxLabels {
+		return buf, fmt.Errorf("transport: frame %d labels exceeds %d", len(m.Labels), frameMaxLabels)
+	}
+	for _, l := range m.Labels {
+		le.PutUint64(buf[off:], uint64(int64(l)))
+		off += 8
+	}
+	if m.Tensor != nil {
+		for _, v := range m.Tensor.Data {
+			le.PutUint32(buf[off:], math.Float32bits(v))
+			off += 4
+		}
+	}
+	return buf, nil
+}
+
+// readFrame decodes one frame from r. scratch is the caller's reusable
+// byte buffer (grown as needed and returned for the next call); the
+// decoded tensor comes from the global tensor pool, so receivers that
+// finish with a message may recycle it with tensor.Put.
+func readFrame(r io.Reader, scratch []byte) (Message, []byte, error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Message{}, scratch, err
+	}
+	le := binary.LittleEndian
+	if le.Uint32(hdr[0:]) != frameMagic {
+		return Message{}, scratch, fmt.Errorf("transport: bad frame magic %#x", le.Uint32(hdr[0:]))
+	}
+	m := Message{
+		Kind:      MsgKind(le.Uint32(hdr[4:])),
+		Minibatch: int(int64(le.Uint64(hdr[8:]))),
+		Version:   int(int64(le.Uint64(hdr[16:]))),
+		Chunk: ChunkInfo{
+			Bucket: int(int32(le.Uint32(hdr[24:]))),
+			Phase:  int(int32(le.Uint32(hdr[28:]))),
+			Step:   int(int32(le.Uint32(hdr[32:]))),
+			Chunk:  int(int32(le.Uint32(hdr[36:]))),
+		},
+	}
+	nLabels := le.Uint32(hdr[40:])
+	rank := le.Uint32(hdr[44:])
+	if nLabels > frameMaxLabels {
+		return Message{}, scratch, fmt.Errorf("transport: frame %d labels exceeds %d", nLabels, frameMaxLabels)
+	}
+	if rank != frameNilTensor && rank > frameMaxDims {
+		return Message{}, scratch, fmt.Errorf("transport: frame tensor rank %d exceeds %d", rank, frameMaxDims)
+	}
+	var shape []int
+	elems := 1
+	if rank == frameNilTensor {
+		elems = 0
+	} else {
+		shape = make([]int, rank)
+		if _, err := readInto(r, &scratch, 4*int(rank)); err != nil {
+			return Message{}, scratch, err
+		}
+		for i := range shape {
+			d := le.Uint32(scratch[4*i:])
+			if d > frameMaxElems {
+				return Message{}, scratch, fmt.Errorf("transport: frame dim %d out of range", d)
+			}
+			shape[i] = int(d)
+			elems *= int(d)
+			if elems > frameMaxElems {
+				return Message{}, scratch, fmt.Errorf("transport: frame tensor %v exceeds %d elems", shape, frameMaxElems)
+			}
+		}
+	}
+	if nLabels > 0 {
+		if _, err := readInto(r, &scratch, 8*int(nLabels)); err != nil {
+			return Message{}, scratch, err
+		}
+		m.Labels = make([]int, nLabels)
+		for i := range m.Labels {
+			m.Labels[i] = int(int64(le.Uint64(scratch[8*i:])))
+		}
+	}
+	if rank != frameNilTensor {
+		if _, err := readInto(r, &scratch, 4*elems); err != nil {
+			return Message{}, scratch, err
+		}
+		// Pooled, not fresh: steady-state receive loops cycle activation
+		// tensors through the pool instead of allocating per message.
+		t := tensor.GetRaw(shape...)
+		for i := range t.Data {
+			t.Data[i] = math.Float32frombits(le.Uint32(scratch[4*i:]))
+		}
+		m.Tensor = t
+	}
+	return m, scratch, nil
+}
+
+// readInto fills the first n bytes of *scratch from r, growing the
+// buffer when needed.
+func readInto(r io.Reader, scratch *[]byte, n int) (int, error) {
+	if cap(*scratch) < n {
+		*scratch = make([]byte, n)
+	}
+	*scratch = (*scratch)[:n]
+	return io.ReadFull(r, *scratch)
+}
+
+// frameReadLoop drains one connection, decoding frames into inbox until
+// the connection or transport closes.
+func frameReadLoop(conn io.Reader, inbox chan<- Message, closed <-chan struct{}) {
+	br := bufio.NewReaderSize(conn, 64<<10)
+	var scratch []byte
+	for {
+		m, s, err := readFrame(br, scratch)
+		if err != nil {
+			return
+		}
+		scratch = s
+		select {
+		case inbox <- m:
+		case <-closed:
+			return
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package transport
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"pipedream/internal/tensor"
+)
+
+// TestFrameRoundTrip encodes and decodes messages of every kind with and
+// without tensors and labels, checking exact field and payload recovery.
+func TestFrameRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	msgs := []Message{
+		{Kind: Heartbeat, Minibatch: -3, Version: 12},
+		{Kind: Prediction, Minibatch: 9},
+		{Kind: Activation, Minibatch: 4, Version: 2,
+			Tensor: tensor.Randn(rng, 1, 3, 5, 7), Labels: []int{1, 0, 9}},
+		{Kind: Gradient, Minibatch: 1 << 40, Version: -8,
+			Tensor: tensor.FromSlice([]float32{float32(math.Inf(1)), -0, 3.5e-30}, 3)},
+		{Kind: GradChunk, Minibatch: 77, Version: 1,
+			Chunk:  ChunkInfo{Bucket: 2, Phase: 1, Step: 3, Chunk: -1},
+			Tensor: tensor.Randn(rng, 0.5, 17)},
+		{Kind: Activation, Tensor: tensor.New()}, // rank-0 scalar tensor
+	}
+	var buf []byte
+	for i, m := range msgs {
+		enc, err := appendFrame(buf[:0], m)
+		if err != nil {
+			t.Fatalf("msg %d: encode: %v", i, err)
+		}
+		buf = enc
+		got, _, err := readFrame(bytes.NewReader(enc), nil)
+		if err != nil {
+			t.Fatalf("msg %d: decode: %v", i, err)
+		}
+		if got.Kind != m.Kind || got.Minibatch != m.Minibatch || got.Version != m.Version || got.Chunk != m.Chunk {
+			t.Fatalf("msg %d: header %+v, want %+v", i, got, m)
+		}
+		if len(got.Labels) != len(m.Labels) {
+			t.Fatalf("msg %d: %d labels, want %d", i, len(got.Labels), len(m.Labels))
+		}
+		for j, l := range m.Labels {
+			if got.Labels[j] != l {
+				t.Fatalf("msg %d: label %d = %d, want %d", i, j, got.Labels[j], l)
+			}
+		}
+		if (got.Tensor == nil) != (m.Tensor == nil) {
+			t.Fatalf("msg %d: tensor presence %v, want %v", i, got.Tensor != nil, m.Tensor != nil)
+		}
+		if m.Tensor != nil {
+			if !got.Tensor.SameShape(m.Tensor) {
+				t.Fatalf("msg %d: shape %v, want %v", i, got.Tensor.Shape, m.Tensor.Shape)
+			}
+			for j := range m.Tensor.Data {
+				if math.Float32bits(got.Tensor.Data[j]) != math.Float32bits(m.Tensor.Data[j]) {
+					t.Fatalf("msg %d: elem %d = %x, want %x", i, j,
+						math.Float32bits(got.Tensor.Data[j]), math.Float32bits(m.Tensor.Data[j]))
+				}
+			}
+		}
+	}
+}
+
+// TestFrameRejectsCorruptHeaders feeds hostile headers to the decoder and
+// requires a graceful error — never a panic or a giant allocation.
+func TestFrameRejectsCorruptHeaders(t *testing.T) {
+	good, err := appendFrame(nil, Message{Kind: Activation, Tensor: tensor.FromSlice([]float32{1, 2}, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := func(mutate func(b []byte)) []byte {
+		b := append([]byte(nil), good...)
+		mutate(b)
+		return b
+	}
+	cases := map[string][]byte{
+		"bad magic":    corrupt(func(b []byte) { b[0] = 'X' }),
+		"huge rank":    corrupt(func(b []byte) { b[44], b[45] = 0xFF, 0x00 }),
+		"huge labels":  corrupt(func(b []byte) { b[40], b[43] = 0xFF, 0x7F }),
+		"huge dim":     corrupt(func(b []byte) { b[48], b[49], b[50], b[51] = 0xFF, 0xFF, 0xFF, 0x3F }),
+		"truncated":    good[:len(good)-3],
+		"header only":  good[:frameHeaderLen],
+		"short header": good[:10],
+		"empty":        nil,
+	}
+	for name, b := range cases {
+		if _, _, err := readFrame(bytes.NewReader(b), nil); err == nil {
+			t.Errorf("%s: decode succeeded, want error", name)
+		}
+	}
+}
+
+// FuzzFrameRoundTrip decodes arbitrary bytes (must never panic) and, when
+// they decode, re-encodes and re-decodes to check the codec agrees with
+// itself.
+func FuzzFrameRoundTrip(f *testing.F) {
+	seed, _ := appendFrame(nil, Message{Kind: Activation, Minibatch: 3,
+		Tensor: tensor.FromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3), Labels: []int{4, 5}})
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, _, err := readFrame(bytes.NewReader(data), nil)
+		if err != nil {
+			return
+		}
+		enc, err := appendFrame(nil, m)
+		if err != nil {
+			return
+		}
+		m2, _, err := readFrame(bytes.NewReader(enc), nil)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if m2.Kind != m.Kind || m2.Minibatch != m.Minibatch || m2.Version != m.Version || m2.Chunk != m.Chunk {
+			t.Fatalf("round trip changed header: %+v vs %+v", m2, m)
+		}
+	})
+}

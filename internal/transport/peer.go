@@ -1,7 +1,6 @@
 package transport
 
 import (
-	"encoding/gob"
 	"fmt"
 	"net"
 	"sync"
@@ -28,7 +27,7 @@ type TCPPeer struct {
 	SendTimeout time.Duration
 
 	mu       sync.Mutex
-	conns    map[int]*gobConn
+	conns    map[int]*frameConn
 	accepted []net.Conn
 
 	stats statsCounters
@@ -57,7 +56,7 @@ func NewTCPPeer(me int, addrs []string, buffer int) (*TCPPeer, error) {
 		addrs:       addrs,
 		ln:          ln,
 		inbox:       make(chan Message, buffer),
-		conns:       make(map[int]*gobConn),
+		conns:       make(map[int]*frameConn),
 		closed:      make(chan struct{}),
 		noInbox:     make(chan Message),
 		DialTimeout: DefaultDialTimeout,
@@ -96,18 +95,7 @@ func (t *TCPPeer) acceptLoop() {
 
 func (t *TCPPeer) readLoop(conn net.Conn) {
 	defer t.wg.Done()
-	dec := gob.NewDecoder(conn)
-	for {
-		var m Message
-		if err := dec.Decode(&m); err != nil {
-			return
-		}
-		select {
-		case t.inbox <- m:
-		case <-t.closed:
-			return
-		}
-	}
+	frameReadLoop(conn, t.inbox, t.closed)
 }
 
 // Send implements Transport. Peers that have not started yet are retried
@@ -141,7 +129,7 @@ func (t *TCPPeer) Send(to int, m Message) error {
 	return fmt.Errorf("peer %d send to %d: %v: %w", t.me, to, lastErr, ErrPeerDown)
 }
 
-func (t *TCPPeer) dial(to int) (gc *gobConn, fresh bool, err error) {
+func (t *TCPPeer) dial(to int) (gc *frameConn, fresh bool, err error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if gc, ok := t.conns[to]; ok {
@@ -159,7 +147,7 @@ func (t *TCPPeer) dial(to int) (gc *gobConn, fresh bool, err error) {
 				tc.SetKeepAlive(true)
 				tc.SetKeepAlivePeriod(15 * time.Second)
 			}
-			gc := &gobConn{conn: conn, enc: gob.NewEncoder(conn)}
+			gc := &frameConn{conn: conn}
 			t.conns[to] = gc
 			return gc, true, nil
 		}
@@ -179,7 +167,7 @@ func (t *TCPPeer) dial(to int) (gc *gobConn, fresh bool, err error) {
 
 // invalidate drops a broken cached connection so the next dial
 // re-establishes it.
-func (t *TCPPeer) invalidate(to int, gc *gobConn) {
+func (t *TCPPeer) invalidate(to int, gc *frameConn) {
 	t.mu.Lock()
 	if cur, ok := t.conns[to]; ok && cur == gc {
 		delete(t.conns, to)

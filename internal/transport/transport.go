@@ -1,10 +1,11 @@
 // Package transport moves activations and gradients between pipeline-stage
 // workers. Three implementations share one interface: an in-process channel
 // transport (the common case: workers are goroutines), a TCP transport
-// that serializes messages with encoding/gob over real sockets, and a
-// per-process TCPPeer endpoint for multi-process deployments. A fourth,
-// Chaos, wraps any of them with deterministic fault injection for testing
-// the pipeline's failure paths.
+// that serializes messages as binary frames over real sockets (see
+// frame.go: payloads are written straight from tensor storage and
+// received into pooled tensors), and a per-process TCPPeer endpoint for
+// multi-process deployments. A fourth, Chaos, wraps any of them with
+// deterministic fault injection for testing the pipeline's failure paths.
 //
 // Send never panics: delivery failures surface as typed errors
 // (ErrPeerDown, ErrClosed) after automatic reconnect-with-backoff, so a
@@ -12,7 +13,6 @@
 package transport
 
 import (
-	"encoding/gob"
 	"fmt"
 	"net"
 	"sync"
@@ -200,7 +200,7 @@ type TCP struct {
 	RedialTimeout time.Duration
 
 	mu    sync.Mutex
-	conns map[int]*gobConn // destination worker -> connection
+	conns map[int]*frameConn // destination worker -> connection
 
 	stats statsCounters
 
@@ -209,22 +209,32 @@ type TCP struct {
 	closed    chan struct{}
 }
 
-type gobConn struct {
+// frameConn is one outbound socket plus its reusable frame buffer: each
+// send encodes the whole message into the buffer (payload bytes written
+// straight from the tensor's storage) and writes it with a single
+// syscall, so the steady state allocates nothing per message.
+type frameConn struct {
 	mu   sync.Mutex
 	conn net.Conn
-	enc  *gob.Encoder
+	buf  []byte
 }
 
-// send writes one message under the connection's encoder lock, bounded by
+// send writes one message under the connection's buffer lock, bounded by
 // timeout (0 means no deadline).
-func (gc *gobConn) send(m Message, timeout time.Duration) error {
-	gc.mu.Lock()
-	defer gc.mu.Unlock()
-	if timeout > 0 {
-		gc.conn.SetWriteDeadline(time.Now().Add(timeout))
-		defer gc.conn.SetWriteDeadline(time.Time{})
+func (fc *frameConn) send(m Message, timeout time.Duration) error {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	buf, err := appendFrame(fc.buf, m)
+	fc.buf = buf
+	if err != nil {
+		return err
 	}
-	return gc.enc.Encode(m)
+	if timeout > 0 {
+		fc.conn.SetWriteDeadline(time.Now().Add(timeout))
+		defer fc.conn.SetWriteDeadline(time.Time{})
+	}
+	_, err = fc.conn.Write(buf)
+	return err
 }
 
 // NewTCP creates a TCP transport for n workers listening on ephemeral
@@ -233,7 +243,7 @@ func NewTCP(n, buffer int) (*TCP, error) {
 	t := &TCP{
 		n:             n,
 		inboxes:       make([]chan Message, n),
-		conns:         make(map[int]*gobConn),
+		conns:         make(map[int]*frameConn),
 		closed:        make(chan struct{}),
 		SendTimeout:   DefaultSendTimeout,
 		RedialTimeout: DefaultRedialTimeout,
@@ -268,18 +278,7 @@ func (t *TCP) acceptLoop(w int, ln net.Listener) {
 
 func (t *TCP) readLoop(w int, conn net.Conn) {
 	defer t.wg.Done()
-	dec := gob.NewDecoder(conn)
-	for {
-		var m Message
-		if err := dec.Decode(&m); err != nil {
-			return // connection closed
-		}
-		select {
-		case t.inboxes[w] <- m:
-		case <-t.closed:
-			return
-		}
-	}
+	frameReadLoop(conn, t.inboxes[w], t.closed)
 }
 
 // Send implements Transport. Connections are established lazily and
@@ -326,7 +325,7 @@ func (t *TCP) Send(to int, m Message) error {
 // dial returns the cached connection to worker `to`, establishing a new
 // one if none is cached. fresh reports whether this call created the
 // connection.
-func (t *TCP) dial(to int) (gc *gobConn, fresh bool, err error) {
+func (t *TCP) dial(to int) (gc *frameConn, fresh bool, err error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if to < 0 || to >= t.n {
@@ -343,7 +342,7 @@ func (t *TCP) dial(to int) (gc *gobConn, fresh bool, err error) {
 		tc.SetKeepAlive(true)
 		tc.SetKeepAlivePeriod(15 * time.Second)
 	}
-	gc = &gobConn{conn: conn, enc: gob.NewEncoder(conn)}
+	gc = &frameConn{conn: conn}
 	t.conns[to] = gc
 	return gc, true, nil
 }
@@ -351,7 +350,7 @@ func (t *TCP) dial(to int) (gc *gobConn, fresh bool, err error) {
 // invalidate drops a broken cached connection so the next Send re-dials.
 // It only evicts if the cache still holds the same connection (a
 // concurrent Send may already have replaced it).
-func (t *TCP) invalidate(to int, gc *gobConn) {
+func (t *TCP) invalidate(to int, gc *frameConn) {
 	t.mu.Lock()
 	if cur, ok := t.conns[to]; ok && cur == gc {
 		delete(t.conns, to)

@@ -22,12 +22,14 @@ JSON="$OUT_DIR/BENCH_kernels.json"
 go test -run '^$' -bench "$PATTERN" -benchmem \
   -benchtime "$BENCHTIME" -count "$COUNT" . | tee "$TXT"
 
-# Serving benchmarks: batch-size-1 baseline vs dynamic batching. The
-# dynamic/batch1 ns-per-op ratio is the batching speedup at saturation.
+# Serving benchmarks: batch-size-1 baseline vs dynamic batching, plus
+# the unfused forward path (training kernels, no arenas) against the
+# fused default. dynamic/batch1 ns-per-op is the batching speedup at
+# saturation; unfused/dynamic is the fused-hot-path speedup.
 SERVE_TXT="$OUT_DIR/BENCH_serve.txt"
 SERVE_JSON="$OUT_DIR/BENCH_serve.json"
 
-go test -run '^$' -bench '^BenchmarkServe(Batch1|Dynamic)$' -benchmem \
+go test -run '^$' -bench '^BenchmarkServe(Batch1|Dynamic|DynamicUnfused)$' -benchmem \
   -benchtime "$BENCHTIME" -count "$COUNT" . | tee "$SERVE_TXT"
 
 # Distill "BenchmarkName-P  N  ns/op  B/op  allocs/op" lines to JSON.
@@ -49,16 +51,24 @@ BEGIN { print "{"; printf "  \"ncpu\": %d,\n  \"benchmarks\": [", parallelism; f
 END { print "\n  ]\n}" }
 ' "$TXT" > "$JSON"
 
-# Serve JSON adds the headline number: dynamic-batching speedup over the
-# batch-size-1 baseline (ratio of mean ns/op).
+# Serve JSON adds the headline numbers: dynamic-batching speedup over
+# the batch-size-1 baseline and fused-forward speedup over the unfused
+# path (ratios of mean ns/op), plus per-benchmark allocs/op and the
+# median request latency (p50_us).
 awk -v parallelism="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)" '
 /^Benchmark/ && / ns\/op/ {
     name = $1; sub(/-[0-9]+$/, "", name)
     ns = ""
-    for (i = 2; i <= NF; i++) if ($i == "ns/op") ns = $(i-1)
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op")     ns = $(i-1)
+        if ($i == "B/op")      { bsum[name] += $(i-1); bcnt[name]++ }
+        if ($i == "allocs/op") { asum[name] += $(i-1); acnt[name]++ }
+        if ($i == "p50_us")    { psum[name] += $(i-1); pcnt[name]++ }
+    }
     if (ns == "") next
     sum[name] += ns; cnt[name]++
 }
+function field(s, c, name) { return (c[name] ? sprintf("%.1f", s[name] / c[name]) : "null") }
 END {
     print "{"
     printf "  \"ncpu\": %d,\n", parallelism
@@ -67,12 +77,21 @@ END {
     for (name in sum) {
         if (!first) printf ","
         first = 0
-        printf "\n    {\"name\": \"%s\", \"ns_per_op\": %.1f}", name, sum[name] / cnt[name]
+        printf "\n    {\"name\": \"%s\", \"ns_per_op\": %.1f, \"bytes_per_op\": %s, \"allocs_per_op\": %s, \"p50_us\": %s}", \
+            name, sum[name] / cnt[name], field(bsum, bcnt, name), field(asum, acnt, name), field(psum, pcnt, name)
     }
     print "\n  ],"
     b1 = sum["BenchmarkServeBatch1"] / cnt["BenchmarkServeBatch1"]
     dyn = sum["BenchmarkServeDynamic"] / cnt["BenchmarkServeDynamic"]
-    printf "  \"dynamic_batching_speedup\": %.2f\n}\n", b1 / dyn
+    printf "  \"dynamic_batching_speedup\": %.2f,\n", b1 / dyn
+    unf = sum["BenchmarkServeDynamicUnfused"] / cnt["BenchmarkServeDynamicUnfused"]
+    printf "  \"fused_forward_speedup\": %.2f", unf / dyn
+    if (pcnt["BenchmarkServeDynamic"] && pcnt["BenchmarkServeDynamicUnfused"]) {
+        printf ",\n  \"p50_us_fused\": %.1f,\n  \"p50_us_unfused\": %.1f", \
+            psum["BenchmarkServeDynamic"] / pcnt["BenchmarkServeDynamic"], \
+            psum["BenchmarkServeDynamicUnfused"] / pcnt["BenchmarkServeDynamicUnfused"]
+    }
+    print "\n}"
 }
 ' "$SERVE_TXT" > "$SERVE_JSON"
 

@@ -35,13 +35,36 @@ echo "== serving gate (dynamic batcher + stage workers under the race detector)"
 go test -race -count=2 ./internal/serve/
 go test -race -run 'Serve' ./
 
-echo "== fuzz smoke (flatten round-trip + checkpoint manifest parser, 10s each)"
+echo "== fuzz smoke (flatten + frame round-trips + checkpoint manifest parser, 10s each)"
 go test -run '^$' -fuzz '^FuzzFlattenRoundTrip$' -fuzztime=10s ./internal/transport/
+go test -run '^$' -fuzz '^FuzzFrameRoundTrip$' -fuzztime=10s ./internal/transport/
 go test -run '^$' -fuzz '^FuzzManifestParse$' -fuzztime=10s ./internal/pipeline/
+
+echo "== alloc budgets (allocs/op vs scripts/alloc_budget.txt)"
+ALLOC_OUT=$(go test -run '^$' -bench '^(BenchmarkLSTMForwardBackward|BenchmarkPipelineRuntimeEpoch|BenchmarkGradSync|BenchmarkServeDynamic)$' \
+    -benchmem -benchtime 10x .)
+echo "$ALLOC_OUT"
+OVER=$(echo "$ALLOC_OUT" | awk '
+    NR == FNR {
+        if ($0 !~ /^#/ && NF == 2) budget[$1] = $2
+        next
+    }
+    /^Benchmark/ && / allocs\/op/ {
+        name = $1; sub(/-[0-9]+$/, "", name)
+        for (i = 2; i <= NF; i++) if ($i == "allocs/op") allocs = $(i-1)
+        if (name in budget && allocs + 0 > budget[name] + 0)
+            printf "%s: %d allocs/op exceeds budget %d\n", name, allocs, budget[name]
+    }
+' scripts/alloc_budget.txt -)
+if [ -n "$OVER" ]; then
+    echo "alloc regression (tighten the code or consciously raise scripts/alloc_budget.txt):" >&2
+    echo "$OVER" >&2
+    exit 1
+fi
 
 echo "== no panics on transport send/receive paths"
 PANICS=$(grep -n 'panic(' internal/transport/transport.go internal/transport/peer.go \
-    internal/transport/chaos.go internal/transport/errors.go || true)
+    internal/transport/frame.go internal/transport/chaos.go internal/transport/errors.go || true)
 if [ -n "$PANICS" ]; then
     echo "transport data path must return errors, not panic:" >&2
     echo "$PANICS" >&2
