@@ -315,6 +315,43 @@ func BenchmarkServeBatch1(b *testing.B)         { benchServe(b, 1, false) }
 func BenchmarkServeDynamic(b *testing.B)        { benchServe(b, 16, false) }
 func BenchmarkServeDynamicUnfused(b *testing.B) { benchServe(b, 16, true) }
 
+// BenchmarkWeightSwap measures the cost of installing a new weight
+// generation into a live 8-stage server: slicing the model by the plan
+// plus the version-table flip. This is the full request-visible swap
+// cost — requests never stop during it, so it bounds how often a
+// follower can swap, not request latency.
+func BenchmarkWeightSwap(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	build := func() *nn.Sequential {
+		layers := make([]nn.Layer, 8)
+		for i := range layers {
+			layers[i] = nn.NewDense(rng, fmt.Sprintf("fc%d", i), 8, 8)
+		}
+		return nn.NewSequential(layers...)
+	}
+	srv, err := serve.NewServer(serve.Config{
+		Model:             build(),
+		Plan:              mustStraightPlan(b, 8, 8),
+		MaxBatch:          16,
+		BatchTimeout:      500 * time.Microsecond,
+		KernelParallelism: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	// Two models swapped alternately so every iteration installs a
+	// distinct weightVersion; generations must strictly advance.
+	models := [2]*nn.Sequential{build(), build()}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := srv.SwapModel(models[i%2], i+1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func mustStraightPlan(b *testing.B, layers, stages int) *partition.Plan {
 	b.Helper()
 	prof := &ModelProfile{Model: "bench", MinibatchSize: 1, InputBytes: 4}

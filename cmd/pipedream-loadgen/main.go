@@ -11,6 +11,12 @@
 //     regardless of completions, so queueing delay shows up in the tail
 //     latencies — the latency-under-load measurement.
 //
+// While driving load the generator also polls the server's /healthz and
+// tracks its weight generation: when the server hot-swaps checkpoints
+// mid-run (pipedream-serve -follow), the final report shows the
+// generation trajectory and whether any failures landed near a swap —
+// the zero-downtime check for live retraining (see docs/SERVING.md).
+//
 // Example:
 //
 //	pipedream-serve -task spiral -checkpoint-dir /tmp/ckpt -addr :8080 &
@@ -67,22 +73,35 @@ func main() {
 		sent.Add(1)
 		return time.Now().Before(deadline)
 	}
+	// Failure timestamps are kept so the final report can say whether
+	// failures clustered around weight hot-swaps — the whole point of
+	// zero-downtime swapping is that they must not.
+	var failMu sync.Mutex
+	var failTimes []time.Time
 	fire := func(i int) {
 		body := bodies[i%len(bodies)]
 		start := time.Now()
 		status, err := post(client, *addr+"/infer", body)
 		lat.Observe(float64(time.Since(start).Microseconds()))
 		switch {
-		case err != nil || status >= 500:
-			failed.Add(1)
-		case status == http.StatusTooManyRequests:
-			shed.Add(1)
-		case status == http.StatusOK:
+		case err == nil && status == http.StatusOK:
 			ok.Add(1)
+		case err == nil && status == http.StatusTooManyRequests:
+			shed.Add(1)
 		default:
 			failed.Add(1)
+			failMu.Lock()
+			failTimes = append(failTimes, time.Now())
+			failMu.Unlock()
 		}
 	}
+
+	// Watch the server's weight generation over /healthz for the length
+	// of the run, recording when hot-swaps land.
+	sw := newSwapWatch(client, *addr)
+	watchDone := make(chan struct{})
+	watchStopped := make(chan struct{})
+	go sw.run(watchDone, watchStopped)
 
 	// Snapshot the client process's memory counters around the run: the
 	// deltas report loadgen-side allocation and GC-pause cost per
@@ -119,11 +138,14 @@ func main() {
 	}
 	wg.Wait()
 	wall := time.Since(t0)
+	close(watchDone)
+	<-watchStopped
 	var memAfter runtime.MemStats
 	runtime.ReadMemStats(&memAfter)
 
 	n := ok.Load()
 	fmt.Printf("completed: %d ok, %d shed (429), %d failed in %v\n", n, shed.Load(), failed.Load(), wall.Round(time.Millisecond))
+	sw.report(failTimes)
 	if n > 0 {
 		fmt.Printf("throughput: %.1f req/s, %.1f rows/s\n",
 			float64(n)/wall.Seconds(), float64(n*int64(*rows))/wall.Seconds())
@@ -167,6 +189,97 @@ func buildBodies(task *cliconf.Task, rows int) [][]byte {
 		fatal(fmt.Errorf("eval set smaller than %d rows per request", rows))
 	}
 	return bodies
+}
+
+// swapWatch polls the server's /healthz during the run and records when
+// the reported weight generation changes — each change is a hot-swap
+// landing while load is in flight. The final report cross-references
+// request failures against these swap times: a server upholding the
+// zero-downtime guarantee shows generations advancing with no failures
+// near the swaps.
+type swapWatch struct {
+	client *http.Client
+	addr   string
+
+	mu        sync.Mutex
+	seen      bool
+	first     int64
+	last      int64
+	swapTimes []time.Time
+}
+
+func newSwapWatch(client *http.Client, addr string) *swapWatch {
+	return &swapWatch{client: client, addr: addr}
+}
+
+// run polls /healthz until done closes. A server without the
+// WeightGeneration field (or an unreachable /healthz) just leaves the
+// watch empty; the report then stays silent.
+func (sw *swapWatch) run(done <-chan struct{}, stopped chan<- struct{}) {
+	defer close(stopped)
+	tick := time.NewTicker(200 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		sw.sample()
+		select {
+		case <-done:
+			return
+		case <-tick.C:
+		}
+	}
+}
+
+func (sw *swapWatch) sample() {
+	resp, err := sw.client.Get(sw.addr + "/healthz")
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	var st struct {
+		WeightGeneration int64
+	}
+	if json.NewDecoder(resp.Body).Decode(&st) != nil {
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	if !sw.seen {
+		sw.seen, sw.first, sw.last = true, st.WeightGeneration, st.WeightGeneration
+		return
+	}
+	if st.WeightGeneration != sw.last {
+		sw.last = st.WeightGeneration
+		sw.swapTimes = append(sw.swapTimes, time.Now())
+	}
+}
+
+// report prints the generation trajectory and attributes failures to
+// swap windows: a failure within swapWindow of an observed swap counts
+// as "during swap". Zero is the number to expect.
+func (sw *swapWatch) report(failTimes []time.Time) {
+	const swapWindow = 500 * time.Millisecond
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	if !sw.seen {
+		return
+	}
+	if len(sw.swapTimes) == 0 {
+		fmt.Printf("weight generation: %d (no swaps observed)\n", sw.last)
+		return
+	}
+	nearSwap := 0
+	for _, ft := range failTimes {
+		for _, st := range sw.swapTimes {
+			if d := ft.Sub(st); d > -swapWindow && d < swapWindow {
+				nearSwap++
+				break
+			}
+		}
+	}
+	fmt.Printf("weight generation: %d → %d, %d hot-swap(s) observed under load\n",
+		sw.first, sw.last, len(sw.swapTimes))
+	fmt.Printf("failures within %v of a swap: %d of %d\n", swapWindow, nearSwap, len(failTimes))
 }
 
 func post(client *http.Client, url string, body []byte) (int, error) {

@@ -9,6 +9,13 @@
 //	pipedream-train -task spiral -epochs 8 -checkpoint-dir /tmp/ckpt
 //	pipedream-serve -task spiral -stages 2 -checkpoint-dir /tmp/ckpt -addr :8080
 //
+// Follow a live trainer with -follow: the server keeps polling the
+// checkpoint directory and hot-swaps each newer complete generation into
+// the running pipeline with zero downtime — in-flight requests finish on
+// the weights they started with (see docs/SERVING.md):
+//
+//	pipedream-serve -task spiral -stages 2 -checkpoint-dir /tmp/ckpt -follow -poll-interval 500ms
+//
 // Endpoints:
 //
 //	POST /infer    {"inputs": [[...row floats...], ...]} →
@@ -50,6 +57,8 @@ func main() {
 	mdl.RegisterForward(fs)
 	obsFlags.Register(fs)
 	ckptDir := flag.String("checkpoint-dir", "", "checkpoint directory to load the model from (\"\" serves freshly initialized weights)")
+	follow := flag.Bool("follow", false, "keep polling -checkpoint-dir and hot-swap newer generations into the live server")
+	pollInterval := flag.Duration("poll-interval", time.Second, "how often -follow polls the checkpoint directory")
 	addr := flag.String("addr", ":8080", "HTTP listen address")
 	maxBatch := flag.Int("max-batch", serve.DefaultMaxBatch, "max rows coalesced into one pipeline batch (1 disables dynamic batching)")
 	batchTimeout := flag.Duration("batch-timeout", serve.DefaultBatchTimeout, "max wait after the first queued request before dispatching a partial batch")
@@ -61,14 +70,25 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *follow && *ckptDir == "" {
+		fatal(errors.New("-follow requires -checkpoint-dir"))
+	}
 	model := task.Factory()
 	cursor := 0
 	if *ckptDir != "" {
 		model, cursor, err = pipeline.LoadModel(*ckptDir, task.Factory)
-		if err != nil {
+		switch {
+		case err == nil:
+			fmt.Printf("loaded checkpoint from %s (trained to minibatch %d)\n", *ckptDir, cursor)
+		case *follow:
+			// Under -follow an empty directory is the normal cold start:
+			// the trainer has not checkpointed yet, so serve fresh
+			// weights and let the follower pick up generation 1.
+			model, cursor = task.Factory(), 0
+			fmt.Printf("no checkpoint in %s yet, serving fresh weights until one appears\n", *ckptDir)
+		default:
 			fatal(err)
 		}
-		fmt.Printf("loaded checkpoint from %s (trained to minibatch %d)\n", *ckptDir, cursor)
 	} else {
 		fmt.Println("warning: no -checkpoint-dir, serving freshly initialized weights")
 	}
@@ -86,21 +106,41 @@ func main() {
 		reg = metrics.NewRegistry() // /metrics always works
 	}
 	srv, err := serve.NewServer(serve.Config{
-		Model:        model,
-		Plan:         plan,
-		InputShape:   inputShape,
-		MaxBatch:     *maxBatch,
-		BatchTimeout: *batchTimeout,
-		QueueCap:     *queueCap,
-		MaxInFlight:  *maxInFlight,
-		Metrics:      reg,
-		OpLog:        opLog,
+		Model:            model,
+		Plan:             plan,
+		InputShape:       inputShape,
+		MaxBatch:         *maxBatch,
+		BatchTimeout:     *batchTimeout,
+		QueueCap:         *queueCap,
+		MaxInFlight:      *maxInFlight,
+		WeightGeneration: cursor,
+		Metrics:          reg,
+		OpLog:            opLog,
 	})
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("serving %s (%d layers) on %d stage(s), max batch %d, batch timeout %v, input shape %v\n",
 		mdl.Task, len(model.Layers), srv.Stages(), *maxBatch, *batchTimeout, inputShape)
+
+	var follower *serve.Follower
+	if *follow {
+		follower, err = srv.Follow(serve.FollowConfig{
+			Dir:     *ckptDir,
+			Factory: task.Factory,
+			Poll:    *pollInterval,
+			OnSwap: func(gen int) {
+				fmt.Printf("hot-swapped to weight generation %d\n", gen)
+			},
+			OnError: func(err error) {
+				fmt.Fprintln(os.Stderr, "pipedream-serve: follow:", err)
+			},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("following %s every %v (currently at generation %d)\n", *ckptDir, *pollInterval, cursor)
+	}
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/infer", func(w http.ResponseWriter, r *http.Request) { handleInfer(srv, inputShape, w, r) })
@@ -136,6 +176,11 @@ func main() {
 		fatal(err)
 	}
 	<-idle
+	// Stop the follower before the server: a swap against a closing
+	// server is wasted work, and Close must not race a SwapModel.
+	if follower != nil {
+		follower.Close()
+	}
 	srv.Close()
 	if err := obsFlags.WriteOutputs(reg, opLog); err != nil {
 		fatal(err)
@@ -143,6 +188,9 @@ func main() {
 	st := srv.Stats()
 	fmt.Printf("served %d requests (%d rows) in %d batches, %d shed, %d errors, p50 %.0fus p99 %.0fus\n",
 		st.Responses, st.Rows, st.Batches, st.Shed, st.Errors, st.P50Micros, st.P99Micros)
+	if st.Swaps > 0 {
+		fmt.Printf("hot-swapped %d generation(s), finished at weight generation %d\n", st.Swaps, st.WeightGeneration)
+	}
 }
 
 // inferRequest is the POST /infer body: one flat float row per input.

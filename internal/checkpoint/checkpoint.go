@@ -1,0 +1,353 @@
+// Package checkpoint is the shared on-disk checkpoint format of the
+// PipeDream reproduction: generation directories of per-stage parameter
+// shards plus a validating manifest. The training runtime
+// (internal/pipeline) writes and restores them; the serving runtime
+// (internal/serve) follows them live, so the layout and its validation
+// rules live here, in one place both can import.
+//
+// Layout under a checkpoint directory:
+//
+//	gen-00000120/
+//	    stage00_replica00.ckpt   gob-encoded StageShard
+//	    stage01_replica00.ckpt
+//	    MANIFEST.json            written LAST (completeness marker)
+//
+// Every file is written to a temp name and renamed into place (atomic on
+// POSIX), and the manifest is written after every shard, so a reader
+// never observes a torn file and a generation whose manifest exists was
+// fully written — unless it is being pruned, which deletes files in
+// unspecified order. Readers therefore must treat a missing shard as
+// "this generation is gone" and fall back to an older one, never as
+// corruption (see LoadModel).
+package checkpoint
+
+import (
+	"encoding/gob"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"pipedream/internal/nn"
+	"pipedream/internal/tensor"
+)
+
+// StageShard is the serialized state of one stage replica — one worker's
+// slice of the model. The gob field set is the on-disk format; changing
+// it breaks existing checkpoints.
+type StageShard struct {
+	// Generation is the minibatch cursor of the generation this file
+	// belongs to; readers reject files whose Generation disagrees with
+	// their directory (a torn or hand-mixed checkpoint).
+	Generation int
+	// Stage and Replica locate the shard in the plan that wrote it.
+	Stage   int
+	Replica int
+	// Updates is the worker's local optimizer-update count.
+	Updates int
+	// Params holds the stage's parameter tensors in layer order.
+	Params []*tensor.Tensor
+	// OptState carries the optimizer's per-parameter state (momentum,
+	// Adam moments) when the optimizer implements nn.Stateful, so resumed
+	// training continues exactly.
+	OptState [][]*tensor.Tensor
+}
+
+// Manifest validates a generation: its content is derived only from the
+// plan and the cursor, so every process of a multi-process deployment
+// writes byte-identical manifests (coordination-free, §4). A reader
+// requires the manifest AND all stage files it implies; a generation
+// missing files is skipped (some stage hadn't finished writing, or a
+// prune is underway), while a present-but-inconsistent file fails
+// loudly.
+type Manifest struct {
+	// Generation repeats the cursor encoded in the directory name.
+	Generation int
+	// Cursor is the global minibatch count the generation's weights
+	// reflect — training resumes from here, and serving reports it as the
+	// weight generation.
+	Cursor int
+	// Stages and Replicas describe the plan shape the checkpoint was
+	// written for (Replicas[s] = replica count of stage s).
+	Stages   int
+	Replicas []int
+}
+
+// ManifestName is the file name of a generation's validating manifest.
+const ManifestName = "MANIFEST.json"
+
+// DirName returns the directory name of one generation ("gen-00000120").
+func DirName(cursor int) string { return fmt.Sprintf("gen-%08d", cursor) }
+
+// StageFileName returns the shard file name for one stage replica.
+func StageFileName(stage, replica int) string {
+	return fmt.Sprintf("stage%02d_replica%02d.ckpt", stage, replica)
+}
+
+// AtomicWrite writes via a temp file and renames it into place so
+// readers never observe a torn file.
+func AtomicWrite(path string, write func(*os.File) error) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	err = write(tmp)
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// WriteShard atomically writes one stage shard.
+func WriteShard(path string, shard *StageShard) error {
+	return AtomicWrite(path, func(f *os.File) error {
+		return gob.NewEncoder(f).Encode(shard)
+	})
+}
+
+// WriteManifest atomically writes a generation's manifest into gdir.
+// Call it only after every shard the manifest implies is in place — the
+// manifest's existence is what marks the generation complete.
+func WriteManifest(gdir string, man *Manifest) error {
+	return AtomicWrite(filepath.Join(gdir, ManifestName), func(f *os.File) error {
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		return enc.Encode(man)
+	})
+}
+
+// ReadShard reads and decodes one stage shard file.
+func ReadShard(path string) (*StageShard, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: read %s: %w", path, err)
+	}
+	var shard StageShard
+	err = gob.NewDecoder(f).Decode(&shard)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: read %s: %w", path, err)
+	}
+	return &shard, nil
+}
+
+// ListGenerations returns the generation cursors found under dir in
+// ascending order.
+func ListGenerations(dir string) ([]int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var gens []int
+	for _, e := range entries {
+		var g int
+		if e.IsDir() {
+			if _, err := fmt.Sscanf(e.Name(), "gen-%d", &g); err == nil {
+				gens = append(gens, g)
+			}
+		}
+	}
+	sort.Ints(gens)
+	return gens, nil
+}
+
+// ReadManifest reads and validates the manifest of one generation
+// directory.
+func ReadManifest(gdir string) (*Manifest, error) {
+	data, err := os.ReadFile(filepath.Join(gdir, ManifestName))
+	if err != nil {
+		return nil, err
+	}
+	return ParseManifest(data)
+}
+
+// MaxManifestStages bounds the plan shape a manifest may describe; a
+// larger value is corruption, not a real deployment, and rejecting it
+// here keeps completeness scans over the implied stage files bounded.
+const MaxManifestStages = 4096
+
+// ParseManifest decodes and sanity-checks a checkpoint manifest. It is
+// pure (no filesystem access) so it can be fuzzed directly; every
+// malformed input must produce an error, never a panic or an implausible
+// manifest.
+func ParseManifest(data []byte) (*Manifest, error) {
+	var man Manifest
+	if err := json.Unmarshal(data, &man); err != nil {
+		return nil, fmt.Errorf("manifest: %w", err)
+	}
+	if man.Generation < 0 || man.Cursor < 0 {
+		return nil, fmt.Errorf("manifest: negative generation %d / cursor %d", man.Generation, man.Cursor)
+	}
+	if man.Stages < 0 || man.Stages > MaxManifestStages {
+		return nil, fmt.Errorf("manifest: implausible stage count %d", man.Stages)
+	}
+	if len(man.Replicas) > MaxManifestStages {
+		return nil, fmt.Errorf("manifest: %d replica entries for %d stages", len(man.Replicas), man.Stages)
+	}
+	for s, r := range man.Replicas {
+		if r < 0 || r > MaxManifestStages {
+			return nil, fmt.Errorf("manifest: implausible replica count %d for stage %d", r, s)
+		}
+	}
+	return &man, nil
+}
+
+// Complete reports whether every stage file the manifest implies exists
+// in gdir. A complete generation can still lose shards immediately after
+// this check (a concurrent prune); readers must treat a missing shard at
+// read time the same as an incomplete generation here.
+func Complete(gdir string, man *Manifest) bool {
+	for s := 0; s < man.Stages; s++ {
+		reps := 1
+		if s < len(man.Replicas) {
+			reps = man.Replicas[s]
+		}
+		for r := 0; r < reps; r++ {
+			if _, err := os.Stat(filepath.Join(gdir, StageFileName(s, r))); err != nil {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Latest returns the cursor of the newest complete checkpoint generation
+// under dir — the minibatch count training would resume from, and the
+// weight generation serving would flip to. A generation is complete when
+// its manifest exists and every stage file the manifest implies is
+// present. It returns an error when no complete generation exists.
+func Latest(dir string) (int, error) {
+	gens, err := ListGenerations(dir)
+	if err != nil {
+		return 0, fmt.Errorf("checkpoint: dir %s: %w", dir, err)
+	}
+	for i := len(gens) - 1; i >= 0; i-- {
+		gdir := filepath.Join(dir, DirName(gens[i]))
+		man, err := ReadManifest(gdir)
+		if err != nil {
+			continue
+		}
+		if Complete(gdir, man) {
+			return man.Cursor, nil
+		}
+	}
+	return 0, fmt.Errorf("checkpoint: no complete generation in %s", dir)
+}
+
+// Prune keeps the newest `keep` generation directories under dir and
+// deletes older ones (each a complete checkpoint, so only the recent
+// history is worth disk). Deletion removes shard files before the
+// directory itself disappears, which is why readers re-validate shard
+// presence at read time.
+func Prune(dir string, keep int) {
+	gens, err := ListGenerations(dir)
+	if err != nil || len(gens) <= keep {
+		return
+	}
+	for _, g := range gens[:len(gens)-keep] {
+		os.RemoveAll(filepath.Join(dir, DirName(g)))
+	}
+}
+
+// LoadModel assembles a full trained model from the newest complete
+// checkpoint generation under dir, for forward-only use (serving,
+// evaluation, export). It reads replica 0 of every stage the generation's
+// manifest names, concatenates their parameters in stage order — which,
+// because stages partition the layer list, is exactly the full model's
+// parameter list — and copies them into a fresh model built by factory.
+// The returned cursor is the global minibatch count the weights reflect.
+//
+// LoadModel needs no plan: the consumer may re-partition the model into
+// a different number of stages than training used (or run it
+// unpartitioned). Generations that are incomplete — or that lose a shard
+// between the completeness check and the read, the mid-prune window —
+// are skipped in favour of older ones; a present-but-corrupt or
+// cross-generation-mixed file fails loudly.
+func LoadModel(dir string, factory func() *nn.Sequential) (*nn.Sequential, int, error) {
+	gens, err := ListGenerations(dir)
+	if err != nil {
+		return nil, 0, fmt.Errorf("checkpoint: load %s: %w", dir, err)
+	}
+	var lastSkip error
+	for i := len(gens) - 1; i >= 0; i-- {
+		gdir := filepath.Join(dir, DirName(gens[i]))
+		man, err := ReadManifest(gdir)
+		if err != nil {
+			if errors.Is(err, fs.ErrNotExist) {
+				lastSkip = fmt.Errorf("generation %d has no manifest", gens[i])
+				continue
+			}
+			return nil, 0, fmt.Errorf("checkpoint: load %s: %w", gdir, err)
+		}
+		if man.Generation != gens[i] {
+			return nil, 0, fmt.Errorf("checkpoint: load %s: manifest generation %d does not match directory",
+				gdir, man.Generation)
+		}
+		if !Complete(gdir, man) {
+			lastSkip = fmt.Errorf("generation %d is incomplete", gens[i])
+			continue
+		}
+		model, err := loadGenerationModel(gdir, man, factory)
+		if err != nil {
+			// A shard that existed at the completeness check but is gone
+			// at read time means a prune swept this generation away
+			// between the two; older generations are still valid.
+			if errors.Is(err, fs.ErrNotExist) {
+				lastSkip = fmt.Errorf("generation %d vanished mid-read: %v", gens[i], err)
+				continue
+			}
+			return nil, 0, err
+		}
+		return model, man.Cursor, nil
+	}
+	return nil, 0, fmt.Errorf("checkpoint: no complete generation in %s (%v)", dir, lastSkip)
+}
+
+// loadGenerationModel reads every stage's replica-0 file of one complete,
+// validated generation and copies the concatenated parameters into a
+// fresh model.
+func loadGenerationModel(gdir string, man *Manifest, factory func() *nn.Sequential) (*nn.Sequential, error) {
+	var loaded []*tensor.Tensor
+	for s := 0; s < man.Stages; s++ {
+		path := filepath.Join(gdir, StageFileName(s, 0))
+		shard, err := ReadShard(path)
+		if err != nil {
+			return nil, err
+		}
+		if shard.Generation != man.Generation {
+			return nil, fmt.Errorf("checkpoint: load %s: file generation %d in generation-%d directory (mixed checkpoint)",
+				path, shard.Generation, man.Generation)
+		}
+		if shard.Stage != s {
+			return nil, fmt.Errorf("checkpoint: load %s: file is for stage %d", path, shard.Stage)
+		}
+		loaded = append(loaded, shard.Params...)
+	}
+	model := factory()
+	params := model.Params()
+	if len(params) != len(loaded) {
+		return nil, fmt.Errorf("checkpoint: load %s: %d params in checkpoint, model has %d",
+			gdir, len(loaded), len(params))
+	}
+	for i, pt := range params {
+		if pt.Size() != loaded[i].Size() {
+			return nil, fmt.Errorf("checkpoint: load %s: param %d has %d values, model has %d",
+				gdir, i, loaded[i].Size(), pt.Size())
+		}
+		pt.CopyFrom(loaded[i])
+	}
+	return model, nil
+}

@@ -1,0 +1,156 @@
+package checkpoint
+
+import (
+	"errors"
+	"io/fs"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pipedream/internal/nn"
+)
+
+// testFactory builds a small deterministic 2-layer MLP.
+func testFactory(seed int64) func() *nn.Sequential {
+	return func() *nn.Sequential {
+		rng := rand.New(rand.NewSource(seed))
+		return nn.NewSequential(
+			nn.NewDense(rng, "fc1", 3, 8),
+			nn.NewDense(rng, "fc2", 8, 2),
+		)
+	}
+}
+
+// writeGeneration writes a complete single-stage generation holding the
+// model's full parameter list — the minimal valid layout LoadModel
+// accepts.
+func writeGeneration(t *testing.T, dir string, gen int, model *nn.Sequential) {
+	t.Helper()
+	gdir := filepath.Join(dir, DirName(gen))
+	if err := os.MkdirAll(gdir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	shard := &StageShard{Generation: gen, Stage: 0, Replica: 0, Params: model.Params()}
+	if err := WriteShard(filepath.Join(gdir, StageFileName(0, 0)), shard); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteManifest(gdir, &Manifest{Generation: gen, Cursor: gen, Stages: 1, Replicas: []int{1}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLoadModelRoundTrip writes a generation and loads it back
+// bit-exactly into a fresh model.
+func TestLoadModelRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	factory := testFactory(1)
+	src := factory()
+	src.Params()[0].Data[0] = 42.5 // diverge from the factory init
+	writeGeneration(t, dir, 10, src)
+
+	model, cursor, err := LoadModel(dir, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cursor != 10 {
+		t.Fatalf("cursor = %d, want 10", cursor)
+	}
+	for i, p := range src.Params() {
+		got := model.Params()[i]
+		for j := range p.Data {
+			if got.Data[j] != p.Data[j] {
+				t.Fatalf("param %d[%d] = %v, want %v", i, j, got.Data[j], p.Data[j])
+			}
+		}
+	}
+	if got, err := Latest(dir); err != nil || got != 10 {
+		t.Fatalf("Latest = %d, %v; want 10, nil", got, err)
+	}
+}
+
+// TestShardDeletedAfterManifest is the mid-prune window: a generation
+// whose manifest exists but whose shard has already been deleted must be
+// skipped in favour of the older complete generation — by Latest,
+// LoadModel, and therefore by the serve-side follower built on them.
+func TestShardDeletedAfterManifest(t *testing.T) {
+	dir := t.TempDir()
+	factory := testFactory(2)
+	old := factory()
+	old.Params()[0].Data[0] = 7
+	writeGeneration(t, dir, 10, old)
+	writeGeneration(t, dir, 20, factory())
+	// Simulate a prune that removed the shard but not yet the manifest.
+	if err := os.Remove(filepath.Join(dir, DirName(20), StageFileName(0, 0))); err != nil {
+		t.Fatal(err)
+	}
+
+	if got, err := Latest(dir); err != nil || got != 10 {
+		t.Fatalf("Latest = %d, %v; want 10 (gen 20 is mid-prune)", got, err)
+	}
+	model, cursor, err := LoadModel(dir, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cursor != 10 {
+		t.Fatalf("cursor = %d, want 10 (gen 20 is mid-prune)", cursor)
+	}
+	if model.Params()[0].Data[0] != 7 {
+		t.Fatal("LoadModel did not fall back to the older generation's weights")
+	}
+}
+
+// TestLoadGenerationMissingShardIsNotExist pins the error class the
+// mid-prune fallback keys on: a shard that vanishes between the
+// completeness check and the read surfaces as fs.ErrNotExist, which
+// LoadModel treats as "skip this generation", never as corruption.
+func TestLoadGenerationMissingShardIsNotExist(t *testing.T) {
+	dir := t.TempDir()
+	gdir := filepath.Join(dir, DirName(5))
+	if err := os.MkdirAll(gdir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	man := &Manifest{Generation: 5, Cursor: 5, Stages: 1, Replicas: []int{1}}
+	_, err := loadGenerationModel(gdir, man, testFactory(3))
+	if err == nil {
+		t.Fatal("loading a generation with no shards succeeded")
+	}
+	if !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("missing shard error is %v, want fs.ErrNotExist (the prune-race skip signal)", err)
+	}
+}
+
+// TestMixedGenerationFailsLoudly: a shard whose Generation disagrees
+// with its directory is corruption, not a race, and must error rather
+// than restore silently wrong weights.
+func TestMixedGenerationFailsLoudly(t *testing.T) {
+	dir := t.TempDir()
+	factory := testFactory(4)
+	writeGeneration(t, dir, 10, factory())
+	// Overwrite the shard with one claiming a different generation.
+	gdir := filepath.Join(dir, DirName(10))
+	shard := &StageShard{Generation: 99, Stage: 0, Replica: 0, Params: factory().Params()}
+	if err := WriteShard(filepath.Join(gdir, StageFileName(0, 0)), shard); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadModel(dir, factory); err == nil {
+		t.Fatal("LoadModel accepted a cross-generation-mixed checkpoint")
+	}
+}
+
+// TestPruneKeepsNewest: pruning retains exactly the newest generations.
+func TestPruneKeepsNewest(t *testing.T) {
+	dir := t.TempDir()
+	factory := testFactory(5)
+	for _, g := range []int{10, 20, 30, 40} {
+		writeGeneration(t, dir, g, factory())
+	}
+	Prune(dir, 2)
+	gens, err := ListGenerations(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gens) != 2 || gens[0] != 30 || gens[1] != 40 {
+		t.Fatalf("after prune: %v, want [30 40]", gens)
+	}
+}

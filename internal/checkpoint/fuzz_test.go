@@ -1,4 +1,4 @@
-package pipeline
+package checkpoint
 
 import (
 	"encoding/json"
@@ -17,24 +17,24 @@ func FuzzManifestParse(f *testing.F) {
 	f.Add([]byte(`not json at all`))
 	f.Add([]byte(``))
 	f.Fuzz(func(t *testing.T, data []byte) {
-		man, err := parseManifest(data)
+		man, err := ParseManifest(data)
 		if err != nil {
 			if man != nil {
-				t.Fatal("parseManifest returned both a manifest and an error")
+				t.Fatal("ParseManifest returned both a manifest and an error")
 			}
 			return
 		}
 		if man.Generation < 0 || man.Cursor < 0 {
 			t.Fatalf("accepted negative generation/cursor: %+v", man)
 		}
-		if man.Stages < 0 || man.Stages > maxManifestStages {
+		if man.Stages < 0 || man.Stages > MaxManifestStages {
 			t.Fatalf("accepted implausible stage count: %+v", man)
 		}
-		if len(man.Replicas) > maxManifestStages {
+		if len(man.Replicas) > MaxManifestStages {
 			t.Fatalf("accepted %d replica entries: %+v", len(man.Replicas), man)
 		}
 		for _, r := range man.Replicas {
-			if r < 0 || r > maxManifestStages {
+			if r < 0 || r > MaxManifestStages {
 				t.Fatalf("accepted implausible replica count: %+v", man)
 			}
 		}
@@ -44,7 +44,7 @@ func FuzzManifestParse(f *testing.F) {
 		if err != nil {
 			t.Fatalf("re-encode: %v", err)
 		}
-		again, err := parseManifest(re)
+		again, err := ParseManifest(re)
 		if err != nil {
 			t.Fatalf("re-parse of accepted manifest failed: %v", err)
 		}

@@ -1,54 +1,23 @@
 package pipeline
 
 import (
-	"encoding/gob"
-	"encoding/json"
+	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
-	"sort"
 
+	"pipedream/internal/checkpoint"
 	"pipedream/internal/nn"
 	"pipedream/internal/tensor"
 )
 
-// checkpointFile is the serialized state of one worker's stage.
-type checkpointFile struct {
-	// Generation is the minibatch cursor of the generation this file
-	// belongs to; Restore rejects files whose Generation disagrees with
-	// their directory (a torn or hand-mixed checkpoint).
-	Generation int
-	Stage      int
-	Replica    int
-	Updates    int
-	Params     []*tensor.Tensor
-	// OptState carries the optimizer's per-parameter state (momentum,
-	// Adam moments) when the optimizer implements nn.Stateful, so resumed
-	// training continues exactly.
-	OptState [][]*tensor.Tensor
-}
-
-// checkpointManifest validates a generation: its content is derived only
-// from the plan and the cursor, so every process of a multi-process
-// deployment writes byte-identical manifests (coordination-free, §4).
-// Restore requires the manifest AND all stage files it implies; a
-// generation missing files is skipped (some stage hadn't finished
-// writing), while a present-but-inconsistent file fails loudly.
-type checkpointManifest struct {
-	// Generation repeats the cursor encoded in the directory name.
-	Generation int
-	// Cursor is the global minibatch count the generation's weights
-	// reflect — training resumes from here.
-	Cursor int
-	// Stages and Replicas describe the plan shape the checkpoint was
-	// written for (Replicas[s] = replica count of stage s).
-	Stages   int
-	Replicas []int
-}
-
-const manifestName = "MANIFEST.json"
-
-func genDirName(cursor int) string { return fmt.Sprintf("gen-%08d", cursor) }
+// The on-disk format — generation directories of gob-encoded stage
+// shards plus a validating manifest — lives in internal/checkpoint, the
+// package the serving runtime's checkpoint follower shares. This file
+// keeps the pipeline-side workflow: writing a generation from live
+// workers at a drain barrier, and restoring workers (weights, optimizer
+// state, cursor) from the newest complete one.
 
 // Checkpoint writes each worker's current parameters to a new generation
 // under dir, one file per stage replica plus a validating manifest — the
@@ -64,7 +33,7 @@ func (p *Pipeline) Checkpoint(dir string) error {
 // manifest is written last, so a crash mid-write leaves a generation that
 // Restore recognizes as incomplete and skips.
 func (p *Pipeline) checkpointAt(dir string, cursor int) error {
-	gdir := filepath.Join(dir, genDirName(cursor))
+	gdir := filepath.Join(dir, checkpoint.DirName(cursor))
 	if err := os.MkdirAll(gdir, 0o755); err != nil {
 		return fmt.Errorf("pipeline: checkpoint dir: %w", err)
 	}
@@ -72,7 +41,7 @@ func (p *Pipeline) checkpointAt(dir string, cursor int) error {
 		if sw == nil { // solo deployments hold only this process's worker
 			continue
 		}
-		cf := checkpointFile{
+		shard := checkpoint.StageShard{
 			Generation: cursor,
 			Stage:      sw.stage,
 			Replica:    sw.replica,
@@ -80,33 +49,25 @@ func (p *Pipeline) checkpointAt(dir string, cursor int) error {
 			Params:     sw.model.Params(),
 		}
 		if st, ok := sw.opt.(nn.Stateful); ok {
-			cf.OptState = st.StateSnapshot(sw.model.Params())
+			shard.OptState = st.StateSnapshot(sw.model.Params())
 		}
-		path := filepath.Join(gdir, stageFileName(sw.stage, sw.replica))
-		if err := atomicWrite(path, func(f *os.File) error {
-			return gob.NewEncoder(f).Encode(&cf)
-		}); err != nil {
+		path := filepath.Join(gdir, checkpoint.StageFileName(sw.stage, sw.replica))
+		if err := checkpoint.WriteShard(path, &shard); err != nil {
 			return fmt.Errorf("pipeline: checkpoint %s: %w", path, err)
 		}
 	}
-	man := p.manifest(cursor)
-	mpath := filepath.Join(gdir, manifestName)
-	if err := atomicWrite(mpath, func(f *os.File) error {
-		enc := json.NewEncoder(f)
-		enc.SetIndent("", "  ")
-		return enc.Encode(&man)
-	}); err != nil {
-		return fmt.Errorf("pipeline: checkpoint %s: %w", mpath, err)
+	if err := checkpoint.WriteManifest(gdir, p.manifest(cursor)); err != nil {
+		return fmt.Errorf("pipeline: checkpoint %s: %w", gdir, err)
 	}
 	if p.opts.Metrics != nil {
 		p.opts.Metrics.Counter("pipeline.checkpoint_writes").Inc()
 	}
-	p.pruneGenerations(dir, 3)
+	checkpoint.Prune(dir, 3)
 	return nil
 }
 
-func (p *Pipeline) manifest(cursor int) checkpointManifest {
-	man := checkpointManifest{
+func (p *Pipeline) manifest(cursor int) *checkpoint.Manifest {
+	man := &checkpoint.Manifest{
 		Generation: cursor,
 		Cursor:     cursor,
 		Stages:     len(p.opts.Plan.Stages),
@@ -117,141 +78,17 @@ func (p *Pipeline) manifest(cursor int) checkpointManifest {
 	return man
 }
 
-func stageFileName(stage, replica int) string {
-	return fmt.Sprintf("stage%02d_replica%02d.ckpt", stage, replica)
-}
-
-// atomicWrite writes via a temp file and renames it into place so readers
-// never observe a torn file.
-func atomicWrite(path string, write func(*os.File) error) error {
-	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
-	if err != nil {
-		return err
-	}
-	err = write(tmp)
-	if cerr := tmp.Close(); err == nil {
-		err = cerr
-	}
-	if err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	return nil
-}
-
-// pruneGenerations keeps the newest `keep` generation directories and
-// deletes older ones (each a complete checkpoint, so only the recent
-// history is worth disk).
-func (p *Pipeline) pruneGenerations(dir string, keep int) {
-	gens, err := listGenerations(dir)
-	if err != nil || len(gens) <= keep {
-		return
-	}
-	for _, g := range gens[:len(gens)-keep] {
-		os.RemoveAll(filepath.Join(dir, genDirName(g)))
-	}
-}
-
-// listGenerations returns the generation cursors found under dir in
-// ascending order.
-func listGenerations(dir string) ([]int, error) {
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		return nil, err
-	}
-	var gens []int
-	for _, e := range entries {
-		var g int
-		if e.IsDir() {
-			if _, err := fmt.Sscanf(e.Name(), "gen-%d", &g); err == nil {
-				gens = append(gens, g)
-			}
-		}
-	}
-	sort.Ints(gens)
-	return gens, nil
-}
-
 // LatestCheckpoint returns the cursor of the newest complete checkpoint
 // generation under dir — the minibatch count training would resume from.
 // A generation is complete when its manifest exists and every stage file
 // the manifest implies is present. It returns an error when no complete
 // generation exists.
 func LatestCheckpoint(dir string) (int, error) {
-	gens, err := listGenerations(dir)
+	cursor, err := checkpoint.Latest(dir)
 	if err != nil {
-		return 0, fmt.Errorf("pipeline: checkpoint dir %s: %w", dir, err)
+		return 0, fmt.Errorf("pipeline: %w", err)
 	}
-	for i := len(gens) - 1; i >= 0; i-- {
-		man, err := readManifest(filepath.Join(dir, genDirName(gens[i])))
-		if err != nil {
-			continue
-		}
-		if generationComplete(filepath.Join(dir, genDirName(gens[i])), man) {
-			return man.Cursor, nil
-		}
-	}
-	return 0, fmt.Errorf("pipeline: no complete checkpoint generation in %s", dir)
-}
-
-func readManifest(gdir string) (*checkpointManifest, error) {
-	data, err := os.ReadFile(filepath.Join(gdir, manifestName))
-	if err != nil {
-		return nil, err
-	}
-	return parseManifest(data)
-}
-
-// maxManifestStages bounds the plan shape a manifest may describe; a
-// larger value is corruption, not a real deployment, and rejecting it
-// here keeps completeness scans over the implied stage files bounded.
-const maxManifestStages = 4096
-
-// parseManifest decodes and sanity-checks a checkpoint manifest. It is
-// pure (no filesystem access) so it can be fuzzed directly; every
-// malformed input must produce an error, never a panic or an implausible
-// manifest.
-func parseManifest(data []byte) (*checkpointManifest, error) {
-	var man checkpointManifest
-	if err := json.Unmarshal(data, &man); err != nil {
-		return nil, fmt.Errorf("manifest: %w", err)
-	}
-	if man.Generation < 0 || man.Cursor < 0 {
-		return nil, fmt.Errorf("manifest: negative generation %d / cursor %d", man.Generation, man.Cursor)
-	}
-	if man.Stages < 0 || man.Stages > maxManifestStages {
-		return nil, fmt.Errorf("manifest: implausible stage count %d", man.Stages)
-	}
-	if len(man.Replicas) > maxManifestStages {
-		return nil, fmt.Errorf("manifest: %d replica entries for %d stages", len(man.Replicas), man.Stages)
-	}
-	for s, r := range man.Replicas {
-		if r < 0 || r > maxManifestStages {
-			return nil, fmt.Errorf("manifest: implausible replica count %d for stage %d", r, s)
-		}
-	}
-	return &man, nil
-}
-
-// generationComplete reports whether every stage file the manifest
-// implies exists in gdir.
-func generationComplete(gdir string, man *checkpointManifest) bool {
-	for s := 0; s < man.Stages; s++ {
-		reps := 1
-		if s < len(man.Replicas) {
-			reps = man.Replicas[s]
-		}
-		for r := 0; r < reps; r++ {
-			if _, err := os.Stat(filepath.Join(gdir, stageFileName(s, r))); err != nil {
-				return false
-			}
-		}
-	}
-	return true
+	return cursor, nil
 }
 
 // LoadModel assembles a full trained model from the newest complete
@@ -264,82 +101,20 @@ func generationComplete(gdir string, man *checkpointManifest) bool {
 //
 // Unlike Restore, LoadModel needs no Pipeline and no plan: the serving
 // process may re-partition the model into a different number of stages
-// than training used (or run it unpartitioned).
+// than training used (or run it unpartitioned). Generations that lose a
+// shard between the completeness check and the read (a concurrent prune)
+// are skipped in favour of older ones.
 func LoadModel(dir string, factory func() *nn.Sequential) (*nn.Sequential, int, error) {
-	gens, err := listGenerations(dir)
-	if err != nil {
-		return nil, 0, fmt.Errorf("pipeline: load %s: %w", dir, err)
-	}
-	var lastSkip error
-	for i := len(gens) - 1; i >= 0; i-- {
-		gdir := filepath.Join(dir, genDirName(gens[i]))
-		man, err := readManifest(gdir)
-		if err != nil {
-			if os.IsNotExist(err) {
-				lastSkip = fmt.Errorf("generation %d has no manifest", gens[i])
-				continue
-			}
-			return nil, 0, fmt.Errorf("pipeline: load %s: %w", gdir, err)
-		}
-		if man.Generation != gens[i] {
-			return nil, 0, fmt.Errorf("pipeline: load %s: manifest generation %d does not match directory",
-				gdir, man.Generation)
-		}
-		if !generationComplete(gdir, man) {
-			lastSkip = fmt.Errorf("generation %d is incomplete", gens[i])
-			continue
-		}
-		model, err := loadGenerationModel(gdir, man, factory)
-		if err != nil {
-			return nil, 0, err
-		}
-		return model, man.Cursor, nil
-	}
-	return nil, 0, fmt.Errorf("pipeline: no complete checkpoint generation in %s (%v)", dir, lastSkip)
-}
-
-// loadGenerationModel reads every stage's replica-0 file of one complete,
-// validated generation and copies the concatenated parameters into a
-// fresh model.
-func loadGenerationModel(gdir string, man *checkpointManifest, factory func() *nn.Sequential) (*nn.Sequential, error) {
-	var loaded []*tensor.Tensor
-	for s := 0; s < man.Stages; s++ {
-		path := filepath.Join(gdir, stageFileName(s, 0))
-		cf, err := readStageFile(path)
-		if err != nil {
-			return nil, err
-		}
-		if cf.Generation != man.Generation {
-			return nil, fmt.Errorf("pipeline: load %s: file generation %d in generation-%d directory (mixed checkpoint)",
-				path, cf.Generation, man.Generation)
-		}
-		if cf.Stage != s {
-			return nil, fmt.Errorf("pipeline: load %s: file is for stage %d", path, cf.Stage)
-		}
-		loaded = append(loaded, cf.Params...)
-	}
-	model := factory()
-	params := model.Params()
-	if len(params) != len(loaded) {
-		return nil, fmt.Errorf("pipeline: load %s: %d params in checkpoint, model has %d",
-			gdir, len(loaded), len(params))
-	}
-	for i, pt := range params {
-		if pt.Size() != loaded[i].Size() {
-			return nil, fmt.Errorf("pipeline: load %s: param %d has %d values, model has %d",
-				gdir, i, loaded[i].Size(), pt.Size())
-		}
-		pt.CopyFrom(loaded[i])
-	}
-	return model, nil
+	return checkpoint.LoadModel(dir, factory)
 }
 
 // Restore loads parameters previously written by Checkpoint: the newest
 // complete generation is selected, validated against this pipeline's plan,
 // and every local worker's weights, optimizer state, and update counter
 // are restored; the pipeline's minibatch cursor rewinds to the
-// generation's. Incomplete generations (missing stage files) are skipped
-// in favour of older ones; a present-but-corrupt or plan-mismatched
+// generation's. Incomplete generations (missing stage files — including
+// files that vanish mid-read under a concurrent prune) are skipped in
+// favour of older ones; a present-but-corrupt or plan-mismatched
 // generation fails loudly. Directories written by the pre-generation flat
 // layout are still accepted (without cursor information).
 func (p *Pipeline) Restore(dir string) error {
@@ -350,7 +125,7 @@ func (p *Pipeline) Restore(dir string) error {
 // restoreLatest restores from the newest complete generation and returns
 // its cursor.
 func (p *Pipeline) restoreLatest(dir string) (int, error) {
-	gens, err := listGenerations(dir)
+	gens, err := checkpoint.ListGenerations(dir)
 	if err != nil {
 		return 0, fmt.Errorf("pipeline: restore %s: %w", dir, err)
 	}
@@ -363,10 +138,10 @@ func (p *Pipeline) restoreLatest(dir string) (int, error) {
 	}
 	var lastSkip error
 	for i := len(gens) - 1; i >= 0; i-- {
-		gdir := filepath.Join(dir, genDirName(gens[i]))
-		man, err := readManifest(gdir)
+		gdir := filepath.Join(dir, checkpoint.DirName(gens[i]))
+		man, err := checkpoint.ReadManifest(gdir)
 		if err != nil {
-			if os.IsNotExist(err) {
+			if errors.Is(err, fs.ErrNotExist) {
 				lastSkip = fmt.Errorf("generation %d has no manifest", gens[i])
 				continue // crashed before the manifest: incomplete
 			}
@@ -379,11 +154,18 @@ func (p *Pipeline) restoreLatest(dir string) (int, error) {
 		if err := p.validateManifest(man); err != nil {
 			return 0, fmt.Errorf("pipeline: restore %s: %w", gdir, err)
 		}
-		if !generationComplete(gdir, man) {
+		if !checkpoint.Complete(gdir, man) {
 			lastSkip = fmt.Errorf("generation %d is incomplete", gens[i])
 			continue
 		}
 		if err := p.restoreGeneration(gdir, man); err != nil {
+			// A shard present at the completeness check but gone at read
+			// time means a prune swept this generation between the two;
+			// fall back to an older complete one.
+			if errors.Is(err, fs.ErrNotExist) {
+				lastSkip = fmt.Errorf("generation %d vanished mid-read: %v", gens[i], err)
+				continue
+			}
 			return 0, err
 		}
 		p.cursor = man.Cursor
@@ -393,7 +175,7 @@ func (p *Pipeline) restoreLatest(dir string) (int, error) {
 }
 
 // validateManifest checks the manifest against this pipeline's plan shape.
-func (p *Pipeline) validateManifest(man *checkpointManifest) error {
+func (p *Pipeline) validateManifest(man *checkpoint.Manifest) error {
 	if man.Stages != len(p.opts.Plan.Stages) {
 		return fmt.Errorf("checkpoint has %d stages, plan has %d", man.Stages, len(p.opts.Plan.Stages))
 	}
@@ -411,67 +193,51 @@ func (p *Pipeline) validateManifest(man *checkpointManifest) error {
 
 // restoreGeneration loads this process's workers from one complete,
 // validated generation.
-func (p *Pipeline) restoreGeneration(gdir string, man *checkpointManifest) error {
+func (p *Pipeline) restoreGeneration(gdir string, man *checkpoint.Manifest) error {
 	for _, sw := range p.workers {
 		if sw == nil {
 			continue
 		}
-		path := filepath.Join(gdir, stageFileName(sw.stage, sw.replica))
-		cf, err := readStageFile(path)
+		path := filepath.Join(gdir, checkpoint.StageFileName(sw.stage, sw.replica))
+		shard, err := checkpoint.ReadShard(path)
 		if err != nil {
 			return err
 		}
-		if cf.Generation != man.Generation {
+		if shard.Generation != man.Generation {
 			return fmt.Errorf("pipeline: restore %s: file generation %d in generation-%d directory (mixed checkpoint)",
-				path, cf.Generation, man.Generation)
+				path, shard.Generation, man.Generation)
 		}
-		if err := sw.restoreFrom(path, cf); err != nil {
+		if err := sw.restoreFrom(path, shard); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func readStageFile(path string) (*checkpointFile, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, fmt.Errorf("pipeline: restore %s: %w", path, err)
-	}
-	var cf checkpointFile
-	err = gob.NewDecoder(f).Decode(&cf)
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	if err != nil {
-		return nil, fmt.Errorf("pipeline: restore %s: %w", path, err)
-	}
-	return &cf, nil
-}
-
-// restoreFrom applies one validated checkpoint file to this worker.
-func (sw *stageWorker) restoreFrom(path string, cf *checkpointFile) error {
-	if cf.Stage != sw.stage || cf.Replica != sw.replica {
-		return fmt.Errorf("pipeline: restore %s: checkpoint is for stage %d replica %d", path, cf.Stage, cf.Replica)
+// restoreFrom applies one validated checkpoint shard to this worker.
+func (sw *stageWorker) restoreFrom(path string, shard *checkpoint.StageShard) error {
+	if shard.Stage != sw.stage || shard.Replica != sw.replica {
+		return fmt.Errorf("pipeline: restore %s: checkpoint is for stage %d replica %d", path, shard.Stage, shard.Replica)
 	}
 	params := sw.model.Params()
-	if len(params) != len(cf.Params) {
-		return fmt.Errorf("pipeline: restore %s: %d params in checkpoint, model has %d", path, len(cf.Params), len(params))
+	if len(params) != len(shard.Params) {
+		return fmt.Errorf("pipeline: restore %s: %d params in checkpoint, model has %d", path, len(shard.Params), len(params))
 	}
 	for i, pt := range params {
-		if pt.Size() != cf.Params[i].Size() {
+		if pt.Size() != shard.Params[i].Size() {
 			return fmt.Errorf("pipeline: restore %s: param %d has %d values, model has %d",
-				path, i, cf.Params[i].Size(), pt.Size())
+				path, i, shard.Params[i].Size(), pt.Size())
 		}
-		pt.CopyFrom(cf.Params[i])
+		pt.CopyFrom(shard.Params[i])
 	}
-	if st, ok := sw.opt.(nn.Stateful); ok && cf.OptState != nil {
-		if len(cf.OptState) != len(params) {
+	if st, ok := sw.opt.(nn.Stateful); ok && shard.OptState != nil {
+		if len(shard.OptState) != len(params) {
 			return fmt.Errorf("pipeline: restore %s: optimizer state for %d params, model has %d",
-				path, len(cf.OptState), len(params))
+				path, len(shard.OptState), len(params))
 		}
-		st.RestoreState(params, cf.OptState)
+		st.RestoreState(params, shard.OptState)
 	}
-	sw.updates = cf.Updates
+	sw.updates = shard.Updates
 	if sw.mode == VerticalSync {
 		sw.versions = map[int][]*tensor.Tensor{sw.reflected(): snapshot(params)}
 	}
@@ -485,12 +251,12 @@ func (p *Pipeline) restoreFlat(dir string) error {
 		if sw == nil {
 			continue
 		}
-		path := filepath.Join(dir, stageFileName(sw.stage, sw.replica))
-		cf, err := readStageFile(path)
+		path := filepath.Join(dir, checkpoint.StageFileName(sw.stage, sw.replica))
+		shard, err := checkpoint.ReadShard(path)
 		if err != nil {
 			return err
 		}
-		if err := sw.restoreFrom(path, cf); err != nil {
+		if err := sw.restoreFrom(path, shard); err != nil {
 			return err
 		}
 	}

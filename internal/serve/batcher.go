@@ -114,6 +114,14 @@ func (s *Server) dispatch(batch []*request, nextID int) int {
 	if len(cur) > 0 {
 		chunks = append(chunks, cur)
 	}
+	// Board every pipeline batch of this dispatch onto the current weight
+	// version in one step. Stamping once per dispatch (not per chunk)
+	// guarantees a request split across several pipeline batches never
+	// straddles a hot-swap: all its chunks run the same generation.
+	v := s.acquireVersion(len(chunks))
+	for _, pr := range prs {
+		pr.gen = v.gen
+	}
 	rowSize := batch[0].x.Size() / batch[0].x.Dim(0)
 	for _, ps := range chunks {
 		rows := 0
@@ -121,7 +129,7 @@ func (s *Server) dispatch(batch []*request, nextID int) int {
 			rows += p.n
 		}
 		x := assemble(ps, rows, rowSize)
-		info := &batchInfo{rows: rows, segs: make([]segment, len(ps))}
+		info := &batchInfo{rows: rows, ver: v, segs: make([]segment, len(ps))}
 		src := 0
 		for i, p := range ps {
 			info.segs[i] = segment{pr: p.pr, srcRow: src, dstRow: p.lo, n: p.n}
@@ -131,6 +139,7 @@ func (s *Server) dispatch(batch []*request, nextID int) int {
 		case s.inflight <- struct{}{}:
 		case <-s.done:
 			s.failBatch(info, ErrServerClosed)
+			s.releaseVersion(v)
 			continue
 		}
 		s.mu.Lock()
@@ -141,6 +150,7 @@ func (s *Server) dispatch(batch []*request, nextID int) int {
 		err := s.tr.Send(0, transport.Message{
 			Kind:      transport.Activation,
 			Minibatch: nextID,
+			Version:   v.gen,
 			Tensor:    x,
 		})
 		if err != nil {
@@ -149,6 +159,9 @@ func (s *Server) dispatch(batch []*request, nextID int) int {
 			delete(s.pending, nextID)
 			s.mu.Unlock()
 			s.failBatch(info, fmt.Errorf("serve: batch %d lost: %v: %w", nextID, err, ErrTransport))
+			// The demultiplexer will never see this batch; drop its
+			// version reference here.
+			s.releaseVersion(v)
 		}
 		nextID++
 	}

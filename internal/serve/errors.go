@@ -32,4 +32,11 @@ var (
 	// closed transport), so its result can never arrive. The wrapped
 	// message carries the underlying transport error.
 	ErrTransport = errors.New("serve: transport failed")
+
+	// ErrStaleGeneration is returned by SwapModel when the offered
+	// generation does not advance past the one currently serving. It
+	// protects against a slow concurrent loader installing weights out
+	// of order and rolling the server backward; callers (the checkpoint
+	// follower) treat it as "already up to date" and keep polling.
+	ErrStaleGeneration = errors.New("serve: stale weight generation")
 )

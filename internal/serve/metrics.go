@@ -18,9 +18,13 @@ type serverMetrics struct {
 	responses *metrics.Counter // serve.responses: requests completed successfully
 	errors    *metrics.Counter // serve.errors: requests completed with an error
 
-	batchRows  *metrics.Histogram // serve.batch_rows: rows per dispatched batch
-	latency    *metrics.Histogram // serve.latency_us: request latency, admission→response
-	queueDepth *metrics.Gauge     // serve.queue_depth: submit-queue depth after enqueue
+	swaps *metrics.Counter // serve.swaps: weight hot-swaps installed
+
+	batchRows   *metrics.Histogram // serve.batch_rows: rows per dispatched batch
+	latency     *metrics.Histogram // serve.latency_us: request latency, admission→response
+	swapLatency *metrics.Histogram // serve.swap_latency_us: SwapModel slice-and-flip time
+	queueDepth  *metrics.Gauge     // serve.queue_depth: submit-queue depth after enqueue
+	weightGen   *metrics.Gauge     // serve.weight_generation: generation new requests board
 
 	stageForward []*metrics.Histogram // serve.s<i>.forward_us: per-stage forward time
 
@@ -36,9 +40,12 @@ func newServerMetrics(reg *metrics.Registry, oplog *metrics.OpLog, stages int) *
 		m.batches = &metrics.Counter{}
 		m.responses = &metrics.Counter{}
 		m.errors = &metrics.Counter{}
+		m.swaps = &metrics.Counter{}
 		m.batchRows = metrics.NewHistogram(metrics.DepthBuckets())
 		m.latency = metrics.NewHistogram(metrics.LatencyBuckets())
+		m.swapLatency = metrics.NewHistogram(metrics.LatencyBuckets())
 		m.queueDepth = &metrics.Gauge{}
+		m.weightGen = &metrics.Gauge{}
 		for i := range m.stageForward {
 			m.stageForward[i] = metrics.NewHistogram(metrics.DurationBuckets())
 		}
@@ -50,9 +57,12 @@ func newServerMetrics(reg *metrics.Registry, oplog *metrics.OpLog, stages int) *
 	m.batches = reg.Counter("serve.batches")
 	m.responses = reg.Counter("serve.responses")
 	m.errors = reg.Counter("serve.errors")
+	m.swaps = reg.Counter("serve.swaps")
 	m.batchRows = reg.Histogram("serve.batch_rows", metrics.DepthBuckets())
 	m.latency = reg.Histogram("serve.latency_us", metrics.LatencyBuckets())
+	m.swapLatency = reg.Histogram("serve.swap_latency_us", metrics.LatencyBuckets())
 	m.queueDepth = reg.Gauge("serve.queue_depth")
+	m.weightGen = reg.Gauge("serve.weight_generation")
 	for i := range m.stageForward {
 		m.stageForward[i] = reg.Histogram(fmt.Sprintf("serve.s%d.forward_us", i), metrics.DurationBuckets())
 	}
@@ -78,6 +88,11 @@ type Stats struct {
 	Batches int64
 	// MeanBatchRows is the mean rows per dispatched batch.
 	MeanBatchRows float64
+	// WeightGeneration is the checkpoint generation new requests are
+	// served with; it advances on every hot-swap.
+	WeightGeneration int64
+	// Swaps is the number of weight hot-swaps installed since startup.
+	Swaps int64
 	// P50Micros, P95Micros, and P99Micros are bucketed upper bounds on
 	// the request latency quantiles, in microseconds.
 	P50Micros, P95Micros, P99Micros float64
@@ -86,15 +101,17 @@ type Stats struct {
 // Stats returns a point-in-time summary of the server's activity.
 func (s *Server) Stats() Stats {
 	return Stats{
-		Requests:      s.met.requests.Value(),
-		Rows:          s.met.rows.Value(),
-		Responses:     s.met.responses.Value(),
-		Shed:          s.met.shed.Value(),
-		Errors:        s.met.errors.Value(),
-		Batches:       s.met.batches.Value(),
-		MeanBatchRows: s.met.batchRows.Mean(),
-		P50Micros:     s.met.latency.Quantile(0.50),
-		P95Micros:     s.met.latency.Quantile(0.95),
-		P99Micros:     s.met.latency.Quantile(0.99),
+		Requests:         s.met.requests.Value(),
+		Rows:             s.met.rows.Value(),
+		Responses:        s.met.responses.Value(),
+		Shed:             s.met.shed.Value(),
+		Errors:           s.met.errors.Value(),
+		Batches:          s.met.batches.Value(),
+		MeanBatchRows:    s.met.batchRows.Mean(),
+		WeightGeneration: s.met.weightGen.Value(),
+		Swaps:            s.met.swaps.Value(),
+		P50Micros:        s.met.latency.Quantile(0.50),
+		P95Micros:        s.met.latency.Quantile(0.95),
+		P99Micros:        s.met.latency.Quantile(0.99),
 	}
 }

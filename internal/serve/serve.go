@@ -31,6 +31,7 @@ import (
 	"os"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pipedream/internal/metrics"
@@ -97,6 +98,11 @@ type Config struct {
 	// knob exists so benchmarks can measure the fused path against the
 	// baseline it replaced.
 	UnfusedForward bool
+	// WeightGeneration tags the initial weights with the checkpoint
+	// generation (training minibatch cursor) they came from; SwapModel
+	// and the checkpoint Follower only ever advance it. 0 fits freshly
+	// initialized weights and pre-generation checkpoints.
+	WeightGeneration int
 	// KernelParallelism, when > 0, sets the tensor package's global
 	// kernel parallelism for the server's lifetime; when 0 (and the
 	// PIPEDREAM_PARALLELISM environment variable is unset) NewServer
@@ -114,13 +120,21 @@ type Config struct {
 }
 
 // Server is a live forward-only serving pipeline. Create with NewServer,
-// submit with Infer from any number of goroutines, stop with Close.
+// submit with Infer from any number of goroutines, swap weights with
+// SwapModel (or a checkpoint Follower), stop with Close.
 type Server struct {
-	cfg    Config
-	stages []*nn.Sequential
-	tr     transport.Transport
-	ownTr  bool
-	client int // demux endpoint index = len(stages)
+	cfg     Config
+	nstages int
+	tr      transport.Transport
+	ownTr   bool
+	client  int // demux endpoint index = nstages
+
+	// versions is the weight hot-swap state (see version.go): an
+	// immutable table of live weight generations, flipped atomically by
+	// SwapModel and read lock-free by the dispatch and stage-worker hot
+	// paths. swapMu serializes the cold paths (swap, boarding, retire).
+	versions atomic.Pointer[versionTable]
+	swapMu   sync.Mutex
 
 	queue    chan *request
 	inflight chan struct{} // admission semaphore, one slot per in-flight batch
@@ -147,6 +161,7 @@ type request struct {
 
 type result struct {
 	y   *tensor.Tensor
+	gen int // weight generation the request was served with
 	err error
 }
 
@@ -158,6 +173,7 @@ type pendingReq struct {
 	out       *tensor.Tensor // allocated on first completed segment
 	remaining int            // rows still outstanding
 	firstID   int            // first pipeline batch id (trace span tag)
+	gen       int            // weight generation stamped at dispatch
 	failed    bool           // true once a response with an error fired
 }
 
@@ -174,6 +190,7 @@ type segment struct {
 type batchInfo struct {
 	segs []segment
 	rows int
+	ver  *weightVersion // generation the batch was stamped with
 }
 
 // NewServer validates the config, slices the model into stage workers,
@@ -210,7 +227,7 @@ func NewServer(cfg Config) (*Server, error) {
 	}
 	s := &Server{
 		cfg:      cfg,
-		stages:   stages,
+		nstages:  len(stages),
 		client:   len(stages),
 		queue:    make(chan *request, cfg.QueueCap),
 		inflight: make(chan struct{}, cfg.MaxInFlight),
@@ -218,6 +235,8 @@ func NewServer(cfg Config) (*Server, error) {
 		pending:  make(map[int]*batchInfo),
 		met:      newServerMetrics(cfg.Metrics, cfg.OpLog, len(stages)),
 	}
+	s.versions.Store(newVersionTable(&weightVersion{gen: cfg.WeightGeneration, stages: stages}))
+	s.met.weightGen.Set(int64(cfg.WeightGeneration))
 	s.tr = cfg.Transport
 	if s.tr == nil {
 		// Every in-flight batch can queue at a single stage; one extra
@@ -239,7 +258,7 @@ func NewServer(cfg Config) (*Server, error) {
 			s.restoreParallelism = func() { tensor.SetParallelism(cur) }
 		}
 	}
-	for st := range s.stages {
+	for st := range stages {
 		s.wg.Add(1)
 		go s.stageWorker(st)
 	}
@@ -270,7 +289,7 @@ func sliceStages(model *nn.Sequential, plan *partition.Plan) ([]*nn.Sequential, 
 }
 
 // Stages returns the number of pipeline stages the server runs.
-func (s *Server) Stages() int { return len(s.stages) }
+func (s *Server) Stages() int { return s.nstages }
 
 // Infer runs one request through the serving pipeline and blocks until
 // its result is ready. x holds one or more input rows (dim 0 is the row
@@ -283,27 +302,37 @@ func (s *Server) Stages() int { return len(s.stages) }
 // closed server ErrServerClosed, a batch the transport lost
 // ErrTransport.
 func (s *Server) Infer(x *tensor.Tensor) (*tensor.Tensor, error) {
+	y, _, err := s.InferVersioned(x)
+	return y, err
+}
+
+// InferVersioned is Infer plus the weight generation the request was
+// served with. The generation is a whole-request property: every row of
+// the request ran every stage on exactly that generation's weights, even
+// when a hot swap landed mid-flight (PipeDream's one-version-per-
+// minibatch guarantee, applied to serving).
+func (s *Server) InferVersioned(x *tensor.Tensor) (*tensor.Tensor, int, error) {
 	if x == nil || x.NumDims() < 1 || x.Dim(0) < 1 {
-		return nil, fmt.Errorf("serve: request needs at least one row: %w", ErrBadRequest)
+		return nil, 0, fmt.Errorf("serve: request needs at least one row: %w", ErrBadRequest)
 	}
 	if s.cfg.InputShape != nil && !rowShapeIs(x, s.cfg.InputShape) {
-		return nil, fmt.Errorf("serve: request row shape %v, want %v: %w",
+		return nil, 0, fmt.Errorf("serve: request row shape %v, want %v: %w",
 			x.Shape[1:], s.cfg.InputShape, ErrBadRequest)
 	}
 	req := &request{x: x, rows: x.Dim(0), resp: make(chan result, 1), enq: time.Now()}
 	s.met.requests.Inc()
 	s.met.rows.Add(int64(req.rows))
 	if err := s.submit(req); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	s.met.queueDepth.Set(int64(len(s.queue)))
 	r := <-req.resp
 	if r.err != nil {
 		s.met.errors.Inc()
-		return nil, r.err
+		return nil, 0, r.err
 	}
 	s.met.responses.Inc()
-	return r.y, nil
+	return r.y, r.gen, nil
 }
 
 // submit enqueues the request, shedding when the queue is full. The
@@ -346,13 +375,18 @@ func (s *Server) Close() error {
 		// in the pending map, requests in the queue — can be failed
 		// without racing anyone.
 		s.mu.Lock()
+		var orphaned []*weightVersion
 		for id, info := range s.pending {
 			delete(s.pending, id)
+			orphaned = append(orphaned, info.ver)
 			for _, seg := range info.segs {
 				s.failPendingLocked(seg.pr, ErrServerClosed)
 			}
 		}
 		s.mu.Unlock()
+		for _, v := range orphaned {
+			s.releaseVersion(v)
+		}
 		for {
 			select {
 			case req := <-s.queue:

@@ -1,0 +1,144 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"pipedream/internal/checkpoint"
+	"pipedream/internal/nn"
+)
+
+// The checkpoint follower closes the train→serve loop: it turns a
+// running server into a live consumer of a trainer's checkpoint
+// directory. The trainer keeps writing generations (gen-N directories,
+// manifest last); the follower polls for a newer complete generation,
+// loads it in the background with checkpoint.LoadModel, and installs it
+// with SwapModel — so requests never stop flowing while the weights
+// advance, and every request still runs exactly one generation
+// end-to-end.
+//
+// Polling, not notification, is deliberate: the checkpoint directory is
+// the only coupling between trainer and server, which keeps the two
+// processes independently restartable and works across any filesystem
+// the directory lives on. The atomic manifest-last write protocol makes
+// polling race-free — a generation is either invisible or complete, and
+// the one mid-prune window (manifest present, shard already deleted) is
+// skipped by LoadModel's fs.ErrNotExist fallback.
+
+// FollowConfig configures a checkpoint follower started with
+// Server.Follow.
+type FollowConfig struct {
+	// Dir is the checkpoint directory the trainer writes generations
+	// into. Required.
+	Dir string
+
+	// Factory builds an architecture-matched model for the loader to
+	// restore weights into — the same factory the trainer and NewServer
+	// used. Required.
+	Factory func() *nn.Sequential
+
+	// Poll is the directory polling interval. Zero defaults to one
+	// second; the per-poll cost when nothing changed is one directory
+	// listing, so sub-second intervals are fine on local disks.
+	Poll time.Duration
+
+	// OnSwap, when non-nil, is called after each successful swap with
+	// the installed generation — a hook for logging and tests. It runs
+	// on the follower goroutine, so it must not block.
+	OnSwap func(gen int)
+
+	// OnError, when non-nil, is called when a poll fails to list, load,
+	// or install a generation (the follower logs on and retries next
+	// tick). It runs on the follower goroutine.
+	OnError func(err error)
+}
+
+// Follower is a running checkpoint follower. Stop it with Close; the
+// server's Close does not stop followers, since they are started by the
+// caller and may outlive one server only in tests.
+type Follower struct {
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// Close stops the follower and waits for its goroutine to exit. A swap
+// already in progress completes first. Safe to call more than once.
+func (f *Follower) Close() {
+	f.once.Do(func() { close(f.stop) })
+	<-f.done
+}
+
+// Follow starts a checkpoint follower: a goroutine that polls cfg.Dir
+// and hot-swaps each new complete generation into the server. The
+// returned Follower must be Closed before the server is; a swap against
+// a closed server is harmless but wasted work.
+//
+// The follower is level-triggered, not edge-triggered: each tick
+// compares the directory's latest complete generation against the
+// server's current one, so missed ticks or multiple generations written
+// between ticks collapse into a single swap to the newest — the server
+// may skip generations, but never serves one out of order.
+func (s *Server) Follow(cfg FollowConfig) (*Follower, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("serve: follow: checkpoint dir is required")
+	}
+	if cfg.Factory == nil {
+		return nil, fmt.Errorf("serve: follow: model factory is required")
+	}
+	if cfg.Poll <= 0 {
+		cfg.Poll = time.Second
+	}
+	f := &Follower{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(f.done)
+		ticker := time.NewTicker(cfg.Poll)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-f.stop:
+				return
+			case <-ticker.C:
+				s.pollOnce(cfg)
+			}
+		}
+	}()
+	return f, nil
+}
+
+// pollOnce checks the checkpoint directory for a generation newer than
+// the one currently serving and installs it. Any failure is reported to
+// OnError and retried on the next tick — a torn read this tick is a
+// complete generation the next.
+func (s *Server) pollOnce(cfg FollowConfig) {
+	latest, err := checkpoint.Latest(cfg.Dir)
+	if err != nil {
+		// An empty or not-yet-created directory is the steady state
+		// before the trainer's first checkpoint; stay quiet and keep
+		// polling.
+		return
+	}
+	if latest <= s.WeightGeneration() {
+		return
+	}
+	model, gen, err := checkpoint.LoadModel(cfg.Dir, cfg.Factory)
+	if err != nil {
+		if cfg.OnError != nil {
+			cfg.OnError(fmt.Errorf("serve: follow: load: %w", err))
+		}
+		return
+	}
+	if err := s.SwapModel(model, gen); err != nil {
+		// ErrStaleGeneration means another swapper beat us to a newer
+		// generation — already up to date, not a failure worth reporting.
+		if cfg.OnError != nil && !errors.Is(err, ErrStaleGeneration) {
+			cfg.OnError(fmt.Errorf("serve: follow: swap: %w", err))
+		}
+		return
+	}
+	if cfg.OnSwap != nil {
+		cfg.OnSwap(gen)
+	}
+}

@@ -1,0 +1,262 @@
+package serve
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"pipedream/internal/checkpoint"
+	"pipedream/internal/nn"
+)
+
+// modelFor builds the test model with weights distinguishable by
+// generation: same architecture as testModel(1), with one parameter set
+// from gen so each generation produces different (but deterministic)
+// outputs.
+func modelFor(gen int) *nn.Sequential {
+	m := testModel(1)
+	m.Params()[0].Data[0] = 0.5 + float32(gen)*0.25
+	return m
+}
+
+// writeGen writes a complete single-stage checkpoint generation holding
+// the model's full parameter list — the same layout the trainer's
+// Checkpoint produces for a one-stage plan, and all LoadModel needs.
+func writeGen(t *testing.T, dir string, gen int, model *nn.Sequential) {
+	t.Helper()
+	gdir := filepath.Join(dir, checkpoint.DirName(gen))
+	if err := os.MkdirAll(gdir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	shard := &checkpoint.StageShard{Generation: gen, Params: model.Params()}
+	if err := checkpoint.WriteShard(filepath.Join(gdir, checkpoint.StageFileName(0, 0)), shard); err != nil {
+		t.Fatal(err)
+	}
+	man := &checkpoint.Manifest{Generation: gen, Cursor: gen, Stages: 1, Replicas: []int{1}}
+	if err := checkpoint.WriteManifest(gdir, man); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSwapModelBasics: a swap advances the generation, changes what new
+// requests are served with, and rejects stale generations.
+func TestSwapModelBasics(t *testing.T) {
+	s := mustServer(t, Config{Model: modelFor(0), Plan: plan2(), MaxBatch: 8,
+		BatchTimeout: time.Millisecond, WeightGeneration: 0})
+	x := testInput(7, 2)
+
+	want0, _ := modelFor(0).Forward(x, false)
+	y, gen, err := s.InferVersioned(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 0 {
+		t.Fatalf("gen = %d, want 0", gen)
+	}
+	wantEqual(t, y, want0)
+
+	if err := s.SwapModel(modelFor(5), 5); err != nil {
+		t.Fatal(err)
+	}
+	if g := s.WeightGeneration(); g != 5 {
+		t.Fatalf("WeightGeneration = %d, want 5", g)
+	}
+	want5, _ := modelFor(5).Forward(x, false)
+	y, gen, err = s.InferVersioned(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 5 {
+		t.Fatalf("gen = %d, want 5", gen)
+	}
+	wantEqual(t, y, want5)
+
+	// A duplicate or older generation must be rejected, never installed.
+	if err := s.SwapModel(modelFor(5), 5); !errors.Is(err, ErrStaleGeneration) {
+		t.Fatalf("re-swap to current generation: err = %v, want ErrStaleGeneration", err)
+	}
+	if err := s.SwapModel(modelFor(3), 3); !errors.Is(err, ErrStaleGeneration) {
+		t.Fatalf("swap to older generation: err = %v, want ErrStaleGeneration", err)
+	}
+	if st := s.Stats(); st.Swaps != 1 || st.WeightGeneration != 5 {
+		t.Fatalf("Stats swaps=%d gen=%d, want 1, 5", st.Swaps, st.WeightGeneration)
+	}
+}
+
+// TestSwapSoak is the concurrency soak for the hot-swap protocol (run
+// under -race by the serve gate): clients hammer InferVersioned while a
+// swapper flips through generations, and every response must be
+// bit-identical to the stamped generation's single-model forward — no
+// response may ever mix weights from two generations.
+func TestSwapSoak(t *testing.T) {
+	const gens = 8
+	const clients = 6
+	s := mustServer(t, Config{Model: modelFor(0), Plan: plan2(), MaxBatch: 4,
+		BatchTimeout: 200 * time.Microsecond, WeightGeneration: 0})
+
+	swapsDone := make(chan struct{})
+	go func() {
+		defer close(swapsDone)
+		for g := 1; g <= gens; g++ {
+			if err := s.SwapModel(modelFor(g), g); err != nil {
+				t.Errorf("swap to %d: %v", g, err)
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			x := testInput(int64(100+c), 1+c%3)
+			// Precompute the per-generation reference outputs for this
+			// client's fixed input.
+			wants := make(map[int][]float32, gens+1)
+			for g := 0; g <= gens; g++ {
+				w, _ := modelFor(g).Forward(x, false)
+				wants[g] = w.Data
+			}
+			for done := false; !done; {
+				select {
+				case <-swapsDone:
+					done = true
+				default:
+				}
+				y, gen, err := s.InferVersioned(x)
+				if err != nil {
+					t.Errorf("client %d: %v", c, err)
+					return
+				}
+				want := wants[gen]
+				if want == nil {
+					t.Errorf("client %d: response stamped with unknown generation %d", c, gen)
+					return
+				}
+				if len(y.Data) != len(want) {
+					t.Errorf("client %d gen %d: %d values, want %d", c, gen, len(y.Data), len(want))
+					return
+				}
+				for i := range want {
+					if y.Data[i] != want[i] {
+						t.Errorf("client %d gen %d: output[%d] = %v, want %v (weights mixed across generations?)",
+							c, gen, i, y.Data[i], want[i])
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	if g := s.WeightGeneration(); g != gens {
+		t.Fatalf("WeightGeneration = %d, want %d", g, gens)
+	}
+	if st := s.Stats(); st.Errors != 0 {
+		t.Fatalf("errors during soak: %d", st.Errors)
+	}
+	// Superseded versions must retire once their batches drain: poll
+	// until the table is back to a single live version.
+	deadline := time.Now().Add(2 * time.Second)
+	for s.liveVersions() > 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("liveVersions = %d after quiescence, want 1 (versions leaked)", s.liveVersions())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestFollowerSwapsOnNewGeneration: the follower picks up a newer
+// complete generation from the checkpoint directory and installs it.
+func TestFollowerSwapsOnNewGeneration(t *testing.T) {
+	dir := t.TempDir()
+	s := mustServer(t, Config{Model: modelFor(0), Plan: plan2(), MaxBatch: 8,
+		BatchTimeout: time.Millisecond, WeightGeneration: 0})
+
+	swapped := make(chan int, 16)
+	f, err := s.Follow(FollowConfig{
+		Dir:     dir,
+		Factory: func() *nn.Sequential { return testModel(1) },
+		Poll:    2 * time.Millisecond,
+		OnSwap:  func(gen int) { swapped <- gen },
+		OnError: func(err error) { t.Errorf("follower: %v", err) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	// An empty directory must be tolerated silently (the trainer has
+	// not checkpointed yet).
+	time.Sleep(10 * time.Millisecond)
+	if g := s.WeightGeneration(); g != 0 {
+		t.Fatalf("WeightGeneration = %d before any checkpoint, want 0", g)
+	}
+
+	writeGen(t, dir, 10, modelFor(10))
+	select {
+	case gen := <-swapped:
+		if gen != 10 {
+			t.Fatalf("swapped to %d, want 10", gen)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("follower never swapped to generation 10")
+	}
+	x := testInput(3, 2)
+	want, _ := modelFor(10).Forward(x, false)
+	y, gen, err := s.InferVersioned(x)
+	if err != nil || gen != 10 {
+		t.Fatalf("InferVersioned: gen=%d err=%v, want 10, nil", gen, err)
+	}
+	wantEqual(t, y, want)
+}
+
+// TestFollowerSkipsMidPruneGeneration: a generation whose manifest
+// exists but whose shard was deleted (the mid-prune window) must not be
+// installed — the follower stays on its current weights until a newer
+// complete generation appears.
+func TestFollowerSkipsMidPruneGeneration(t *testing.T) {
+	dir := t.TempDir()
+	writeGen(t, dir, 10, modelFor(10))
+	s := mustServer(t, Config{Model: modelFor(10), Plan: plan2(), MaxBatch: 8,
+		BatchTimeout: time.Millisecond, WeightGeneration: 10})
+
+	swapped := make(chan int, 16)
+	f, err := s.Follow(FollowConfig{
+		Dir:     dir,
+		Factory: func() *nn.Sequential { return testModel(1) },
+		Poll:    2 * time.Millisecond,
+		OnSwap:  func(gen int) { swapped <- gen },
+		OnError: func(err error) { t.Errorf("follower: %v", err) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	// Generation 20: manifest present, shard already gone.
+	writeGen(t, dir, 20, modelFor(20))
+	if err := os.Remove(filepath.Join(dir, checkpoint.DirName(20), checkpoint.StageFileName(0, 0))); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if g := s.WeightGeneration(); g != 10 {
+		t.Fatalf("WeightGeneration = %d, want 10 (gen 20 is mid-prune)", g)
+	}
+
+	// A complete generation 30 unsticks it.
+	writeGen(t, dir, 30, modelFor(30))
+	select {
+	case gen := <-swapped:
+		if gen != 30 {
+			t.Fatalf("swapped to %d, want 30", gen)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("follower never swapped to generation 30")
+	}
+}

@@ -11,11 +11,17 @@ import (
 )
 
 // stageWorker is the forward loop of one pipeline stage: receive an
-// activation batch, run this stage's layer slice in inference mode, and
-// forward the result — to the next stage, or to the demultiplexer as a
-// Prediction when this is the output stage. One goroutine per stage, so
-// consecutive batches overlap across stages exactly like forward passes
-// in the training pipeline.
+// activation batch, run the layer slice of the weight generation the
+// batch was stamped with in inference mode, and forward the result — to
+// the next stage, or to the demultiplexer as a Prediction when this is
+// the output stage. One goroutine per stage, so consecutive batches
+// overlap across stages exactly like forward passes in the training
+// pipeline.
+//
+// The generation lookup (not "the current weights") is what upholds the
+// hot-swap guarantee: a batch dispatched under generation N meets
+// generation-N weights at this stage even if SwapModel installed N+1
+// while the batch was in an upstream stage.
 //
 // A panic inside the forward pass (a shape mismatch reaching a kernel)
 // is contained to the batch: the worker sends a tensor-less Prediction
@@ -23,10 +29,9 @@ import (
 // ErrInference, and keeps serving.
 func (s *Server) stageWorker(st int) {
 	defer s.wg.Done()
-	slice := s.stages[st]
 	inbox := s.tr.Inbox(st)
 	hist := s.met.stageForward[st]
-	last := st == len(s.stages)-1
+	last := st == s.nstages-1
 	// The worker's scratch arena: every fused forward draws its buffers
 	// from here and a single O(1) Reset between batches reclaims them, so
 	// the steady-state loop allocates nothing per batch beyond the one
@@ -46,9 +51,19 @@ func (s *Server) stageWorker(st int) {
 			if m.Kind != transport.Activation {
 				continue
 			}
+			// Resolve the layer slice of the generation this batch was
+			// stamped with. A nil slice means an unknown generation — the
+			// batch falls through with y == nil and fails downstream with
+			// ErrInference instead of running on arbitrary weights.
+			var slice *nn.Sequential
+			if stages := s.stagesFor(m.Version); stages != nil {
+				slice = stages[st]
+			}
 			start := time.Now()
 			var y *tensor.Tensor
-			if ar != nil {
+			if slice == nil {
+				y = nil
+			} else if ar != nil {
 				y = forwardInfer(slice, m.Tensor, ar)
 				if y != nil {
 					// Copy off the arena before Reset. Predictions become
@@ -86,7 +101,9 @@ func (s *Server) stageWorker(st int) {
 					Dur:       dur,
 				}, start)
 			}
-			out := transport.Message{Minibatch: m.Minibatch, Tensor: y}
+			// Forward the generation stamp with the batch so every
+			// downstream stage resolves the same weights.
+			out := transport.Message{Minibatch: m.Minibatch, Version: m.Version, Tensor: y}
 			if y == nil || last {
 				out.Kind = transport.Prediction
 				if err := s.tr.Send(s.client, out); err != nil {
@@ -142,15 +159,20 @@ func forward(slice *nn.Sequential, x *tensor.Tensor) (y *tensor.Tensor) {
 func (s *Server) reclaimBatch(id int, cause error) {
 	<-s.inflight
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	info := s.pending[id]
 	delete(s.pending, id)
-	if info == nil {
-		return
+	if info != nil {
+		err := fmt.Errorf("serve: batch %d lost: %v: %w", id, cause, ErrTransport)
+		for _, seg := range info.segs {
+			s.failPendingLocked(seg.pr, err)
+		}
 	}
-	err := fmt.Errorf("serve: batch %d lost: %v: %w", id, cause, ErrTransport)
-	for _, seg := range info.segs {
-		s.failPendingLocked(seg.pr, err)
+	s.mu.Unlock()
+	// Release the batch's weight-version reference only after dropping
+	// s.mu: retirement takes swapMu, and swapMu must never nest inside
+	// the request lock.
+	if info != nil {
+		s.releaseVersion(info.ver)
 	}
 }
 
@@ -182,6 +204,11 @@ func (s *Server) demux() {
 				s.deliverLocked(info, m.Tensor)
 			}
 			s.mu.Unlock()
+			// The batch has left the pipeline: drop its weight-version
+			// reference (outside s.mu — retirement takes swapMu).
+			if info != nil {
+				s.releaseVersion(info.ver)
+			}
 		}
 	}
 }
@@ -251,5 +278,5 @@ func (s *Server) completeLocked(pr *pendingReq) {
 			Dur:       dur,
 		}, pr.req.enq)
 	}
-	pr.req.resp <- result{y: pr.out}
+	pr.req.resp <- result{y: pr.out, gen: pr.gen}
 }

@@ -138,6 +138,13 @@ type (
 	// ServeStats is a point-in-time summary of a Server's counters and
 	// latency quantiles.
 	ServeStats = serve.Stats
+	// FollowConfig configures a checkpoint follower started with
+	// Server.Follow: the trainer's checkpoint directory, a model
+	// factory, and the polling interval (see docs/SERVING.md).
+	FollowConfig = serve.FollowConfig
+	// Follower is a running checkpoint follower that hot-swaps each new
+	// complete checkpoint generation into its Server.
+	Follower = serve.Follower
 )
 
 // Observability types (set PipelineOptions.Metrics / PipelineOptions.OpLog
@@ -195,6 +202,9 @@ var (
 	// ErrInference marks a serving request whose batch failed inside a
 	// stage forward pass.
 	ErrInference = serve.ErrInference
+	// ErrStaleGeneration marks a SwapModel call whose generation does
+	// not advance past the one currently serving.
+	ErrStaleGeneration = serve.ErrStaleGeneration
 	// ErrServeTransport marks a serving request whose batch the
 	// transport lost between stages.
 	ErrServeTransport = serve.ErrTransport

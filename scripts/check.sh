@@ -31,14 +31,14 @@ go test -race -run 'Ring|Overlap' ./internal/collective/ ./internal/pipeline/
 echo "== chaos gate (fault injection under the race detector)"
 go test -race -run 'Chaos' ./internal/transport/ ./internal/pipeline/
 
-echo "== serving gate (dynamic batcher + stage workers under the race detector)"
+echo "== serving gate (dynamic batcher + stage workers + weight hot-swap under the race detector)"
 go test -race -count=2 ./internal/serve/
-go test -race -run 'Serve' ./
+go test -race -run 'Serve|HotSwap' ./
 
 echo "== fuzz smoke (flatten + frame round-trips + checkpoint manifest parser, 10s each)"
 go test -run '^$' -fuzz '^FuzzFlattenRoundTrip$' -fuzztime=10s ./internal/transport/
 go test -run '^$' -fuzz '^FuzzFrameRoundTrip$' -fuzztime=10s ./internal/transport/
-go test -run '^$' -fuzz '^FuzzManifestParse$' -fuzztime=10s ./internal/pipeline/
+go test -run '^$' -fuzz '^FuzzManifestParse$' -fuzztime=10s ./internal/checkpoint/
 
 echo "== alloc budgets (allocs/op vs scripts/alloc_budget.txt)"
 ALLOC_OUT=$(go test -run '^$' -bench '^(BenchmarkLSTMForwardBackward|BenchmarkPipelineRuntimeEpoch|BenchmarkGradSync|BenchmarkServeDynamic)$' \
@@ -71,8 +71,9 @@ if [ -n "$PANICS" ]; then
     exit 1
 fi
 
-echo "== doc comments (exported identifiers in pipeline + metrics + serve + cliconf)"
-MISSING=$(for f in internal/pipeline/*.go internal/metrics/*.go internal/serve/*.go internal/cliconf/*.go; do
+echo "== doc comments (exported identifiers in pipeline + metrics + serve + cliconf + tensor + checkpoint)"
+MISSING=$(for f in internal/pipeline/*.go internal/metrics/*.go internal/serve/*.go internal/cliconf/*.go \
+    internal/tensor/*.go internal/checkpoint/*.go; do
     case "$f" in *_test.go) continue ;; esac
     awk -v file="$f" '
     /^(func|type|var|const) (\()?[A-Za-z]/ {
@@ -89,27 +90,37 @@ if [ -n "$MISSING" ]; then
     exit 1
 fi
 
-echo "== docs/ARCHITECTURE.md (links resolve, named packages exist)"
-[ -f docs/ARCHITECTURE.md ] || { echo "docs/ARCHITECTURE.md missing" >&2; exit 1; }
-# Relative markdown links must point at real files (anchors stripped).
-for target in $(grep -o '](\.\./[^)#]*\|]([A-Za-z0-9_./-]*\.md' docs/ARCHITECTURE.md | sed 's/^](//'); do
-    if [ ! -e "docs/$target" ]; then
-        echo "docs/ARCHITECTURE.md: broken link $target" >&2
-        exit 1
-    fi
+echo "== markdown cross-references (links resolve, named packages exist)"
+# Relative markdown links in every core document must point at real
+# files (anchors stripped; resolved against the document's directory).
+for doc in README.md EXPERIMENTS.md docs/ARCHITECTURE.md docs/SERVING.md; do
+    [ -f "$doc" ] || { echo "$doc missing" >&2; exit 1; }
+    base=$(dirname "$doc")
+    for target in $(grep -o '](\.\./[^)#]*\|]([A-Za-z0-9_./-]*\.md' "$doc" | sed 's/^](//'); do
+        if [ ! -e "$base/$target" ]; then
+            echo "$doc: broken link $target" >&2
+            exit 1
+        fi
+    done
 done
-# Every internal/<pkg> the document names must exist in the tree.
-for pkg in $(grep -o 'internal/[a-z]*' docs/ARCHITECTURE.md | sort -u); do
-    if [ ! -d "$pkg" ]; then
-        echo "docs/ARCHITECTURE.md: names missing package $pkg" >&2
-        exit 1
-    fi
+# Every internal/<pkg> the package maps name must exist in the tree.
+for doc in docs/ARCHITECTURE.md docs/SERVING.md; do
+    for pkg in $(grep -o 'internal/[a-z]*' "$doc" | sort -u); do
+        if [ ! -d "$pkg" ]; then
+            echo "$doc: names missing package $pkg" >&2
+            exit 1
+        fi
+    done
 done
-# README must link the architecture map.
+# README must link the architecture map and the serving guide; the
+# architecture map must link the serving guide.
 grep -q 'docs/ARCHITECTURE.md' README.md || { echo "README.md does not link docs/ARCHITECTURE.md" >&2; exit 1; }
+grep -q 'docs/SERVING.md' README.md || { echo "README.md does not link docs/SERVING.md" >&2; exit 1; }
+grep -q 'SERVING.md' docs/ARCHITECTURE.md || { echo "docs/ARCHITECTURE.md does not link SERVING.md" >&2; exit 1; }
 
 echo "== facade exports (serving surface reachable from package pipedream)"
-for sym in NewServer ServeConfig ErrOverloaded LoadCheckpointModel SyncConfig FaultConfig RuntimeConfig; do
+for sym in NewServer ServeConfig ErrOverloaded LoadCheckpointModel SyncConfig FaultConfig RuntimeConfig \
+    FollowConfig Follower ErrStaleGeneration; do
     grep -q "\b$sym\b" pipedream.go || { echo "pipedream.go does not re-export $sym" >&2; exit 1; }
 done
 

@@ -3,6 +3,7 @@ package pipedream
 import (
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -134,5 +135,201 @@ func TestTrainCheckpointServeEndToEnd(t *testing.T) {
 	st := srv.Stats()
 	if st.Responses != int64(eval.NumBatches()) {
 		t.Fatalf("responses = %d, want %d", st.Responses, eval.NumBatches())
+	}
+}
+
+// TestHotSwapUnderLoad is the live-retraining chaos test: a pipeline
+// trains and checkpoints three generations while a follower-equipped
+// server swaps each one in under concurrent client load. It asserts the
+// full zero-downtime contract through the public facade:
+//
+//   - zero failed requests across every swap;
+//   - every response bit-identical to a direct forward pass of the
+//     generation it was stamped with (no response ever mixes weights);
+//   - the server's weight generation reaches the final checkpoint
+//     cursor.
+func TestHotSwapUnderLoad(t *testing.T) {
+	factory := mlp5Factory(41)
+	train := data.NewBlobs(32, 3, 4, 8, 20)
+	dir := t.TempDir()
+
+	p, err := NewPipeline(PipelineOptions{
+		ModelFactory: factory,
+		Plan:         servingPlan(t, 5, 2),
+		Loss:         SoftmaxCrossEntropy,
+		NewOptimizer: func() Optimizer { return NewSGD(0.1, 0.9, 0) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	// First generation: train to cursor 10, checkpoint, and keep a
+	// reference copy of the model for bit-exact comparison.
+	refs := make(map[int]*Sequential)
+	trainGen := func() int {
+		t.Helper()
+		if _, err := p.Train(train, 10); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Checkpoint(dir); err != nil {
+			t.Fatal(err)
+		}
+		ref, cursor, err := LoadCheckpointModel(dir, factory)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[cursor] = ref
+		return cursor
+	}
+	gen0 := trainGen()
+
+	model, cursor, err := LoadCheckpointModel(dir, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Serve on 3 stages although training runs on 2, following the
+	// trainer's checkpoint directory.
+	srv, err := NewServer(ServeConfig{
+		Model:            model,
+		Plan:             servingPlan(t, 5, 3),
+		MaxBatch:         8,
+		BatchTimeout:     time.Millisecond,
+		InputShape:       []int{4},
+		WeightGeneration: cursor,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	follower, err := srv.Follow(FollowConfig{
+		Dir:     dir,
+		Factory: factory,
+		Poll:    5 * time.Millisecond,
+		OnError: func(err error) { t.Errorf("follower: %v", err) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer follower.Close()
+
+	// Clients hammer the server for the whole retraining run. Each
+	// records (input index, stamped generation, output) observations;
+	// verification happens after the run against the reference models,
+	// so clients never race the checkpoint captures.
+	eval := data.NewBlobs(34, 3, 4, 4, 6)
+	type obs struct {
+		xi   int
+		gen  int
+		data []float32
+	}
+	const clients = 4
+	stop := make(chan struct{})
+	results := make([][]obs, clients)
+	var completed atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := c; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				xi := i % eval.NumBatches()
+				y, gen, err := srv.InferVersioned(eval.Batch(xi).X)
+				if err != nil {
+					t.Errorf("client %d: %v", c, err)
+					return
+				}
+				results[c] = append(results[c], obs{xi: xi, gen: gen, data: y.Data})
+				completed.Add(1)
+			}
+		}(c)
+	}
+	// waitRequests blocks until n more client requests complete — the
+	// pacing barrier that guarantees requests are actually in flight at
+	// each generation, without sleeps that flake under CPU starvation.
+	waitRequests := func(n int64) {
+		t.Helper()
+		target := completed.Load() + n
+		deadline := time.Now().Add(10 * time.Second)
+		for completed.Load() < target {
+			if time.Now().After(deadline) {
+				t.Fatalf("clients stalled: %d requests completed, waiting for %d", completed.Load(), target)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	// Requests completing before the next checkpoint exists are
+	// necessarily stamped with the first generation.
+	waitRequests(clients)
+
+	// Keep training while the clients run: two more generations, each
+	// hot-swapped into the live server by the follower. Wait for each
+	// generation to land before training the next — the follower is
+	// level-triggered, so generations written faster than its poll
+	// interval would collapse into a single swap.
+	waitForGen := func(gen int) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for srv.WeightGeneration() != gen {
+			if time.Now().After(deadline) {
+				t.Fatalf("server never reached generation %d (at %d)", gen, srv.WeightGeneration())
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	waitForGen(trainGen())
+	finalGen := trainGen()
+	waitForGen(finalGen)
+	// At most `clients` requests were in flight when the final swap
+	// landed, so after clients+1 more completions at least one request
+	// was dispatched — and therefore stamped — at the final generation.
+	waitRequests(clients + 1)
+	close(stop)
+	wg.Wait()
+
+	// Every observation must match the stamped generation's reference
+	// model bit-exactly.
+	gensSeen := map[int]bool{}
+	total := 0
+	for c, obsList := range results {
+		for _, o := range obsList {
+			total++
+			gensSeen[o.gen] = true
+			ref := refs[o.gen]
+			if ref == nil {
+				t.Fatalf("client %d: response stamped with unknown generation %d", c, o.gen)
+			}
+			want, _ := ref.Forward(eval.Batch(o.xi).X, false)
+			if len(o.data) != len(want.Data) {
+				t.Fatalf("client %d gen %d: %d values, want %d", c, o.gen, len(o.data), len(want.Data))
+			}
+			for j := range want.Data {
+				if o.data[j] != want.Data[j] {
+					t.Fatalf("client %d gen %d input %d: output[%d] = %v, want %v (weights mixed across generations?)",
+						c, o.gen, o.xi, j, o.data[j], want.Data[j])
+				}
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("clients made no requests")
+	}
+	if !gensSeen[gen0] || !gensSeen[finalGen] {
+		t.Errorf("generations observed: %v, want at least %d and %d", gensSeen, gen0, finalGen)
+	}
+	st := srv.Stats()
+	if st.Errors != 0 {
+		t.Fatalf("%d requests failed during hot-swaps, want 0", st.Errors)
+	}
+	if st.Swaps < 2 {
+		t.Fatalf("swaps = %d, want >= 2", st.Swaps)
+	}
+	if st.WeightGeneration != int64(finalGen) {
+		t.Fatalf("final weight generation = %d, want %d", st.WeightGeneration, finalGen)
 	}
 }
