@@ -158,6 +158,10 @@ func main() {
 		fmt.Printf("client memory: %.1f allocs/req, %.0f B/req, %d GCs, %v total GC pause\n",
 			float64(mallocs)/float64(n), float64(allocBytes)/float64(n), gcs, pause.Round(time.Microsecond))
 	}
+	// The failed-request count goes on its own final line in a fixed
+	// format, so CI scripts and the chaos walkthroughs can assert on the
+	// last line of output alone.
+	fmt.Printf("failed requests: %d\n", failed.Load())
 	if failed.Load() > 0 {
 		os.Exit(1)
 	}

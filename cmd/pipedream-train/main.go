@@ -8,6 +8,7 @@
 //	pipedream-train -task spiral -stages 3 -epochs 10
 //	pipedream-train -task sequence -mode vertical-sync
 //	pipedream-train -task images -replicas 2 -tcp
+//	pipedream-train -task spiral -stages 3 -elastic -membership-events '2s:leave:2,5s:join:2'
 package main
 
 import (
@@ -18,7 +19,9 @@ import (
 
 	"pipedream/internal/cliconf"
 	"pipedream/internal/data"
+	"pipedream/internal/membership"
 	"pipedream/internal/nn"
+	"pipedream/internal/partition"
 	"pipedream/internal/pipeline"
 	"pipedream/internal/transport"
 )
@@ -29,12 +32,14 @@ func main() {
 	faultFlags := &cliconf.Fault{}
 	chaosFlags := &cliconf.Chaos{MaxDelay: 10 * time.Millisecond, Seed: 1}
 	obsFlags := &cliconf.Obs{}
+	elasticFlags := &cliconf.Elastic{MinWorkers: 1, Debounce: 100 * time.Millisecond}
 	fs := flag.CommandLine
 	mdl.Register(fs)
 	syncFlags.Register(fs)
 	faultFlags.Register(fs)
 	chaosFlags.Register(fs)
 	obsFlags.Register(fs)
+	elasticFlags.Register(fs)
 	modeName := flag.String("mode", "weight-stashing", "staleness mode: weight-stashing, vertical-sync, or no-stashing")
 	epochs := flag.Int("epochs", 8, "training epochs")
 	depth := flag.Int("depth", 0, "pipeline depth override (0 = NOAM)")
@@ -62,6 +67,11 @@ func main() {
 		fatal(err)
 	}
 	model := task.Factory()
+	if elasticFlags.Enabled {
+		runElastic(mdl, task, model, mode, syncCfg, sync, faultFlags, chaosFlags, obsFlags, elasticFlags,
+			*epochs, *depth, *useTCP)
+		return
+	}
 	plan, err := cliconf.BuildPlan(model, mdl.Stages, mdl.Replicas, sync)
 	if err != nil {
 		fatal(err)
@@ -164,8 +174,148 @@ func main() {
 	}
 }
 
+// runElastic trains on the elastic runtime: the worker set follows a
+// membership view — here scripted with -membership-events, standing in
+// for a cluster manager or failure detector — and the controller drains,
+// repartitions onto the live set, and resumes from checkpoint whenever it
+// changes.
+func runElastic(mdl *cliconf.Model, task *cliconf.Task, model *nn.Sequential,
+	mode pipeline.StalenessMode, syncCfg pipeline.SyncConfig, sync partition.SyncModel,
+	faultFlags *cliconf.Fault, chaosFlags *cliconf.Chaos, obsFlags *cliconf.Obs,
+	elasticFlags *cliconf.Elastic, epochs, depth int, useTCP bool) {
+	if mdl.Replicas != 1 {
+		fatal(fmt.Errorf("-elastic repartitions to one straight stage per live worker; -replicas must be 1"))
+	}
+	events, err := elasticFlags.ParseEvents()
+	if err != nil {
+		fatal(err)
+	}
+	fc := faultFlags.Build()
+	if fc.CheckpointDir == "" {
+		dir, err := os.MkdirTemp("", "pipedream-elastic-")
+		if err != nil {
+			fatal(err)
+		}
+		fc.CheckpointDir = dir
+	}
+	if fc.CheckpointEvery <= 0 {
+		fc.CheckpointEvery = 10
+	}
+	if fc.MaxRecoveries < 1 {
+		fc.MaxRecoveries = 1
+	}
+
+	// Scripted events stand in for heartbeat expiry, so the view keeps no
+	// liveness timeout: workers leave exactly when the script says so.
+	view := membership.New(membership.Config{Debounce: elasticFlags.Debounce})
+	for w := 0; w < mdl.Stages; w++ {
+		view.Join(w, "")
+	}
+
+	replan := func(n int) (*partition.Plan, error) {
+		// One straight stage per live worker: the partitioner re-splits
+		// the layer list every time the worker count changes.
+		return cliconf.BuildPlan(model, n, 1, sync)
+	}
+	newTransport := func(workers, buffer int) (transport.Transport, error) {
+		var tr transport.Transport
+		if useTCP {
+			t, err := transport.NewTCP(workers, buffer)
+			if err != nil {
+				return nil, err
+			}
+			tr = t
+		} else {
+			tr = transport.NewChannels(workers, buffer)
+		}
+		if chaosFlags.Enabled() {
+			tr = chaosFlags.Wrap(tr)
+		}
+		return tr, nil
+	}
+
+	reg, opLog := obsFlags.Sinks()
+	opts := pipeline.Options{
+		ModelFactory:  task.Factory,
+		Loss:          nn.SoftmaxCrossEntropy,
+		NewOptimizer:  task.NewOptimizer,
+		Mode:          mode,
+		Metrics:       reg,
+		OpLog:         opLog,
+		RuntimeConfig: pipeline.RuntimeConfig{Depth: depth},
+		SyncConfig:    syncCfg,
+		FaultConfig:   fc,
+	}
+	e, err := pipeline.NewElastic(opts, pipeline.ElasticConfig{
+		View:         view,
+		Replan:       replan,
+		MinWorkers:   elasticFlags.MinWorkers,
+		NewTransport: newTransport,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer e.Close()
+
+	fmt.Printf("task %s: %d layers, elastic across %d worker(s) (min %d), mode %s\n",
+		mdl.Task, len(model.Layers), mdl.Stages, elasticFlags.MinWorkers, mode)
+	fmt.Printf("elastic: checkpointing to %s every %d minibatches (the rescale barrier)\n",
+		fc.CheckpointDir, fc.CheckpointEvery)
+	if chaosFlags.Enabled() {
+		fmt.Printf("chaos: %s\n", chaosFlags)
+	}
+	// A pre-existing checkpoint directory resumes implicitly: the first
+	// plan incarnation reassembles the newest complete generation and
+	// picks up from its cursor, whatever plan shape wrote it.
+	cliconf.PlayEvents(view, events, func(format string, args ...any) {
+		fmt.Printf("  "+format+"\n", args...)
+	})
+
+	mbs := task.Train.NumBatches()
+	total := epochs * mbs
+	var faults pipeline.FaultStats
+	rescales := 0
+	for e.Cursor() < total {
+		ep := e.Cursor()/mbs + 1
+		rep, err := e.Train(task.Train, mbs-e.Cursor()%mbs)
+		if err != nil {
+			fatal(err)
+		}
+		final, err := e.CollectModel()
+		if err != nil {
+			fatal(err)
+		}
+		acc := evaluateModel(final, task.Eval)
+		fmt.Printf("epoch %2d: mean loss %.4f, eval accuracy %.1f%%, wall %v\n",
+			ep, rep.MeanLoss(), acc*100, rep.WallTime.Round(1e6))
+		for _, rs := range rep.Rescales {
+			fmt.Printf("  %s\n", rs)
+		}
+		if obsFlags.MetricsEnabled() {
+			fmt.Print(rep.StageSummary())
+		}
+		rescales += len(rep.Rescales)
+		faults.Recoveries += rep.Faults.Recoveries
+		faults.CheckpointWrites += rep.Faults.CheckpointWrites
+		faults.TransportReconnects += rep.Faults.TransportReconnects
+		faults.TransportSendErrors += rep.Faults.TransportSendErrors
+	}
+	fmt.Printf("elastic: %d rescale(s) over the run, final plan %d worker(s), membership epoch %d\n",
+		rescales, e.Plan().Workers, view.Epoch())
+	if faults.Recoveries > 0 || faults.TransportReconnects > 0 || faults.TransportSendErrors > 0 {
+		fmt.Printf("faults: %d recoveries, %d checkpoint writes, %d transport reconnects, %d send errors\n",
+			faults.Recoveries, faults.CheckpointWrites, faults.TransportReconnects, faults.TransportSendErrors)
+	}
+	if err := obsFlags.WriteOutputs(reg, opLog); err != nil {
+		fatal(err)
+	}
+}
+
 func evaluate(p *pipeline.Pipeline, eval data.Dataset) float64 {
-	model := p.CollectModel()
+	return evaluateModel(p.CollectModel(), eval)
+}
+
+func evaluateModel(model *nn.Sequential, eval data.Dataset) float64 {
 	correct, total := 0, 0
 	for i := 0; i < eval.NumBatches(); i++ {
 		b := eval.Batch(i)

@@ -43,6 +43,7 @@ func main() {
 	peers := flag.String("peers", "", "comma-separated listen addresses of all workers, ordered by id")
 	epochs := flag.Int("epochs", 3, "training epochs")
 	minibatches := flag.Int("minibatches", 0, "minibatches per epoch (default: dataset size)")
+	join := flag.Bool("join", false, "late-join mode: block until a complete checkpoint generation appears in -checkpoint-dir, then restore from it and start contributing (implies -resume)")
 	flag.Parse()
 
 	addrs := strings.Split(*peers, ",")
@@ -106,6 +107,25 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "worker %d: stage %d of %d, listening on %s\n", *id, w.Stage(), nStages, tr.Addr())
 
+	if *join {
+		// A late-arriving replacement worker: the rest of the pipeline is
+		// already training (or checkpointed and waiting), so block until a
+		// complete generation exists, adopt its weights and cursor, and
+		// fall into the normal resume path. Peers retrying sends with
+		// backoff bridge the gap until this process starts answering.
+		if faultFlags.Dir == "" {
+			fatal(fmt.Errorf("-join needs -checkpoint-dir"))
+		}
+		fmt.Fprintf(os.Stderr, "worker %d: joining — waiting for a complete checkpoint generation in %s\n",
+			*id, faultFlags.Dir)
+		for {
+			if _, err := pipeline.LatestCheckpoint(faultFlags.Dir); err == nil {
+				break
+			}
+			time.Sleep(200 * time.Millisecond)
+		}
+		faultFlags.Resume = true
+	}
 	if faultFlags.Resume {
 		if faultFlags.Dir == "" {
 			fatal(fmt.Errorf("-resume needs -checkpoint-dir"))

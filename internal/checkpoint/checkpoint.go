@@ -277,9 +277,40 @@ func Prune(dir string, keep int) {
 // are skipped in favour of older ones; a present-but-corrupt or
 // cross-generation-mixed file fails loudly.
 func LoadModel(dir string, factory func() *nn.Sequential) (*nn.Sequential, int, error) {
+	st, err := LoadFullState(dir, factory)
+	if err != nil {
+		return nil, 0, err
+	}
+	return st.Model, st.Cursor, nil
+}
+
+// FullState is the plan-independent training state reassembled from one
+// complete checkpoint generation: the full model, the optimizer's
+// per-parameter state concatenated in the same order, and the minibatch
+// cursor the weights reflect. It is what the elastic rescale controller
+// re-slices onto a new plan after a membership change.
+type FullState struct {
+	// Model holds the reassembled full model.
+	Model *nn.Sequential
+	// OptState[i] is the optimizer's state for Model.Params()[i]
+	// (momentum / Adam moments). Nil when any shard of the generation
+	// carried no optimizer state — restarting then resets the optimizer.
+	OptState [][]*tensor.Tensor
+	// Cursor is the global minibatch count the weights reflect; training
+	// resumes from here.
+	Cursor int
+}
+
+// LoadFullState reassembles the newest complete checkpoint generation
+// under dir into a FullState. Selection and fallback semantics are
+// LoadModel's: incomplete generations and generations that lose a shard
+// between the completeness check and the read (the mid-prune window) are
+// skipped in favour of older ones; present-but-corrupt files fail
+// loudly.
+func LoadFullState(dir string, factory func() *nn.Sequential) (*FullState, error) {
 	gens, err := ListGenerations(dir)
 	if err != nil {
-		return nil, 0, fmt.Errorf("checkpoint: load %s: %w", dir, err)
+		return nil, fmt.Errorf("checkpoint: load %s: %w", dir, err)
 	}
 	var lastSkip error
 	for i := len(gens) - 1; i >= 0; i-- {
@@ -290,17 +321,17 @@ func LoadModel(dir string, factory func() *nn.Sequential) (*nn.Sequential, int, 
 				lastSkip = fmt.Errorf("generation %d has no manifest", gens[i])
 				continue
 			}
-			return nil, 0, fmt.Errorf("checkpoint: load %s: %w", gdir, err)
+			return nil, fmt.Errorf("checkpoint: load %s: %w", gdir, err)
 		}
 		if man.Generation != gens[i] {
-			return nil, 0, fmt.Errorf("checkpoint: load %s: manifest generation %d does not match directory",
+			return nil, fmt.Errorf("checkpoint: load %s: manifest generation %d does not match directory",
 				gdir, man.Generation)
 		}
 		if !Complete(gdir, man) {
 			lastSkip = fmt.Errorf("generation %d is incomplete", gens[i])
 			continue
 		}
-		model, err := loadGenerationModel(gdir, man, factory)
+		st, err := loadGenerationState(gdir, man, factory)
 		if err != nil {
 			// A shard that existed at the completeness check but is gone
 			// at read time means a prune swept this generation away
@@ -309,18 +340,21 @@ func LoadModel(dir string, factory func() *nn.Sequential) (*nn.Sequential, int, 
 				lastSkip = fmt.Errorf("generation %d vanished mid-read: %v", gens[i], err)
 				continue
 			}
-			return nil, 0, err
+			return nil, err
 		}
-		return model, man.Cursor, nil
+		st.Cursor = man.Cursor
+		return st, nil
 	}
-	return nil, 0, fmt.Errorf("checkpoint: no complete generation in %s (%v)", dir, lastSkip)
+	return nil, fmt.Errorf("checkpoint: no complete generation in %s (%v)", dir, lastSkip)
 }
 
-// loadGenerationModel reads every stage's replica-0 file of one complete,
-// validated generation and copies the concatenated parameters into a
-// fresh model.
-func loadGenerationModel(gdir string, man *Manifest, factory func() *nn.Sequential) (*nn.Sequential, error) {
+// loadGenerationState reads every stage's replica-0 file of one complete,
+// validated generation, copies the concatenated parameters into a fresh
+// model, and carries the concatenated optimizer state alongside.
+func loadGenerationState(gdir string, man *Manifest, factory func() *nn.Sequential) (*FullState, error) {
 	var loaded []*tensor.Tensor
+	var optState [][]*tensor.Tensor
+	haveOpt := true
 	for s := 0; s < man.Stages; s++ {
 		path := filepath.Join(gdir, StageFileName(s, 0))
 		shard, err := ReadShard(path)
@@ -335,6 +369,21 @@ func loadGenerationModel(gdir string, man *Manifest, factory func() *nn.Sequenti
 			return nil, fmt.Errorf("checkpoint: load %s: file is for stage %d", path, shard.Stage)
 		}
 		loaded = append(loaded, shard.Params...)
+		if len(shard.Params) == 0 {
+			// A stage of parameterless layers vacuously has optimizer
+			// state; its empty snapshot round-trips through gob as nil and
+			// must not mark the whole generation stateless.
+			continue
+		}
+		if shard.OptState == nil {
+			haveOpt = false
+		} else if haveOpt {
+			if len(shard.OptState) != len(shard.Params) {
+				return nil, fmt.Errorf("checkpoint: load %s: optimizer state for %d params, shard has %d",
+					path, len(shard.OptState), len(shard.Params))
+			}
+			optState = append(optState, shard.OptState...)
+		}
 	}
 	model := factory()
 	params := model.Params()
@@ -349,5 +398,8 @@ func loadGenerationModel(gdir string, man *Manifest, factory func() *nn.Sequenti
 		}
 		pt.CopyFrom(loaded[i])
 	}
-	return model, nil
+	if !haveOpt {
+		optState = nil
+	}
+	return &FullState{Model: model, OptState: optState}, nil
 }

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"pipedream/internal/nn"
+	"pipedream/internal/tensor"
 )
 
 // testFactory builds a small deterministic 2-layer MLP.
@@ -111,7 +112,7 @@ func TestLoadGenerationMissingShardIsNotExist(t *testing.T) {
 		t.Fatal(err)
 	}
 	man := &Manifest{Generation: 5, Cursor: 5, Stages: 1, Replicas: []int{1}}
-	_, err := loadGenerationModel(gdir, man, testFactory(3))
+	_, err := loadGenerationState(gdir, man, testFactory(3))
 	if err == nil {
 		t.Fatal("loading a generation with no shards succeeded")
 	}
@@ -152,5 +153,126 @@ func TestPruneKeepsNewest(t *testing.T) {
 	}
 	if len(gens) != 2 || gens[0] != 30 || gens[1] != 40 {
 		t.Fatalf("after prune: %v, want [30 40]", gens)
+	}
+}
+
+// TestLoadFullStateCarriesOptimizerState writes a two-stage generation
+// with per-shard optimizer state and asserts LoadFullState reassembles
+// params and optimizer state in full-model order, with the manifest's
+// cursor.
+func TestLoadFullStateCarriesOptimizerState(t *testing.T) {
+	dir := t.TempDir()
+	factory := testFactory(3)
+	src := factory()
+	gdir := filepath.Join(dir, DirName(40))
+	if err := os.MkdirAll(gdir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	// Stage 0 holds layer 0, stage 1 holds layer 1; optimizer state is a
+	// recognizable per-param constant so ordering mistakes show up.
+	nParams := 0
+	for s := 0; s < 2; s++ {
+		stage := src.Slice(s, s+1)
+		shard := &StageShard{Generation: 40, Stage: s, Replica: 0, Params: stage.Params()}
+		for range stage.Params() {
+			st := stage.Params()[len(shard.OptState)].Clone()
+			for j := range st.Data {
+				st.Data[j] = float32(100 + nParams)
+			}
+			shard.OptState = append(shard.OptState, []*tensor.Tensor{st})
+			nParams++
+		}
+		if err := WriteShard(filepath.Join(gdir, StageFileName(s, 0)), shard); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := WriteManifest(gdir, &Manifest{Generation: 40, Cursor: 40, Stages: 2, Replicas: []int{1, 1}}); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := LoadFullState(dir, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cursor != 40 {
+		t.Fatalf("cursor = %d, want 40", st.Cursor)
+	}
+	params := st.Model.Params()
+	if len(st.OptState) != len(params) {
+		t.Fatalf("opt state for %d params, model has %d", len(st.OptState), len(params))
+	}
+	for i := range params {
+		if got := st.OptState[i][0].Data[0]; got != float32(100+i) {
+			t.Fatalf("opt state %d = %v, want %v", i, got, 100+i)
+		}
+	}
+}
+
+// TestLoadFullStateWithoutOptimizerState: a generation whose shards carry
+// no optimizer state loads with OptState nil, not an error.
+func TestLoadFullStateWithoutOptimizerState(t *testing.T) {
+	dir := t.TempDir()
+	factory := testFactory(4)
+	writeGeneration(t, dir, 10, factory())
+	st, err := LoadFullState(dir, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.OptState != nil {
+		t.Fatalf("OptState = %v, want nil", st.OptState)
+	}
+}
+
+// TestLoadFullStateVacuousOptStateForParamlessStage: a stage holding
+// only parameterless layers snapshots an EMPTY optimizer state, which
+// gob round-trips as nil. That vacuous nil must not mark the whole
+// generation stateless — the other stages' momentum has to survive
+// reassembly (regression: rescaled pipelines silently lost momentum
+// whenever any stage had no parameters).
+func TestLoadFullStateVacuousOptStateForParamlessStage(t *testing.T) {
+	dir := t.TempDir()
+	factory := testFactory(9)
+	src := factory()
+	gdir := filepath.Join(dir, DirName(7))
+	if err := os.MkdirAll(gdir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	// Stage 0 carries every parameter, with recognizable opt state.
+	opt := make([][]*tensor.Tensor, len(src.Params()))
+	for i, p := range src.Params() {
+		st := tensor.New(p.Shape...)
+		for j := range st.Data {
+			st.Data[j] = float32(200 + i)
+		}
+		opt[i] = []*tensor.Tensor{st}
+	}
+	if err := WriteShard(filepath.Join(gdir, StageFileName(0, 0)),
+		&StageShard{Generation: 7, Stage: 0, Replica: 0, Params: src.Params(), OptState: opt}); err != nil {
+		t.Fatal(err)
+	}
+	// Stage 1 has no parameters: empty Params, empty OptState — exactly
+	// what a stage of activation-only layers writes (nil after gob).
+	if err := WriteShard(filepath.Join(gdir, StageFileName(1, 0)),
+		&StageShard{Generation: 7, Stage: 1, Replica: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteManifest(gdir, &Manifest{Generation: 7, Cursor: 7, Stages: 2, Replicas: []int{1, 1}}); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := LoadFullState(dir, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.OptState == nil {
+		t.Fatal("optimizer state dropped: a parameterless stage's vacuous nil poisoned the generation")
+	}
+	if len(st.OptState) != len(src.Params()) {
+		t.Fatalf("opt state for %d params, want %d", len(st.OptState), len(src.Params()))
+	}
+	for i, s := range st.OptState {
+		if s[0].Data[0] != float32(200+i) {
+			t.Fatalf("opt state %d = %v, want %v", i, s[0].Data[0], float32(200+i))
+		}
 	}
 }

@@ -16,10 +16,14 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"pipedream/internal/collective"
 	"pipedream/internal/data"
+	"pipedream/internal/membership"
 	"pipedream/internal/metrics"
 	"pipedream/internal/nn"
 	"pipedream/internal/partition"
@@ -386,4 +390,103 @@ func (c *Obs) WriteOutputs(reg *metrics.Registry, opLog *metrics.OpLog) error {
 		}
 	}
 	return nil
+}
+
+// Elastic configures the elastic training runtime (pipedream-train
+// -elastic): the rescale policy plus an optional scripted membership
+// timeline, which is how the CLI demos workers joining and leaving
+// without a cluster manager.
+type Elastic struct {
+	// Enabled turns on elastic training.
+	Enabled bool
+	// MinWorkers is the fewest live workers to train on; below it the
+	// runtime drains and waits for rejoins.
+	MinWorkers int
+	// Debounce is how long membership must hold still before a rescale
+	// acts on it (flapping workers are absorbed).
+	Debounce time.Duration
+	// Events is the scripted membership timeline (see ParseEvents).
+	Events string
+}
+
+// Register declares the elastic-runtime flags, defaulting to the current
+// field values.
+func (c *Elastic) Register(fs *flag.FlagSet) {
+	fs.BoolVar(&c.Enabled, "elastic", c.Enabled, "train on the elastic runtime: follow a membership view, drain to a checkpoint barrier and repartition when workers join or leave")
+	fs.IntVar(&c.MinWorkers, "min-workers", c.MinWorkers, "elastic: fewest live workers to train on; below this the runtime drains and blocks until workers rejoin")
+	fs.DurationVar(&c.Debounce, "rescale-debounce", c.Debounce, "elastic: how long the membership set must hold still before a rescale acts on it")
+	fs.StringVar(&c.Events, "membership-events", c.Events, "elastic: scripted timeline of 'DUR:join:ID' / 'DUR:leave:ID' entries, comma-separated (e.g. '2s:leave:2,5s:join:2'); DUR is measured from training start")
+}
+
+// MembershipEvent is one scripted membership change: at offset At from
+// training start, worker ID joins (or leaves).
+type MembershipEvent struct {
+	At   time.Duration
+	Join bool
+	ID   int
+}
+
+// ParseEvents parses the -membership-events timeline into events sorted
+// by offset. An empty flag yields no events.
+func (c *Elastic) ParseEvents() ([]MembershipEvent, error) {
+	if c.Events == "" {
+		return nil, nil
+	}
+	var out []MembershipEvent
+	for _, part := range strings.Split(c.Events, ",") {
+		fields := strings.Split(strings.TrimSpace(part), ":")
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("membership event %q: want DUR:join:ID or DUR:leave:ID", part)
+		}
+		at, err := time.ParseDuration(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("membership event %q: %v", part, err)
+		}
+		var join bool
+		switch fields[1] {
+		case "join":
+			join = true
+		case "leave":
+			join = false
+		default:
+			return nil, fmt.Errorf("membership event %q: op %q is not join or leave", part, fields[1])
+		}
+		id, err := strconv.Atoi(fields[2])
+		if err != nil || id < 0 {
+			return nil, fmt.Errorf("membership event %q: bad worker id %q", part, fields[2])
+		}
+		out = append(out, MembershipEvent{At: at, Join: join, ID: id})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out, nil
+}
+
+// PlayEvents applies a scripted membership timeline to a view in a
+// background goroutine, logging each event through logf (nil for quiet).
+// Offsets are measured from the call; the goroutine exits after the last
+// event.
+func PlayEvents(v *membership.View, events []MembershipEvent, logf func(format string, args ...any)) {
+	if len(events) == 0 {
+		return
+	}
+	start := time.Now()
+	go func() {
+		for _, ev := range events {
+			if d := time.Until(start.Add(ev.At)); d > 0 {
+				time.Sleep(d)
+			}
+			if ev.Join {
+				v.Join(ev.ID, "")
+			} else {
+				v.Leave(ev.ID)
+			}
+			if logf != nil {
+				op := "leaves"
+				if ev.Join {
+					op = "joins"
+				}
+				logf("membership: worker %d %s at +%v (epoch %d)", ev.ID, op, ev.At, v.Epoch())
+			}
+		}
+	}()
 }

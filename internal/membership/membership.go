@@ -1,0 +1,269 @@
+// Package membership is the coordinator-side membership view of the
+// elastic training runtime: a registry of workers with
+// generation-numbered epochs, liveness tracked by heartbeat age, and a
+// debounce window so a flapping worker does not thrash the plan.
+//
+// The view is deliberately dumb: it answers "who is alive right now, and
+// since when has that set been still?" and bumps an epoch counter on
+// every change. Policy — when to drain, when to replan, how few workers
+// are too few — lives in the rescale controller (internal/pipeline),
+// which polls the view at checkpoint barriers and blocks on WaitStable
+// when the worker set is in flux. Members arrive by explicit Join,
+// depart by explicit Leave, or are evicted by Sweep when their last
+// heartbeat is older than Config.HeartbeatTimeout (the failure-detector
+// path, fed by the same heartbeat machinery the pipeline's watchdog
+// uses).
+package membership
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Config parameterizes a View's failure detector and debounce window.
+type Config struct {
+	// HeartbeatTimeout is the liveness horizon: a member whose most
+	// recent heartbeat is older than this is evicted by Sweep. 0
+	// disables age-based eviction — members then leave only via Leave.
+	HeartbeatTimeout time.Duration
+	// Debounce is how long the membership set must hold still before the
+	// view reports it as stable (WaitStable, Stable). A worker that
+	// flaps — leaves and rejoins within the window — therefore never
+	// surfaces as two stable epochs, and the rescale controller never
+	// replans for it. 0 means every change is immediately stable.
+	Debounce time.Duration
+}
+
+// Member is one registered worker as the view last saw it.
+type Member struct {
+	// ID is the worker's stable node identity, assigned by the caller.
+	// It survives rescales: plans come and go, node IDs do not.
+	ID int
+	// Addr is the worker's transport address ("" for in-process nodes).
+	Addr string
+	// JoinedEpoch is the membership epoch at which this member was
+	// admitted (its registration generation).
+	JoinedEpoch uint64
+	// LastBeat is the time of the member's most recent heartbeat (or its
+	// join, whichever is later).
+	LastBeat time.Time
+}
+
+// View is a thread-safe membership registry with epochs, heartbeat-age
+// liveness, and a debounce clock. The zero value is not usable; call
+// New.
+type View struct {
+	cfg Config
+
+	mu         sync.Mutex
+	members    map[int]*Member
+	epoch      uint64
+	lastChange time.Time
+	// changed is closed and replaced on every epoch bump so waiters can
+	// block on membership motion without polling.
+	changed chan struct{}
+}
+
+// New builds an empty view with the given failure-detector and debounce
+// configuration.
+func New(cfg Config) *View {
+	return &View{
+		cfg:        cfg,
+		members:    make(map[int]*Member),
+		lastChange: time.Now(),
+		changed:    make(chan struct{}),
+	}
+}
+
+// Config returns the view's failure-detector and debounce configuration
+// (immutable after New) — consumers size their convergence windows from
+// it.
+func (v *View) Config() Config { return v.cfg }
+
+// bumpLocked advances the epoch and wakes waiters. Callers hold v.mu.
+func (v *View) bumpLocked() {
+	v.epoch++
+	v.lastChange = time.Now()
+	close(v.changed)
+	v.changed = make(chan struct{})
+}
+
+// Join registers (or re-registers) a worker and returns the resulting
+// epoch. A genuinely new member — or one returning with a different
+// address — bumps the epoch; re-joining with an unchanged address is
+// idempotent and only refreshes the member's heartbeat, so a worker that
+// re-announces itself does not look like membership motion.
+func (v *View) Join(id int, addr string) uint64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	now := time.Now()
+	if m, ok := v.members[id]; ok {
+		m.LastBeat = now
+		if m.Addr == addr {
+			return v.epoch
+		}
+		m.Addr = addr
+		v.bumpLocked()
+		return v.epoch
+	}
+	v.bumpLocked()
+	v.members[id] = &Member{ID: id, Addr: addr, JoinedEpoch: v.epoch, LastBeat: now}
+	return v.epoch
+}
+
+// Leave removes a worker explicitly (a graceful departure) and returns
+// the resulting epoch. Leaving while absent is a no-op.
+func (v *View) Leave(id int) uint64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if _, ok := v.members[id]; !ok {
+		return v.epoch
+	}
+	delete(v.members, id)
+	v.bumpLocked()
+	return v.epoch
+}
+
+// Beat records a heartbeat from a worker, refreshing its liveness.
+// Beats from unknown workers are ignored — a beat is evidence of life,
+// not a registration; eviction is reversed only by an explicit Join.
+func (v *View) Beat(id int) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if m, ok := v.members[id]; ok {
+		m.LastBeat = time.Now()
+	}
+}
+
+// Sweep runs the failure detector: members whose last heartbeat is older
+// than Config.HeartbeatTimeout as of `now` are evicted. It returns the
+// evicted IDs (ascending) and bumps the epoch once if any were evicted.
+// With HeartbeatTimeout 0 it never evicts.
+func (v *View) Sweep(now time.Time) []int {
+	if v.cfg.HeartbeatTimeout <= 0 {
+		return nil
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	var evicted []int
+	for id, m := range v.members {
+		if now.Sub(m.LastBeat) > v.cfg.HeartbeatTimeout {
+			evicted = append(evicted, id)
+		}
+	}
+	if len(evicted) == 0 {
+		return nil
+	}
+	sort.Ints(evicted)
+	for _, id := range evicted {
+		delete(v.members, id)
+	}
+	v.bumpLocked()
+	return evicted
+}
+
+// Epoch returns the current membership epoch — a generation counter that
+// advances on every join, leave, address change, or eviction.
+func (v *View) Epoch() uint64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.epoch
+}
+
+// Alive sweeps the failure detector and returns the live members sorted
+// by ID.
+func (v *View) Alive() []Member {
+	v.Sweep(time.Now())
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make([]Member, 0, len(v.members))
+	for _, m := range v.members {
+		out = append(out, *m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// AliveIDs sweeps the failure detector and returns the live member IDs
+// in ascending order.
+func (v *View) AliveIDs() []int {
+	members := v.Alive()
+	ids := make([]int, len(members))
+	for i, m := range members {
+		ids[i] = m.ID
+	}
+	return ids
+}
+
+// LastChange returns the time of the most recent epoch bump — the start
+// of the current debounce window.
+func (v *View) LastChange() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.lastChange
+}
+
+// Stable reports whether the membership set has held still for at least
+// the debounce window as of `now`.
+func (v *View) Stable(now time.Time) bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.cfg.Debounce <= 0 || now.Sub(v.lastChange) >= v.cfg.Debounce
+}
+
+// Changed returns a channel that is closed at the next epoch bump, so
+// callers can block on membership motion without polling.
+func (v *View) Changed() <-chan struct{} {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.changed
+}
+
+// WaitStable blocks until the view holds at least `min` live members and
+// the set has been still for the debounce window, then returns those
+// members (sorted by ID) and the epoch they belong to. It sweeps the
+// failure detector while waiting, so members that die during the wait
+// are evicted rather than counted. It fails after `timeout` — the
+// below-min-workers guard of the rescale controller, surfaced as an
+// error instead of a hang.
+func (v *View) WaitStable(min int, timeout time.Duration) ([]Member, uint64, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		now := time.Now()
+		v.Sweep(now)
+		v.mu.Lock()
+		n := len(v.members)
+		since := now.Sub(v.lastChange)
+		stable := v.cfg.Debounce <= 0 || since >= v.cfg.Debounce
+		epoch := v.epoch
+		ch := v.changed
+		if n >= min && stable {
+			out := make([]Member, 0, n)
+			for _, m := range v.members {
+				out = append(out, *m)
+			}
+			v.mu.Unlock()
+			sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+			return out, epoch, nil
+		}
+		v.mu.Unlock()
+		if now.After(deadline) {
+			return nil, 0, fmt.Errorf("membership: %d of %d required workers after %v (epoch %d)",
+				n, min, timeout, epoch)
+		}
+		// Wake on the next change, or re-check when the debounce window
+		// would elapse (capped so the sweep keeps running while idle).
+		wait := v.cfg.Debounce - since
+		if wait <= 0 || wait > 50*time.Millisecond {
+			wait = 50 * time.Millisecond
+		}
+		timer := time.NewTimer(wait)
+		select {
+		case <-ch:
+		case <-timer.C:
+		}
+		timer.Stop()
+	}
+}

@@ -1,0 +1,182 @@
+package membership
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestMembershipJoinLeaveEpochs(t *testing.T) {
+	v := New(Config{})
+	if got := v.Epoch(); got != 0 {
+		t.Fatalf("fresh view epoch = %d, want 0", got)
+	}
+	e1 := v.Join(0, "a:1")
+	e2 := v.Join(1, "b:2")
+	if e1 != 1 || e2 != 2 {
+		t.Fatalf("join epochs = %d, %d, want 1, 2", e1, e2)
+	}
+	// Re-join with the same address is idempotent: no epoch motion.
+	if e := v.Join(1, "b:2"); e != 2 {
+		t.Fatalf("idempotent rejoin bumped epoch to %d", e)
+	}
+	// Address change is membership motion (the plan must re-dial).
+	if e := v.Join(1, "b:3"); e != 3 {
+		t.Fatalf("address change epoch = %d, want 3", e)
+	}
+	if e := v.Leave(0); e != 4 {
+		t.Fatalf("leave epoch = %d, want 4", e)
+	}
+	if e := v.Leave(0); e != 4 {
+		t.Fatalf("double leave bumped epoch to %d", e)
+	}
+	ids := v.AliveIDs()
+	if len(ids) != 1 || ids[0] != 1 {
+		t.Fatalf("alive = %v, want [1]", ids)
+	}
+}
+
+func TestMembershipSweepEvictsStaleMembers(t *testing.T) {
+	v := New(Config{HeartbeatTimeout: 50 * time.Millisecond})
+	v.Join(0, "")
+	v.Join(1, "")
+	v.Join(2, "")
+	base := v.Epoch()
+	// Only member 1 keeps beating while the others go stale.
+	deadline := time.Now().Add(80 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		v.Beat(1)
+		time.Sleep(5 * time.Millisecond)
+	}
+	evicted := v.Sweep(time.Now())
+	if len(evicted) != 2 || evicted[0] != 0 || evicted[1] != 2 {
+		t.Fatalf("evicted = %v, want [0 2]", evicted)
+	}
+	if got := v.Epoch(); got != base+1 {
+		t.Fatalf("one sweep with two evictions bumped epoch %d times, want 1", got-base)
+	}
+	if ids := v.AliveIDs(); len(ids) != 1 || ids[0] != 1 {
+		t.Fatalf("alive after sweep = %v, want [1]", ids)
+	}
+	// A beat from an evicted member is not a registration.
+	v.Beat(0)
+	if ids := v.AliveIDs(); len(ids) != 1 {
+		t.Fatalf("beat resurrected an evicted member: %v", ids)
+	}
+}
+
+func TestMembershipSweepDisabledWithoutTimeout(t *testing.T) {
+	v := New(Config{})
+	v.Join(0, "")
+	if evicted := v.Sweep(time.Now().Add(time.Hour)); evicted != nil {
+		t.Fatalf("sweep with no timeout evicted %v", evicted)
+	}
+}
+
+func TestMembershipDebounceFlap(t *testing.T) {
+	v := New(Config{Debounce: 40 * time.Millisecond})
+	v.Join(0, "")
+	v.Join(1, "")
+	// Flap: leave and rejoin inside the debounce window.
+	v.Leave(1)
+	if v.Stable(time.Now()) {
+		t.Fatal("view stable immediately after a change")
+	}
+	v.Join(1, "")
+	// WaitStable must ride out the flap and return the full set once the
+	// window elapses — two members, not the transient one-member set.
+	members, epoch, err := v.WaitStable(2, time.Second)
+	if err != nil {
+		t.Fatalf("WaitStable: %v", err)
+	}
+	if len(members) != 2 {
+		t.Fatalf("stable members = %v, want 2", members)
+	}
+	if epoch != v.Epoch() {
+		t.Fatalf("stable epoch %d != current %d", epoch, v.Epoch())
+	}
+	if !v.Stable(time.Now()) {
+		t.Fatal("view not stable after WaitStable returned")
+	}
+}
+
+func TestMembershipWaitStableTimesOutBelowMin(t *testing.T) {
+	v := New(Config{})
+	v.Join(0, "")
+	if _, _, err := v.WaitStable(2, 60*time.Millisecond); err == nil {
+		t.Fatal("WaitStable below min workers did not time out")
+	}
+}
+
+func TestMembershipWaitStableUnblocksOnJoin(t *testing.T) {
+	v := New(Config{Debounce: 5 * time.Millisecond})
+	v.Join(0, "")
+	done := make(chan error, 1)
+	go func() {
+		members, _, err := v.WaitStable(2, 2*time.Second)
+		if err == nil && len(members) != 2 {
+			err = fmt.Errorf("stable members = %v, want 2", members)
+		}
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	v.Join(1, "")
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("WaitStable: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("WaitStable did not unblock on join")
+	}
+}
+
+func TestMembershipChangedChannel(t *testing.T) {
+	v := New(Config{})
+	ch := v.Changed()
+	select {
+	case <-ch:
+		t.Fatal("changed channel closed before any change")
+	default:
+	}
+	v.Join(7, "")
+	select {
+	case <-ch:
+	default:
+		t.Fatal("changed channel not closed after join")
+	}
+}
+
+func TestMembershipWaitStableSweepsWhileWaiting(t *testing.T) {
+	v := New(Config{HeartbeatTimeout: 30 * time.Millisecond, Debounce: 10 * time.Millisecond})
+	v.Join(0, "")
+	v.Join(1, "")
+	// Member 1 never beats again; keep 0 alive from a background beater.
+	stop := make(chan struct{})
+	go func() {
+		t := time.NewTicker(5 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				v.Beat(0)
+			}
+		}
+	}()
+	defer close(stop)
+	members, _, err := v.WaitStable(1, 2*time.Second)
+	if err != nil {
+		t.Fatalf("WaitStable: %v", err)
+	}
+	// Give the detector time to evict 1, then confirm the view converged
+	// on member 0 alone.
+	deadline := time.Now().Add(time.Second)
+	for len(v.AliveIDs()) != 1 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if ids := v.AliveIDs(); len(ids) != 1 || ids[0] != 0 {
+		t.Fatalf("alive after stale member = %v, want [0] (stable set was %v)", ids, members)
+	}
+}

@@ -123,18 +123,43 @@ func (p *Pipeline) Restore(dir string) error {
 }
 
 // restoreLatest restores from the newest complete generation and returns
-// its cursor.
+// its cursor. A concurrent writer (another incarnation checkpointing and
+// pruning at its barrier loop) can delete every generation a single
+// directory listing saw before this reader opens one; in that case the
+// listing is re-taken — the writer that emptied it necessarily produced
+// newer complete generations. The retry is bounded: exhausting it needs
+// the writer to outrun the reader across the whole listing repeatedly.
 func (p *Pipeline) restoreLatest(dir string) (int, error) {
+	var err error
+	for attempt := 0; attempt < 4; attempt++ {
+		var cursor int
+		var retry bool
+		cursor, retry, err = p.restoreOnce(dir)
+		if err == nil {
+			return cursor, nil
+		}
+		if !retry {
+			return 0, err
+		}
+	}
+	return 0, err
+}
+
+// restoreOnce restores from the newest complete generation of one
+// directory listing. retry reports that every listed generation was
+// skipped (incomplete or vanished mid-read) — a fresh listing may see
+// the generations a concurrent writer added since.
+func (p *Pipeline) restoreOnce(dir string) (cursor int, retry bool, _ error) {
 	gens, err := checkpoint.ListGenerations(dir)
 	if err != nil {
-		return 0, fmt.Errorf("pipeline: restore %s: %w", dir, err)
+		return 0, false, fmt.Errorf("pipeline: restore %s: %w", dir, err)
 	}
 	if len(gens) == 0 {
 		// Pre-generation layout: stage files at the directory root.
 		if err := p.restoreFlat(dir); err != nil {
-			return 0, err
+			return 0, false, err
 		}
-		return p.cursor, nil
+		return p.cursor, false, nil
 	}
 	var lastSkip error
 	for i := len(gens) - 1; i >= 0; i-- {
@@ -145,14 +170,14 @@ func (p *Pipeline) restoreLatest(dir string) (int, error) {
 				lastSkip = fmt.Errorf("generation %d has no manifest", gens[i])
 				continue // crashed before the manifest: incomplete
 			}
-			return 0, fmt.Errorf("pipeline: restore %s: %w", gdir, err)
+			return 0, false, fmt.Errorf("pipeline: restore %s: %w", gdir, err)
 		}
 		if man.Generation != gens[i] {
-			return 0, fmt.Errorf("pipeline: restore %s: manifest generation %d does not match directory",
+			return 0, false, fmt.Errorf("pipeline: restore %s: manifest generation %d does not match directory",
 				gdir, man.Generation)
 		}
 		if err := p.validateManifest(man); err != nil {
-			return 0, fmt.Errorf("pipeline: restore %s: %w", gdir, err)
+			return 0, false, fmt.Errorf("pipeline: restore %s: %w", gdir, err)
 		}
 		if !checkpoint.Complete(gdir, man) {
 			lastSkip = fmt.Errorf("generation %d is incomplete", gens[i])
@@ -166,12 +191,12 @@ func (p *Pipeline) restoreLatest(dir string) (int, error) {
 				lastSkip = fmt.Errorf("generation %d vanished mid-read: %v", gens[i], err)
 				continue
 			}
-			return 0, err
+			return 0, false, err
 		}
 		p.cursor = man.Cursor
-		return man.Cursor, nil
+		return man.Cursor, false, nil
 	}
-	return 0, fmt.Errorf("pipeline: no complete checkpoint generation in %s (%v)", dir, lastSkip)
+	return 0, true, fmt.Errorf("pipeline: no complete checkpoint generation in %s (%v)", dir, lastSkip)
 }
 
 // validateManifest checks the manifest against this pipeline's plan shape.

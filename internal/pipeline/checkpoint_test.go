@@ -1,8 +1,11 @@
 package pipeline
 
 import (
+	"os"
+	"path/filepath"
 	"testing"
 
+	"pipedream/internal/checkpoint"
 	"pipedream/internal/data"
 	"pipedream/internal/nn"
 )
@@ -80,5 +83,123 @@ func TestLoadModelValidation(t *testing.T) {
 	}
 	if _, _, err := LoadModel(dir, mlpFactory(1, 4, 16, 3)); err == nil {
 		t.Fatal("LoadModel with a mismatched factory succeeded")
+	}
+}
+
+// TestRestoreSkipsMidPruneGeneration mirrors the serve-side follower
+// test on the training path: a generation whose manifest survives but
+// whose shard a concurrent prune already deleted must be skipped in
+// favour of the older complete generation — Restore lands on it, and
+// training resumes from its cursor.
+func TestRestoreSkipsMidPruneGeneration(t *testing.T) {
+	factory := mlpFactory(11, 4, 8, 3)
+	ds := data.NewBlobs(13, 3, 4, 8, 30)
+	dir := t.TempDir()
+	mk := func() *Pipeline {
+		p, err := New(Options{
+			ModelFactory:  factory,
+			Plan:          evenPlan(t, factory, 2, 1),
+			Loss:          nn.SoftmaxCrossEntropy,
+			NewOptimizer:  func() nn.Optimizer { return nn.NewSGD(0.1, 0.9, 0) },
+			RuntimeConfig: RuntimeConfig{Depth: 1},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	w := mk()
+	defer w.Close()
+	if _, err := w.Train(ds, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Checkpoint(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Train(ds, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Checkpoint(dir); err != nil {
+		t.Fatal(err)
+	}
+	// Generation 20 is caught mid-prune: manifest present, one shard gone.
+	if err := os.Remove(filepath.Join(dir, checkpoint.DirName(20), checkpoint.StageFileName(1, 0))); err != nil {
+		t.Fatal(err)
+	}
+	r := mk()
+	defer r.Close()
+	if err := r.Restore(dir); err != nil {
+		t.Fatal(err)
+	}
+	if r.cursor != 10 {
+		t.Fatalf("restored cursor = %d, want 10 (gen 20 is mid-prune)", r.cursor)
+	}
+}
+
+// TestRestoreRacesPruneAtGenerationBoundary stresses the training-side
+// restore against a concurrent writer that checkpoints and prunes (the
+// elastic controller's barrier loop): every Restore must land on SOME
+// complete generation without error, no matter where the prune is. Run
+// under -race, this also proves the paths share no unsynchronized state.
+func TestRestoreRacesPruneAtGenerationBoundary(t *testing.T) {
+	factory := mlpFactory(17, 4, 8, 3)
+	dir := t.TempDir()
+	mk := func() *Pipeline {
+		p, err := New(Options{
+			ModelFactory:  factory,
+			Plan:          evenPlan(t, factory, 2, 1),
+			Loss:          nn.SoftmaxCrossEntropy,
+			NewOptimizer:  func() nn.Optimizer { return nn.NewSGD(0.1, 0.9, 0) },
+			RuntimeConfig: RuntimeConfig{Depth: 1},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	w := mk()
+	defer w.Close()
+	// Seed one complete generation so the reader never sees an empty dir.
+	if err := w.checkpointAt(dir, 0); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	werr := make(chan error, 1)
+	go func() {
+		defer close(done)
+		// checkpointAt prunes to 3 generations on every write, so each
+		// iteration deletes the oldest generation while the reader races it.
+		for gen := 1; gen <= 60; gen++ {
+			if err := w.checkpointAt(dir, gen*5); err != nil {
+				werr <- err
+				return
+			}
+		}
+	}()
+	r := mk()
+	defer r.Close()
+	for {
+		select {
+		case <-done:
+			if err := r.Restore(dir); err != nil {
+				t.Fatal(err)
+			}
+			if r.cursor%5 != 0 {
+				t.Fatalf("restored cursor %d is not a written generation", r.cursor)
+			}
+			select {
+			case err := <-werr:
+				t.Fatal(err)
+			default:
+			}
+			return
+		default:
+			if err := r.Restore(dir); err != nil {
+				t.Fatalf("restore raced prune: %v", err)
+			}
+			if r.cursor%5 != 0 {
+				t.Fatalf("restored cursor %d is not a written generation", r.cursor)
+			}
+		}
 	}
 }

@@ -270,24 +270,32 @@ func publishPoolCounters(reg *metrics.Registry) {
 // table (empty string when instrumentation was off). Durations are
 // totals over the Train call; bubble is the per-worker bubble fraction.
 func (r *Report) StageSummary() string {
-	if len(r.Stages) == 0 {
+	if len(r.Stages) == 0 && len(r.Rescales) == 0 {
 		return ""
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-8s %-6s %6s %10s %10s %10s %10s %10s %10s %7s %11s %10s %10s %8s\n",
-		"worker", "stage", "ops", "fwd", "bwd", "sync", "sync1st", "synctail", "idle", "bubble", "queue(µ/pk)", "stale(µ/mx)", "stash", "wire")
-	for _, s := range r.Stages {
-		fmt.Fprintf(&b, "%-8d %d/%-4d %6d %10s %10s %10s %10s %10s %10s %6.1f%% %5.1f/%-5d %6.1f/%-3d %10s %8s\n",
-			s.Worker, s.Stage, s.Replica, s.FwdOps+s.BwdOps,
-			roundDur(s.FwdTime), roundDur(s.BwdTime), roundDur(s.SyncWait),
-			roundDur(s.SyncFirstWait), roundDur(s.SyncTailWait), roundDur(s.Idle),
-			100*s.BubbleFraction, s.MeanQueueDepth, s.PeakQueueDepth,
-			s.MeanStaleness, s.MaxStaleness, fmtBytes(s.PeakStashBytes), fmtBytes(s.WireBytes))
+	if len(r.Stages) > 0 {
+		fmt.Fprintf(&b, "%-8s %-6s %6s %10s %10s %10s %10s %10s %10s %7s %11s %10s %10s %8s\n",
+			"worker", "stage", "ops", "fwd", "bwd", "sync", "sync1st", "synctail", "idle", "bubble", "queue(µ/pk)", "stale(µ/mx)", "stash", "wire")
+		for _, s := range r.Stages {
+			fmt.Fprintf(&b, "%-8d %d/%-4d %6d %10s %10s %10s %10s %10s %10s %6.1f%% %5.1f/%-5d %6.1f/%-3d %10s %8s\n",
+				s.Worker, s.Stage, s.Replica, s.FwdOps+s.BwdOps,
+				roundDur(s.FwdTime), roundDur(s.BwdTime), roundDur(s.SyncWait),
+				roundDur(s.SyncFirstWait), roundDur(s.SyncTailWait), roundDur(s.Idle),
+				100*s.BubbleFraction, s.MeanQueueDepth, s.PeakQueueDepth,
+				s.MeanStaleness, s.MaxStaleness, fmtBytes(s.PeakStashBytes), fmtBytes(s.WireBytes))
+		}
 	}
 	f := r.Faults
 	if f.Recoveries > 0 || f.CheckpointWrites > 0 || f.TransportReconnects > 0 || f.TransportSendErrors > 0 {
 		fmt.Fprintf(&b, "faults: %d recoveries, %d checkpoint writes, %d transport reconnects, %d send errors\n",
 			f.Recoveries, f.CheckpointWrites, f.TransportReconnects, f.TransportSendErrors)
+	}
+	for _, rs := range r.Rescales {
+		fmt.Fprintf(&b, "%s\n", rs)
+	}
+	if len(r.Rescales) > 0 {
+		fmt.Fprintf(&b, "membership epoch: %d\n", r.MembershipEpoch)
 	}
 	return b.String()
 }

@@ -208,6 +208,13 @@ type Report struct {
 	// Faults summarizes this call's failure-path activity: recoveries,
 	// checkpoint writes, and transport reconnect/send-error counts.
 	Faults FaultStats
+	// Rescales records every elastic rescale this call performed — one
+	// entry per plan change, with its drain/replan/restart latency split.
+	// Empty outside the elastic runtime.
+	Rescales []RescaleStats
+	// MembershipEpoch is the membership epoch the run ended on (elastic
+	// runtime only; zero otherwise).
+	MembershipEpoch uint64
 }
 
 // Throughput returns samples per second of wall time.
@@ -272,17 +279,7 @@ func New(opts Options) (*Pipeline, error) {
 	useRing := opts.AllReduce == collective.Ring
 	p.tr = opts.Transport
 	if p.tr == nil {
-		// Inboxes must absorb every in-flight message even when a worker
-		// stalls in a gradient all_reduce: depth minibatches per input
-		// replica, two messages each, plus slack. Ring mode adds room for
-		// the lock-step chunk traffic: at most one in-flight chunk per
-		// bucket from the left neighbor's current round plus one from its
-		// next round.
-		buffer := 2*p.depth*opts.Plan.Stages[0].Replicas + 8
-		if useRing {
-			buffer += 2*maxRingBuckets(ref, opts) + 8
-		}
-		p.tr = transport.NewChannels(p.assign.NumWorkers(), buffer)
+		p.tr = transport.NewChannels(p.assign.NumWorkers(), channelBuffer(ref, opts, p.depth))
 		p.ownTr = true
 	}
 	reducers := make([]*collective.CentralReducer, len(opts.Plan.Stages))
@@ -318,6 +315,20 @@ func New(opts Options) (*Pipeline, error) {
 		p.workers = append(p.workers, sw)
 	}
 	return p, nil
+}
+
+// channelBuffer sizes the in-process transport's inboxes: they must
+// absorb every in-flight message even when a worker stalls in a gradient
+// all_reduce — depth minibatches per input replica, two messages each,
+// plus slack. Ring mode adds room for the lock-step chunk traffic: at
+// most one in-flight chunk per bucket from the left neighbor's current
+// round plus one from its next round.
+func channelBuffer(ref *nn.Sequential, opts Options, depth int) int {
+	buffer := 2*depth*opts.Plan.Stages[0].Replicas + 8
+	if opts.AllReduce == collective.Ring {
+		buffer += 2*maxRingBuckets(ref, opts) + 8
+	}
+	return buffer
 }
 
 // maxRingBuckets bounds how many gradient buckets the ring collective of
@@ -421,6 +432,12 @@ func (p *Pipeline) Train(ds data.Dataset, minibatches int) (*Report, error) {
 	}
 	losses := make([]float64, minibatches)
 	recoveries, ckptWrites := 0, 0
+	// consecFailures counts failed chunks since the last clean one.
+	// MaxRecoveries bounds this consecutive count, not the lifetime
+	// total: a long run surviving sporadic, spaced-out faults keeps
+	// recovering, while a fault loop that never completes a chunk still
+	// surfaces after MaxRecoveries attempts.
+	consecFailures := 0
 	if p.autoRecover() {
 		// Seed an initial generation so the first failure has something to
 		// restore (a training run that fails before its first periodic
@@ -439,7 +456,8 @@ func (p *Pipeline) Train(ds data.Dataset, minibatches int) (*Report, error) {
 			ce = end
 		}
 		if err := p.runChunk(ds, cs, ce, start, losses); err != nil {
-			if !p.autoRecover() || recoveries >= p.opts.MaxRecoveries {
+			consecFailures++
+			if !p.autoRecover() || consecFailures > p.opts.MaxRecoveries {
 				return nil, err
 			}
 			recoveries++
@@ -454,6 +472,7 @@ func (p *Pipeline) Train(ds data.Dataset, minibatches int) (*Report, error) {
 			cs = restored
 			continue
 		}
+		consecFailures = 0
 		cs = ce
 		p.cursor = ce
 		if p.opts.CheckpointDir != "" && p.opts.CheckpointEvery > 0 {

@@ -119,6 +119,9 @@ func (s *SoloWorker) Run(ds data.Dataset, minibatches int) (*Report, error) {
 	}
 	losses := make([]float64, minibatches)
 	recoveries, ckptWrites := 0, 0
+	// Like Train, MaxRecoveries bounds CONSECUTIVE failed chunks; a
+	// clean chunk resets the allowance.
+	consecFailures := 0
 	if s.p.autoRecover() {
 		if _, err := LatestCheckpoint(s.p.opts.CheckpointDir); err != nil {
 			s.p.cursor = start
@@ -135,7 +138,8 @@ func (s *SoloWorker) Run(ds data.Dataset, minibatches int) (*Report, error) {
 			ce = end
 		}
 		if err := s.runChunk(ds, cs, ce, start, losses); err != nil {
-			if !s.p.autoRecover() || recoveries >= s.p.opts.MaxRecoveries {
+			consecFailures++
+			if !s.p.autoRecover() || consecFailures > s.p.opts.MaxRecoveries {
 				return nil, err
 			}
 			recoveries++
@@ -146,6 +150,7 @@ func (s *SoloWorker) Run(ds data.Dataset, minibatches int) (*Report, error) {
 			cs = restored
 			continue
 		}
+		consecFailures = 0
 		cs = ce
 		s.cursor = ce
 		s.p.cursor = ce

@@ -3,6 +3,7 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -94,14 +95,19 @@ func (s *Server) Follow(cfg FollowConfig) (*Follower, error) {
 	f := &Follower{stop: make(chan struct{}), done: make(chan struct{})}
 	go func() {
 		defer close(f.done)
-		ticker := time.NewTicker(cfg.Poll)
-		defer ticker.Stop()
+		// Each wait is jittered around Poll so that a fleet of replicas
+		// following one shared checkpoint directory does not stat it in
+		// lockstep every tick (and does not all discover — and load — a
+		// new generation at the same instant).
+		timer := time.NewTimer(pollJitter(cfg.Poll))
+		defer timer.Stop()
 		for {
 			select {
 			case <-f.stop:
 				return
-			case <-ticker.C:
+			case <-timer.C:
 				s.pollOnce(cfg)
+				timer.Reset(pollJitter(cfg.Poll))
 			}
 		}
 	}()
@@ -141,4 +147,12 @@ func (s *Server) pollOnce(cfg FollowConfig) {
 	if cfg.OnSwap != nil {
 		cfg.OnSwap(gen)
 	}
+}
+
+// pollJitter draws one poll wait uniformly from [d/2, 3d/2).
+func pollJitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d)))
 }

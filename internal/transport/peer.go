@@ -157,7 +157,7 @@ func (t *TCPPeer) dial(to int) (gc *frameConn, fresh bool, err error) {
 		select {
 		case <-t.closed:
 			return nil, false, ErrClosed
-		case <-time.After(backoff):
+		case <-time.After(jitterBackoff(backoff)):
 		}
 		if backoff < time.Second {
 			backoff *= 2
@@ -174,6 +174,27 @@ func (t *TCPPeer) invalidate(to int, gc *frameConn) {
 	}
 	t.mu.Unlock()
 	gc.conn.Close()
+}
+
+// UpdatePeers installs a new address list at a rescale barrier: workers
+// may have joined (the list grew), left (it shrank), or moved (an
+// address changed). Cached connections to slots whose address is
+// unchanged are kept — healthy links survive a rescale — while
+// connections to removed or re-addressed slots are closed and will be
+// re-dialed lazily on the next Send. Call with the pipeline drained (no
+// in-flight sends), as the elastic runtime does between incarnations;
+// this worker's own slot and listener are untouched.
+func (t *TCPPeer) UpdatePeers(addrs []string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for w, gc := range t.conns {
+		if w < len(addrs) && w < len(t.addrs) && t.addrs[w] == addrs[w] {
+			continue
+		}
+		gc.conn.Close()
+		delete(t.conns, w)
+	}
+	t.addrs = append([]string(nil), addrs...)
 }
 
 // Stats implements StatsReporter.

@@ -107,3 +107,80 @@ func TestTCPPeerRejectsBadID(t *testing.T) {
 		t.Fatal("out-of-range id must fail")
 	}
 }
+
+// TestTCPPeerUpdatePeersKeepsHealthyConns: installing a new address
+// list at a rescale barrier must keep cached connections whose slot
+// address is unchanged (no reconnect churn for surviving peers) and
+// close only the removed or re-addressed ones.
+func TestTCPPeerUpdatePeersKeepsHealthyConns(t *testing.T) {
+	addrs := peerAddrs(t, 3)
+	a, err := NewTCPPeer(0, addrs[:2], 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := NewTCPPeer(1, addrs[:2], 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	send := func() {
+		t.Helper()
+		if err := a.Send(1, Message{Kind: Activation, Minibatch: 1,
+			Tensor: tensor.FromSlice([]float32{1}, 1)}); err != nil {
+			t.Fatal(err)
+		}
+		<-b.Inbox(1)
+	}
+	send()
+
+	// The plan widens: worker 2 joins. Slots 0 and 1 are unchanged, so
+	// the live a→b connection must survive — no reconnect, no churn.
+	a.UpdatePeers(addrs)
+	b.UpdatePeers(addrs)
+	send()
+	if got := a.Stats().Reconnects; got != 0 {
+		t.Fatalf("Reconnects = %d after an address-preserving update, want 0", got)
+	}
+
+	// The new worker is reachable through the updated list.
+	c, err := NewTCPPeer(2, addrs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := a.Send(2, Message{Kind: Activation, Minibatch: 2,
+		Tensor: tensor.FromSlice([]float32{2}, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	m := <-c.Inbox(2)
+	if m.Minibatch != 2 {
+		t.Fatalf("new peer got %+v", m)
+	}
+
+	// Worker 2 is re-addressed: its cached connection must be dropped so
+	// the next send dials the new address, while a→b stays cached.
+	moved := append([]string(nil), addrs...)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved[2] = ln.Addr().String()
+	ln.Close()
+	a.UpdatePeers(moved)
+	c2, err := NewTCPPeer(2, moved, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if err := a.Send(2, Message{Kind: Activation, Minibatch: 3,
+		Tensor: tensor.FromSlice([]float32{3}, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	m = <-c2.Inbox(2)
+	if m.Minibatch != 3 {
+		t.Fatalf("re-addressed peer got %+v", m)
+	}
+	send() // the a→b connection still works untouched
+}

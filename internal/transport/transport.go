@@ -14,12 +14,26 @@ package transport
 
 import (
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
 
 	"pipedream/internal/tensor"
 )
+
+// jitterBackoff returns a duration drawn uniformly from [d/2, 3d/2).
+// Retry sleeps are randomized because correlated failures are the norm:
+// one worker death severs every inbound connection at once, and without
+// jitter the survivors redial in lockstep, hammering the returning
+// listener in synchronized waves at exactly the moments it tries to
+// accept.
+func jitterBackoff(d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d)))
+}
 
 // MsgKind distinguishes message payloads.
 type MsgKind int
@@ -314,7 +328,7 @@ func (t *TCP) Send(to int, m Message) error {
 		select {
 		case <-t.closed:
 			return fmt.Errorf("send to worker %d: %w", to, ErrClosed)
-		case <-time.After(backoff):
+		case <-time.After(jitterBackoff(backoff)):
 		}
 		if backoff < 500*time.Millisecond {
 			backoff *= 2

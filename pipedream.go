@@ -38,6 +38,7 @@ import (
 	"pipedream/internal/cluster"
 	"pipedream/internal/collective"
 	"pipedream/internal/data"
+	"pipedream/internal/membership"
 	"pipedream/internal/metrics"
 	"pipedream/internal/modelzoo"
 	"pipedream/internal/nn"
@@ -183,6 +184,36 @@ type (
 	FaultStats = pipeline.FaultStats
 )
 
+// Elastic-runtime types (see docs/ARCHITECTURE.md "Elastic runtime"):
+// a membership view tracks which workers are alive, and the rescale
+// controller drains training to a checkpoint barrier and repartitions
+// onto the live set whenever the view changes.
+type (
+	// MembershipView is a generation-numbered registry of live workers
+	// (join, leave, heartbeat, eviction sweep) the elastic runtime
+	// follows.
+	MembershipView = membership.View
+	// MembershipConfig sets a view's liveness timeout and rescale
+	// debounce window.
+	MembershipConfig = membership.Config
+	// Member is one live worker in a MembershipView.
+	Member = membership.Member
+	// Elastic is the rescale controller: a training runtime that
+	// repartitions onto the live worker set as membership changes.
+	Elastic = pipeline.Elastic
+	// ElasticConfig wires a MembershipView and a replan function into
+	// NewElastic.
+	ElasticConfig = pipeline.ElasticConfig
+	// ReplanFunc re-runs the partitioner for a new live worker count.
+	ReplanFunc = pipeline.ReplanFunc
+	// TransportFactory builds the transport for one elastic plan
+	// incarnation.
+	TransportFactory = pipeline.TransportFactory
+	// RescaleStats records one rescale's worker-count change and its
+	// drain/replan/restart latency split (TrainReport.Rescales).
+	RescaleStats = pipeline.RescaleStats
+)
+
 // Typed failure errors (match with errors.Is).
 var (
 	// ErrPeerDown marks a send whose peer is unreachable after retries.
@@ -293,6 +324,13 @@ var (
 	// NewServer starts a forward-only serving pipeline over a trained
 	// model; submit requests with Server.Infer.
 	NewServer = serve.NewServer
+	// NewMembershipView creates the worker registry the elastic runtime
+	// follows.
+	NewMembershipView = membership.New
+	// NewElastic builds the elastic training runtime: training that
+	// drains to a checkpoint barrier and repartitions whenever the
+	// membership view changes.
+	NewElastic = pipeline.NewElastic
 
 	// ParseAllReduceMethod maps an -allreduce flag value ("ring" or
 	// "central") to an AllReduceMethod.

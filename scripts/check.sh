@@ -31,6 +31,10 @@ go test -race -run 'Ring|Overlap' ./internal/collective/ ./internal/pipeline/
 echo "== chaos gate (fault injection under the race detector)"
 go test -race -run 'Chaos' ./internal/transport/ ./internal/pipeline/
 
+echo "== elastic gate (membership, rescale, checkpoint races under the race detector)"
+go test -race -run 'Elastic|Membership|Rescale|RacesPrune|MidPrune|UpdatePeers' \
+    ./internal/membership/ ./internal/pipeline/ ./internal/checkpoint/ ./internal/transport/ ./internal/serve/
+
 echo "== serving gate (dynamic batcher + stage workers + weight hot-swap under the race detector)"
 go test -race -count=2 ./internal/serve/
 go test -race -run 'Serve|HotSwap' ./
@@ -71,9 +75,17 @@ if [ -n "$PANICS" ]; then
     exit 1
 fi
 
-echo "== doc comments (exported identifiers in pipeline + metrics + serve + cliconf + tensor + checkpoint)"
+echo "== no panics in the membership view (liveness code must degrade, not crash)"
+PANICS=$(grep -n 'panic(' internal/membership/*.go || true)
+if [ -n "$PANICS" ]; then
+    echo "internal/membership must return errors, not panic:" >&2
+    echo "$PANICS" >&2
+    exit 1
+fi
+
+echo "== doc comments (exported identifiers in pipeline + metrics + serve + cliconf + tensor + checkpoint + membership)"
 MISSING=$(for f in internal/pipeline/*.go internal/metrics/*.go internal/serve/*.go internal/cliconf/*.go \
-    internal/tensor/*.go internal/checkpoint/*.go; do
+    internal/tensor/*.go internal/checkpoint/*.go internal/membership/*.go; do
     case "$f" in *_test.go) continue ;; esac
     awk -v file="$f" '
     /^(func|type|var|const) (\()?[A-Za-z]/ {
@@ -118,9 +130,10 @@ grep -q 'docs/ARCHITECTURE.md' README.md || { echo "README.md does not link docs
 grep -q 'docs/SERVING.md' README.md || { echo "README.md does not link docs/SERVING.md" >&2; exit 1; }
 grep -q 'SERVING.md' docs/ARCHITECTURE.md || { echo "docs/ARCHITECTURE.md does not link SERVING.md" >&2; exit 1; }
 
-echo "== facade exports (serving surface reachable from package pipedream)"
+echo "== facade exports (serving + elastic surface reachable from package pipedream)"
 for sym in NewServer ServeConfig ErrOverloaded LoadCheckpointModel SyncConfig FaultConfig RuntimeConfig \
-    FollowConfig Follower ErrStaleGeneration; do
+    FollowConfig Follower ErrStaleGeneration \
+    NewElastic ElasticConfig RescaleStats ReplanFunc MembershipView MembershipConfig NewMembershipView; do
     grep -q "\b$sym\b" pipedream.go || { echo "pipedream.go does not re-export $sym" >&2; exit 1; }
 done
 
