@@ -30,6 +30,7 @@ import (
 	"pipedream/internal/pipeline"
 	"pipedream/internal/schedule"
 	"pipedream/internal/serve"
+	"pipedream/internal/serve/fleet"
 	"pipedream/internal/tensor"
 	"pipedream/internal/topology"
 	"pipedream/internal/transport"
@@ -314,6 +315,90 @@ func benchServe(b *testing.B, maxBatch int, unfused bool) {
 func BenchmarkServeBatch1(b *testing.B)         { benchServe(b, 1, false) }
 func BenchmarkServeDynamic(b *testing.B)        { benchServe(b, 16, false) }
 func BenchmarkServeDynamicUnfused(b *testing.B) { benchServe(b, 16, true) }
+
+// deviceLayer is an identity layer that sleeps: a stand-in for a
+// device-bound stage (an accelerator kernel the CPU only launches), so
+// fleet benchmarks measure replication of latency-bound capacity rather
+// than CPU parallelism — on any core count, N replicas can hold N
+// device calls open at once.
+type deviceLayer struct{ delay time.Duration }
+
+func (l *deviceLayer) Name() string { return "device" }
+func (l *deviceLayer) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, nn.Context) {
+	time.Sleep(l.delay)
+	return x, nil
+}
+func (l *deviceLayer) Backward(ctx nn.Context, g *tensor.Tensor) *tensor.Tensor { return g }
+func (l *deviceLayer) Params() []*tensor.Tensor                                 { return nil }
+func (l *deviceLayer) Grads() []*tensor.Tensor                                  { return nil }
+
+// benchFleet drives one tenant of a replicated serving fleet
+// closed-loop. The model's first layer is a 1ms deviceLayer, so a
+// single replica is capped near 1000 req/s no matter the host — the
+// replication speedup (BenchmarkFleetReplicas1 ns/op over
+// BenchmarkFleetReplicas2's) is the fleet's data-parallel scaling on
+// device-bound serving. Each run also reports the p99 request latency.
+func benchFleet(b *testing.B, replicas int) {
+	rng := rand.New(rand.NewSource(9))
+	model := nn.NewSequential(
+		&deviceLayer{delay: time.Millisecond},
+		nn.NewDense(rng, "fc", 8, 8),
+	)
+	fl, err := fleet.New(fleet.Config{Replicas: replicas, Policy: fleet.LeastInFlight},
+		fleet.TenantConfig{Name: "bench", Server: serve.Config{
+			Model:             model,
+			MaxBatch:          1,
+			BatchTimeout:      100 * time.Microsecond,
+			QueueCap:          4096,
+			MaxInFlight:       4,
+			KernelParallelism: 1,
+		}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer fl.Close()
+	ten, err := fl.Tenant("bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	inputs := make([]*tensor.Tensor, 16)
+	for i := range inputs {
+		inputs[i] = tensor.RandUniform(rng, -1, 1, 1, 8)
+	}
+	const clients = 32
+	lats := make([][]float64, clients)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := c; i < b.N; i += clients {
+				t0 := time.Now()
+				if _, err := ten.Infer(inputs[i%len(inputs)]); err != nil {
+					b.Error(err)
+					return
+				}
+				lats[c] = append(lats[c], float64(time.Since(t0).Microseconds()))
+			}
+		}(c)
+	}
+	wg.Wait()
+	b.StopTimer()
+	var all []float64
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	if len(all) > 0 {
+		sort.Float64s(all)
+		b.ReportMetric(all[len(all)*99/100], "p99_us")
+	}
+}
+
+func BenchmarkFleetReplicas1(b *testing.B) { benchFleet(b, 1) }
+func BenchmarkFleetReplicas2(b *testing.B) { benchFleet(b, 2) }
+func BenchmarkFleetReplicas4(b *testing.B) { benchFleet(b, 4) }
 
 // BenchmarkWeightSwap measures the cost of installing a new weight
 // generation into a live 8-stage server: slicing the model by the plan

@@ -11,6 +11,11 @@
 //     regardless of completions, so queueing delay shows up in the tail
 //     latencies — the latency-under-load measurement.
 //
+// Against a multi-tenant fleet (pipedream-serve -models) the generator
+// can address one tenant (-model name) or drive several at once with
+// per-tenant open-loop rates (-models "prod:50,canary:10"), reporting
+// outcomes per tenant — the harness for tenancy-isolation measurements.
+//
 // While driving load the generator also polls the server's /healthz and
 // tracks its weight generation: when the server hot-swaps checkpoints
 // mid-run (pipedream-serve -follow), the final report shows the
@@ -30,8 +35,11 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -52,15 +60,21 @@ func main() {
 	duration := flag.Duration("duration", 10*time.Second, "how long to drive load")
 	requests := flag.Int("requests", 0, "stop after this many requests (0 = run for -duration)")
 	rows := flag.Int("rows", 1, "input rows per request")
+	model := flag.String("model", "", "tenant to address on a multi-model fleet (\"\" = the server's default tenant)")
+	models := flag.String("models", "", "drive several tenants open-loop as name:rate[,name:rate...] req/s (overrides -model, -rate, -concurrency)")
 	flag.Parse()
 
 	task, err := mdl.Build()
 	if err != nil {
 		fatal(err)
 	}
+	targets, err := buildTargets(*addr, *model, *models, *rate)
+	if err != nil {
+		fatal(err)
+	}
 	bodies := buildBodies(task, *rows)
 	fmt.Printf("driving %s/infer: task %s, %d rows/request, %s\n",
-		*addr, mdl.Task, *rows, modeString(*rate, *concurrency))
+		*addr, mdl.Task, *rows, modeString(targets, *rate, *concurrency))
 
 	lat := metrics.NewHistogram(metrics.LatencyBuckets())
 	var sent, ok, shed, failed atomic.Int64
@@ -78,18 +92,21 @@ func main() {
 	// zero-downtime swapping is that they must not.
 	var failMu sync.Mutex
 	var failTimes []time.Time
-	fire := func(i int) {
+	fire := func(i int, tgt *target) {
 		body := bodies[i%len(bodies)]
 		start := time.Now()
-		status, err := post(client, *addr+"/infer", body)
+		status, err := post(client, tgt.url, body)
 		lat.Observe(float64(time.Since(start).Microseconds()))
 		switch {
 		case err == nil && status == http.StatusOK:
 			ok.Add(1)
+			tgt.ok.Add(1)
 		case err == nil && status == http.StatusTooManyRequests:
 			shed.Add(1)
+			tgt.shed.Add(1)
 		default:
 			failed.Add(1)
+			tgt.failed.Add(1)
 			failMu.Lock()
 			failTimes = append(failTimes, time.Now())
 			failMu.Unlock()
@@ -111,27 +128,40 @@ func main() {
 	runtime.ReadMemStats(&memBefore)
 	t0 := time.Now()
 	var wg sync.WaitGroup
-	if *rate > 0 {
+	openLoop := func(tgt *target, rate float64) {
 		// Open loop: a ticker fires requests on schedule; each runs in
 		// its own goroutine so a slow server cannot slow the schedule.
-		tick := time.NewTicker(time.Duration(float64(time.Second) / *rate))
+		defer wg.Done()
+		tick := time.NewTicker(time.Duration(float64(time.Second) / rate))
 		defer tick.Stop()
 		i := 0
 		for range tick.C {
 			if !budget() {
-				break
+				return
 			}
 			wg.Add(1)
-			go func(i int) { defer wg.Done(); fire(i) }(i)
+			go func(i int) { defer wg.Done(); fire(i, tgt) }(i)
 			i++
 		}
-	} else {
+	}
+	switch {
+	case *models != "":
+		// Multi-tenant: each tenant runs its own open loop at its own
+		// rate, all sharing the request/duration budget.
+		for _, tgt := range targets {
+			wg.Add(1)
+			go openLoop(tgt, tgt.rate)
+		}
+	case *rate > 0:
+		wg.Add(1)
+		openLoop(targets[0], *rate)
+	default:
 		for w := 0; w < *concurrency; w++ {
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
 				for i := w; budget(); i += *concurrency {
-					fire(i)
+					fire(i, targets[0])
 				}
 			}(w)
 		}
@@ -145,6 +175,13 @@ func main() {
 
 	n := ok.Load()
 	fmt.Printf("completed: %d ok, %d shed (429), %d failed in %v\n", n, shed.Load(), failed.Load(), wall.Round(time.Millisecond))
+	if *models != "" {
+		for _, tgt := range targets {
+			tok := tgt.ok.Load()
+			fmt.Printf("tenant %s: %d ok (%.1f req/s of %.1f offered), %d shed, %d failed\n",
+				tgt.name, tok, float64(tok)/wall.Seconds(), tgt.rate, tgt.shed.Load(), tgt.failed.Load())
+		}
+	}
 	sw.report(failTimes)
 	if n > 0 {
 		fmt.Printf("throughput: %.1f req/s, %.1f rows/s\n",
@@ -165,6 +202,59 @@ func main() {
 	if failed.Load() > 0 {
 		os.Exit(1)
 	}
+}
+
+// target is one addressed tenant: its /infer URL (with the ?model=
+// selector when named), its open-loop rate in multi-tenant mode, and
+// its outcome counters.
+type target struct {
+	name string
+	url  string
+	rate float64
+
+	ok, shed, failed atomic.Int64
+}
+
+// buildTargets resolves the -model/-models flags into the tenant list
+// to drive. A -models spec ("name:rate,...") yields one open-loop
+// target per tenant; otherwise the single target is -model (or the
+// server's default tenant when unset).
+func buildTargets(addr, model, models string, rate float64) ([]*target, error) {
+	if models == "" {
+		return []*target{{name: orDefault(model), url: inferURL(addr, model), rate: rate}}, nil
+	}
+	var out []*target
+	seen := make(map[string]bool)
+	for _, part := range strings.Split(models, ",") {
+		name, rateStr, okCut := strings.Cut(strings.TrimSpace(part), ":")
+		if !okCut || name == "" {
+			return nil, fmt.Errorf("models entry %q: want name:rate", part)
+		}
+		r, err := strconv.ParseFloat(rateStr, 64)
+		if err != nil || r <= 0 {
+			return nil, fmt.Errorf("models entry %q: rate must be a positive req/s number", part)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("models entry %q: duplicate tenant %q", part, name)
+		}
+		seen[name] = true
+		out = append(out, &target{name: name, url: inferURL(addr, name), rate: r})
+	}
+	return out, nil
+}
+
+func inferURL(addr, model string) string {
+	if model == "" {
+		return addr + "/infer"
+	}
+	return addr + "/infer?model=" + url.QueryEscape(model)
+}
+
+func orDefault(model string) string {
+	if model == "" {
+		return "(default)"
+	}
+	return model
 }
 
 // buildBodies pre-encodes request bodies from the task's eval set so the
@@ -296,7 +386,14 @@ func post(client *http.Client, url string, body []byte) (int, error) {
 	return resp.StatusCode, nil
 }
 
-func modeString(rate float64, concurrency int) string {
+func modeString(targets []*target, rate float64, concurrency int) string {
+	if len(targets) > 1 || (len(targets) == 1 && targets[0].rate > 0 && rate == 0) {
+		parts := make([]string, len(targets))
+		for i, tgt := range targets {
+			parts[i] = fmt.Sprintf("%s at %.1f req/s", tgt.name, tgt.rate)
+		}
+		return "open loop per tenant: " + strings.Join(parts, ", ")
+	}
 	if rate > 0 {
 		return fmt.Sprintf("open loop at %.1f req/s", rate)
 	}

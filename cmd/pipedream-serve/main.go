@@ -1,27 +1,38 @@
 // Command pipedream-serve is the inference front-end of the PipeDream
-// reproduction: it loads a trained checkpoint (written by pipedream-train
-// or pipedream-worker), partitions the model onto a forward-only stage
-// pipeline, and serves HTTP inference requests through a dynamic batcher
-// with admission control.
+// reproduction: it loads trained checkpoints (written by pipedream-train
+// or pipedream-worker), partitions each model onto forward-only stage
+// pipelines, and serves HTTP inference requests through a replicated,
+// multi-tenant fleet with dynamic batching and per-tenant admission
+// control.
 //
-// Serve a checkpointed spiral model on 2 stages:
+// Serve a checkpointed spiral model on 2 stages, 3 replicas:
 //
 //	pipedream-train -task spiral -epochs 8 -checkpoint-dir /tmp/ckpt
-//	pipedream-serve -task spiral -stages 2 -checkpoint-dir /tmp/ckpt -addr :8080
+//	pipedream-serve -task spiral -stages 2 -replicas 3 -checkpoint-dir /tmp/ckpt -addr :8080
 //
-// Follow a live trainer with -follow: the server keeps polling the
+// -replicas here means data-parallel serving replicas: whole-pipeline
+// copies behind a router (-route round-robin | least-in-flight |
+// shape-affinity). -models adds more tenants — several checkpoints of
+// the same task served from one process, each with its own weight
+// lineage and admission quota:
+//
+//	pipedream-serve -task spiral -checkpoint-dir /tmp/prod -models canary=/tmp/canary
+//
+// Follow live trainers with -follow: every tenant keeps polling its
 // checkpoint directory and hot-swaps each newer complete generation into
-// the running pipeline with zero downtime — in-flight requests finish on
+// its running replicas with zero downtime — in-flight requests finish on
 // the weights they started with (see docs/SERVING.md):
 //
 //	pipedream-serve -task spiral -stages 2 -checkpoint-dir /tmp/ckpt -follow -poll-interval 500ms
 //
 // Endpoints:
 //
-//	POST /infer    {"inputs": [[...row floats...], ...]} →
-//	               {"outputs": [[...]], "argmax": [...]}
-//	GET  /healthz  serving stats (requests, batches, latency quantiles)
-//	GET  /metrics  full expvar-style metrics snapshot
+//	POST /infer[?model=name]  {"inputs": [[...row floats...], ...]} →
+//	                          {"outputs": [[...]], "argmax": [...]}
+//	                          (model defaults to the -checkpoint-dir tenant)
+//	GET  /healthz             default tenant's aggregated serving stats,
+//	                          plus per-tenant/per-replica fleet stats
+//	GET  /metrics             full expvar-style metrics snapshot
 //
 // The serving plan is independent of the training plan: checkpoints store
 // per-stage parameter shards that reassemble into the full model, so a
@@ -34,6 +45,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"math"
 	"net/http"
 	"os"
 	"os/signal"
@@ -45,108 +57,170 @@ import (
 	"pipedream/internal/partition"
 	"pipedream/internal/pipeline"
 	"pipedream/internal/serve"
+	"pipedream/internal/serve/fleet"
 	"pipedream/internal/tensor"
 )
 
+// maxInferBody bounds the /infer request body; larger bodies fail
+// decoding with a 400 instead of ballooning memory.
+const maxInferBody = 1 << 20
+
+// maxInferRows bounds the rows in one /infer request — the dynamic
+// batcher coalesces across requests, so huge single requests buy no
+// throughput and only add head-of-line latency.
+const maxInferRows = 1024
+
 func main() {
 	mdl := &cliconf.Model{Task: "spiral", Seed: 42, Stages: 2, Replicas: 1}
+	flt := &cliconf.Fleet{Replicas: 1}
 	obsFlags := &cliconf.Obs{}
 	fs := flag.CommandLine
-	// Forward-only flags: serving runs one worker per stage, so the
-	// training-only -replicas is not offered rather than ignored.
+	// Forward-only flags: RegisterForward declares no -replicas, so the
+	// fleet group's -replicas (serving replicas) is unambiguous.
 	mdl.RegisterForward(fs)
+	flt.Register(fs)
 	obsFlags.Register(fs)
-	ckptDir := flag.String("checkpoint-dir", "", "checkpoint directory to load the model from (\"\" serves freshly initialized weights)")
-	follow := flag.Bool("follow", false, "keep polling -checkpoint-dir and hot-swap newer generations into the live server")
-	pollInterval := flag.Duration("poll-interval", time.Second, "how often -follow polls the checkpoint directory")
+	ckptDir := flag.String("checkpoint-dir", "", "default tenant's checkpoint directory (\"\" serves freshly initialized weights)")
+	follow := flag.Bool("follow", false, "keep polling every tenant's checkpoint directory and hot-swap newer generations into the live replicas")
+	pollInterval := flag.Duration("poll-interval", time.Second, "how often -follow polls each checkpoint directory")
 	addr := flag.String("addr", ":8080", "HTTP listen address")
 	maxBatch := flag.Int("max-batch", serve.DefaultMaxBatch, "max rows coalesced into one pipeline batch (1 disables dynamic batching)")
 	batchTimeout := flag.Duration("batch-timeout", serve.DefaultBatchTimeout, "max wait after the first queued request before dispatching a partial batch")
-	queueCap := flag.Int("queue-cap", serve.DefaultQueueCap, "max requests waiting for batching before new ones are shed with 429")
-	maxInFlight := flag.Int("max-inflight", 0, "max batches concurrently inside the stage pipeline (0 = 2x stages)")
+	queueCap := flag.Int("queue-cap", serve.DefaultQueueCap, "max requests waiting for batching per replica before new ones are shed with 429")
+	maxInFlight := flag.Int("max-inflight", 0, "max batches concurrently inside each replica's stage pipeline (0 = 2x stages)")
 	flag.Parse()
 
 	task, err := mdl.Build()
 	if err != nil {
 		fatal(err)
 	}
-	if *follow && *ckptDir == "" {
-		fatal(errors.New("-follow requires -checkpoint-dir"))
-	}
-	model := task.Factory()
-	cursor := 0
-	if *ckptDir != "" {
-		model, cursor, err = pipeline.LoadModel(*ckptDir, task.Factory)
-		switch {
-		case err == nil:
-			fmt.Printf("loaded checkpoint from %s (trained to minibatch %d)\n", *ckptDir, cursor)
-		case *follow:
-			// Under -follow an empty directory is the normal cold start:
-			// the trainer has not checkpointed yet, so serve fresh
-			// weights and let the follower pick up generation 1.
-			model, cursor = task.Factory(), 0
-			fmt.Printf("no checkpoint in %s yet, serving fresh weights until one appears\n", *ckptDir)
-		default:
-			fatal(err)
-		}
-	} else {
-		fmt.Println("warning: no -checkpoint-dir, serving freshly initialized weights")
-	}
-	plan, err := cliconf.BuildPlan(model, mdl.Stages, 1, partition.SyncRing)
+	extraModels, err := flt.ParseModels()
 	if err != nil {
 		fatal(err)
 	}
+	policy, err := fleet.ParsePolicy(flt.Route)
+	if err != nil {
+		fatal(err)
+	}
+	if *follow && *ckptDir == "" && len(extraModels) == 0 {
+		fatal(errors.New("-follow requires -checkpoint-dir or -models"))
+	}
+
 	// The eval set knows the task's per-row input shape; validating
 	// against it turns malformed requests into 400s instead of batch
 	// failures.
 	inputShape := append([]int(nil), task.Eval.Batch(0).X.Shape[1:]...)
 
+	// Tenant list: the default tenant (named after the task, loaded from
+	// -checkpoint-dir) plus one tenant per -models entry. All tenants run
+	// the same architecture; each loads its own weight lineage.
+	specs := append([]cliconf.FleetModel{{Name: mdl.Task, Dir: *ckptDir}}, extraModels...)
+	var plan *partition.Plan
+	tenants := make([]fleet.TenantConfig, 0, len(specs))
+	for _, spec := range specs {
+		model, cursor := task.Factory(), 0
+		switch {
+		case spec.Dir == "":
+			fmt.Printf("warning: tenant %s has no checkpoint directory, serving freshly initialized weights\n", spec.Name)
+		default:
+			model, cursor, err = pipeline.LoadModel(spec.Dir, task.Factory)
+			switch {
+			case err == nil:
+				fmt.Printf("tenant %s: loaded checkpoint from %s (trained to minibatch %d)\n", spec.Name, spec.Dir, cursor)
+			case *follow:
+				// Under -follow an empty directory is the normal cold
+				// start: the trainer has not checkpointed yet, so serve
+				// fresh weights and let the followers pick up generation 1.
+				model, cursor = task.Factory(), 0
+				fmt.Printf("tenant %s: no checkpoint in %s yet, serving fresh weights until one appears\n", spec.Name, spec.Dir)
+			default:
+				fatal(err)
+			}
+		}
+		if plan == nil {
+			// One architecture, one plan: every tenant partitions the same
+			// layer ranges.
+			plan, err = cliconf.BuildPlan(model, mdl.Stages, 1, partition.SyncRing)
+			if err != nil {
+				fatal(err)
+			}
+		}
+		tenants = append(tenants, fleet.TenantConfig{
+			Name: spec.Name,
+			Server: serve.Config{
+				Model:            model,
+				Plan:             plan,
+				InputShape:       inputShape,
+				MaxBatch:         *maxBatch,
+				BatchTimeout:     *batchTimeout,
+				QueueCap:         *queueCap,
+				MaxInFlight:      *maxInFlight,
+				WeightGeneration: cursor,
+			},
+			MaxQueued:   flt.TenantQueue,
+			MaxInFlight: flt.TenantInFlight,
+		})
+	}
+
 	reg, opLog := obsFlags.Sinks()
 	if reg == nil {
 		reg = metrics.NewRegistry() // /metrics always works
 	}
-	srv, err := serve.NewServer(serve.Config{
-		Model:            model,
-		Plan:             plan,
-		InputShape:       inputShape,
-		MaxBatch:         *maxBatch,
-		BatchTimeout:     *batchTimeout,
-		QueueCap:         *queueCap,
-		MaxInFlight:      *maxInFlight,
-		WeightGeneration: cursor,
-		Metrics:          reg,
-		OpLog:            opLog,
-	})
+	for i := range tenants {
+		tenants[i].Server.OpLog = opLog
+	}
+	fl, err := fleet.New(fleet.Config{Replicas: flt.Replicas, Policy: policy, Metrics: reg}, tenants...)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("serving %s (%d layers) on %d stage(s), max batch %d, batch timeout %v, input shape %v\n",
-		mdl.Task, len(model.Layers), srv.Stages(), *maxBatch, *batchTimeout, inputShape)
+	defaultTenant := specs[0].Name
+	fmt.Printf("serving %d tenant(s) x %d replica(s) of %s on %d stage(s), route %s, max batch %d, batch timeout %v, input shape %v\n",
+		len(tenants), max(flt.Replicas, 1), mdl.Task, len(plan.Stages), policy, *maxBatch, *batchTimeout, inputShape)
 
-	var follower *serve.Follower
 	if *follow {
-		follower, err = srv.Follow(serve.FollowConfig{
-			Dir:     *ckptDir,
-			Factory: task.Factory,
-			Poll:    *pollInterval,
-			OnSwap: func(gen int) {
-				fmt.Printf("hot-swapped to weight generation %d\n", gen)
-			},
-			OnError: func(err error) {
-				fmt.Fprintln(os.Stderr, "pipedream-serve: follow:", err)
-			},
-		})
-		if err != nil {
-			fatal(err)
+		for _, spec := range specs {
+			if spec.Dir == "" {
+				continue
+			}
+			spec := spec
+			ten, err := fl.Tenant(spec.Name)
+			if err != nil {
+				fatal(err)
+			}
+			err = ten.Follow(serve.FollowConfig{
+				Dir:     spec.Dir,
+				Factory: task.Factory,
+				Poll:    *pollInterval,
+				OnSwap: func(gen int) {
+					fmt.Printf("tenant %s: hot-swapped to weight generation %d\n", spec.Name, gen)
+				},
+				OnError: func(err error) {
+					fmt.Fprintf(os.Stderr, "pipedream-serve: tenant %s: follow: %v\n", spec.Name, err)
+				},
+			})
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("tenant %s: following %s every %v\n", spec.Name, spec.Dir, *pollInterval)
 		}
-		fmt.Printf("following %s every %v (currently at generation %d)\n", *ckptDir, *pollInterval, cursor)
 	}
 
 	mux := http.NewServeMux()
-	mux.HandleFunc("/infer", func(w http.ResponseWriter, r *http.Request) { handleInfer(srv, inputShape, w, r) })
+	mux.HandleFunc("/infer", func(w http.ResponseWriter, r *http.Request) {
+		name := r.URL.Query().Get("model")
+		if name == "" {
+			name = defaultTenant
+		}
+		ten, err := fl.Tenant(name)
+		if err != nil {
+			http.Error(w, err.Error(), statusFor(err))
+			return
+		}
+		handleInfer(ten.Infer, inputShape, w, r)
+	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(srv.Stats())
+		json.NewEncoder(w).Encode(healthReport(fl, defaultTenant))
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -158,7 +232,7 @@ func main() {
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	// Graceful shutdown: Shutdown stops accepting but lets in-flight
 	// /infer requests complete (bounded by the timeout); only after it
-	// returns is the serving pipeline torn down.
+	// returns is the fleet torn down.
 	idle := make(chan struct{})
 	go func() {
 		<-stop
@@ -176,21 +250,77 @@ func main() {
 		fatal(err)
 	}
 	<-idle
-	// Stop the follower before the server: a swap against a closing
-	// server is wasted work, and Close must not race a SwapModel.
-	if follower != nil {
-		follower.Close()
-	}
-	srv.Close()
+	// Snapshot before Close: the fleet stops counting once torn down.
+	final := fl.Stats()
+	// Fleet.Close stops followers before servers per tenant, then the
+	// shared transport.
+	fl.Close()
 	if err := obsFlags.WriteOutputs(reg, opLog); err != nil {
 		fatal(err)
 	}
-	st := srv.Stats()
-	fmt.Printf("served %d requests (%d rows) in %d batches, %d shed, %d errors, p50 %.0fus p99 %.0fus\n",
-		st.Responses, st.Rows, st.Batches, st.Shed, st.Errors, st.P50Micros, st.P99Micros)
-	if st.Swaps > 0 {
-		fmt.Printf("hot-swapped %d generation(s), finished at weight generation %d\n", st.Swaps, st.WeightGeneration)
+	for _, ts := range final.Tenants {
+		agg := aggregateServe(ts)
+		fmt.Printf("tenant %s: served %d requests (%d rows) in %d batches across %d replica(s), %d shed, %d errors, p50 %.0fus p99 %.0fus\n",
+			ts.Name, agg.Responses, agg.Rows, agg.Batches, len(ts.Replicas), agg.Shed, agg.Errors, agg.P50Micros, agg.P99Micros)
+		if agg.Swaps > 0 {
+			fmt.Printf("tenant %s: hot-swapped %d generation(s), finished at weight generation %d\n",
+				ts.Name, agg.Swaps, agg.WeightGeneration)
+		}
 	}
+}
+
+// healthz is the GET /healthz body: the default tenant's replica-
+// aggregated serve.Stats at the top level — the shape the endpoint has
+// always had, so load generators keep decoding WeightGeneration — plus
+// the full per-tenant fleet breakdown.
+type healthz struct {
+	serve.Stats
+	Fleet fleet.Stats
+}
+
+func healthReport(fl *fleet.Fleet, defaultTenant string) healthz {
+	fs := fl.Stats()
+	var h healthz
+	h.Fleet = fs
+	for _, ts := range fs.Tenants {
+		if ts.Name == defaultTenant {
+			h.Stats = aggregateServe(ts)
+		}
+	}
+	return h
+}
+
+// aggregateServe folds one tenant's per-replica serving stats into a
+// single serve.Stats: counters sum, latency quantiles take the worst
+// replica, and WeightGeneration is the tenant minimum (the monotone
+// floor during rolling swaps).
+func aggregateServe(ts fleet.TenantStats) serve.Stats {
+	var agg serve.Stats
+	var rowsTotal float64
+	for _, rs := range ts.Replicas {
+		st := rs.Serve
+		agg.Requests += st.Requests
+		agg.Rows += st.Rows
+		agg.Responses += st.Responses
+		agg.Shed += st.Shed
+		agg.Errors += st.Errors
+		agg.Batches += st.Batches
+		agg.Swaps += st.Swaps
+		rowsTotal += float64(st.Rows)
+		agg.P50Micros = math.Max(agg.P50Micros, st.P50Micros)
+		agg.P95Micros = math.Max(agg.P95Micros, st.P95Micros)
+		agg.P99Micros = math.Max(agg.P99Micros, st.P99Micros)
+	}
+	if agg.Batches > 0 {
+		agg.MeanBatchRows = rowsTotal / float64(agg.Batches)
+	}
+	agg.WeightGeneration = int64(ts.WeightGeneration)
+	// Tenant-level sheds happen at the quota, before any replica counts
+	// the request; fold them in so the top-level number is the client-
+	// visible one.
+	agg.Shed += ts.Shed
+	agg.Errors += ts.Errors
+	return agg
 }
 
 // inferRequest is the POST /infer body: one flat float row per input.
@@ -204,13 +334,17 @@ type inferResponse struct {
 	Argmax  []int       `json:"argmax"`
 }
 
-func handleInfer(srv *serve.Server, inputShape []int, w http.ResponseWriter, r *http.Request) {
+// handleInfer decodes and validates one /infer body, runs it through
+// infer (a tenant- or server-bound closure), and encodes the response.
+// Every malformed body maps to a 4xx; infer errors map through
+// statusFor.
+func handleInfer(infer func(*tensor.Tensor) (*tensor.Tensor, error), inputShape []int, w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
 	var req inferRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxInferBody)).Decode(&req); err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
@@ -223,6 +357,10 @@ func handleInfer(srv *serve.Server, inputShape []int, w http.ResponseWriter, r *
 		http.Error(w, "no inputs", http.StatusBadRequest)
 		return
 	}
+	if rows > maxInferRows {
+		http.Error(w, fmt.Sprintf("%d rows exceeds the per-request cap of %d", rows, maxInferRows), http.StatusBadRequest)
+		return
+	}
 	flat := make([]float32, 0, rows*rowSize)
 	for i, row := range req.Inputs {
 		if len(row) != rowSize {
@@ -232,7 +370,7 @@ func handleInfer(srv *serve.Server, inputShape []int, w http.ResponseWriter, r *
 		flat = append(flat, row...)
 	}
 	x := tensor.FromSlice(flat, append([]int{rows}, inputShape...)...)
-	y, err := srv.Infer(x)
+	y, err := infer(x)
 	if err != nil {
 		http.Error(w, err.Error(), statusFor(err))
 		return
@@ -254,9 +392,14 @@ func handleInfer(srv *serve.Server, inputShape []int, w http.ResponseWriter, r *
 	json.NewEncoder(w).Encode(resp)
 }
 
-// statusFor maps the server's typed errors onto HTTP statuses.
+// statusFor maps the fleet's and server's typed errors onto HTTP
+// statuses.
 func statusFor(err error) int {
 	switch {
+	case errors.Is(err, fleet.ErrUnknownTenant):
+		return http.StatusNotFound
+	case errors.Is(err, fleet.ErrNoReplicas):
+		return http.StatusServiceUnavailable
 	case errors.Is(err, serve.ErrOverloaded):
 		return http.StatusTooManyRequests
 	case errors.Is(err, serve.ErrBadRequest):

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"pipedream/internal/nn"
+	"pipedream/internal/serve"
+	"pipedream/internal/tensor"
+)
+
+// newFuzzServer builds a small single-stage server matching the spiral
+// task's [2]-float input rows.
+func newFuzzServer(t testing.TB) (infer func(*tensor.Tensor) (*tensor.Tensor, error), inputShape []int) {
+	rng := rand.New(rand.NewSource(1))
+	model := nn.NewSequential(
+		nn.NewDense(rng, "fc1", 2, 8),
+		nn.NewTanh("t1"),
+		nn.NewDense(rng, "fc2", 8, 3),
+	)
+	srv, err := serve.NewServer(serve.Config{
+		Model:        model,
+		InputShape:   []int{2},
+		MaxBatch:     8,
+		BatchTimeout: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv.Infer, []int{2}
+}
+
+// FuzzInferRequest throws hostile bodies at the /infer handler: broken
+// JSON, wrong row widths, huge row counts, out-of-range numbers,
+// deeply wrong types. The contract under fuzzing is no panic and no
+// 5xx — every malformed body maps to a typed 4xx, every well-formed
+// one to 200 with a decodable response.
+func FuzzInferRequest(f *testing.F) {
+	infer, inputShape := newFuzzServer(f)
+
+	f.Add([]byte(`{"inputs":[[0.5,-0.5]]}`))
+	f.Add([]byte(`{"inputs":[[0.5,-0.5],[1,2]]}`))
+	f.Add([]byte(`{"inputs":[]}`))
+	f.Add([]byte(`{"inputs":[[]]}`))
+	f.Add([]byte(`{"inputs":[[1,2,3]]}`))   // too wide
+	f.Add([]byte(`{"inputs":[[1]]}`))       // too narrow
+	f.Add([]byte(`{"inputs":[[NaN,1]]}`))   // NaN is not JSON
+	f.Add([]byte(`{"inputs":[[1e999,0]]}`)) // overflows float
+	f.Add([]byte(`{"inputs":[["a","b"]]}`)) // wrong element type
+	f.Add([]byte(`{"inputs":"zebra"}`))     // wrong field type
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`{"inputs":[` + strings.Repeat(`[1,2],`, 2000) + `[1,2]]}`)) // over the row cap
+	f.Add(bytes.Repeat([]byte("9"), 4096))
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req := httptest.NewRequest(http.MethodPost, "/infer", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		handleInfer(infer, inputShape, rec, req)
+		switch {
+		case rec.Code == http.StatusOK:
+			var resp inferResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+				t.Fatalf("200 with undecodable body %q: %v", rec.Body.String(), err)
+			}
+			if len(resp.Outputs) == 0 || len(resp.Outputs) != len(resp.Argmax) {
+				t.Fatalf("200 with inconsistent response: %d outputs, %d argmax", len(resp.Outputs), len(resp.Argmax))
+			}
+		case rec.Code >= 400 && rec.Code < 500:
+			// Typed rejection: fine.
+		default:
+			t.Fatalf("status %d for body %q; want 200 or 4xx", rec.Code, body)
+		}
+	})
+}
+
+// TestHandleInferRejectsOversizedBody: a body over the 1 MB cap fails
+// with a 400 instead of being slurped into memory.
+func TestHandleInferRejectsOversizedBody(t *testing.T) {
+	infer, inputShape := newFuzzServer(t)
+	var b bytes.Buffer
+	b.WriteString(`{"inputs":[[1,2]`)
+	for b.Len() <= maxInferBody {
+		b.WriteString(`,[1,2]`)
+	}
+	b.WriteString(`]}`)
+	req := httptest.NewRequest(http.MethodPost, "/infer", bytes.NewReader(b.Bytes()))
+	rec := httptest.NewRecorder()
+	handleInfer(infer, inputShape, rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("oversized body: status %d, want 400", rec.Code)
+	}
+}
+
+// TestHandleInferMethodNotAllowed pins the GET rejection.
+func TestHandleInferMethodNotAllowed(t *testing.T) {
+	infer, inputShape := newFuzzServer(t)
+	req := httptest.NewRequest(http.MethodGet, "/infer", nil)
+	rec := httptest.NewRecorder()
+	handleInfer(infer, inputShape, rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /infer: status %d, want 405", rec.Code)
+	}
+}

@@ -224,6 +224,14 @@ func Complete(gdir string, man *Manifest) bool {
 	return true
 }
 
+// ErrNoGeneration reports that a checkpoint directory exists (and was
+// listed) but holds no complete generation yet — the steady state
+// between a trainer starting and its first checkpoint landing. Callers
+// that poll (the serving follower, the elastic controller) match it
+// with errors.Is to keep waiting quietly, while real faults — an
+// unreadable directory, a corrupt manifest — surface loudly.
+var ErrNoGeneration = errors.New("no complete generation")
+
 // Latest returns the cursor of the newest complete checkpoint generation
 // under dir — the minibatch count training would resume from, and the
 // weight generation serving would flip to. A generation is complete when
@@ -244,7 +252,7 @@ func Latest(dir string) (int, error) {
 			return man.Cursor, nil
 		}
 	}
-	return 0, fmt.Errorf("checkpoint: no complete generation in %s", dir)
+	return 0, fmt.Errorf("checkpoint: dir %s: %w", dir, ErrNoGeneration)
 }
 
 // Prune keeps the newest `keep` generation directories under dir and
@@ -345,7 +353,7 @@ func LoadFullState(dir string, factory func() *nn.Sequential) (*FullState, error
 		st.Cursor = man.Cursor
 		return st, nil
 	}
-	return nil, fmt.Errorf("checkpoint: no complete generation in %s (%v)", dir, lastSkip)
+	return nil, fmt.Errorf("checkpoint: dir %s: %w (%v)", dir, ErrNoGeneration, lastSkip)
 }
 
 // loadGenerationState reads every stage's replica-0 file of one complete,

@@ -1,0 +1,76 @@
+package cliconf
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+)
+
+// Fleet configures the serving fleet surface of pipedream-serve:
+// data-parallel replica count, routing policy, and multi-model tenancy.
+//
+// It deliberately owns the -replicas flag for serving binaries: in the
+// training binaries -replicas (declared by Model.Register) means
+// "replicas of the first pipeline stage", which a forward-only server
+// does not have — serving replication is whole-pipeline data
+// parallelism. A serving binary therefore registers Model.RegisterForward
+// (which declares no -replicas) plus Fleet.Register, so the one
+// -replicas it accepts unambiguously means serving replicas; registering
+// Model.Register and Fleet.Register on the same FlagSet is a programming
+// error the flag package turns into a duplicate-flag panic.
+type Fleet struct {
+	// Replicas is the number of data-parallel serving pipelines per
+	// tenant.
+	Replicas int
+	// Route names the routing policy: round-robin, least-in-flight, or
+	// shape-affinity ("" = round-robin).
+	Route string
+	// Models declares additional tenants as "name=checkpoint-dir"
+	// pairs, comma-separated ("" = only the default tenant).
+	Models string
+	// TenantQueue bounds each tenant's queued requests across all its
+	// replicas (0 = replicas × the server queue cap).
+	TenantQueue int
+	// TenantInFlight bounds each tenant's in-flight requests across all
+	// its replicas (0 = derived from the replica batch windows).
+	TenantInFlight int
+}
+
+// Register declares the serving-fleet flags, defaulting to the current
+// field values.
+func (c *Fleet) Register(fs *flag.FlagSet) {
+	fs.IntVar(&c.Replicas, "replicas", c.Replicas, "data-parallel serving replicas per tenant (whole-pipeline copies behind the router)")
+	fs.StringVar(&c.Route, "route", c.Route, "request routing policy: round-robin, least-in-flight, or shape-affinity")
+	fs.StringVar(&c.Models, "models", c.Models, "additional tenants as name=checkpoint-dir[,name=dir...]; each is served with its own follower, weight lineage, and admission quota")
+	fs.IntVar(&c.TenantQueue, "tenant-queue", c.TenantQueue, "per-tenant admission quota: max queued requests across the tenant's replicas (0 = replicas x queue-cap)")
+	fs.IntVar(&c.TenantInFlight, "tenant-inflight", c.TenantInFlight, "per-tenant admission quota: max in-flight requests across the tenant's replicas (0 = derived from the batch windows)")
+}
+
+// FleetModel is one parsed -models entry: a tenant name and the
+// checkpoint directory it serves.
+type FleetModel struct {
+	Name string
+	Dir  string
+}
+
+// ParseModels parses the -models flag into (name, dir) pairs in
+// declaration order. Empty input yields none.
+func (c *Fleet) ParseModels() ([]FleetModel, error) {
+	if c.Models == "" {
+		return nil, nil
+	}
+	var out []FleetModel
+	seen := make(map[string]bool)
+	for _, part := range strings.Split(c.Models, ",") {
+		name, dir, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || name == "" || dir == "" {
+			return nil, fmt.Errorf("models entry %q: want name=checkpoint-dir", part)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("models entry %q: duplicate tenant %q", part, name)
+		}
+		seen[name] = true
+		out = append(out, FleetModel{Name: name, Dir: dir})
+	}
+	return out, nil
+}

@@ -1,0 +1,95 @@
+package cliconf
+
+import (
+	"flag"
+	"io"
+	"testing"
+)
+
+func newTestFlagSet() *flag.FlagSet {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	return fs
+}
+
+// TestReplicasFlagUnambiguous is the regression test for the -replicas
+// split: a serving binary built from Model.RegisterForward plus
+// Fleet.Register must see exactly one -replicas flag, meaning serving
+// replicas — RegisterForward itself must not declare one, and parsing
+// -replicas must land in Fleet.Replicas while Model.Replicas (the
+// training-only first-stage replication factor) stays untouched.
+func TestReplicasFlagUnambiguous(t *testing.T) {
+	fs := newTestFlagSet()
+	mdl := &Model{Task: "spiral", Seed: 1, Stages: 2, Replicas: 1}
+	mdl.RegisterForward(fs)
+	if f := fs.Lookup("replicas"); f != nil {
+		t.Fatalf("RegisterForward declared -replicas (%q); it must stay training-only", f.Usage)
+	}
+
+	flt := &Fleet{Replicas: 1}
+	flt.Register(fs)
+	f := fs.Lookup("replicas")
+	if f == nil {
+		t.Fatal("Fleet.Register did not declare -replicas")
+	}
+
+	if err := fs.Parse([]string{"-replicas", "3", "-route", "least-in-flight", "-stages", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	if flt.Replicas != 3 {
+		t.Errorf("Fleet.Replicas = %d after -replicas 3, want 3", flt.Replicas)
+	}
+	if mdl.Replicas != 1 {
+		t.Errorf("Model.Replicas = %d, want untouched default 1", mdl.Replicas)
+	}
+	if flt.Route != "least-in-flight" {
+		t.Errorf("Fleet.Route = %q, want least-in-flight", flt.Route)
+	}
+	if mdl.Stages != 2 {
+		t.Errorf("Model.Stages = %d, want 2", mdl.Stages)
+	}
+}
+
+// TestModelRegisterStillOwnsTrainingReplicas: the full training
+// registration keeps its -replicas meaning first-stage replication.
+func TestModelRegisterStillOwnsTrainingReplicas(t *testing.T) {
+	fs := newTestFlagSet()
+	mdl := &Model{Task: "spiral", Seed: 1, Stages: 2, Replicas: 1}
+	mdl.Register(fs)
+	if err := fs.Parse([]string{"-replicas", "4"}); err != nil {
+		t.Fatal(err)
+	}
+	if mdl.Replicas != 4 {
+		t.Errorf("Model.Replicas = %d after -replicas 4, want 4", mdl.Replicas)
+	}
+}
+
+func TestFleetParseModels(t *testing.T) {
+	got, err := (&Fleet{Models: "alpha=/ckpt/a, beta=/ckpt/b"}).ParseModels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []FleetModel{{Name: "alpha", Dir: "/ckpt/a"}, {Name: "beta", Dir: "/ckpt/b"}}
+	if len(got) != len(want) {
+		t.Fatalf("got %d entries, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("entry %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if entries, err := (&Fleet{}).ParseModels(); err != nil || entries != nil {
+		t.Fatalf("empty spec: got %v, %v", entries, err)
+	}
+	for _, bad := range []string{
+		"alpha",      // missing dir
+		"=dir",       // missing name
+		"alpha=",     // empty dir
+		"a=/x,a=/y",  // duplicate tenant
+		"a=/x,,b=/y", // empty entry
+	} {
+		if _, err := (&Fleet{Models: bad}).ParseModels(); err == nil {
+			t.Errorf("spec %q: want error, got none", bad)
+		}
+	}
+}

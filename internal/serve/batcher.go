@@ -39,6 +39,14 @@ func (s *Server) batcher() {
 			case first = <-s.queue:
 			}
 		}
+		// Blocking-promote the batch seed. Safe: no other undispatched
+		// request holds an in-flight slot here (the previous batch was
+		// dispatched before this iteration), so a full window means the
+		// wait is on dispatched requests, which always complete.
+		if !s.quotaPromote(first) {
+			first.resp <- result{err: ErrServerClosed}
+			return
+		}
 		batch := []*request{first}
 		rows := first.rows
 		if rows < s.cfg.MaxBatch {
@@ -56,7 +64,14 @@ func (s *Server) batcher() {
 					}
 					return
 				case req := <-s.queue:
-					if !sameRowShape(req.x, first.x) {
+					// Growing a batch must never block on the quota —
+					// batch members already hold in-flight slots and
+					// complete only after dispatch, so a blocking wait
+					// here could be on this very batch (deadlock). A
+					// full window instead ends the batch: the request
+					// carries over and blocking-promotes as the next
+					// seed, after this batch has been dispatched.
+					if !s.quotaTryPromote(req) || !sameRowShape(req.x, first.x) {
 						carry = req
 						break collect
 					}

@@ -1,0 +1,213 @@
+package fleet
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pipedream/internal/nn"
+	"pipedream/internal/serve"
+)
+
+// TestFleetChaosKillReplicaMidLoad is the fleet's core availability
+// guarantee: killing 1 of 3 replicas while load is flowing fails zero
+// requests — the router drains the replica (stops picking it, lets its
+// in-flight requests complete) and redistributes everything else. The
+// replica is then added back mid-load, also with zero failures, and
+// every response stays bit-identical to the reference forward pass.
+func TestFleetChaosKillReplicaMidLoad(t *testing.T) {
+	f := mustFleet(t, Config{Replicas: 3, Policy: LeastInFlight},
+		TenantConfig{Name: "m", Server: serve.Config{
+			Model:    slowTestModel(1, 2*time.Millisecond),
+			MaxBatch: 4, BatchTimeout: time.Millisecond,
+		}})
+	ten, err := f.Tenant("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := testModel(1) // slowTestModel's sleep layer is identity
+
+	const (
+		workers     = 8
+		perWorker   = 60
+		killAfter   = 80  // responses before the kill
+		reviveAfter = 240 // responses before the re-add
+	)
+	var completed atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				x := testInput(int64(w*1000+i), 1+i%3)
+				want, _ := ref.Forward(x, false)
+				y, err := ten.Infer(x)
+				if err != nil {
+					t.Errorf("worker %d request %d failed: %v", w, i, err)
+					return
+				}
+				wantEqual(t, y, want)
+				completed.Add(1)
+			}
+		}(w)
+	}
+
+	waitResponses := func(n int64) {
+		t.Helper()
+		deadline := time.Now().Add(30 * time.Second)
+		for completed.Load() < n {
+			if time.Now().After(deadline) {
+				t.Fatalf("stalled at %d responses waiting for %d", completed.Load(), n)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	waitResponses(killAfter)
+	victim := ten.Replicas()[0]
+	if err := ten.RemoveReplica(victim); err != nil {
+		t.Fatalf("remove replica %d: %v", victim, err)
+	}
+	if got := len(ten.Replicas()); got != 2 {
+		t.Fatalf("live replicas = %d after kill, want 2", got)
+	}
+
+	waitResponses(reviveAfter)
+	if _, err := ten.AddReplica(); err != nil {
+		t.Fatalf("add replica: %v", err)
+	}
+
+	wg.Wait()
+	ts := ten.Stats()
+	if ts.Errors != 0 || ts.Shed != 0 {
+		t.Fatalf("errors=%d shed=%d across the kill/revive, want 0/0", ts.Errors, ts.Shed)
+	}
+	if ts.Responses != workers*perWorker {
+		t.Fatalf("responses = %d, want %d", ts.Responses, workers*perWorker)
+	}
+	if got := len(ten.Replicas()); got != 3 {
+		t.Fatalf("live replicas = %d after revive, want 3", got)
+	}
+	// The survivors absorbed the redistributed load.
+	for _, rs := range ts.Replicas {
+		if rs.InFlight != 0 {
+			t.Errorf("replica %d still counts %d in flight after drain", rs.ID, rs.InFlight)
+		}
+	}
+}
+
+// TestFleetChaosHotSwapUnderLoad: one tenant's checkpoint directory
+// advances through five generations while three replicas serve load —
+// every response must be bit-identical to the forward pass of exactly
+// the generation it was stamped with, replicas converge to the newest
+// generation, and no request fails. This is the one-generation-per-
+// request guarantee surviving replication.
+func TestFleetChaosHotSwapUnderLoad(t *testing.T) {
+	dir := t.TempDir()
+	const lastGen = 5
+
+	f := mustFleet(t, Config{Replicas: 3, Policy: RoundRobin},
+		TenantConfig{Name: "m", Server: serve.Config{
+			Model: modelFor(0), Plan: plan2(), MaxBatch: 8, BatchTimeout: time.Millisecond,
+		}})
+	ten, err := f.Tenant("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ten.Follow(serve.FollowConfig{
+		Dir:     dir,
+		Factory: func() *nn.Sequential { return testModel(1) },
+		Poll:    2 * time.Millisecond,
+		OnError: func(err error) { t.Errorf("follower error: %v", err) },
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	const workerCount = 6
+	var stopLoad atomic.Bool
+	var responses atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workerCount; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Per-worker reference models: one per generation, so
+			// checking a response is a lookup by its stamped gen.
+			refs := make(map[int]*nn.Sequential, lastGen+1)
+			for g := 0; g <= lastGen; g++ {
+				refs[g] = modelFor(g)
+			}
+			for i := 0; !stopLoad.Load(); i++ {
+				x := testInput(int64(w*10000+i), 1+i%3)
+				y, gen, err := ten.InferVersioned(x)
+				if err != nil {
+					t.Errorf("worker %d request %d failed: %v", w, i, err)
+					return
+				}
+				ref, ok := refs[gen]
+				if !ok {
+					t.Errorf("worker %d: response stamped with unknown generation %d", w, gen)
+					return
+				}
+				want, _ := ref.Forward(x, false)
+				wantEqual(t, y, want)
+				responses.Add(1)
+			}
+		}(w)
+	}
+
+	// Advance the checkpoint directory one generation at a time and wait
+	// for every replica to converge before the next — each step is a
+	// full rolling swap under live traffic.
+	for g := 1; g <= lastGen; g++ {
+		writeGen(t, dir, g, modelFor(g))
+		deadline := time.Now().Add(15 * time.Second)
+		for ten.WeightGeneration() < g {
+			if time.Now().After(deadline) {
+				stopLoad.Store(true)
+				t.Fatalf("replicas never converged to generation %d", g)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	// Let some traffic run at the final generation, then stop.
+	settled := responses.Load()
+	deadline := time.Now().Add(15 * time.Second)
+	for responses.Load() < settled+30 {
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	stopLoad.Store(true)
+	wg.Wait()
+
+	ts := ten.Stats()
+	if ts.Errors != 0 || ts.Shed != 0 {
+		t.Fatalf("errors=%d shed=%d across %d swaps under load, want 0/0", ts.Errors, ts.Shed, lastGen)
+	}
+	if ts.WeightGeneration != lastGen {
+		t.Fatalf("tenant weight generation = %d, want %d", ts.WeightGeneration, lastGen)
+	}
+	for _, rs := range ts.Replicas {
+		if rs.Serve.WeightGeneration != lastGen {
+			t.Errorf("replica %d serves generation %d, want %d", rs.ID, rs.Serve.WeightGeneration, lastGen)
+		}
+		if rs.Serve.Swaps == 0 {
+			t.Errorf("replica %d never swapped", rs.ID)
+		}
+	}
+	// And the fleet answers at the final generation.
+	x := testInput(424242, 2)
+	want, _ := modelFor(lastGen).Forward(x, false)
+	y, gen, err := ten.InferVersioned(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != lastGen {
+		t.Fatalf("post-convergence request stamped gen %d, want %d", gen, lastGen)
+	}
+	wantEqual(t, y, want)
+}

@@ -1,0 +1,140 @@
+package fleet
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Policy names a request-routing policy for a fleet's replicas.
+type Policy string
+
+// The routing policies a fleet supports.
+const (
+	// RoundRobin cycles requests across replicas in id order — the
+	// lowest-overhead policy, ideal when requests are uniform.
+	RoundRobin Policy = "round-robin"
+	// LeastInFlight routes each request to the replica with the fewest
+	// requests currently in flight (ties to the lowest replica id), so
+	// a slow request or a slow replica sheds load to its peers.
+	LeastInFlight Policy = "least-in-flight"
+	// ShapeAffinity routes requests with the same per-row input shape
+	// to the same replica (rendezvous hashing over replica ids), which
+	// maximizes dynamic-batch coalescing: requests only batch together
+	// when their shapes match, so spreading one shape across replicas
+	// would fragment its batches.
+	ShapeAffinity Policy = "shape-affinity"
+)
+
+// ParsePolicy converts a -route flag value into a Policy, rejecting
+// unknown names with the valid spellings in the error.
+func ParsePolicy(s string) (Policy, error) {
+	switch Policy(s) {
+	case RoundRobin, LeastInFlight, ShapeAffinity:
+		return Policy(s), nil
+	case "":
+		return RoundRobin, nil
+	}
+	return "", fmt.Errorf("fleet: unknown routing policy %q (want %q, %q, or %q)",
+		s, RoundRobin, LeastInFlight, ShapeAffinity)
+}
+
+// router picks one replica from a live set. pick runs under the
+// tenant's read lock, so live is non-empty and stable for the duration
+// of a call; implementations must still be safe for concurrent picks.
+type router interface {
+	pick(live []*replica, key uint64) *replica
+}
+
+// newRouter builds the router implementing p. Callers validate p first
+// (ParsePolicy); an unknown policy falls back to round-robin rather
+// than routing nothing.
+func newRouter(p Policy) router {
+	switch p {
+	case LeastInFlight:
+		return leastInFlight{}
+	case ShapeAffinity:
+		return shapeAffinity{}
+	default:
+		return &roundRobin{}
+	}
+}
+
+// roundRobin cycles a shared counter across the live set. Replica
+// removal shifts the cycle rather than restarting it — the counter
+// belongs to the tenant, not the set.
+type roundRobin struct{ n atomic.Uint64 }
+
+func (r *roundRobin) pick(live []*replica, _ uint64) *replica {
+	return live[int((r.n.Add(1)-1)%uint64(len(live)))]
+}
+
+// leastInFlight scans the live set for the replica with the fewest
+// requests in flight, breaking ties toward the lowest id so the choice
+// is deterministic for a given load vector.
+type leastInFlight struct{}
+
+func (leastInFlight) pick(live []*replica, _ uint64) *replica {
+	best := live[0]
+	bestLoad := best.inflight.Value()
+	for _, rep := range live[1:] {
+		load := rep.inflight.Value()
+		if load < bestLoad || (load == bestLoad && rep.id < best.id) {
+			best, bestLoad = rep, load
+		}
+	}
+	return best
+}
+
+// shapeAffinity is rendezvous (highest-random-weight) hashing of the
+// request's shape key over replica ids: each replica scores
+// mix(key, id) and the highest score wins. Every picker computes the
+// same winner with no shared state, and removing a replica remaps only
+// the keys that scored highest on the removed replica — every other
+// shape keeps its home, which is what preserves batch coalescing
+// across fleet changes.
+type shapeAffinity struct{}
+
+func (shapeAffinity) pick(live []*replica, key uint64) *replica {
+	best := live[0]
+	bestScore := rendezvousScore(key, best.id)
+	for _, rep := range live[1:] {
+		if score := rendezvousScore(key, rep.id); score > bestScore ||
+			(score == bestScore && rep.id < best.id) {
+			best, bestScore = rep, score
+		}
+	}
+	return best
+}
+
+// rendezvousScore mixes a shape key with a replica id into the
+// replica's score for that key.
+func rendezvousScore(key uint64, id int) uint64 {
+	return mix64(key ^ mix64(uint64(id)+0x9e3779b97f4a7c15))
+}
+
+// mix64 is the splitmix64 finalizer — a cheap, well-distributed 64-bit
+// mixer (the same construction the stdlib uses for map hash seeding).
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// shapeKey hashes a request's per-row shape (FNV-1a over the dims after
+// dim 0) into the affinity key: two requests batch together exactly
+// when their per-row shapes match, so the shape IS the affinity class.
+func shapeKey(rowShape []int) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, d := range rowShape {
+		h ^= uint64(d)
+		h *= prime64
+	}
+	return h
+}

@@ -1,0 +1,233 @@
+package fleet
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pipedream/internal/metrics"
+)
+
+// newTestReplicas builds bare routing-state replicas (no servers) for
+// pure router tests.
+func newTestReplicas(ids ...int) []*replica {
+	reps := make([]*replica, len(ids))
+	for i, id := range ids {
+		reps[i] = &replica{id: id, inflight: &metrics.Gauge{}, picks: &metrics.Counter{}}
+	}
+	return reps
+}
+
+// TestRoundRobinCycles: round-robin visits replicas in order and wraps.
+func TestRoundRobinCycles(t *testing.T) {
+	reps := newTestReplicas(0, 1, 2)
+	r := newRouter(RoundRobin)
+	want := []int{0, 1, 2, 0, 1, 2, 0}
+	for i, w := range want {
+		if got := r.pick(reps, 0).id; got != w {
+			t.Fatalf("pick %d = replica %d, want %d", i, got, w)
+		}
+	}
+}
+
+// TestLeastInFlightImbalanceBound is the pure-assignment property: when
+// every pick adds load and nothing completes, least-in-flight keeps the
+// load spread perfectly level — after any number of picks the most and
+// least loaded replicas differ by at most one.
+func TestLeastInFlightImbalanceBound(t *testing.T) {
+	reps := newTestReplicas(0, 1, 2, 3, 4)
+	r := newRouter(LeastInFlight)
+	for i := 0; i < 1000; i++ {
+		rep := r.pick(reps, 0)
+		rep.inflight.Add(1)
+		min, max := reps[0].inflight.Value(), reps[0].inflight.Value()
+		for _, rep := range reps[1:] {
+			if v := rep.inflight.Value(); v < min {
+				min = v
+			} else if v > max {
+				max = v
+			}
+		}
+		if max-min > 1 {
+			t.Fatalf("after pick %d: imbalance %d (min %d, max %d)", i, max-min, min, max)
+		}
+	}
+}
+
+// TestLeastInFlightPicksArgmin is the property under churn: with random
+// seeded completions interleaved, every pick lands on a replica whose
+// load is the minimum at pick time.
+func TestLeastInFlightPicksArgmin(t *testing.T) {
+	reps := newTestReplicas(0, 1, 2, 3)
+	r := newRouter(LeastInFlight)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		if rng.Intn(5) < 2 {
+			// Complete a request on a random loaded replica.
+			loaded := reps[rng.Intn(len(reps))]
+			if loaded.inflight.Value() > 0 {
+				loaded.inflight.Add(-1)
+			}
+			continue
+		}
+		min := reps[0].inflight.Value()
+		for _, rep := range reps[1:] {
+			if v := rep.inflight.Value(); v < min {
+				min = v
+			}
+		}
+		rep := r.pick(reps, 0)
+		if rep.inflight.Value() != min {
+			t.Fatalf("step %d: picked replica %d with load %d, min is %d",
+				i, rep.id, rep.inflight.Value(), min)
+		}
+		rep.inflight.Add(1)
+	}
+}
+
+// TestShapeAffinityDeterministic: the same shape key always lands on
+// the same replica — affinity is a pure function of (key, live set).
+func TestShapeAffinityDeterministic(t *testing.T) {
+	reps := newTestReplicas(0, 1, 2, 3, 4, 5)
+	r := newRouter(ShapeAffinity)
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 200; i++ {
+		key := rng.Uint64()
+		first := r.pick(reps, key)
+		for j := 0; j < 3; j++ {
+			if got := r.pick(reps, key); got != first {
+				t.Fatalf("key %#x moved from replica %d to %d between picks", key, first.id, got.id)
+			}
+		}
+	}
+}
+
+// TestShapeAffinityConsistentUnderRemoval is the rendezvous-hashing
+// property: removing one replica remaps only the keys that lived on it
+// — every key assigned to a survivor keeps its assignment, so batch
+// coalescing is undisturbed for every shape the removed replica did not
+// own.
+func TestShapeAffinityConsistentUnderRemoval(t *testing.T) {
+	reps := newTestReplicas(0, 1, 2, 3, 4, 5)
+	r := newRouter(ShapeAffinity)
+	rng := rand.New(rand.NewSource(13))
+	const keys = 600
+	baseline := make(map[uint64]int, keys)
+	for i := 0; i < keys; i++ {
+		key := rng.Uint64()
+		baseline[key] = r.pick(reps, key).id
+	}
+	for removeIdx := range reps {
+		survivors := append(append([]*replica{}, reps[:removeIdx]...), reps[removeIdx+1:]...)
+		removedID := reps[removeIdx].id
+		moved := 0
+		for key, home := range baseline {
+			got := r.pick(survivors, key).id
+			if home == removedID {
+				moved++
+				continue // owned by the removed replica; may go anywhere
+			}
+			if got != home {
+				t.Fatalf("removing replica %d moved key %#x from surviving replica %d to %d",
+					removedID, key, home, got)
+			}
+		}
+		if moved == 0 {
+			t.Errorf("replica %d owned no keys out of %d — rendezvous spread is degenerate", removedID, keys)
+		}
+	}
+}
+
+// TestShapeAffinitySpread: rendezvous hashing distributes distinct
+// shapes across replicas instead of collapsing onto a few.
+func TestShapeAffinitySpread(t *testing.T) {
+	reps := newTestReplicas(0, 1, 2, 3)
+	r := newRouter(ShapeAffinity)
+	counts := make(map[int]int)
+	for d1 := 1; d1 <= 16; d1++ {
+		for d2 := 1; d2 <= 16; d2++ {
+			counts[r.pick(reps, shapeKey([]int{d1, d2})).id]++
+		}
+	}
+	for _, rep := range reps {
+		if counts[rep.id] == 0 {
+			t.Errorf("replica %d received no shapes out of 256", rep.id)
+		}
+	}
+}
+
+// goldenStream is the fixed request stream the golden routing suite
+// replays: seeded shapes drawn from the kinds of mixes a multi-shape
+// workload produces, with a deterministic completion every third
+// request so least-in-flight sees load fall as well as rise.
+func goldenStream(t *testing.T, p Policy) string {
+	t.Helper()
+	reps := newTestReplicas(0, 1, 2, 3)
+	r := newRouter(p)
+	rng := rand.New(rand.NewSource(42))
+	shapes := [][]int{{2}, {3}, {4, 2}, {8}, {16, 16}}
+	var b strings.Builder
+	fmt.Fprintf(&b, "policy=%s replicas=4 seed=42\n", p)
+	for i := 0; i < 48; i++ {
+		shape := shapes[rng.Intn(len(shapes))]
+		rep := r.pick(reps, shapeKey(shape))
+		rep.inflight.Add(1)
+		fmt.Fprintf(&b, "%02d shape=%v -> r%d\n", i, shape, rep.id)
+		if i%3 == 2 {
+			// Deterministically complete one request on the most loaded
+			// replica (ties to the lowest id).
+			busiest := reps[0]
+			for _, rep := range reps[1:] {
+				if rep.inflight.Value() > busiest.inflight.Value() {
+					busiest = rep
+				}
+			}
+			if busiest.inflight.Value() > 0 {
+				busiest.inflight.Add(-1)
+				fmt.Fprintf(&b, "   complete r%d\n", busiest.id)
+			}
+		}
+	}
+	return b.String()
+}
+
+// TestRouterGolden pins every policy's exact assignment sequence for a
+// fixed seeded request stream, so any routing change — intended or not
+// — shows up as a reviewable golden diff. Regenerate with
+// UPDATE_GOLDEN=1.
+func TestRouterGolden(t *testing.T) {
+	cases := []struct {
+		file   string
+		policy Policy
+	}{
+		{"router_round_robin.golden", RoundRobin},
+		{"router_least_in_flight.golden", LeastInFlight},
+		{"router_shape_affinity.golden", ShapeAffinity},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(string(tc.policy), func(t *testing.T) {
+			got := goldenStream(t, tc.policy)
+			golden := filepath.Join("testdata", tc.file)
+			if os.Getenv("UPDATE_GOLDEN") != "" {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden file (run with UPDATE_GOLDEN=1 to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("assignments diverged from %s (UPDATE_GOLDEN=1 regenerates)\n--- got ---\n%s--- want ---\n%s",
+					golden, got, want)
+			}
+		})
+	}
+}

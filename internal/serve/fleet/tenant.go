@@ -1,0 +1,336 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"pipedream/internal/metrics"
+	"pipedream/internal/serve"
+	"pipedream/internal/tensor"
+)
+
+// replica is one data-parallel serving pipeline of one tenant: a full
+// serve.Server over its own stage slice, plus the routing state the
+// fleet keeps about it.
+type replica struct {
+	id       int
+	srv      *serve.Server
+	inflight *metrics.Gauge   // serve.fleet.<tenant>.r<id>.inflight
+	picks    *metrics.Counter // serve.fleet.<tenant>.r<id>.picks
+}
+
+// tenantMetrics are one tenant's fleet-level instruments — routing and
+// admission, not pipeline internals (each replica's serve.Stats carries
+// those). Standalone instruments when the fleet has no registry, same
+// convention as serve's.
+type tenantMetrics struct {
+	requests  *metrics.Counter // serve.fleet.<tenant>.requests
+	responses *metrics.Counter // serve.fleet.<tenant>.responses
+	errors    *metrics.Counter // serve.fleet.<tenant>.errors
+	shed      *metrics.Counter // serve.fleet.<tenant>.shed
+	retries   *metrics.Counter // serve.fleet.<tenant>.retries: re-picks after a drained replica closed mid-flight
+}
+
+// Tenant is one served model inside a fleet: a set of data-parallel
+// replicas behind the fleet's routing policy, one shared admission
+// quota, and (optionally) one checkpoint follower per replica. Obtain
+// with Fleet.Tenant; submit through it directly or through the fleet's
+// name-addressed Infer.
+type Tenant struct {
+	name   string
+	router router
+	quota  *serve.Quota
+	met    *tenantMetrics
+	reg    *metrics.Registry // fleet registry, for per-replica instruments
+
+	template serve.Config // replica config: Transport/Quota/Metrics overridden per replica
+
+	mu        sync.RWMutex
+	live      []*replica
+	nextID    int
+	followers map[int]*serve.Follower
+	follow    *serve.FollowConfig // non-nil once Follow ran; applied to added replicas
+	closed    bool
+}
+
+// Name returns the tenant's name — the routing key clients address it
+// by.
+func (t *Tenant) Name() string { return t.name }
+
+// Quota returns the tenant's shared admission budget.
+func (t *Tenant) Quota() *serve.Quota { return t.quota }
+
+// Replicas returns the ids of the tenant's live replicas, in routing
+// order.
+func (t *Tenant) Replicas() []int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	ids := make([]int, len(t.live))
+	for i, rep := range t.live {
+		ids[i] = rep.id
+	}
+	return ids
+}
+
+// Infer routes one request to a replica and blocks until its result is
+// ready — serve.Server.Infer semantics (bit-identical to an unbatched
+// forward pass, row order preserved) behind the fleet's routing policy.
+func (t *Tenant) Infer(x *tensor.Tensor) (*tensor.Tensor, error) {
+	y, _, err := t.InferVersioned(x)
+	return y, err
+}
+
+// InferVersioned is Infer plus the weight generation the request was
+// served with. The one-generation-per-request guarantee holds per
+// replica: whichever replica the router picked, every row of the
+// request ran every stage on exactly the stamped generation's weights.
+func (t *Tenant) InferVersioned(x *tensor.Tensor) (*tensor.Tensor, int, error) {
+	if x == nil || x.NumDims() < 1 {
+		return nil, 0, fmt.Errorf("fleet: request needs at least one row: %w", serve.ErrBadRequest)
+	}
+	t.met.requests.Inc()
+	key := shapeKey(x.Shape[1:])
+	for attempt := 0; ; attempt++ {
+		rep, err := t.pick(key)
+		if err != nil {
+			t.met.errors.Inc()
+			return nil, 0, err
+		}
+		y, gen, err := rep.srv.InferVersioned(x)
+		rep.inflight.Add(-1)
+		if err == nil {
+			t.met.responses.Inc()
+			return y, gen, nil
+		}
+		// A replica that closed between pick and submit was being
+		// drained; the live set has already moved on, so re-pick.
+		// Bounded: each retry means one fewer replica to land on.
+		if errors.Is(err, serve.ErrServerClosed) && attempt < maxRouteRetries {
+			t.met.retries.Inc()
+			continue
+		}
+		if errors.Is(err, serve.ErrOverloaded) {
+			t.met.shed.Inc()
+		} else {
+			t.met.errors.Inc()
+		}
+		return nil, 0, err
+	}
+}
+
+// maxRouteRetries bounds re-picks after landing on a replica that
+// closed mid-flight. Drains make this path near-impossible (the router
+// stops picking a replica before it closes), so a small bound only
+// guards a caller racing Fleet.Close.
+const maxRouteRetries = 4
+
+// pick chooses a live replica under the read lock and counts the
+// request onto it. The in-flight increment happens under the same lock,
+// so RemoveReplica's write-lock acquisition is the barrier after which
+// the replica's in-flight count can only fall.
+func (t *Tenant) pick(key uint64) (*replica, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if len(t.live) == 0 {
+		return nil, fmt.Errorf("fleet: tenant %q: %w", t.name, ErrNoReplicas)
+	}
+	rep := t.router.pick(t.live, key)
+	rep.inflight.Add(1)
+	rep.picks.Inc()
+	return rep, nil
+}
+
+// AddReplica builds one more replica from the tenant's template config
+// (private transport, shared quota), adds it to the routing set, and —
+// when the tenant is following a checkpoint directory — starts its
+// follower so it converges to the directory's newest generation. It
+// returns the new replica's id.
+func (t *Tenant) AddReplica() (int, error) {
+	cfg := t.template
+	cfg.Transport = nil // post-construction replicas own a private transport
+	cfg.Quota = t.quota
+	cfg.Metrics = nil
+	srv, err := serve.NewServer(cfg)
+	if err != nil {
+		return 0, fmt.Errorf("fleet: tenant %q: add replica: %w", t.name, err)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		srv.Close()
+		return 0, fmt.Errorf("fleet: tenant %q: %w", t.name, serve.ErrServerClosed)
+	}
+	rep := t.newReplicaLocked(srv)
+	if t.follow != nil {
+		f, err := srv.Follow(*t.follow)
+		if err != nil {
+			t.live = t.live[:len(t.live)-1]
+			srv.Close()
+			return 0, fmt.Errorf("fleet: tenant %q: follow on replica %d: %w", t.name, rep.id, err)
+		}
+		t.followers[rep.id] = f
+	}
+	return rep.id, nil
+}
+
+// newReplicaLocked wraps srv as the next replica and appends it to the
+// live set. Callers hold the write lock.
+func (t *Tenant) newReplicaLocked(srv *serve.Server) *replica {
+	rep := &replica{id: t.nextID, srv: srv}
+	t.nextID++
+	if t.reg != nil {
+		prefix := fmt.Sprintf("serve.fleet.%s.r%d.", t.name, rep.id)
+		rep.inflight = t.reg.Gauge(prefix + "inflight")
+		rep.picks = t.reg.Counter(prefix + "picks")
+	} else {
+		rep.inflight = &metrics.Gauge{}
+		rep.picks = &metrics.Counter{}
+	}
+	t.live = append(t.live, rep)
+	return rep
+}
+
+// RemoveReplica drains and closes one replica with zero failed
+// requests: it first removes the replica from the routing set (after
+// which no request can be routed to it), then waits for every request
+// already counted onto it to complete, and only then closes its
+// follower and server. The last replica can be removed; submits then
+// fail with ErrNoReplicas until AddReplica.
+func (t *Tenant) RemoveReplica(id int) error {
+	t.mu.Lock()
+	idx := -1
+	for i, rep := range t.live {
+		if rep.id == id {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		t.mu.Unlock()
+		return fmt.Errorf("fleet: tenant %q has no replica %d", t.name, id)
+	}
+	rep := t.live[idx]
+	t.live = append(t.live[:idx:idx], t.live[idx+1:]...)
+	f := t.followers[id]
+	delete(t.followers, id)
+	t.mu.Unlock()
+
+	// Acquiring the write lock above was the barrier: every request
+	// bound for this replica had already incremented its in-flight
+	// count under the read lock, and no new one can. The count only
+	// falls from here, and the server is still open, so every counted
+	// request completes normally.
+	for rep.inflight.Value() > 0 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	if f != nil {
+		f.Close()
+	}
+	rep.srv.Close()
+	return nil
+}
+
+// Follow starts one checkpoint follower per live replica, all polling
+// cfg.Dir (with jittered phase, so a fleet does not stat the directory
+// in lockstep) and hot-swapping new complete generations into their own
+// replica. Replicas added later inherit the same configuration.
+// cfg.OnSwap and cfg.OnError, when set, are shared across replicas and
+// may be called concurrently from different follower goroutines.
+func (t *Tenant) Follow(cfg serve.FollowConfig) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return fmt.Errorf("fleet: tenant %q: %w", t.name, serve.ErrServerClosed)
+	}
+	if t.follow != nil {
+		return fmt.Errorf("fleet: tenant %q is already following %s", t.name, t.follow.Dir)
+	}
+	started := make(map[int]*serve.Follower, len(t.live))
+	for _, rep := range t.live {
+		f, err := rep.srv.Follow(cfg)
+		if err != nil {
+			for _, g := range started {
+				g.Close()
+			}
+			return fmt.Errorf("fleet: tenant %q: follow on replica %d: %w", t.name, rep.id, err)
+		}
+		started[rep.id] = f
+	}
+	for id, f := range started {
+		t.followers[id] = f
+	}
+	t.follow = &cfg
+	return nil
+}
+
+// WeightGeneration returns the oldest weight generation among the
+// tenant's live replicas — the generation every response is guaranteed
+// to be at least as new as. During a rolling hot-swap the replicas
+// briefly disagree; the minimum is the only monotone summary.
+func (t *Tenant) WeightGeneration() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	min := 0
+	for i, rep := range t.live {
+		if g := rep.srv.WeightGeneration(); i == 0 || g < min {
+			min = g
+		}
+	}
+	return min
+}
+
+// Stats returns a point-in-time summary of the tenant: aggregated
+// routing counters, quota occupancy, and each replica's serve.Stats.
+func (t *Tenant) Stats() TenantStats {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	ts := TenantStats{
+		Name:        t.name,
+		Requests:    t.met.requests.Value(),
+		Responses:   t.met.responses.Value(),
+		Errors:      t.met.errors.Value(),
+		Shed:        t.met.shed.Value(),
+		Retries:     t.met.retries.Value(),
+		Queued:      t.quota.Queued(),
+		InFlight:    t.quota.InFlight(),
+		MaxQueued:   t.quota.MaxQueued(),
+		MaxInFlight: t.quota.MaxInFlight(),
+	}
+	for i, rep := range t.live {
+		st := rep.srv.Stats()
+		if g := int(st.WeightGeneration); i == 0 || g < ts.WeightGeneration {
+			ts.WeightGeneration = g
+		}
+		ts.Replicas = append(ts.Replicas, ReplicaStats{
+			ID:       rep.id,
+			InFlight: rep.inflight.Value(),
+			Picks:    rep.picks.Value(),
+			Serve:    st,
+		})
+	}
+	return ts
+}
+
+// close tears the tenant down: followers first (no swaps against dying
+// servers), then every replica server. Runs once, from Fleet.Close.
+func (t *Tenant) close() {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	t.closed = true
+	live := t.live
+	followers := t.followers
+	t.live = nil
+	t.followers = nil
+	t.mu.Unlock()
+	for _, f := range followers {
+		f.Close()
+	}
+	for _, rep := range live {
+		rep.srv.Close()
+	}
+}

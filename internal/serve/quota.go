@@ -1,0 +1,110 @@
+package serve
+
+// Quota is a shared admission budget: a bounded wait queue in front of a
+// bounded in-flight window. One Quota handed to several Servers (via
+// Config.Quota) makes them share the budget — which is exactly how a
+// multi-tenant fleet isolates tenants: every replica of one tenant
+// admits against that tenant's Quota, so a flood of requests for one
+// model exhausts that model's budget and sheds with ErrOverloaded while
+// every other tenant's budget — and latency — is untouched.
+//
+// A request's life against its quota has three steps, mirroring its life
+// inside a server:
+//
+//  1. Submit takes a queue slot (tryQueue). No slot free means the
+//     tenant is past its backlog budget: shed immediately with
+//     ErrOverloaded — waiting would only grow another tenant-visible
+//     queue.
+//  2. The batcher promotes the request from queued to in-flight when it
+//     pulls it for dispatch (promote). If the in-flight window is full
+//     the batcher blocks, transferring backpressure to the queue — which
+//     then sheds, keeping the bound tight.
+//  3. Completion — success or failure — releases the in-flight slot
+//     (releaseInFlight via the submitter, who always observes the
+//     result).
+//
+// Both bounds are per-Quota, not per-Server: two replicas sharing a
+// Quota can together hold MaxInFlight requests in flight, wherever the
+// router happened to send them.
+type Quota struct {
+	queue    chan struct{} // queue slots: held from submit to promotion
+	inflight chan struct{} // in-flight slots: held from promotion to completion
+}
+
+// NewQuota builds an admission budget of maxQueued waiting requests and
+// maxInFlight dispatched-but-unanswered requests. Both must be at least
+// 1; a Server with a nil Quota admits against its own QueueCap only.
+func NewQuota(maxQueued, maxInFlight int) *Quota {
+	if maxQueued < 1 {
+		maxQueued = 1
+	}
+	if maxInFlight < 1 {
+		maxInFlight = 1
+	}
+	return &Quota{
+		queue:    make(chan struct{}, maxQueued),
+		inflight: make(chan struct{}, maxInFlight),
+	}
+}
+
+// MaxQueued returns the queue-slot bound.
+func (q *Quota) MaxQueued() int { return cap(q.queue) }
+
+// MaxInFlight returns the in-flight-slot bound.
+func (q *Quota) MaxInFlight() int { return cap(q.inflight) }
+
+// Queued reports the queue slots currently held (waiting requests).
+func (q *Quota) Queued() int { return len(q.queue) }
+
+// InFlight reports the in-flight slots currently held (requests
+// dispatched into a pipeline and not yet answered).
+func (q *Quota) InFlight() int { return len(q.inflight) }
+
+// tryQueue claims a queue slot, reporting false (shed) when the backlog
+// budget is exhausted.
+func (q *Quota) tryQueue() bool {
+	select {
+	case q.queue <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// releaseQueued returns a queue slot for a request that left the queue
+// without being promoted (shed at the server queue, or failed by Close
+// while still waiting).
+func (q *Quota) releaseQueued() {
+	<-q.queue
+}
+
+// promote upgrades one queued request to in-flight, blocking until an
+// in-flight slot frees. It returns false — leaving the queue slot held,
+// for the caller's failure path to release — when done closes first.
+func (q *Quota) promote(done <-chan struct{}) bool {
+	select {
+	case q.inflight <- struct{}{}:
+		<-q.queue
+		return true
+	case <-done:
+		return false
+	}
+}
+
+// tryPromote is the non-blocking promote: it reports false when the
+// in-flight window is full instead of waiting.
+func (q *Quota) tryPromote() bool {
+	select {
+	case q.inflight <- struct{}{}:
+		<-q.queue
+		return true
+	default:
+		return false
+	}
+}
+
+// releaseInFlight returns an in-flight slot once its request's result
+// (or failure) has been delivered.
+func (q *Quota) releaseInFlight() {
+	<-q.inflight
+}

@@ -1,0 +1,194 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"pipedream/internal/nn"
+)
+
+// TestQuotaShedsAtQueueBound: a tenant quota tighter than the server's
+// own QueueCap is the bound that sheds — with ErrOverloaded and an
+// error message naming the tenant budget.
+func TestQuotaShedsAtQueueBound(t *testing.T) {
+	model := nn.NewSequential(&slowLayer{delay: 50 * time.Millisecond})
+	q := NewQuota(2, 1)
+	s := mustServer(t, Config{
+		Model: model, MaxBatch: 1, BatchTimeout: time.Millisecond,
+		QueueCap: 64, MaxInFlight: 8, Quota: q,
+	})
+	const requests = 12
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var shed, okCount int
+	for i := 0; i < requests; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, err := s.Infer(testInput(int64(i), 1))
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err == nil:
+				okCount++
+			case errors.Is(err, ErrOverloaded):
+				shed++
+			default:
+				t.Errorf("unexpected error: %v", err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if shed == 0 {
+		t.Fatalf("no requests shed at the quota bound (%d ok)", okCount)
+	}
+	if okCount == 0 {
+		t.Fatal("every request shed; quota admitted nothing")
+	}
+	if q.Queued() != 0 || q.InFlight() != 0 {
+		t.Fatalf("slots leaked: queued=%d inflight=%d, want 0/0", q.Queued(), q.InFlight())
+	}
+}
+
+// TestQuotaInFlightSmallerThanBatch is the deadlock regression test: a
+// quota whose in-flight window (1) is smaller than MaxBatch (8) must
+// not let the batcher block waiting for slots held by its own
+// undispatched batch. Every request completes; none deadlocks.
+func TestQuotaInFlightSmallerThanBatch(t *testing.T) {
+	model := testModel(21)
+	ref := testModel(21)
+	q := NewQuota(32, 1)
+	s := mustServer(t, Config{
+		Model: model, Plan: plan2(), MaxBatch: 8,
+		BatchTimeout: 2 * time.Millisecond, QueueCap: 64, Quota: q,
+	})
+	const requests = 24
+	var wg sync.WaitGroup
+	got := make([]error, requests)
+	done := make(chan struct{})
+	for i := 0; i < requests; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			x := testInput(int64(900+i), 1)
+			want, _ := ref.Forward(x, false)
+			y, err := s.Infer(x)
+			got[i] = err
+			if err == nil {
+				wantEqual(t, y, want)
+			}
+		}(i)
+	}
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("requests deadlocked behind the quota in-flight window")
+	}
+	for i, err := range got {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	if q.Queued() != 0 || q.InFlight() != 0 {
+		t.Fatalf("slots leaked: queued=%d inflight=%d, want 0/0", q.Queued(), q.InFlight())
+	}
+}
+
+// TestQuotaSharedAcrossServers: one Quota handed to two servers is a
+// single budget — saturating it through server A sheds submissions on
+// server B too, which is the fleet's per-tenant isolation primitive.
+func TestQuotaSharedAcrossServers(t *testing.T) {
+	q := NewQuota(1, 1)
+	slow := nn.NewSequential(&slowLayer{delay: 100 * time.Millisecond})
+	a := mustServer(t, Config{
+		Model: slow, MaxBatch: 1, BatchTimeout: time.Millisecond,
+		QueueCap: 16, Quota: q,
+	})
+	b := mustServer(t, Config{
+		Model:    nn.NewSequential(&slowLayer{delay: time.Millisecond}),
+		MaxBatch: 1, BatchTimeout: time.Millisecond,
+		QueueCap: 16, Quota: q,
+	})
+	// Fill the shared budget through A, one step at a time: the first
+	// request must be promoted to in-flight (freeing the lone queue
+	// slot) before the second can claim that slot and wait.
+	var wg sync.WaitGroup
+	send := func(i int) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := a.Infer(testInput(int64(i), 1)); err != nil {
+				t.Errorf("request %d on a: %v", i, err)
+			}
+		}()
+	}
+	waitFor := func(cond func() bool, what string) {
+		t.Helper()
+		deadline := time.Now().Add(2 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				t.Fatalf("%s never happened: queued=%d inflight=%d", what, q.Queued(), q.InFlight())
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	send(0)
+	waitFor(func() bool { return q.InFlight() == 1 }, "promotion of request 0")
+	send(1)
+	waitFor(func() bool { return q.Queued() == 1 }, "queueing of request 1")
+	if _, err := b.Infer(testInput(99, 1)); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("server b admitted past the shared budget: err=%v", err)
+	}
+	wg.Wait()
+	// Budget drained: b admits again.
+	if _, err := b.Infer(testInput(100, 1)); err != nil {
+		t.Fatalf("server b after drain: %v", err)
+	}
+	if q.Queued() != 0 || q.InFlight() != 0 {
+		t.Fatalf("slots leaked: queued=%d inflight=%d, want 0/0", q.Queued(), q.InFlight())
+	}
+}
+
+// TestQuotaReleasedOnClose: requests failed by Close while queued or in
+// flight still return their quota slots, so a restart reuses the same
+// Quota without a leak.
+func TestQuotaReleasedOnClose(t *testing.T) {
+	q := NewQuota(8, 2)
+	model := nn.NewSequential(&slowLayer{delay: 200 * time.Millisecond})
+	s, err := NewServer(Config{
+		Model: model, MaxBatch: 1, BatchTimeout: time.Millisecond,
+		QueueCap: 8, Quota: q,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, err := s.Infer(testInput(int64(i), 1))
+			if err != nil && !errors.Is(err, ErrServerClosed) && !errors.Is(err, ErrOverloaded) {
+				t.Errorf("request %d: %v", i, err)
+			}
+		}(i)
+	}
+	// Let some requests reach the queue and the pipeline, then close.
+	deadline := time.Now().Add(2 * time.Second)
+	for q.Queued()+q.InFlight() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no request ever claimed a slot")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if q.Queued() != 0 || q.InFlight() != 0 {
+		t.Fatalf("slots leaked after Close: queued=%d inflight=%d, want 0/0", q.Queued(), q.InFlight())
+	}
+}

@@ -87,6 +87,17 @@ type Config struct {
 	// queue sheds new requests with ErrOverloaded instead of growing
 	// latency without bound.
 	QueueCap int
+	// Quota, when non-nil, is a shared admission budget this server
+	// charges every request against, in addition to its own QueueCap: a
+	// request claims a queue slot at submit (shedding with ErrOverloaded
+	// when the budget's backlog is full), is promoted to an in-flight
+	// slot when the batcher pulls it for dispatch (the batcher blocks
+	// while the in-flight window is full, pushing backpressure back to
+	// the queue), and releases the slot when its result is delivered.
+	// Several servers — the replicas of one fleet tenant — share one
+	// Quota so a tenant's overload sheds that tenant's traffic without
+	// starving the others.
+	Quota *Quota
 	// MaxInFlight bounds the batches concurrently inside the stage
 	// pipeline (2×stages when 0, enough to keep every stage busy with
 	// one batch ahead).
@@ -152,11 +163,16 @@ type Server struct {
 
 // request is one Infer call in flight: its input rows, the channel its
 // result lands on, and its admission time (the latency span origin).
+// promoted records whether the batcher upgraded the request's quota
+// claim from a queue slot to an in-flight slot; the submitter reads it
+// after the result arrives (ordered by the resp send) to release the
+// right slot.
 type request struct {
-	x    *tensor.Tensor
-	rows int
-	resp chan result
-	enq  time.Time
+	x        *tensor.Tensor
+	rows     int
+	resp     chan result
+	enq      time.Time
+	promoted bool
 }
 
 type result struct {
@@ -327,12 +343,62 @@ func (s *Server) InferVersioned(x *tensor.Tensor) (*tensor.Tensor, int, error) {
 	}
 	s.met.queueDepth.Set(int64(len(s.queue)))
 	r := <-req.resp
+	s.quotaRelease(req)
 	if r.err != nil {
 		s.met.errors.Inc()
 		return nil, 0, r.err
 	}
 	s.met.responses.Inc()
 	return r.y, r.gen, nil
+}
+
+// quotaRelease returns the request's admission-budget slot once its
+// result has been delivered: the in-flight slot when the batcher
+// promoted it, the queue slot when it never left the queue (shed by a
+// racing Close, or failed before dispatch). The promoted flag is
+// ordered by the resp send, so this runs race-free on the submitter.
+func (s *Server) quotaRelease(req *request) {
+	if s.cfg.Quota == nil {
+		return
+	}
+	if req.promoted {
+		s.cfg.Quota.releaseInFlight()
+	} else {
+		s.cfg.Quota.releaseQueued()
+	}
+}
+
+// quotaPromote upgrades the request's quota claim from queued to
+// in-flight, blocking while the shared in-flight window is full (a
+// no-op for requests already promoted — carried batch seeds). It
+// returns false when the server closed first; the queue slot stays held
+// for the submitter's release path. Only the batcher's batch seed may
+// block here: every other in-flight slot belongs to a dispatched
+// request, so the wait always terminates.
+func (s *Server) quotaPromote(req *request) bool {
+	if s.cfg.Quota == nil || req.promoted {
+		return true
+	}
+	if !s.cfg.Quota.promote(s.done) {
+		return false
+	}
+	req.promoted = true
+	return true
+}
+
+// quotaTryPromote is the non-blocking quotaPromote the batcher uses
+// while growing a batch: a full in-flight window reports false instead
+// of waiting, which ends the batch rather than risking a wait on the
+// batch's own undispatched slots.
+func (s *Server) quotaTryPromote(req *request) bool {
+	if s.cfg.Quota == nil || req.promoted {
+		return true
+	}
+	if !s.cfg.Quota.tryPromote() {
+		return false
+	}
+	req.promoted = true
+	return true
 }
 
 // submit enqueues the request, shedding when the queue is full. The
@@ -344,10 +410,17 @@ func (s *Server) submit(req *request) error {
 	if s.closed {
 		return ErrServerClosed
 	}
+	if s.cfg.Quota != nil && !s.cfg.Quota.tryQueue() {
+		s.met.shed.Inc()
+		return fmt.Errorf("serve: tenant quota: %d requests queued: %w", s.cfg.Quota.MaxQueued(), ErrOverloaded)
+	}
 	select {
 	case s.queue <- req:
 		return nil
 	default:
+		if s.cfg.Quota != nil {
+			s.cfg.Quota.releaseQueued()
+		}
 		s.met.shed.Inc()
 		return fmt.Errorf("serve: %d requests queued: %w", cap(s.queue), ErrOverloaded)
 	}

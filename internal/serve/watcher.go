@@ -3,6 +3,7 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"io/fs"
 	"math/rand"
 	"sync"
 	"time"
@@ -123,7 +124,15 @@ func (s *Server) pollOnce(cfg FollowConfig) {
 	if err != nil {
 		// An empty or not-yet-created directory is the steady state
 		// before the trainer's first checkpoint; stay quiet and keep
-		// polling.
+		// polling. Anything else — the directory turned unreadable, a
+		// file sits where the directory should be — is a real fault the
+		// operator must hear about; the follower reports it and lives
+		// on to retry next tick.
+		if !errors.Is(err, fs.ErrNotExist) && !errors.Is(err, checkpoint.ErrNoGeneration) {
+			if cfg.OnError != nil {
+				cfg.OnError(fmt.Errorf("serve: follow: list: %w", err))
+			}
+		}
 		return
 	}
 	if latest <= s.WeightGeneration() {

@@ -1,0 +1,159 @@
+package serve
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pipedream/internal/nn"
+)
+
+// TestFollowerUnreadableDir covers the follower's fault taxonomy in one
+// life cycle: a missing checkpoint directory is the quiet steady state
+// (no OnError), the directory turning unreadable mid-poll is a loud
+// fault (OnError fires, with the listing error), and neither kills the
+// follower — once the path becomes a real directory with a complete
+// generation, the same follower swaps it in.
+func TestFollowerUnreadableDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ckpt")
+	s := mustServer(t, Config{Model: modelFor(0), MaxBatch: 4, BatchTimeout: time.Millisecond})
+
+	var mu sync.Mutex
+	var errs []error
+	swapped := make(chan int, 4)
+	f, err := s.Follow(FollowConfig{
+		Dir:     dir,
+		Factory: func() *nn.Sequential { return testModel(1) },
+		Poll:    2 * time.Millisecond,
+		OnSwap:  func(gen int) { swapped <- gen },
+		OnError: func(err error) {
+			mu.Lock()
+			errs = append(errs, err)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	// Phase 1: the directory does not exist. That is the steady state
+	// before the trainer's first checkpoint — several polls must pass
+	// without a single OnError.
+	time.Sleep(25 * time.Millisecond)
+	mu.Lock()
+	if len(errs) != 0 {
+		t.Fatalf("OnError fired %d times for a missing directory: %v", len(errs), errs[0])
+	}
+	mu.Unlock()
+
+	// Phase 2: a regular file appears where the checkpoint directory
+	// should be — the listing now fails with a real error (ENOTDIR),
+	// which must reach OnError.
+	if err := os.WriteFile(dir, []byte("not a directory"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		n := len(errs)
+		mu.Unlock()
+		if n > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("OnError never fired for an unreadable checkpoint dir")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mu.Lock()
+	if !strings.Contains(errs[0].Error(), "serve: follow: list:") {
+		t.Errorf("error %q does not carry the listing context", errs[0])
+	}
+	mu.Unlock()
+
+	// Phase 3: the fault clears — the follower that reported it is
+	// still alive and swaps in the first complete generation.
+	if err := os.Remove(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	writeGen(t, dir, 1, modelFor(1))
+	select {
+	case gen := <-swapped:
+		if gen != 1 {
+			t.Fatalf("swapped to generation %d, want 1", gen)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("follower never recovered after the fault cleared")
+	}
+	if g := s.WeightGeneration(); g != 1 {
+		t.Fatalf("serving generation %d, want 1", g)
+	}
+}
+
+// TestFollowerCloseDuringLoad: Close while a background load is in
+// progress waits for the swap to finish (documented: a swap already in
+// progress completes first) instead of panicking, leaking the
+// goroutine, or installing a half-built model.
+func TestFollowerCloseDuringLoad(t *testing.T) {
+	dir := t.TempDir()
+	writeGen(t, dir, 1, modelFor(1))
+	s := mustServer(t, Config{Model: modelFor(0), MaxBatch: 4, BatchTimeout: time.Millisecond})
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	factory := func() *nn.Sequential {
+		once.Do(func() { close(entered) })
+		<-release
+		return testModel(1)
+	}
+	var swaps atomic.Int64
+	f, err := s.Follow(FollowConfig{
+		Dir:     dir,
+		Factory: factory,
+		Poll:    time.Millisecond,
+		OnSwap:  func(int) { swaps.Add(1) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case <-entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("follower never started loading the generation")
+	}
+
+	closed := make(chan struct{})
+	go func() { f.Close(); close(closed) }()
+	select {
+	case <-closed:
+		t.Fatal("Close returned while the load it must drain was still blocked")
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	close(release)
+	select {
+	case <-closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung after the load unblocked")
+	}
+	if n := swaps.Load(); n != 1 {
+		t.Fatalf("swaps = %d, want exactly 1 (the in-progress one)", n)
+	}
+	if g := s.WeightGeneration(); g != 1 {
+		t.Fatalf("serving generation %d, want 1", g)
+	}
+	// The server outlives its follower: requests still answer.
+	if _, err := s.Infer(testInput(3, 1)); err != nil {
+		t.Fatalf("infer after follower close: %v", err)
+	}
+}

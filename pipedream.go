@@ -47,6 +47,7 @@ import (
 	"pipedream/internal/profile"
 	"pipedream/internal/schedule"
 	"pipedream/internal/serve"
+	"pipedream/internal/serve/fleet"
 	"pipedream/internal/tensor"
 	"pipedream/internal/topology"
 	"pipedream/internal/trace"
@@ -146,6 +147,48 @@ type (
 	// Follower is a running checkpoint follower that hot-swaps each new
 	// complete checkpoint generation into its Server.
 	Follower = serve.Follower
+	// Quota is a tenant-wide admission budget (bounded queue + in-flight
+	// cap) shared by every replica serving that tenant.
+	Quota = serve.Quota
+)
+
+// Serving-fleet types (data-parallel replicas, request routing, and
+// multi-model tenancy over one process; see docs/SERVING.md "Fleet and
+// multi-tenancy").
+type (
+	// ServingFleet is a running multi-tenant replicated serving
+	// deployment (internal/serve/fleet).
+	ServingFleet = fleet.Fleet
+	// FleetConfig sets the fleet-wide knobs: replicas per tenant,
+	// routing policy, metrics registry.
+	FleetConfig = fleet.Config
+	// FleetTenantConfig declares one served model: its name, replica
+	// template ServeConfig, and admission quota bounds.
+	FleetTenantConfig = fleet.TenantConfig
+	// FleetTenant is one served model inside a fleet; rescale it live
+	// with AddReplica/RemoveReplica, follow checkpoints with Follow.
+	FleetTenant = fleet.Tenant
+	// FleetStats summarizes every tenant of a fleet.
+	FleetStats = fleet.Stats
+	// FleetTenantStats summarizes one tenant: routing counters, quota
+	// occupancy, per-replica serving stats.
+	FleetTenantStats = fleet.TenantStats
+	// FleetReplicaStats summarizes one live replica of one tenant.
+	FleetReplicaStats = fleet.ReplicaStats
+	// RoutePolicy selects how a fleet spreads requests across replicas.
+	RoutePolicy = fleet.Policy
+)
+
+// Fleet routing policies.
+const (
+	// RouteRoundRobin cycles requests across replicas in id order.
+	RouteRoundRobin = fleet.RoundRobin
+	// RouteLeastInFlight routes to the replica with the fewest
+	// outstanding requests.
+	RouteLeastInFlight = fleet.LeastInFlight
+	// RouteShapeAffinity sends same-shaped requests to the same replica
+	// (rendezvous hashing) so they coalesce into full batches.
+	RouteShapeAffinity = fleet.ShapeAffinity
 )
 
 // Observability types (set PipelineOptions.Metrics / PipelineOptions.OpLog
@@ -239,6 +282,12 @@ var (
 	// ErrServeTransport marks a serving request whose batch the
 	// transport lost between stages.
 	ErrServeTransport = serve.ErrTransport
+	// ErrUnknownTenant marks a fleet request naming a tenant the fleet
+	// does not serve.
+	ErrUnknownTenant = fleet.ErrUnknownTenant
+	// ErrNoReplicas marks a fleet request to a tenant whose routing set
+	// is empty (every replica removed).
+	ErrNoReplicas = fleet.ErrNoReplicas
 )
 
 // Staleness modes (§3.3 of the paper).
@@ -324,6 +373,15 @@ var (
 	// NewServer starts a forward-only serving pipeline over a trained
 	// model; submit requests with Server.Infer.
 	NewServer = serve.NewServer
+	// NewFleet starts a replicated multi-tenant serving fleet; submit
+	// requests with ServingFleet.Infer(tenant, x).
+	NewFleet = fleet.New
+	// ParseRoutePolicy maps a -route flag value ("round-robin",
+	// "least-in-flight", "shape-affinity", or "") to a RoutePolicy.
+	ParseRoutePolicy = fleet.ParsePolicy
+	// NewQuota builds a tenant admission budget for ServeConfig.Quota;
+	// fleets build one per tenant automatically.
+	NewQuota = serve.NewQuota
 	// NewMembershipView creates the worker registry the elastic runtime
 	// follows.
 	NewMembershipView = membership.New

@@ -25,11 +25,14 @@ go test -run '^$' -bench "$PATTERN" -benchmem \
 # Serving benchmarks: batch-size-1 baseline vs dynamic batching, plus
 # the unfused forward path (training kernels, no arenas) against the
 # fused default. dynamic/batch1 ns-per-op is the batching speedup at
-# saturation; unfused/dynamic is the fused-hot-path speedup.
+# saturation; unfused/dynamic is the fused-hot-path speedup. The fleet
+# benchmarks replicate a device-bound pipeline 1/2/4 ways;
+# replicas1/replicas2 ns-per-op is the data-parallel serving speedup
+# (fleet_speedup in the JSON).
 SERVE_TXT="$OUT_DIR/BENCH_serve.txt"
 SERVE_JSON="$OUT_DIR/BENCH_serve.json"
 
-go test -run '^$' -bench '^BenchmarkServe(Batch1|Dynamic|DynamicUnfused)$' -benchmem \
+go test -run '^$' -bench '^BenchmarkServe(Batch1|Dynamic|DynamicUnfused)$|^BenchmarkFleetReplicas[124]$' -benchmem \
   -benchtime "$BENCHTIME" -count "$COUNT" . | tee "$SERVE_TXT"
 
 # Distill "BenchmarkName-P  N  ns/op  B/op  allocs/op" lines to JSON.
@@ -64,6 +67,7 @@ awk -v parallelism="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)" '
         if ($i == "B/op")      { bsum[name] += $(i-1); bcnt[name]++ }
         if ($i == "allocs/op") { asum[name] += $(i-1); acnt[name]++ }
         if ($i == "p50_us")    { psum[name] += $(i-1); pcnt[name]++ }
+        if ($i == "p99_us")    { p9sum[name] += $(i-1); p9cnt[name]++ }
     }
     if (ns == "") next
     sum[name] += ns; cnt[name]++
@@ -77,8 +81,8 @@ END {
     for (name in sum) {
         if (!first) printf ","
         first = 0
-        printf "\n    {\"name\": \"%s\", \"ns_per_op\": %.1f, \"bytes_per_op\": %s, \"allocs_per_op\": %s, \"p50_us\": %s}", \
-            name, sum[name] / cnt[name], field(bsum, bcnt, name), field(asum, acnt, name), field(psum, pcnt, name)
+        printf "\n    {\"name\": \"%s\", \"ns_per_op\": %.1f, \"bytes_per_op\": %s, \"allocs_per_op\": %s, \"p50_us\": %s, \"p99_us\": %s}", \
+            name, sum[name] / cnt[name], field(bsum, bcnt, name), field(asum, acnt, name), field(psum, pcnt, name), field(p9sum, p9cnt, name)
     }
     print "\n  ],"
     b1 = sum["BenchmarkServeBatch1"] / cnt["BenchmarkServeBatch1"]
@@ -90,6 +94,23 @@ END {
         printf ",\n  \"p50_us_fused\": %.1f,\n  \"p50_us_unfused\": %.1f", \
             psum["BenchmarkServeDynamic"] / pcnt["BenchmarkServeDynamic"], \
             psum["BenchmarkServeDynamicUnfused"] / pcnt["BenchmarkServeDynamicUnfused"]
+    }
+    # Fleet scaling: req/s and p99 at each replica count, plus the
+    # 2-replica speedup over 1 (the data-parallel serving headline).
+    if (cnt["BenchmarkFleetReplicas1"] && cnt["BenchmarkFleetReplicas2"]) {
+        printf ",\n  \"fleet\": ["
+        ffirst = 1
+        for (r = 1; r <= 4; r *= 2) {
+            name = "BenchmarkFleetReplicas" r
+            if (!cnt[name]) continue
+            if (!ffirst) printf ","
+            ffirst = 0
+            printf "\n    {\"replicas\": %d, \"req_per_s\": %.1f, \"p99_us\": %s}", \
+                r, 1e9 / (sum[name] / cnt[name]), field(p9sum, p9cnt, name)
+        }
+        printf "\n  ],\n  \"fleet_speedup\": %.2f", \
+            (sum["BenchmarkFleetReplicas1"] / cnt["BenchmarkFleetReplicas1"]) / \
+            (sum["BenchmarkFleetReplicas2"] / cnt["BenchmarkFleetReplicas2"])
     }
     print "\n}"
 }

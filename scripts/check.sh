@@ -39,10 +39,15 @@ echo "== serving gate (dynamic batcher + stage workers + weight hot-swap under t
 go test -race -count=2 ./internal/serve/
 go test -race -run 'Serve|HotSwap' ./
 
-echo "== fuzz smoke (flatten + frame round-trips + checkpoint manifest parser, 10s each)"
+echo "== fleet gate (replication, routing, tenancy, admission quotas under the race detector)"
+go test -race -count=2 -run 'Fleet|Router|Tenant|Quota|RoundRobin|LeastInFlight|ShapeAffinity' \
+    ./internal/serve/ ./internal/serve/fleet/
+
+echo "== fuzz smoke (flatten + frame round-trips + checkpoint manifest + /infer body parser, 10s each)"
 go test -run '^$' -fuzz '^FuzzFlattenRoundTrip$' -fuzztime=10s ./internal/transport/
 go test -run '^$' -fuzz '^FuzzFrameRoundTrip$' -fuzztime=10s ./internal/transport/
 go test -run '^$' -fuzz '^FuzzManifestParse$' -fuzztime=10s ./internal/checkpoint/
+go test -run '^$' -fuzz '^FuzzInferRequest$' -fuzztime=10s ./cmd/pipedream-serve/
 
 echo "== alloc budgets (allocs/op vs scripts/alloc_budget.txt)"
 ALLOC_OUT=$(go test -run '^$' -bench '^(BenchmarkLSTMForwardBackward|BenchmarkPipelineRuntimeEpoch|BenchmarkGradSync|BenchmarkServeDynamic)$' \
@@ -83,9 +88,9 @@ if [ -n "$PANICS" ]; then
     exit 1
 fi
 
-echo "== doc comments (exported identifiers in pipeline + metrics + serve + cliconf + tensor + checkpoint + membership)"
-MISSING=$(for f in internal/pipeline/*.go internal/metrics/*.go internal/serve/*.go internal/cliconf/*.go \
-    internal/tensor/*.go internal/checkpoint/*.go internal/membership/*.go; do
+echo "== doc comments (exported identifiers in pipeline + metrics + serve + fleet + cliconf + tensor + checkpoint + membership)"
+MISSING=$(for f in internal/pipeline/*.go internal/metrics/*.go internal/serve/*.go internal/serve/fleet/*.go \
+    internal/cliconf/*.go internal/tensor/*.go internal/checkpoint/*.go internal/membership/*.go; do
     case "$f" in *_test.go) continue ;; esac
     awk -v file="$f" '
     /^(func|type|var|const) (\()?[A-Za-z]/ {
@@ -130,9 +135,10 @@ grep -q 'docs/ARCHITECTURE.md' README.md || { echo "README.md does not link docs
 grep -q 'docs/SERVING.md' README.md || { echo "README.md does not link docs/SERVING.md" >&2; exit 1; }
 grep -q 'SERVING.md' docs/ARCHITECTURE.md || { echo "docs/ARCHITECTURE.md does not link SERVING.md" >&2; exit 1; }
 
-echo "== facade exports (serving + elastic surface reachable from package pipedream)"
+echo "== facade exports (serving + fleet + elastic surface reachable from package pipedream)"
 for sym in NewServer ServeConfig ErrOverloaded LoadCheckpointModel SyncConfig FaultConfig RuntimeConfig \
     FollowConfig Follower ErrStaleGeneration \
+    NewFleet FleetConfig FleetTenantConfig FleetStats ParseRoutePolicy ErrUnknownTenant ErrNoReplicas NewQuota \
     NewElastic ElasticConfig RescaleStats ReplanFunc MembershipView MembershipConfig NewMembershipView; do
     grep -q "\b$sym\b" pipedream.go || { echo "pipedream.go does not re-export $sym" >&2; exit 1; }
 done
