@@ -185,7 +185,7 @@ func BenchmarkPartitionOptimizerVGG16(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := partition.Optimize(prof, topo); err != nil {
+		if _, err := partition.NewPlan(prof, topo, partition.PlanOptions{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -194,7 +194,7 @@ func BenchmarkPartitionOptimizerVGG16(b *testing.B) {
 func BenchmarkClusterSimulator(b *testing.B) {
 	topo := topology.ClusterA(4)
 	prof := modelzoo.GNMT16(topo.Device, 64)
-	plan, err := partition.Optimize(prof, topo)
+	plan, err := partition.NewPlan(prof, topo, partition.PlanOptions{})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -456,7 +456,7 @@ func mustStraightPlan(b *testing.B, layers, stages int) *partition.Plan {
 		specs = append(specs, partition.StageSpec{FirstLayer: first, LastLayer: last, Replicas: 1})
 		first = last + 1
 	}
-	plan, err := partition.Evaluate(prof, topology.Flat(stages, 1e9, topology.V100), specs)
+	plan, err := partition.NewPlan(prof, topology.Flat(stages, 1e9, topology.V100), partition.PlanOptions{Stages: specs})
 	if err != nil {
 		b.Fatal(err)
 	}

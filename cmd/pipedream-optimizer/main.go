@@ -71,7 +71,7 @@ func main() {
 		}
 	}
 
-	plan, err := partition.Optimize(prof, topo)
+	plan, err := partition.NewPlan(prof, topo, partition.PlanOptions{})
 	if err != nil {
 		fatal(err)
 	}

@@ -27,9 +27,12 @@
 //
 // Endpoints:
 //
-//	POST /infer[?model=name]  {"inputs": [[...row floats...], ...]} →
+//	POST /infer[?model=name][&head=stage]
+//	                          {"inputs": [[...row floats...], ...]} →
 //	                          {"outputs": [[...]], "argmax": [...]}
-//	                          (model defaults to the -checkpoint-dir tenant)
+//	                          (model defaults to the -checkpoint-dir tenant;
+//	                          head targets one output head of a DAG plan and
+//	                          defaults to the last stage)
 //	GET  /healthz             default tenant's aggregated serving stats,
 //	                          plus per-tenant/per-replica fleet stats
 //	GET  /metrics             full expvar-style metrics snapshot
@@ -49,6 +52,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"syscall"
 	"time"
 
@@ -88,6 +92,8 @@ func main() {
 	batchTimeout := flag.Duration("batch-timeout", serve.DefaultBatchTimeout, "max wait after the first queued request before dispatching a partial batch")
 	queueCap := flag.Int("queue-cap", serve.DefaultQueueCap, "max requests waiting for batching per replica before new ones are shed with 429")
 	maxInFlight := flag.Int("max-inflight", 0, "max batches concurrently inside each replica's stage pipeline (0 = 2x stages)")
+	healthRate := flag.Float64("health-error-rate", 0, "sliding-window failure rate at which a replica is ejected from routing, 0..1 (0 disables router health checks)")
+	healthCooldown := flag.Duration("health-cooldown", time.Second, "how long an ejected replica sits out before probation")
 	flag.Parse()
 
 	task, err := mdl.Build()
@@ -169,7 +175,12 @@ func main() {
 	for i := range tenants {
 		tenants[i].Server.OpLog = opLog
 	}
-	fl, err := fleet.New(fleet.Config{Replicas: flt.Replicas, Policy: policy, Metrics: reg}, tenants...)
+	fl, err := fleet.New(fleet.Config{
+		Replicas: flt.Replicas,
+		Policy:   policy,
+		Metrics:  reg,
+		Health:   fleet.HealthConfig{MaxErrorRate: *healthRate, CoolDown: *healthCooldown},
+	}, tenants...)
 	if err != nil {
 		fatal(err)
 	}
@@ -207,7 +218,8 @@ func main() {
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/infer", func(w http.ResponseWriter, r *http.Request) {
-		name := r.URL.Query().Get("model")
+		q := r.URL.Query()
+		name := q.Get("model")
 		if name == "" {
 			name = defaultTenant
 		}
@@ -216,7 +228,19 @@ func main() {
 			http.Error(w, err.Error(), statusFor(err))
 			return
 		}
-		handleInfer(ten.Infer, inputShape, w, r)
+		// ?head= targets one output head of a DAG plan; requests skip
+		// every stage that head does not depend on. Default: the plan's
+		// last stage.
+		infer := ten.Infer
+		if hs := q.Get("head"); hs != "" {
+			head, err := strconv.Atoi(hs)
+			if err != nil {
+				http.Error(w, fmt.Sprintf("head %q is not a stage number", hs), http.StatusBadRequest)
+				return
+			}
+			infer = func(x *tensor.Tensor) (*tensor.Tensor, error) { return ten.InferHead(x, head) }
+		}
+		handleInfer(infer, inputShape, w, r)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")

@@ -10,7 +10,9 @@ import (
 	"testing"
 	"time"
 
+	"pipedream/internal/modelzoo/branching"
 	"pipedream/internal/nn"
+	"pipedream/internal/partition"
 	"pipedream/internal/serve"
 	"pipedream/internal/tensor"
 )
@@ -97,6 +99,58 @@ func TestHandleInferRejectsOversizedBody(t *testing.T) {
 	handleInfer(infer, inputShape, rec, req)
 	if rec.Code != http.StatusBadRequest {
 		t.Fatalf("oversized body: status %d, want 400", rec.Code)
+	}
+}
+
+// TestHandleInferPerHead drives the DAG serving path end to end through
+// the HTTP handler: a branching-model server answers per-head requests
+// (the ?head= closure the /infer mux builds), each head returns its own
+// output width, and a non-sink head maps to a 400.
+func TestHandleInferPerHead(t *testing.T) {
+	b := branching.StandIn(11)
+	srv, err := serve.NewServer(serve.Config{
+		Model:        b.Factory(),
+		Plan:         &partition.Plan{Stages: b.Stages, Graph: b.Graph},
+		InputShape:   []int{2},
+		MaxBatch:     4,
+		BatchTimeout: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+
+	post := func(head int) *httptest.ResponseRecorder {
+		infer := func(x *tensor.Tensor) (*tensor.Tensor, error) { return srv.InferHead(x, head) }
+		req := httptest.NewRequest(http.MethodPost, "/infer", strings.NewReader(`{"inputs":[[0.3,-0.2],[1,0.5]]}`))
+		rec := httptest.NewRecorder()
+		handleInfer(infer, []int{2}, rec, req)
+		return rec
+	}
+
+	for _, tc := range []struct {
+		head, wantCols int
+	}{
+		{b.ClassHead, 3},  // 3-way spiral logits
+		{b.ParityHead, 2}, // 2-way parity logits
+	} {
+		rec := post(tc.head)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("head %d: status %d: %s", tc.head, rec.Code, rec.Body.String())
+		}
+		var resp inferResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		if len(resp.Outputs) != 2 || len(resp.Outputs[0]) != tc.wantCols {
+			t.Fatalf("head %d: got %dx%d outputs, want 2x%d",
+				tc.head, len(resp.Outputs), len(resp.Outputs[0]), tc.wantCols)
+		}
+	}
+
+	// A stage that is not an output head is a client error, not a 5xx.
+	if rec := post(1); rec.Code != http.StatusBadRequest {
+		t.Fatalf("non-sink head: status %d, want 400: %s", rec.Code, rec.Body.String())
 	}
 }
 

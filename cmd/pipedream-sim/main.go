@@ -69,7 +69,7 @@ func main() {
 	case *dataParallel:
 		plan, err = partition.DataParallel(prof, topo)
 	default:
-		plan, err = partition.Optimize(prof, topo)
+		plan, err = partition.NewPlan(prof, topo, partition.PlanOptions{})
 	}
 	if err != nil {
 		fatal(err)

@@ -93,17 +93,21 @@ func ExampleSimulate() {
 	// pipeline beats 1000 samples/s: false
 }
 
-// ExamplePlanWithMemory shows the optimizer trading pipeline depth for
+// ExampleNewPlan shows the optimizer trading pipeline depth for
 // memory on a small device (§3.1's memory constraint, Figure 18's lever).
-func ExamplePlanWithMemory() {
+func ExampleNewPlan() {
 	topo := pipedream.ClusterA(1)
 	prof, err := pipedream.Model("GNMT-16", topo.Device, 64)
 	if err != nil {
 		panic(err)
 	}
-	plan, depth, err := pipedream.PlanWithMemory(prof, topo)
+	plan, err := pipedream.NewPlan(prof, topo, pipedream.PlanOptions{Memory: true})
 	if err != nil {
 		panic(err)
+	}
+	depth := plan.Depth
+	if depth == 0 { // 0 means the memory bound never bit: run at NOAM
+		depth = plan.NOAM
 	}
 	fmt.Printf("%s at depth %d (NOAM %d)\n", plan.ConfigString(), depth, plan.NOAM)
 	// Output:

@@ -35,11 +35,10 @@ func main() {
 	// 2-1 configuration: stage 0 (layers 0-2) replicated twice, stage 1
 	// (layers 3-4) on the third worker.
 	prof := pipedream.ProfileModel(factory(), "dist-mlp", train, 4)
-	plan, err := partition.Evaluate(prof, topology.Flat(3, 1e9, topology.V100),
-		[]pipedream.StageSpec{
-			{FirstLayer: 0, LastLayer: 2, Replicas: 2},
-			{FirstLayer: 3, LastLayer: 4, Replicas: 1},
-		})
+	plan, err := partition.NewPlan(prof, topology.Flat(3, 1e9, topology.V100), partition.PlanOptions{Stages: []pipedream.StageSpec{
+		{FirstLayer: 0, LastLayer: 2, Replicas: 2},
+		{FirstLayer: 3, LastLayer: 4, Replicas: 1},
+	}})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -46,12 +46,11 @@ func main() {
 
 	// 2-1-1 pipeline: conv front replicated twice, two more stages.
 	prof := pipedream.ProfileModel(factory(), "cnn", cfg.Train, 4)
-	plan, err := partition.Evaluate(prof, topology.Flat(4, 1e9, topology.V100),
-		[]pipedream.StageSpec{
-			{FirstLayer: 0, LastLayer: 2, Replicas: 2},
-			{FirstLayer: 3, LastLayer: 5, Replicas: 1},
-			{FirstLayer: 6, LastLayer: 6, Replicas: 1},
-		})
+	plan, err := partition.NewPlan(prof, topology.Flat(4, 1e9, topology.V100), partition.PlanOptions{Stages: []pipedream.StageSpec{
+		{FirstLayer: 0, LastLayer: 2, Replicas: 2},
+		{FirstLayer: 3, LastLayer: 5, Replicas: 1},
+		{FirstLayer: 6, LastLayer: 6, Replicas: 1},
+	}})
 	if err != nil {
 		log.Fatal(err)
 	}

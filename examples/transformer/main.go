@@ -37,12 +37,11 @@ func main() {
 	fmt.Println("\n=== pipeline-training a self-attention model (5 layers, 3 stages) ===")
 	s := modelzoo.TransformerStandIn(47)
 	prof := pipedream.ProfileModel(s.Factory(), s.Name, s.Train, 4)
-	plan, err := partition.Evaluate(prof, topology.Flat(3, 1e9, topology.V100),
-		[]pipedream.StageSpec{
-			{FirstLayer: 0, LastLayer: 0, Replicas: 1}, // embedding
-			{FirstLayer: 1, LastLayer: 1, Replicas: 1}, // self-attention
-			{FirstLayer: 2, LastLayer: 4, Replicas: 1}, // norm + decoder
-		})
+	plan, err := partition.NewPlan(prof, topology.Flat(3, 1e9, topology.V100), partition.PlanOptions{Stages: []pipedream.StageSpec{
+		{FirstLayer: 0, LastLayer: 0, Replicas: 1}, // embedding
+		{FirstLayer: 1, LastLayer: 1, Replicas: 1}, // self-attention
+		{FirstLayer: 2, LastLayer: 4, Replicas: 1}, // norm + decoder
+	}})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -38,13 +38,12 @@ func main() {
 	// Straight 4-stage pipeline (embed | enc | dec | head), like the
 	// paper's GNMT configuration.
 	prof := pipedream.ProfileModel(factory(), "seq2seq", train, 4)
-	plan, err := partition.Evaluate(prof, topology.Flat(4, 1e9, topology.V100),
-		[]pipedream.StageSpec{
-			{FirstLayer: 0, LastLayer: 0, Replicas: 1},
-			{FirstLayer: 1, LastLayer: 1, Replicas: 1},
-			{FirstLayer: 2, LastLayer: 2, Replicas: 1},
-			{FirstLayer: 3, LastLayer: 4, Replicas: 1},
-		})
+	plan, err := partition.NewPlan(prof, topology.Flat(4, 1e9, topology.V100), partition.PlanOptions{Stages: []pipedream.StageSpec{
+		{FirstLayer: 0, LastLayer: 0, Replicas: 1},
+		{FirstLayer: 1, LastLayer: 1, Replicas: 1},
+		{FirstLayer: 2, LastLayer: 2, Replicas: 1},
+		{FirstLayer: 3, LastLayer: 4, Replicas: 1},
+	}})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -157,7 +157,7 @@ func mustEvenPlan(t *testing.T, factory func() *Sequential, stages int) *Partiti
 		specs = append(specs, StageSpec{FirstLayer: first, LastLayer: last, Replicas: 1})
 		first = last + 1
 	}
-	plan, err := partition.Evaluate(prof, topology.Flat(stages, 1e9, topology.V100), specs)
+	plan, err := partition.NewPlan(prof, topology.Flat(stages, 1e9, topology.V100), partition.PlanOptions{Stages: specs})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,7 +212,7 @@ func TestPipelineRandomConfigsProperty(t *testing.T) {
 			first = last + 1
 		}
 		workers := stages - 1 + replicas
-		plan, err := partition.Evaluate(prof, topology.Flat(workers, 1e9, topology.V100), specs)
+		plan, err := partition.NewPlan(prof, topology.Flat(workers, 1e9, topology.V100), partition.PlanOptions{Stages: specs})
 		if err != nil {
 			t.Fatalf("seed %d: evaluate: %v", seed, err)
 		}

@@ -74,6 +74,14 @@ type Manifest struct {
 	// written for (Replicas[s] = replica count of stage s).
 	Stages   int
 	Replicas []int
+	// Edges lists the plan's stage-graph edges as [from, to] pairs when
+	// the plan is a DAG rather than a chain; empty means linear. A reader
+	// restoring into a different plan can then verify the dataflow shape,
+	// not just the stage count.
+	Edges [][2]int `json:",omitempty"`
+	// Joins names the fan-in op per stage ("", "sum", or "concat"),
+	// parallel to the stage list; present only alongside Edges.
+	Joins []string `json:",omitempty"`
 }
 
 // ManifestName is the file name of a generation's validating manifest.
@@ -200,6 +208,25 @@ func ParseManifest(data []byte) (*Manifest, error) {
 	for s, r := range man.Replicas {
 		if r < 0 || r > MaxManifestStages {
 			return nil, fmt.Errorf("manifest: implausible replica count %d for stage %d", r, s)
+		}
+	}
+	if len(man.Edges) > MaxManifestStages*MaxManifestStages {
+		return nil, fmt.Errorf("manifest: implausible edge count %d", len(man.Edges))
+	}
+	for i, e := range man.Edges {
+		if e[0] < 0 || e[1] <= e[0] || e[1] >= man.Stages {
+			return nil, fmt.Errorf("manifest: edge %d (%d→%d) outside %d topologically ordered stages",
+				i, e[0], e[1], man.Stages)
+		}
+	}
+	if len(man.Joins) > man.Stages {
+		return nil, fmt.Errorf("manifest: %d join entries for %d stages", len(man.Joins), man.Stages)
+	}
+	for s, j := range man.Joins {
+		switch j {
+		case "", "sum", "concat":
+		default:
+			return nil, fmt.Errorf("manifest: unknown join op %q for stage %d", j, s)
 		}
 	}
 	return &man, nil

@@ -180,7 +180,7 @@ func BuildPlan(model *nn.Sequential, stages, replicas int, sync partition.SyncMo
 		first = last + 1
 	}
 	workers := stages - 1 + replicas
-	return partition.EvaluateSync(prof, topology.Flat(workers, 1e9, topology.V100), specs, sync)
+	return partition.NewPlan(prof, topology.Flat(workers, 1e9, topology.V100), partition.PlanOptions{Stages: specs, Sync: sync})
 }
 
 // Buffer sizes per-worker transport inboxes for a training run: room

@@ -125,7 +125,8 @@ func (h *eventHeap) Pop() any {
 	return x
 }
 
-// stageInfo caches per-stage quantities derived from the profile.
+// stageInfo caches per-stage quantities derived from the profile and
+// the plan's stage graph.
 type stageInfo struct {
 	spec      partition.StageSpec
 	fwdTime   float64
@@ -136,6 +137,9 @@ type stageInfo struct {
 	syncTime  float64
 	syncBytes int64
 	inputActB int64 // activation bytes entering the stage
+	// preds/succs are the stage's dataflow neighbors in the plan's
+	// graph (for a linear plan: stage-1 and stage+1).
+	preds, succs []int
 }
 
 type workerState struct {
@@ -144,6 +148,13 @@ type workerState struct {
 	lastKind schedule.OpKind
 	fwdQ     []int
 	bwdQ     []int
+	// fwdArr/bwdArr count per-minibatch arrivals at fan-in/fan-out
+	// stages: a forward is runnable once activations from every
+	// predecessor landed, a backward once gradients from every
+	// successor did. Stages with a single dataflow neighbor bypass the
+	// counters and enqueue directly.
+	fwdArr map[int]int
+	bwdArr map[int]int
 	// stash is the number of in-flight minibatches with stashed state.
 	stash     int
 	peakStash int
@@ -196,7 +207,11 @@ func Simulate(cfg Config) (*Result, error) {
 func (s *sim) init() error {
 	cfg := s.cfg
 	prof := cfg.Profile
-	for _, spec := range cfg.Plan.Stages {
+	graph := cfg.Plan.StageGraph()
+	if err := graph.Validate(len(cfg.Plan.Stages)); err != nil {
+		return err
+	}
+	for si, spec := range cfg.Plan.Stages {
 		var fwd, bwd float64
 		var wB, stash int64
 		for l := spec.FirstLayer; l <= spec.LastLayer; l++ {
@@ -212,6 +227,8 @@ func (s *sim) init() error {
 			weightB:   wB,
 			actOutB:   prof.Layers[spec.LastLayer].ActivationBytes,
 			actStashB: stash,
+			preds:     graph.Preds(si),
+			succs:     graph.Succs(si),
 		}
 		if spec.FirstLayer > 0 {
 			info.inputActB = prof.Layers[spec.FirstLayer-1].ActivationBytes
@@ -264,12 +281,36 @@ func (s *sim) run() {
 		switch e.kind {
 		case evActArrive:
 			st := &s.ws[e.w]
+			// Fan-in stages enqueue only once every predecessor's
+			// activation arrived; single-pred stages enqueue directly.
+			if need := len(s.stages[st.ref.Stage].preds); need > 1 {
+				if st.fwdArr == nil {
+					st.fwdArr = make(map[int]int)
+				}
+				st.fwdArr[e.mb]++
+				if st.fwdArr[e.mb] < need {
+					break
+				}
+				delete(st.fwdArr, e.mb)
+			}
 			st.fwdQ = append(st.fwdQ, e.mb)
 			if !st.busy {
 				s.dispatch(e.w)
 			}
 		case evGradArrive:
 			st := &s.ws[e.w]
+			// Fan-out stages run backward only once every successor's
+			// gradient arrived (the gradients sum at the broadcast point).
+			if need := len(s.stages[st.ref.Stage].succs); need > 1 {
+				if st.bwdArr == nil {
+					st.bwdArr = make(map[int]int)
+				}
+				st.bwdArr[e.mb]++
+				if st.bwdArr[e.mb] < need {
+					break
+				}
+				delete(st.bwdArr, e.mb)
+			}
 			st.bwdQ = append(st.bwdQ, e.mb)
 			if !st.busy {
 				s.dispatch(e.w)
@@ -374,22 +415,25 @@ func (s *sim) startForwardIfAny(w int) bool {
 func (s *sim) onForwardDone(w, mb int, end float64) {
 	st := &s.ws[w]
 	stage := st.ref.Stage
-	if stage == len(s.stages)-1 {
-		// Output stage: backward begins locally right after forward.
+	succs := s.stages[stage].succs
+	if len(succs) == 0 {
+		// Sink stage: backward begins locally right after forward (the
+		// loss gradient needs no transfer).
 		s.postDeferredGrad(w, mb, end)
 		return
 	}
-	// Route to the next stage's round-robin replica; transfer overlaps
+	// Route to every successor's round-robin replica; transfers overlap
 	// with the sender's subsequent compute (asynchronous sends).
-	next := stage + 1
-	replicas := len(s.assign.StageWorkers[next])
-	target := s.assign.StageWorkers[next][schedule.ReplicaFor(mb, replicas)]
-	bytes := s.stages[stage].actOutB
-	span := s.stages[stage].spec.Replicas + s.stages[next].spec.Replicas
-	delay := s.cfg.Topo.P2PTime(bytes, span)
-	s.p2pBytes += bytes
-	s.recordTransfer(w, stage, mb, end, end+delay)
-	s.post(end+delay, evActArrive, target, mb)
+	for _, next := range succs {
+		replicas := len(s.assign.StageWorkers[next])
+		target := s.assign.StageWorkers[next][schedule.ReplicaFor(mb, replicas)]
+		bytes := s.stages[stage].actOutB
+		span := s.stages[stage].spec.Replicas + s.stages[next].spec.Replicas
+		delay := s.cfg.Topo.P2PTime(bytes, span)
+		s.p2pBytes += bytes
+		s.recordTransfer(w, stage, mb, end, end+delay)
+		s.post(end+delay, evActArrive, target, mb)
+	}
 }
 
 // postDeferredGrad enqueues the local backward for the output stage.
@@ -448,15 +492,19 @@ func (s *sim) onBackwardDone(w, mb int, end float64) {
 	st := &s.ws[w]
 	stage := st.ref.Stage
 	if stage > 0 {
-		prev := stage - 1
-		replicas := len(s.assign.StageWorkers[prev])
-		target := s.assign.StageWorkers[prev][schedule.ReplicaFor(mb, replicas)]
-		bytes := s.stages[stage].inputActB // gradient w.r.t. stage input
-		span := s.stages[stage].spec.Replicas + s.stages[prev].spec.Replicas
-		delay := s.cfg.Topo.P2PTime(bytes, span)
-		s.p2pBytes += bytes
-		s.recordTransfer(w, stage, mb, end, end+delay)
-		s.post(end+delay, evGradArrive, target, mb)
+		// Return a gradient along every in-edge; each carries the size of
+		// that predecessor's output activation (for a linear plan this is
+		// exactly the stage's input activation).
+		for _, prev := range s.stages[stage].preds {
+			replicas := len(s.assign.StageWorkers[prev])
+			target := s.assign.StageWorkers[prev][schedule.ReplicaFor(mb, replicas)]
+			bytes := s.stages[prev].actOutB
+			span := s.stages[stage].spec.Replicas + s.stages[prev].spec.Replicas
+			delay := s.cfg.Topo.P2PTime(bytes, span)
+			s.p2pBytes += bytes
+			s.recordTransfer(w, stage, mb, end, end+delay)
+			s.post(end+delay, evGradArrive, target, mb)
+		}
 		return
 	}
 	// Input stage: minibatch complete.

@@ -43,7 +43,7 @@ func straightPlan(t *testing.T, prof *profile.ModelProfile, topo *topology.Topol
 		specs = append(specs, partition.StageSpec{FirstLayer: first, LastLayer: last, Replicas: 1})
 		first = last + 1
 	}
-	plan, err := partition.Evaluate(prof, topo, specs)
+	plan, err := partition.NewPlan(prof, topo, partition.PlanOptions{Stages: specs})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,10 +159,10 @@ func TestSimulateReplicatedStageRoundRobin(t *testing.T) {
 	// minibatches on replica 0 and odd on replica 1.
 	prof := uniformProfile(2, 1, 1, 4, 4)
 	topo := fastTopo(3)
-	plan, err := partition.Evaluate(prof, topo, []partition.StageSpec{
+	plan, err := partition.NewPlan(prof, topo, partition.PlanOptions{Stages: []partition.StageSpec{
 		{FirstLayer: 0, LastLayer: 0, Replicas: 2},
 		{FirstLayer: 1, LastLayer: 1, Replicas: 1},
-	})
+	}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -300,7 +300,7 @@ func TestSimulateWorkConservation(t *testing.T) {
 			specs = append(specs, partition.StageSpec{FirstLayer: first, LastLayer: last, Replicas: rep})
 			first = last + 1
 		}
-		plan, err := partition.Evaluate(prof, topo, specs)
+		plan, err := partition.NewPlan(prof, topo, partition.PlanOptions{Stages: specs})
 		if err != nil {
 			t.Fatalf("evaluate: %v", err)
 		}
@@ -448,10 +448,10 @@ func TestStaticScheduleReplicatedStage(t *testing.T) {
 	// 2 minibatches (round-robin), the unreplicated stage by 1.
 	prof := uniformProfile(2, 1, 1, 4, 4)
 	topo := fastTopo(3)
-	plan, err := partition.Evaluate(prof, topo, []partition.StageSpec{
+	plan, err := partition.NewPlan(prof, topo, partition.PlanOptions{Stages: []partition.StageSpec{
 		{FirstLayer: 0, LastLayer: 0, Replicas: 2},
 		{FirstLayer: 1, LastLayer: 1, Replicas: 1},
-	})
+	}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -475,9 +475,9 @@ func TestWaitFreeSyncOverlapsCompute(t *testing.T) {
 	// backprop hides the sync entirely, while blocking sync serializes it.
 	prof := uniformProfile(2, 1, 2, 4, 1<<20)
 	topo := topology.Flat(2, 4e6, topology.V100) // sync = 2*(1/2)*2MiB/4MB/s ≈ 0.52s < bwd 4
-	plan, err := partition.Evaluate(prof, topo, []partition.StageSpec{
+	plan, err := partition.NewPlan(prof, topo, partition.PlanOptions{Stages: []partition.StageSpec{
 		{FirstLayer: 0, LastLayer: 1, Replicas: 2},
-	})
+	}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -507,9 +507,9 @@ func TestWaitFreeSyncBoundsWhenSyncDominates(t *testing.T) {
 	// approaches the sync time even with overlap.
 	prof := uniformProfile(2, 0.1, 0.2, 4, 1<<20)
 	topo := topology.Flat(2, 1e6, topology.V100) // sync ≈ 2.1s ≫ compute 0.9
-	plan, err := partition.Evaluate(prof, topo, []partition.StageSpec{
+	plan, err := partition.NewPlan(prof, topo, partition.PlanOptions{Stages: []partition.StageSpec{
 		{FirstLayer: 0, LastLayer: 1, Replicas: 2},
-	})
+	}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -562,9 +562,9 @@ func TestStragglerDominatesStaticRoundRobin(t *testing.T) {
 	// load balancing does not rebalance around stragglers.
 	prof := uniformProfile(2, 1, 1, 4, 4)
 	topo := fastTopo(3)
-	plan, err := partition.Evaluate(prof, topo, []partition.StageSpec{
+	plan, err := partition.NewPlan(prof, topo, partition.PlanOptions{Stages: []partition.StageSpec{
 		{FirstLayer: 0, LastLayer: 1, Replicas: 3},
-	})
+	}})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -35,12 +35,12 @@ func claims(quick bool) ([]*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	resnetPlan, err := partition.Optimize(resnet, topoA)
+	resnetPlan, err := partition.NewPlan(resnet, topoA, partition.PlanOptions{})
 	if err != nil {
 		return nil, err
 	}
 	vgg := modelzoo.VGG16(topoA.Device, 64)
-	vggPlan, err := partition.Optimize(vgg, topoA)
+	vggPlan, err := partition.NewPlan(vgg, topoA, partition.PlanOptions{})
 	if err != nil {
 		return nil, err
 	}
@@ -126,7 +126,7 @@ func claims(quick bool) ([]*Table, error) {
 
 	// 5. Pipelining communicates far less than DP (Fig. 17).
 	gnmt8 := modelzoo.GNMT8(topology.V100, 64)
-	best, err := partition.Optimize(gnmt8, topology.ClusterA(1))
+	best, err := partition.NewPlan(gnmt8, topology.ClusterA(1), partition.PlanOptions{})
 	if err != nil {
 		return nil, err
 	}
@@ -179,7 +179,7 @@ func claims(quick bool) ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		if _, err := partition.Optimize(prof, topoA); err != nil {
+		if _, err := partition.NewPlan(prof, topoA, partition.PlanOptions{}); err != nil {
 			okFast = false
 		}
 	}

@@ -135,7 +135,7 @@ func fig17(quick bool) ([]*Table, error) {
 // bestNonDPPlan returns the best plan that is not pure data parallelism,
 // searching stage splits with the same cost model as the optimizer.
 func bestNonDPPlan(prof *profile.ModelProfile, topo *topology.Topology) (*partition.Plan, error) {
-	plan, err := partition.Optimize(prof, topo)
+	plan, err := partition.NewPlan(prof, topo, partition.PlanOptions{})
 	if err != nil {
 		return nil, err
 	}
@@ -149,10 +149,10 @@ func bestNonDPPlan(prof *profile.ModelProfile, topo *topology.Topology) (*partit
 	var best *partition.Plan
 	for s := 0; s < n-1; s++ {
 		for r := 1; r < workers; r++ {
-			cand, err := partition.Evaluate(prof, topo, []partition.StageSpec{
+			cand, err := partition.NewPlan(prof, topo, partition.PlanOptions{Stages: []partition.StageSpec{
 				{FirstLayer: 0, LastLayer: s, Replicas: r},
 				{FirstLayer: s + 1, LastLayer: n - 1, Replicas: workers - r},
-			})
+			}})
 			if err != nil {
 				continue
 			}

@@ -69,7 +69,7 @@ func fig14a(quick bool) ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		best, err := partition.Optimize(prof, topo)
+		best, err := partition.NewPlan(prof, topo, partition.PlanOptions{})
 		if err != nil {
 			return nil, err
 		}
@@ -101,7 +101,7 @@ func fig14b(quick bool) ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		plan, err := partition.Optimize(prof, topo)
+		plan, err := partition.NewPlan(prof, topo, partition.PlanOptions{})
 		if err != nil {
 			return nil, err
 		}
@@ -250,7 +250,7 @@ func fig15(quick bool) ([]*Table, error) {
 	bestPred, bestSim := "", ""
 	var bestPredV, bestSimV float64
 	for _, c := range configs {
-		plan, err := partition.Evaluate(prof, topo, c.specs)
+		plan, err := partition.NewPlan(prof, topo, partition.PlanOptions{Stages: c.specs})
 		if err != nil {
 			return nil, fmt.Errorf("config %s: %w", c.name, err)
 		}
@@ -389,7 +389,7 @@ func expOpt(quick bool) ([]*Table, error) {
 				return nil, err
 			}
 			t0 := time.Now()
-			if _, err := partition.Optimize(prof, topo); err != nil {
+			if _, err := partition.NewPlan(prof, topo, partition.PlanOptions{}); err != nil {
 				return nil, err
 			}
 			el := time.Since(t0)

@@ -85,9 +85,13 @@ func ablMemory(quick bool) ([]*Table, error) {
 			EffectiveFLOPS: topology.V100.EffectiveFLOPS, MemBytes: memMB << 20}
 		base := topology.ClusterA(1)
 		topo := &topology.Topology{Name: dev.Name, Device: dev, Levels: base.Levels}
-		plan, depth, err := partition.OptimizeWithMemory(prof, topo)
+		plan, err := partition.NewPlan(prof, topo, partition.PlanOptions{Memory: true})
 		if err != nil {
 			return nil, err
+		}
+		depth := plan.Depth
+		if depth == 0 { // unconstrained: run at full NOAM
+			depth = plan.NOAM
 		}
 		res, err := cluster.Simulate(cluster.Config{
 			Profile: prof, Topo: topo, Plan: plan,

@@ -109,7 +109,7 @@ func fig15rt(quick bool) ([]*Table, error) {
 		Header: []string{"config", "predicted (samples/s)", "measured (samples/s)", "measured/predicted"}}
 	var xs, ys []float64
 	for _, c := range configs {
-		plan, err := partition.Evaluate(prof, topo, c.specs)
+		plan, err := partition.NewPlan(prof, topo, partition.PlanOptions{Stages: c.specs})
 		if err != nil {
 			return nil, fmt.Errorf("config %s: %w", c.name, err)
 		}

@@ -42,7 +42,7 @@ func expStatic(quick bool) ([]*Table, error) {
 		specs, workers := c.prof()
 		prof := timelineProfile(4)
 		topo := topology.Flat(workers, 1e15, topology.V100)
-		plan, err := partition.Evaluate(prof, topo, specs)
+		plan, err := partition.NewPlan(prof, topo, partition.PlanOptions{Stages: specs})
 		if err != nil {
 			return nil, err
 		}

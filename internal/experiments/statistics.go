@@ -80,7 +80,7 @@ func fig10(quick bool) ([]*Table, error) {
 	// Hardware efficiency from the simulator (VGG-16, Cluster-A 4x4).
 	topo := topology.ClusterA(4)
 	prof := modelzoo.VGG16(topo.Device, 64)
-	plan, err := partition.Optimize(prof, topo)
+	plan, err := partition.NewPlan(prof, topo, partition.PlanOptions{})
 	if err != nil {
 		return nil, err
 	}
@@ -312,7 +312,7 @@ func ablRepl(quick bool) ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		best, err := partition.Optimize(prof, topo)
+		best, err := partition.NewPlan(prof, topo, partition.PlanOptions{})
 		if err != nil {
 			return nil, err
 		}
@@ -343,11 +343,11 @@ func ablTopo(quick bool) ([]*Table, error) {
 			return nil, err
 		}
 		flat := topology.Flat(topo.TotalWorkers(), topo.SlowestBandwidth(), topo.Device)
-		flatPlan, err := partition.Optimize(prof, flat)
+		flatPlan, err := partition.NewPlan(prof, flat, partition.PlanOptions{})
 		if err != nil {
 			return nil, err
 		}
-		awarePlan, err := partition.Optimize(prof, topo)
+		awarePlan, err := partition.NewPlan(prof, topo, partition.PlanOptions{})
 		if err != nil {
 			return nil, err
 		}

@@ -55,7 +55,7 @@ func pipelineEpochSpeedup(c table1Case, minibatches int) (*partition.Plan, float
 	if err != nil {
 		return nil, 0, err
 	}
-	plan, err := partition.Optimize(prof, c.topo)
+	plan, err := partition.NewPlan(prof, c.topo, partition.PlanOptions{})
 	if err != nil {
 		return nil, 0, err
 	}
@@ -173,7 +173,7 @@ func straightPlanLayers(layers, stages int) (*partition.Plan, error) {
 		specs = append(specs, partition.StageSpec{FirstLayer: first, LastLayer: last, Replicas: 1})
 		first = last + 1
 	}
-	return partition.Evaluate(prof, topology.Flat(stages, 1e9, topology.V100), specs)
+	return partition.NewPlan(prof, topology.Flat(stages, 1e9, topology.V100), partition.PlanOptions{Stages: specs})
 }
 
 func tbl1(quick bool) ([]*Table, error) {

@@ -38,7 +38,7 @@ func timelineRun(policy schedule.Policy, minibatches int) (*cluster.Result, *par
 	for i := 0; i < 4; i++ {
 		specs = append(specs, partition.StageSpec{FirstLayer: i, LastLayer: i, Replicas: 1})
 	}
-	plan, err := partition.Evaluate(prof, topo, specs)
+	plan, err := partition.NewPlan(prof, topo, partition.PlanOptions{Stages: specs})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -124,10 +124,10 @@ func fig8(quick bool) ([]*Table, error) {
 	prof.Layers[0].FwdTime, prof.Layers[0].BwdTime = 2, 2
 	prof.Layers[1].FwdTime, prof.Layers[1].BwdTime = 1, 1
 	topo := topology.Flat(3, 1e15, topology.V100)
-	plan, err := partition.Evaluate(prof, topo, []partition.StageSpec{
+	plan, err := partition.NewPlan(prof, topo, partition.PlanOptions{Stages: []partition.StageSpec{
 		{FirstLayer: 0, LastLayer: 0, Replicas: 2},
 		{FirstLayer: 1, LastLayer: 1, Replicas: 1},
-	})
+	}})
 	if err != nil {
 		return nil, err
 	}

@@ -29,7 +29,7 @@ func extTransformer(quick bool) ([]*Table, error) {
 		Header: []string{"cluster", "config", "DP (samples/s)", "PipeDream (samples/s)", "speedup"}}
 	for _, topo := range []*topology.Topology{topology.ClusterA(4), topology.ClusterB(2)} {
 		prof := modelzoo.BERTLarge(topo.Device, modelzoo.PaperBatchSize("BERT-Large"))
-		plan, err := partition.Optimize(prof, topo)
+		plan, err := partition.NewPlan(prof, topo, partition.PlanOptions{})
 		if err != nil {
 			return nil, err
 		}

@@ -180,7 +180,7 @@ func TestTransformerProfile(t *testing.T) {
 	// Deep uniform blocks: the optimizer should find a pipeline on a
 	// multi-server cluster (transformers are what 1F1B ended up serving).
 	topo := topology.ClusterA(4)
-	plan, err := partition.Optimize(prof, topo)
+	plan, err := partition.NewPlan(prof, topo, partition.PlanOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -46,25 +46,39 @@ func CheckMemory(plan *Plan, prof *profile.ModelProfile, topo *topology.Topology
 	return nil
 }
 
-// OptimizeWithMemory runs the optimizer and enforces the device-memory
-// constraint the paper's partitioning algorithm takes as input (§3.1):
-// if the unconstrained optimum does not fit, it lowers the pipeline depth
-// toward the memory bound (trading throughput for footprint, as §5.5's
-// Figure 18 discussion describes) and, failing that, falls back to the
-// deepest straight pipeline that fits. It returns the plan together with
-// the depth to run it at (plan.NOAM unless reduced).
+// OptimizeWithMemory runs the optimizer under the device-memory
+// constraint and returns the plan together with the depth to run it at
+// (plan.NOAM unless reduced).
+//
+// Deprecated: use NewPlan(prof, topo, PlanOptions{Memory: true}); the
+// chosen depth is recorded in Plan.Depth (0 meaning NOAM).
 func OptimizeWithMemory(prof *profile.ModelProfile, topo *topology.Topology) (*Plan, int, error) {
-	plan, err := Optimize(prof, topo)
+	plan, err := NewPlan(prof, topo, PlanOptions{Memory: true})
 	if err != nil {
 		return nil, 0, err
 	}
+	depth := plan.Depth
+	if depth == 0 {
+		depth = plan.NOAM
+	}
+	return plan, depth, nil
+}
+
+// constrainMemory enforces the device-memory constraint the paper's
+// partitioning algorithm takes as input (§3.1): if the unconstrained
+// optimum does not fit, it lowers the pipeline depth toward the memory
+// bound (trading throughput for footprint, as §5.5's Figure 18
+// discussion describes) and, failing that, falls back to the deepest
+// straight pipeline that fits. The chosen depth lands in Plan.Depth.
+func constrainMemory(plan *Plan, prof *profile.ModelProfile, topo *topology.Topology) (*Plan, error) {
 	if err := CheckMemory(plan, prof, topo); err == nil {
-		return plan, plan.NOAM, nil
+		plan.Depth = plan.NOAM
+		return plan, nil
 	}
 	// Reduce the in-flight depth until the worst stage fits.
 	for depth := plan.NOAM - 1; depth >= 1; depth-- {
 		fits := true
-		for i, st := range plan.Stages {
+		for _, st := range plan.Stages {
 			weights := prof.WeightRange(st.FirstLayer, st.LastLayer)
 			var acts int64
 			for l := st.FirstLayer; l <= st.LastLayer; l++ {
@@ -80,20 +94,21 @@ func OptimizeWithMemory(prof *profile.ModelProfile, topo *topology.Topology) (*P
 				fits = false
 				break
 			}
-			_ = i
 		}
 		if fits {
-			return plan, depth, nil
+			plan.Depth = depth
+			return plan, nil
 		}
 	}
 	// Even one in-flight minibatch does not fit: split the model across
 	// more stages (model parallelism shrinks per-stage weights).
 	mp, err := ModelParallel(prof, topo)
 	if err != nil {
-		return nil, 0, err
+		return nil, err
 	}
 	if err := CheckMemory(mp, prof, topo); err != nil {
-		return nil, 0, fmt.Errorf("partition: no memory-feasible configuration: %w", err)
+		return nil, fmt.Errorf("partition: no memory-feasible configuration: %w", err)
 	}
-	return mp, 1, nil
+	mp.Depth = 1
+	return mp, nil
 }

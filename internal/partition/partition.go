@@ -30,11 +30,19 @@ type Plan struct {
 	Stages  []StageSpec
 	Workers int
 
+	// Graph is the stage dataflow. nil means the linear chain
+	// 0→1→…→n-1 (the classic PipeDream shape); a non-nil graph
+	// routes activations along arbitrary DAG edges. Use StageGraph()
+	// to get the effective graph either way.
+	Graph *StageGraph
+
 	// StageTimes[i] is the effective per-minibatch time of stage i
 	// (compute and weight-sync, amortized over replicas).
 	StageTimes []float64
-	// CommTimes[i] is the activation+gradient transfer time between
-	// stage i and stage i+1 (len = len(Stages)-1).
+	// CommTimes[i] is the activation+gradient transfer time of the
+	// i-th dataflow edge: between stage i and stage i+1 for linear
+	// plans (len = len(Stages)-1), and of Graph.Edges[i] for graph
+	// plans (len = len(Graph.Edges)).
 	CommTimes []float64
 	// Sync is the collective cost model the plan was priced under.
 	Sync SyncModel
@@ -45,6 +53,20 @@ type Plan struct {
 	PredictedThroughput float64
 	// NOAM is the optimal number of in-flight minibatches (§3.2).
 	NOAM int
+	// Depth is the in-flight depth the plan should run at when it was
+	// built under a memory constraint (PlanOptions.Memory); 0 means
+	// "no constraint — run at NOAM".
+	Depth int
+}
+
+// StageGraph returns the plan's dataflow graph, materializing the
+// linear chain when Graph is nil. The result is shared for non-nil
+// graphs; callers must not mutate it.
+func (p *Plan) StageGraph() *StageGraph {
+	if p.Graph != nil {
+		return p.Graph
+	}
+	return NewLinear(len(p.Stages))
 }
 
 // IsDataParallel reports whether the plan is a single stage replicated
@@ -64,8 +86,19 @@ func (p *Plan) IsStraight() bool {
 }
 
 // ConfigString renders the paper's config notation, e.g. "15-1" or
-// "Straight".
+// "Straight". Graph-shaped plans append the edge list so the topology
+// round-trips through the string, e.g. "1-1-1-1 dag(0>1,0>2,1>2:sum)".
 func (p *Plan) ConfigString() string {
+	if g := p.Graph; g != nil && !g.IsLinear() {
+		s := ""
+		for i, st := range p.Stages {
+			if i > 0 {
+				s += "-"
+			}
+			s += fmt.Sprintf("%d", st.Replicas)
+		}
+		return fmt.Sprintf("%s dag(%s)", s, g)
+	}
 	if p.IsDataParallel() {
 		return fmt.Sprintf("%d (DP)", p.Workers)
 	}
@@ -185,18 +218,27 @@ func stageSyncTime(sync SyncModel, compute float64, w int64, m int, bw float64, 
 }
 
 // Optimize runs the hierarchical DP and returns the best plan under the
-// default SyncRing cost model. It considers every stage boundary and
-// replication factor at every level of the topology, then flattens nested
-// replication into the paper's "r1-r2-..." configuration notation.
+// default SyncRing cost model.
+//
+// Deprecated: use NewPlan(prof, topo, PlanOptions{}).
 func Optimize(prof *profile.ModelProfile, topo *topology.Topology) (*Plan, error) {
-	return OptimizeSync(prof, topo, SyncRing)
+	return NewPlan(prof, topo, PlanOptions{})
 }
 
-// OptimizeSync is Optimize with an explicit collective cost model:
-// planning for the central reducer charges the blocking 2(m-1)·w exchange,
-// which can flip the DP away from replication where the overlapped ring
-// would profit from it.
+// OptimizeSync is Optimize with an explicit collective cost model.
+//
+// Deprecated: use NewPlan(prof, topo, PlanOptions{Sync: sync}).
 func OptimizeSync(prof *profile.ModelProfile, topo *topology.Topology, sync SyncModel) (*Plan, error) {
+	return NewPlan(prof, topo, PlanOptions{Sync: sync})
+}
+
+// optimize is the hierarchical DP (§3.1): it considers every stage
+// boundary and replication factor at every level of the topology, then
+// flattens nested replication into the paper's "r1-r2-..." configuration
+// notation. Planning for the central reducer charges the blocking
+// 2(m-1)·w exchange, which can flip the DP away from replication where
+// the overlapped ring would profit from it.
+func optimize(prof *profile.ModelProfile, topo *topology.Topology, sync SyncModel) (*Plan, error) {
 	if err := prof.Validate(); err != nil {
 		return nil, err
 	}
@@ -258,7 +300,7 @@ func OptimizeSync(prof *profile.ModelProfile, topo *topology.Topology, sync Sync
 	}
 
 	stages := reconstruct(tables, prof, len(levels), 0, n-1, levels[len(levels)-1].Width, 1)
-	return EvaluateSync(prof, topo, stages, sync)
+	return evaluate(prof, topo, stages, sync, nil)
 }
 
 // reconstruct walks the DP choices at table level k (1-based into tables;
@@ -287,9 +329,9 @@ func reconstruct(tables []*levelTable, prof *profile.ModelProfile, k, i, j, m, m
 // DataParallel returns the vanilla-DP plan: one stage over all layers
 // replicated across every worker.
 func DataParallel(prof *profile.ModelProfile, topo *topology.Topology) (*Plan, error) {
-	return Evaluate(prof, topo, []StageSpec{
+	return NewPlan(prof, topo, PlanOptions{Stages: []StageSpec{
 		{FirstLayer: 0, LastLayer: prof.NumLayers() - 1, Replicas: topo.TotalWorkers()},
-	})
+	}})
 }
 
 // ModelParallel returns a straight pipeline with one stage per worker,
@@ -301,7 +343,7 @@ func ModelParallel(prof *profile.ModelProfile, topo *topology.Topology) (*Plan, 
 		workers = n
 	}
 	stages := balanceStages(prof, workers)
-	return Evaluate(prof, topo, stages)
+	return NewPlan(prof, topo, PlanOptions{Stages: stages})
 }
 
 // balanceStages splits layers into `stages` contiguous groups minimizing
@@ -350,18 +392,33 @@ func balanceStages(prof *profile.ModelProfile, stages int) []StageSpec {
 }
 
 // Evaluate computes the optimizer's throughput prediction for an arbitrary
-// stage assignment on a topology under the default SyncRing model:
-// stage time = max(compute, ring sync)/replicas, inter-stage transfer
-// time = 2·a_s/bandwidth, bottleneck = slowest element.
+// stage assignment on a topology under the default SyncRing model.
+//
+// Deprecated: use NewPlan(prof, topo, PlanOptions{Stages: stages}).
 func Evaluate(prof *profile.ModelProfile, topo *topology.Topology, stages []StageSpec) (*Plan, error) {
-	return EvaluateSync(prof, topo, stages, SyncRing)
+	return NewPlan(prof, topo, PlanOptions{Stages: stages})
 }
 
-// EvaluateSync is Evaluate with an explicit collective cost model (see
-// SyncRing/SyncCentral for the per-stage formulas).
+// EvaluateSync is Evaluate with an explicit collective cost model.
+//
+// Deprecated: use NewPlan(prof, topo, PlanOptions{Stages: stages, Sync: sync}).
 func EvaluateSync(prof *profile.ModelProfile, topo *topology.Topology, stages []StageSpec, sync SyncModel) (*Plan, error) {
+	return NewPlan(prof, topo, PlanOptions{Stages: stages, Sync: sync})
+}
+
+// evaluate prices an explicit stage assignment (see SyncRing/SyncCentral
+// for the per-stage formulas): stage time = max(compute, ring
+// sync)/replicas (or the blocking central form), per-edge transfer time
+// = 2·a_s/bandwidth, bottleneck = slowest element. A nil graph means
+// the linear chain; a non-nil graph prices every DAG edge.
+func evaluate(prof *profile.ModelProfile, topo *topology.Topology, stages []StageSpec, sync SyncModel, graph *StageGraph) (*Plan, error) {
 	if err := validateStages(prof, topo, stages); err != nil {
 		return nil, err
+	}
+	if graph != nil {
+		if err := graph.Validate(len(stages)); err != nil {
+			return nil, err
+		}
 	}
 	workers := 0
 	for _, st := range stages {
@@ -371,6 +428,7 @@ func EvaluateSync(prof *profile.ModelProfile, topo *topology.Topology, stages []
 		Model:      prof.Model,
 		Stages:     stages,
 		Workers:    workers,
+		Graph:      graph,
 		Sync:       sync,
 		StageTimes: make([]float64, len(stages)),
 		CommTimes:  make([]float64, 0, len(stages)-1),
@@ -391,11 +449,21 @@ func EvaluateSync(prof *profile.ModelProfile, topo *topology.Topology, stages []
 			p.BottleneckTime = p.StageTimes[i]
 		}
 	}
-	for i := 0; i+1 < len(stages); i++ {
-		// Transfers between consecutive stages cross at least the link
-		// joining the two stages' worker groups.
-		bw := bandwidthForSpan(topo, stages[i].Replicas+stages[i+1].Replicas)
-		ct := 2 * float64(prof.ActivationBytes(stages[i].LastLayer)) / bw
+	// Each dataflow edge prices the sender's output activation (and the
+	// matching gradient on the way back) over the link joining the two
+	// stages' worker groups. For linear plans the edges are exactly the
+	// consecutive pairs, preserving the historical CommTimes layout.
+	edges := make([]StageEdge, 0, len(stages)-1)
+	if graph != nil {
+		edges = append(edges, graph.Edges...)
+	} else {
+		for i := 0; i+1 < len(stages); i++ {
+			edges = append(edges, StageEdge{From: i, To: i + 1})
+		}
+	}
+	for _, e := range edges {
+		bw := bandwidthForSpan(topo, stages[e.From].Replicas+stages[e.To].Replicas)
+		ct := 2 * float64(prof.ActivationBytes(stages[e.From].LastLayer)) / bw
 		p.CommTimes = append(p.CommTimes, ct)
 		if ct > p.BottleneckTime {
 			p.BottleneckTime = ct
@@ -480,7 +548,7 @@ func BruteForce(prof *profile.ModelProfile, topo *topology.Topology) (*Plan, err
 			if idx == len(stages) {
 				specs := make([]StageSpec, len(stages))
 				copy(specs, stages)
-				p, err := Evaluate(prof, topo, specs)
+				p, err := evaluate(prof, topo, specs, SyncRing, nil)
 				if err != nil {
 					return
 				}

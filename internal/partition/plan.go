@@ -1,0 +1,59 @@
+package partition
+
+import (
+	"fmt"
+
+	"pipedream/internal/profile"
+	"pipedream/internal/topology"
+)
+
+// PlanOptions selects what NewPlan builds. The zero value asks for the
+// classic PipeDream optimum: run the hierarchical DP under the ring
+// collective cost model with no memory constraint.
+type PlanOptions struct {
+	// Sync is the gradient collective the plan is priced under
+	// (SyncRing by default) — the planner must price what the runtime
+	// runs.
+	Sync SyncModel
+	// Memory enforces the device-memory constraint (§3.1): if the
+	// chosen plan does not fit, the in-flight depth is lowered toward
+	// the memory bound (recorded in Plan.Depth) and, failing that, the
+	// deepest straight pipeline that fits is returned. Only meaningful
+	// when the optimizer picks the stages (Stages == nil).
+	Memory bool
+	// Stages, when non-nil, is an explicit stage assignment to price
+	// instead of running the optimizer.
+	Stages []StageSpec
+	// Graph, when non-nil, is the stage dataflow DAG over Stages
+	// (which must also be set — the hierarchical DP only searches
+	// linear chains). Nodes own the Stages entries of the same index;
+	// layer ranges are laid out in topological node order.
+	Graph *StageGraph
+}
+
+// NewPlan is the single entry point for building a Plan: it subsumes
+// the former Optimize/OptimizeSync/Evaluate/EvaluateSync/
+// OptimizeWithMemory quintet. With no options it runs the hierarchical
+// DP; with Stages it prices an explicit assignment; with Graph it
+// prices a DAG-shaped assignment; with Memory it enforces the device
+// memory bound and records the resulting depth in Plan.Depth.
+//
+// (The paper-facing name would be partition.Plan, but Plan is the
+// result type; Go does not allow a type and a function to share a
+// name in one package.)
+func NewPlan(prof *profile.ModelProfile, topo *topology.Topology, opts PlanOptions) (*Plan, error) {
+	if opts.Graph != nil && opts.Stages == nil {
+		return nil, fmt.Errorf("partition: PlanOptions.Graph requires explicit Stages (the DP only searches linear chains)")
+	}
+	if opts.Stages != nil {
+		return evaluate(prof, topo, opts.Stages, opts.Sync, opts.Graph)
+	}
+	plan, err := optimize(prof, topo, opts.Sync)
+	if err != nil {
+		return nil, err
+	}
+	if !opts.Memory {
+		return plan, nil
+	}
+	return constrainMemory(plan, prof, topo)
+}

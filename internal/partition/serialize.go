@@ -11,22 +11,33 @@ import (
 
 // planJSON is the serialized form of a Plan (derived fields are
 // recomputed on load against a profile/topology, so files stay small and
-// can't go stale).
+// can't go stale). Edges/Joins carry the stage dataflow for graph-shaped
+// plans; both absent means the linear chain.
 type planJSON struct {
 	Model  string      `json:"model"`
 	Stages []StageSpec `json:"stages"`
+	Edges  []StageEdge `json:"edges,omitempty"`
+	Joins  []JoinOp    `json:"joins,omitempty"`
 }
 
-// WriteJSON serializes the plan's stage assignment.
+// WriteJSON serializes the plan's stage assignment, including the DAG
+// topology (edges and join ops) when the plan is graph-shaped, so
+// ReadJSON reconstructs the same dataflow.
 func (p *Plan) WriteJSON(w io.Writer) error {
+	pj := planJSON{Model: p.Model, Stages: p.Stages}
+	if p.Graph != nil && !p.Graph.IsLinear() {
+		pj.Edges = p.Graph.Edges
+		pj.Joins = p.Graph.Joins
+	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(planJSON{Model: p.Model, Stages: p.Stages})
+	return enc.Encode(pj)
 }
 
 // ReadJSON loads a stage assignment and re-evaluates it against the given
 // profile and topology (recomputing stage times, NOAM, and the throughput
-// prediction). The profile's model name must match the plan's.
+// prediction). The profile's model name must match the plan's. A plan
+// with serialized edges comes back graph-shaped, validated as a DAG.
 func ReadJSON(r io.Reader, prof *profile.ModelProfile, topo *topology.Topology) (*Plan, error) {
 	var pj planJSON
 	if err := json.NewDecoder(r).Decode(&pj); err != nil {
@@ -35,5 +46,11 @@ func ReadJSON(r io.Reader, prof *profile.ModelProfile, topo *topology.Topology) 
 	if pj.Model != prof.Model {
 		return nil, fmt.Errorf("partition: plan is for model %q, profile is %q", pj.Model, prof.Model)
 	}
-	return Evaluate(prof, topo, pj.Stages)
+	opts := PlanOptions{Stages: pj.Stages}
+	if len(pj.Edges) > 0 {
+		opts.Graph = &StageGraph{Nodes: len(pj.Stages), Edges: pj.Edges, Joins: pj.Joins}
+	} else if len(pj.Joins) > 0 {
+		return nil, fmt.Errorf("partition: plan has join ops but no edges")
+	}
+	return NewPlan(prof, topo, opts)
 }

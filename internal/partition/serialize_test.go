@@ -1,0 +1,186 @@
+package partition
+
+import (
+	"bytes"
+	"testing"
+
+	"pipedream/internal/profile"
+	"pipedream/internal/topology"
+)
+
+// diamondPlan prices a 4-stage diamond (0→{1,2}→3, sum join) over four
+// one-layer stages — the smallest plan whose topology is not a chain.
+func diamondPlan(t *testing.T) (*Plan, *profile.ModelProfile, *topology.Topology) {
+	t.Helper()
+	prof := syntheticProfile([]float64{1, 1, 1, 1}, []int64{8, 8, 8, 8}, []int64{8, 8, 8, 8})
+	topo := topology.Flat(4, 1e9, topology.V100)
+	plan, err := NewPlan(prof, topo, PlanOptions{
+		Stages: []StageSpec{
+			{FirstLayer: 0, LastLayer: 0, Replicas: 1},
+			{FirstLayer: 1, LastLayer: 1, Replicas: 1},
+			{FirstLayer: 2, LastLayer: 2, Replicas: 1},
+			{FirstLayer: 3, LastLayer: 3, Replicas: 1},
+		},
+		Graph: &StageGraph{
+			Nodes: 4,
+			Edges: []StageEdge{{From: 0, To: 1}, {From: 0, To: 2}, {From: 1, To: 3}, {From: 2, To: 3}},
+			Joins: []JoinOp{JoinNone, JoinNone, JoinNone, JoinSum},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan, prof, topo
+}
+
+// TestPlanJSONGraphRoundTrip pins that WriteJSON/ReadJSON preserve the
+// stage dataflow of a graph-shaped plan: edges, join ops, sinks, and the
+// dag(...) ConfigString all survive the trip.
+func TestPlanJSONGraphRoundTrip(t *testing.T) {
+	plan, prof, topo := diamondPlan(t)
+	var buf bytes.Buffer
+	if err := plan.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(bytes.NewReader(buf.Bytes()), prof, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Graph == nil {
+		t.Fatal("graph lost in round trip")
+	}
+	if got.ConfigString() != plan.ConfigString() {
+		t.Fatalf("ConfigString changed: %q vs %q", got.ConfigString(), plan.ConfigString())
+	}
+	if len(got.Graph.Edges) != len(plan.Graph.Edges) {
+		t.Fatalf("edges changed: %v vs %v", got.Graph.Edges, plan.Graph.Edges)
+	}
+	for i, e := range plan.Graph.Edges {
+		if got.Graph.Edges[i] != e {
+			t.Fatalf("edge %d changed: %v vs %v", i, got.Graph.Edges[i], e)
+		}
+	}
+	if got.Graph.Join(3) != JoinSum {
+		t.Fatalf("join op lost: %v", got.Graph.Join(3))
+	}
+	gs, ps := got.Graph.Sinks(), plan.Graph.Sinks()
+	if len(gs) != len(ps) || gs[0] != ps[0] {
+		t.Fatalf("sinks changed: %v vs %v", gs, ps)
+	}
+	if got.NOAM != plan.NOAM || got.BottleneckTime != plan.BottleneckTime {
+		t.Fatalf("derived fields changed: %s vs %s", got, plan)
+	}
+}
+
+// TestPlanJSONLinearGraphStaysCompact pins that a plan whose graph is the
+// explicit linear chain serializes without edges — byte-compatible with
+// pre-graph plan files.
+func TestPlanJSONLinearGraphStaysCompact(t *testing.T) {
+	prof := syntheticProfile([]float64{1, 1}, []int64{8, 8}, []int64{8, 8})
+	topo := topology.Flat(2, 1e9, topology.V100)
+	plan, err := NewPlan(prof, topo, PlanOptions{
+		Stages: []StageSpec{
+			{FirstLayer: 0, LastLayer: 0, Replicas: 1},
+			{FirstLayer: 1, LastLayer: 1, Replicas: 1},
+		},
+		Graph: NewLinear(2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := plan.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(buf.Bytes(), []byte(`"edges"`)) {
+		t.Fatalf("linear graph serialized edges:\n%s", buf.String())
+	}
+	if _, err := ReadJSON(bytes.NewReader(buf.Bytes()), prof, topo); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPlanJSONRejectsJoinsWithoutEdges pins the malformed-file guard.
+func TestPlanJSONRejectsJoinsWithoutEdges(t *testing.T) {
+	prof := syntheticProfile([]float64{1}, []int64{4}, []int64{4})
+	topo := topology.Flat(1, 1e9, topology.V100)
+	in := `{"model":"synthetic","stages":[{"FirstLayer":0,"LastLayer":0,"Replicas":1}],"joins":[1]}`
+	if _, err := ReadJSON(bytes.NewBufferString(in), prof, topo); err == nil {
+		t.Fatal("joins without edges must fail")
+	}
+}
+
+// FuzzPlanJSON hammers ReadJSON with arbitrary bytes (seeded with real
+// linear and graph-shaped plan files): it must never panic, and any plan
+// it accepts must itself round-trip through WriteJSON/ReadJSON with an
+// unchanged ConfigString.
+func FuzzPlanJSON(f *testing.F) {
+	prof := syntheticProfile([]float64{1, 1, 1, 1}, []int64{8, 8, 8, 8}, []int64{8, 8, 8, 8})
+	topo := topology.Flat(4, 1e9, topology.V100)
+
+	// Seed corpus: a DP-chosen linear plan, the diamond, a two-head
+	// fan-out, and two malformed shapes.
+	lin, err := NewPlan(prof, topo, PlanOptions{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := lin.WriteJSON(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+
+	stages := []StageSpec{
+		{FirstLayer: 0, LastLayer: 0, Replicas: 1},
+		{FirstLayer: 1, LastLayer: 1, Replicas: 1},
+		{FirstLayer: 2, LastLayer: 2, Replicas: 1},
+		{FirstLayer: 3, LastLayer: 3, Replicas: 1},
+	}
+	diamond, err := NewPlan(prof, topo, PlanOptions{Stages: stages, Graph: &StageGraph{
+		Nodes: 4,
+		Edges: []StageEdge{{From: 0, To: 1}, {From: 0, To: 2}, {From: 1, To: 3}, {From: 2, To: 3}},
+		Joins: []JoinOp{JoinNone, JoinNone, JoinNone, JoinSum},
+	}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	buf.Reset()
+	if err := diamond.WriteJSON(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+
+	twoHead, err := NewPlan(prof, topo, PlanOptions{Stages: stages, Graph: &StageGraph{
+		Nodes: 4,
+		Edges: []StageEdge{{From: 0, To: 1}, {From: 1, To: 2}, {From: 1, To: 3}},
+	}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	buf.Reset()
+	if err := twoHead.WriteJSON(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+
+	f.Add([]byte(`{"model":"synthetic","stages":[{"FirstLayer":0,"LastLayer":3,"Replicas":4}],"joins":[2]}`))
+	f.Add([]byte(`{"model":"synthetic","stages":[],"edges":[{"From":5,"To":0}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		plan, err := ReadJSON(bytes.NewReader(data), prof, topo)
+		if err != nil {
+			return // rejecting is fine; panicking is not
+		}
+		var out bytes.Buffer
+		if err := plan.WriteJSON(&out); err != nil {
+			t.Fatalf("accepted plan failed to serialize: %v", err)
+		}
+		again, err := ReadJSON(bytes.NewReader(out.Bytes()), prof, topo)
+		if err != nil {
+			t.Fatalf("accepted plan failed to round-trip: %v\n%s", err, out.String())
+		}
+		if again.ConfigString() != plan.ConfigString() {
+			t.Fatalf("round trip changed config: %q vs %q", again.ConfigString(), plan.ConfigString())
+		}
+	})
+}

@@ -9,6 +9,7 @@ import (
 
 	"pipedream/internal/checkpoint"
 	"pipedream/internal/nn"
+	"pipedream/internal/partition"
 	"pipedream/internal/tensor"
 )
 
@@ -74,6 +75,22 @@ func (p *Pipeline) manifest(cursor int) *checkpoint.Manifest {
 	}
 	for _, spec := range p.opts.Plan.Stages {
 		man.Replicas = append(man.Replicas, spec.Replicas)
+	}
+	// A DAG plan records its dataflow shape so a reader restoring into a
+	// different plan can verify the graph, not just the stage count. The
+	// graph comes from the plan alone, so manifests stay byte-identical
+	// across processes.
+	if g := p.opts.Plan.StageGraph(); !g.IsLinear() {
+		for _, e := range g.Edges {
+			man.Edges = append(man.Edges, [2]int{e.From, e.To})
+		}
+		for s := 0; s < g.Nodes; s++ {
+			op := ""
+			if j := g.Join(s); j != partition.JoinNone {
+				op = j.String()
+			}
+			man.Joins = append(man.Joins, op)
+		}
 	}
 	return man
 }

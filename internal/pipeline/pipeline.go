@@ -155,9 +155,19 @@ type Options struct {
 	// worker owns a private instance and slices out its stage.
 	ModelFactory func() *nn.Sequential
 	// Plan assigns model layers to stages/replicas (from the optimizer).
+	// A plan with a non-nil Graph routes activations along its DAG
+	// edges: stages with several in-edges join them (sum or concat),
+	// stages with several out-edges broadcast forward and sum the
+	// returning gradients, and every sink stage computes a loss.
 	Plan *partition.Plan
-	// Loss runs at the output stage.
+	// Loss runs at the output stage (every sink stage of a DAG plan
+	// without a SinkLoss override). A minibatch's reported loss is the
+	// sum over sinks.
 	Loss LossFunc
+	// SinkLoss optionally overrides Loss per sink stage of a DAG plan,
+	// keyed by stage index — multi-task heads usually train different
+	// objectives.
+	SinkLoss map[int]LossFunc
 	// NewOptimizer builds one optimizer per worker.
 	NewOptimizer func() nn.Optimizer
 	// Mode selects the staleness handling; default WeightStashing.
@@ -243,6 +253,7 @@ func (r *Report) MeanLoss() float64 {
 type Pipeline struct {
 	opts    Options
 	assign  *schedule.Assignment
+	graph   *partition.StageGraph
 	depth   int
 	workers []*stageWorker
 	tr      transport.Transport
@@ -268,7 +279,16 @@ func New(opts Options) (*Pipeline, error) {
 	if last != len(ref.Layers)-1 {
 		return nil, fmt.Errorf("pipeline: plan covers %d layers, model has %d", last+1, len(ref.Layers))
 	}
-	p := &Pipeline{opts: opts, assign: schedule.Assign(opts.Plan)}
+	graph := opts.Plan.StageGraph()
+	if err := graph.Validate(len(opts.Plan.Stages)); err != nil {
+		return nil, fmt.Errorf("pipeline: %w", err)
+	}
+	for s := range opts.SinkLoss {
+		if s < 0 || s >= len(opts.Plan.Stages) || len(graph.Succs(s)) != 0 {
+			return nil, fmt.Errorf("pipeline: SinkLoss stage %d is not a sink of the plan graph", s)
+		}
+	}
+	p := &Pipeline{opts: opts, assign: schedule.Assign(opts.Plan), graph: graph}
 	p.depth = opts.Depth
 	if p.depth <= 0 {
 		p.depth = opts.Plan.NOAM
@@ -279,7 +299,7 @@ func New(opts Options) (*Pipeline, error) {
 	useRing := opts.AllReduce == collective.Ring
 	p.tr = opts.Transport
 	if p.tr == nil {
-		p.tr = transport.NewChannels(p.assign.NumWorkers(), channelBuffer(ref, opts, p.depth))
+		p.tr = transport.NewChannels(p.assign.NumWorkers(), channelBuffer(ref, opts, p.depth)*graph.MaxDegree())
 		p.ownTr = true
 	}
 	reducers := make([]*collective.CentralReducer, len(opts.Plan.Stages))
@@ -301,6 +321,13 @@ func New(opts Options) (*Pipeline, error) {
 			mode:    opts.Mode,
 			reducer: reducers[ref.Stage],
 			stash:   make(map[int]stashEntry),
+			preds:   graph.Preds(ref.Stage),
+			succs:   graph.Succs(ref.Stage),
+			join:    graph.Join(ref.Stage),
+			loss:    opts.Loss,
+		}
+		if l, ok := opts.SinkLoss[ref.Stage]; ok {
+			sw.loss = l
 		}
 		if useRing && spec.Replicas > 1 {
 			sw.ring = collective.NewRingReducer(ref.Replica, p.assign.StageWorkers[ref.Stage], p.tr, opts.BucketBytes)
@@ -507,6 +534,13 @@ func (p *Pipeline) Train(ds data.Dataset, minibatches int) (*Report, error) {
 // stage's weights reflect exactly the same minibatches, so a checkpoint
 // taken here is globally consistent. Losses land in losses[mb-base].
 func (p *Pipeline) runChunk(ds data.Dataset, cs, ce, base int, losses []float64) error {
+	// Sink losses accumulate (a multi-sink graph reports one loss event per
+	// head); zero this chunk's range so a recovery retry starts clean.
+	for mb := cs; mb < ce; mb++ {
+		if i := mb - base; i >= 0 && i < len(losses) {
+			losses[i] = 0
+		}
+	}
 	for s, spec := range p.opts.Plan.Stages {
 		if spec.Replicas > 1 && p.workers[p.assign.StageWorkers[s][0]].reducer != nil {
 			p.workers[p.assign.StageWorkers[s][0]].reducer.Reset(cs, ce-cs)
@@ -524,7 +558,10 @@ func (p *Pipeline) runChunk(ds data.Dataset, cs, ce, base int, losses []float64)
 			}
 		}
 	})
-	results := make(chan lossEvent, ce-cs+8)
+	// Every sink stage reports one loss event per minibatch, and the
+	// channel is only drained after the workers join — size it for all of
+	// them or sink workers block on send.
+	results := make(chan lossEvent, (ce-cs)*len(p.graph.Sinks())+8)
 	stopHB := make(chan struct{})
 	if p.opts.HeartbeatEvery > 0 {
 		for _, sw := range p.workers {
@@ -544,7 +581,7 @@ func (p *Pipeline) runChunk(ds data.Dataset, cs, ce, base int, losses []float64)
 	close(results)
 	for ev := range results {
 		if i := ev.mb - base; i >= 0 && i < len(losses) {
-			losses[i] = ev.loss
+			losses[i] += ev.loss
 		}
 	}
 	return ab.error()
@@ -579,6 +616,10 @@ type stashEntry struct {
 	version    int
 	bytes      int64
 	fwdUpdates int // local optimizer updates at forward time (staleness baseline)
+	// joinWidths records, for a JoinConcat stage, each predecessor's
+	// feature width (in sw.preds order) so the backward pass can split
+	// the gradient back per edge. Nil elsewhere.
+	joinWidths []int
 }
 
 type stageWorker struct {
@@ -590,6 +631,13 @@ type stageWorker struct {
 	opt     nn.Optimizer
 	mode    StalenessMode
 	reducer *collective.CentralReducer
+
+	// Dataflow position in the plan's stage graph: the stages feeding
+	// this one, the stages it feeds, how fan-in activations combine,
+	// and the loss this stage computes when it is a sink.
+	preds, succs []int
+	join         partition.JoinOp
+	loss         LossFunc
 
 	// ring is the chunked overlapped collective (Options.AllReduce =
 	// collective.Ring) — mutually exclusive with reducer. gradOffsets
@@ -632,6 +680,12 @@ type stageWorker struct {
 	// Message queues (fields so the distributed gradient exchange can
 	// keep routing pipeline traffic while it waits for sibling replicas).
 	fwdQ, bwdQ []transport.Message
+	// fwdPend/gradPend hold per-edge arrivals at fan-in/fan-out stages
+	// (minibatch → source stage → payload). A forward becomes runnable
+	// once every predecessor's activation landed; a backward once every
+	// successor's gradient did. Single-edge stages bypass both.
+	fwdPend  map[int]map[int]transport.Message
+	gradPend map[int]map[int]*tensor.Tensor
 	// gradExch buffers sibling replicas' gradient contributions by
 	// all-reduce round, keyed by sender replica so duplicate deliveries
 	// (chaos, retransmits) collapse instead of double-counting.
@@ -652,7 +706,9 @@ type stageWorker struct {
 
 func (sw *stageWorker) replicas() int { return len(sw.p.assign.StageWorkers[sw.stage]) }
 
-func (sw *stageWorker) isLast() bool { return sw.stage == len(sw.p.assign.StageWorkers)-1 }
+// isSink reports whether this stage has no downstream stage in the plan
+// graph — it computes a loss instead of forwarding activations.
+func (sw *stageWorker) isSink() bool { return len(sw.succs) == 0 }
 
 // enqueue routes an incoming message to the right queue, dropping
 // duplicates (a transport retransmit after reconnect, or an injected
@@ -663,6 +719,30 @@ func (sw *stageWorker) enqueue(m transport.Message) {
 		if sw.seenFwd[m.Minibatch] {
 			sw.dupDrops++
 			return
+		}
+		if len(sw.preds) > 1 {
+			// Fan-in stage: hold the arrival until every in-edge delivered,
+			// then queue a tensorless ready marker; forward() joins the
+			// held activations. Dedup is per source edge.
+			pend := sw.fwdPend[m.Minibatch]
+			if _, dup := pend[m.Src]; dup {
+				sw.dupDrops++
+				return
+			}
+			if pend == nil {
+				pend = make(map[int]transport.Message, len(sw.preds))
+				if sw.fwdPend == nil {
+					sw.fwdPend = make(map[int]map[int]transport.Message)
+				}
+				sw.fwdPend[m.Minibatch] = pend
+			}
+			pend[m.Src] = m
+			if len(pend) < len(sw.preds) {
+				return
+			}
+			first := pend[sw.preds[0]]
+			m = transport.Message{Kind: transport.Activation, Minibatch: m.Minibatch,
+				Version: first.Version, Labels: first.Labels}
 		}
 		if sw.seenFwd == nil {
 			sw.seenFwd = make(map[int]bool)
@@ -675,6 +755,28 @@ func (sw *stageWorker) enqueue(m transport.Message) {
 		if _, ok := sw.stash[m.Minibatch]; !ok {
 			sw.dupDrops++
 			return
+		}
+		if len(sw.succs) > 1 {
+			// Fan-out stage: every successor returns a gradient for the
+			// broadcast activation; hold them until all arrived, then
+			// queue a tensorless ready marker that backward() sums.
+			pend := sw.gradPend[m.Minibatch]
+			if _, dup := pend[m.Src]; dup {
+				sw.dupDrops++
+				return
+			}
+			if pend == nil {
+				pend = make(map[int]*tensor.Tensor, len(sw.succs))
+				if sw.gradPend == nil {
+					sw.gradPend = make(map[int]map[int]*tensor.Tensor)
+				}
+				sw.gradPend[m.Minibatch] = pend
+			}
+			pend[m.Src] = m.Tensor
+			if len(pend) < len(sw.succs) {
+				return
+			}
+			m = transport.Message{Kind: transport.Gradient, Minibatch: m.Minibatch, Version: m.Version}
 		}
 		for _, q := range sw.bwdQ {
 			if q.Minibatch == m.Minibatch {
@@ -855,6 +957,17 @@ func (sw *stageWorker) forward(m transport.Message, ab *runAbort) (transport.Mes
 		op0 = time.Now()
 		defer func() { sw.met.forwardDone(sw, m.Minibatch, op0) }()
 	}
+	// Fan-in stages queue a tensorless ready marker; materialize the
+	// stage input by joining the held per-edge activations.
+	var joinWidths []int
+	if m.Tensor == nil && len(sw.preds) > 1 {
+		var err error
+		m.Tensor, joinWidths, err = sw.joinPending(m.Minibatch)
+		if err != nil {
+			ab.fail(err)
+			return transport.Message{}, false, err
+		}
+	}
 	params := sw.paramsCached()
 	var stashed []*tensor.Tensor
 	switch sw.mode {
@@ -884,7 +997,8 @@ func (sw *stageWorker) forward(m transport.Message, ab *runAbort) (transport.Mes
 	}
 	y, ctx := sw.model.Forward(m.Tensor, true)
 	entry := stashEntry{params: stashed, ctx: ctx, version: m.Version,
-		bytes: stashBytesOf(stashed, m.Tensor), fwdUpdates: sw.updates}
+		bytes: stashBytesOf(stashed, m.Tensor), fwdUpdates: sw.updates,
+		joinWidths: joinWidths}
 	if sw.p.opts.Recompute {
 		// Keep only the stage input; the backward pass re-runs the
 		// forward to rebuild layer contexts (trading compute for the
@@ -895,23 +1009,27 @@ func (sw *stageWorker) forward(m transport.Message, ab *runAbort) (transport.Mes
 	sw.stash[m.Minibatch] = entry
 	sw.trackStash(entry.bytes)
 
-	if sw.isLast() {
-		loss, grad := sw.p.opts.Loss(y, m.Labels)
+	if sw.isSink() {
+		loss, grad := sw.loss(y, m.Labels)
 		sw.results <- lossEvent{mb: m.Minibatch, loss: loss}
 		return transport.Message{
 			Kind: transport.Gradient, Minibatch: m.Minibatch,
 			Version: m.Version, Tensor: grad,
 		}, true, nil
 	}
-	next := sw.stage + 1
-	target := sw.p.assign.StageWorkers[next][schedule.ReplicaFor(m.Minibatch, len(sw.p.assign.StageWorkers[next]))]
-	if err := sw.p.tr.Send(target, transport.Message{
-		Kind: transport.Activation, Minibatch: m.Minibatch,
-		Version: m.Version, Tensor: y, Labels: m.Labels,
-	}); err != nil {
-		err = fmt.Errorf("pipeline: worker %d forward mb %d: %w", sw.id, m.Minibatch, err)
-		ab.fail(err)
-		return transport.Message{}, false, err
+	// Broadcast the output activation along every out-edge (one send for
+	// a linear plan). Receivers treat activations as read-only, so the
+	// same tensor backs every in-process send.
+	for _, next := range sw.succs {
+		target := sw.p.assign.StageWorkers[next][schedule.ReplicaFor(m.Minibatch, len(sw.p.assign.StageWorkers[next]))]
+		if err := sw.p.tr.Send(target, transport.Message{
+			Kind: transport.Activation, Minibatch: m.Minibatch,
+			Version: m.Version, Src: sw.stage, Tensor: y, Labels: m.Labels,
+		}); err != nil {
+			err = fmt.Errorf("pipeline: worker %d forward mb %d: %w", sw.id, m.Minibatch, err)
+			ab.fail(err)
+			return transport.Message{}, false, err
+		}
 	}
 	return transport.Message{}, false, nil
 }
@@ -937,6 +1055,15 @@ func (sw *stageWorker) backward(m transport.Message, ab *runAbort) (ran bool, er
 			sw.syncDur = 0
 			sw.syncFirst = 0
 		}()
+	}
+	// Fan-out stages queue a tensorless ready marker once every
+	// successor's gradient arrived; the broadcast point sums them.
+	if m.Tensor == nil && len(sw.succs) > 1 {
+		m.Tensor = sw.sumPendingGrads(m.Minibatch)
+		if m.Tensor == nil {
+			sw.dupDrops++
+			return false, nil
+		}
 	}
 	delete(sw.stash, m.Minibatch)
 	params := sw.paramsCached()
@@ -999,19 +1126,29 @@ func (sw *stageWorker) backward(m transport.Message, ab *runAbort) (ran bool, er
 	// reducing (overlap in both directions).
 	sentUp := false
 	sendUp := func() error {
-		if sw.stage == 0 || sentUp {
+		if len(sw.preds) == 0 || sentUp {
 			return nil
 		}
 		sentUp = true
-		prev := sw.stage - 1
-		target := sw.p.assign.StageWorkers[prev][schedule.ReplicaFor(m.Minibatch, len(sw.p.assign.StageWorkers[prev]))]
-		if err := sw.p.tr.Send(target, transport.Message{
-			Kind: transport.Gradient, Minibatch: m.Minibatch,
-			Version: entry.version, Tensor: gradIn,
-		}); err != nil {
+		// One gradient per in-edge: the join's backward routes gradIn to
+		// each predecessor (unchanged for sum, split by feature width
+		// for concat, pass-through for a single edge).
+		upGrads, err := splitJoinGrad(sw.join, gradIn, sw.preds, entry.joinWidths)
+		if err != nil {
 			err = fmt.Errorf("pipeline: worker %d backward mb %d: %w", sw.id, m.Minibatch, err)
 			ab.fail(err)
 			return err
+		}
+		for i, prev := range sw.preds {
+			target := sw.p.assign.StageWorkers[prev][schedule.ReplicaFor(m.Minibatch, len(sw.p.assign.StageWorkers[prev]))]
+			if err := sw.p.tr.Send(target, transport.Message{
+				Kind: transport.Gradient, Minibatch: m.Minibatch,
+				Version: entry.version, Src: sw.stage, Tensor: upGrads[i],
+			}); err != nil {
+				err = fmt.Errorf("pipeline: worker %d backward mb %d: %w", sw.id, m.Minibatch, err)
+				ab.fail(err)
+				return err
+			}
 		}
 		return nil
 	}

@@ -52,7 +52,7 @@ func evenPlan(t *testing.T, factory func() *nn.Sequential, stages int, replicasF
 		first = last + 1
 	}
 	workers := stages - 1 + replicasFirst
-	plan, err := partition.Evaluate(prof, topology.Flat(workers, 1e9, topology.V100), specs)
+	plan, err := partition.NewPlan(prof, topology.Flat(workers, 1e9, topology.V100), partition.PlanOptions{Stages: specs})
 	if err != nil {
 		t.Fatal(err)
 	}

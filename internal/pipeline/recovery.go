@@ -163,15 +163,17 @@ func (sw *stageWorker) heartbeatLoop(every time.Duration, stop <-chan struct{}, 
 }
 
 // neighbours lists the workers this one exchanges traffic with: all
-// replicas of the adjacent stages plus its own stage's siblings.
+// replicas of the stages adjacent in the plan's stage graph (every
+// predecessor and successor edge, not just stage±1) plus its own stage's
+// siblings.
 func (sw *stageWorker) neighbours() []int {
 	var out []int
 	stages := sw.p.assign.StageWorkers
-	if sw.stage > 0 {
-		out = append(out, stages[sw.stage-1]...)
+	for _, s := range sw.preds {
+		out = append(out, stages[s]...)
 	}
-	if sw.stage < len(stages)-1 {
-		out = append(out, stages[sw.stage+1]...)
+	for _, s := range sw.succs {
+		out = append(out, stages[s]...)
 	}
 	for _, w := range stages[sw.stage] {
 		if w != sw.id {
@@ -202,6 +204,8 @@ drain:
 	sw.bwdQ = nil
 	sw.stash = make(map[int]stashEntry)
 	sw.seenFwd = nil
+	sw.fwdPend = nil
+	sw.gradPend = nil
 	sw.gradExch = nil
 	sw.accumGrads = nil
 	sw.accumCount = 0

@@ -9,6 +9,7 @@ import (
 	"pipedream/internal/nn"
 	"pipedream/internal/schedule"
 	"pipedream/internal/tensor"
+	"pipedream/internal/transport"
 )
 
 // SoloWorker runs exactly one stage worker of a plan in this process,
@@ -39,7 +40,16 @@ func NewSoloWorker(opts Options, workerID int) (*SoloWorker, error) {
 	if workerID < 0 || workerID >= assign.NumWorkers() {
 		return nil, fmt.Errorf("pipeline: worker id %d outside plan's %d workers", workerID, assign.NumWorkers())
 	}
-	p := &Pipeline{opts: opts, assign: assign, tr: opts.Transport}
+	graph := opts.Plan.StageGraph()
+	if err := graph.Validate(len(opts.Plan.Stages)); err != nil {
+		return nil, fmt.Errorf("pipeline: %w", err)
+	}
+	for sink := range opts.SinkLoss {
+		if sink < 0 || sink >= graph.Nodes || len(graph.Succs(sink)) != 0 {
+			return nil, fmt.Errorf("pipeline: SinkLoss stage %d is not a sink", sink)
+		}
+	}
+	p := &Pipeline{opts: opts, assign: assign, tr: opts.Transport, graph: graph}
 	p.depth = opts.Depth
 	if p.depth <= 0 {
 		p.depth = opts.Plan.NOAM
@@ -58,6 +68,19 @@ func NewSoloWorker(opts Options, workerID int) (*SoloWorker, error) {
 		opt:     opts.NewOptimizer(),
 		mode:    opts.Mode,
 		stash:   make(map[int]stashEntry),
+		preds:   graph.Preds(ref.Stage),
+		succs:   graph.Succs(ref.Stage),
+		join:    graph.Join(ref.Stage),
+		loss:    opts.Loss,
+	}
+	if l, ok := opts.SinkLoss[ref.Stage]; ok {
+		sw.loss = l
+	}
+	if len(sw.preds) > 1 {
+		sw.fwdPend = make(map[int]map[int]transport.Message)
+	}
+	if len(sw.succs) > 1 {
+		sw.gradPend = make(map[int]map[int]*tensor.Tensor)
 	}
 	if opts.AllReduce == collective.Ring && spec.Replicas > 1 {
 		sw.ring = collective.NewRingReducer(ref.Replica, assign.StageWorkers[ref.Stage], p.tr, opts.BucketBytes)
@@ -76,8 +99,9 @@ func NewSoloWorker(opts Options, workerID int) (*SoloWorker, error) {
 // Stage returns this worker's stage index.
 func (s *SoloWorker) Stage() int { return s.p.workers[s.id].stage }
 
-// IsOutputStage reports whether this worker computes the loss.
-func (s *SoloWorker) IsOutputStage() bool { return s.p.workers[s.id].isLast() }
+// IsOutputStage reports whether this worker computes a loss (its stage is
+// a sink of the plan's stage graph).
+func (s *SoloWorker) IsOutputStage() bool { return s.p.workers[s.id].isSink() }
 
 // StageModel returns this worker's live model slice.
 func (s *SoloWorker) StageModel() *nn.Sequential { return s.p.workers[s.id].model }
@@ -183,6 +207,11 @@ func (s *SoloWorker) runChunk(ds data.Dataset, cs, ce, base int, losses []float6
 	if sw.ring != nil {
 		sw.ring.Reset()
 	}
+	for mb := cs; mb < ce; mb++ {
+		if i := mb - base; i >= 0 && i < len(losses) {
+			losses[i] = 0
+		}
+	}
 	ab := newRunAbort(nil)
 	results := make(chan lossEvent, ce-cs+8)
 	stopHB := make(chan struct{})
@@ -194,7 +223,7 @@ func (s *SoloWorker) runChunk(ds data.Dataset, cs, ce, base int, losses []float6
 	close(results)
 	for ev := range results {
 		if i := ev.mb - base; i >= 0 && i < len(losses) {
-			losses[i] = ev.loss
+			losses[i] += ev.loss
 		}
 	}
 	if err != nil {

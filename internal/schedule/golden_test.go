@@ -18,13 +18,27 @@ import (
 type goldenConfig struct {
 	name     string
 	replicas []int
+	// graph, when non-nil, shapes the stages into a DAG instead of the
+	// linear chain (all-1 replicas, one layer per stage).
+	graph *partition.StageGraph
 }
 
 func goldenConfigs() []goldenConfig {
 	return []goldenConfig{
-		{"w4r1", []int{1, 1, 1, 1}}, // straight 4-stage pipeline (Figure 4)
-		{"w4r2", []int{2, 1, 1}},    // 2-1-1 replicated input (Figure 8)
-		{"w6r3", []int{3, 1, 1, 1}}, // 3-1-1-1, NOAM = ceil(6/3) = 2
+		{name: "w4r1", replicas: []int{1, 1, 1, 1}}, // straight 4-stage pipeline (Figure 4)
+		{name: "w4r2", replicas: []int{2, 1, 1}},    // 2-1-1 replicated input (Figure 8)
+		{name: "w6r3", replicas: []int{3, 1, 1, 1}}, // 3-1-1-1, NOAM = ceil(6/3) = 2
+		// Diamond dataflow: 0 fans out to 1 and 2, which join (sum) at 3.
+		{name: "diamond", replicas: []int{1, 1, 1, 1}, graph: &partition.StageGraph{
+			Nodes: 4,
+			Edges: []partition.StageEdge{{From: 0, To: 1}, {From: 0, To: 2}, {From: 1, To: 3}, {From: 2, To: 3}},
+			Joins: []partition.JoinOp{partition.JoinNone, partition.JoinNone, partition.JoinNone, partition.JoinSum},
+		}},
+		// Two-head dataflow: a shared trunk 0→1 splits into sinks 2 and 3.
+		{name: "twohead", replicas: []int{1, 1, 1, 1}, graph: &partition.StageGraph{
+			Nodes: 4,
+			Edges: []partition.StageEdge{{From: 0, To: 1}, {From: 1, To: 2}, {From: 1, To: 3}},
+		}},
 	}
 }
 
@@ -49,7 +63,7 @@ func goldenPlan(t *testing.T, cfg goldenConfig) (*profile.ModelProfile, *topolog
 		workers += r
 	}
 	topo := topology.Flat(workers, 1e18, topology.V100)
-	plan, err := partition.Evaluate(prof, topo, specs)
+	plan, err := partition.NewPlan(prof, topo, partition.PlanOptions{Stages: specs, Graph: cfg.graph})
 	if err != nil {
 		t.Fatal(err)
 	}

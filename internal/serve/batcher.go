@@ -71,7 +71,9 @@ func (s *Server) batcher() {
 					// full window instead ends the batch: the request
 					// carries over and blocking-promotes as the next
 					// seed, after this batch has been dispatched.
-					if !s.quotaTryPromote(req) || !sameRowShape(req.x, first.x) {
+					// Requests for different heads travel different stage
+					// routes, so they never share a batch either.
+					if req.head != first.head || !s.quotaTryPromote(req) || !sameRowShape(req.x, first.x) {
 						carry = req
 						break collect
 					}
@@ -167,6 +169,7 @@ func (s *Server) dispatch(batch []*request, nextID int) int {
 			Minibatch: nextID,
 			Version:   v.gen,
 			Tensor:    x,
+			Sink:      batch[0].head, // all requests of a batch share one head
 		})
 		if err != nil {
 			<-s.inflight

@@ -29,6 +29,7 @@ package fleet
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"pipedream/internal/metrics"
 	"pipedream/internal/serve"
@@ -65,6 +66,11 @@ type Config struct {
 	// standalone instruments (reachable through Stats), since serve.*
 	// names are per-process, not per-replica.
 	Metrics *metrics.Registry
+	// Health, when MaxErrorRate > 0, turns on router-level health
+	// checks for every tenant: replicas whose sliding-window failure
+	// rate crosses the threshold are ejected from the routing set and
+	// re-admitted after a cool-down. See HealthConfig.
+	Health HealthConfig
 }
 
 // TenantConfig declares one served model.
@@ -134,6 +140,11 @@ type ReplicaStats struct {
 	InFlight int64
 	// Picks counts how many requests the router sent here.
 	Picks int64
+	// Ejections counts how many times health checks ejected this
+	// replica; Ejected reports whether it is sitting out right now.
+	// Both stay zero with health checks disabled.
+	Ejections int64
+	Ejected   bool
 	// Serve is the replica server's own summary (batching factor,
 	// latency quantiles, weight generation, ...).
 	Serve serve.Stats
@@ -165,7 +176,14 @@ func New(cfg Config, tenants ...TenantConfig) (*Fleet, error) {
 	for _, tc := range tenants {
 		stages := stageCount(tc.Server)
 		total += cfg.Replicas * (stages + 1)
-		if b := effMaxInFlight(tc.Server, stages) + 4; b > buffer {
+		// DAG plans can deliver up to MaxDegree messages per batch to a
+		// fan-in stage; size the shared buffer the way serve does for its
+		// owned transport.
+		deg := 1
+		if tc.Server.Plan != nil {
+			deg = tc.Server.Plan.StageGraph().MaxDegree()
+		}
+		if b := deg * (effMaxInFlight(tc.Server, stages) + 4); b > buffer {
 			buffer = b
 		}
 	}
@@ -193,6 +211,8 @@ func New(cfg Config, tenants ...TenantConfig) (*Fleet, error) {
 			quota:     serve.NewQuota(quotaBounds(tc, cfg.Replicas, stages)),
 			met:       newTenantMetrics(cfg.Metrics, tc.Name),
 			reg:       cfg.Metrics,
+			health:    cfg.Health.withDefaults(),
+			now:       time.Now,
 			template:  tc.Server,
 			followers: make(map[int]*serve.Follower),
 		}
@@ -318,6 +338,17 @@ func (f *Fleet) InferVersioned(tenant string, x *tensor.Tensor) (*tensor.Tensor,
 		return nil, 0, err
 	}
 	return t.InferVersioned(x)
+}
+
+// InferHead routes one request to a replica of the named tenant and
+// runs it through only the stages the given head depends on (see
+// Tenant.InferHead).
+func (f *Fleet) InferHead(tenant string, x *tensor.Tensor, head int) (*tensor.Tensor, error) {
+	t, err := f.Tenant(tenant)
+	if err != nil {
+		return nil, err
+	}
+	return t.InferHead(x, head)
 }
 
 // Stats returns a point-in-time summary of every tenant, in declaration

@@ -1,0 +1,126 @@
+package fleet
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"pipedream/internal/metrics"
+	"pipedream/internal/serve"
+)
+
+// HealthConfig enables router-level health checks: each replica's recent
+// request outcomes feed a sliding window, and a replica whose failure
+// rate crosses MaxErrorRate is ejected from the routing set for CoolDown
+// — requests flow to its peers while it sits out — then re-admitted on
+// probation with a fresh window. Only replica faults count as failures
+// (serve.ErrInference, serve.ErrTransport); sheds, bad requests, and
+// drain-time closures say nothing about the replica's health.
+//
+// Ejection is advisory, never fatal: when every replica of a tenant is
+// ejected, routing falls back to the full live set rather than failing
+// requests outright.
+type HealthConfig struct {
+	// MaxErrorRate is the window failure fraction at which a replica is
+	// ejected, in (0, 1]. 0 disables health checks entirely.
+	MaxErrorRate float64
+	// Window is the number of recent outcomes tracked per replica
+	// (default 20).
+	Window int
+	// MinSamples is the minimum number of outcomes in the window before
+	// the rate is acted on (default Window/2), so one early failure
+	// cannot eject a cold replica.
+	MinSamples int
+	// CoolDown is how long an ejected replica sits out before probation
+	// (default 1s).
+	CoolDown time.Duration
+}
+
+// enabled reports whether health checking is on.
+func (c HealthConfig) enabled() bool { return c.MaxErrorRate > 0 }
+
+// withDefaults resolves the zero fields of an enabled config.
+func (c HealthConfig) withDefaults() HealthConfig {
+	if !c.enabled() {
+		return c
+	}
+	if c.Window <= 0 {
+		c.Window = 20
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = c.Window / 2
+		if c.MinSamples < 1 {
+			c.MinSamples = 1
+		}
+	}
+	if c.CoolDown <= 0 {
+		c.CoolDown = time.Second
+	}
+	return c
+}
+
+// replicaHealth is one replica's sliding outcome window and ejection
+// state. The tenant's clock is injected so tests can drive the cool-down
+// deterministically.
+type replicaHealth struct {
+	cfg       HealthConfig
+	now       func() time.Time
+	ejections *metrics.Counter
+
+	mu           sync.Mutex
+	ring         []bool // true = replica fault
+	idx, n, errs int
+	ejectedUntil time.Time
+}
+
+func newReplicaHealth(cfg HealthConfig, now func() time.Time, ejections *metrics.Counter) *replicaHealth {
+	return &replicaHealth{cfg: cfg, now: now, ejections: ejections, ring: make([]bool, cfg.Window)}
+}
+
+// record folds one request outcome into the window and ejects the
+// replica when the failure rate crosses the threshold. Ejection resets
+// the window, so re-admission after the cool-down starts from a clean
+// slate instead of instantly re-tripping on stale outcomes.
+func (h *replicaHealth) record(fault bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.n == len(h.ring) {
+		if h.ring[h.idx] {
+			h.errs--
+		}
+	} else {
+		h.n++
+	}
+	h.ring[h.idx] = fault
+	if fault {
+		h.errs++
+	}
+	h.idx = (h.idx + 1) % len(h.ring)
+	if h.n >= h.cfg.MinSamples && float64(h.errs) >= h.cfg.MaxErrorRate*float64(h.n) {
+		h.ejectedUntil = h.now().Add(h.cfg.CoolDown)
+		h.idx, h.n, h.errs = 0, 0, 0
+		h.ejections.Inc()
+	}
+}
+
+// available reports whether the replica may be routed to at now — not
+// ejected, or past its cool-down (probation).
+func (h *replicaHealth) available(now time.Time) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return !now.Before(h.ejectedUntil)
+}
+
+// snapshot returns the ejection counter value and whether the replica is
+// currently sitting out.
+func (h *replicaHealth) snapshot(now time.Time) (ejections int64, ejected bool) {
+	return h.ejections.Value(), !h.available(now)
+}
+
+// replicaFault classifies a request error as evidence against the
+// replica. Admission sheds and malformed requests are the client's or
+// the load's fault; a closing server is a drain, already handled by the
+// routing set.
+func replicaFault(err error) bool {
+	return err != nil && (errors.Is(err, serve.ErrInference) || errors.Is(err, serve.ErrTransport))
+}

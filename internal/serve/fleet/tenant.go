@@ -19,6 +19,7 @@ type replica struct {
 	srv      *serve.Server
 	inflight *metrics.Gauge   // serve.fleet.<tenant>.r<id>.inflight
 	picks    *metrics.Counter // serve.fleet.<tenant>.r<id>.picks
+	health   *replicaHealth   // nil when health checks are disabled
 }
 
 // tenantMetrics are one tenant's fleet-level instruments — routing and
@@ -44,6 +45,8 @@ type Tenant struct {
 	quota  *serve.Quota
 	met    *tenantMetrics
 	reg    *metrics.Registry // fleet registry, for per-replica instruments
+	health HealthConfig      // resolved; zero when health checks are off
+	now    func() time.Time  // injectable clock for the health cool-down
 
 	template serve.Config // replica config: Transport/Quota/Metrics overridden per replica
 
@@ -87,6 +90,32 @@ func (t *Tenant) Infer(x *tensor.Tensor) (*tensor.Tensor, error) {
 // replica: whichever replica the router picked, every row of the
 // request ran every stage on exactly the stamped generation's weights.
 func (t *Tenant) InferVersioned(x *tensor.Tensor) (*tensor.Tensor, int, error) {
+	return t.infer(x, -1)
+}
+
+// InferHead routes one request to a replica and runs it through only
+// the stages the given head depends on — serve.Server.InferHead behind
+// the fleet's routing policy. head must be a sink of the tenant's stage
+// graph (serve.Server.Heads).
+func (t *Tenant) InferHead(x *tensor.Tensor, head int) (*tensor.Tensor, error) {
+	y, _, err := t.InferHeadVersioned(x, head)
+	return y, err
+}
+
+// InferHeadVersioned is InferHead plus the weight generation the
+// request was served with.
+func (t *Tenant) InferHeadVersioned(x *tensor.Tensor, head int) (*tensor.Tensor, int, error) {
+	if head < 0 {
+		return nil, 0, fmt.Errorf("fleet: head %d: %w", head, serve.ErrBadRequest)
+	}
+	return t.infer(x, head)
+}
+
+// infer is the shared routing loop; head < 0 targets each replica's
+// default head. Every outcome lands in the picked replica's health
+// window (when health checks are on), so a replica that keeps failing
+// requests is ejected from the routing set until its cool-down passes.
+func (t *Tenant) infer(x *tensor.Tensor, head int) (*tensor.Tensor, int, error) {
 	if x == nil || x.NumDims() < 1 {
 		return nil, 0, fmt.Errorf("fleet: request needs at least one row: %w", serve.ErrBadRequest)
 	}
@@ -98,8 +127,17 @@ func (t *Tenant) InferVersioned(x *tensor.Tensor) (*tensor.Tensor, int, error) {
 			t.met.errors.Inc()
 			return nil, 0, err
 		}
-		y, gen, err := rep.srv.InferVersioned(x)
+		var y *tensor.Tensor
+		var gen int
+		if head < 0 {
+			y, gen, err = rep.srv.InferVersioned(x)
+		} else {
+			y, gen, err = rep.srv.InferHeadVersioned(x, head)
+		}
 		rep.inflight.Add(-1)
+		if rep.health != nil {
+			rep.health.record(replicaFault(err))
+		}
 		if err == nil {
 			t.met.responses.Inc()
 			return y, gen, nil
@@ -129,14 +167,30 @@ const maxRouteRetries = 4
 // pick chooses a live replica under the read lock and counts the
 // request onto it. The in-flight increment happens under the same lock,
 // so RemoveReplica's write-lock acquisition is the barrier after which
-// the replica's in-flight count can only fall.
+// the replica's in-flight count can only fall. With health checks on,
+// the routing set shrinks to the replicas not currently ejected —
+// unless that empties it, in which case every live replica stays a
+// candidate (degraded beats unavailable).
 func (t *Tenant) pick(key uint64) (*replica, error) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	if len(t.live) == 0 {
 		return nil, fmt.Errorf("fleet: tenant %q: %w", t.name, ErrNoReplicas)
 	}
-	rep := t.router.pick(t.live, key)
+	candidates := t.live
+	if t.health.enabled() {
+		now := t.now()
+		healthy := make([]*replica, 0, len(t.live))
+		for _, rep := range t.live {
+			if rep.health.available(now) {
+				healthy = append(healthy, rep)
+			}
+		}
+		if len(healthy) > 0 {
+			candidates = healthy
+		}
+	}
+	rep := t.router.pick(candidates, key)
 	rep.inflight.Add(1)
 	rep.picks.Inc()
 	return rep, nil
@@ -180,13 +234,18 @@ func (t *Tenant) AddReplica() (int, error) {
 func (t *Tenant) newReplicaLocked(srv *serve.Server) *replica {
 	rep := &replica{id: t.nextID, srv: srv}
 	t.nextID++
+	ejections := &metrics.Counter{}
 	if t.reg != nil {
 		prefix := fmt.Sprintf("serve.fleet.%s.r%d.", t.name, rep.id)
 		rep.inflight = t.reg.Gauge(prefix + "inflight")
 		rep.picks = t.reg.Counter(prefix + "picks")
+		ejections = t.reg.Counter(prefix + "ejections")
 	} else {
 		rep.inflight = &metrics.Gauge{}
 		rep.picks = &metrics.Counter{}
+	}
+	if t.health.enabled() {
+		rep.health = newReplicaHealth(t.health, t.now, ejections)
 	}
 	t.live = append(t.live, rep)
 	return rep
@@ -303,12 +362,16 @@ func (t *Tenant) Stats() TenantStats {
 		if g := int(st.WeightGeneration); i == 0 || g < ts.WeightGeneration {
 			ts.WeightGeneration = g
 		}
-		ts.Replicas = append(ts.Replicas, ReplicaStats{
+		rs := ReplicaStats{
 			ID:       rep.id,
 			InFlight: rep.inflight.Value(),
 			Picks:    rep.picks.Value(),
 			Serve:    st,
-		})
+		}
+		if rep.health != nil {
+			rs.Ejections, rs.Ejected = rep.health.snapshot(t.now())
+		}
+		ts.Replicas = append(ts.Replicas, rs)
 	}
 	return ts
 }

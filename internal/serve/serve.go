@@ -140,6 +140,16 @@ type Server struct {
 	ownTr   bool
 	client  int // demux endpoint index = nstages
 
+	// graph is the plan's stage DAG; requests target one of its sinks
+	// (heads) and traverse only that sink's ancestors. routes[h][st]
+	// lists the successors stage st forwards to for head h; defaultHead
+	// is the last stage (always a sink under topological numbering), so
+	// Infer on a linear plan behaves exactly as before.
+	graph       *partition.StageGraph
+	sinks       []int
+	routes      map[int][][]int
+	defaultHead int
+
 	// versions is the weight hot-swap state (see version.go): an
 	// immutable table of live weight generations, flipped atomically by
 	// SwapModel and read lock-free by the dispatch and stage-worker hot
@@ -170,6 +180,7 @@ type Server struct {
 type request struct {
 	x        *tensor.Tensor
 	rows     int
+	head     int // target sink stage; batches never mix heads
 	resp     chan result
 	enq      time.Time
 	promoted bool
@@ -235,6 +246,13 @@ func NewServer(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	graph := partition.NewLinear(len(stages))
+	if cfg.Plan != nil {
+		graph = cfg.Plan.StageGraph()
+	}
+	if err := graph.Validate(len(stages)); err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
 	if cfg.MaxInFlight == 0 {
 		cfg.MaxInFlight = 2 * len(stages)
 	}
@@ -242,22 +260,45 @@ func NewServer(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("serve: MaxInFlight = %d", cfg.MaxInFlight)
 	}
 	s := &Server{
-		cfg:      cfg,
-		nstages:  len(stages),
-		client:   len(stages),
-		queue:    make(chan *request, cfg.QueueCap),
-		inflight: make(chan struct{}, cfg.MaxInFlight),
-		done:     make(chan struct{}),
-		pending:  make(map[int]*batchInfo),
-		met:      newServerMetrics(cfg.Metrics, cfg.OpLog, len(stages)),
+		cfg:         cfg,
+		nstages:     len(stages),
+		client:      len(stages),
+		graph:       graph,
+		sinks:       graph.Sinks(),
+		defaultHead: len(stages) - 1,
+		queue:       make(chan *request, cfg.QueueCap),
+		inflight:    make(chan struct{}, cfg.MaxInFlight),
+		done:        make(chan struct{}),
+		pending:     make(map[int]*batchInfo),
+		met:         newServerMetrics(cfg.Metrics, cfg.OpLog, len(stages)),
+	}
+	// Precompute, per head, each stage's forward fan-out restricted to
+	// the head's ancestor set: a request for one head never visits a
+	// branch that head does not depend on.
+	s.routes = make(map[int][][]int, len(s.sinks))
+	for _, h := range s.sinks {
+		anc := graph.Ancestors(h)
+		per := make([][]int, len(stages))
+		for st := 0; st < len(stages); st++ {
+			if !anc[st] {
+				continue
+			}
+			for _, n := range graph.Succs(st) {
+				if anc[n] {
+					per[st] = append(per[st], n)
+				}
+			}
+		}
+		s.routes[h] = per
 	}
 	s.versions.Store(newVersionTable(&weightVersion{gen: cfg.WeightGeneration, stages: stages}))
 	s.met.weightGen.Set(int64(cfg.WeightGeneration))
 	s.tr = cfg.Transport
 	if s.tr == nil {
-		// Every in-flight batch can queue at a single stage; one extra
-		// slot of slack per endpoint absorbs the dispatch race.
-		s.tr = transport.NewChannels(len(stages)+1, cfg.MaxInFlight+4)
+		// Every in-flight batch can queue at a single stage — once per
+		// in-edge at a fan-in stage — and one extra slot of slack per
+		// endpoint absorbs the dispatch race.
+		s.tr = transport.NewChannels(len(stages)+1, graph.MaxDegree()*(cfg.MaxInFlight+4))
 		s.ownTr = true
 	}
 	// Scope kernel parallelism to the per-stage core share, exactly as
@@ -307,6 +348,15 @@ func sliceStages(model *nn.Sequential, plan *partition.Plan) ([]*nn.Sequential, 
 // Stages returns the number of pipeline stages the server runs.
 func (s *Server) Stages() int { return s.nstages }
 
+// Heads returns the sink stages requests may target, in ascending stage
+// order. A linear plan has exactly one head (the last stage); a DAG plan
+// has one per output branch.
+func (s *Server) Heads() []int { return append([]int(nil), s.sinks...) }
+
+// DefaultHead returns the head Infer targets: the last stage, which is
+// always a sink under the graph's topological numbering.
+func (s *Server) DefaultHead() int { return s.defaultHead }
+
 // Infer runs one request through the serving pipeline and blocks until
 // its result is ready. x holds one or more input rows (dim 0 is the row
 // count); the result preserves row order and is bit-identical to a
@@ -328,6 +378,25 @@ func (s *Server) Infer(x *tensor.Tensor) (*tensor.Tensor, error) {
 // when a hot swap landed mid-flight (PipeDream's one-version-per-
 // minibatch guarantee, applied to serving).
 func (s *Server) InferVersioned(x *tensor.Tensor) (*tensor.Tensor, int, error) {
+	return s.InferHeadVersioned(x, s.defaultHead)
+}
+
+// InferHead runs one request through the stages the given head depends
+// on — on a DAG plan, branches the head does not use are skipped
+// entirely. head must be one of Heads(); other stages are rejected with
+// ErrBadRequest. InferHead(x, DefaultHead()) is Infer(x).
+func (s *Server) InferHead(x *tensor.Tensor, head int) (*tensor.Tensor, error) {
+	y, _, err := s.InferHeadVersioned(x, head)
+	return y, err
+}
+
+// InferHeadVersioned is InferHead plus the weight generation the request
+// was served with.
+func (s *Server) InferHeadVersioned(x *tensor.Tensor, head int) (*tensor.Tensor, int, error) {
+	if _, ok := s.routes[head]; !ok {
+		return nil, 0, fmt.Errorf("serve: stage %d is not an output head (heads: %v): %w",
+			head, s.sinks, ErrBadRequest)
+	}
 	if x == nil || x.NumDims() < 1 || x.Dim(0) < 1 {
 		return nil, 0, fmt.Errorf("serve: request needs at least one row: %w", ErrBadRequest)
 	}
@@ -335,7 +404,7 @@ func (s *Server) InferVersioned(x *tensor.Tensor) (*tensor.Tensor, int, error) {
 		return nil, 0, fmt.Errorf("serve: request row shape %v, want %v: %w",
 			x.Shape[1:], s.cfg.InputShape, ErrBadRequest)
 	}
-	req := &request{x: x, rows: x.Dim(0), resp: make(chan result, 1), enq: time.Now()}
+	req := &request{x: x, rows: x.Dim(0), head: head, resp: make(chan result, 1), enq: time.Now()}
 	s.met.requests.Inc()
 	s.met.rows.Add(int64(req.rows))
 	if err := s.submit(req); err != nil {

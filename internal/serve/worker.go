@@ -2,21 +2,25 @@ package serve
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"pipedream/internal/metrics"
 	"pipedream/internal/nn"
+	"pipedream/internal/partition"
 	"pipedream/internal/tensor"
 	"pipedream/internal/transport"
 )
 
 // stageWorker is the forward loop of one pipeline stage: receive an
-// activation batch, run the layer slice of the weight generation the
-// batch was stamped with in inference mode, and forward the result — to
-// the next stage, or to the demultiplexer as a Prediction when this is
-// the output stage. One goroutine per stage, so consecutive batches
-// overlap across stages exactly like forward passes in the training
-// pipeline.
+// activation batch (joining fan-in parts on a DAG plan), run the layer
+// slice of the weight generation the batch was stamped with in inference
+// mode, and forward the result along the batch's head route — to each
+// downstream successor the target head depends on, or to the
+// demultiplexer as a Prediction when this stage is the head. One
+// goroutine per stage, so consecutive batches overlap across stages
+// exactly like forward passes in the training pipeline. Stages outside
+// the head's ancestor set never see the batch at all.
 //
 // The generation lookup (not "the current weights") is what upholds the
 // hot-swap guarantee: a batch dispatched under generation N meets
@@ -24,21 +28,34 @@ import (
 // while the batch was in an upstream stage.
 //
 // A panic inside the forward pass (a shape mismatch reaching a kernel)
-// is contained to the batch: the worker sends a tensor-less Prediction
-// straight to the demultiplexer, which fails the batch's requests with
-// ErrInference, and keeps serving.
+// is contained to the batch. Failure travels as a tensor-less poison
+// activation along the normal route — not straight to the demultiplexer
+// — so fan-in stages still drain their pending parts and exactly one
+// (tensor-less) Prediction reaches the demultiplexer, which fails the
+// batch's requests with ErrInference while the server keeps serving.
 func (s *Server) stageWorker(st int) {
 	defer s.wg.Done()
 	inbox := s.tr.Inbox(st)
 	hist := s.met.stageForward[st]
-	last := st == s.nstages-1
+	preds := s.graph.Preds(st)
+	sort.Ints(preds) // deterministic join order: ascending source stage
 	// The worker's scratch arena: every fused forward draws its buffers
 	// from here and a single O(1) Reset between batches reclaims them, so
-	// the steady-state loop allocates nothing per batch beyond the one
-	// outgoing copy.
+	// the steady-state loop allocates nothing per batch beyond the
+	// outgoing copies.
 	var ar *tensor.Arena
 	if !s.cfg.UnfusedForward {
 		ar = tensor.NewArena()
+	}
+	// pend holds the arrived fan-in parts of each batch, keyed batch id →
+	// source stage. Entries always drain: a failed upstream branch sends a
+	// tensor-less poison part instead of dropping the batch. (The one
+	// exception — an upstream send error mid-fan-out, possible only while
+	// the transport is closing — may strand an entry; the batch itself has
+	// already been reclaimed.)
+	var pend map[int]map[int]*tensor.Tensor
+	if len(preds) > 1 {
+		pend = make(map[int]map[int]*tensor.Tensor)
 	}
 	for {
 		select {
@@ -51,44 +68,49 @@ func (s *Server) stageWorker(st int) {
 			if m.Kind != transport.Activation {
 				continue
 			}
+			in := m.Tensor
+			joined := false
+			if len(preds) > 1 {
+				parts := pend[m.Minibatch]
+				if parts == nil {
+					parts = make(map[int]*tensor.Tensor, len(preds))
+					pend[m.Minibatch] = parts
+				}
+				if _, dup := parts[m.Src]; dup {
+					// Defensive: an in-edge never delivers twice; drop.
+					if m.Tensor != nil && ar != nil {
+						tensor.Put(m.Tensor)
+					}
+					continue
+				}
+				parts[m.Src] = m.Tensor
+				if len(parts) < len(preds) {
+					continue // hold until every in-edge has delivered
+				}
+				delete(pend, m.Minibatch)
+				in = joinActivations(s.graph.Join(st), preds, parts, ar != nil)
+				joined = true
+			}
 			// Resolve the layer slice of the generation this batch was
 			// stamped with. A nil slice means an unknown generation — the
 			// batch falls through with y == nil and fails downstream with
-			// ErrInference instead of running on arbitrary weights.
-			var slice *nn.Sequential
-			if stages := s.stagesFor(m.Version); stages != nil {
-				slice = stages[st]
-			}
+			// ErrInference instead of running on arbitrary weights. A nil
+			// input (poisoned upstream or failed join) skips the forward
+			// pass the same way.
 			start := time.Now()
 			var y *tensor.Tensor
-			if slice == nil {
-				y = nil
-			} else if ar != nil {
-				y = forwardInfer(slice, m.Tensor, ar)
-				if y != nil {
-					// Copy off the arena before Reset. Predictions become
-					// GC-owned tensors (they are handed to callers and must
-					// outlive the pool discipline); intermediate activations
-					// go into pooled tensors the next stage recycles.
-					var out *tensor.Tensor
-					if last {
-						out = tensor.New(y.Shape...)
-					} else {
-						out = tensor.GetRaw(y.Shape...)
-					}
-					copy(out.Data, y.Data)
-					// Recycle the upstream activation: stages after the
-					// first own their input (the previous worker pooled
-					// it); stage 0 inputs alias request tensors and are
-					// never recycled.
-					if st > 0 {
-						tensor.Put(m.Tensor)
-					}
-					y = out
+			if in != nil {
+				var slice *nn.Sequential
+				if stages := s.stagesFor(m.Version); stages != nil {
+					slice = stages[st]
 				}
-				ar.Reset()
-			} else {
-				y = forward(slice, m.Tensor)
+				if slice == nil {
+					y = nil
+				} else if ar != nil {
+					y = forwardInfer(slice, in, ar)
+				} else {
+					y = forward(slice, in)
+				}
 			}
 			dur := time.Since(start)
 			hist.Observe(float64(dur.Microseconds()))
@@ -101,22 +123,160 @@ func (s *Server) stageWorker(st int) {
 					Dur:       dur,
 				}, start)
 			}
-			// Forward the generation stamp with the batch so every
-			// downstream stage resolves the same weights.
-			out := transport.Message{Minibatch: m.Minibatch, Version: m.Version, Tensor: y}
-			if y == nil || last {
-				out.Kind = transport.Prediction
+			// Resolve where the batch goes next. An unroutable sink (a
+			// corrupt frame; Infer validates heads) terminates the batch
+			// with a tensor-less Prediction. A routed stage with no
+			// successors is the head itself.
+			route, known := s.routes[m.Sink]
+			terminal := !known || st == m.Sink
+			var succs []int
+			if !terminal {
+				succs = route[st]
+				if len(succs) == 0 {
+					terminal = true // unreachable: routed stages always reach their head
+				}
+			}
+			if !known {
+				y = nil
+			}
+			// Copy the result off the arena before Reset. Predictions
+			// become GC-owned tensors (they are handed to callers and must
+			// outlive the pool discipline); intermediate activations go
+			// into pooled tensors — one distinct copy per successor, since
+			// each receiver recycles its input independently.
+			var outs []*tensor.Tensor
+			if !terminal {
+				outs = make([]*tensor.Tensor, len(succs))
+			}
+			if ar != nil {
+				if y != nil {
+					if terminal {
+						out := tensor.New(y.Shape...)
+						copy(out.Data, y.Data)
+						y = out
+					} else {
+						for i := range succs {
+							c := tensor.GetRaw(y.Shape...)
+							copy(c.Data, y.Data)
+							outs[i] = c
+						}
+					}
+				}
+				// Recycle this worker's input: joined tensors are always
+				// ours; single-edge inputs are the upstream worker's pooled
+				// copy except at stage 0, where they alias request tensors.
+				if in != nil && (joined || st > 0) {
+					tensor.Put(in)
+				}
+				ar.Reset()
+			} else if !terminal && y != nil {
+				// Unfused forwards allocate GC tensors and receivers never
+				// recycle them, so fan-out may share one result.
+				for i := range succs {
+					outs[i] = y
+				}
+			}
+			// Forward the generation stamp and head with the batch so every
+			// downstream stage resolves the same weights and route.
+			if terminal {
+				out := transport.Message{Kind: transport.Prediction,
+					Minibatch: m.Minibatch, Version: m.Version, Tensor: y, Src: st, Sink: m.Sink}
 				if err := s.tr.Send(s.client, out); err != nil {
 					s.reclaimBatch(m.Minibatch, err)
 				}
-			} else {
-				out.Kind = transport.Activation
-				if err := s.tr.Send(st+1, out); err != nil {
+				continue
+			}
+			for i, n := range succs {
+				out := transport.Message{Kind: transport.Activation,
+					Minibatch: m.Minibatch, Version: m.Version, Tensor: outs[i], Src: st, Sink: m.Sink}
+				if err := s.tr.Send(n, out); err != nil {
 					s.reclaimBatch(m.Minibatch, err)
+					break // the batch is failed; skip the remaining fan-out
 				}
 			}
 		}
 	}
+}
+
+// joinActivations combines one batch's fan-in parts in ascending source
+// order. Any missing (poisoned) part, shape disagreement, or unexpected
+// join op yields nil, which the caller propagates downstream as poison.
+// In fused mode the parts are upstream workers' pooled copies: they are
+// recycled here and the joined result comes from the pool (the caller
+// recycles it after the forward pass); unfused mode leaves everything to
+// the garbage collector.
+func joinActivations(op partition.JoinOp, preds []int, parts map[int]*tensor.Tensor, fused bool) *tensor.Tensor {
+	ordered := make([]*tensor.Tensor, len(preds))
+	ok := true
+	for i, p := range preds {
+		if ordered[i] = parts[p]; ordered[i] == nil {
+			ok = false
+		}
+	}
+	var out *tensor.Tensor
+	if ok {
+		switch op {
+		case partition.JoinSum:
+			for _, p := range ordered[1:] {
+				if !p.SameShape(ordered[0]) {
+					ok = false
+				}
+			}
+			if ok {
+				if fused {
+					out = tensor.GetRaw(ordered[0].Shape...)
+				} else {
+					out = tensor.New(ordered[0].Shape...)
+				}
+				copy(out.Data, ordered[0].Data)
+				for _, p := range ordered[1:] {
+					for j, v := range p.Data {
+						out.Data[j] += v
+					}
+				}
+			}
+		case partition.JoinConcat:
+			rows, total := 0, 0
+			for i, p := range ordered {
+				if p.NumDims() != 2 {
+					ok = false
+					break
+				}
+				if i == 0 {
+					rows = p.Dim(0)
+				} else if p.Dim(0) != rows {
+					ok = false
+					break
+				}
+				total += p.Dim(1)
+			}
+			if ok {
+				if fused {
+					out = tensor.GetRaw(rows, total)
+				} else {
+					out = tensor.New(rows, total)
+				}
+				off := 0
+				for _, p := range ordered {
+					w := p.Dim(1)
+					for r := 0; r < rows; r++ {
+						copy(out.Data[r*total+off:r*total+off+w], p.Data[r*w:(r+1)*w])
+					}
+					off += w
+				}
+			}
+		default:
+			out = nil // fan-in without a join op never validates
+		}
+	}
+	if fused {
+		for _, p := range ordered {
+			if p != nil {
+				tensor.Put(p)
+			}
+		}
+	}
+	return out
 }
 
 // forwardInfer runs one stage slice through the fused inference path,

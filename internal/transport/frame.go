@@ -17,17 +17,19 @@ import (
 // tensor's storage, and the receive side decodes into pooled tensors.
 // The format is little-endian and versioned by magic:
 //
-//	[0:4)   magic "PDF1"
+//	[0:4)   magic "PDF2"
 //	[4:8)   kind (uint32)
 //	[8:16)  minibatch (int64)
 //	[16:24) version (int64)
 //	[24:40) chunk info: bucket, phase, step, chunk (4 × int32)
 //	[40:44) label count (uint32)
 //	[44:48) tensor rank (uint32; frameNilTensor = no tensor)
+//	[48:52) source stage (int32; DAG edge attribution)
+//	[52:56) sink stage (int32; per-head serving route)
 //	then    rank × uint32 dims, labels × int64, elems × float32
 const (
-	frameMagic     = 0x50444631 // "PDF1"
-	frameHeaderLen = 48
+	frameMagic     = 0x50444632 // "PDF2"
+	frameHeaderLen = 56
 	// frameNilTensor in the rank field marks a message without a tensor
 	// (heartbeats, failed-batch predictions).
 	frameNilTensor = 0xFFFFFFFF
@@ -66,6 +68,8 @@ func appendFrame(buf []byte, m Message) ([]byte, error) {
 	le.PutUint32(buf[32:], uint32(int32(m.Chunk.Step)))
 	le.PutUint32(buf[36:], uint32(int32(m.Chunk.Chunk)))
 	le.PutUint32(buf[40:], uint32(len(m.Labels)))
+	le.PutUint32(buf[48:], uint32(int32(m.Src)))
+	le.PutUint32(buf[52:], uint32(int32(m.Sink)))
 	off := frameHeaderLen
 	if m.Tensor == nil {
 		le.PutUint32(buf[44:], frameNilTensor)
@@ -122,6 +126,8 @@ func readFrame(r io.Reader, scratch []byte) (Message, []byte, error) {
 			Step:   int(int32(le.Uint32(hdr[32:]))),
 			Chunk:  int(int32(le.Uint32(hdr[36:]))),
 		},
+		Src:  int(int32(le.Uint32(hdr[48:]))),
+		Sink: int(int32(le.Uint32(hdr[52:]))),
 	}
 	nLabels := le.Uint32(hdr[40:])
 	rank := le.Uint32(hdr[44:])

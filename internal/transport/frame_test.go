@@ -16,7 +16,7 @@ func TestFrameRoundTrip(t *testing.T) {
 	msgs := []Message{
 		{Kind: Heartbeat, Minibatch: -3, Version: 12},
 		{Kind: Prediction, Minibatch: 9},
-		{Kind: Activation, Minibatch: 4, Version: 2,
+		{Kind: Activation, Minibatch: 4, Version: 2, Src: 3, Sink: 4,
 			Tensor: tensor.Randn(rng, 1, 3, 5, 7), Labels: []int{1, 0, 9}},
 		{Kind: Gradient, Minibatch: 1 << 40, Version: -8,
 			Tensor: tensor.FromSlice([]float32{float32(math.Inf(1)), -0, 3.5e-30}, 3)},
@@ -36,7 +36,7 @@ func TestFrameRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("msg %d: decode: %v", i, err)
 		}
-		if got.Kind != m.Kind || got.Minibatch != m.Minibatch || got.Version != m.Version || got.Chunk != m.Chunk {
+		if got.Kind != m.Kind || got.Minibatch != m.Minibatch || got.Version != m.Version || got.Chunk != m.Chunk || got.Src != m.Src || got.Sink != m.Sink {
 			t.Fatalf("msg %d: header %+v, want %+v", i, got, m)
 		}
 		if len(got.Labels) != len(m.Labels) {
@@ -77,10 +77,12 @@ func TestFrameRejectsCorruptHeaders(t *testing.T) {
 		return b
 	}
 	cases := map[string][]byte{
-		"bad magic":    corrupt(func(b []byte) { b[0] = 'X' }),
-		"huge rank":    corrupt(func(b []byte) { b[44], b[45] = 0xFF, 0x00 }),
-		"huge labels":  corrupt(func(b []byte) { b[40], b[43] = 0xFF, 0x7F }),
-		"huge dim":     corrupt(func(b []byte) { b[48], b[49], b[50], b[51] = 0xFF, 0xFF, 0xFF, 0x3F }),
+		"bad magic":   corrupt(func(b []byte) { b[0] = 'X' }),
+		"huge rank":   corrupt(func(b []byte) { b[44], b[45] = 0xFF, 0x00 }),
+		"huge labels": corrupt(func(b []byte) { b[40], b[43] = 0xFF, 0x7F }),
+		"huge dim": corrupt(func(b []byte) {
+			b[frameHeaderLen], b[frameHeaderLen+1], b[frameHeaderLen+2], b[frameHeaderLen+3] = 0xFF, 0xFF, 0xFF, 0x3F
+		}),
 		"truncated":    good[:len(good)-3],
 		"header only":  good[:frameHeaderLen],
 		"short header": good[:10],

@@ -105,8 +105,17 @@ type Message struct {
 	Minibatch int
 	// Version is the weight-version tag used by vertical sync.
 	Version int
-	Tensor  *tensor.Tensor
-	Labels  []int
+	// Src is the sender's stage index. Stages with several in- or
+	// out-edges in a DAG plan use it to attribute each activation or
+	// gradient to its dataflow edge (join bookkeeping, dedup, and
+	// deterministic combination order); linear pipelines ignore it.
+	Src int
+	// Sink tags serving traffic with the request's target head stage, so
+	// stage workers route the batch along only the ancestors of that
+	// sink; training pipelines (which run the whole graph) leave it 0.
+	Sink   int
+	Tensor *tensor.Tensor
+	Labels []int
 	// Chunk carries ring all-reduce routing metadata on GradChunk
 	// messages (zero otherwise).
 	Chunk ChunkInfo

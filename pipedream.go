@@ -8,7 +8,10 @@
 //     from the model zoo (Model).
 //  2. Plan — run the hierarchical dynamic-programming partitioner to
 //     split layers into (possibly replicated) pipeline stages for a
-//     hardware topology (Plan).
+//     hardware topology (Plan, or NewPlan with PlanOptions for the
+//     memory constraint, explicit stage assignments, and DAG-shaped
+//     StageGraph dataflow — fan-out branches, fan-in joins, multiple
+//     output heads).
 //  3. Execute — either train a real model in-process with the 1F1B-RR
 //     runtime, complete with weight stashing and round-robin replicated
 //     stages (NewPipeline), or simulate the plan's behaviour on a
@@ -67,6 +70,10 @@ type (
 	Layer = nn.Layer
 	// Optimizer applies gradient updates (SGD, Adam, LARS).
 	Optimizer = nn.Optimizer
+	// LossFunc scores predictions against labels and returns the loss
+	// gradient — the type of PipelineOptions.Loss and the values of
+	// PipelineOptions.SinkLoss (per-head losses of a DAG plan).
+	LossFunc = pipeline.LossFunc
 	// Dataset supplies deterministic minibatches.
 	Dataset = data.Dataset
 	// Batch is one minibatch of inputs and labels.
@@ -88,6 +95,31 @@ type (
 	PartitionPlan = partition.Plan
 	// StageSpec is one stage of a plan.
 	StageSpec = partition.StageSpec
+	// PlanOptions selects how NewPlan builds a plan: the sync cost
+	// model, the device-memory constraint, an explicit stage
+	// assignment, and/or a stage dataflow graph.
+	PlanOptions = partition.PlanOptions
+	// StageGraph is the stage dataflow DAG of a plan: stages as nodes,
+	// typed activation edges, fan-in joins, fan-out broadcasts. A nil
+	// graph means the linear chain 0→1→…→n-1.
+	StageGraph = partition.StageGraph
+	// StageEdge is one typed activation edge of a StageGraph.
+	StageEdge = partition.StageEdge
+	// JoinOp says how a fan-in stage combines its incoming activations
+	// (JoinSum or JoinConcat).
+	JoinOp = partition.JoinOp
+)
+
+// Fan-in join operators for StageGraph nodes with more than one
+// in-edge.
+const (
+	// JoinNone marks a stage with at most one in-edge.
+	JoinNone = partition.JoinNone
+	// JoinSum adds incoming activations elementwise (residual-style).
+	JoinSum = partition.JoinSum
+	// JoinConcat concatenates incoming activations along the feature
+	// axis, in ascending predecessor-stage order.
+	JoinConcat = partition.JoinConcat
 )
 
 // Execution types.
@@ -177,6 +209,10 @@ type (
 	FleetReplicaStats = fleet.ReplicaStats
 	// RoutePolicy selects how a fleet spreads requests across replicas.
 	RoutePolicy = fleet.Policy
+	// FleetHealthConfig sets router-level replica health checks
+	// (FleetConfig.Health): eject a replica whose sliding-window error
+	// rate exceeds MaxErrorRate, re-admit after CoolDown.
+	FleetHealthConfig = fleet.HealthConfig
 )
 
 // Fleet routing policies.
@@ -412,11 +448,26 @@ func ProfileModel(model *Sequential, name string, ds Dataset, numBatches int) *M
 	return profile.Measure(model, name, ds, numBatches)
 }
 
-// Plan runs PipeDream's partitioning optimizer: it splits the profiled
+// NewPlan is the single planning entry point: it splits the profiled
 // layers into pipeline stages, chooses replication factors, and computes
-// NOAM and the predicted throughput.
+// NOAM and the predicted throughput. PlanOptions select the sync cost
+// model, the device-memory constraint (depth recorded in Plan.Depth),
+// an explicit stage assignment to price instead of optimizing, and/or a
+// StageGraph giving the stages DAG-shaped dataflow.
+func NewPlan(prof *ModelProfile, topo *Topology, opts PlanOptions) (*PartitionPlan, error) {
+	return partition.NewPlan(prof, topo, opts)
+}
+
+// NewLinear builds the straight-line StageGraph 0→1→…→n-1 — the
+// explicit form of the chain every pre-graph plan described.
+func NewLinear(n int) *StageGraph {
+	return partition.NewLinear(n)
+}
+
+// Plan is shorthand for NewPlan with default options: run the
+// hierarchical dynamic-programming optimizer and nothing else.
 func Plan(prof *ModelProfile, topo *Topology) (*PartitionPlan, error) {
-	return partition.Optimize(prof, topo)
+	return partition.NewPlan(prof, topo, partition.PlanOptions{})
 }
 
 // DataParallelPlan returns the vanilla data-parallel configuration for
@@ -435,12 +486,6 @@ func NewPipeline(opts PipelineOptions) (*Pipeline, error) {
 // list.
 func NewSoloWorker(opts PipelineOptions, workerID int) (*pipeline.SoloWorker, error) {
 	return pipeline.NewSoloWorker(opts, workerID)
-}
-
-// PlanWithMemory runs the optimizer under the device-memory constraint,
-// returning the plan and the pipeline depth to run it at (≤ NOAM).
-func PlanWithMemory(prof *ModelProfile, topo *Topology) (*PartitionPlan, int, error) {
-	return partition.OptimizeWithMemory(prof, topo)
 }
 
 // Simulate executes a plan on the modelled GPU cluster and reports

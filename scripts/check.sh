@@ -40,13 +40,27 @@ go test -race -count=2 ./internal/serve/
 go test -race -run 'Serve|HotSwap' ./
 
 echo "== fleet gate (replication, routing, tenancy, admission quotas under the race detector)"
-go test -race -count=2 -run 'Fleet|Router|Tenant|Quota|RoundRobin|LeastInFlight|ShapeAffinity' \
+go test -race -count=2 -run 'Fleet|Router|Tenant|Quota|RoundRobin|LeastInFlight|ShapeAffinity|Health' \
     ./internal/serve/ ./internal/serve/fleet/
+
+echo "== graph gate (DAG plan validation, scheduling, training, and serving under the race detector)"
+go test -race -run 'Graph|DAG|Branch' \
+    ./internal/partition/ ./internal/schedule/ ./internal/pipeline/ ./internal/serve/
+
+echo "== no new callers of the deprecated partition quintet (use partition.NewPlan)"
+DEPRECATED=$(grep -rnE 'partition\.(Optimize|OptimizeSync|Evaluate|EvaluateSync|OptimizeWithMemory)\(' \
+    --include='*.go' . | grep -v 'internal/partition/' || true)
+if [ -n "$DEPRECATED" ]; then
+    echo "deprecated planner entry points (migrate to partition.NewPlan + PlanOptions):" >&2
+    echo "$DEPRECATED" >&2
+    exit 1
+fi
 
 echo "== fuzz smoke (flatten + frame round-trips + checkpoint manifest + /infer body parser, 10s each)"
 go test -run '^$' -fuzz '^FuzzFlattenRoundTrip$' -fuzztime=10s ./internal/transport/
 go test -run '^$' -fuzz '^FuzzFrameRoundTrip$' -fuzztime=10s ./internal/transport/
 go test -run '^$' -fuzz '^FuzzManifestParse$' -fuzztime=10s ./internal/checkpoint/
+go test -run '^$' -fuzz '^FuzzPlanJSON$' -fuzztime=10s ./internal/partition/
 go test -run '^$' -fuzz '^FuzzInferRequest$' -fuzztime=10s ./cmd/pipedream-serve/
 
 echo "== alloc budgets (allocs/op vs scripts/alloc_budget.txt)"
@@ -135,10 +149,12 @@ grep -q 'docs/ARCHITECTURE.md' README.md || { echo "README.md does not link docs
 grep -q 'docs/SERVING.md' README.md || { echo "README.md does not link docs/SERVING.md" >&2; exit 1; }
 grep -q 'SERVING.md' docs/ARCHITECTURE.md || { echo "docs/ARCHITECTURE.md does not link SERVING.md" >&2; exit 1; }
 
-echo "== facade exports (serving + fleet + elastic surface reachable from package pipedream)"
-for sym in NewServer ServeConfig ErrOverloaded LoadCheckpointModel SyncConfig FaultConfig RuntimeConfig \
+echo "== facade exports (planning + serving + fleet + elastic surface reachable from package pipedream)"
+for sym in NewPlan PlanOptions StageGraph StageEdge JoinOp JoinSum JoinConcat NewLinear LossFunc \
+    NewServer ServeConfig ErrOverloaded LoadCheckpointModel SyncConfig FaultConfig RuntimeConfig \
     FollowConfig Follower ErrStaleGeneration \
     NewFleet FleetConfig FleetTenantConfig FleetStats ParseRoutePolicy ErrUnknownTenant ErrNoReplicas NewQuota \
+    FleetHealthConfig \
     NewElastic ElasticConfig RescaleStats ReplanFunc MembershipView MembershipConfig NewMembershipView; do
     grep -q "\b$sym\b" pipedream.go || { echo "pipedream.go does not re-export $sym" >&2; exit 1; }
 done

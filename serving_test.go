@@ -47,7 +47,7 @@ func servingPlan(t *testing.T, n, stages int) *PartitionPlan {
 		specs = append(specs, partition.StageSpec{FirstLayer: first, LastLayer: last, Replicas: 1})
 		first = last + 1
 	}
-	plan, err := partition.Evaluate(prof, topology.Flat(stages, 1e9, topology.V100), specs)
+	plan, err := partition.NewPlan(prof, topology.Flat(stages, 1e9, topology.V100), partition.PlanOptions{Stages: specs})
 	if err != nil {
 		t.Fatal(err)
 	}
